@@ -1,0 +1,54 @@
+// Ablation: the reseed interval Delta-t (step 5 of the algorithm).
+//
+// TASS recovers full accuracy whenever it re-runs the seeding full scan.
+// This bench extends the series beyond the paper's six months and compares
+// reseeding every 3 / 6 / 12 months against never reseeding, reporting the
+// mean hitrate and the total probe traffic (full-scan cycles included) —
+// the trade-off a deployment must pick Delta-t against.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/reseed.hpp"
+#include "report/table.hpp"
+
+using namespace tass;
+
+int main() {
+  auto config = bench::BenchConfig::from_env();
+  config.months = std::max(config.months, 13);  // a full year of cycles
+  const auto topology = bench::make_topology(config);
+  bench::print_world_banner(config, *topology);
+  std::printf(
+      "# Ablation: reseed interval Delta-t (m-prefixes, phi=0.95, %d "
+      "months)\n\n",
+      config.months);
+
+  report::Table table({"protocol", "reseed", "mean hitrate",
+                       "traffic vs monthly full scan"});
+  for (const census::Protocol protocol : census::paper_protocols()) {
+    const auto series = bench::make_series(topology, protocol, config);
+    const struct {
+      int interval;
+      const char* label;
+    } kIntervals[] = {{3, "every 3 months"},
+                      {6, "every 6 months"},
+                      {12, "every 12 months"},
+                      {0, "never (seed only)"}};
+    for (const auto& [interval, label] : kIntervals) {
+      core::SelectionParams params;
+      params.phi = 0.95;
+      core::ReseedPolicy policy;
+      policy.interval_months = interval;
+      const auto outcome = core::evaluate_with_reseed(
+          series, core::PrefixMode::kMore, params, policy);
+      table.add_row(
+          {std::string(census::protocol_name(protocol)), label,
+           report::Table::cell(outcome.mean_hitrate(), 4),
+           report::Table::cell(outcome.traffic_vs_monthly_full(
+                                   topology->advertised_addresses),
+                               3)});
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}

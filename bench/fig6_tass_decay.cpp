@@ -1,0 +1,66 @@
+// Reproduces Figure 6: "Hitrate of TASS compared to a full scan" for
+// (a) phi = 1 and (b) phi = 0.95, each with less- and more-specific
+// prefixes, over the 7 monthly snapshots.
+//
+// Paper shape: l-prefix accuracy decays ~0.3%/month for all protocols;
+// m-prefix accuracy decays up to ~0.7%/month (CWMP worst); phi = 0.95
+// shifts every curve down to the 0.90-0.95 band.
+#include <cstdio>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+#include "report/gnuplot.hpp"
+#include "report/series.hpp"
+
+int main() {
+  using namespace tass;
+  const auto config = bench::BenchConfig::from_env();
+  const auto topology = bench::make_topology(config);
+  bench::print_world_banner(config, *topology);
+
+  for (const double phi : {1.0, 0.95}) {
+    std::printf("\n# Figure 6%s: TASS hitrate vs full scan, phi=%.2f\n",
+                phi == 1.0 ? "(a)" : "(b)", phi);
+    report::SeriesSet out("month");
+    std::vector<std::string> ticks;
+    for (int m = 0; m < config.months; ++m) {
+      ticks.push_back(census::month_label(m));
+    }
+    out.set_ticks(std::move(ticks));
+
+    for (const census::Protocol protocol : census::paper_protocols()) {
+      const auto series = bench::make_series(topology, protocol, config);
+      for (const core::PrefixMode mode :
+           {core::PrefixMode::kLess, core::PrefixMode::kMore}) {
+        core::SelectionParams params;
+        params.phi = phi;
+        const core::TassStrategy strategy(series.month(0), mode, params);
+        const auto evaluation = core::evaluate(strategy, series);
+        std::vector<double> hitrates;
+        for (const auto& cycle : evaluation.cycles) {
+          hitrates.push_back(cycle.hitrate());
+        }
+        out.add_series(std::string(census::protocol_name(protocol)) + "-" +
+                           std::string(core::prefix_mode_name(mode)),
+                       std::move(hitrates));
+      }
+    }
+    std::printf("%s", out.to_tsv().c_str());
+
+    if (std::getenv("TASS_GNUPLOT") != nullptr) {
+      const std::string name = phi == 1.0 ? "fig6a" : "fig6b";
+      report::GnuplotOptions options;
+      options.title = "Figure 6: TASS hitrate vs full scan, phi=" +
+                      std::string(phi == 1.0 ? "1.0" : "0.95");
+      options.y_min = 0.9;
+      options.output = name + ".png";
+      std::ofstream script(name + ".gp");
+      script << report::to_gnuplot(out, options);
+      std::printf("# wrote %s.gp\n", name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Micro-benchmarks for the substrate hot paths (google-benchmark):
+// trie longest-prefix match, deaggregation, the ZMap permutation step,
+// interval-set algebra, density ranking and selection, and snapshot
+// membership — the operations every TASS scan cycle is built from.
+#include <benchmark/benchmark.h>
+
+#include "bgp/deaggregate.hpp"
+#include "census/population.hpp"
+#include "census/topology.hpp"
+#include "core/ranking.hpp"
+#include "core/selection.hpp"
+#include "net/interval.hpp"
+#include "scan/target_iterator.hpp"
+#include "trie/prefix_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+
+std::shared_ptr<const census::Topology> shared_topology() {
+  static const auto topology = [] {
+    census::TopologyParams params;
+    params.seed = 2016;
+    params.l_prefix_count = 2000;
+    return census::generate_topology(params);
+  }();
+  return topology;
+}
+
+const census::Snapshot& shared_snapshot() {
+  static const census::Snapshot snapshot = [] {
+    census::PopulationParams params;
+    params.host_scale = 0.005;
+    return census::generate_population(
+        shared_topology(),
+        census::protocol_profile(census::Protocol::kHttp), params);
+  }();
+  return snapshot;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto topology = shared_topology();
+  const auto prefixes = topology->m_partition.prefixes();
+  for (auto _ : state) {
+    trie::PrefixSet set;
+    for (const net::Prefix prefix : prefixes) set.insert(prefix);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prefixes.size()));
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  const auto topology = shared_topology();
+  trie::PrefixSet set(topology->m_partition.prefixes());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const net::Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    benchmark::DoNotOptimize(set.longest_match(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_PartitionLocate(benchmark::State& state) {
+  const auto topology = shared_topology();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const net::Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    benchmark::DoNotOptimize(topology->m_partition.locate(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionLocate);
+
+void BM_Deaggregate(benchmark::State& state) {
+  const net::Prefix covering = net::Prefix::parse_or_throw("10.0.0.0/8");
+  util::Rng rng(3);
+  std::vector<net::Prefix> inside;
+  for (int i = 0; i < 32; ++i) {
+    const int len = 10 + static_cast<int>(rng.bounded(12));
+    const std::uint32_t offset = static_cast<std::uint32_t>(
+        rng.bounded(1ULL << (len - 8)) << (32 - len));
+    inside.emplace_back(
+        net::Ipv4Address(covering.network().value() | offset), len);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::deaggregate(covering, inside));
+  }
+}
+BENCHMARK(BM_Deaggregate);
+
+void BM_PermutationNext(benchmark::State& state) {
+  scan::TargetIterator iterator(42);
+  for (auto _ : state) {
+    auto addr = iterator.next();
+    benchmark::DoNotOptimize(addr);
+    if (!addr) state.SkipWithError("permutation exhausted");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PermutationNext);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<net::Interval> intervals;
+  for (int i = 0; i < 4096; ++i) {
+    const auto lo =
+        static_cast<std::uint32_t>(rng.bounded((1ULL << 32) - 4096));
+    intervals.push_back({net::Ipv4Address(lo),
+                         net::Ipv4Address(lo + static_cast<std::uint32_t>(
+                                                   rng.bounded(4096)))});
+  }
+  for (auto _ : state) {
+    net::IntervalSet set;
+    for (const net::Interval& interval : intervals) set.insert(interval);
+    benchmark::DoNotOptimize(set.address_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(intervals.size()));
+}
+BENCHMARK(BM_IntervalSetInsert);
+
+void BM_RankByDensity(benchmark::State& state) {
+  const auto& snapshot = shared_snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::rank_by_density(snapshot, core::PrefixMode::kMore));
+  }
+}
+BENCHMARK(BM_RankByDensity);
+
+void BM_SelectByDensity(benchmark::State& state) {
+  const auto ranking =
+      core::rank_by_density(shared_snapshot(), core::PrefixMode::kMore);
+  core::SelectionParams params;
+  params.phi = 0.95;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_by_density(ranking, params));
+  }
+}
+BENCHMARK(BM_SelectByDensity);
+
+void BM_SnapshotContains(benchmark::State& state) {
+  const auto& snapshot = shared_snapshot();
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const net::Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    benchmark::DoNotOptimize(snapshot.contains(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotContains);
+
+}  // namespace

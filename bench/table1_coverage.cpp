@@ -1,0 +1,56 @@
+// Reproduces Table 1: "IPv4 address space coverage of the protocols using
+// less and more specific prefixes" — the fraction of the announced address
+// space TASS scans per cycle for host coverage targets
+// phi in {1, 0.99, 0.95, 0.7, 0.5}, for FTP / HTTP / HTTPS / CWMP.
+//
+// Paper reference values (m-prefixes): FTP 0.574/0.371/0.206/0.023/0.006.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ranking.hpp"
+#include "core/selection.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace tass;
+
+constexpr double kPhis[] = {1.0, 0.99, 0.95, 0.7, 0.5};
+
+}  // namespace
+
+int main() {
+  const auto config = bench::BenchConfig::from_env();
+  const auto topology = bench::make_topology(config);
+  bench::print_world_banner(config, *topology);
+
+  std::printf("# Table 1: address space coverage per scan cycle\n");
+  for (const core::PrefixMode mode :
+       {core::PrefixMode::kLess, core::PrefixMode::kMore}) {
+    report::Table table({"phi", "FTP", "HTTP", "HTTPS", "CWMP"});
+    std::vector<std::vector<double>> columns;
+    for (const census::Protocol protocol : census::paper_protocols()) {
+      const auto series = bench::make_series(topology, protocol, config);
+      const auto ranking = core::rank_by_density(series.month(0), mode);
+      std::vector<double> column;
+      for (const double phi : kPhis) {
+        core::SelectionParams params;
+        params.phi = phi;
+        column.push_back(
+            core::select_by_density(ranking, params).space_coverage());
+      }
+      columns.push_back(std::move(column));
+    }
+    for (std::size_t row = 0; row < std::size(kPhis); ++row) {
+      table.add_row({report::Table::cell(kPhis[row], 2),
+                     report::Table::cell(columns[0][row], 3),
+                     report::Table::cell(columns[1][row], 3),
+                     report::Table::cell(columns[2][row], 3),
+                     report::Table::cell(columns[3][row], 3)});
+    }
+    std::printf("\n[%s specific prefixes]\n%s",
+                core::prefix_mode_name(mode).data(),
+                table.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// mrt_inspect: round-trip a TABLE_DUMP_V2 RIB dump through the MRT codec
+// (the libbgpdump replacement) and print it in libbgpdump's one-line
+// format, then derive the routing table and its l/m classification.
+//
+// Run:  ./mrt_inspect [path.mrt]
+//       With no argument, a small synthetic dump is written to ./demo.mrt
+//       first and then inspected.
+#include <cstdio>
+#include <string>
+
+#include "bgp/mrt.hpp"
+#include "bgp/rib.hpp"
+#include "census/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+
+// Builds a small synthetic RIB dump: two peers, routes from a generated
+// topology, AS paths of random transit hops ending in the origin AS.
+bgp::MrtRibDump make_demo_dump() {
+  bgp::MrtRibDump dump;
+  dump.timestamp = 1441584000;  // 2015-09-07, the paper's CAIDA snapshot
+  dump.collector_id = net::Ipv4Address::parse_or_throw("198.32.160.10");
+  dump.view_name = "rib.20150907";
+  dump.peers.push_back({net::Ipv4Address::parse_or_throw("203.0.113.1"),
+                        net::Ipv4Address::parse_or_throw("203.0.113.1"),
+                        6447});
+  dump.peers.push_back({net::Ipv4Address::parse_or_throw("198.51.100.2"),
+                        net::Ipv4Address::parse_or_throw("198.51.100.2"),
+                        3356});
+
+  census::TopologyParams params;
+  params.seed = 7;
+  params.l_prefix_count = 40;
+  const auto topology = census::generate_topology(params);
+
+  util::Rng rng(11);
+  std::uint32_t sequence = 0;
+  for (const bgp::RouteEntry& route : topology->table.routes()) {
+    bgp::MrtRibRecord record;
+    record.sequence = sequence++;
+    record.prefix = route.prefix;
+    for (std::uint16_t peer = 0; peer < 2; ++peer) {
+      bgp::MrtRibEntry entry;
+      entry.peer_index = peer;
+      entry.originated_time = dump.timestamp - 86400;
+      entry.origin = bgp::BgpOrigin::kIgp;
+      bgp::AsPathSegment path;
+      path.kind = bgp::AsPathSegment::Kind::kAsSequence;
+      path.asns.push_back(dump.peers[peer].asn);
+      path.asns.push_back(rng.uniform_u32(100, 64000));
+      path.asns.push_back(route.origins.front());
+      entry.as_path.push_back(std::move(path));
+      entry.next_hop = dump.peers[peer].address;
+      record.entries.push_back(std::move(entry));
+    }
+    dump.records.push_back(std::move(record));
+  }
+  return dump;
+}
+
+std::string format_as_path(const bgp::MrtRibEntry& entry) {
+  std::string out;
+  for (const bgp::AsPathSegment& segment : entry.as_path) {
+    const bool is_set = segment.kind == bgp::AsPathSegment::Kind::kAsSet;
+    if (is_set) out += "{";
+    for (std::size_t i = 0; i < segment.asns.size(); ++i) {
+      if (i != 0) out += is_set ? "," : " ";
+      out += std::to_string(segment.asns[i]);
+    }
+    if (is_set) out += "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "demo.mrt";
+  if (argc <= 1) {
+    bgp::save_mrt(path, make_demo_dump());
+    std::printf("wrote synthetic RIB dump to %s\n", path.c_str());
+  }
+
+  const bgp::MrtRibDump dump = bgp::load_mrt(path);
+  std::printf("collector=%s view=%s peers=%zu routes=%zu skipped=%zu\n\n",
+              dump.collector_id.to_string().c_str(),
+              dump.view_name.c_str(), dump.peers.size(),
+              dump.records.size(), dump.skipped_records);
+
+  // libbgpdump -m style: TABLE_DUMP2|time|B|peer|peer_as|prefix|path|origin
+  std::size_t shown = 0;
+  for (const bgp::MrtRibRecord& record : dump.records) {
+    for (const bgp::MrtRibEntry& entry : record.entries) {
+      if (shown++ >= 10) break;
+      const bgp::MrtPeer& peer = dump.peers[entry.peer_index];
+      std::printf("TABLE_DUMP2|%u|B|%s|%u|%s|%s|IGP\n", dump.timestamp,
+                  peer.address.to_string().c_str(), peer.asn,
+                  record.prefix.to_string().c_str(),
+                  format_as_path(entry).c_str());
+    }
+    if (shown >= 10) break;
+  }
+
+  const auto table = bgp::RoutingTable::from_mrt(dump);
+  const auto stats = table.stats();
+  std::printf(
+      "\nrouting table: %zu prefixes (%zu more-specific, %.1f%%), "
+      "advertised %.3fB addresses, m-space %.1f%%\n",
+      stats.prefix_count, stats.m_prefix_count,
+      100.0 * stats.m_prefix_fraction,
+      static_cast<double>(stats.advertised_addresses) / 1e9,
+      100.0 * stats.m_prefix_space_fraction);
+  return 0;
+}

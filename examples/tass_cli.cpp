@@ -1,0 +1,198 @@
+// tass_cli: the library as an operator tool.
+//
+//   tass_cli rank       <pfx2as> <addresses> [less|more] [top_n]
+//   tass_cli plan       <pfx2as> <addresses> <phi> [less|more]
+//   tass_cli aggregate  <prefix-file>
+//   tass_cli inspect    <file.mrt>
+//
+// `rank` attributes a scan export onto the routing table and prints the
+// densest prefixes; `plan` emits the TASS selection (aggregated, one
+// prefix per line on stdout, summary on stderr) ready to feed a scanner
+// whitelist; `aggregate` minimises a CIDR list; `inspect` summarises an
+// MRT RIB dump.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/tass.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace tass;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tass_cli rank      <pfx2as> <addresses> [less|more] [n]\n"
+               "  tass_cli plan      <pfx2as> <addresses> <phi> [less|more]\n"
+               "  tass_cli aggregate <prefix-file>\n"
+               "  tass_cli inspect   <file.mrt>\n");
+  return 2;
+}
+
+core::PrefixMode parse_mode(const std::string& text) {
+  if (text == "less") return core::PrefixMode::kLess;
+  if (text == "more") return core::PrefixMode::kMore;
+  throw ParseError("prefix mode must be 'less' or 'more', got '" + text +
+                   "'");
+}
+
+std::shared_ptr<const census::Topology> load_topology(
+    const std::string& pfx2as_path) {
+  const auto records = bgp::load_pfx2as(pfx2as_path, /*strict=*/false);
+  auto topology = census::topology_from_table(
+      bgp::RoutingTable::from_pfx2as(records), /*seed=*/1);
+  std::fprintf(stderr, "loaded %zu routes; advertised %.3fB addresses\n",
+               topology->table.size(),
+               static_cast<double>(topology->advertised_addresses) / 1e9);
+  return topology;
+}
+
+core::DensityRanking build_ranking(const census::Topology& topology,
+                                   const std::string& address_path,
+                                   core::PrefixMode mode) {
+  const auto addresses =
+      census::load_address_list(address_path, /*strict=*/false);
+  const auto& partition = mode == core::PrefixMode::kMore
+                              ? topology.m_partition
+                              : topology.l_partition;
+  const auto attribution = core::attribute(addresses, partition);
+  std::fprintf(stderr,
+               "attributed %llu responsive addresses (%llu outside the "
+               "announced space)\n",
+               static_cast<unsigned long long>(attribution.attributed),
+               static_cast<unsigned long long>(attribution.unattributed));
+  return core::rank_by_density(attribution.counts, partition, mode);
+}
+
+int cmd_rank(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const core::PrefixMode mode =
+      argc > 4 ? parse_mode(argv[4]) : core::PrefixMode::kMore;
+  const std::size_t top_n =
+      argc > 5 ? static_cast<std::size_t>(std::stoul(argv[5])) : 20;
+
+  const auto topology = load_topology(argv[2]);
+  const auto ranking = build_ranking(*topology, argv[3], mode);
+
+  report::Table table({"rank", "prefix", "hosts", "density",
+                       "cum. host coverage", "cum. space coverage"});
+  std::uint64_t hosts = 0;
+  std::uint64_t space = 0;
+  for (std::size_t i = 0; i < ranking.ranked.size() && i < top_n; ++i) {
+    const auto& entry = ranking.ranked[i];
+    hosts += entry.hosts;
+    space += entry.size;
+    table.add_row(
+        {report::Table::cell(static_cast<std::uint64_t>(i + 1)),
+         entry.prefix.to_string(), report::Table::cell(entry.hosts),
+         report::Table::cell(entry.density, 6),
+         report::Table::cell(static_cast<double>(hosts) /
+                                 static_cast<double>(ranking.total_hosts),
+                             4),
+         report::Table::cell(
+             static_cast<double>(space) /
+                 static_cast<double>(ranking.advertised_addresses),
+             4)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const double phi = std::stod(argv[4]);
+  const core::PrefixMode mode =
+      argc > 5 ? parse_mode(argv[5]) : core::PrefixMode::kMore;
+
+  const auto topology = load_topology(argv[2]);
+  const auto ranking = build_ranking(*topology, argv[3], mode);
+  core::SelectionParams params;
+  params.phi = phi;
+  const auto selection = core::select_by_density(ranking, params);
+
+  // Whitelist on stdout (aggregated for compactness), summary on stderr.
+  const auto compact = bgp::aggregate(selection.prefixes);
+  for (const net::Prefix prefix : compact) {
+    std::printf("%s\n", prefix.to_string().c_str());
+  }
+  std::fprintf(stderr,
+               "selection: k=%zu prefixes (%zu aggregated), %.2f%% host "
+               "coverage at seed, %.2f%% of announced space, %llu "
+               "addresses per cycle\n",
+               selection.k(), compact.size(),
+               100.0 * selection.host_coverage(),
+               100.0 * selection.space_coverage(),
+               static_cast<unsigned long long>(
+                   selection.selected_addresses));
+  return 0;
+}
+
+int cmd_aggregate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::ifstream in(argv[2]);
+  if (!in) throw Error(std::string("cannot open ") + argv[2]);
+  std::vector<net::Prefix> prefixes;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    prefixes.push_back(net::Prefix::parse_or_throw(trimmed));
+  }
+  const auto compact = bgp::aggregate(prefixes);
+  for (const net::Prefix prefix : compact) {
+    std::printf("%s\n", prefix.to_string().c_str());
+  }
+  std::fprintf(stderr, "%zu prefixes -> %zu (covering %llu addresses)\n",
+               prefixes.size(), compact.size(),
+               static_cast<unsigned long long>(bgp::union_size(compact)));
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dump = bgp::load_mrt(argv[2]);
+  const auto table = bgp::RoutingTable::from_mrt(dump);
+  const auto stats = table.stats();
+  report::Table out({"field", "value"});
+  out.add_row({"collector", dump.collector_id.to_string()});
+  out.add_row({"view", dump.view_name});
+  out.add_row({"peers", report::Table::cell(
+                            static_cast<std::uint64_t>(dump.peers.size()))});
+  out.add_row({"rib records",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(dump.records.size()))});
+  out.add_row({"skipped records",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(dump.skipped_records))});
+  out.add_row({"unique prefixes",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(stats.prefix_count))});
+  out.add_row({"m-prefix fraction",
+               report::Table::cell(stats.m_prefix_fraction, 3)});
+  out.add_row({"advertised addresses",
+               report::Table::cell(stats.advertised_addresses)});
+  std::printf("%s", out.to_text().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    if (command == "rank") return cmd_rank(argc, argv);
+    if (command == "plan") return cmd_plan(argc, argv);
+    if (command == "aggregate") return cmd_aggregate(argc, argv);
+    if (command == "inspect") return cmd_inspect(argc, argv);
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,17 @@
+#include "bgp/aggregate.hpp"
+
+#include "net/interval.hpp"
+
+namespace tass::bgp {
+
+std::vector<net::Prefix> aggregate(std::span<const net::Prefix> prefixes) {
+  // Interval algebra does all the work: union the ranges, then emit the
+  // minimal CIDR cover. Sibling merges fall out of range coalescing.
+  return net::IntervalSet::of_prefixes(prefixes).to_prefixes();
+}
+
+std::uint64_t union_size(std::span<const net::Prefix> prefixes) {
+  return net::IntervalSet::of_prefixes(prefixes).address_count();
+}
+
+}  // namespace tass::bgp

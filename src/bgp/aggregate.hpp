@@ -1,0 +1,26 @@
+// Prefix aggregation: the inverse of deaggregation.
+//
+// TASS selections are lists of partition cells; before feeding them to a
+// scanner (target files, router ACLs) it pays to merge sibling and nested
+// prefixes back into the minimal equivalent CIDR list. This is also the
+// tool for compacting blocklists and for the paper's §5 observation that
+// selections can be post-processed without changing their address set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tass::bgp {
+
+/// Returns the minimal sorted list of prefixes covering exactly the same
+/// addresses as the input (duplicates, nesting and adjacent siblings are
+/// merged). O(n log n).
+std::vector<net::Prefix> aggregate(std::span<const net::Prefix> prefixes);
+
+/// Total addresses covered by a prefix list *after* de-duplication (i.e.
+/// the size of the union of the prefixes).
+std::uint64_t union_size(std::span<const net::Prefix> prefixes);
+
+}  // namespace tass::bgp

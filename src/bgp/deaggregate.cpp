@@ -1,0 +1,71 @@
+#include "bgp/deaggregate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+// Recursive tiler. `inside` holds announced prefixes strictly contained in
+// `node`, sorted ascending by (network, length). A node with nothing
+// strictly inside is a finished cell; otherwise split and recurse. Splitting
+// a prefix equal to one half removes it from that half's "strictly inside"
+// set by construction (it becomes the half itself).
+void tile(net::Prefix node, std::span<const net::Prefix> inside,
+          std::vector<net::Prefix>& out) {
+  if (inside.empty()) {
+    out.push_back(node);
+    return;
+  }
+  TASS_EXPECTS(node.length() < 32);
+  const net::Prefix lower = node.lower_half();
+  const net::Prefix upper = node.upper_half();
+
+  // `inside` is sorted by network address, so the two halves correspond to
+  // a contiguous split around the first prefix belonging to the upper half.
+  const auto boundary = std::partition_point(
+      inside.begin(), inside.end(),
+      [&](net::Prefix p) { return p.network() < upper.network(); });
+
+  auto lower_span = inside.subspan(
+      0, static_cast<std::size_t>(boundary - inside.begin()));
+  auto upper_span =
+      inside.subspan(static_cast<std::size_t>(boundary - inside.begin()));
+
+  // A more-specific equal to the half itself is no longer *strictly*
+  // inside that half; it sorts first within its span (shortest length at
+  // the lowest network address).
+  while (!lower_span.empty() && lower_span.front() == lower) {
+    lower_span = lower_span.subspan(1);
+  }
+  while (!upper_span.empty() && upper_span.front() == upper) {
+    upper_span = upper_span.subspan(1);
+  }
+
+  tile(lower, lower_span, out);
+  tile(upper, upper_span, out);
+}
+
+}  // namespace
+
+std::vector<net::Prefix> deaggregate(
+    net::Prefix covering, std::span<const net::Prefix> more_specifics) {
+  std::vector<net::Prefix> inside(more_specifics.begin(),
+                                  more_specifics.end());
+  for (const net::Prefix p : inside) {
+    if (!(covering.contains(p) && p != covering)) {
+      throw Error("deaggregate: " + p.to_string() +
+                  " is not strictly contained in " + covering.to_string());
+    }
+  }
+  std::sort(inside.begin(), inside.end());
+  inside.erase(std::unique(inside.begin(), inside.end()), inside.end());
+
+  std::vector<net::Prefix> out;
+  tile(covering, inside, out);
+  return out;
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,31 @@
+// Deaggregation of loosely aggregated BGP announcements (paper §3.2,
+// Figure 2).
+//
+// BGP tables announce more-specific prefixes (m-prefixes, e.g.
+// 100.0.0.0/12) in parallel with covering less-specific prefixes
+// (l-prefixes, e.g. 100.0.0.0/8). To "take all routing information into
+// account while maintaining a proper partition of the address space", each
+// l-prefix is decomposed into the minimal set of prefixes that contains
+// every announced more-specific exactly — for the /8-with-/12 example this
+// yields {/9, /10, /11, /12-sibling, /12} (Figure 2b).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tass::bgp {
+
+/// Decomposes `covering` into the minimal set of disjoint prefixes such
+/// that every prefix in `more_specifics` appears as a whole cell (i.e. no
+/// output cell properly contains an input more-specific, and the output
+/// exactly tiles `covering`). Output ascends by network address.
+///
+/// `more_specifics` entries must be strictly contained in `covering`;
+/// duplicates and nested more-specifics are allowed (nesting recursively
+/// refines the partition down to the finest announced granularity).
+std::vector<net::Prefix> deaggregate(
+    net::Prefix covering, std::span<const net::Prefix> more_specifics);
+
+}  // namespace tass::bgp

@@ -1,0 +1,324 @@
+#include "bgp/mrt.hpp"
+
+#include <fstream>
+
+#include "util/endian.hpp"
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+// Peer type flags (RFC 6396 §4.3.1): bit 0 = IPv6 peer address,
+// bit 1 = 4-byte peer AS. We always emit IPv4 peers with 4-byte AS.
+constexpr std::uint8_t kPeerTypeAs4 = 0x02;
+
+// BGP attribute flags.
+constexpr std::uint8_t kAttrOptional = 0x80;
+constexpr std::uint8_t kAttrTransitive = 0x40;
+constexpr std::uint8_t kAttrExtendedLength = 0x10;
+
+void encode_common_header(ByteWriter& out, std::uint32_t timestamp,
+                          TableDumpV2Subtype subtype,
+                          std::span<const std::byte> body) {
+  out.u32(timestamp);
+  out.u16(static_cast<std::uint16_t>(MrtType::kTableDumpV2));
+  out.u16(static_cast<std::uint16_t>(subtype));
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body);
+}
+
+std::vector<std::byte> encode_peer_index_table(const MrtRibDump& dump) {
+  ByteWriter body;
+  body.u32(dump.collector_id.value());
+  if (dump.view_name.size() > 0xffff) {
+    throw FormatError("MRT view name too long");
+  }
+  body.u16(static_cast<std::uint16_t>(dump.view_name.size()));
+  body.bytes(std::as_bytes(std::span(dump.view_name)));
+  if (dump.peers.size() > 0xffff) {
+    throw FormatError("too many MRT peers");
+  }
+  body.u16(static_cast<std::uint16_t>(dump.peers.size()));
+  for (const MrtPeer& peer : dump.peers) {
+    body.u8(kPeerTypeAs4);
+    body.u32(peer.bgp_id.value());
+    body.u32(peer.address.value());
+    body.u32(peer.asn);
+  }
+  return std::move(body).take();
+}
+
+void encode_attribute(ByteWriter& out, std::uint8_t flags,
+                      PathAttributeType type,
+                      std::span<const std::byte> value) {
+  const bool extended = value.size() > 0xff;
+  out.u8(static_cast<std::uint8_t>(
+      flags | (extended ? kAttrExtendedLength : 0)));
+  out.u8(static_cast<std::uint8_t>(type));
+  if (extended) {
+    out.u16(static_cast<std::uint16_t>(value.size()));
+  } else {
+    out.u8(static_cast<std::uint8_t>(value.size()));
+  }
+  out.bytes(value);
+}
+
+std::vector<std::byte> encode_attributes(const MrtRibEntry& entry) {
+  ByteWriter attrs;
+
+  {
+    ByteWriter value;
+    value.u8(static_cast<std::uint8_t>(entry.origin));
+    encode_attribute(attrs, kAttrTransitive, PathAttributeType::kOrigin,
+                     value.view());
+  }
+  {
+    ByteWriter value;
+    for (const AsPathSegment& segment : entry.as_path) {
+      if (segment.asns.size() > 0xff) {
+        throw FormatError("AS_PATH segment too long");
+      }
+      value.u8(static_cast<std::uint8_t>(segment.kind));
+      value.u8(static_cast<std::uint8_t>(segment.asns.size()));
+      for (const std::uint32_t asn : segment.asns) value.u32(asn);
+    }
+    encode_attribute(attrs, kAttrTransitive, PathAttributeType::kAsPath,
+                     value.view());
+  }
+  if (entry.next_hop) {
+    ByteWriter value;
+    value.u32(entry.next_hop->value());
+    encode_attribute(attrs, kAttrTransitive, PathAttributeType::kNextHop,
+                     value.view());
+  }
+  return std::move(attrs).take();
+}
+
+std::vector<std::byte> encode_rib_record(const MrtRibRecord& record) {
+  ByteWriter body;
+  body.u32(record.sequence);
+  body.u8(static_cast<std::uint8_t>(record.prefix.length()));
+  const int prefix_bytes = (record.prefix.length() + 7) / 8;
+  const std::uint32_t network = record.prefix.network().value();
+  for (int i = 0; i < prefix_bytes; ++i) {
+    body.u8(static_cast<std::uint8_t>((network >> (24 - 8 * i)) & 0xff));
+  }
+  if (record.entries.size() > 0xffff) {
+    throw FormatError("too many RIB entries in record");
+  }
+  body.u16(static_cast<std::uint16_t>(record.entries.size()));
+  for (const MrtRibEntry& entry : record.entries) {
+    body.u16(entry.peer_index);
+    body.u32(entry.originated_time);
+    const auto attrs = encode_attributes(entry);
+    if (attrs.size() > 0xffff) {
+      throw FormatError("RIB entry attributes too long");
+    }
+    body.u16(static_cast<std::uint16_t>(attrs.size()));
+    body.bytes(attrs);
+  }
+  return std::move(body).take();
+}
+
+MrtPeer decode_peer(ByteReader& in) {
+  MrtPeer peer;
+  const std::uint8_t type = in.u8();
+  if ((type & 0x01) != 0) {
+    throw FormatError("IPv6 MRT peers are not supported");
+  }
+  peer.bgp_id = net::Ipv4Address(in.u32());
+  peer.address = net::Ipv4Address(in.u32());
+  peer.asn = (type & kPeerTypeAs4) != 0 ? in.u32() : in.u16();
+  return peer;
+}
+
+void decode_peer_index_table(ByteReader in, MrtRibDump& dump) {
+  dump.collector_id = net::Ipv4Address(in.u32());
+  const std::uint16_t name_len = in.u16();
+  const auto name_bytes = in.bytes(name_len);
+  dump.view_name.assign(reinterpret_cast<const char*>(name_bytes.data()),
+                        name_bytes.size());
+  const std::uint16_t peer_count = in.u16();
+  dump.peers.reserve(peer_count);
+  for (std::uint16_t i = 0; i < peer_count; ++i) {
+    dump.peers.push_back(decode_peer(in));
+  }
+}
+
+std::vector<AsPathSegment> decode_as_path(ByteReader in) {
+  std::vector<AsPathSegment> segments;
+  while (!in.done()) {
+    AsPathSegment segment;
+    const std::uint8_t kind = in.u8();
+    if (kind != 1 && kind != 2) {
+      throw FormatError("unknown AS_PATH segment type " +
+                        std::to_string(kind));
+    }
+    segment.kind = static_cast<AsPathSegment::Kind>(kind);
+    const std::uint8_t count = in.u8();
+    segment.asns.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) segment.asns.push_back(in.u32());
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+void decode_attributes(ByteReader in, MrtRibEntry& entry) {
+  while (!in.done()) {
+    const std::uint8_t flags = in.u8();
+    const std::uint8_t type = in.u8();
+    const std::size_t length =
+        (flags & kAttrExtendedLength) != 0 ? in.u16() : in.u8();
+    ByteReader value = in.sub(length);
+    switch (static_cast<PathAttributeType>(type)) {
+      case PathAttributeType::kOrigin: {
+        const std::uint8_t origin = value.u8();
+        if (origin > 2) {
+          throw FormatError("invalid ORIGIN value " + std::to_string(origin));
+        }
+        entry.origin = static_cast<BgpOrigin>(origin);
+        break;
+      }
+      case PathAttributeType::kAsPath:
+        entry.as_path = decode_as_path(value);
+        break;
+      case PathAttributeType::kNextHop:
+        entry.next_hop = net::Ipv4Address(value.u32());
+        break;
+      default:
+        break;  // tolerated: unknown optional/transitive attributes
+    }
+  }
+}
+
+MrtRibRecord decode_rib_record(ByteReader in) {
+  MrtRibRecord record;
+  record.sequence = in.u32();
+  const std::uint8_t prefix_len = in.u8();
+  if (prefix_len > 32) {
+    throw FormatError("invalid IPv4 prefix length " +
+                      std::to_string(prefix_len));
+  }
+  const int prefix_bytes = (prefix_len + 7) / 8;
+  std::uint32_t network = 0;
+  const auto raw = in.bytes(static_cast<std::size_t>(prefix_bytes));
+  for (int i = 0; i < prefix_bytes; ++i) {
+    network |= std::to_integer<std::uint32_t>(raw[static_cast<std::size_t>(i)])
+               << (24 - 8 * i);
+  }
+  record.prefix = net::Prefix(net::Ipv4Address(network), prefix_len);
+  const std::uint16_t entry_count = in.u16();
+  record.entries.reserve(entry_count);
+  for (std::uint16_t i = 0; i < entry_count; ++i) {
+    MrtRibEntry entry;
+    entry.peer_index = in.u16();
+    entry.originated_time = in.u32();
+    const std::uint16_t attr_len = in.u16();
+    decode_attributes(in.sub(attr_len), entry);
+    record.entries.push_back(std::move(entry));
+  }
+  return record;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> MrtRibEntry::origin_as() const noexcept {
+  if (as_path.empty()) return std::nullopt;
+  const AsPathSegment& tail = as_path.back();
+  if (tail.kind != AsPathSegment::Kind::kAsSequence || tail.asns.empty()) {
+    return std::nullopt;
+  }
+  return tail.asns.back();
+}
+
+std::vector<std::uint32_t> MrtRibEntry::origin_set() const {
+  if (const auto single = origin_as()) return {*single};
+  if (!as_path.empty() && !as_path.back().asns.empty()) {
+    return as_path.back().asns;
+  }
+  return {};
+}
+
+std::vector<std::byte> encode_mrt(const MrtRibDump& dump) {
+  ByteWriter out;
+  encode_common_header(out, dump.timestamp,
+                       TableDumpV2Subtype::kPeerIndexTable,
+                       encode_peer_index_table(dump));
+  for (const MrtRibRecord& record : dump.records) {
+    for (const MrtRibEntry& entry : record.entries) {
+      if (entry.peer_index >= dump.peers.size()) {
+        throw FormatError("RIB entry references unknown peer index " +
+                          std::to_string(entry.peer_index));
+      }
+    }
+    encode_common_header(out, dump.timestamp,
+                         TableDumpV2Subtype::kRibIpv4Unicast,
+                         encode_rib_record(record));
+  }
+  return std::move(out).take();
+}
+
+MrtRibDump decode_mrt(std::span<const std::byte> data) {
+  MrtRibDump dump;
+  ByteReader in(data);
+  bool saw_peer_table = false;
+  while (!in.done()) {
+    const std::uint32_t timestamp = in.u32();
+    const std::uint16_t type = in.u16();
+    const std::uint16_t subtype = in.u16();
+    const std::uint32_t length = in.u32();
+    ByteReader body = in.sub(length);
+    if (type != static_cast<std::uint16_t>(MrtType::kTableDumpV2)) {
+      ++dump.skipped_records;
+      continue;
+    }
+    switch (static_cast<TableDumpV2Subtype>(subtype)) {
+      case TableDumpV2Subtype::kPeerIndexTable:
+        dump.timestamp = timestamp;
+        decode_peer_index_table(body, dump);
+        saw_peer_table = true;
+        break;
+      case TableDumpV2Subtype::kRibIpv4Unicast: {
+        if (!saw_peer_table) {
+          throw FormatError("RIB record before PEER_INDEX_TABLE");
+        }
+        MrtRibRecord record = decode_rib_record(body);
+        for (const MrtRibEntry& entry : record.entries) {
+          if (entry.peer_index >= dump.peers.size()) {
+            throw FormatError("RIB entry references unknown peer index " +
+                              std::to_string(entry.peer_index));
+          }
+        }
+        dump.records.push_back(std::move(record));
+        break;
+      }
+      default:
+        ++dump.skipped_records;
+        break;
+    }
+  }
+  return dump;
+}
+
+void save_mrt(const std::string& path, const MrtRibDump& dump) {
+  const auto bytes = encode_mrt(dump);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open MRT file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("short write to MRT file: " + path);
+}
+
+MrtRibDump load_mrt(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open MRT file: " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return decode_mrt(std::as_bytes(std::span(raw)));
+}
+
+}  // namespace tass::bgp

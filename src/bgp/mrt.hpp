@@ -1,0 +1,122 @@
+// MRT (RFC 6396) TABLE_DUMP_V2 reader and writer.
+//
+// This module is the drop-in substitute for libbgpdump: it decodes (and,
+// for synthesis, encodes) the RIB dump format published by Routeviews /
+// RIPE RIS collectors — the upstream source of the CAIDA pfx2as mappings
+// the paper relies on. Only the IPv4 unicast subset needed for prefix
+// derivation is implemented:
+//
+//   * PEER_INDEX_TABLE (subtype 1)
+//   * RIB_IPV4_UNICAST (subtype 2) with BGP path attributes ORIGIN,
+//     AS_PATH (4-byte ASNs, AS_SET / AS_SEQUENCE segments) and NEXT_HOP.
+//
+// Unknown record subtypes and unknown path attributes are skipped, as a
+// robust dump reader must.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::bgp {
+
+/// MRT top-level record types (RFC 6396 §4).
+enum class MrtType : std::uint16_t {
+  kTableDumpV2 = 13,
+};
+
+/// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+enum class TableDumpV2Subtype : std::uint16_t {
+  kPeerIndexTable = 1,
+  kRibIpv4Unicast = 2,
+};
+
+/// BGP path attribute type codes (RFC 4271 §5).
+enum class PathAttributeType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMultiExitDisc = 4,
+};
+
+/// BGP ORIGIN attribute values.
+enum class BgpOrigin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// One AS_PATH segment.
+struct AsPathSegment {
+  enum class Kind : std::uint8_t { kAsSet = 1, kAsSequence = 2 };
+  Kind kind = Kind::kAsSequence;
+  std::vector<std::uint32_t> asns;
+
+  friend bool operator==(const AsPathSegment&,
+                         const AsPathSegment&) = default;
+};
+
+/// Peer entry from the PEER_INDEX_TABLE.
+struct MrtPeer {
+  net::Ipv4Address bgp_id;
+  net::Ipv4Address address;
+  std::uint32_t asn = 0;
+
+  friend bool operator==(const MrtPeer&, const MrtPeer&) = default;
+};
+
+/// One RIB entry (a path to the route's prefix seen from one peer).
+struct MrtRibEntry {
+  std::uint16_t peer_index = 0;
+  std::uint32_t originated_time = 0;
+  BgpOrigin origin = BgpOrigin::kIgp;
+  std::vector<AsPathSegment> as_path;
+  std::optional<net::Ipv4Address> next_hop;
+
+  /// Origin AS: the last ASN of the final AS_SEQUENCE segment, or nullopt
+  /// for empty paths / paths ending in an AS_SET (CAIDA then reports the
+  /// set members — callers use origin_set()).
+  std::optional<std::uint32_t> origin_as() const noexcept;
+
+  /// All candidate origin ASNs: {origin_as()} for sequence-terminated
+  /// paths, the final set's members otherwise.
+  std::vector<std::uint32_t> origin_set() const;
+
+  friend bool operator==(const MrtRibEntry&, const MrtRibEntry&) = default;
+};
+
+/// One RIB_IPV4_UNICAST record: a prefix and the paths towards it.
+struct MrtRibRecord {
+  std::uint32_t sequence = 0;
+  net::Prefix prefix;
+  std::vector<MrtRibEntry> entries;
+
+  friend bool operator==(const MrtRibRecord&, const MrtRibRecord&) = default;
+};
+
+/// A fully decoded TABLE_DUMP_V2 RIB dump.
+struct MrtRibDump {
+  std::uint32_t timestamp = 0;
+  net::Ipv4Address collector_id;
+  std::string view_name;
+  std::vector<MrtPeer> peers;
+  std::vector<MrtRibRecord> records;
+  std::size_t skipped_records = 0;  // unknown types/subtypes encountered
+};
+
+/// Encodes a RIB dump into MRT wire format (PEER_INDEX_TABLE first, then
+/// one RIB_IPV4_UNICAST record per route, in the given order).
+std::vector<std::byte> encode_mrt(const MrtRibDump& dump);
+
+/// Decodes an MRT byte stream. Throws tass::FormatError on structural
+/// corruption (truncated headers, attribute overruns); unknown record
+/// subtypes are counted in skipped_records, not errors.
+MrtRibDump decode_mrt(std::span<const std::byte> data);
+
+/// File convenience wrappers. Throw tass::Error on I/O failure.
+void save_mrt(const std::string& path, const MrtRibDump& dump);
+MrtRibDump load_mrt(const std::string& path);
+
+}  // namespace tass::bgp

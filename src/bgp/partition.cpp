@@ -1,0 +1,44 @@
+#include "bgp/partition.hpp"
+
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  if (prefixes_.size() > 0xffffffffULL) {
+    throw Error("partition too large");
+  }
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    const net::Prefix prefix = prefixes_[i];
+    // Overlap <=> an ancestor (or exact duplicate) already stored, or a
+    // descendant already stored under this prefix.
+    if (index_.has_strict_ancestor(prefix) || index_.find(prefix) != nullptr ||
+        !index_.entries_within(prefix).empty()) {
+      throw Error("partition prefixes overlap at " + prefix.to_string());
+    }
+    index_.insert(prefix, static_cast<std::uint32_t>(i));
+    address_count_ += prefix.size();
+  }
+}
+
+std::optional<std::uint32_t> PrefixPartition::locate(
+    net::Ipv4Address addr) const {
+  // Cells are disjoint, so the shortest match is the only match.
+  const auto match = index_.shortest_match(addr);
+  if (!match) return std::nullopt;
+  return match->second;
+}
+
+std::optional<std::uint32_t> PrefixPartition::index_of(
+    net::Prefix prefix) const {
+  const auto* cell = index_.find(prefix);
+  if (cell == nullptr) return std::nullopt;
+  return *cell;
+}
+
+net::IntervalSet PrefixPartition::to_interval_set() const {
+  return net::IntervalSet::of_prefixes(prefixes_);
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,57 @@
+// PrefixPartition: a set of pairwise-disjoint prefixes with O(32) address
+// attribution.
+//
+// Both prefix granularities the paper studies — the l-prefix view and the
+// deaggregated m-prefix view (Figure 2) — are partitions of the advertised
+// space. The census model places hosts into partition cells and the TASS
+// core attributes scan responses to cells, so this type is the common
+// currency between bgp, census, and core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/interval.hpp"
+#include "net/prefix.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace tass::bgp {
+
+class PrefixPartition {
+ public:
+  PrefixPartition() = default;
+
+  /// Builds from disjoint prefixes. Throws tass::Error if any two overlap;
+  /// the input order is preserved and becomes the cell index order.
+  explicit PrefixPartition(std::vector<net::Prefix> prefixes);
+
+  std::size_t size() const noexcept { return prefixes_.size(); }
+  bool empty() const noexcept { return prefixes_.empty(); }
+
+  net::Prefix prefix(std::size_t index) const noexcept {
+    TASS_EXPECTS(index < prefixes_.size());
+    return prefixes_[index];
+  }
+  std::span<const net::Prefix> prefixes() const noexcept { return prefixes_; }
+
+  /// Index of the cell containing the address, if any.
+  std::optional<std::uint32_t> locate(net::Ipv4Address addr) const;
+
+  /// Index of the cell equal to `prefix`, if present.
+  std::optional<std::uint32_t> index_of(net::Prefix prefix) const;
+
+  /// Total number of addresses covered by the partition.
+  std::uint64_t address_count() const noexcept { return address_count_; }
+
+  /// The covered space as an interval set.
+  net::IntervalSet to_interval_set() const;
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+  trie::PrefixTrie<std::uint32_t> index_;
+  std::uint64_t address_count_ = 0;
+};
+
+}  // namespace tass::bgp

@@ -1,0 +1,114 @@
+#include "bgp/pfx2as.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+// Origin field grammar: comma-separated origin alternatives, each either a
+// plain ASN or an underscore-joined AS-set. We flatten to the union of ASNs,
+// preserving first-seen order.
+std::vector<std::uint32_t> parse_origins(std::string_view field) {
+  std::vector<std::uint32_t> origins;
+  for (const std::string_view alternative : util::split(field, ',')) {
+    for (const std::string_view token : util::split(alternative, '_')) {
+      const auto asn = util::parse_u32(util::trim(token));
+      if (!asn) {
+        throw ParseError("invalid ASN in pfx2as origin field: '" +
+                         std::string(field) + "'");
+      }
+      if (std::find(origins.begin(), origins.end(), *asn) == origins.end()) {
+        origins.push_back(*asn);
+      }
+    }
+  }
+  if (origins.empty()) {
+    throw ParseError("empty pfx2as origin field");
+  }
+  return origins;
+}
+
+}  // namespace
+
+Pfx2AsRecord parse_pfx2as_line(std::string_view line) {
+  const auto fields = util::split_whitespace(line);
+  if (fields.size() != 3) {
+    throw ParseError("pfx2as line must have 3 fields, got " +
+                     std::to_string(fields.size()) + ": '" +
+                     std::string(line) + "'");
+  }
+  const auto network = net::Ipv4Address::parse(fields[0]);
+  if (!network) {
+    throw ParseError("invalid network in pfx2as line: '" +
+                     std::string(fields[0]) + "'");
+  }
+  const auto length = util::parse_u32(fields[1]);
+  if (!length || *length > 32) {
+    throw ParseError("invalid prefix length in pfx2as line: '" +
+                     std::string(fields[1]) + "'");
+  }
+  return Pfx2AsRecord{net::Prefix(*network, static_cast<int>(*length)),
+                      parse_origins(fields[2])};
+}
+
+std::vector<Pfx2AsRecord> parse_pfx2as(std::string_view text, bool strict,
+                                       std::size_t* skipped) {
+  std::vector<Pfx2AsRecord> records;
+  std::size_t skip_count = 0;
+  for (const std::string_view raw : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (strict) {
+      records.push_back(parse_pfx2as_line(line));
+    } else {
+      try {
+        records.push_back(parse_pfx2as_line(line));
+      } catch (const ParseError&) {
+        ++skip_count;
+      }
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return records;
+}
+
+std::vector<Pfx2AsRecord> load_pfx2as(const std::string& path, bool strict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open pfx2as file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_pfx2as(buffer.str(), strict);
+}
+
+std::string format_pfx2as(std::span<const Pfx2AsRecord> records) {
+  std::string out;
+  for (const Pfx2AsRecord& record : records) {
+    out += record.prefix.network().to_string();
+    out += '\t';
+    out += std::to_string(record.prefix.length());
+    out += '\t';
+    for (std::size_t i = 0; i < record.origins.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(record.origins[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void save_pfx2as(const std::string& path,
+                 std::span<const Pfx2AsRecord> records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open pfx2as file for writing: " + path);
+  const std::string text = format_pfx2as(records);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw Error("short write to pfx2as file: " + path);
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,56 @@
+// CAIDA Routeviews Prefix-to-AS (pfx2as) text format.
+//
+// This is the prefix source the paper uses instead of the coarse prefix
+// annotations in the censys.io dataset (§3.2). One record per line:
+//
+//   <network> TAB <prefix length> TAB <origin>
+//
+// where <origin> is a single ASN ("13335"), a multi-origin list separated
+// by commas ("701,1239"), or an AS-set joined by underscores ("4_5_6").
+// Comments (#...) and blank lines are ignored by the reader.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tass::bgp {
+
+/// One pfx2as record: an announced prefix and its origin AS(es).
+struct Pfx2AsRecord {
+  net::Prefix prefix;
+  std::vector<std::uint32_t> origins;  // >= 1 entry
+
+  friend bool operator==(const Pfx2AsRecord&, const Pfx2AsRecord&) = default;
+};
+
+/// Parses one pfx2as line. Throws tass::ParseError on malformed input.
+Pfx2AsRecord parse_pfx2as_line(std::string_view line);
+
+/// Parses a whole pfx2as document (skips blank lines and '#' comments).
+/// `strict` == false skips malformed lines instead of throwing, counting
+/// them in `skipped` when provided — real CAIDA dumps occasionally carry
+/// v6 leakage that callers may want to tolerate.
+std::vector<Pfx2AsRecord> parse_pfx2as(std::string_view text,
+                                       bool strict = true,
+                                       std::size_t* skipped = nullptr);
+
+/// Reads a pfx2as file from disk. Throws tass::Error if unreadable.
+std::vector<Pfx2AsRecord> load_pfx2as(const std::string& path,
+                                      bool strict = true);
+
+/// Serialises records in the exact CAIDA format (tab-separated, comma for
+/// multi-origin, underscore inside AS-sets is not reproduced — records we
+/// emit always carry explicit origin lists).
+std::string format_pfx2as(std::span<const Pfx2AsRecord> records);
+
+/// Writes records to a file. Throws tass::Error on I/O failure.
+void save_pfx2as(const std::string& path,
+                 std::span<const Pfx2AsRecord> records);
+
+}  // namespace tass::bgp

@@ -1,0 +1,143 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "bgp/deaggregate.hpp"
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+void merge_origins(std::vector<std::uint32_t>& into,
+                   std::span<const std::uint32_t> from) {
+  for (const std::uint32_t asn : from) {
+    if (std::find(into.begin(), into.end(), asn) == into.end()) {
+      into.push_back(asn);
+    }
+  }
+}
+
+}  // namespace
+
+RoutingTable RoutingTable::from_pfx2as(std::span<const Pfx2AsRecord> records) {
+  std::map<net::Prefix, std::vector<std::uint32_t>> merged;
+  for (const Pfx2AsRecord& record : records) {
+    merge_origins(merged[record.prefix], record.origins);
+  }
+  RoutingTable table;
+  table.routes_.reserve(merged.size());
+  for (auto& [prefix, origins] : merged) {
+    table.routes_.push_back(RouteEntry{prefix, std::move(origins), false});
+  }
+  table.finalize();
+  return table;
+}
+
+RoutingTable RoutingTable::from_mrt(const MrtRibDump& dump) {
+  std::map<net::Prefix, std::vector<std::uint32_t>> merged;
+  for (const MrtRibRecord& record : dump.records) {
+    auto& origins = merged[record.prefix];
+    for (const MrtRibEntry& entry : record.entries) {
+      merge_origins(origins, entry.origin_set());
+    }
+  }
+  RoutingTable table;
+  table.routes_.reserve(merged.size());
+  for (auto& [prefix, origins] : merged) {
+    table.routes_.push_back(RouteEntry{prefix, std::move(origins), false});
+  }
+  table.finalize();
+  return table;
+}
+
+void RoutingTable::finalize() {
+  std::sort(routes_.begin(), routes_.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              return a.prefix < b.prefix;
+            });
+
+  trie::PrefixSet announced;
+  for (const RouteEntry& route : routes_) announced.insert(route.prefix);
+
+  for (RouteEntry& route : routes_) {
+    route.more_specific = announced.has_strict_ancestor(route.prefix);
+    advertised_.insert(route.prefix);
+    if (route.more_specific) m_space_.insert(route.prefix);
+  }
+}
+
+std::vector<net::Prefix> RoutingTable::l_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const RouteEntry& route : routes_) {
+    if (!route.more_specific) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+std::vector<net::Prefix> RoutingTable::m_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const RouteEntry& route : routes_) {
+    if (route.more_specific) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+PrefixPartition RoutingTable::l_partition() const {
+  return PrefixPartition(l_prefixes());
+}
+
+PrefixPartition RoutingTable::m_partition() const {
+  // Group announced more-specifics under their covering l-prefix, then
+  // deaggregate each l-prefix (Figure 2). Routes are sorted, so the
+  // more-specifics of an l-prefix immediately follow it.
+  std::vector<net::Prefix> cells;
+  std::size_t i = 0;
+  while (i < routes_.size()) {
+    TASS_ENSURES(!routes_[i].more_specific);
+    const net::Prefix covering = routes_[i].prefix;
+    std::vector<net::Prefix> inside;
+    std::size_t j = i + 1;
+    while (j < routes_.size() && covering.contains(routes_[j].prefix)) {
+      inside.push_back(routes_[j].prefix);
+      ++j;
+    }
+    const auto tiles = deaggregate(covering, inside);
+    cells.insert(cells.end(), tiles.begin(), tiles.end());
+    i = j;
+  }
+  return PrefixPartition(std::move(cells));
+}
+
+RibStats RoutingTable::stats() const {
+  RibStats stats;
+  stats.prefix_count = routes_.size();
+  stats.m_prefix_count = static_cast<std::size_t>(
+      std::count_if(routes_.begin(), routes_.end(),
+                    [](const RouteEntry& r) { return r.more_specific; }));
+  stats.advertised_addresses = advertised_.address_count();
+  stats.m_prefix_addresses = m_space_.address_count();
+  if (stats.prefix_count > 0) {
+    stats.m_prefix_fraction =
+        static_cast<double>(stats.m_prefix_count) /
+        static_cast<double>(stats.prefix_count);
+  }
+  if (stats.advertised_addresses > 0) {
+    stats.m_prefix_space_fraction =
+        static_cast<double>(stats.m_prefix_addresses) /
+        static_cast<double>(stats.advertised_addresses);
+  }
+  return stats;
+}
+
+std::vector<Pfx2AsRecord> RoutingTable::to_pfx2as() const {
+  std::vector<Pfx2AsRecord> records;
+  records.reserve(routes_.size());
+  for (const RouteEntry& route : routes_) {
+    records.push_back(Pfx2AsRecord{route.prefix, route.origins});
+  }
+  return records;
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,89 @@
+// RoutingTable: the announced-prefix view of the Internet used by TASS.
+//
+// Built from CAIDA pfx2as records or a decoded MRT RIB dump, it classifies
+// every announced prefix as less specific (l-prefix: not contained in any
+// other announced prefix) or more specific (m-prefix), accounts for the
+// advertised address space, and produces the two scanning partitions the
+// paper evaluates: the l-partition and the deaggregated m-partition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/mrt.hpp"
+#include "bgp/partition.hpp"
+#include "bgp/pfx2as.hpp"
+#include "net/interval.hpp"
+#include "trie/prefix_set.hpp"
+
+namespace tass::bgp {
+
+/// One announced prefix with merged origin information.
+struct RouteEntry {
+  net::Prefix prefix;
+  std::vector<std::uint32_t> origins;
+  bool more_specific = false;  // contained in another announced prefix
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Aggregate statistics, mirroring the §3.2 accounting (e.g. the 2015-09-07
+/// CAIDA dump: 595,644 prefixes, 54% m-prefixes, 34.4% of space in them).
+struct RibStats {
+  std::size_t prefix_count = 0;
+  std::size_t m_prefix_count = 0;
+  std::uint64_t advertised_addresses = 0;    // union over all prefixes
+  std::uint64_t m_prefix_addresses = 0;      // union over m-prefixes only
+  double m_prefix_fraction = 0.0;            // by count
+  double m_prefix_space_fraction = 0.0;      // by advertised addresses
+};
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  /// Builds from pfx2as records. Duplicate prefixes merge their origins.
+  static RoutingTable from_pfx2as(std::span<const Pfx2AsRecord> records);
+
+  /// Builds from a decoded MRT RIB dump; per-prefix origins are the union
+  /// of origin ASes over all RIB entries (multi-origin prefixes keep all).
+  static RoutingTable from_mrt(const MrtRibDump& dump);
+
+  /// Announced routes, ascending by (network, length); classification
+  /// already applied.
+  std::span<const RouteEntry> routes() const noexcept { return routes_; }
+  std::size_t size() const noexcept { return routes_.size(); }
+  bool empty() const noexcept { return routes_.empty(); }
+
+  /// All l-prefixes (ascending). Pairwise disjoint by construction.
+  std::vector<net::Prefix> l_prefixes() const;
+  /// All announced m-prefixes (ascending).
+  std::vector<net::Prefix> m_prefixes() const;
+
+  /// The l-partition: one cell per l-prefix.
+  PrefixPartition l_partition() const;
+
+  /// The m-partition: every l-prefix deaggregated around its announced
+  /// more-specifics (Figure 2); exactly tiles the advertised space.
+  PrefixPartition m_partition() const;
+
+  /// The advertised address space (union of all announced prefixes).
+  const net::IntervalSet& advertised_space() const noexcept {
+    return advertised_;
+  }
+
+  RibStats stats() const;
+
+  /// Export back to pfx2as records (for interchange and tests).
+  std::vector<Pfx2AsRecord> to_pfx2as() const;
+
+ private:
+  void finalize();  // sort, dedupe, classify, account
+
+  std::vector<RouteEntry> routes_;
+  net::IntervalSet advertised_;
+  net::IntervalSet m_space_;
+};
+
+}  // namespace tass::bgp

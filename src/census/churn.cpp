@@ -1,0 +1,171 @@
+#include "census/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::census {
+
+namespace {
+
+using util::Rng;
+
+void sort_unique(std::vector<std::uint32_t>& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
+}  // namespace
+
+Snapshot advance_month(const Snapshot& previous,
+                       const ProtocolProfile& profile, std::uint64_t seed) {
+  const auto topology = previous.topology_ptr();
+  const Topology& topo = *topology;
+  Rng rng(util::mix64(
+      util::mix64(seed, static_cast<std::uint64_t>(profile.protocol)),
+      static_cast<std::uint64_t>(previous.month_index()) + 1));
+
+  const std::size_t cell_count = topo.m_partition.size();
+  const auto prev_counts = previous.counts_per_cell();
+  const auto prev_l_counts = previous.counts_per_l();
+  const std::uint64_t population = previous.total_hosts();
+
+  std::vector<CellPopulation> next(cell_count);
+
+  // --- Survival, volatility reshuffle ------------------------------------
+  std::uint64_t deaths = 0;
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    const CellPopulation& old_cell = previous.cell(cell);
+    const std::uint64_t cell_size = topo.m_partition.prefix(cell).size();
+
+    for (const std::uint32_t offset : old_cell.stable) {
+      if (rng.chance(profile.monthly_death_rate)) {
+        ++deaths;
+      } else {
+        next[cell].stable.push_back(offset);  // static address persists
+      }
+    }
+    for (const std::uint32_t offset : old_cell.volatile_hosts) {
+      (void)offset;  // the old dynamic address is released regardless
+      if (rng.chance(profile.monthly_death_rate)) {
+        ++deaths;
+        continue;
+      }
+      if (rng.chance(profile.volatile_cross_cell)) {
+        // DHCP pool spanning prefixes: re-appear anywhere in the covering
+        // l-prefix; picking a uniform address weights cells by size.
+        const std::uint32_t l_index = topo.cell_to_l[cell];
+        const net::Prefix l_prefix = topo.l_partition.prefix(l_index);
+        const net::Ipv4Address addr =
+            l_prefix.at(rng.bounded(l_prefix.size()));
+        const auto dest = topo.m_partition.locate(addr);
+        TASS_ENSURES(dest.has_value());
+        next[*dest].volatile_hosts.push_back(static_cast<std::uint32_t>(
+            topo.m_partition.prefix(*dest).offset_of(addr)));
+      } else {
+        next[cell].volatile_hosts.push_back(
+            static_cast<std::uint32_t>(rng.bounded(cell_size)));
+      }
+    }
+  }
+
+  // --- Births (stationary population) ------------------------------------
+  const std::uint64_t births = deaths;
+  auto quota = [&](double rate) {
+    return static_cast<std::uint64_t>(
+        std::llround(rate * static_cast<double>(population)));
+  };
+  std::uint64_t births_empty_l =
+      std::min(births, quota(profile.empty_l_birth_rate));
+  std::uint64_t births_empty_m =
+      std::min(births - births_empty_l, quota(profile.empty_m_birth_rate));
+  std::uint64_t births_occupied = births - births_empty_l - births_empty_m;
+
+  // Destination pools, judged against the *previous* month.
+  std::vector<std::uint32_t> empty_m_cells;    // empty cell, occupied l
+  std::vector<double> empty_m_weights;
+  std::vector<std::uint32_t> empty_l_cells;    // any cell of an empty l
+  std::vector<double> empty_l_weights;
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    if (prev_counts[cell] != 0) continue;
+    const std::uint32_t l_index = topo.cell_to_l[cell];
+    const auto size =
+        static_cast<double>(topo.m_partition.prefix(cell).size());
+    if (prev_l_counts[l_index] > 0) {
+      empty_m_cells.push_back(cell);
+      // Weight by the covering l-prefix's population as well as the cell
+      // size: new deployments overwhelmingly appear inside networks that
+      // already run the service. Without this, l-prefixes seeded by a
+      // single empty-l birth would soak up later empty-m births and the
+      // l-granularity decay would overshoot the paper's ~0.3%/month.
+      empty_m_weights.push_back(
+          size * static_cast<double>(prev_l_counts[l_index]));
+    } else {
+      empty_l_cells.push_back(cell);
+      empty_l_weights.push_back(size);
+    }
+  }
+  if (empty_m_cells.empty()) {
+    births_occupied += births_empty_m;
+    births_empty_m = 0;
+  }
+  if (empty_l_cells.empty()) {
+    births_occupied += births_empty_l;
+    births_empty_l = 0;
+  }
+
+  const auto place_birth = [&](std::uint32_t cell) {
+    const std::uint64_t cell_size = topo.m_partition.prefix(cell).size();
+    const auto offset = static_cast<std::uint32_t>(rng.bounded(cell_size));
+    if (rng.chance(profile.volatile_fraction)) {
+      next[cell].volatile_hosts.push_back(offset);
+    } else {
+      next[cell].stable.push_back(offset);
+    }
+  };
+
+  if (births_occupied > 0) {
+    // Preferential attachment: growth proportional to existing density.
+    std::vector<double> weights(prev_counts.begin(), prev_counts.end());
+    const util::DiscreteSampler sampler(weights);
+    if (sampler.total() > 0) {
+      for (std::uint64_t i = 0; i < births_occupied; ++i) {
+        place_birth(static_cast<std::uint32_t>(sampler.sample(rng)));
+      }
+    }
+  }
+  if (births_empty_m > 0) {
+    const util::DiscreteSampler sampler(empty_m_weights);
+    for (std::uint64_t i = 0; i < births_empty_m; ++i) {
+      place_birth(empty_m_cells[sampler.sample(rng)]);
+    }
+  }
+  if (births_empty_l > 0) {
+    const util::DiscreteSampler sampler(empty_l_weights);
+    for (std::uint64_t i = 0; i < births_empty_l; ++i) {
+      place_birth(empty_l_cells[sampler.sample(rng)]);
+    }
+  }
+
+  // --- Normalise (sorted, duplicate-free, stable wins collisions) --------
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    sort_unique(next[cell].stable);
+    sort_unique(next[cell].volatile_hosts);
+    if (!next[cell].stable.empty() && !next[cell].volatile_hosts.empty()) {
+      std::vector<std::uint32_t> pruned;
+      pruned.reserve(next[cell].volatile_hosts.size());
+      std::set_difference(next[cell].volatile_hosts.begin(),
+                          next[cell].volatile_hosts.end(),
+                          next[cell].stable.begin(), next[cell].stable.end(),
+                          std::back_inserter(pruned));
+      next[cell].volatile_hosts = std::move(pruned);
+    }
+  }
+
+  return Snapshot(topology, previous.protocol(), previous.month_index() + 1,
+                  std::move(next));
+}
+
+}  // namespace tass::census

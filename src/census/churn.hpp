@@ -1,0 +1,22 @@
+// Month-over-month population churn.
+//
+// Implements the temporal dynamics the paper measures: volatile hosts
+// re-draw their (dynamic) address within their prefix every month
+// (Figure 5's hitlist collapse), a small stable-host death/birth process
+// keeps totals stationary (Figure 3's stability), and a calibrated trickle
+// of births lands in previously host-free m-cells and l-prefixes — the
+// mechanism behind TASS's 0.3%/month (l) to 0.7%/month (m) accuracy decay
+// in Figure 6.
+#pragma once
+
+#include "census/protocol.hpp"
+#include "census/snapshot.hpp"
+
+namespace tass::census {
+
+/// Produces the next month's snapshot. Deterministic in
+/// (seed, previous.month_index(), profile.protocol).
+Snapshot advance_month(const Snapshot& previous,
+                       const ProtocolProfile& profile, std::uint64_t seed);
+
+}  // namespace tass::census

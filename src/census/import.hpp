@@ -1,0 +1,54 @@
+// Ingestion of real scan exports.
+//
+// A downstream user reproduces the paper with *their* data: a censys/ZMap
+// export is, at its simplest, one responsive IPv4 address per line (the
+// censys.io research exports add CSV columns; we take the first field).
+// This module parses such exports and materialises them as Snapshots over
+// an existing topology, so every downstream stage (ranking, selection,
+// evaluation) works on real data exactly as on the synthetic census.
+//
+// Imported hosts carry no stable/volatile annotation — they are stored as
+// stable; churn simulation is not meaningful for imported data anyway.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "census/snapshot.hpp"
+
+namespace tass::census {
+
+/// Parses an address-list export: one IPv4 address per line, optionally
+/// followed by comma-separated extra columns (ignored); '#' comments and
+/// blank lines are skipped. strict=false counts malformed lines in
+/// `skipped` instead of throwing.
+std::vector<std::uint32_t> parse_address_list(std::string_view text,
+                                              bool strict = true,
+                                              std::size_t* skipped = nullptr);
+
+/// Loads an address-list file. Throws tass::Error if unreadable.
+std::vector<std::uint32_t> load_address_list(const std::string& path,
+                                             bool strict = true);
+
+/// Statistics of an import: how many addresses landed outside the
+/// announced space (and were therefore dropped) and how many were
+/// duplicates.
+struct ImportStats {
+  std::uint64_t imported = 0;
+  std::uint64_t outside_topology = 0;
+  std::uint64_t duplicates = 0;
+};
+
+/// Builds a ground-truth snapshot from raw responsive addresses.
+/// Addresses outside the topology's advertised space are dropped (and
+/// counted); duplicates are collapsed.
+Snapshot snapshot_from_addresses(std::shared_ptr<const Topology> topology,
+                                 Protocol protocol, int month_index,
+                                 std::span<const std::uint32_t> addresses,
+                                 ImportStats* stats = nullptr);
+
+}  // namespace tass::census

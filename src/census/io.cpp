@@ -1,0 +1,244 @@
+#include "census/io.hpp"
+
+#include <fstream>
+
+#include "util/endian.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace tass::census {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+constexpr std::uint32_t kSnapshotMagic = 0x54534E50;  // "TSNP"
+constexpr std::uint32_t kSeriesMagic = 0x54534552;    // "TSER"
+constexpr std::uint16_t kVersion = 1;
+
+void write_varint(ByteWriter& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.u8(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t read_varint(ByteReader& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (shift > 63) throw FormatError("varint overflow");
+    const std::uint8_t byte = in.u8();
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+// Sorted offsets -> first value + deltas, all varint.
+void write_offsets(ByteWriter& out,
+                   const std::vector<std::uint32_t>& offsets) {
+  write_varint(out, offsets.size());
+  std::uint32_t previous = 0;
+  bool first = true;
+  for (const std::uint32_t offset : offsets) {
+    write_varint(out, first ? offset : offset - previous);
+    previous = offset;
+    first = false;
+  }
+}
+
+std::vector<std::uint32_t> read_offsets(ByteReader& in,
+                                        std::uint64_t cell_size) {
+  const std::uint64_t count = read_varint(in);
+  if (count > cell_size) {
+    throw FormatError("offset list larger than its cell");
+  }
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(count);
+  std::uint64_t current = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t delta = read_varint(in);
+    if (i == 0) {
+      current = delta;
+    } else {
+      if (delta == 0) {
+        throw FormatError("offsets must be strictly increasing");
+      }
+      current += delta;
+    }
+    if (current >= cell_size) {
+      throw FormatError("offset out of cell bounds");
+    }
+    offsets.push_back(static_cast<std::uint32_t>(current));
+  }
+  return offsets;
+}
+
+void encode_snapshot_into(const Snapshot& snapshot, ByteWriter& out) {
+  const Topology& topo = snapshot.topology();
+  out.u32(kSnapshotMagic);
+  out.u16(kVersion);
+  out.u8(static_cast<std::uint8_t>(snapshot.protocol()));
+  out.u32(static_cast<std::uint32_t>(snapshot.month_index()));
+  out.u32(static_cast<std::uint32_t>(snapshot.cell_count()));
+  out.u64(topology_fingerprint(topo));
+
+  const std::size_t payload_begin = out.size();
+  for (std::uint32_t cell = 0; cell < snapshot.cell_count(); ++cell) {
+    write_offsets(out, snapshot.cell(cell).stable);
+    write_offsets(out, snapshot.cell(cell).volatile_hosts);
+  }
+  const std::uint64_t checksum = util::fnv1a64(
+      out.view().subspan(payload_begin, out.size() - payload_begin));
+  out.u64(snapshot.total_hosts());
+  out.u64(checksum);
+}
+
+Snapshot decode_snapshot_from(ByteReader& in,
+                              std::shared_ptr<const Topology> topology) {
+  TASS_EXPECTS(topology != nullptr);
+  if (in.u32() != kSnapshotMagic) {
+    throw FormatError("not a TASS snapshot (bad magic)");
+  }
+  if (const std::uint16_t version = in.u16(); version != kVersion) {
+    throw FormatError("unsupported snapshot version " +
+                      std::to_string(version));
+  }
+  const std::uint8_t protocol_id = in.u8();
+  if (protocol_id >= kProtocolCount) {
+    throw FormatError("unknown protocol id " + std::to_string(protocol_id));
+  }
+  const auto month = static_cast<int>(in.u32());
+  const std::uint32_t cell_count = in.u32();
+  if (cell_count != topology->m_partition.size()) {
+    throw FormatError("snapshot cell count does not match the topology");
+  }
+  if (in.u64() != topology_fingerprint(*topology)) {
+    throw FormatError("snapshot was produced for a different topology");
+  }
+
+  // Payload with checksum verification: remember where it starts.
+  const std::size_t payload_begin = in.position();
+  std::vector<CellPopulation> cells(cell_count);
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    const std::uint64_t cell_size =
+        topology->m_partition.prefix(cell).size();
+    cells[cell].stable = read_offsets(in, cell_size);
+    cells[cell].volatile_hosts = read_offsets(in, cell_size);
+  }
+  const std::size_t payload_end = in.position();
+  const std::uint64_t total = in.u64();
+  const std::uint64_t checksum = in.u64();
+  (void)payload_begin;
+  (void)payload_end;
+
+  Snapshot snapshot(std::move(topology),
+                    static_cast<Protocol>(protocol_id), month,
+                    std::move(cells));
+  if (snapshot.total_hosts() != total) {
+    throw FormatError("snapshot host count mismatch");
+  }
+  (void)checksum;  // verified by the span-level wrappers below
+  return snapshot;
+}
+
+}  // namespace
+
+std::uint64_t topology_fingerprint(const Topology& topology) {
+  util::Fnv1a64 hasher;
+  hasher.update_u64(topology.m_partition.size());
+  for (std::size_t i = 0; i < topology.m_partition.size(); ++i) {
+    const net::Prefix prefix = topology.m_partition.prefix(i);
+    hasher.update_u32(prefix.network().value());
+    hasher.update(static_cast<std::uint8_t>(prefix.length()));
+  }
+  return hasher.digest();
+}
+
+std::vector<std::byte> encode_snapshot(const Snapshot& snapshot) {
+  ByteWriter out;
+  encode_snapshot_into(snapshot, out);
+  return std::move(out).take();
+}
+
+Snapshot decode_snapshot(std::span<const std::byte> data,
+                         std::shared_ptr<const Topology> topology) {
+  // Verify the trailing checksum before structural decoding: the payload
+  // spans from the fixed 23-byte header to 16 bytes before the end.
+  constexpr std::size_t kHeaderSize = 4 + 2 + 1 + 4 + 4 + 8;
+  constexpr std::size_t kFooterSize = 16;
+  if (data.size() < kHeaderSize + kFooterSize) {
+    throw FormatError("snapshot too short");
+  }
+  const auto payload =
+      data.subspan(kHeaderSize, data.size() - kHeaderSize - kFooterSize);
+  util::ByteReader footer(data.subspan(data.size() - 8, 8));
+  if (util::fnv1a64(payload) != footer.u64()) {
+    throw FormatError("snapshot checksum mismatch (corrupted file)");
+  }
+  ByteReader in(data);
+  Snapshot snapshot = decode_snapshot_from(in, std::move(topology));
+  if (!in.done()) {
+    throw FormatError("trailing bytes after snapshot");
+  }
+  return snapshot;
+}
+
+void save_snapshot(const std::string& path, const Snapshot& snapshot) {
+  const auto bytes = encode_snapshot(snapshot);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open snapshot file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("short write to snapshot file: " + path);
+}
+
+Snapshot load_snapshot(const std::string& path,
+                       std::shared_ptr<const Topology> topology) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open snapshot file: " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return decode_snapshot(std::as_bytes(std::span(raw)), std::move(topology));
+}
+
+std::vector<std::byte> encode_series(std::span<const Snapshot> months) {
+  TASS_EXPECTS(!months.empty());
+  ByteWriter out;
+  out.u32(kSeriesMagic);
+  out.u16(kVersion);
+  out.u32(static_cast<std::uint32_t>(months.size()));
+  for (const Snapshot& snapshot : months) {
+    const auto encoded = encode_snapshot(snapshot);
+    out.u32(static_cast<std::uint32_t>(encoded.size()));
+    out.bytes(encoded);
+  }
+  return std::move(out).take();
+}
+
+std::vector<Snapshot> decode_series(std::span<const std::byte> data,
+                                    std::shared_ptr<const Topology> topology) {
+  ByteReader in(data);
+  if (in.u32() != kSeriesMagic) {
+    throw FormatError("not a TASS series (bad magic)");
+  }
+  if (const std::uint16_t version = in.u16(); version != kVersion) {
+    throw FormatError("unsupported series version " +
+                      std::to_string(version));
+  }
+  const std::uint32_t count = in.u32();
+  std::vector<Snapshot> months;
+  months.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t length = in.u32();
+    const auto blob = in.bytes(length);
+    months.push_back(decode_snapshot(blob, topology));
+  }
+  if (!in.done()) throw FormatError("trailing bytes after series");
+  return months;
+}
+
+}  // namespace tass::census

@@ -1,0 +1,51 @@
+// Binary serialisation for census snapshots and series.
+//
+// Full-scan results are expensive to (re)generate — the paper's corpus is
+// 4.1 TB — so a reproduction pipeline wants to persist them. The container
+// format ("TSNP"):
+//
+//   header:  magic, version, protocol, month index, cell count,
+//            topology fingerprint (FNV-1a over the m-partition), so a
+//            snapshot can never be loaded against the wrong topology
+//   cells:   per cell, stable and volatile offset lists, sorted,
+//            delta-encoded as LEB128 varints (host offsets cluster, so
+//            deltas are small; this compresses a snapshot ~4x vs raw u32)
+//   footer:  total host count and an FNV-1a checksum of the payload
+//
+// decode_snapshot validates magic, version, fingerprint, ordering and
+// checksum and throws tass::FormatError on any mismatch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "census/snapshot.hpp"
+
+namespace tass::census {
+
+/// Structural fingerprint of a topology (its m-partition prefixes).
+std::uint64_t topology_fingerprint(const Topology& topology);
+
+/// Serialises one snapshot.
+std::vector<std::byte> encode_snapshot(const Snapshot& snapshot);
+
+/// Deserialises against an existing topology (whose fingerprint must
+/// match the one stored in the header).
+Snapshot decode_snapshot(std::span<const std::byte> data,
+                         std::shared_ptr<const Topology> topology);
+
+/// File convenience wrappers; throw tass::Error on I/O failure.
+void save_snapshot(const std::string& path, const Snapshot& snapshot);
+Snapshot load_snapshot(const std::string& path,
+                       std::shared_ptr<const Topology> topology);
+
+/// Serialises a whole monthly series (concatenated snapshots with a
+/// series header).
+std::vector<std::byte> encode_series(std::span<const Snapshot> months);
+std::vector<Snapshot> decode_series(std::span<const std::byte> data,
+                                    std::shared_ptr<const Topology> topology);
+
+}  // namespace tass::census

@@ -1,0 +1,243 @@
+#include "census/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::census {
+
+namespace {
+
+using util::Rng;
+
+// Draws `count` distinct offsets in [0, size), sorted ascending.
+std::vector<std::uint32_t> place_hosts(std::uint64_t size,
+                                       std::uint64_t count, Rng& rng) {
+  TASS_EXPECTS(count <= size);
+  if (count == 0) return {};
+  if (count * 3 >= size) {
+    // Dense cell: Floyd sampling guarantees termination.
+    const auto wide = rng.sample_without_replacement(size, count);
+    std::vector<std::uint32_t> offsets(wide.size());
+    std::transform(wide.begin(), wide.end(), offsets.begin(),
+                   [](std::uint64_t v) {
+                     return static_cast<std::uint32_t>(v);
+                   });
+    return offsets;
+  }
+  // Sparse cell: rejection by dedup converges fast.
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(count);
+  while (offsets.size() < count) {
+    const std::uint64_t missing = count - offsets.size();
+    for (std::uint64_t i = 0; i < missing; ++i) {
+      offsets.push_back(static_cast<std::uint32_t>(rng.bounded(size)));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+  }
+  return offsets;
+}
+
+// Splits sorted offsets into (stable, volatile) with ~volatile_fraction of
+// them volatile, chosen uniformly.
+CellPopulation split_volatile(std::vector<std::uint32_t> offsets,
+                              double volatile_fraction, Rng& rng) {
+  CellPopulation cell;
+  for (const std::uint32_t offset : offsets) {
+    if (rng.chance(volatile_fraction)) {
+      cell.volatile_hosts.push_back(offset);
+    } else {
+      cell.stable.push_back(offset);
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+Snapshot generate_population(std::shared_ptr<const Topology> topology,
+                             const ProtocolProfile& profile,
+                             const PopulationParams& params) {
+  TASS_EXPECTS(topology != nullptr);
+  const Topology& topo = *topology;
+  Rng rng(util::mix64(params.seed,
+                      static_cast<std::uint64_t>(profile.protocol)));
+
+  const std::uint64_t advertised = topo.advertised_addresses;
+  const std::size_t cell_count = topo.m_partition.size();
+  const std::size_t l_count = topo.l_partition.size();
+  const std::uint64_t target_hosts = static_cast<std::uint64_t>(
+      std::llround(profile.base_hosts * params.host_scale));
+
+  const double zero_total =
+      1.0 - std::accumulate(profile.tiers.begin(), profile.tiers.end(), 0.0,
+                            [](double acc, const DensityTier& t) {
+                              return acc + t.space_share;
+                            });
+  TASS_EXPECTS(profile.empty_l_space_share <= zero_total + 1e-9);
+
+  const auto affinity_of = [&](std::uint32_t l_index) {
+    return profile
+        .affinity[static_cast<std::size_t>(topo.l_types[l_index])];
+  };
+
+  // --- Step 1: entirely host-free l-prefixes -----------------------------
+  // Weighted sampling without replacement (Efraimidis-Spirakis with
+  // exponential keys): low-affinity l-prefixes go empty first.
+  std::vector<std::pair<double, std::uint32_t>> empty_order(l_count);
+  for (std::uint32_t i = 0; i < l_count; ++i) {
+    const double weight = 1.0 / (affinity_of(i) + 0.02);
+    empty_order[i] = {rng.exponential(weight), i};
+  }
+  std::sort(empty_order.begin(), empty_order.end());
+
+  std::vector<bool> l_empty(l_count, false);
+  std::uint64_t empty_l_space = 0;
+  const auto empty_l_quota = static_cast<std::uint64_t>(
+      profile.empty_l_space_share * static_cast<double>(advertised));
+  for (const auto& [key, l_index] : empty_order) {
+    if (empty_l_space >= empty_l_quota) break;
+    l_empty[l_index] = true;
+    empty_l_space += topo.l_partition.prefix(l_index).size();
+  }
+
+  // --- Step 2: additional zero cells inside occupied l-prefixes ----------
+  std::vector<bool> cell_zero(cell_count, false);
+  std::vector<std::uint32_t> l_live_cells(l_count, 0);
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    const std::uint32_t l_index = topo.cell_to_l[cell];
+    if (l_empty[l_index]) {
+      cell_zero[cell] = true;
+    } else {
+      ++l_live_cells[l_index];
+    }
+  }
+
+  const double zero_m_share =
+      std::max(0.0, zero_total - static_cast<double>(empty_l_space) /
+                                     static_cast<double>(advertised));
+  const auto zero_m_quota = static_cast<std::uint64_t>(
+      zero_m_share * static_cast<double>(advertised));
+
+  std::vector<std::pair<double, std::uint32_t>> zero_order;
+  zero_order.reserve(cell_count);
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    if (cell_zero[cell]) continue;
+    const double weight = 1.0 / (affinity_of(topo.cell_to_l[cell]) + 0.02);
+    zero_order.emplace_back(rng.exponential(weight), cell);
+  }
+  std::sort(zero_order.begin(), zero_order.end());
+  std::uint64_t zero_m_space = 0;
+  for (const auto& [key, cell] : zero_order) {
+    if (zero_m_space >= zero_m_quota) break;
+    const std::uint32_t l_index = topo.cell_to_l[cell];
+    if (l_live_cells[l_index] <= 1) continue;  // keep each l occupied
+    cell_zero[cell] = true;
+    --l_live_cells[l_index];
+    zero_m_space += topo.m_partition.prefix(cell).size();
+  }
+
+  // --- Step 3: assign occupied cells to density tiers --------------------
+  // Score favours high affinity and (mildly) small cells, so dense tiers
+  // land in small prefixes of well-matched network types.
+  std::vector<std::pair<double, std::uint32_t>> tier_order;
+  tier_order.reserve(cell_count);
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    if (cell_zero[cell]) continue;
+    const double affinity = affinity_of(topo.cell_to_l[cell]) + 0.02;
+    const double jitter = rng.lognormal(0.0, 0.5);
+    const double size_bias = std::pow(
+        static_cast<double>(topo.m_partition.prefix(cell).size()),
+        profile.small_cell_bias);
+    tier_order.emplace_back(-(affinity * jitter / size_bias), cell);
+  }
+  std::sort(tier_order.begin(), tier_order.end());
+
+  constexpr std::size_t kTierCount =
+      std::tuple_size_v<decltype(profile.tiers)>;
+  std::array<std::vector<std::uint32_t>, kTierCount> tier_cells;
+  {
+    std::size_t tier = 0;
+    std::uint64_t tier_space = 0;
+    for (const auto& [score, cell] : tier_order) {
+      while (tier + 1 < kTierCount &&
+             static_cast<double>(tier_space) >=
+                 profile.tiers[tier].space_share *
+                     static_cast<double>(advertised)) {
+        ++tier;
+        tier_space = 0;
+      }
+      tier_cells[tier].push_back(cell);
+      tier_space += topo.m_partition.prefix(cell).size();
+    }
+  }
+
+  // --- Step 4: distribute hosts within each tier -------------------------
+  std::vector<CellPopulation> cells(cell_count);
+  for (std::size_t tier = 0; tier < kTierCount; ++tier) {
+    if (tier_cells[tier].empty()) continue;
+    const auto tier_hosts = static_cast<std::uint64_t>(
+        std::llround(profile.tiers[tier].host_share *
+                     static_cast<double>(target_hosts)));
+    if (tier_hosts == 0) continue;
+
+    // Per-cell weight: size times log-normal jitter.
+    std::vector<double> weights;
+    weights.reserve(tier_cells[tier].size());
+    double weight_sum = 0.0;
+    for (const std::uint32_t cell : tier_cells[tier]) {
+      const double w =
+          static_cast<double>(topo.m_partition.prefix(cell).size()) *
+          rng.lognormal(0.0, profile.density_jitter_sigma);
+      weights.push_back(w);
+      weight_sum += w;
+    }
+
+    // Largest-remainder integerisation so the tier quota is met exactly
+    // (up to per-cell capacity).
+    std::vector<std::uint64_t> counts(weights.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    remainders.reserve(weights.size());
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double exact = static_cast<double>(tier_hosts) * weights[i] /
+                           weight_sum;
+      const std::uint64_t cap =
+          topo.m_partition.prefix(tier_cells[tier][i]).size();
+      counts[i] = std::min(static_cast<std::uint64_t>(exact), cap);
+      assigned += counts[i];
+      if (counts[i] < cap) {
+        remainders.emplace_back(-(exact - std::floor(exact)), i);
+      }
+    }
+    std::sort(remainders.begin(), remainders.end());
+    for (const auto& [neg_frac, i] : remainders) {
+      if (assigned >= tier_hosts) break;
+      const std::uint64_t cap =
+          topo.m_partition.prefix(tier_cells[tier][i]).size();
+      if (counts[i] < cap) {
+        ++counts[i];
+        ++assigned;
+      }
+    }
+
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const std::uint32_t cell = tier_cells[tier][i];
+      auto offsets = place_hosts(topo.m_partition.prefix(cell).size(),
+                                 counts[i], rng);
+      cells[cell] =
+          split_volatile(std::move(offsets), profile.volatile_fraction, rng);
+    }
+  }
+
+  return Snapshot(std::move(topology), profile.protocol, /*month_index=*/0,
+                  std::move(cells));
+}
+
+}  // namespace tass::census

@@ -1,0 +1,33 @@
+// Month-0 host population synthesis.
+//
+// Places a protocol's hosts over the m-partition so that the Lorenz curve
+// of host mass over density-ranked address space matches the protocol's
+// calibrated tier table (interpolated from the paper's Table 1), with the
+// paper's structural features: a share of the advertised space lies in
+// entirely host-free l-prefixes, dense tiers prefer small high-affinity
+// cells, and a per-protocol fraction of hosts sits on volatile (dynamic)
+// addresses.
+#pragma once
+
+#include <memory>
+
+#include "census/protocol.hpp"
+#include "census/snapshot.hpp"
+#include "census/topology.hpp"
+
+namespace tass::census {
+
+struct PopulationParams {
+  /// Scales ProtocolProfile::base_hosts down to simulation size. The
+  /// default yields a few hundred thousand hosts per protocol.
+  double host_scale = 0.02;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the t0 snapshot for one protocol. Deterministic in
+/// (params.seed, profile.protocol).
+Snapshot generate_population(std::shared_ptr<const Topology> topology,
+                             const ProtocolProfile& profile,
+                             const PopulationParams& params);
+
+}  // namespace tass::census

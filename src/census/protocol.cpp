@@ -1,0 +1,154 @@
+#include "census/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace tass::census {
+
+namespace {
+
+constexpr std::array<Protocol, 4> kPaperProtocols{
+    Protocol::kFtp, Protocol::kHttp, Protocol::kHttps, Protocol::kCwmp};
+
+constexpr std::array<Protocol, kProtocolCount> kAllProtocols{
+    Protocol::kFtp,  Protocol::kHttp, Protocol::kHttps,
+    Protocol::kCwmp, Protocol::kSsh,  Protocol::kTelnet};
+
+// Tier tables interpolate the paper's Table 1 m-prefix column at
+// phi = 0.5, 0.7, 0.95, 0.99 and 1.0: the densest `space_share` slice of
+// the advertised space carries `host_share` of all hosts. The zero tier is
+// implicit (remaining space, zero hosts). empty_l_space_share mirrors the
+// l-prefix column at phi = 1 (space inside completely host-free
+// l-prefixes). Churn is calibrated against Figures 5/6: hitlist hitrate
+// (1-volatile)(1-death)^t, l-TASS decay ~ empty_l rate, m-TASS decay ~
+// empty_l + empty_m rates.
+constexpr std::array<ProtocolProfile, kProtocolCount> kProfiles{{
+    // FTP: Table 1 m: .006/.023/.206/.371/.574; l at phi=1: .762.
+    {Protocol::kFtp,
+     20e6,
+     {{{0.006, 0.50}, {0.017, 0.20}, {0.183, 0.25}, {0.165, 0.04},
+       {0.203, 0.01}}},
+     0.238,
+     {{1.0, 0.7, 0.25, 0.6, 0.05}},
+     0.25,
+     0.35,
+     /*volatile_fraction=*/0.18, /*volatile_cross_cell=*/0.002,
+     /*monthly_death_rate=*/0.024,
+     /*empty_m_birth_rate=*/0.0004, /*empty_l_birth_rate=*/0.0030,
+     /*handshake_packets=*/6},
+    // HTTP: Table 1 m: .017/.048/.279/.440/.648; l at phi=1: .828.
+    {Protocol::kHttp,
+     60e6,
+     {{{0.017, 0.50}, {0.031, 0.20}, {0.231, 0.25}, {0.161, 0.04},
+       {0.208, 0.01}}},
+     0.172,
+     {{1.0, 0.8, 0.35, 0.7, 0.10}},
+     0.25,
+     0.35,
+     0.18, 0.002,
+     0.023,
+     0.0012, 0.0030,
+     8},
+    // HTTPS: Table 1 m: .020/.052/.262/.427/.645; l at phi=1: .832.
+    {Protocol::kHttps,
+     45e6,
+     {{{0.020, 0.50}, {0.032, 0.20}, {0.210, 0.25}, {0.165, 0.04},
+       {0.218, 0.01}}},
+     0.168,
+     {{1.0, 0.8, 0.30, 0.7, 0.10}},
+     0.25,
+     0.35,
+     0.17, 0.002,
+     0.022,
+     0.0012, 0.0030,
+     12},
+    // CWMP: Table 1 m: .021/.037/.085/.113/.332; l at phi=1: .477.
+    // Residential gateways: high dynamic-IP churn (Figure 5 drops to .43).
+    {Protocol::kCwmp,
+     45e6,
+     {{{0.021, 0.50}, {0.016, 0.20}, {0.048, 0.25}, {0.028, 0.04},
+       {0.219, 0.01}}},
+     0.523,
+     {{0.02, 0.05, 1.0, 0.02, 0.0}},
+     0.20,
+     0.35,
+     0.35, 0.010,
+     0.070,
+     0.0038, 0.0030,
+     8},
+    // SSH (extension; not in the paper's evaluated set).
+    {Protocol::kSsh,
+     18e6,
+     {{{0.008, 0.50}, {0.020, 0.20}, {0.190, 0.25}, {0.160, 0.04},
+       {0.200, 0.01}}},
+     0.25,
+     {{1.0, 0.6, 0.20, 0.8, 0.15}},
+     0.25,
+     0.35,
+     0.20, 0.002,
+     0.030,
+     0.0006, 0.0030,
+     10},
+    // Telnet (extension): CPE-heavy deployment, volatile like CWMP.
+    {Protocol::kTelnet,
+     12e6,
+     {{{0.015, 0.50}, {0.018, 0.20}, {0.070, 0.25}, {0.060, 0.04},
+       {0.220, 0.01}}},
+     0.45,
+     {{0.3, 0.4, 1.0, 0.2, 0.3}},
+     0.22,
+     0.35,
+     0.30, 0.008,
+     0.055,
+     0.0028, 0.0030,
+     6},
+}};
+
+constexpr std::array<std::string_view, kProtocolCount> kNames{
+    "ftp", "http", "https", "cwmp", "ssh", "telnet"};
+
+constexpr std::array<std::uint16_t, kProtocolCount> kPorts{21,   80,  443,
+                                                           7547, 22,  23};
+
+constexpr std::array<std::string_view, kNetworkTypeCount> kTypeNames{
+    "hosting", "enterprise", "eyeball", "academic", "infrastructure"};
+
+}  // namespace
+
+std::span<const Protocol> paper_protocols() noexcept {
+  return kPaperProtocols;
+}
+
+std::span<const Protocol> all_protocols() noexcept { return kAllProtocols; }
+
+std::string_view protocol_name(Protocol protocol) noexcept {
+  return kNames[static_cast<std::size_t>(protocol)];
+}
+
+std::uint16_t protocol_port(Protocol protocol) noexcept {
+  return kPorts[static_cast<std::size_t>(protocol)];
+}
+
+Protocol parse_protocol(std::string_view name) {
+  std::string lowered(name);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == lowered) return static_cast<Protocol>(i);
+  }
+  throw ParseError("unknown protocol: '" + std::string(name) + "'");
+}
+
+std::string_view network_type_name(NetworkType type) noexcept {
+  return kTypeNames[static_cast<std::size_t>(type)];
+}
+
+const ProtocolProfile& protocol_profile(Protocol protocol) noexcept {
+  return kProfiles[static_cast<std::size_t>(protocol)];
+}
+
+}  // namespace tass::census

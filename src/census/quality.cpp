@@ -1,0 +1,114 @@
+#include "census/quality.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tass::census {
+
+namespace {
+
+// |a intersect b| for sorted vectors.
+std::uint64_t intersection_size(const std::vector<std::uint32_t>& a,
+                                const std::vector<std::uint32_t>& b) {
+  std::uint64_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> merged_cell(const CellPopulation& cell) {
+  std::vector<std::uint32_t> merged;
+  merged.reserve(cell.size());
+  std::merge(cell.stable.begin(), cell.stable.end(),
+             cell.volatile_hosts.begin(), cell.volatile_hosts.end(),
+             std::back_inserter(merged));
+  return merged;
+}
+
+}  // namespace
+
+QualityReport detect_accumulation(std::span<const Snapshot> months) {
+  TASS_EXPECTS(months.size() >= 2);
+  QualityReport report;
+  for (std::size_t t = 0; t + 1 < months.size(); ++t) {
+    const auto current = months[t].addresses();
+    const auto next = months[t + 1].addresses();
+    const std::uint64_t retained = intersection_size(current, next);
+    report.retention.push_back(
+        current.empty() ? 0.0
+                        : static_cast<double>(retained) /
+                              static_cast<double>(current.size()));
+    report.growth.push_back(
+        current.empty() ? 0.0
+                        : static_cast<double>(next.size()) /
+                              static_cast<double>(current.size()));
+  }
+  for (const double r : report.retention) report.mean_retention += r;
+  report.mean_retention /= static_cast<double>(report.retention.size());
+  for (const double g : report.growth) report.mean_growth += g;
+  report.mean_growth /= static_cast<double>(report.growth.size());
+
+  // Honest scans of dynamic address space cannot retain ~everything in
+  // place month over month; append-only pipelines retain all of it and
+  // only ever grow.
+  const bool monotone_growth =
+      std::all_of(report.growth.begin(), report.growth.end(),
+                  [](double g) { return g >= 1.0; });
+  report.accumulation_suspected =
+      report.mean_retention > 0.97 && monotone_growth;
+  return report;
+}
+
+Snapshot inject_accumulation(const Snapshot& carried_over,
+                             const Snapshot& fresh) {
+  TASS_EXPECTS(&carried_over.topology() == &fresh.topology());
+  TASS_EXPECTS(carried_over.protocol() == fresh.protocol());
+  std::vector<CellPopulation> cells(fresh.cell_count());
+  for (std::uint32_t cell = 0; cell < fresh.cell_count(); ++cell) {
+    // Everything ever seen becomes part of the "responsive" set; carried
+    // addresses land in the stable pool (they are database rows, not
+    // hosts, so they never move again).
+    const auto carried = merged_cell(carried_over.cell(cell));
+    const CellPopulation& now = fresh.cell(cell);
+    std::vector<std::uint32_t> stable;
+    stable.reserve(carried.size() + now.stable.size());
+    std::merge(carried.begin(), carried.end(), now.stable.begin(),
+               now.stable.end(), std::back_inserter(stable));
+    stable.erase(std::unique(stable.begin(), stable.end()), stable.end());
+
+    std::vector<std::uint32_t> volatile_hosts;
+    std::set_difference(now.volatile_hosts.begin(),
+                        now.volatile_hosts.end(), stable.begin(),
+                        stable.end(), std::back_inserter(volatile_hosts));
+    cells[cell].stable = std::move(stable);
+    cells[cell].volatile_hosts = std::move(volatile_hosts);
+  }
+  return Snapshot(fresh.topology_ptr(), fresh.protocol(),
+                  fresh.month_index(), std::move(cells));
+}
+
+std::vector<Snapshot> contaminate_series(std::span<const Snapshot> months) {
+  TASS_EXPECTS(!months.empty());
+  std::vector<Snapshot> contaminated;
+  contaminated.reserve(months.size());
+  contaminated.push_back(months[0]);
+  for (std::size_t t = 1; t < months.size(); ++t) {
+    contaminated.push_back(
+        inject_accumulation(contaminated.back(), months[t]));
+  }
+  return contaminated;
+}
+
+}  // namespace tass::census

@@ -1,0 +1,52 @@
+// Ground-truth data-quality checks (paper §4.2).
+//
+// "We started a similar investigation of SSH and selected SCADA protocols
+// but to our surprise we found that accuracy and densities increased over
+// time. Further scrutiny of the ground truth datasets revealed that the
+// snapshots for these protocols likely included data from prior scans."
+//
+// This module reproduces both sides of that incident: an *injector* that
+// contaminates a series with prior-scan accumulation (each snapshot also
+// carries every earlier response), and a *detector* that flags series
+// whose month-over-month address retention is implausibly high for live
+// Internet data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "census/snapshot.hpp"
+
+namespace tass::census {
+
+/// Per-transition statistics of a snapshot series.
+struct QualityReport {
+  /// retention[t] = |A_t intersect A_{t+1}| / |A_t| for consecutive
+  /// months: the fraction of responsive addresses that stay responsive in
+  /// place. Dynamic addressing keeps this well below 1 for honest scans.
+  std::vector<double> retention;
+  /// growth[t] = |A_{t+1}| / |A_t|.
+  std::vector<double> growth;
+
+  double mean_retention = 0.0;
+  double mean_growth = 0.0;
+
+  /// True when the series looks like accumulated (append-only) data:
+  /// near-total retention combined with monotone growth.
+  bool accumulation_suspected = false;
+};
+
+/// Analyses consecutive snapshots. Requires at least two months.
+QualityReport detect_accumulation(std::span<const Snapshot> months);
+
+/// Contaminates `fresh` with everything responsive in `carried_over`
+/// (cell-wise union; carried hosts are added to the stable population,
+/// which is what an append-only measurement pipeline would produce).
+Snapshot inject_accumulation(const Snapshot& carried_over,
+                             const Snapshot& fresh);
+
+/// Contaminates a whole series cumulatively (month t carries months
+/// 0..t-1), reproducing the corrupted SSH/SCADA corpus end to end.
+std::vector<Snapshot> contaminate_series(std::span<const Snapshot> months);
+
+}  // namespace tass::census

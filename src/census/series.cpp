@@ -1,0 +1,26 @@
+#include "census/series.hpp"
+
+#include "util/error.hpp"
+
+namespace tass::census {
+
+CensusSeries CensusSeries::generate(std::shared_ptr<const Topology> topology,
+                                    Protocol protocol,
+                                    const SeriesParams& params) {
+  TASS_EXPECTS(topology != nullptr);
+  TASS_EXPECTS(params.months >= 1);
+  const ProtocolProfile& profile = protocol_profile(protocol);
+
+  std::vector<Snapshot> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(params.months));
+  snapshots.push_back(generate_population(
+      topology, profile,
+      PopulationParams{params.host_scale, params.seed}));
+  for (int month = 1; month < params.months; ++month) {
+    snapshots.push_back(
+        advance_month(snapshots.back(), profile, params.seed));
+  }
+  return CensusSeries(std::move(topology), protocol, std::move(snapshots));
+}
+
+}  // namespace tass::census

@@ -1,0 +1,59 @@
+// CensusSeries: a sequence of monthly ground-truth snapshots for one
+// protocol — the stand-in for the paper's 09/2015–03/2016 censys.io
+// snapshot series (7 measurements).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "census/churn.hpp"
+#include "census/population.hpp"
+#include "census/protocol.hpp"
+#include "census/snapshot.hpp"
+#include "census/topology.hpp"
+
+namespace tass::census {
+
+struct SeriesParams {
+  int months = 7;             // the paper uses 7 monthly measurements
+  double host_scale = 0.02;   // see PopulationParams
+  std::uint64_t seed = 7;
+};
+
+class CensusSeries {
+ public:
+  /// Generates `params.months` monthly snapshots for the protocol over the
+  /// shared topology. Deterministic in (params.seed, protocol).
+  static CensusSeries generate(std::shared_ptr<const Topology> topology,
+                               Protocol protocol, const SeriesParams& params);
+
+  Protocol protocol() const noexcept { return protocol_; }
+  const Topology& topology() const noexcept { return *topology_; }
+  std::shared_ptr<const Topology> topology_ptr() const noexcept {
+    return topology_;
+  }
+
+  std::span<const Snapshot> months() const noexcept { return snapshots_; }
+  const Snapshot& month(int index) const {
+    TASS_EXPECTS(index >= 0 &&
+                 static_cast<std::size_t>(index) < snapshots_.size());
+    return snapshots_[static_cast<std::size_t>(index)];
+  }
+  int month_count() const noexcept {
+    return static_cast<int>(snapshots_.size());
+  }
+
+ private:
+  CensusSeries(std::shared_ptr<const Topology> topology, Protocol protocol,
+               std::vector<Snapshot> snapshots)
+      : topology_(std::move(topology)),
+        protocol_(protocol),
+        snapshots_(std::move(snapshots)) {}
+
+  std::shared_ptr<const Topology> topology_;
+  Protocol protocol_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace tass::census

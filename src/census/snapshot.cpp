@@ -1,0 +1,77 @@
+#include "census/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace tass::census {
+
+Snapshot::Snapshot(std::shared_ptr<const Topology> topology,
+                   Protocol protocol, int month_index,
+                   std::vector<CellPopulation> cells)
+    : topology_(std::move(topology)),
+      protocol_(protocol),
+      month_index_(month_index),
+      cells_(std::move(cells)) {
+  TASS_EXPECTS(topology_ != nullptr);
+  TASS_EXPECTS(cells_.size() == topology_->m_partition.size());
+  for (std::uint32_t index = 0; index < cells_.size(); ++index) {
+    const CellPopulation& cell = cells_[index];
+    TASS_EXPECTS(std::is_sorted(cell.stable.begin(), cell.stable.end()));
+    TASS_EXPECTS(std::is_sorted(cell.volatile_hosts.begin(),
+                                cell.volatile_hosts.end()));
+    const std::uint64_t cell_size = topology_->m_partition.prefix(index).size();
+    TASS_EXPECTS(cell.stable.empty() || cell.stable.back() < cell_size);
+    TASS_EXPECTS(cell.volatile_hosts.empty() ||
+                 cell.volatile_hosts.back() < cell_size);
+    total_hosts_ += cell.size();
+  }
+}
+
+std::vector<std::uint32_t> Snapshot::counts_per_cell() const {
+  std::vector<std::uint32_t> counts(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    counts[i] = static_cast<std::uint32_t>(cells_[i].size());
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> Snapshot::counts_per_l() const {
+  std::vector<std::uint32_t> counts(topology_->l_partition.size(), 0);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    counts[topology_->cell_to_l[i]] +=
+        static_cast<std::uint32_t>(cells_[i].size());
+  }
+  return counts;
+}
+
+bool Snapshot::contains(net::Ipv4Address addr) const {
+  const auto cell_index = topology_->m_partition.locate(addr);
+  if (!cell_index) return false;
+  const std::uint32_t offset = static_cast<std::uint32_t>(
+      topology_->m_partition.prefix(*cell_index).offset_of(addr));
+  const CellPopulation& cell = cells_[*cell_index];
+  return std::binary_search(cell.stable.begin(), cell.stable.end(), offset) ||
+         std::binary_search(cell.volatile_hosts.begin(),
+                            cell.volatile_hosts.end(), offset);
+}
+
+std::vector<std::uint32_t> Snapshot::addresses() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(total_hosts_);
+  for_each_address([&](net::Ipv4Address addr) { out.push_back(addr.value()); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string month_label(int month_index) {
+  TASS_EXPECTS(month_index >= 0);
+  const int month = (8 + month_index) % 12 + 1;   // September 2015 = index 0
+  const int year = 15 + (8 + month_index) / 12;
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%02d", month, year);
+  return buffer;
+}
+
+}  // namespace tass::census

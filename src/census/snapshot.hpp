@@ -1,0 +1,101 @@
+// Snapshot: the ground-truth set of responsive addresses for one protocol
+// at one point in time — the role played by one full censys.io scan in the
+// paper's evaluation.
+//
+// Hosts are stored per m-partition cell as sorted offset vectors, split
+// into a *stable* population (static addresses) and a *volatile* one
+// (dynamic addresses that re-draw every month; the paper attributes the
+// hitlist collapse in Figure 5 and TASS's robustness to exactly this
+// within-prefix fluctuation). The split is a persistent host attribute:
+// a volatile host stays volatile across months.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "census/protocol.hpp"
+#include "census/topology.hpp"
+#include "net/ipv4.hpp"
+
+namespace tass::census {
+
+/// Hosts of one m-partition cell. Both vectors are sorted and duplicate-
+/// free, and no offset appears in both.
+struct CellPopulation {
+  std::vector<std::uint32_t> stable;
+  std::vector<std::uint32_t> volatile_hosts;
+
+  std::size_t size() const noexcept {
+    return stable.size() + volatile_hosts.size();
+  }
+};
+
+class Snapshot {
+ public:
+  Snapshot(std::shared_ptr<const Topology> topology, Protocol protocol,
+           int month_index, std::vector<CellPopulation> cells);
+
+  const Topology& topology() const noexcept { return *topology_; }
+  std::shared_ptr<const Topology> topology_ptr() const noexcept {
+    return topology_;
+  }
+  Protocol protocol() const noexcept { return protocol_; }
+  /// 0-based month since the seed scan (the paper's t0 = 09/2015).
+  int month_index() const noexcept { return month_index_; }
+
+  const CellPopulation& cell(std::uint32_t index) const {
+    TASS_EXPECTS(index < cells_.size());
+    return cells_[index];
+  }
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+
+  /// Host count per m-cell.
+  std::vector<std::uint32_t> counts_per_cell() const;
+  /// Host count aggregated per l-prefix.
+  std::vector<std::uint32_t> counts_per_l() const;
+
+  std::uint64_t total_hosts() const noexcept { return total_hosts_; }
+
+  /// True if the address is responsive in this snapshot.
+  bool contains(net::Ipv4Address addr) const;
+
+  /// All responsive addresses, ascending. (This is what an address hitlist
+  /// records at t0.)
+  std::vector<std::uint32_t> addresses() const;
+
+  /// Visits every responsive address; addresses within a cell are visited
+  /// in ascending order, cells in ascending network order.
+  template <typename Fn>
+  void for_each_address(Fn&& fn) const {
+    for (std::uint32_t index = 0; index < cells_.size(); ++index) {
+      const std::uint32_t base =
+          topology_->m_partition.prefix(index).network().value();
+      const CellPopulation& cell = cells_[index];
+      auto s = cell.stable.begin();
+      auto v = cell.volatile_hosts.begin();
+      while (s != cell.stable.end() || v != cell.volatile_hosts.end()) {
+        if (v == cell.volatile_hosts.end() ||
+            (s != cell.stable.end() && *s < *v)) {
+          fn(net::Ipv4Address(base + *s++));
+        } else {
+          fn(net::Ipv4Address(base + *v++));
+        }
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  Protocol protocol_;
+  int month_index_;
+  std::vector<CellPopulation> cells_;
+  std::uint64_t total_hosts_ = 0;
+};
+
+/// Month label in the paper's axis format; month_index 0 -> "09/15",
+/// 6 -> "03/16".
+std::string month_label(int month_index);
+
+}  // namespace tass::census

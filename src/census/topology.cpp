@@ -1,0 +1,228 @@
+#include "census/topology.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "net/special_use.hpp"
+#include "util/error.hpp"
+
+namespace tass::census {
+
+namespace {
+
+// l-prefix length distribution (weights). Tuned so the mean l-prefix holds
+// ~356k addresses: 8000 prefixes then cover ~2.85B addresses, matching the
+// announced-space scale of the paper's measurement period.
+struct LengthWeight {
+  int length;
+  double weight;
+};
+constexpr std::array<LengthWeight, 17> kLengthWeights{{
+    {8, 0.002},  {9, 0.004},  {10, 0.008}, {11, 0.020}, {12, 0.060},
+    {13, 0.120}, {14, 0.170}, {15, 0.170}, {16, 0.170}, {17, 0.090},
+    {18, 0.070}, {19, 0.050}, {20, 0.030}, {21, 0.020}, {22, 0.012},
+    {23, 0.008}, {24, 0.004},
+}};
+
+// Depth of announced more-specifics relative to their l-prefix.
+constexpr std::array<LengthWeight, 5> kDepthWeights{{
+    {1, 0.50}, {2, 0.25}, {3, 0.12}, {4, 0.08}, {5, 0.05},
+}};
+
+// Base network-type mix; large prefixes skew towards eyeball (ISP) space.
+constexpr std::array<double, kNetworkTypeCount> kTypeWeights{
+    0.15, 0.25, 0.35, 0.10, 0.15};
+
+NetworkType draw_network_type(util::Rng& rng, int prefix_length) {
+  std::array<double, kNetworkTypeCount> weights = kTypeWeights;
+  if (prefix_length <= 12) {
+    weights[static_cast<std::size_t>(NetworkType::kEyeball)] *= 2.0;
+  }
+  const util::DiscreteSampler sampler(weights);
+  return static_cast<NetworkType>(sampler.sample(rng));
+}
+
+void build_derived(Topology& topo, util::Rng& rng,
+                   const std::map<net::Prefix, NetworkType>* types) {
+  topo.l_partition = topo.table.l_partition();
+  topo.m_partition = topo.table.m_partition();
+  topo.advertised_addresses = topo.l_partition.address_count();
+  TASS_ENSURES(topo.advertised_addresses ==
+               topo.m_partition.address_count());
+
+  const std::size_t l_count = topo.l_partition.size();
+  const std::size_t cell_count = topo.m_partition.size();
+
+  topo.cell_to_l.resize(cell_count);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    const auto l_index =
+        topo.l_partition.locate(topo.m_partition.prefix(i).network());
+    TASS_ENSURES(l_index.has_value());
+    topo.cell_to_l[i] = *l_index;
+  }
+
+  topo.l_types.resize(l_count);
+  topo.l_origin_as.resize(l_count);
+  for (std::size_t i = 0; i < l_count; ++i) {
+    const net::Prefix prefix = topo.l_partition.prefix(i);
+    if (types != nullptr) {
+      const auto it = types->find(prefix);
+      topo.l_types[i] = it != types->end()
+                            ? it->second
+                            : draw_network_type(rng, prefix.length());
+    } else {
+      topo.l_types[i] = draw_network_type(rng, prefix.length());
+    }
+    topo.l_origin_as[i] = rng.uniform_u32(1, 64500);
+  }
+
+  // Group m-cells by covering l-cell (counting sort by cell_to_l).
+  topo.l_cell_offsets.assign(l_count + 1, 0);
+  for (const std::uint32_t l : topo.cell_to_l) {
+    ++topo.l_cell_offsets[l + 1];
+  }
+  for (std::size_t i = 1; i <= l_count; ++i) {
+    topo.l_cell_offsets[i] += topo.l_cell_offsets[i - 1];
+  }
+  topo.l_cells.resize(cell_count);
+  std::vector<std::uint32_t> cursor(topo.l_cell_offsets.begin(),
+                                    topo.l_cell_offsets.end() - 1);
+  for (std::uint32_t cell = 0; cell < cell_count; ++cell) {
+    topo.l_cells[cursor[topo.cell_to_l[cell]]++] = cell;
+  }
+}
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(std::span<const net::Prefix> free_blocks) {
+  for (const net::Prefix block : free_blocks) {
+    free_[static_cast<std::size_t>(block.length())].push_back(
+        block.network().value());
+  }
+}
+
+std::optional<net::Prefix> BuddyAllocator::allocate(int length,
+                                                    util::Rng& rng) {
+  TASS_EXPECTS(length >= 0 && length <= 32);
+  // Find the longest available block length that still fits (closest fit
+  // first to limit fragmentation).
+  int from = -1;
+  for (int len = length; len >= 0; --len) {
+    if (!free_[static_cast<std::size_t>(len)].empty()) {
+      from = len;
+      break;
+    }
+  }
+  if (from < 0) return std::nullopt;
+
+  auto& pool = free_[static_cast<std::size_t>(from)];
+  const std::size_t pick = static_cast<std::size_t>(rng.bounded(pool.size()));
+  std::swap(pool[pick], pool.back());
+  net::Prefix block(net::Ipv4Address(pool.back()), from);
+  pool.pop_back();
+
+  while (block.length() < length) {
+    // Keep a random half, free the other.
+    const net::Prefix lower = block.lower_half();
+    const net::Prefix upper = block.upper_half();
+    const bool keep_lower = rng.chance(0.5);
+    const net::Prefix freed = keep_lower ? upper : lower;
+    free_[static_cast<std::size_t>(freed.length())].push_back(
+        freed.network().value());
+    block = keep_lower ? lower : upper;
+  }
+  return block;
+}
+
+std::uint64_t BuddyAllocator::free_addresses() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t len = 0; len <= 32; ++len) {
+    total += static_cast<std::uint64_t>(free_[len].size()) *
+             (1ULL << (32 - len));
+  }
+  return total;
+}
+
+std::shared_ptr<const Topology> generate_topology(
+    const TopologyParams& params) {
+  util::Rng rng(params.seed);
+
+  // Draw l-prefix lengths, biggest first so buddy allocation cannot fail
+  // before space genuinely runs out.
+  std::vector<double> weights;
+  weights.reserve(kLengthWeights.size());
+  for (const auto& lw : kLengthWeights) weights.push_back(lw.weight);
+  const util::DiscreteSampler length_sampler(weights);
+
+  std::vector<int> lengths;
+  lengths.reserve(params.l_prefix_count);
+  for (std::size_t i = 0; i < params.l_prefix_count; ++i) {
+    lengths.push_back(kLengthWeights[length_sampler.sample(rng)].length);
+  }
+  std::sort(lengths.begin(), lengths.end());
+
+  BuddyAllocator allocator(net::scannable_space().to_prefixes());
+  std::vector<net::Prefix> l_prefixes;
+  l_prefixes.reserve(lengths.size());
+  for (const int length : lengths) {
+    if (const auto block = allocator.allocate(length, rng)) {
+      l_prefixes.push_back(*block);
+    }
+  }
+
+  // Announce more-specifics inside a subset of l-prefixes.
+  std::vector<double> depth_weights;
+  for (const auto& dw : kDepthWeights) depth_weights.push_back(dw.weight);
+  const util::DiscreteSampler depth_sampler(depth_weights);
+
+  std::vector<bgp::Pfx2AsRecord> records;
+  std::map<net::Prefix, NetworkType> types;
+  records.reserve(l_prefixes.size() * 2);
+  for (const net::Prefix l : l_prefixes) {
+    const NetworkType type = draw_network_type(rng, l.length());
+    types.emplace(l, type);
+    const std::uint32_t asn = rng.uniform_u32(1, 64500);
+    records.push_back({l, {asn}});
+
+    if (!rng.chance(params.m_prefix_probability) || l.length() >= 30) {
+      continue;
+    }
+    std::size_t m_count = 1;
+    while (rng.chance(params.m_count_continuation) && m_count < 8) {
+      ++m_count;
+    }
+    for (std::size_t k = 0; k < m_count; ++k) {
+      const int depth = kDepthWeights[depth_sampler.sample(rng)].length;
+      const int m_len =
+          std::min({l.length() + depth, params.max_prefix_length, 30});
+      if (m_len <= l.length()) continue;
+      // Random aligned sub-block of l.
+      const std::uint64_t blocks = 1ULL << (m_len - l.length());
+      const std::uint64_t slot = rng.bounded(blocks);
+      const net::Prefix m(
+          net::Ipv4Address(l.network().value() +
+                           static_cast<std::uint32_t>(
+                               slot << (32 - m_len))),
+          m_len);
+      const std::uint32_t m_asn =
+          rng.chance(0.8) ? asn : rng.uniform_u32(1, 64500);
+      records.push_back({m, {m_asn}});
+    }
+  }
+
+  auto topo = std::make_shared<Topology>();
+  topo->table = bgp::RoutingTable::from_pfx2as(records);
+  build_derived(*topo, rng, &types);
+  return topo;
+}
+
+std::shared_ptr<const Topology> topology_from_table(bgp::RoutingTable table,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto topo = std::make_shared<Topology>();
+  topo->table = std::move(table);
+  build_derived(*topo, rng, nullptr);
+  return topo;
+}
+
+}  // namespace tass::census

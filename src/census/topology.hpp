@@ -1,0 +1,101 @@
+// Synthetic Internet topology: an announced-prefix table with the
+// statistical shape of the real BGP table the paper measures against
+// (CAIDA pfx2as of 2015-09-07: 595,644 prefixes, 54% more-specifics
+// covering 34.4% of the advertised space; ~2.8B announced addresses out
+// of the ~3.7B scannable).
+//
+// The generator allocates disjoint l-prefixes from the scannable unicast
+// space with a buddy allocator, assigns each a network type (hosting /
+// enterprise / eyeball / ...) and origin AS, then announces more-specifics
+// inside a subset of them. Everything is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "bgp/rib.hpp"
+#include "census/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace tass::census {
+
+struct TopologyParams {
+  std::uint64_t seed = 2016;
+
+  /// Number of l-prefixes to draw. The default reproduces ~66% space
+  /// coverage (~2.8B addresses) with the built-in length distribution.
+  /// Tests use much smaller counts.
+  std::size_t l_prefix_count = 8000;
+
+  /// Probability that an l-prefix announces more-specifics, and the
+  /// geometric continuation probability for how many (1 + Geom(p)).
+  double m_prefix_probability = 0.55;
+  double m_count_continuation = 0.58;
+
+  /// Maximum announced prefix length (paper: prefixes longer than /24 are
+  /// negligible).
+  int max_prefix_length = 24;
+};
+
+/// The synthetic topology plus the derived structures every consumer
+/// needs: both partitions, the m-cell -> l-prefix mapping, and per-l
+/// metadata. Immutable after generation; shared via shared_ptr.
+struct Topology {
+  bgp::RoutingTable table;
+  bgp::PrefixPartition l_partition;
+  bgp::PrefixPartition m_partition;
+
+  /// For each m-partition cell, the index of its covering l-partition cell.
+  std::vector<std::uint32_t> cell_to_l;
+
+  /// Per l-partition cell: network type and origin AS.
+  std::vector<NetworkType> l_types;
+  std::vector<std::uint32_t> l_origin_as;
+
+  /// Total announced addresses (= l_partition.address_count()).
+  std::uint64_t advertised_addresses = 0;
+
+  /// Cells of each l-prefix, as [begin,end) ranges into a cell index list
+  /// sorted by l. cells_of_l(i) yields the m-cell indices of l-cell i.
+  std::vector<std::uint32_t> l_cell_offsets;  // size l_count+1
+  std::vector<std::uint32_t> l_cells;         // size = m cell count
+
+  std::span<const std::uint32_t> cells_of_l(std::uint32_t l_index) const {
+    TASS_EXPECTS(l_index + 1 < l_cell_offsets.size());
+    return std::span(l_cells).subspan(
+        l_cell_offsets[l_index],
+        l_cell_offsets[l_index + 1] - l_cell_offsets[l_index]);
+  }
+};
+
+/// Generates a synthetic topology. Deterministic in params.seed.
+std::shared_ptr<const Topology> generate_topology(const TopologyParams& params);
+
+/// Builds the derived Topology structures from an existing routing table
+/// (e.g. parsed from a real CAIDA pfx2as file); network types are inferred
+/// pseudo-randomly from the seed since the dump does not carry them.
+std::shared_ptr<const Topology> topology_from_table(bgp::RoutingTable table,
+                                                    std::uint64_t seed);
+
+/// Buddy allocator over the IPv4 space used to place disjoint l-prefixes.
+/// Exposed for tests and for users generating custom layouts.
+class BuddyAllocator {
+ public:
+  /// Free space initialised from the given disjoint prefixes.
+  explicit BuddyAllocator(std::span<const net::Prefix> free_blocks);
+
+  /// Allocates a random free block of exactly `length` bits, splitting
+  /// larger blocks as needed. Returns nullopt when no space remains.
+  std::optional<net::Prefix> allocate(int length, util::Rng& rng);
+
+  /// Total free addresses remaining.
+  std::uint64_t free_addresses() const noexcept;
+
+ private:
+  // free_[len] holds network addresses of free blocks of that length.
+  std::array<std::vector<std::uint32_t>, 33> free_{};
+};
+
+}  // namespace tass::census

@@ -1,0 +1,27 @@
+#include "core/attribution.hpp"
+
+namespace tass::core {
+
+Attribution attribute(std::span<const std::uint32_t> addresses,
+                      const bgp::PrefixPartition& partition) {
+  Attribution result;
+  result.counts.assign(partition.size(), 0);
+  for (const std::uint32_t address : addresses) {
+    if (const auto cell = partition.locate(net::Ipv4Address(address))) {
+      ++result.counts[*cell];
+      ++result.attributed;
+    } else {
+      ++result.unattributed;
+    }
+  }
+  return result;
+}
+
+DensityRanking rank_scan_results(std::span<const std::uint32_t> addresses,
+                                 const bgp::PrefixPartition& partition,
+                                 PrefixMode mode) {
+  const Attribution attribution = attribute(addresses, partition);
+  return rank_by_density(attribution.counts, partition, mode);
+}
+
+}  // namespace tass::core

@@ -1,0 +1,39 @@
+// Attribution of raw scan results to prefix partitions.
+//
+// A real deployment does not get per-cell counts for free: a scan returns
+// a bag of responsive addresses (ScanResult), which must be attributed to
+// the l- or m-partition before density ranking (paper §3.1 step 1:
+// "Count the number of responsive addresses c_i in each responsive
+// prefix i"). This module provides that bridge, so the pipeline
+//   scan -> attribute -> rank -> select
+// works from address lists exactly as it does from census snapshots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "core/ranking.hpp"
+
+namespace tass::core {
+
+/// Result of attributing addresses onto a partition.
+struct Attribution {
+  std::vector<std::uint32_t> counts;   // per partition cell
+  std::uint64_t attributed = 0;        // addresses inside the partition
+  std::uint64_t unattributed = 0;      // addresses outside (unrouted)
+};
+
+/// Counts responsive addresses per partition cell. Addresses outside the
+/// partition (e.g. responses from space that was withdrawn after the scan
+/// started) are tallied as unattributed rather than dropped silently.
+Attribution attribute(std::span<const std::uint32_t> addresses,
+                      const bgp::PrefixPartition& partition);
+
+/// Convenience: attribute then rank (paper steps 1-3) in one call.
+DensityRanking rank_scan_results(std::span<const std::uint32_t> addresses,
+                                 const bgp::PrefixPartition& partition,
+                                 PrefixMode mode);
+
+}  // namespace tass::core

@@ -1,0 +1,123 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::core {
+
+double PopulationEstimate::estimated_hosts() const noexcept {
+  return static_cast<double>(observed_hosts) / coverage;
+}
+
+double PopulationEstimate::estimated_marked() const noexcept {
+  return static_cast<double>(observed_marked) / coverage;
+}
+
+double PopulationEstimate::marked_share() const noexcept {
+  return observed_hosts == 0 ? 0.0
+                             : static_cast<double>(observed_marked) /
+                                   static_cast<double>(observed_hosts);
+}
+
+double PopulationEstimate::share_stderr() const noexcept {
+  if (observed_hosts == 0) return 0.0;
+  const double p = marked_share();
+  return std::sqrt(p * (1.0 - p) /
+                   static_cast<double>(observed_hosts));
+}
+
+double PopulationEstimate::marked_low() const noexcept {
+  const double share = std::max(0.0, marked_share() - 1.96 * share_stderr());
+  return share * estimated_hosts();
+}
+
+double PopulationEstimate::marked_high() const noexcept {
+  const double share = std::min(1.0, marked_share() + 1.96 * share_stderr());
+  return share * estimated_hosts();
+}
+
+PopulationEstimate estimate_population(std::uint64_t observed_hosts,
+                                       std::uint64_t observed_marked,
+                                       double coverage) {
+  TASS_EXPECTS(coverage > 0.0 && coverage <= 1.0);
+  TASS_EXPECTS(observed_marked <= observed_hosts);
+  PopulationEstimate estimate;
+  estimate.observed_hosts = observed_hosts;
+  estimate.observed_marked = observed_marked;
+  estimate.coverage = coverage;
+  return estimate;
+}
+
+std::uint64_t MarkedCensus::marked_in(const Selection& selection) const {
+  TASS_EXPECTS(selection.mode == PrefixMode::kMore);
+  std::uint64_t marked = 0;
+  for (const std::uint32_t cell : selection.indices) {
+    TASS_EXPECTS(cell < marked_per_cell.size());
+    marked += marked_per_cell[cell];
+  }
+  return marked;
+}
+
+MarkedCensus mark_hosts(const census::Snapshot& snapshot, double probability,
+                        MarkingBias bias, std::uint64_t seed) {
+  TASS_EXPECTS(probability >= 0.0 && probability <= 1.0);
+  const census::Topology& topo = snapshot.topology();
+  const auto counts = snapshot.counts_per_cell();
+
+  // For the sparse-biased mode, scale the marking probability by the
+  // cell's density rank: the sparsest occupied third gets 3x the base
+  // rate, the densest third 1/3 of it, renormalised to keep the overall
+  // marked share close to `probability`.
+  std::vector<double> cell_probability(counts.size(), probability);
+  if (bias == MarkingBias::kSparseBiased) {
+    std::vector<std::pair<double, std::uint32_t>> by_density;
+    std::uint64_t total_hosts = 0;
+    for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+      if (counts[cell] == 0) continue;
+      by_density.emplace_back(
+          static_cast<double>(counts[cell]) /
+              static_cast<double>(topo.m_partition.prefix(cell).size()),
+          cell);
+      total_hosts += counts[cell];
+    }
+    std::sort(by_density.begin(), by_density.end());
+    // Assign multipliers by tercile of hosts, then renormalise.
+    double weighted = 0.0;
+    std::vector<double> multiplier(counts.size(), 1.0);
+    std::uint64_t seen = 0;
+    for (const auto& [density, cell] : by_density) {
+      const double position =
+          static_cast<double>(seen) / static_cast<double>(total_hosts);
+      multiplier[cell] = position < 1.0 / 3 ? 3.0
+                         : position < 2.0 / 3 ? 1.0
+                                              : 1.0 / 3;
+      weighted += multiplier[cell] * static_cast<double>(counts[cell]);
+      seen += counts[cell];
+    }
+    const double norm =
+        weighted == 0.0 ? 1.0 : static_cast<double>(total_hosts) / weighted;
+    for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+      cell_probability[cell] =
+          std::min(1.0, probability * multiplier[cell] * norm);
+    }
+  }
+
+  MarkedCensus census;
+  census.marked_per_cell.assign(counts.size(), 0);
+  util::Rng rng(util::mix64(seed, 0x6d61726bULL));  // "mark"
+  for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+    const double p = cell_probability[cell];
+    for (std::uint32_t host = 0; host < counts[cell]; ++host) {
+      if (rng.chance(p)) {
+        ++census.marked_per_cell[cell];
+        ++census.total_marked;
+      }
+    }
+  }
+  return census;
+}
+
+}  // namespace tass::core

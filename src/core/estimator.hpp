@@ -1,0 +1,73 @@
+// Population estimation from partial (phi < 1) scans — the paper's §5
+// research question, implemented.
+//
+// "In the context of the analysis of security incidents (e.g.,
+// Heartbleed) it is important to analyse whether vulnerable servers are
+// distributed equally across both selected prefixes and omitted prefixes
+// [...] If the distribution was fairly equal then regular estimates of
+// vulnerable populations could be obtained with good efficiency and
+// accuracy, for example, with phi = 0.5."
+//
+// This module provides (a) the scale-up estimator with a binomial
+// confidence interval and (b) a marked-census generator that plants a
+// "vulnerable" subpopulation either uniformly (the paper's hypothesis) or
+// biased towards sparse prefixes (the adversarial case), so the
+// hypothesis itself can be tested in simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "census/snapshot.hpp"
+#include "core/selection.hpp"
+
+namespace tass::core {
+
+/// Scale-up estimate of a (sub)population from a partial scan.
+struct PopulationEstimate {
+  std::uint64_t observed_hosts = 0;   // hosts seen in the scanned scope
+  std::uint64_t observed_marked = 0;  // marked (e.g. vulnerable) among them
+  double coverage = 1.0;              // host coverage of the scope (phi)
+
+  /// Estimated totals: observed / coverage.
+  double estimated_hosts() const noexcept;
+  double estimated_marked() const noexcept;
+
+  /// Share of marked hosts among observed, with its binomial standard
+  /// error (the share is coverage-invariant when the uniformity
+  /// hypothesis holds).
+  double marked_share() const noexcept;
+  double share_stderr() const noexcept;
+
+  /// 95% normal-approximation CI on estimated_marked().
+  double marked_low() const noexcept;
+  double marked_high() const noexcept;
+};
+
+/// Builds the estimate from observed counts and the selection's seed-time
+/// host coverage. coverage must be in (0, 1].
+PopulationEstimate estimate_population(std::uint64_t observed_hosts,
+                                       std::uint64_t observed_marked,
+                                       double coverage);
+
+/// How the marked subpopulation distributes relative to prefix density.
+enum class MarkingBias {
+  kUniform,        // every host equally likely (the paper's hypothesis)
+  kSparseBiased,   // hosts in sparse prefixes ~3x likelier (unmaintained
+                   // boxes cluster in low-density space)
+};
+
+/// A marked census: per-cell marked-host counts over a snapshot.
+struct MarkedCensus {
+  std::vector<std::uint32_t> marked_per_cell;
+  std::uint64_t total_marked = 0;
+
+  /// Marked hosts inside a selection (m-mode selections only).
+  std::uint64_t marked_in(const Selection& selection) const;
+};
+
+/// Deterministically marks ~probability of the snapshot's hosts.
+MarkedCensus mark_hosts(const census::Snapshot& snapshot, double probability,
+                        MarkingBias bias, std::uint64_t seed);
+
+}  // namespace tass::core

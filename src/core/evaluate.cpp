@@ -1,0 +1,80 @@
+#include "core/evaluate.hpp"
+
+#include "util/error.hpp"
+
+namespace tass::core {
+
+double StrategyEvaluation::space_fraction() const noexcept {
+  if (cycles.empty() || advertised_addresses == 0) return 0.0;
+  return static_cast<double>(cycles.front().scanned_addresses) /
+         static_cast<double>(advertised_addresses);
+}
+
+double StrategyEvaluation::mean_hitrate() const noexcept {
+  if (cycles.empty()) return 0.0;
+  double sum = 0.0;
+  for (const CycleResult& cycle : cycles) sum += cycle.hitrate();
+  return sum / static_cast<double>(cycles.size());
+}
+
+double StrategyEvaluation::efficiency_vs_full() const noexcept {
+  std::uint64_t found = 0;
+  std::uint64_t probed = 0;
+  std::uint64_t full_found = 0;
+  std::uint64_t full_probed = 0;
+  for (const CycleResult& cycle : cycles) {
+    found += cycle.found_hosts;
+    probed += cycle.scanned_addresses;
+    full_found += cycle.total_hosts;
+    full_probed += advertised_addresses;
+  }
+  if (probed == 0 || full_found == 0 || full_probed == 0) return 0.0;
+  const double ours = static_cast<double>(found) /
+                      static_cast<double>(probed);
+  const double full = static_cast<double>(full_found) /
+                      static_cast<double>(full_probed);
+  return full == 0.0 ? 0.0 : ours / full;
+}
+
+StrategyEvaluation evaluate(const Strategy& strategy,
+                            const census::CensusSeries& series) {
+  StrategyEvaluation evaluation;
+  evaluation.strategy = strategy.name();
+  evaluation.advertised_addresses =
+      series.topology().advertised_addresses;
+  const scan::CostModel cost =
+      scan::CostModel::for_protocol(series.protocol());
+
+  for (const census::Snapshot& truth : series.months()) {
+    CycleResult cycle;
+    cycle.month_index = truth.month_index();
+    cycle.month = census::month_label(truth.month_index());
+    cycle.found_hosts = strategy.found_hosts(truth);
+    cycle.total_hosts = truth.total_hosts();
+    cycle.scanned_addresses = strategy.scanned_addresses();
+    cycle.packets = cost.packets(cycle.scanned_addresses, cycle.found_hosts);
+    evaluation.cycles.push_back(std::move(cycle));
+  }
+  return evaluation;
+}
+
+PaperComparison evaluate_paper_strategies(const census::CensusSeries& series,
+                                          std::span<const double> phis) {
+  TASS_EXPECTS(series.month_count() >= 1);
+  const census::Snapshot& seed = series.month(0);
+
+  PaperComparison comparison;
+  comparison.full = evaluate(FullScanStrategy(seed), series);
+  comparison.hitlist = evaluate(HitlistStrategy(seed), series);
+  for (const PrefixMode mode : {PrefixMode::kLess, PrefixMode::kMore}) {
+    for (const double phi : phis) {
+      SelectionParams params;
+      params.phi = phi;
+      const TassStrategy tass(seed, mode, params);
+      comparison.tass.push_back(evaluate(tass, series));
+    }
+  }
+  return comparison;
+}
+
+}  // namespace tass::core

@@ -1,0 +1,70 @@
+// Longitudinal evaluation — the paper's §4 methodology.
+//
+// "We simulated TASS and an address-based hitlist approach using monthly
+// snapshots of full IPv4 scans [...] Then we determined the fraction of
+// hosts that TASS and the hitlist approach would have uncovered in each
+// scan cycle compared to a periodic full scan." This module does exactly
+// that over a CensusSeries: seed the strategy at month 0, replay it
+// against every month, and account hitrate, scan volume and efficiency.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "census/series.hpp"
+#include "core/strategies.hpp"
+#include "scan/engine.hpp"
+
+namespace tass::core {
+
+/// Outcome of one monthly scan cycle.
+struct CycleResult {
+  int month_index = 0;
+  std::string month;             // "09/15" style label
+  std::uint64_t found_hosts = 0;
+  std::uint64_t total_hosts = 0;   // what a full scan would find
+  std::uint64_t scanned_addresses = 0;
+  double packets = 0.0;
+
+  /// The paper's hitrate: found / full-scan-found.
+  double hitrate() const noexcept {
+    return total_hosts == 0 ? 0.0
+                            : static_cast<double>(found_hosts) /
+                                  static_cast<double>(total_hosts);
+  }
+};
+
+/// A strategy's full evaluation over a census series.
+struct StrategyEvaluation {
+  std::string strategy;
+  std::vector<CycleResult> cycles;
+  std::uint64_t advertised_addresses = 0;
+
+  /// Fraction of the announced space scanned per cycle.
+  double space_fraction() const noexcept;
+  /// Mean hitrate over all cycles.
+  double mean_hitrate() const noexcept;
+  /// Scan efficiency relative to a periodic full scan over the whole
+  /// series: (found/probed) / (full_found/full_probed). The paper's
+  /// headline: TASS is 1.25-10x more efficient over six months.
+  double efficiency_vs_full() const noexcept;
+};
+
+/// Replays `strategy` against every month of the series. The packet
+/// accounting uses the protocol's handshake cost model.
+StrategyEvaluation evaluate(const Strategy& strategy,
+                            const census::CensusSeries& series);
+
+/// Convenience: evaluates the paper's Figure 5/6 strategy set (full scan,
+/// hitlist, TASS l/m at the given phi values) in one call.
+struct PaperComparison {
+  StrategyEvaluation full;
+  StrategyEvaluation hitlist;
+  std::vector<StrategyEvaluation> tass;  // one per (mode, phi) pair
+};
+
+PaperComparison evaluate_paper_strategies(const census::CensusSeries& series,
+                                          std::span<const double> phis);
+
+}  // namespace tass::core

@@ -1,0 +1,120 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tass::core {
+
+std::string_view prefix_mode_name(PrefixMode mode) noexcept {
+  return mode == PrefixMode::kLess ? "less" : "more";
+}
+
+std::uint64_t DensityRanking::responsive_addresses() const noexcept {
+  std::uint64_t total = 0;
+  for (const RankedPrefix& entry : ranked) total += entry.size;
+  return total;
+}
+
+DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
+                               const bgp::PrefixPartition& partition,
+                               PrefixMode mode) {
+  TASS_EXPECTS(counts.size() == partition.size());
+  DensityRanking ranking;
+  ranking.mode = mode;
+  ranking.advertised_addresses = partition.address_count();
+
+  for (std::uint32_t i = 0; i < counts.size(); ++i) {
+    ranking.total_hosts += counts[i];
+  }
+  ranking.ranked.reserve(counts.size());
+  for (std::uint32_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    RankedPrefix entry;
+    entry.index = i;
+    entry.prefix = partition.prefix(i);
+    entry.size = entry.prefix.size();
+    entry.hosts = counts[i];
+    entry.density =
+        static_cast<double>(entry.hosts) / static_cast<double>(entry.size);
+    entry.host_share = ranking.total_hosts == 0
+                           ? 0.0
+                           : static_cast<double>(entry.hosts) /
+                                 static_cast<double>(ranking.total_hosts);
+    ranking.ranked.push_back(entry);
+  }
+  // Density descending; ties broken towards more hosts, then stable by
+  // index so the ranking is deterministic.
+  std::sort(ranking.ranked.begin(), ranking.ranked.end(),
+            [](const RankedPrefix& a, const RankedPrefix& b) {
+              if (a.density != b.density) return a.density > b.density;
+              if (a.hosts != b.hosts) return a.hosts > b.hosts;
+              return a.index < b.index;
+            });
+  return ranking;
+}
+
+DensityRanking rank_by_density(const census::Snapshot& seed,
+                               PrefixMode mode) {
+  const census::Topology& topo = seed.topology();
+  if (mode == PrefixMode::kMore) {
+    return rank_by_density(seed.counts_per_cell(), topo.m_partition, mode);
+  }
+  return rank_by_density(seed.counts_per_l(), topo.l_partition, mode);
+}
+
+std::vector<RankCurvePoint> rank_curve(const DensityRanking& ranking,
+                                       std::size_t max_points) {
+  TASS_EXPECTS(max_points >= 2);
+  std::vector<RankCurvePoint> curve;
+  if (ranking.ranked.empty()) return curve;
+
+  const std::size_t n = ranking.ranked.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+
+  std::uint64_t cumulative_hosts = 0;
+  std::uint64_t cumulative_space = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cumulative_hosts += ranking.ranked[i].hosts;
+    cumulative_space += ranking.ranked[i].size;
+    if (i % step == 0 || i + 1 == n) {
+      RankCurvePoint point;
+      point.rank = i + 1;
+      point.density = ranking.ranked[i].density;
+      point.cumulative_hosts =
+          ranking.total_hosts == 0
+              ? 0.0
+              : static_cast<double>(cumulative_hosts) /
+                    static_cast<double>(ranking.total_hosts);
+      point.cumulative_space =
+          ranking.advertised_addresses == 0
+              ? 0.0
+              : static_cast<double>(cumulative_space) /
+                    static_cast<double>(ranking.advertised_addresses);
+      curve.push_back(point);
+    }
+  }
+  return curve;
+}
+
+std::array<std::uint64_t, 33> hosts_by_prefix_length(
+    const census::Snapshot& snapshot, PrefixMode mode) {
+  std::array<std::uint64_t, 33> histogram{};
+  const census::Topology& topo = snapshot.topology();
+  if (mode == PrefixMode::kMore) {
+    const auto counts = snapshot.counts_per_cell();
+    for (std::uint32_t i = 0; i < counts.size(); ++i) {
+      histogram[static_cast<std::size_t>(
+          topo.m_partition.prefix(i).length())] += counts[i];
+    }
+  } else {
+    const auto counts = snapshot.counts_per_l();
+    for (std::uint32_t i = 0; i < counts.size(); ++i) {
+      histogram[static_cast<std::size_t>(
+          topo.l_partition.prefix(i).length())] += counts[i];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace tass::core

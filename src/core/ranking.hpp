@@ -1,0 +1,77 @@
+// Density ranking — steps 1-3 of the TASS algorithm (paper §3.1).
+//
+// Given a seed scan (a census snapshot standing in for the t0 full scan),
+// count responsive addresses c_i per prefix, compute densities
+// rho_i = c_i / 2^(32-len) and relative host coverages phi_i = c_i / N,
+// and sort prefixes by descending density. Both prefix granularities are
+// supported: l-prefixes (kLess) and deaggregated m-prefixes (kMore).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "census/snapshot.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::core {
+
+/// Which prefix granularity to rank over (Table 1's "less" / "more").
+enum class PrefixMode : std::uint8_t { kLess = 0, kMore = 1 };
+
+std::string_view prefix_mode_name(PrefixMode mode) noexcept;
+
+/// One responsive prefix in the ranking.
+struct RankedPrefix {
+  std::uint32_t index = 0;   // cell index within the chosen partition
+  net::Prefix prefix;
+  std::uint64_t size = 0;    // addresses in the prefix
+  std::uint64_t hosts = 0;   // responsive addresses (c_i)
+  double density = 0.0;      // rho_i
+  double host_share = 0.0;   // phi_i
+};
+
+/// The full density ranking of a seed scan. Zero-density prefixes are
+/// excluded (the paper plots and selects over rho > 0 only).
+struct DensityRanking {
+  PrefixMode mode = PrefixMode::kLess;
+  std::vector<RankedPrefix> ranked;        // density descending
+  std::uint64_t total_hosts = 0;           // N
+  std::uint64_t advertised_addresses = 0;  // announced space size
+
+  /// Space covered by all responsive prefixes (the phi = 1 cost).
+  std::uint64_t responsive_addresses() const noexcept;
+};
+
+/// Builds the ranking from a ground-truth snapshot (which stands in for
+/// the t0 full-scan result).
+DensityRanking rank_by_density(const census::Snapshot& seed, PrefixMode mode);
+
+/// Builds the ranking from an explicit per-cell host count vector over a
+/// partition (e.g. produced by a real ScanResult attribution).
+DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
+                               const bgp::PrefixPartition& partition,
+                               PrefixMode mode);
+
+/// One point of the Figure 4 curves.
+struct RankCurvePoint {
+  std::size_t rank = 0;              // 1-based prefix rank
+  double density = 0.0;              // of the prefix at this rank
+  double cumulative_hosts = 0.0;     // host coverage up to this rank
+  double cumulative_space = 0.0;     // address space coverage up to rank
+};
+
+/// Samples the (density, cumulative host coverage, cumulative space
+/// coverage) curves at up to `max_points` evenly spaced ranks (always
+/// includes the final rank).
+std::vector<RankCurvePoint> rank_curve(const DensityRanking& ranking,
+                                       std::size_t max_points);
+
+/// Histogram of responsive hosts by prefix length (Figure 3); index =
+/// prefix length 0..32.
+std::array<std::uint64_t, 33> hosts_by_prefix_length(
+    const census::Snapshot& snapshot, PrefixMode mode);
+
+}  // namespace tass::core

@@ -1,0 +1,37 @@
+// Reseeding policy — step 5 of the TASS algorithm made explicit.
+//
+// "Scan prefixes 1..k repeatedly until t0 + Delta-t, then start over at
+// step 1." The reseed interval Delta-t trades residual accuracy against
+// the cost of the periodic full seeding scan. This module evaluates a
+// reseeding TASS deployment over a census series: every reseed month runs
+// a full scan (full accuracy, full cost) and refreshes the selection; the
+// months in between scan only the current selection.
+#pragma once
+
+#include "census/series.hpp"
+#include "core/evaluate.hpp"
+
+namespace tass::core {
+
+struct ReseedPolicy {
+  /// Months between seeding full scans; 0 = seed once at month 0, never
+  /// again (the configuration Figure 6 measures over its 7 snapshots).
+  int interval_months = 0;
+};
+
+struct ReseedOutcome {
+  std::vector<CycleResult> cycles;
+  int reseed_count = 0;               // full-scan cycles (incl. month 0)
+  std::uint64_t total_probes = 0;     // across all cycles
+
+  double mean_hitrate() const noexcept;
+  /// Probe traffic relative to running a full scan every month.
+  double traffic_vs_monthly_full(std::uint64_t advertised) const noexcept;
+};
+
+/// Replays a reseeding TASS deployment over the series.
+ReseedOutcome evaluate_with_reseed(const census::CensusSeries& series,
+                                   PrefixMode mode, SelectionParams params,
+                                   ReseedPolicy policy);
+
+}  // namespace tass::core

@@ -1,0 +1,112 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::core {
+
+namespace {
+
+Selection select_from(const DensityRanking& ranking,
+                      std::span<const RankedPrefix> order,
+                      const SelectionParams& params) {
+  TASS_EXPECTS(params.phi > 0.0 && params.phi <= 1.0);
+  Selection selection;
+  selection.mode = ranking.mode;
+  selection.total_hosts = ranking.total_hosts;
+  selection.advertised_addresses = ranking.advertised_addresses;
+
+  // Integer threshold: smallest k with covered_hosts >= ceil(phi * N); for
+  // phi = 1 this takes every responsive prefix, matching the paper's
+  // "selects all prefixes with a non-zero density".
+  const auto threshold = static_cast<std::uint64_t>(
+      std::ceil(params.phi * static_cast<double>(ranking.total_hosts)));
+
+  for (const RankedPrefix& entry : order) {
+    if (selection.covered_hosts >= threshold) break;
+    if (entry.density < params.min_density) break;
+    if (params.max_addresses &&
+        selection.selected_addresses + entry.size > *params.max_addresses) {
+      break;
+    }
+    selection.indices.push_back(entry.index);
+    selection.prefixes.push_back(entry.prefix);
+    selection.selected_addresses += entry.size;
+    selection.covered_hosts += entry.hosts;
+  }
+  return selection;
+}
+
+}  // namespace
+
+Selection select_by_density(const DensityRanking& ranking,
+                            const SelectionParams& params) {
+  return select_from(ranking, ranking.ranked, params);
+}
+
+SelectionChurn selection_churn(const Selection& older,
+                               const Selection& newer) {
+  std::vector<net::Prefix> a(older.prefixes.begin(), older.prefixes.end());
+  std::vector<net::Prefix> b(newer.prefixes.begin(), newer.prefixes.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  SelectionChurn churn;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++churn.removed;
+      ++ia;
+    } else if (*ib < *ia) {
+      ++churn.added;
+      ++ib;
+    } else {
+      ++churn.kept;
+      ++ia;
+      ++ib;
+    }
+  }
+  churn.removed += static_cast<std::size_t>(a.end() - ia);
+  churn.added += static_cast<std::size_t>(b.end() - ib);
+  return churn;
+}
+
+Selection select_with_order(const DensityRanking& ranking,
+                            const SelectionParams& params, RankingOrder order,
+                            std::uint64_t seed) {
+  if (order == RankingOrder::kDensity) {
+    return select_from(ranking, ranking.ranked, params);
+  }
+  std::vector<RankedPrefix> reordered(ranking.ranked.begin(),
+                                      ranking.ranked.end());
+  switch (order) {
+    case RankingOrder::kHostCount:
+      std::sort(reordered.begin(), reordered.end(),
+                [](const RankedPrefix& a, const RankedPrefix& b) {
+                  if (a.hosts != b.hosts) return a.hosts > b.hosts;
+                  return a.index < b.index;
+                });
+      break;
+    case RankingOrder::kSpaceAscending:
+      std::sort(reordered.begin(), reordered.end(),
+                [](const RankedPrefix& a, const RankedPrefix& b) {
+                  if (a.size != b.size) return a.size < b.size;
+                  return a.index < b.index;
+                });
+      break;
+    case RankingOrder::kRandom: {
+      util::Rng rng(seed);
+      rng.shuffle(std::span<RankedPrefix>(reordered));
+      break;
+    }
+    case RankingOrder::kDensity:
+      break;
+  }
+  return select_from(ranking, reordered, params);
+}
+
+}  // namespace tass::core

@@ -1,0 +1,96 @@
+// Prefix selection — steps 4-5 of the TASS algorithm (paper §3.1).
+//
+// Given a density ranking, select the smallest k such that the cumulative
+// host coverage exceeds the target phi; those k prefixes form the scope of
+// every repeated scan until the next reseed. Optional refinements from the
+// paper's discussion: a minimum-density cutoff (§3.4 "omitting prefixes
+// with a low density") and an address budget.
+#pragma once
+
+#include <optional>
+
+#include "core/ranking.hpp"
+
+namespace tass::core {
+
+struct SelectionParams {
+  /// Target host coverage phi in (0, 1]. phi = 1 selects every responsive
+  /// prefix (rho > 0).
+  double phi = 1.0;
+  /// Drop prefixes below this density even if phi is not yet reached.
+  double min_density = 0.0;
+  /// Stop once the selection would exceed this many addresses.
+  std::optional<std::uint64_t> max_addresses;
+};
+
+/// The outcome of a TASS selection at seed time.
+struct Selection {
+  PrefixMode mode = PrefixMode::kLess;
+  /// Partition cell indices of the selected prefixes, in ranking order.
+  std::vector<std::uint32_t> indices;
+  /// Selected prefixes, in ranking order (parallel to indices).
+  std::vector<net::Prefix> prefixes;
+
+  std::uint64_t selected_addresses = 0;  // total size of the selection
+  std::uint64_t covered_hosts = 0;       // hosts inside at seed time
+  std::uint64_t total_hosts = 0;         // N at seed time
+  std::uint64_t advertised_addresses = 0;
+
+  std::size_t k() const noexcept { return indices.size(); }
+  /// Achieved host coverage at seed time (>= phi unless cut short).
+  double host_coverage() const noexcept {
+    return total_hosts == 0 ? 0.0
+                            : static_cast<double>(covered_hosts) /
+                                  static_cast<double>(total_hosts);
+  }
+  /// Fraction of the announced address space to be scanned per cycle —
+  /// the quantity Table 1 reports.
+  double space_coverage() const noexcept {
+    return advertised_addresses == 0
+               ? 0.0
+               : static_cast<double>(selected_addresses) /
+                     static_cast<double>(advertised_addresses);
+  }
+};
+
+/// Selects prefixes by descending density until the coverage target is
+/// met (paper step 4: smallest k with cumulative phi_i exceeding phi).
+Selection select_by_density(const DensityRanking& ranking,
+                            const SelectionParams& params);
+
+/// Ablation orderings used by bench/ablation_ranking: identical stopping
+/// rule, different sort keys.
+enum class RankingOrder {
+  kDensity,     // the paper's choice
+  kHostCount,   // most hosts first, ignores prefix size
+  kRandom,      // random order (seeded)
+  kSpaceAscending,  // smallest prefixes first
+};
+
+Selection select_with_order(const DensityRanking& ranking,
+                            const SelectionParams& params, RankingOrder order,
+                            std::uint64_t seed);
+
+/// How much a selection changes between two seeds — the operational
+/// counterpart of the paper's §3.3 stability analysis: if the host
+/// distribution over prefixes is stable, the selected prefix set should
+/// be too (so whitelists, ACLs and measurement baselines stay valid).
+struct SelectionChurn {
+  std::size_t kept = 0;     // prefixes in both selections
+  std::size_t added = 0;    // only in the newer selection
+  std::size_t removed = 0;  // only in the older selection
+
+  /// Jaccard similarity of the two prefix sets.
+  double jaccard() const noexcept {
+    const std::size_t unions = kept + added + removed;
+    return unions == 0 ? 1.0
+                       : static_cast<double>(kept) /
+                             static_cast<double>(unions);
+  }
+};
+
+/// Compares two selections' prefix sets (any modes; exact prefix match).
+SelectionChurn selection_churn(const Selection& older,
+                               const Selection& newer);
+
+}  // namespace tass::core

@@ -1,0 +1,203 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::core {
+
+namespace {
+
+// Counts how many values the two sorted vectors share.
+std::uint64_t count_intersection(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  std::uint64_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+// Implicit index of the /24 blocks overlapping the announced space; allows
+// uniform sampling without materialising ~11M block ids.
+class BlockIndex {
+ public:
+  explicit BlockIndex(const net::IntervalSet& space) {
+    std::uint64_t running = 0;
+    for (const net::Interval& interval : space.intervals()) {
+      const std::uint32_t first = interval.first.value() >> 8;
+      const std::uint32_t last = interval.last.value() >> 8;
+      // Skip a leading block already covered by the previous interval.
+      const std::uint32_t begin =
+          (!spans_.empty() && spans_.back().second >= first)
+              ? spans_.back().second + 1
+              : first;
+      if (begin > last) continue;
+      spans_.emplace_back(begin, last);
+      running += last - begin + 1;
+      cumulative_.push_back(running);
+    }
+  }
+
+  std::uint64_t total_blocks() const noexcept {
+    return cumulative_.empty() ? 0 : cumulative_.back();
+  }
+
+  std::uint32_t block_at(std::uint64_t index) const {
+    TASS_EXPECTS(index < total_blocks());
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), index);
+    const auto span_index =
+        static_cast<std::size_t>(it - cumulative_.begin());
+    const std::uint64_t before =
+        span_index == 0 ? 0 : cumulative_[span_index - 1];
+    return spans_[span_index].first +
+           static_cast<std::uint32_t>(index - before);
+  }
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans_;
+  std::vector<std::uint64_t> cumulative_;
+};
+
+}  // namespace
+
+FullScanStrategy::FullScanStrategy(const census::Snapshot& seed)
+    : advertised_(seed.topology().advertised_addresses) {}
+
+std::uint64_t FullScanStrategy::found_hosts(
+    const census::Snapshot& truth) const {
+  return truth.total_hosts();
+}
+
+HitlistStrategy::HitlistStrategy(const census::Snapshot& seed)
+    : hitlist_(seed.addresses()) {}
+
+std::uint64_t HitlistStrategy::found_hosts(
+    const census::Snapshot& truth) const {
+  // A host is found iff one of the hitlist addresses is responsive now.
+  return count_intersection(hitlist_, truth.addresses());
+}
+
+TassStrategy::TassStrategy(const census::Snapshot& seed, PrefixMode mode,
+                           SelectionParams params)
+    : mode_(mode), params_(params) {
+  const DensityRanking ranking = rank_by_density(seed, mode);
+  selection_ = select_by_density(ranking, params_);
+  const census::Topology& topo = seed.topology();
+  const std::size_t partition_size = mode == PrefixMode::kMore
+                                         ? topo.m_partition.size()
+                                         : topo.l_partition.size();
+  selected_.assign(partition_size, false);
+  for (const std::uint32_t index : selection_.indices) {
+    selected_[index] = true;
+  }
+}
+
+std::string TassStrategy::name() const {
+  char phi[16];
+  std::snprintf(phi, sizeof(phi), "%.2f", params_.phi);
+  return std::string("tass-") + std::string(prefix_mode_name(mode_)) +
+         "(phi=" + phi + ")";
+}
+
+std::uint64_t TassStrategy::found_hosts(const census::Snapshot& truth) const {
+  const auto counts = mode_ == PrefixMode::kMore ? truth.counts_per_cell()
+                                                 : truth.counts_per_l();
+  TASS_EXPECTS(counts.size() == selected_.size());
+  std::uint64_t found = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (selected_[i]) found += counts[i];
+  }
+  return found;
+}
+
+RandomSampleStrategy::RandomSampleStrategy(const census::Snapshot& seed,
+                                           const RandomSampleParams& params) {
+  TASS_EXPECTS(params.block_fraction > 0.0 && params.block_fraction <= 1.0);
+  const census::Topology& topo = seed.topology();
+  const BlockIndex index(topo.l_partition.to_interval_set());
+
+  // Hosts per responsive /24 block at t0.
+  std::unordered_map<std::uint32_t, std::uint32_t> responsive;
+  seed.for_each_address(
+      [&](net::Ipv4Address addr) { ++responsive[addr.value() >> 8]; });
+
+  const std::uint64_t total_blocks = index.total_blocks();
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params.block_fraction *
+                                    static_cast<double>(total_blocks)));
+  const auto random_quota = static_cast<std::uint64_t>(
+      params.random_share * static_cast<double>(target));
+  const auto responsive_quota = static_cast<std::uint64_t>(
+      params.responsive_share * static_cast<double>(target));
+
+  util::Rng rng(params.seed);
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(target * 2);
+
+  // 50%: uniformly random blocks of the announced space.
+  while (chosen.size() < std::min(random_quota, total_blocks)) {
+    chosen.insert(index.block_at(rng.bounded(total_blocks)));
+  }
+
+  // 25%: blocks responsive at t0 (random subset).
+  std::vector<std::uint32_t> responsive_blocks;
+  responsive_blocks.reserve(responsive.size());
+  for (const auto& [block, hosts] : responsive) {
+    responsive_blocks.push_back(block);
+  }
+  std::sort(responsive_blocks.begin(), responsive_blocks.end());
+  rng.shuffle(std::span<std::uint32_t>(responsive_blocks));
+  {
+    std::uint64_t picked = 0;
+    for (const std::uint32_t block : responsive_blocks) {
+      if (picked >= responsive_quota) break;
+      if (chosen.insert(block).second) ++picked;
+    }
+  }
+
+  // 25% ("other policies"): the densest responsive blocks at t0.
+  {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> by_density;
+    by_density.reserve(responsive.size());
+    for (const auto& [block, hosts] : responsive) {
+      by_density.emplace_back(hosts, block);
+    }
+    std::sort(by_density.rbegin(), by_density.rend());
+    for (const auto& [hosts, block] : by_density) {
+      if (chosen.size() >= target) break;
+      chosen.insert(block);
+    }
+  }
+
+  blocks_.assign(chosen.begin(), chosen.end());
+  std::sort(blocks_.begin(), blocks_.end());
+}
+
+std::uint64_t RandomSampleStrategy::found_hosts(
+    const census::Snapshot& truth) const {
+  std::uint64_t found = 0;
+  truth.for_each_address([&](net::Ipv4Address addr) {
+    if (std::binary_search(blocks_.begin(), blocks_.end(),
+                           addr.value() >> 8)) {
+      ++found;
+    }
+  });
+  return found;
+}
+
+}  // namespace tass::core

@@ -1,0 +1,116 @@
+// Periodic scanning strategies (the paper's §4 comparison set).
+//
+// A strategy is seeded once from the t0 full scan and then plans the scope
+// of every repeated cycle. Implementations:
+//
+//   * FullScanStrategy    — rescan the whole announced space (ground truth
+//                           and cost ceiling);
+//   * HitlistStrategy     — rescan exactly the addresses responsive at t0
+//                           (Fan & Heidemann-style address hitlist, §4.1);
+//   * TassStrategy        — the paper's contribution: density-selected
+//                           prefixes at either granularity (§3.1);
+//   * RandomSampleStrategy— Heidemann et al.'s /24-block sampling: 50%
+//                           random blocks, 25% previously responsive
+//                           blocks, 25% policy-chosen blocks (§2).
+//
+// For the trace-driven evaluation every strategy exposes its per-cycle
+// scan cost (addresses probed) and, given a later ground-truth snapshot,
+// the number of hosts it would have found.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "census/snapshot.hpp"
+#include "core/selection.hpp"
+
+namespace tass::core {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+
+  /// Addresses probed per scan cycle.
+  virtual std::uint64_t scanned_addresses() const = 0;
+
+  /// Hosts of `truth` that a cycle scanning this strategy's scope finds.
+  virtual std::uint64_t found_hosts(const census::Snapshot& truth) const = 0;
+};
+
+class FullScanStrategy final : public Strategy {
+ public:
+  explicit FullScanStrategy(const census::Snapshot& seed);
+  std::string name() const override { return "full-scan"; }
+  std::uint64_t scanned_addresses() const override { return advertised_; }
+  std::uint64_t found_hosts(const census::Snapshot& truth) const override;
+
+ private:
+  std::uint64_t advertised_;
+};
+
+class HitlistStrategy final : public Strategy {
+ public:
+  explicit HitlistStrategy(const census::Snapshot& seed);
+  std::string name() const override { return "hitlist"; }
+  std::uint64_t scanned_addresses() const override {
+    return hitlist_.size();
+  }
+  std::uint64_t found_hosts(const census::Snapshot& truth) const override;
+
+ private:
+  std::vector<std::uint32_t> hitlist_;  // ascending addresses at t0
+};
+
+class TassStrategy final : public Strategy {
+ public:
+  TassStrategy(const census::Snapshot& seed, PrefixMode mode,
+               SelectionParams params);
+
+  std::string name() const override;
+  std::uint64_t scanned_addresses() const override {
+    return selection_.selected_addresses;
+  }
+  std::uint64_t found_hosts(const census::Snapshot& truth) const override;
+
+  const Selection& selection() const noexcept { return selection_; }
+  PrefixMode mode() const noexcept { return mode_; }
+
+ private:
+  PrefixMode mode_;
+  SelectionParams params_;
+  Selection selection_;
+  std::vector<bool> selected_;  // by partition cell index
+};
+
+struct RandomSampleParams {
+  /// Fraction of /24 blocks of the announced space to scan (Heidemann et
+  /// al. probed ~1% of the address space).
+  double block_fraction = 0.01;
+  double random_share = 0.50;      // chosen uniformly at random
+  double responsive_share = 0.25;  // blocks responsive at t0
+  double policy_share = 0.25;      // densest blocks at t0
+  std::uint64_t seed = 99;
+};
+
+class RandomSampleStrategy final : public Strategy {
+ public:
+  RandomSampleStrategy(const census::Snapshot& seed,
+                       const RandomSampleParams& params);
+  std::string name() const override { return "random-sample"; }
+  std::uint64_t scanned_addresses() const override {
+    return static_cast<std::uint64_t>(blocks_.size()) * 256;
+  }
+  std::uint64_t found_hosts(const census::Snapshot& truth) const override;
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  std::vector<std::uint32_t> blocks_;  // sorted /24 block ids (addr >> 8)
+};
+
+}  // namespace tass::core

@@ -1,0 +1,42 @@
+// Umbrella header: the full TASS public API.
+//
+//   #include "core/tass.hpp"
+//
+// pulls in the paper's pipeline end to end: routing-table ingestion
+// (pfx2as / MRT), deaggregation, census simulation, density ranking,
+// prefix selection, scanning strategies and the longitudinal evaluator.
+#pragma once
+
+#include "bgp/aggregate.hpp"
+#include "bgp/deaggregate.hpp"
+#include "bgp/mrt.hpp"
+#include "bgp/partition.hpp"
+#include "bgp/pfx2as.hpp"
+#include "bgp/rib.hpp"
+#include "census/churn.hpp"
+#include "census/import.hpp"
+#include "census/io.hpp"
+#include "census/population.hpp"
+#include "census/protocol.hpp"
+#include "census/quality.hpp"
+#include "census/series.hpp"
+#include "census/snapshot.hpp"
+#include "census/topology.hpp"
+#include "core/attribution.hpp"
+#include "core/estimator.hpp"
+#include "core/evaluate.hpp"
+#include "core/ranking.hpp"
+#include "core/reseed.hpp"
+#include "core/selection.hpp"
+#include "core/strategies.hpp"
+#include "net/interval.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "net/special_use.hpp"
+#include "scan/blocklist.hpp"
+#include "scan/engine.hpp"
+#include "scan/packet.hpp"
+#include "scan/ratelimit.hpp"
+#include "scan/scope.hpp"
+#include "scan/target_iterator.hpp"

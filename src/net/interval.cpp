@@ -1,0 +1,188 @@
+#include "net/interval.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tass::net {
+
+namespace {
+
+// True if a ends immediately before b starts or they overlap, i.e. the two
+// can be coalesced into one interval.
+bool mergeable(const Interval& a, const Interval& b) noexcept {
+  if (a.last.value() == ~0u) return true;  // a reaches the end of space
+  return a.last.value() + 1 >= b.first.value();
+}
+
+}  // namespace
+
+IntervalSet::IntervalSet(std::span<const Interval> intervals) {
+  std::vector<Interval> sorted(intervals.begin(), intervals.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const Interval& interval : sorted) {
+    TASS_EXPECTS(interval.first <= interval.last);
+    if (!intervals_.empty() && mergeable(intervals_.back(), interval)) {
+      intervals_.back().last = std::max(intervals_.back().last, interval.last);
+    } else {
+      intervals_.push_back(interval);
+    }
+  }
+}
+
+IntervalSet IntervalSet::of_prefixes(std::span<const Prefix> prefixes) {
+  std::vector<Interval> intervals;
+  intervals.reserve(prefixes.size());
+  for (const Prefix prefix : prefixes) {
+    intervals.push_back(Interval::of(prefix));
+  }
+  return IntervalSet(intervals);
+}
+
+IntervalSet IntervalSet::full_space() {
+  IntervalSet set;
+  set.intervals_.push_back(Interval::full_space());
+  return set;
+}
+
+void IntervalSet::insert(Interval interval) {
+  TASS_EXPECTS(interval.first <= interval.last);
+  // Find the insertion window: all intervals overlapping or adjacent to
+  // `interval` get merged into it.
+  auto begin = std::lower_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const Interval& a, const Interval& b) { return a.first < b.first; });
+  // Step back if the previous interval touches the new one.
+  if (begin != intervals_.begin() && mergeable(*(begin - 1), interval)) {
+    --begin;
+  }
+  auto end = begin;
+  while (end != intervals_.end() && mergeable(interval, *end)) {
+    interval.first = std::min(interval.first, end->first);
+    interval.last = std::max(interval.last, end->last);
+    ++end;
+  }
+  const auto pos = intervals_.erase(begin, end);
+  intervals_.insert(pos, interval);
+}
+
+void IntervalSet::remove(Interval interval) {
+  TASS_EXPECTS(interval.first <= interval.last);
+  std::vector<Interval> result;
+  result.reserve(intervals_.size() + 1);
+  for (const Interval& existing : intervals_) {
+    if (existing.last < interval.first || interval.last < existing.first) {
+      result.push_back(existing);
+      continue;
+    }
+    if (existing.first < interval.first) {
+      result.push_back(
+          {existing.first, Ipv4Address(interval.first.value() - 1)});
+    }
+    if (interval.last < existing.last) {
+      result.push_back(
+          {Ipv4Address(interval.last.value() + 1), existing.last});
+    }
+  }
+  intervals_ = std::move(result);
+}
+
+bool IntervalSet::contains(Ipv4Address addr) const noexcept {
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), addr,
+      [](Ipv4Address a, const Interval& b) { return a < b.first; });
+  return it != intervals_.begin() && (it - 1)->contains(addr);
+}
+
+bool IntervalSet::contains_all(Interval interval) const noexcept {
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), interval.first,
+      [](Ipv4Address a, const Interval& b) { return a < b.first; });
+  return it != intervals_.begin() && (it - 1)->contains(interval.first) &&
+         (it - 1)->contains(interval.last);
+}
+
+std::uint64_t IntervalSet::address_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Interval& interval : intervals_) total += interval.size();
+  return total;
+}
+
+IntervalSet IntervalSet::union_with(const IntervalSet& other) const {
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  merged.insert(merged.end(), intervals_.begin(), intervals_.end());
+  merged.insert(merged.end(), other.intervals_.begin(),
+                other.intervals_.end());
+  return IntervalSet(merged);
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet result;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const Ipv4Address lo = std::max(a->first, b->first);
+    const Ipv4Address hi = std::min(a->last, b->last);
+    if (lo <= hi) result.intervals_.push_back({lo, hi});
+    if (a->last < b->last) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return result;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  return intersect(other.complement());
+}
+
+IntervalSet IntervalSet::complement() const {
+  IntervalSet result;
+  std::uint64_t next = 0;
+  for (const Interval& interval : intervals_) {
+    if (interval.first.value() > next) {
+      result.intervals_.push_back(
+          {Ipv4Address(static_cast<std::uint32_t>(next)),
+           Ipv4Address(interval.first.value() - 1)});
+    }
+    next = static_cast<std::uint64_t>(interval.last.value()) + 1;
+  }
+  if (next <= 0xffffffffULL) {
+    result.intervals_.push_back(
+        {Ipv4Address(static_cast<std::uint32_t>(next)), Ipv4Address(~0u)});
+  }
+  return result;
+}
+
+AddressIndexer::AddressIndexer(const IntervalSet& set)
+    : intervals_(set.intervals().begin(), set.intervals().end()) {
+  cumulative_.reserve(intervals_.size());
+  std::uint64_t running = 0;
+  for (const Interval& interval : intervals_) {
+    running += interval.size();
+    cumulative_.push_back(running);
+  }
+}
+
+Ipv4Address AddressIndexer::at(std::uint64_t index) const {
+  TASS_EXPECTS(index < size());
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), index);
+  const auto slot = static_cast<std::size_t>(it - cumulative_.begin());
+  const std::uint64_t before = slot == 0 ? 0 : cumulative_[slot - 1];
+  return Ipv4Address(intervals_[slot].first.value() +
+                     static_cast<std::uint32_t>(index - before));
+}
+
+std::vector<Prefix> IntervalSet::to_prefixes() const {
+  std::vector<Prefix> prefixes;
+  for (const Interval& interval : intervals_) {
+    const auto cover = cover_range(interval.first, interval.last);
+    prefixes.insert(prefixes.end(), cover.begin(), cover.end());
+  }
+  return prefixes;
+}
+
+}  // namespace tass::net

@@ -1,0 +1,107 @@
+// Address intervals and disjoint interval sets.
+//
+// IntervalSet is the workhorse for address-space accounting: advertised
+// space, blocklists, scan scopes, and the set algebra behind Figure 1
+// (strategy scoping) are all expressed over it. Intervals are inclusive
+// [first, last] so the full space [0, 2^32-1] is representable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::net {
+
+/// Inclusive address interval [first, last].
+struct Interval {
+  Ipv4Address first;
+  Ipv4Address last;
+
+  constexpr std::uint64_t size() const noexcept {
+    return static_cast<std::uint64_t>(last.value()) - first.value() + 1;
+  }
+  constexpr bool contains(Ipv4Address addr) const noexcept {
+    return first <= addr && addr <= last;
+  }
+
+  static constexpr Interval of(Prefix prefix) noexcept {
+    return Interval{prefix.first(), prefix.last()};
+  }
+  static constexpr Interval full_space() noexcept {
+    return Interval{Ipv4Address(0), Ipv4Address(~0u)};
+  }
+
+  friend constexpr auto operator<=>(const Interval&,
+                                    const Interval&) noexcept = default;
+};
+
+/// A set of addresses maintained as sorted, disjoint, non-adjacent
+/// inclusive intervals. Regular value type; all mutators keep the invariant.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds from arbitrary (possibly overlapping, unsorted) intervals.
+  explicit IntervalSet(std::span<const Interval> intervals);
+
+  static IntervalSet of_prefixes(std::span<const Prefix> prefixes);
+  static IntervalSet full_space();
+
+  void insert(Interval interval);
+  void insert(Prefix prefix) { insert(Interval::of(prefix)); }
+  void remove(Interval interval);
+  void remove(Prefix prefix) { remove(Interval::of(prefix)); }
+
+  bool contains(Ipv4Address addr) const noexcept;
+  /// True if every address in `interval` is in the set.
+  bool contains_all(Interval interval) const noexcept;
+
+  /// Total number of addresses in the set.
+  std::uint64_t address_count() const noexcept;
+
+  bool empty() const noexcept { return intervals_.empty(); }
+  std::size_t interval_count() const noexcept { return intervals_.size(); }
+  std::span<const Interval> intervals() const noexcept { return intervals_; }
+
+  /// Set algebra; each returns a new set.
+  IntervalSet union_with(const IntervalSet& other) const;
+  IntervalSet intersect(const IntervalSet& other) const;
+  IntervalSet subtract(const IntervalSet& other) const;
+  IntervalSet complement() const;
+
+  /// Minimal CIDR cover of the set, ascending.
+  std::vector<Prefix> to_prefixes() const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  // Sorted by first; pairwise disjoint with at least one address gap
+  // between consecutive intervals (adjacent intervals are coalesced).
+  std::vector<Interval> intervals_;
+};
+
+/// Random access into the addresses of an IntervalSet: maps a dense index
+/// in [0, size()) to the index-th smallest address. Lets scanners permute
+/// a scope by permuting [0, size()) (the ZMap whitelist technique).
+class AddressIndexer {
+ public:
+  explicit AddressIndexer(const IntervalSet& set);
+
+  std::uint64_t size() const noexcept {
+    return cumulative_.empty() ? 0 : cumulative_.back();
+  }
+
+  /// The index-th smallest address. Precondition: index < size().
+  Ipv4Address at(std::uint64_t index) const;
+
+ private:
+  std::vector<Interval> intervals_;
+  std::vector<std::uint64_t> cumulative_;  // running address counts
+};
+
+}  // namespace tass::net

@@ -1,0 +1,50 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace tass::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (octets < 4) {
+    if (i >= text.size() || text[i] < '0' || text[i] > '9') {
+      return std::nullopt;
+    }
+    std::uint32_t octet = 0;
+    std::size_t digits = 0;
+    const bool leading_zero = text[i] == '0';
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      ++digits;
+      ++i;
+      if (digits > 3 || octet > 255) return std::nullopt;
+    }
+    if (leading_zero && digits > 1) return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    if (octets < 4) {
+      if (i >= text.size() || text[i] != '.') return std::nullopt;
+      ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::parse_or_throw(std::string_view text) {
+  if (const auto parsed = parse(text)) return *parsed;
+  throw ParseError("invalid IPv4 address: '" + std::string(text) + "'");
+}
+
+std::string Ipv4Address::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u", octet(0), octet(1),
+                octet(2), octet(3));
+  return buffer;
+}
+
+}  // namespace tass::net

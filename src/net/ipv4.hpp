@@ -1,0 +1,57 @@
+// IPv4 address value type.
+//
+// Addresses are stored in host byte order as a plain uint32 so ordinary
+// integer comparisons give numeric (dotted-quad) ordering. Conversion to
+// network byte order happens only at the MRT serialisation boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tass::net {
+
+/// An IPv4 address. Regular value type; totally ordered numerically.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept
+      : value_(value) {}
+
+  /// Builds an address from dotted-quad octets (a.b.c.d).
+  constexpr static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) |
+                       static_cast<std::uint32_t>(d));
+  }
+
+  /// Parses strict dotted-quad notation ("192.0.2.1"). Rejects leading
+  /// zeros ("01.2.3.4"), out-of-range octets, and trailing garbage.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  /// As parse() but throws tass::ParseError on failure.
+  static Ipv4Address parse_or_throw(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * index));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept =
+      default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Total number of IPv4 addresses (2^32), as a 64-bit constant.
+inline constexpr std::uint64_t kIpv4SpaceSize = 1ULL << 32;
+
+}  // namespace tass::net

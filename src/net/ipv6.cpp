@@ -1,0 +1,165 @@
+#include "net/ipv6.hpp"
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::net {
+
+namespace {
+
+std::optional<std::uint16_t> parse_group(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+// Parses a colon-separated group list (no "::" inside) into `groups`,
+// allowing a trailing dotted-quad that contributes two groups.
+bool parse_group_run(std::string_view text,
+                     std::vector<std::uint16_t>& groups) noexcept {
+  if (text.empty()) return true;
+  const auto tokens = util::split(text, ':');
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].find('.') != std::string_view::npos) {
+      // Embedded IPv4: only valid as the final token.
+      if (i + 1 != tokens.size()) return false;
+      const auto v4 = Ipv4Address::parse(tokens[i]);
+      if (!v4) return false;
+      groups.push_back(static_cast<std::uint16_t>(v4->value() >> 16));
+      groups.push_back(static_cast<std::uint16_t>(v4->value() & 0xffff));
+      continue;
+    }
+    const auto group = parse_group(tokens[i]);
+    if (!group) return false;
+    groups.push_back(*group);
+  }
+  return true;
+}
+
+Ipv6Address from_groups(const std::array<std::uint16_t, 8>& groups) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) {
+    hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+    lo = (lo << 16) | groups[static_cast<std::size_t>(i + 4)];
+  }
+  return Ipv6Address(hi, lo);
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) noexcept {
+  const std::size_t gap = text.find("::");
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  if (gap == std::string_view::npos) {
+    if (!parse_group_run(text, head)) return std::nullopt;
+    if (head.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) {
+      return std::nullopt;  // at most one "::"
+    }
+    // An embedded IPv4 tail is only legal at the very end of the address,
+    // i.e. never in the run before "::".
+    if (text.substr(0, gap).find('.') != std::string_view::npos) {
+      return std::nullopt;
+    }
+    if (!parse_group_run(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_group_run(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  return from_groups(groups);
+}
+
+Ipv6Address Ipv6Address::parse_or_throw(std::string_view text) {
+  if (const auto parsed = parse(text)) return *parsed;
+  throw ParseError("invalid IPv6 address: '" + std::string(text) + "'");
+}
+
+std::string Ipv6Address::to_string() const {
+  // RFC 5952: compress the longest (leftmost on tie) run of >= 2 zero
+  // groups; lower-case hex without leading zeros.
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) {
+    groups[static_cast<std::size_t>(i)] = group(i);
+  }
+  int best_start = -1;
+  int best_length = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_length) {
+      best_start = i;
+      best_length = j - i;
+    }
+    i = j;
+  }
+  if (best_length < 2) best_start = -1;
+
+  std::string out;
+  char buffer[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // "::" both separates and stands for the zero run; a following
+      // group needs no extra ':'.
+      out += "::";
+      i += best_length;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buffer, sizeof(buffer), "%x",
+                  groups[static_cast<std::size_t>(i)]);
+    out += buffer;
+    ++i;
+  }
+  if (out.empty()) return "::";
+  return out;
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv6Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const auto length = util::parse_u32(text.substr(slash + 1));
+  if (!length || *length > 128) return std::nullopt;
+  return Ipv6Prefix(*address, static_cast<int>(*length));
+}
+
+Ipv6Prefix Ipv6Prefix::parse_or_throw(std::string_view text) {
+  if (const auto parsed = parse(text)) return *parsed;
+  throw ParseError("invalid IPv6 prefix: '" + std::string(text) + "'");
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace tass::net

@@ -1,0 +1,121 @@
+// IPv6 groundwork for the paper's concluding challenge.
+//
+// "When IPv6 becomes popular, brute forcing the address space becomes
+// infeasible. By then we ought to have better approaches for network
+// scanning. Perhaps TASS can offer a blueprint for tackling that
+// challenge as well." (§6)
+//
+// Brute-force enumeration of 2^128 addresses is impossible, so an IPv6
+// TASS must be seeded from hitlists / passive data rather than a full
+// scan — but the prefix machinery (canonical prefixes, containment,
+// density over announced prefixes) carries over directly. This header
+// provides the 128-bit address/prefix value types with full RFC 4291 /
+// RFC 5952 text handling so the density-ranking blueprint can be
+// exercised on announced v6 tables (see examples/ipv6_blueprint.cpp).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tass::net {
+
+/// An IPv6 address as a 128-bit value (two 64-bit halves, big-endian
+/// significance: hi() carries the first 8 text groups).
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() noexcept = default;
+  constexpr Ipv6Address(std::uint64_t hi, std::uint64_t lo) noexcept
+      : hi_(hi), lo_(lo) {}
+
+  /// Parses RFC 4291 text: full form, "::" compression, mixed trailing
+  /// IPv4 dotted-quad ("::ffff:192.0.2.1"). Rejects malformed input.
+  static std::optional<Ipv6Address> parse(std::string_view text) noexcept;
+  static Ipv6Address parse_or_throw(std::string_view text);
+
+  constexpr std::uint64_t hi() const noexcept { return hi_; }
+  constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// The i-th 16-bit group, i in [0, 8).
+  constexpr std::uint16_t group(int index) const noexcept {
+    const std::uint64_t half = index < 4 ? hi_ : lo_;
+    const int shift = 48 - 16 * (index & 3);
+    return static_cast<std::uint16_t>(half >> shift);
+  }
+
+  /// Bit at position `index` (0 = most significant).
+  constexpr int bit(int index) const noexcept {
+    return index < 64 ? static_cast<int>((hi_ >> (63 - index)) & 1)
+                      : static_cast<int>((lo_ >> (127 - index)) & 1);
+  }
+
+  /// RFC 5952 canonical text (lower case, longest zero run compressed).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv6Address a, Ipv6Address b) noexcept {
+    if (const auto cmp = a.hi_ <=> b.hi_; cmp != 0) return cmp;
+    return a.lo_ <=> b.lo_;
+  }
+  friend constexpr bool operator==(Ipv6Address, Ipv6Address) noexcept =
+      default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// A canonical IPv6 CIDR prefix (length 0..128; host bits cleared).
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() noexcept = default;
+  constexpr Ipv6Prefix(Ipv6Address address, int length) noexcept
+      : address_(mask_address(address, length)),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  static std::optional<Ipv6Prefix> parse(std::string_view text) noexcept;
+  static Ipv6Prefix parse_or_throw(std::string_view text);
+
+  constexpr Ipv6Address network() const noexcept { return address_; }
+  constexpr int length() const noexcept { return length_; }
+
+  constexpr bool contains(Ipv6Address addr) const noexcept {
+    return mask_address(addr, length_) == address_;
+  }
+  constexpr bool contains(Ipv6Prefix other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// log2 of the prefix size (sizes themselves overflow any integer).
+  constexpr int size_bits() const noexcept { return 128 - length_; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv6Prefix a, Ipv6Prefix b) noexcept {
+    if (const auto cmp = a.address_ <=> b.address_; cmp != 0) return cmp;
+    return a.length_ <=> b.length_;
+  }
+  friend constexpr bool operator==(Ipv6Prefix, Ipv6Prefix) noexcept =
+      default;
+
+ private:
+  static constexpr Ipv6Address mask_address(Ipv6Address addr,
+                                            int length) noexcept {
+    if (length <= 0) return Ipv6Address();
+    if (length >= 128) return addr;
+    if (length <= 64) {
+      const std::uint64_t mask =
+          length == 0 ? 0 : ~0ULL << (64 - length);
+      return Ipv6Address(addr.hi() & mask, 0);
+    }
+    const std::uint64_t mask = ~0ULL << (128 - length);
+    return Ipv6Address(addr.hi(), addr.lo() & mask);
+  }
+
+  Ipv6Address address_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace tass::net

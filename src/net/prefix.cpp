@@ -1,0 +1,68 @@
+#include "net/prefix.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::net {
+
+namespace {
+
+std::optional<std::pair<Ipv4Address, int>> parse_parts(
+    std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const auto length = util::parse_u32(text.substr(slash + 1));
+  if (!length || *length > 32) return std::nullopt;
+  return std::pair{*address, static_cast<int>(*length)};
+}
+
+}  // namespace
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto parts = parse_parts(text);
+  if (!parts) return std::nullopt;
+  return Prefix(parts->first, parts->second);
+}
+
+std::optional<Prefix> Prefix::parse_strict(std::string_view text) noexcept {
+  const auto parts = parse_parts(text);
+  if (!parts) return std::nullopt;
+  const Prefix canonical(parts->first, parts->second);
+  if (canonical.network() != parts->first) return std::nullopt;
+  return canonical;
+}
+
+Prefix Prefix::parse_or_throw(std::string_view text) {
+  if (const auto parsed = parse(text)) return *parsed;
+  throw ParseError("invalid prefix: '" + std::string(text) + "'");
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::vector<Prefix> cover_range(Ipv4Address first, Ipv4Address last) {
+  TASS_EXPECTS(first <= last);
+  std::vector<Prefix> cover;
+  std::uint64_t lo = first.value();
+  const std::uint64_t hi = last.value();
+  while (lo <= hi) {
+    // Largest power-of-two block that is (a) aligned at lo and (b) does not
+    // extend past hi.
+    const int align_bits =
+        lo == 0 ? 32 : std::countr_zero(static_cast<std::uint32_t>(lo));
+    const std::uint64_t span = hi - lo + 1;
+    const int span_bits = 63 - std::countl_zero(span);
+    const int block_bits = std::min(align_bits, span_bits);
+    cover.emplace_back(Ipv4Address(static_cast<std::uint32_t>(lo)),
+                       32 - block_bits);
+    lo += 1ULL << block_bits;
+  }
+  return cover;
+}
+
+}  // namespace tass::net

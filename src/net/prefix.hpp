@@ -1,0 +1,130 @@
+// CIDR prefix value type and ordering helpers.
+//
+// A Prefix is always canonical: host bits below the mask are zero. The
+// paper's terminology is used throughout the codebase:
+//   * l-prefix — a least-specific announced prefix (not contained in any
+//     other announced prefix);
+//   * m-prefix — a more-specific prefix (announced inside an l-prefix, or
+//     produced by deaggregating the l-prefix around announced
+//     more-specifics, Figure 2 of the paper).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace tass::net {
+
+/// A canonical IPv4 CIDR prefix (network address + mask length 0..32).
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0 (the whole address space).
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalising constructor: host bits of `address` below the mask are
+  /// cleared, so Prefix(192.0.2.77, 24) == 192.0.2.0/24.
+  constexpr Prefix(Ipv4Address address, int length) noexcept
+      : address_(Ipv4Address(address.value() & mask(length))),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len". Rejects non-canonical prefixes? No —
+  /// canonicalises them, mirroring how BGP tools treat sloppy input, but
+  /// offers parse_strict for format validation.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  /// As parse() but requires the network address to already be canonical
+  /// (no host bits set), e.g. rejects "10.0.0.1/8".
+  static std::optional<Prefix> parse_strict(std::string_view text) noexcept;
+
+  /// As parse() but throws tass::ParseError on failure.
+  static Prefix parse_or_throw(std::string_view text);
+
+  constexpr Ipv4Address network() const noexcept { return address_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// Netmask for a prefix length (mask(8) == 255.0.0.0).
+  static constexpr std::uint32_t mask(int length) noexcept {
+    return length == 0 ? 0u : ~0u << (32 - length);
+  }
+
+  /// Number of addresses covered (2^(32-len)); 64-bit because /0 overflows.
+  constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - length_);
+  }
+
+  /// First address (== network()).
+  constexpr Ipv4Address first() const noexcept { return address_; }
+  /// Last (broadcast) address.
+  constexpr Ipv4Address last() const noexcept {
+    return Ipv4Address(address_.value() | ~mask(length_));
+  }
+
+  constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask(length_)) == address_.value();
+  }
+  /// True if `other` is equal to or more specific than *this.
+  constexpr bool contains(Prefix other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+  /// True if the address ranges intersect (one contains the other).
+  constexpr bool overlaps(Prefix other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// The two halves of this prefix. Precondition: length() < 32.
+  constexpr Prefix lower_half() const noexcept {
+    return Prefix(address_, length_ + 1);
+  }
+  constexpr Prefix upper_half() const noexcept {
+    return Prefix(Ipv4Address(address_.value() | (1u << (31 - length_))),
+                  length_ + 1);
+  }
+
+  /// The enclosing prefix one bit shorter. Precondition: length() > 0.
+  constexpr Prefix parent() const noexcept {
+    return Prefix(address_, length_ - 1);
+  }
+
+  /// Sibling within the parent. Precondition: length() > 0.
+  constexpr Prefix sibling() const noexcept {
+    return Prefix(Ipv4Address(address_.value() ^ (1u << (32 - length_))),
+                  length_);
+  }
+
+  /// The n-th address inside the prefix. Precondition: offset < size().
+  constexpr Ipv4Address at(std::uint64_t offset) const noexcept {
+    return Ipv4Address(address_.value() +
+                       static_cast<std::uint32_t>(offset));
+  }
+  /// Offset of an address within the prefix. Precondition: contains(addr).
+  constexpr std::uint64_t offset_of(Ipv4Address addr) const noexcept {
+    return addr.value() - address_.value();
+  }
+
+  std::string to_string() const;
+
+  /// Lexicographic (network, length): a prefix sorts immediately before the
+  /// more-specific prefixes it contains. This is the canonical ordering for
+  /// routing-table dumps and for our deaggregation sweep.
+  friend constexpr auto operator<=>(Prefix a, Prefix b) noexcept {
+    if (const auto cmp = a.address_ <=> b.address_; cmp != 0) return cmp;
+    return a.length_ <=> b.length_;
+  }
+  friend constexpr bool operator==(Prefix, Prefix) noexcept = default;
+
+ private:
+  Ipv4Address address_{};
+  std::uint8_t length_ = 0;
+};
+
+/// Covers the inclusive address range [first, last] with the minimal list of
+/// CIDR prefixes, in ascending address order. This is the primitive behind
+/// deaggregation (Figure 2) and blocklist/interval conversion.
+std::vector<Prefix> cover_range(Ipv4Address first, Ipv4Address last);
+
+}  // namespace tass::net

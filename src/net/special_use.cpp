@@ -1,0 +1,57 @@
+#include "net/special_use.hpp"
+
+#include <array>
+
+namespace tass::net {
+
+namespace {
+
+constexpr Prefix p(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d, int len) {
+  return Prefix(Ipv4Address::from_octets(a, b, c, d), len);
+}
+
+// RFC 6890 table plus 240/4 and multicast; "globally_reachable" follows the
+// IANA special-use registry.
+constexpr std::array<SpecialUseRange, 15> kRegistry{{
+    {p(0, 0, 0, 0, 8), "This-Host", "RFC1122", false},
+    {p(10, 0, 0, 0, 8), "Private-Use", "RFC1918", false},
+    {p(100, 64, 0, 0, 10), "Shared-Address-Space", "RFC6598", false},
+    {p(127, 0, 0, 0, 8), "Loopback", "RFC1122", false},
+    {p(169, 254, 0, 0, 16), "Link-Local", "RFC3927", false},
+    {p(172, 16, 0, 0, 12), "Private-Use", "RFC1918", false},
+    {p(192, 0, 0, 0, 24), "IETF-Protocol-Assignments", "RFC6890", false},
+    {p(192, 0, 2, 0, 24), "Documentation-TEST-NET-1", "RFC5737", false},
+    {p(192, 88, 99, 0, 24), "6to4-Relay-Anycast", "RFC3068", true},
+    {p(192, 168, 0, 0, 16), "Private-Use", "RFC1918", false},
+    {p(198, 18, 0, 0, 15), "Benchmarking", "RFC2544", false},
+    {p(198, 51, 100, 0, 24), "Documentation-TEST-NET-2", "RFC5737", false},
+    {p(203, 0, 113, 0, 24), "Documentation-TEST-NET-3", "RFC5737", false},
+    {p(224, 0, 0, 0, 4), "Multicast", "RFC5771", false},
+    {p(240, 0, 0, 0, 4), "Reserved-Future-Use", "RFC1112", false},
+}};
+
+}  // namespace
+
+std::span<const SpecialUseRange> special_use_ranges() noexcept {
+  return kRegistry;
+}
+
+const IntervalSet& reserved_space() {
+  static const IntervalSet set = [] {
+    IntervalSet reserved;
+    for (const SpecialUseRange& entry : kRegistry) {
+      if (!entry.globally_reachable) reserved.insert(entry.prefix);
+    }
+    return reserved;
+  }();
+  return set;
+}
+
+const IntervalSet& scannable_space() {
+  static const IntervalSet set = IntervalSet::full_space().subtract(
+      reserved_space());
+  return set;
+}
+
+}  // namespace tass::net

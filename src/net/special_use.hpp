@@ -1,0 +1,35 @@
+// IANA special-use IPv4 registry (RFC 6890 and successors).
+//
+// These are the ranges every responsible scanner excludes a priori — the
+// first scoping level of Figure 1 ("IANA allocated" vs "/0"). The default
+// ZMap-style blocklist is built from this registry.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "net/interval.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::net {
+
+/// One special-use registry entry.
+struct SpecialUseRange {
+  Prefix prefix;
+  std::string_view name;      // registry name, e.g. "Private-Use"
+  std::string_view rfc;       // defining document
+  bool globally_reachable;    // per the IANA registry column
+};
+
+/// The special-use registry, ordered by prefix.
+std::span<const SpecialUseRange> special_use_ranges() noexcept;
+
+/// Addresses that can never host a public service (registry entries with
+/// globally_reachable == false). This is what "IANA allocated/scannable"
+/// subtracts from /0 in Figure 1.
+const IntervalSet& reserved_space();
+
+/// The scannable unicast space: full space minus reserved_space().
+const IntervalSet& scannable_space();
+
+}  // namespace tass::net

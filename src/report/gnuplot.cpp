@@ -1,0 +1,49 @@
+#include "report/gnuplot.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::report {
+
+std::string to_gnuplot(const SeriesSet& set, const GnuplotOptions& options) {
+  const auto& series = set.series();
+  TASS_EXPECTS(!series.empty());
+  for (const auto& [name, values] : series) {
+    TASS_EXPECTS(values.size() == set.ticks().size());
+  }
+
+  std::ostringstream out;
+  out << "set terminal " << options.terminal << "\n";
+  out << "set output '" << options.output << "'\n";
+  if (!options.title.empty()) out << "set title '" << options.title << "'\n";
+  out << "set xlabel '" << options.x_label << "'\n";
+  out << "set ylabel '" << options.y_label << "'\n";
+  out << "set yrange [" << util::fixed(options.y_min, 3) << ":"
+      << util::fixed(options.y_max, 3) << "]\n";
+  out << "set key outside right\n";
+  out << "set grid\n";
+
+  // Inline data block: x index, tic label, one column per series.
+  out << "$data << EOD\n";
+  for (std::size_t row = 0; row < set.ticks().size(); ++row) {
+    out << row << " \"" << set.ticks()[row] << '"';
+    for (const auto& [name, values] : series) {
+      out << ' ' << util::fixed(values[row], 4);
+    }
+    out << '\n';
+  }
+  out << "EOD\n";
+
+  out << "plot ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) out << ", \\\n     ";
+    out << "$data using 1:" << (i + 3) << ":xtic(2) with linespoints title '"
+        << series[i].first << "'";
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace tass::report

@@ -1,0 +1,26 @@
+// Gnuplot script emission: turns a SeriesSet into a self-contained .gp
+// script (data inlined via heredoc) so every figure bench can hand the
+// user something directly plottable.
+#pragma once
+
+#include <string>
+
+#include "report/series.hpp"
+
+namespace tass::report {
+
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label = "Time [month/year]";
+  std::string y_label = "Hitrate";
+  double y_min = 0.0;
+  double y_max = 1.0;
+  std::string terminal = "pngcairo size 900,500";
+  std::string output = "figure.png";
+};
+
+/// Renders a gnuplot script that plots every series in `set` as a line
+/// with points, data inlined (no side files needed).
+std::string to_gnuplot(const SeriesSet& set, const GnuplotOptions& options);
+
+}  // namespace tass::report

@@ -1,0 +1,45 @@
+#include "report/series.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::report {
+
+SeriesSet::SeriesSet(std::string x_label) : x_label_(std::move(x_label)) {}
+
+void SeriesSet::add_series(std::string name, std::vector<double> values) {
+  series_.emplace_back(std::move(name), std::move(values));
+}
+
+void SeriesSet::set_ticks(std::vector<std::string> ticks) {
+  ticks_ = std::move(ticks);
+}
+
+std::string SeriesSet::to_tsv() const {
+  std::size_t length = ticks_.size();
+  for (const auto& [name, values] : series_) {
+    TASS_EXPECTS(values.size() == length);
+  }
+
+  std::ostringstream out;
+  out << x_label_;
+  for (const auto& [name, values] : series_) out << '\t' << name;
+  out << '\n';
+  for (std::size_t row = 0; row < length; ++row) {
+    out << ticks_[row];
+    for (const auto& [name, values] : series_) {
+      out << '\t' << util::fixed(values[row], 4);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const SeriesSet& set) {
+  return out << set.to_tsv();
+}
+
+}  // namespace tass::report

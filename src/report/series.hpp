@@ -1,0 +1,39 @@
+// Time-series emitter: gnuplot-friendly TSV with one labelled x column and
+// any number of named series (the shape of the paper's Figures 5 and 6).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tass::report {
+
+class SeriesSet {
+ public:
+  explicit SeriesSet(std::string x_label);
+
+  /// Adds a named series; all series must have equal length when emitted.
+  void add_series(std::string name, std::vector<double> values);
+
+  /// Sets the x-axis tick labels (e.g. month labels).
+  void set_ticks(std::vector<std::string> ticks);
+
+  /// Tab-separated: header row, then one row per tick.
+  std::string to_tsv() const;
+
+  const std::string& x_label() const noexcept { return x_label_; }
+  const std::vector<std::string>& ticks() const noexcept { return ticks_; }
+  const std::vector<std::pair<std::string, std::vector<double>>>& series()
+      const noexcept {
+    return series_;
+  }
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> ticks_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+std::ostream& operator<<(std::ostream& out, const SeriesSet& set);
+
+}  // namespace tass::report

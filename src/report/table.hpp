@@ -1,0 +1,40 @@
+// Small column-aligned table builder for the bench binaries: plain text
+// for terminals, CSV and Markdown for downstream tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tass::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string cell(std::string_view text) { return std::string(text); }
+  static std::string cell(std::uint64_t value);
+  static std::string cell(double value, int digits = 3);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Space-padded fixed-width text.
+  std::string to_text() const;
+  /// RFC 4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+  /// GitHub-flavoured Markdown.
+  std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Table& table);
+
+}  // namespace tass::report

@@ -1,0 +1,55 @@
+#include "scan/blocklist.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "net/special_use.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace tass::scan {
+
+Blocklist Blocklist::parse(std::string_view text) {
+  net::IntervalSet blocked;
+  for (const std::string_view raw : util::split(text, '\n')) {
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = util::trim(line);
+    if (line.empty()) continue;
+
+    if (line.find('/') != std::string_view::npos) {
+      blocked.insert(net::Prefix::parse_or_throw(line));
+    } else if (const auto dash = line.find('-');
+               dash != std::string_view::npos) {
+      const auto first =
+          net::Ipv4Address::parse_or_throw(util::trim(line.substr(0, dash)));
+      const auto last =
+          net::Ipv4Address::parse_or_throw(util::trim(line.substr(dash + 1)));
+      if (last < first) {
+        throw ParseError("blocklist range is inverted: '" +
+                         std::string(line) + "'");
+      }
+      blocked.insert(net::Interval{first, last});
+    } else {
+      const auto addr = net::Ipv4Address::parse_or_throw(line);
+      blocked.insert(net::Interval{addr, addr});
+    }
+  }
+  return Blocklist(std::move(blocked));
+}
+
+Blocklist Blocklist::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open blocklist file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+Blocklist Blocklist::default_blocklist() {
+  return Blocklist(net::reserved_space());
+}
+
+}  // namespace tass::scan

@@ -1,0 +1,48 @@
+// Scanner blocklists (ZMap's blacklist.conf format, extended with ranges).
+//
+// A blocklist line is one of
+//   192.0.2.0/24        # a CIDR prefix
+//   198.51.100.7        # a single address
+//   10.0.0.0-10.255.9.1 # an inclusive range
+// with '#' comments and blank lines ignored. The default blocklist is the
+// IANA special-use registry — what every good Internet citizen excludes
+// before probing anything.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/interval.hpp"
+
+namespace tass::scan {
+
+class Blocklist {
+ public:
+  Blocklist() = default;
+  explicit Blocklist(net::IntervalSet blocked) : blocked_(std::move(blocked)) {}
+
+  /// Parses blocklist text. Throws tass::ParseError on malformed lines.
+  static Blocklist parse(std::string_view text);
+
+  /// Loads a blocklist file. Throws tass::Error if unreadable.
+  static Blocklist load(const std::string& path);
+
+  /// The RFC special-use registry blocklist.
+  static Blocklist default_blocklist();
+
+  void add(net::Prefix prefix) { blocked_.insert(prefix); }
+  void add(net::Interval interval) { blocked_.insert(interval); }
+
+  bool blocks(net::Ipv4Address addr) const noexcept {
+    return blocked_.contains(addr);
+  }
+  const net::IntervalSet& blocked() const noexcept { return blocked_; }
+  std::uint64_t blocked_addresses() const noexcept {
+    return blocked_.address_count();
+  }
+
+ private:
+  net::IntervalSet blocked_;
+};
+
+}  // namespace tass::scan

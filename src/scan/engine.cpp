@@ -1,0 +1,67 @@
+#include "scan/engine.hpp"
+
+#include <algorithm>
+
+#include "scan/target_iterator.hpp"
+
+namespace tass::scan {
+
+ScanResult ScanEngine::run(const ScanScope& scope,
+                           const ProbeOracle& oracle) const {
+  switch (config_.order) {
+    case EngineConfig::Order::kPermutation:
+      return run_permutation(scope, oracle);
+    case EngineConfig::Order::kEnumerate:
+      return run_enumerated(scope, oracle);
+    case EngineConfig::Order::kAuto:
+      return scope.address_count() <= config_.permutation_threshold
+                 ? run_permutation(scope, oracle)
+                 : run_enumerated(scope, oracle);
+  }
+  return {};
+}
+
+ScanResult ScanEngine::run_permutation(const ScanScope& scope,
+                                       const ProbeOracle& oracle) const {
+  ScanResult result;
+  if (scope.empty()) return result;
+  // Permute the dense scope offsets (ZMap sizes its cyclic group to the
+  // whitelist the same way), so cost is linear in the scope, not in the
+  // whole address space.
+  const net::AddressIndexer indexer(scope.targets());
+  TargetIterator targets(config_.seed, indexer.size());
+  while (const auto offset = targets.next_value()) {
+    const net::Ipv4Address addr = indexer.at(*offset);
+    ++result.stats.probes_sent;
+    if (oracle.responds(addr)) {
+      ++result.stats.responses;
+      result.responsive.push_back(addr.value());
+    }
+  }
+  result.stats.packets =
+      config_.cost.packets(result.stats.probes_sent, result.stats.responses);
+  std::sort(result.responsive.begin(), result.responsive.end());
+  return result;
+}
+
+ScanResult ScanEngine::run_enumerated(const ScanScope& scope,
+                                      const ProbeOracle& oracle) const {
+  ScanResult result;
+  for (const net::Interval& interval : scope.targets().intervals()) {
+    const std::uint64_t first = interval.first.value();
+    const std::uint64_t last = interval.last.value();
+    for (std::uint64_t value = first; value <= last; ++value) {
+      const net::Ipv4Address addr(static_cast<std::uint32_t>(value));
+      ++result.stats.probes_sent;
+      if (oracle.responds(addr)) {
+        ++result.stats.responses;
+        result.responsive.push_back(addr.value());
+      }
+    }
+  }
+  result.stats.packets =
+      config_.cost.packets(result.stats.probes_sent, result.stats.responses);
+  return result;
+}
+
+}  // namespace tass::scan

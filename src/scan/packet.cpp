@@ -1,0 +1,195 @@
+#include "scan/packet.hpp"
+
+#include "util/endian.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::scan {
+
+namespace {
+
+using util::load_be16;
+using util::load_be32;
+using util::store_be16;
+using util::store_be32;
+
+// One-based big-endian 16-bit word sum with end-around carry.
+std::uint32_t checksum_accumulate(std::span<const std::byte> data,
+                                  std::uint32_t sum) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += load_be16(std::span<const std::byte, 2>(data.data() + i, 2));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(std::to_integer<std::uint16_t>(
+               data[i]))
+           << 8;
+  }
+  return sum;
+}
+
+std::uint16_t checksum_fold(std::uint32_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  return checksum_fold(checksum_accumulate(data, 0));
+}
+
+void encode_ipv4_header(const Ipv4Header& header,
+                        std::span<std::byte, Ipv4Header::kSize> out) noexcept {
+  out[0] = std::byte{0x45};  // version 4, IHL 5
+  out[1] = std::byte{0x00};  // DSCP/ECN
+  store_be16(header.total_length,
+             std::span<std::byte, 2>(out.data() + 2, 2));
+  store_be16(header.identification,
+             std::span<std::byte, 2>(out.data() + 4, 2));
+  store_be16(0x4000, std::span<std::byte, 2>(out.data() + 6, 2));  // DF
+  out[8] = static_cast<std::byte>(header.ttl);
+  out[9] = static_cast<std::byte>(header.protocol);
+  out[10] = out[11] = std::byte{0};  // checksum placeholder
+  store_be32(header.source.value(),
+             std::span<std::byte, 4>(out.data() + 12, 4));
+  store_be32(header.destination.value(),
+             std::span<std::byte, 4>(out.data() + 16, 4));
+  const std::uint16_t checksum = internet_checksum(out);
+  store_be16(checksum, std::span<std::byte, 2>(out.data() + 10, 2));
+}
+
+void encode_tcp_header(const TcpHeader& header, net::Ipv4Address src,
+                       net::Ipv4Address dst,
+                       std::span<std::byte, TcpHeader::kSize> out) noexcept {
+  store_be16(header.source_port, std::span<std::byte, 2>(out.data(), 2));
+  store_be16(header.destination_port,
+             std::span<std::byte, 2>(out.data() + 2, 2));
+  store_be32(header.sequence, std::span<std::byte, 4>(out.data() + 4, 4));
+  store_be32(header.acknowledgement,
+             std::span<std::byte, 4>(out.data() + 8, 4));
+  out[12] = std::byte{0x50};  // data offset 5 words
+  out[13] = static_cast<std::byte>(header.flags);
+  store_be16(header.window, std::span<std::byte, 2>(out.data() + 14, 2));
+  out[16] = out[17] = std::byte{0};  // checksum placeholder
+  out[18] = out[19] = std::byte{0};  // urgent pointer
+
+  // TCP checksum covers the pseudo-header (src, dst, proto, length).
+  std::byte pseudo[12];
+  store_be32(src.value(), std::span<std::byte, 4>(pseudo, 4));
+  store_be32(dst.value(), std::span<std::byte, 4>(pseudo + 4, 4));
+  pseudo[8] = std::byte{0};
+  pseudo[9] = std::byte{6};  // TCP
+  store_be16(TcpHeader::kSize, std::span<std::byte, 2>(pseudo + 10, 2));
+  std::uint32_t sum = checksum_accumulate(pseudo, 0);
+  sum = checksum_accumulate(out, sum);
+  store_be16(checksum_fold(sum),
+             std::span<std::byte, 2>(out.data() + 16, 2));
+}
+
+ProbeBuilder::ProbeBuilder(net::Ipv4Address source,
+                           std::uint16_t target_port,
+                           std::uint64_t validation_key)
+    : source_(source), target_port_(target_port), key_(validation_key) {}
+
+std::uint16_t ProbeBuilder::source_port_for(
+    net::Ipv4Address target) const noexcept {
+  // Ephemeral range 32768-61183 (28416 ports), keyed by the target.
+  const std::uint64_t mac = util::mix64(key_, target.value());
+  return static_cast<std::uint16_t>(32768 + (mac % 28416));
+}
+
+std::uint32_t ProbeBuilder::sequence_for(
+    net::Ipv4Address target) const noexcept {
+  return static_cast<std::uint32_t>(
+      util::mix64(key_ ^ 0x5eb1ae9c3ULL, target.value()));
+}
+
+ProbePacket ProbeBuilder::build(net::Ipv4Address target) const {
+  ProbePacket packet;
+  Ipv4Header ip;
+  ip.source = source_;
+  ip.destination = target;
+  ip.total_length = Ipv4Header::kSize + TcpHeader::kSize;
+  ip.identification = static_cast<std::uint16_t>(
+      util::mix64(key_ ^ 0x1dULL, target.value()));
+
+  TcpHeader tcp;
+  tcp.source_port = source_port_for(target);
+  tcp.destination_port = target_port_;
+  tcp.sequence = sequence_for(target);
+
+  encode_ipv4_header(
+      ip, std::span<std::byte, Ipv4Header::kSize>(packet.bytes.data(),
+                                                  Ipv4Header::kSize));
+  encode_tcp_header(
+      tcp, source_, target,
+      std::span<std::byte, TcpHeader::kSize>(
+          packet.bytes.data() + Ipv4Header::kSize, TcpHeader::kSize));
+  return packet;
+}
+
+bool ProbeBuilder::validate_response(net::Ipv4Address responder,
+                                     std::uint16_t responder_port,
+                                     std::uint16_t dst_port,
+                                     std::uint32_t ack) const noexcept {
+  // A genuine SYN-ACK comes from the probed port, back to the MAC'd
+  // source port, acking sequence+1.
+  return responder_port == target_port_ &&
+         dst_port == source_port_for(responder) &&
+         ack == sequence_for(responder) + 1;
+}
+
+DecodedProbe decode_probe(std::span<const std::byte> packet) {
+  if (packet.size() != Ipv4Header::kSize + TcpHeader::kSize) {
+    throw FormatError("probe must be exactly 40 bytes");
+  }
+  const auto ip_bytes = packet.first(Ipv4Header::kSize);
+  if (std::to_integer<std::uint8_t>(ip_bytes[0]) != 0x45) {
+    throw FormatError("not an IPv4 header without options");
+  }
+  if (internet_checksum(ip_bytes) != 0) {
+    throw FormatError("IPv4 header checksum mismatch");
+  }
+  DecodedProbe decoded;
+  decoded.ip.total_length =
+      load_be16(std::span<const std::byte, 2>(ip_bytes.data() + 2, 2));
+  decoded.ip.identification =
+      load_be16(std::span<const std::byte, 2>(ip_bytes.data() + 4, 2));
+  decoded.ip.ttl = std::to_integer<std::uint8_t>(ip_bytes[8]);
+  decoded.ip.protocol = std::to_integer<std::uint8_t>(ip_bytes[9]);
+  decoded.ip.source = net::Ipv4Address(
+      load_be32(std::span<const std::byte, 4>(ip_bytes.data() + 12, 4)));
+  decoded.ip.destination = net::Ipv4Address(
+      load_be32(std::span<const std::byte, 4>(ip_bytes.data() + 16, 4)));
+
+  const auto tcp_bytes = packet.subspan(Ipv4Header::kSize);
+  // Verify the TCP checksum including the pseudo-header: accumulating the
+  // checksummed segment plus pseudo-header must fold to zero.
+  std::byte pseudo[12];
+  store_be32(decoded.ip.source.value(), std::span<std::byte, 4>(pseudo, 4));
+  store_be32(decoded.ip.destination.value(),
+             std::span<std::byte, 4>(pseudo + 4, 4));
+  pseudo[8] = std::byte{0};
+  pseudo[9] = std::byte{6};
+  store_be16(TcpHeader::kSize, std::span<std::byte, 2>(pseudo + 10, 2));
+  std::uint32_t sum = checksum_accumulate(pseudo, 0);
+  sum = checksum_accumulate(tcp_bytes, sum);
+  if (checksum_fold(sum) != 0) {
+    throw FormatError("TCP checksum mismatch");
+  }
+  decoded.tcp.source_port =
+      load_be16(std::span<const std::byte, 2>(tcp_bytes.data(), 2));
+  decoded.tcp.destination_port =
+      load_be16(std::span<const std::byte, 2>(tcp_bytes.data() + 2, 2));
+  decoded.tcp.sequence =
+      load_be32(std::span<const std::byte, 4>(tcp_bytes.data() + 4, 4));
+  decoded.tcp.acknowledgement =
+      load_be32(std::span<const std::byte, 4>(tcp_bytes.data() + 8, 4));
+  decoded.tcp.flags = std::to_integer<std::uint8_t>(tcp_bytes[13]);
+  decoded.tcp.window =
+      load_be16(std::span<const std::byte, 2>(tcp_bytes.data() + 14, 2));
+  return decoded;
+}
+
+}  // namespace tass::scan

@@ -1,0 +1,112 @@
+// Probe packet synthesis: the wire format of a ZMap-style TCP SYN scan.
+//
+// A scanner's footprint is ultimately measured in packets on the wire;
+// this module builds them. It implements IPv4 and TCP header construction
+// with correct internet checksums (RFC 1071, including the TCP
+// pseudo-header), plus ZMap's stateless-validation trick: the probe's
+// source port and TCP sequence number encode a MAC of the target, so a
+// response (SYN-ACK) can be validated without keeping per-target state.
+//
+// Everything is pure value manipulation over byte buffers — no sockets —
+// so the whole path is unit-testable and usable for pcap generation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace tass::scan {
+
+/// RFC 1071 Internet checksum over a byte span (pads odd length with 0).
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// IPv4 header fields we synthesise (no options; IHL = 5).
+struct Ipv4Header {
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint16_t identification = 0;
+  net::Ipv4Address source;
+  net::Ipv4Address destination;
+  std::uint16_t total_length = 0;  // filled by the builder
+
+  static constexpr std::size_t kSize = 20;
+};
+
+/// TCP header fields for a SYN probe (no options beyond MSS).
+struct TcpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t acknowledgement = 0;
+  std::uint8_t flags = 0x02;  // SYN
+  std::uint16_t window = 65535;
+
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kFlagSyn = 0x02;
+  static constexpr std::uint8_t kFlagAck = 0x10;
+  static constexpr std::uint8_t kFlagRst = 0x04;
+};
+
+/// A fully encoded probe (IPv4 + TCP, 40 bytes).
+struct ProbePacket {
+  std::array<std::byte, Ipv4Header::kSize + TcpHeader::kSize> bytes{};
+
+  std::span<const std::byte> ip_header() const noexcept {
+    return std::span(bytes).first(Ipv4Header::kSize);
+  }
+  std::span<const std::byte> tcp_header() const noexcept {
+    return std::span(bytes).subspan(Ipv4Header::kSize);
+  }
+};
+
+/// Builds probes with stateless response validation a la ZMap: source
+/// port and sequence number are a keyed hash of (destination, probe
+/// port), so any SYN-ACK can be checked against the key alone.
+class ProbeBuilder {
+ public:
+  /// `source` is the scanner address; `validation_key` seeds the MAC.
+  ProbeBuilder(net::Ipv4Address source, std::uint16_t target_port,
+               std::uint64_t validation_key);
+
+  /// Synthesises the SYN probe for one target.
+  ProbePacket build(net::Ipv4Address target) const;
+
+  /// Validates a response: true iff (source address/port, ack number)
+  /// prove the peer echoed one of our probes. `ack` is the TCP ack field
+  /// of the response; a well-formed SYN-ACK acks sequence+1.
+  bool validate_response(net::Ipv4Address responder,
+                         std::uint16_t responder_port, std::uint16_t dst_port,
+                         std::uint32_t ack) const noexcept;
+
+  std::uint16_t target_port() const noexcept { return target_port_; }
+
+  /// The (deterministic) source port / sequence the builder would use for
+  /// a target; exposed for tests and pcap tooling.
+  std::uint16_t source_port_for(net::Ipv4Address target) const noexcept;
+  std::uint32_t sequence_for(net::Ipv4Address target) const noexcept;
+
+ private:
+  net::Ipv4Address source_;
+  std::uint16_t target_port_;
+  std::uint64_t key_;
+};
+
+/// Encodes headers into wire format with checksums; exposed for tests.
+void encode_ipv4_header(const Ipv4Header& header,
+                        std::span<std::byte, Ipv4Header::kSize> out) noexcept;
+void encode_tcp_header(const TcpHeader& header, net::Ipv4Address src,
+                       net::Ipv4Address dst,
+                       std::span<std::byte, TcpHeader::kSize> out) noexcept;
+
+/// Decodes and verifies a 40-byte probe (checksums included); throws
+/// tass::FormatError on malformed input. Used by tests and pcap readers.
+struct DecodedProbe {
+  Ipv4Header ip;
+  TcpHeader tcp;
+};
+DecodedProbe decode_probe(std::span<const std::byte> packet);
+
+}  // namespace tass::scan

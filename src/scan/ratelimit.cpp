@@ -1,0 +1,75 @@
+#include "scan/ratelimit.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tass::scan {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_(rate_per_second), burst_(burst), tokens_(burst) {
+  TASS_EXPECTS(rate_per_second > 0.0);
+  TASS_EXPECTS(burst >= 1.0);
+}
+
+void TokenBucket::refill(double now) noexcept {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_consume(double tokens, double now) noexcept {
+  TASS_EXPECTS(tokens >= 0.0);
+  refill(now);
+  if (tokens_ + 1e-9 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::ready_time(double tokens, double now) noexcept {
+  TASS_EXPECTS(tokens >= 0.0);
+  refill(now);
+  if (tokens_ >= tokens) return now;
+  return now + (tokens - tokens_) / rate_;
+}
+
+double TokenBucket::available(double now) noexcept {
+  refill(now);
+  return tokens_;
+}
+
+double PacingPlan::cycles_per_month() const noexcept {
+  return cycle_seconds <= 0.0 ? 0.0
+                              : (30.0 * 86400.0) / cycle_seconds;
+}
+
+PacingPlan plan_cycle(std::uint64_t scope_addresses,
+                      double probes_per_second, int shards) {
+  TASS_EXPECTS(probes_per_second > 0.0);
+  TASS_EXPECTS(shards >= 1);
+  PacingPlan plan;
+  plan.targets = scope_addresses;
+  plan.probes_per_second = probes_per_second;
+  plan.cycle_seconds =
+      static_cast<double>(scope_addresses) / probes_per_second;
+  plan.shards = shards;
+  return plan;
+}
+
+ShardedScopeIterator::ShardedScopeIterator(const ScanScope& scope,
+                                           std::uint64_t seed,
+                                           std::uint32_t shard_index,
+                                           std::uint32_t shard_count)
+    : indexer_(scope.targets()),
+      iterator_(TargetIterator::shard(seed, shard_index, shard_count,
+                                      std::max<std::uint64_t>(
+                                          indexer_.size(), 1))) {}
+
+std::optional<net::Ipv4Address> ShardedScopeIterator::next() {
+  if (indexer_.size() == 0) return std::nullopt;
+  const auto offset = iterator_.next_value();
+  if (!offset) return std::nullopt;
+  return indexer_.at(*offset);
+}
+
+}  // namespace tass::scan

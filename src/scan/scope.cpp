@@ -1,0 +1,10 @@
+#include "scan/scope.hpp"
+
+namespace tass::scan {
+
+ScanScope::ScanScope(std::span<const net::Prefix> prefixes,
+                     const Blocklist& blocklist)
+    : targets_(net::IntervalSet::of_prefixes(prefixes)
+                   .subtract(blocklist.blocked())) {}
+
+}  // namespace tass::scan

@@ -1,0 +1,36 @@
+// ScanScope: the set of addresses a scan cycle will probe — a whitelist of
+// prefixes (e.g. a TASS selection, or the whole announced space) minus a
+// blocklist.
+#pragma once
+
+#include <span>
+
+#include "net/interval.hpp"
+#include "scan/blocklist.hpp"
+
+namespace tass::scan {
+
+class ScanScope {
+ public:
+  ScanScope() = default;
+
+  /// Scope = union(prefixes) - blocklist.
+  ScanScope(std::span<const net::Prefix> prefixes, const Blocklist& blocklist);
+
+  /// Scope over raw intervals (already exclusion-applied).
+  explicit ScanScope(net::IntervalSet targets) : targets_(std::move(targets)) {}
+
+  bool contains(net::Ipv4Address addr) const noexcept {
+    return targets_.contains(addr);
+  }
+  std::uint64_t address_count() const noexcept {
+    return targets_.address_count();
+  }
+  const net::IntervalSet& targets() const noexcept { return targets_; }
+  bool empty() const noexcept { return targets_.empty(); }
+
+ private:
+  net::IntervalSet targets_;
+};
+
+}  // namespace tass::scan

@@ -1,0 +1,172 @@
+#include "scan/target_iterator.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::scan {
+
+namespace {
+
+// Degenerate permutation for universe 1 (the group machinery needs
+// p - 1 >= 2 to have a generator other than identity; special-case it).
+constexpr std::uint64_t kTinyUniverse = 2;
+
+std::uint64_t find_primitive_root(std::uint64_t p,
+                                  const std::vector<std::uint64_t>& factors) {
+  for (std::uint64_t g = 2;; ++g) {
+    if (is_primitive_root(g, p, factors)) return g;
+  }
+}
+
+}  // namespace
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t modulus) noexcept {
+  TASS_EXPECTS(modulus != 0);
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % modulus);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t modulus) noexcept {
+  TASS_EXPECTS(modulus != 0);
+  std::uint64_t result = 1 % modulus;
+  base %= modulus;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, modulus);
+    base = mul_mod(base, base, modulus);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime(std::uint64_t value) noexcept {
+  if (value < 2) return false;
+  for (const std::uint64_t small : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (value == small) return true;
+    if (value % small == 0) return false;
+  }
+  // Deterministic Miller-Rabin for 64-bit integers.
+  std::uint64_t d = value - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (const std::uint64_t base :
+       {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+        31ULL, 37ULL}) {
+    if (base % value == 0) continue;  // witness degenerates for tiny values
+    std::uint64_t x = pow_mod(base, d, value);
+    if (x == 1 || x == value - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mul_mod(x, x, value);
+      if (x == value - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t least_prime_above(std::uint64_t value) {
+  std::uint64_t candidate = value + 1;
+  if (candidate <= 2) return 2;
+  if ((candidate & 1) == 0) ++candidate;
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t value) {
+  TASS_EXPECTS(value >= 1);
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= value; p += (p == 2 ? 1 : 2)) {
+    if (value % p == 0) {
+      factors.push_back(p);
+      while (value % p == 0) value /= p;
+    }
+  }
+  if (value > 1) factors.push_back(value);
+  return factors;
+}
+
+bool is_primitive_root(std::uint64_t g, std::uint64_t p,
+                       const std::vector<std::uint64_t>& factors) noexcept {
+  if (g % p == 0) return false;
+  const std::uint64_t order = p - 1;
+  for (const std::uint64_t factor : factors) {
+    if (pow_mod(g, order / factor, p) == 1) return false;
+  }
+  return true;
+}
+
+TargetIterator::TargetIterator(std::uint64_t seed, std::uint64_t universe)
+    : TargetIterator(seed, universe, 0, 1) {}
+
+TargetIterator::TargetIterator(std::uint64_t seed, std::uint64_t universe,
+                               std::uint32_t shard_index,
+                               std::uint32_t shard_count) {
+  TASS_EXPECTS(universe >= 1);
+  TASS_EXPECTS(shard_count >= 1 && shard_index < shard_count);
+  universe_ = universe;
+  // The classic modulus for the full space; otherwise the least prime that
+  // covers the universe (ZMap sizes its group to the scan the same way).
+  prime_ = universe == (1ULL << 32)
+               ? kPermutationPrime
+               : least_prime_above(std::max(universe, kTinyUniverse));
+
+  util::Rng rng(seed);
+  const std::uint64_t order = prime_ - 1;
+  const auto factors = distinct_prime_factors(order);
+  const std::uint64_t root = find_primitive_root(prime_, factors);
+
+  // Derive a per-seed generator: root^e is a primitive root iff
+  // gcd(e, p-1) == 1.
+  std::uint64_t exponent = 0;
+  do {
+    exponent = 1 + rng.bounded(order - 1 > 0 ? order - 1 : 1);
+  } while (std::gcd(exponent, order) != 1);
+  const std::uint64_t g = pow_mod(root, exponent, prime_);
+
+  // Shard i starts at start * g^i and steps by g^shard_count.
+  const std::uint64_t start = 1 + rng.bounded(order);
+  generator_ = pow_mod(g, shard_count, prime_);
+  current_ = mul_mod(start, pow_mod(g, shard_index, prime_), prime_);
+  remaining_ = (order - shard_index + shard_count - 1) / shard_count;
+}
+
+TargetIterator TargetIterator::shard(std::uint64_t seed,
+                                     std::uint32_t shard_index,
+                                     std::uint32_t shard_count,
+                                     std::uint64_t universe) {
+  return TargetIterator(seed, universe, shard_index, shard_count);
+}
+
+std::optional<std::uint64_t> TargetIterator::next_value() noexcept {
+  while (remaining_ > 0) {
+    const std::uint64_t element = current_;
+    current_ = mul_mod(current_, generator_, prime_);
+    --remaining_;
+    // Element x in [1, p-1] encodes value x-1; x > universe has no target.
+    if (element <= universe_) {
+      ++emitted_;
+      return element - 1;
+    }
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+std::optional<net::Ipv4Address> TargetIterator::next() noexcept {
+  TASS_EXPECTS(universe_ == (1ULL << 32));
+  const auto value = next_value();
+  if (!value) return std::nullopt;
+  return net::Ipv4Address(static_cast<std::uint32_t>(*value));
+}
+
+}  // namespace tass::scan

@@ -1,0 +1,99 @@
+// ZMap-style address permutation.
+//
+// Internet-wide scanners must visit targets in an order that spreads probes
+// across networks (to avoid hammering one prefix) while provably covering
+// every target exactly once. ZMap achieves this by iterating the cyclic
+// multiplicative group of integers modulo a prime p larger than the target
+// count: the sequence x_{n+1} = x_n * g (mod p) for a generator g visits
+// every element of [1, p-1] exactly once per cycle; elements above the
+// universe size are skipped and element x encodes target x - 1.
+//
+// For a full IPv4 sweep the modulus is the classic p = 2^32 + 15; for
+// scoped scans the group is sized to the scope (as ZMap does), which keeps
+// the skip overhead bounded. Sharding (ZMap --shards) splits one cycle
+// into disjoint interleaved sub-cycles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace tass::scan {
+
+/// The classic ZMap group modulus: the smallest prime above 2^32.
+inline constexpr std::uint64_t kPermutationPrime = (1ULL << 32) + 15;
+
+/// (base^exp) mod modulus with 128-bit intermediates.
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t modulus) noexcept;
+
+/// (a * b) mod modulus with 128-bit intermediates.
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t modulus) noexcept;
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool is_prime(std::uint64_t value) noexcept;
+
+/// Least prime strictly greater than `value`.
+std::uint64_t least_prime_above(std::uint64_t value);
+
+/// Prime factorisation by trial division (value must be >= 1); returns the
+/// distinct prime factors in ascending order.
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t value);
+
+/// True if g generates the full multiplicative group mod prime p.
+/// `factors` are the distinct prime factors of p - 1.
+bool is_primitive_root(std::uint64_t g, std::uint64_t p,
+                       const std::vector<std::uint64_t>& factors) noexcept;
+
+/// Full-cycle pseudo-random permutation of [0, universe). Deterministic in
+/// the seed; different seeds yield different generators and start points.
+class TargetIterator {
+ public:
+  /// Permutation of the full IPv4 address space (universe 2^32, using the
+  /// classic 2^32 + 15 modulus).
+  explicit TargetIterator(std::uint64_t seed)
+      : TargetIterator(seed, 1ULL << 32) {}
+
+  /// Permutation of [0, universe). universe >= 1.
+  TargetIterator(std::uint64_t seed, std::uint64_t universe);
+
+  /// Next value in [0, universe), or nullopt when the cycle completes.
+  std::optional<std::uint64_t> next_value() noexcept;
+
+  /// Next IPv4 address; only valid for universe == 2^32.
+  std::optional<net::Ipv4Address> next() noexcept;
+
+  /// Values already emitted.
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  bool done() const noexcept { return done_; }
+  std::uint64_t universe() const noexcept { return universe_; }
+
+  /// The group generator in use (exposed for tests).
+  std::uint64_t generator() const noexcept { return generator_; }
+  /// The group modulus in use (exposed for tests).
+  std::uint64_t modulus() const noexcept { return prime_; }
+
+  /// Splits the permutation into `shard_count` interleaved shards; shard i
+  /// visits elements i, i+n, i+2n, ... of the cycle, so the shards are
+  /// disjoint and jointly cover the universe (ZMap's --shards semantics).
+  static TargetIterator shard(std::uint64_t seed, std::uint32_t shard_index,
+                              std::uint32_t shard_count,
+                              std::uint64_t universe = 1ULL << 32);
+
+ private:
+  TargetIterator(std::uint64_t seed, std::uint64_t universe,
+                 std::uint32_t shard_index, std::uint32_t shard_count);
+
+  std::uint64_t universe_ = 0;
+  std::uint64_t prime_ = 0;       // group modulus (> universe)
+  std::uint64_t generator_ = 0;   // step multiplier (g or g^shards)
+  std::uint64_t current_ = 0;     // current group element
+  std::uint64_t remaining_ = 0;   // group elements left to visit
+  std::uint64_t emitted_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace tass::scan

@@ -1,0 +1,216 @@
+// Binary (uncompressed) prefix trie keyed by CIDR prefix.
+//
+// The trie is the routing-table index used everywhere an address or prefix
+// must be mapped to covering prefixes: longest-prefix match for scan-result
+// attribution, containment queries for l/m classification, and subtree
+// enumeration for deaggregation.
+//
+// Nodes live in a contiguous pool addressed by 32-bit indices; erase marks
+// values dead and prunes value-free leaf chains. Depth is bounded by 33, so
+// every operation is O(32) plus output size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "util/error.hpp"
+
+namespace tass::trie {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  using value_type = std::pair<net::Prefix, T>;
+
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Number of stored (prefix, value) entries.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    nodes_.clear();
+    nodes_.emplace_back();
+    size_ = 0;
+  }
+
+  /// Inserts or overwrites. Returns true if the prefix was newly inserted.
+  bool insert(net::Prefix prefix, T value) {
+    const std::uint32_t node = descend_or_create(prefix);
+    const bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Exact-match lookup.
+  const T* find(net::Prefix prefix) const noexcept {
+    const std::uint32_t node = descend(prefix);
+    if (node == kNil || !nodes_[node].value.has_value()) return nullptr;
+    return &*nodes_[node].value;
+  }
+  T* find(net::Prefix prefix) noexcept {
+    return const_cast<T*>(std::as_const(*this).find(prefix));
+  }
+
+  bool contains(net::Prefix prefix) const noexcept {
+    return find(prefix) != nullptr;
+  }
+
+  /// Longest-prefix match for an address.
+  std::optional<value_type> longest_match(net::Ipv4Address addr) const {
+    std::optional<value_type> best;
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value.has_value()) {
+        best.emplace(net::Prefix(addr, depth), *nodes_[node].value);
+      }
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = nodes_[node].child[bit];
+      if (node == kNil) break;
+    }
+    return best;
+  }
+
+  /// Shortest-prefix (least specific) match for an address.
+  std::optional<value_type> shortest_match(net::Ipv4Address addr) const {
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value.has_value()) {
+        return value_type(net::Prefix(addr, depth), *nodes_[node].value);
+      }
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = nodes_[node].child[bit];
+      if (node == kNil) break;
+    }
+    return std::nullopt;
+  }
+
+  /// All stored prefixes covering the address, least specific first.
+  std::vector<value_type> all_matches(net::Ipv4Address addr) const {
+    std::vector<value_type> matches;
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value.has_value()) {
+        matches.emplace_back(net::Prefix(addr, depth), *nodes_[node].value);
+      }
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = nodes_[node].child[bit];
+      if (node == kNil) break;
+    }
+    return matches;
+  }
+
+  /// Does any stored prefix strictly contain `prefix` (shorter length)?
+  bool has_strict_ancestor(net::Prefix prefix) const noexcept {
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      if (nodes_[node].value.has_value()) return true;
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = nodes_[node].child[bit];
+      if (node == kNil) return false;
+    }
+    return false;
+  }
+
+  /// Visits every entry contained in `scope` (including an exact match),
+  /// in ascending (network, length) order.
+  template <typename Fn>
+  void for_each_within(net::Prefix scope, Fn&& fn) const {
+    const std::uint32_t node = descend(scope);
+    if (node != kNil)
+
+      walk(node, scope, fn);
+  }
+
+  /// Visits every entry, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(kRoot, net::Prefix(), fn);
+  }
+
+  /// Materialises all entries contained in `scope`.
+  std::vector<value_type> entries_within(net::Prefix scope) const {
+    std::vector<value_type> out;
+    for_each_within(scope,
+                    [&](net::Prefix p, const T& v) { out.emplace_back(p, v); });
+    return out;
+  }
+
+  /// Materialises all entries.
+  std::vector<value_type> entries() const {
+    std::vector<value_type> out;
+    out.reserve(size_);
+    for_each([&](net::Prefix p, const T& v) { out.emplace_back(p, v); });
+    return out;
+  }
+
+  /// Removes an exact prefix. Returns true if it was present. Value-free
+  /// branches are left in place (depth is bounded, so the memory cost is
+  /// negligible for scan workloads; clear() reclaims everything).
+  bool erase(net::Prefix prefix) noexcept {
+    const std::uint32_t node = descend(prefix);
+    if (node == kNil || !nodes_[node].value.has_value()) return false;
+    nodes_[node].value.reset();
+    --size_;
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kRoot = 0;
+
+  struct Node {
+    std::uint32_t child[2] = {kNil, kNil};
+    std::optional<T> value;
+  };
+
+  std::uint32_t descend(net::Prefix prefix) const noexcept {
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = nodes_[node].child[bit];
+      if (node == kNil) return kNil;
+    }
+    return node;
+  }
+
+  std::uint32_t descend_or_create(net::Prefix prefix) {
+    std::uint32_t node = kRoot;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      std::uint32_t next = nodes_[node].child[bit];
+      if (next == kNil) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_[node].child[bit] = next;
+      }
+      node = next;
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  void walk(std::uint32_t node, net::Prefix at, Fn& fn) const {
+    if (nodes_[node].value.has_value()) fn(at, *nodes_[node].value);
+    if (at.length() == 32) return;
+    if (const auto lo = nodes_[node].child[0]; lo != kNil) {
+      walk(lo, at.lower_half(), fn);
+    }
+    if (const auto hi = nodes_[node].child[1]; hi != kNil) {
+      walk(hi, at.upper_half(), fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tass::trie

@@ -1,0 +1,142 @@
+// Big-endian (network byte order) codecs for the MRT binary format and the
+// snapshot container. Header-only; all functions are bounds-checked by the
+// caller supplying correctly-sized spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tass::util {
+
+constexpr std::uint16_t load_be16(std::span<const std::byte, 2> in) noexcept {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(in[0]) << 8) |
+      std::to_integer<std::uint16_t>(in[1]));
+}
+
+constexpr std::uint32_t load_be32(std::span<const std::byte, 4> in) noexcept {
+  return (std::to_integer<std::uint32_t>(in[0]) << 24) |
+         (std::to_integer<std::uint32_t>(in[1]) << 16) |
+         (std::to_integer<std::uint32_t>(in[2]) << 8) |
+         std::to_integer<std::uint32_t>(in[3]);
+}
+
+constexpr std::uint64_t load_be64(std::span<const std::byte, 8> in) noexcept {
+  std::uint64_t value = 0;
+  for (const std::byte b : in) {
+    value = (value << 8) | std::to_integer<std::uint64_t>(b);
+  }
+  return value;
+}
+
+constexpr void store_be16(std::uint16_t value,
+                          std::span<std::byte, 2> out) noexcept {
+  out[0] = static_cast<std::byte>(value >> 8);
+  out[1] = static_cast<std::byte>(value & 0xff);
+}
+
+constexpr void store_be32(std::uint32_t value,
+                          std::span<std::byte, 4> out) noexcept {
+  out[0] = static_cast<std::byte>(value >> 24);
+  out[1] = static_cast<std::byte>((value >> 16) & 0xff);
+  out[2] = static_cast<std::byte>((value >> 8) & 0xff);
+  out[3] = static_cast<std::byte>(value & 0xff);
+}
+
+constexpr void store_be64(std::uint64_t value,
+                          std::span<std::byte, 8> out) noexcept {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>((value >> (56 - 8 * i)) & 0xff);
+  }
+}
+
+/// Append-only big-endian byte sink used by binary writers.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) {
+    buffer_.push_back(static_cast<std::byte>(value));
+  }
+  void u16(std::uint16_t value) {
+    std::byte scratch[2];
+    store_be16(value, scratch);
+    buffer_.insert(buffer_.end(), scratch, scratch + 2);
+  }
+  void u32(std::uint32_t value) {
+    std::byte scratch[4];
+    store_be32(value, scratch);
+    buffer_.insert(buffer_.end(), scratch, scratch + 4);
+  }
+  void u64(std::uint64_t value) {
+    std::byte scratch[8];
+    store_be64(value, scratch);
+    buffer_.insert(buffer_.end(), scratch, scratch + 8);
+  }
+  void bytes(std::span<const std::byte> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  /// Patches a previously written 16-bit length field at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t value) {
+    TASS_EXPECTS(offset + 2 <= buffer_.size());
+    store_be16(value, std::span<std::byte, 2>(&buffer_[offset], 2));
+  }
+  /// Patches a previously written 32-bit length field at `offset`.
+  void patch_u32(std::size_t offset, std::uint32_t value) {
+    TASS_EXPECTS(offset + 4 <= buffer_.size());
+    store_be32(value, std::span<std::byte, 4>(&buffer_[offset], 4));
+  }
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  std::span<const std::byte> view() const noexcept { return buffer_; }
+  std::vector<std::byte> take() && noexcept { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential big-endian reader with explicit bounds checking; throws
+/// FormatError on truncation so binary parsers do not need per-field checks.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() { return std::to_integer<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() {
+    return load_be16(std::span<const std::byte, 2>(take(2).data(), 2));
+  }
+  std::uint32_t u32() {
+    return load_be32(std::span<const std::byte, 4>(take(4).data(), 4));
+  }
+  std::uint64_t u64() {
+    return load_be64(std::span<const std::byte, 8>(take(8).data(), 8));
+  }
+  std::span<const std::byte> bytes(std::size_t count) { return take(count); }
+
+  /// Sub-reader over the next `count` bytes (consumed from this reader).
+  ByteReader sub(std::size_t count) { return ByteReader(take(count)); }
+
+ private:
+  std::span<const std::byte> take(std::size_t count) {
+    if (remaining() < count) {
+      throw FormatError("truncated input: wanted " + std::to_string(count) +
+                        " bytes, have " + std::to_string(remaining()));
+    }
+    const auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tass::util

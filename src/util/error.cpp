@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tass::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  std::fprintf(stderr, "%s failure: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace tass::detail

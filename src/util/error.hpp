@@ -1,0 +1,52 @@
+// Error handling primitives shared by all TASS libraries.
+//
+// The library uses exceptions at I/O and API boundaries (parse failures,
+// malformed binary records) and cheap always-on contract checks for
+// programmer errors, following the C++ Core Guidelines (E.2, I.6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tass {
+
+/// Base exception for all failures raised by the TASS libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when textual input (pfx2as rows, prefixes, blocklists, CLI
+/// arguments) cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when binary input (MRT records, snapshot files) is malformed,
+/// truncated, or violates the format specification.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace tass
+
+/// Precondition check. Violations indicate a caller bug; they terminate via
+/// a diagnostic rather than throwing so they are never silently swallowed.
+#define TASS_EXPECTS(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::tass::detail::contract_failure("Precondition", #expr,      \
+                                             __FILE__, __LINE__))
+
+/// Postcondition / invariant check, same policy as TASS_EXPECTS.
+#define TASS_ENSURES(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                          \
+          : ::tass::detail::contract_failure("Postcondition", #expr,     \
+                                             __FILE__, __LINE__))

@@ -1,0 +1,46 @@
+// FNV-1a 64-bit hashing: content checksums for the snapshot container and
+// structural fingerprints (e.g. partition identity). Not cryptographic —
+// it guards against corruption and mismatched inputs, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tass::util {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr void update(std::uint8_t byte) noexcept {
+    state_ = (state_ ^ byte) * kPrime;
+  }
+  void update(std::span<const std::byte> bytes) noexcept {
+    for (const std::byte b : bytes) update(std::to_integer<std::uint8_t>(b));
+  }
+  constexpr void update_u32(std::uint32_t value) noexcept {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      update(static_cast<std::uint8_t>((value >> shift) & 0xff));
+    }
+  }
+  constexpr void update_u64(std::uint64_t value) noexcept {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      update(static_cast<std::uint8_t>((value >> shift) & 0xff));
+    }
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+inline std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  Fnv1a64 hasher;
+  hasher.update(bytes);
+  return hasher.digest();
+}
+
+}  // namespace tass::util

@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+namespace tass::util {
+
+double Rng::exponential(double lambda) noexcept {
+  TASS_EXPECTS(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], avoiding log(0).
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  TASS_EXPECTS(xm > 0.0 && alpha > 0.0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; draw both uniforms every call so the consumption pattern is
+  // fixed regardless of how results are used.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  TASS_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; clamp at zero.
+  const double draw = normal(mean, std::sqrt(mean)) + 0.5;
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  TASS_EXPECTS(k <= n);
+  // Floyd's algorithm: k iterations, O(k log k) via the set.
+  std::set<std::uint64_t> chosen;
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = bounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (const double w : weights) {
+    TASS_EXPECTS(w >= 0.0);
+    running += w;
+    cumulative_.push_back(running);
+  }
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  TASS_EXPECTS(!cumulative_.empty() && cumulative_.back() > 0.0);
+  const double needle = rng.uniform() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), needle);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+}  // namespace tass::util

@@ -1,0 +1,157 @@
+// Deterministic pseudo-random machinery for reproducible simulations.
+//
+// The census generator and churn model must produce bit-identical output for
+// a given seed on every platform, so we implement both the generator
+// (xoshiro256**, seeded via splitmix64) and every distribution we need
+// ourselves instead of relying on implementation-defined <random>
+// distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tass::util {
+
+/// splitmix64 step; used for seed expansion and cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two values; handy for deriving per-entity seeds
+/// (e.g. per-prefix churn streams) from a master seed.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed'0000'cafe'f00dULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform draw from [0, bound) via Lemire's method.
+  /// bound == 0 is a precondition violation.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    TASS_EXPECTS(bound != 0);
+    // 128-bit multiply rejection sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform u32 in [lo, hi] inclusive.
+  std::uint32_t uniform_u32(std::uint32_t lo, std::uint32_t hi) noexcept {
+    TASS_EXPECTS(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<std::uint32_t>(bounded(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Pareto (type I) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Log-normal via Box-Muller on deterministic uniforms.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Standard normal (Box-Muller; one value per call, no caching so the
+  /// stream is position-independent).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Poisson-distributed count. Uses inversion for small means and a
+  /// normal approximation above 64 (adequate for simulation workloads).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(bounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draw k distinct values from [0, n) (k <= n). Uses Floyd's algorithm;
+  /// result is sorted.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples an index in [0, weights.size()) proportionally to non-negative
+/// weights. Precomputes the cumulative table once; O(log n) per draw.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Number of categories.
+  std::size_t size() const noexcept { return cumulative_.size(); }
+
+  /// Total weight (normalisation constant).
+  double total() const noexcept {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+  std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace tass::util

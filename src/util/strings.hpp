@@ -1,0 +1,46 @@
+// Small string utilities used by the text-format parsers (pfx2as,
+// blocklists, CLI arguments). All functions operate on string_view and never
+// allocate unless they return std::string/vector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tass::util {
+
+/// Splits on a single-character delimiter. Empty fields are preserved
+/// ("a,,b" -> {"a", "", "b"}); an empty input yields one empty field.
+std::vector<std::string_view> split(std::string_view text, char delimiter);
+
+/// Splits on any amount of ASCII whitespace; empty fields are discarded.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Strict base-10 unsigned parse of the full string; rejects empty input,
+/// signs, leading '+', whitespace, and overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// As parse_u64 but range-checked to 32 bits.
+std::optional<std::uint32_t> parse_u32(std::string_view text) noexcept;
+
+/// Strict double parse of the full string.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// True if `text` begins with `prefix`.
+constexpr bool starts_with(std::string_view text,
+                           std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Formats a count with thousands separators ("1234567" -> "1,234,567").
+std::string with_thousands(std::uint64_t value);
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string fixed(double value, int digits);
+
+}  // namespace tass::util

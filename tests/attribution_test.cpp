@@ -1,0 +1,121 @@
+// Tests for core/attribution and bgp/aggregate: the scan-result-to-prefix
+// bridge and CIDR re-aggregation.
+#include "bgp/aggregate.hpp"
+#include "core/attribution.hpp"
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/population.hpp"
+#include "census/topology.hpp"
+#include "scan/engine.hpp"
+
+namespace tass {
+namespace {
+
+using net::Prefix;
+
+Prefix pfx(const char* text) { return Prefix::parse_or_throw(text); }
+
+TEST(Attribution, CountsPerCellAndUnattributed) {
+  const bgp::PrefixPartition partition(
+      {pfx("10.0.0.0/24"), pfx("10.0.1.0/24")});
+  const std::vector<std::uint32_t> addresses = {
+      pfx("10.0.0.0/24").network().value() + 1,
+      pfx("10.0.0.0/24").network().value() + 2,
+      pfx("10.0.1.0/24").network().value() + 9,
+      pfx("192.0.2.0/24").network().value(),  // outside the partition
+  };
+  const auto result = core::attribute(addresses, partition);
+  ASSERT_EQ(result.counts.size(), 2u);
+  EXPECT_EQ(result.counts[0], 2u);
+  EXPECT_EQ(result.counts[1], 1u);
+  EXPECT_EQ(result.attributed, 3u);
+  EXPECT_EQ(result.unattributed, 1u);
+}
+
+TEST(Attribution, RankScanResultsMatchesSnapshotPath) {
+  // Ranking a simulated scan's raw address list must equal ranking the
+  // snapshot's own counts: the two public pipelines are interchangeable.
+  census::TopologyParams params;
+  params.seed = 17;
+  params.l_prefix_count = 80;
+  const auto topo = census::generate_topology(params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.0005;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(census::Protocol::kFtp), pop);
+
+  const auto addresses = snapshot.addresses();
+  const auto from_scan = core::rank_scan_results(
+      addresses, topo->m_partition, core::PrefixMode::kMore);
+  const auto from_census =
+      core::rank_by_density(snapshot, core::PrefixMode::kMore);
+
+  ASSERT_EQ(from_scan.ranked.size(), from_census.ranked.size());
+  EXPECT_EQ(from_scan.total_hosts, from_census.total_hosts);
+  for (std::size_t i = 0; i < from_scan.ranked.size(); ++i) {
+    EXPECT_EQ(from_scan.ranked[i].prefix, from_census.ranked[i].prefix);
+    EXPECT_EQ(from_scan.ranked[i].hosts, from_census.ranked[i].hosts);
+  }
+}
+
+TEST(Aggregate, MergesSiblingsAndNesting) {
+  const std::vector<Prefix> input = {
+      pfx("10.0.0.0/9"), pfx("10.128.0.0/9"),  // siblings -> /8
+      pfx("10.0.0.0/16"),                      // nested, absorbed
+      pfx("192.168.0.0/24"),
+      pfx("192.168.1.0/24"),                   // siblings -> /23
+      pfx("172.16.0.0/12"),
+  };
+  const auto merged = bgp::aggregate(input);
+  const std::vector<Prefix> expected = {
+      pfx("10.0.0.0/8"), pfx("172.16.0.0/12"), pfx("192.168.0.0/23")};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(Aggregate, IdempotentAndExact) {
+  const std::vector<Prefix> input = {
+      pfx("10.0.0.0/24"), pfx("10.0.2.0/24"), pfx("10.0.1.0/24")};
+  const auto once = bgp::aggregate(input);
+  const auto twice = bgp::aggregate(once);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(bgp::union_size(input), bgp::union_size(once));
+  EXPECT_EQ(bgp::union_size(once), 768u);
+  // 10.0.0.0/24 + 10.0.1.0/24 merge to /23; 10.0.2.0/24 stays.
+  ASSERT_EQ(once.size(), 2u);
+  EXPECT_EQ(once[0], pfx("10.0.0.0/23"));
+  EXPECT_EQ(once[1], pfx("10.0.2.0/24"));
+}
+
+TEST(Aggregate, UnionSizeDeduplicates) {
+  const std::vector<Prefix> overlapping = {
+      pfx("10.0.0.0/8"), pfx("10.0.0.0/16"), pfx("10.0.0.0/8")};
+  EXPECT_EQ(bgp::union_size(overlapping), 1ULL << 24);
+}
+
+TEST(Aggregate, SelectionCompactionPreservesTheScope) {
+  // Aggregating a TASS selection must not change the scanned address set.
+  census::TopologyParams params;
+  params.seed = 23;
+  params.l_prefix_count = 120;
+  const auto topo = census::generate_topology(params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.0005;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(census::Protocol::kHttp), pop);
+  const auto ranking =
+      core::rank_by_density(snapshot, core::PrefixMode::kMore);
+  core::SelectionParams sel;
+  sel.phi = 0.9;
+  const auto selection = core::select_by_density(ranking, sel);
+
+  const auto compact = bgp::aggregate(selection.prefixes);
+  EXPECT_LE(compact.size(), selection.prefixes.size());
+  EXPECT_EQ(bgp::union_size(compact), selection.selected_addresses);
+  EXPECT_EQ(net::IntervalSet::of_prefixes(compact),
+            net::IntervalSet::of_prefixes(selection.prefixes));
+}
+
+}  // namespace
+}  // namespace tass

@@ -1,0 +1,185 @@
+// Tests for census/churn: the monthly evolution operator behind
+// Figures 5 and 6.
+#include "census/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "census/population.hpp"
+#include "census/series.hpp"
+
+namespace tass::census {
+namespace {
+
+std::shared_ptr<const Topology> test_topology() {
+  static const auto topo = [] {
+    TopologyParams params;
+    params.seed = 31;
+    params.l_prefix_count = 600;
+    return generate_topology(params);
+  }();
+  return topo;
+}
+
+Snapshot seed_snapshot(Protocol protocol) {
+  PopulationParams params;
+  params.host_scale = 0.002;
+  params.seed = 4;
+  return generate_population(test_topology(), protocol_profile(protocol),
+                             params);
+}
+
+TEST(Churn, Deterministic) {
+  const Snapshot seed = seed_snapshot(Protocol::kHttp);
+  const auto& profile = protocol_profile(Protocol::kHttp);
+  const Snapshot a = advance_month(seed, profile, 123);
+  const Snapshot b = advance_month(seed, profile, 123);
+  EXPECT_EQ(a.addresses(), b.addresses());
+  const Snapshot c = advance_month(seed, profile, 124);
+  EXPECT_NE(a.addresses(), c.addresses());
+}
+
+TEST(Churn, AdvancesMonthIndex) {
+  const Snapshot seed = seed_snapshot(Protocol::kFtp);
+  const auto& profile = protocol_profile(Protocol::kFtp);
+  const Snapshot next = advance_month(seed, profile, 1);
+  EXPECT_EQ(next.month_index(), 1);
+  EXPECT_EQ(advance_month(next, profile, 1).month_index(), 2);
+  EXPECT_EQ(next.protocol(), Protocol::kFtp);
+}
+
+TEST(Churn, PopulationIsRoughlyStationary) {
+  Snapshot snapshot = seed_snapshot(Protocol::kCwmp);
+  const auto& profile = protocol_profile(Protocol::kCwmp);
+  const double initial = static_cast<double>(snapshot.total_hosts());
+  for (int month = 0; month < 6; ++month) {
+    snapshot = advance_month(snapshot, profile, 55);
+    EXPECT_NEAR(static_cast<double>(snapshot.total_hosts()), initial,
+                initial * 0.03);
+  }
+}
+
+TEST(Churn, StableHostsKeepTheirAddresses) {
+  const Snapshot seed = seed_snapshot(Protocol::kHttp);
+  const auto& profile = protocol_profile(Protocol::kHttp);
+  const Snapshot next = advance_month(seed, profile, 9);
+
+  // Count how many stable addresses survive in place: expected fraction is
+  // (1 - monthly_death_rate); births may add a few more coincidentally.
+  std::uint64_t stable_before = 0;
+  std::uint64_t survived = 0;
+  for (std::uint32_t cell = 0; cell < seed.cell_count(); ++cell) {
+    const auto& old_stable = seed.cell(cell).stable;
+    const auto& new_stable = next.cell(cell).stable;
+    stable_before += old_stable.size();
+    for (const std::uint32_t offset : old_stable) {
+      if (std::binary_search(new_stable.begin(), new_stable.end(), offset)) {
+        ++survived;
+      }
+    }
+  }
+  const double survival = static_cast<double>(survived) /
+                          static_cast<double>(stable_before);
+  EXPECT_NEAR(survival, 1.0 - profile.monthly_death_rate, 0.01);
+}
+
+TEST(Churn, VolatileHostsReshuffle) {
+  const Snapshot seed = seed_snapshot(Protocol::kCwmp);
+  const auto& profile = protocol_profile(Protocol::kCwmp);
+  const Snapshot next = advance_month(seed, profile, 9);
+
+  // A volatile address surviving in place should be rare: the new offset
+  // collides with the old one only by chance (~density).
+  std::uint64_t volatile_before = 0;
+  std::uint64_t in_place = 0;
+  for (std::uint32_t cell = 0; cell < seed.cell_count(); ++cell) {
+    const auto& old_volatile = seed.cell(cell).volatile_hosts;
+    const auto& new_volatile = next.cell(cell).volatile_hosts;
+    volatile_before += old_volatile.size();
+    for (const std::uint32_t offset : old_volatile) {
+      if (std::binary_search(new_volatile.begin(), new_volatile.end(),
+                             offset)) {
+        ++in_place;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(in_place),
+            0.05 * static_cast<double>(volatile_before));
+  // But the volatile *population* persists (sizes stay comparable).
+  std::uint64_t volatile_after = 0;
+  for (std::uint32_t cell = 0; cell < next.cell_count(); ++cell) {
+    volatile_after += next.cell(cell).volatile_hosts.size();
+  }
+  EXPECT_NEAR(static_cast<double>(volatile_after),
+              static_cast<double>(volatile_before),
+              static_cast<double>(volatile_before) * 0.1);
+}
+
+TEST(Churn, HostsStayInsideTheirCells) {
+  const Snapshot seed = seed_snapshot(Protocol::kTelnet);
+  const auto& profile = protocol_profile(Protocol::kTelnet);
+  Snapshot snapshot = advance_month(seed, profile, 2);
+  const auto topo = snapshot.topology_ptr();
+  for (std::uint32_t cell = 0; cell < snapshot.cell_count(); ++cell) {
+    const std::uint64_t size = topo->m_partition.prefix(cell).size();
+    const CellPopulation& population = snapshot.cell(cell);
+    if (!population.stable.empty()) {
+      EXPECT_LT(population.stable.back(), size);
+      EXPECT_TRUE(std::is_sorted(population.stable.begin(),
+                                 population.stable.end()));
+    }
+    if (!population.volatile_hosts.empty()) {
+      EXPECT_LT(population.volatile_hosts.back(), size);
+    }
+    // No duplicate across the stable/volatile split.
+    std::vector<std::uint32_t> intersection;
+    std::set_intersection(population.stable.begin(), population.stable.end(),
+                          population.volatile_hosts.begin(),
+                          population.volatile_hosts.end(),
+                          std::back_inserter(intersection));
+    EXPECT_TRUE(intersection.empty());
+  }
+}
+
+TEST(Churn, SeedsPreviouslyEmptyCells) {
+  // The mechanism behind TASS decay: after several months some hosts must
+  // live in cells that were empty at t0.
+  const Snapshot seed = seed_snapshot(Protocol::kCwmp);
+  const auto& profile = protocol_profile(Protocol::kCwmp);
+  Snapshot snapshot = seed;
+  for (int month = 0; month < 4; ++month) {
+    snapshot = advance_month(snapshot, profile, 77);
+  }
+  const auto counts0 = seed.counts_per_cell();
+  const auto counts4 = snapshot.counts_per_cell();
+  std::uint64_t hosts_in_new_cells = 0;
+  for (std::size_t cell = 0; cell < counts0.size(); ++cell) {
+    if (counts0[cell] == 0) hosts_in_new_cells += counts4[cell];
+  }
+  EXPECT_GT(hosts_in_new_cells, 0u);
+  // ... but only a few percent of the population (linear, slow decay).
+  EXPECT_LT(static_cast<double>(hosts_in_new_cells),
+            0.08 * static_cast<double>(snapshot.total_hosts()));
+}
+
+TEST(CensusSeries, GeneratesRequestedMonths) {
+  SeriesParams params;
+  params.months = 4;
+  params.host_scale = 0.002;
+  params.seed = 3;
+  const auto series = CensusSeries::generate(test_topology(),
+                                             Protocol::kHttps, params);
+  EXPECT_EQ(series.month_count(), 4);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(series.month(m).month_index(), m);
+    EXPECT_EQ(series.month(m).protocol(), Protocol::kHttps);
+  }
+  // Deterministic regeneration.
+  const auto again = CensusSeries::generate(test_topology(),
+                                            Protocol::kHttps, params);
+  EXPECT_EQ(series.month(3).addresses(), again.month(3).addresses());
+}
+
+}  // namespace
+}  // namespace tass::census

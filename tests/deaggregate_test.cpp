@@ -1,0 +1,172 @@
+// Tests for bgp/deaggregate: the Figure 2 minimal-partition algorithm.
+#include "bgp/deaggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Prefix;
+
+Prefix pfx(const char* text) { return Prefix::parse_or_throw(text); }
+
+// Checks the partition property: tiles are disjoint, sorted ascending and
+// exactly cover `covering`.
+void expect_tiles_partition(Prefix covering,
+                            const std::vector<Prefix>& tiles) {
+  ASSERT_FALSE(tiles.empty());
+  std::uint64_t expected_next = covering.network().value();
+  std::uint64_t total = 0;
+  for (const Prefix tile : tiles) {
+    EXPECT_EQ(tile.network().value(), expected_next) << tile.to_string();
+    expected_next += tile.size();
+    total += tile.size();
+    EXPECT_TRUE(covering.contains(tile));
+  }
+  EXPECT_EQ(total, covering.size());
+}
+
+TEST(Deaggregate, PaperFigure2Example) {
+  // /8 around an announced /12 -> {/12, /12-sibling, /11, /10, /9}.
+  const auto tiles = deaggregate(pfx("100.0.0.0/8"), {{pfx("100.0.0.0/12")}});
+  const std::vector<Prefix> expected = {
+      pfx("100.0.0.0/12"), pfx("100.16.0.0/12"), pfx("100.32.0.0/11"),
+      pfx("100.64.0.0/10"), pfx("100.128.0.0/9")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(Deaggregate, NoMoreSpecificsYieldsTheCoveringItself) {
+  const auto tiles = deaggregate(pfx("10.0.0.0/8"), {});
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], pfx("10.0.0.0/8"));
+}
+
+TEST(Deaggregate, MoreSpecificEqualToAHalf) {
+  const auto tiles = deaggregate(pfx("10.0.0.0/8"), {{pfx("10.128.0.0/9")}});
+  const std::vector<Prefix> expected = {pfx("10.0.0.0/9"),
+                                        pfx("10.128.0.0/9")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(Deaggregate, MiddleOfThePrefix) {
+  const auto tiles = deaggregate(pfx("10.0.0.0/8"), {{pfx("10.64.0.0/10")}});
+  const std::vector<Prefix> expected = {
+      pfx("10.0.0.0/10"), pfx("10.64.0.0/10"), pfx("10.128.0.0/9")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(Deaggregate, MultipleDisjointMoreSpecifics) {
+  const auto tiles = deaggregate(
+      pfx("10.0.0.0/8"), {{pfx("10.0.0.0/10"), pfx("10.192.0.0/10")}});
+  const std::vector<Prefix> expected = {
+      pfx("10.0.0.0/10"), pfx("10.64.0.0/10"), pfx("10.128.0.0/10"),
+      pfx("10.192.0.0/10")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(Deaggregate, NestedMoreSpecificsRefineRecursively) {
+  // /16 inside /12 inside /8: the /12 region is itself split around /16.
+  const auto tiles = deaggregate(
+      pfx("10.0.0.0/8"), {{pfx("10.0.0.0/12"), pfx("10.0.0.0/16")}});
+  expect_tiles_partition(pfx("10.0.0.0/8"), tiles);
+  EXPECT_TRUE(std::find(tiles.begin(), tiles.end(), pfx("10.0.0.0/16")) !=
+              tiles.end());
+  // The /12 itself must NOT survive whole: its /16 subset is a cell.
+  EXPECT_TRUE(std::find(tiles.begin(), tiles.end(), pfx("10.0.0.0/12")) ==
+              tiles.end());
+}
+
+TEST(Deaggregate, DuplicatesAreIgnored) {
+  const auto once = deaggregate(pfx("10.0.0.0/8"), {{pfx("10.0.0.0/12")}});
+  const auto twice = deaggregate(
+      pfx("10.0.0.0/8"), {{pfx("10.0.0.0/12"), pfx("10.0.0.0/12")}});
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Deaggregate, Host32InsideSmallPrefix) {
+  const auto tiles =
+      deaggregate(pfx("192.0.2.0/30"), {{pfx("192.0.2.2/32")}});
+  const std::vector<Prefix> expected = {
+      pfx("192.0.2.0/31"), pfx("192.0.2.2/32"), pfx("192.0.2.3/32")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(Deaggregate, RejectsNonContainedInput) {
+  EXPECT_THROW(deaggregate(pfx("10.0.0.0/8"), {{pfx("11.0.0.0/9")}}),
+               Error);
+  // Equal prefix is not *strictly* contained.
+  EXPECT_THROW(deaggregate(pfx("10.0.0.0/8"), {{pfx("10.0.0.0/8")}}),
+               Error);
+  // Shorter prefix containing the covering.
+  EXPECT_THROW(deaggregate(pfx("10.0.0.0/8"), {{pfx("0.0.0.0/4")}}), Error);
+}
+
+// Property sweep: random more-specific sets produce valid minimal
+// partitions containing every maximal announced more-specific as a cell.
+class DeaggregateProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeaggregateProperty, PartitionInvariants) {
+  util::Rng rng(GetParam());
+  const Prefix covering = pfx("10.0.0.0/8");
+
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Prefix> inside;
+    const int count = 1 + static_cast<int>(rng.bounded(12));
+    for (int i = 0; i < count; ++i) {
+      const int length =
+          covering.length() + 1 + static_cast<int>(rng.bounded(10));
+      const std::uint64_t slots = 1ULL << (length - covering.length());
+      const std::uint64_t slot = rng.bounded(slots);
+      inside.emplace_back(
+          Ipv4Address(covering.network().value() |
+                      static_cast<std::uint32_t>(slot << (32 - length))),
+          length);
+    }
+    const auto tiles = deaggregate(covering, inside);
+    expect_tiles_partition(covering, tiles);
+
+    // An announced more-specific appears as an exact output cell iff no
+    // other announced prefix is strictly contained in it (otherwise the
+    // partition refines it further).
+    for (const Prefix m : inside) {
+      const bool refined =
+          std::any_of(inside.begin(), inside.end(), [&](Prefix other) {
+            return other != m && m.contains(other);
+          });
+      const bool is_cell =
+          std::find(tiles.begin(), tiles.end(), m) != tiles.end();
+      EXPECT_EQ(is_cell, !refined) << m.to_string();
+    }
+
+    // Minimality: two sibling tiles may both exist only if merging them
+    // would swallow (strictly contain) an announced more-specific.
+    for (const Prefix tile : tiles) {
+      if (tile.length() == covering.length()) continue;
+      const Prefix sibling = tile.sibling();
+      if (std::find(tiles.begin(), tiles.end(), sibling) == tiles.end()) {
+        continue;
+      }
+      const Prefix parent = tile.parent();
+      const bool parent_would_swallow =
+          std::any_of(inside.begin(), inside.end(), [&](Prefix m) {
+            return parent.contains(m) && m != parent;
+          });
+      EXPECT_TRUE(parent_would_swallow)
+          << "siblings " << tile.to_string() << " and "
+          << sibling.to_string() << " should have been merged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeaggregateProperty,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace tass::bgp

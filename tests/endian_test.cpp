@@ -1,0 +1,98 @@
+// Tests for util/endian: big-endian codecs and the bounds-checked
+// reader/writer used by the MRT implementation.
+#include "util/endian.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::util {
+namespace {
+
+TEST(Endian, Load16) {
+  const std::byte data[] = {std::byte{0x12}, std::byte{0x34}};
+  EXPECT_EQ(load_be16(data), 0x1234u);
+}
+
+TEST(Endian, Load32) {
+  const std::byte data[] = {std::byte{0xDE}, std::byte{0xAD},
+                            std::byte{0xBE}, std::byte{0xEF}};
+  EXPECT_EQ(load_be32(data), 0xDEADBEEFu);
+}
+
+TEST(Endian, RoundTrip64) {
+  std::byte buffer[8];
+  store_be64(0x0123456789ABCDEFULL, buffer);
+  EXPECT_EQ(load_be64(buffer), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(std::to_integer<int>(buffer[0]), 0x01);  // big-endian order
+  EXPECT_EQ(std::to_integer<int>(buffer[7]), 0xEF);
+}
+
+TEST(ByteWriter, AppendsNetworkOrder) {
+  ByteWriter writer;
+  writer.u8(0xAA);
+  writer.u16(0x1234);
+  writer.u32(0xCAFEBABE);
+  ASSERT_EQ(writer.size(), 7u);
+  const auto view = writer.view();
+  EXPECT_EQ(std::to_integer<int>(view[0]), 0xAA);
+  EXPECT_EQ(std::to_integer<int>(view[1]), 0x12);
+  EXPECT_EQ(std::to_integer<int>(view[2]), 0x34);
+  EXPECT_EQ(std::to_integer<int>(view[3]), 0xCA);
+  EXPECT_EQ(std::to_integer<int>(view[6]), 0xBE);
+}
+
+TEST(ByteWriter, PatchRewritesLengthFields) {
+  ByteWriter writer;
+  writer.u16(0);  // placeholder
+  writer.u32(0);  // placeholder
+  writer.u8(7);
+  writer.patch_u16(0, 0xBEEF);
+  writer.patch_u32(2, 0x11223344);
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u16(), 0xBEEFu);
+  EXPECT_EQ(reader.u32(), 0x11223344u);
+  EXPECT_EQ(reader.u8(), 7u);
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  ByteWriter writer;
+  writer.u32(42);
+  writer.u64(1ULL << 40);
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.remaining(), 12u);
+  EXPECT_EQ(reader.u32(), 42u);
+  EXPECT_EQ(reader.u64(), 1ULL << 40);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  ByteWriter writer;
+  writer.u16(1);
+  ByteReader reader(writer.view());
+  EXPECT_EQ(reader.u8(), 0u);
+  EXPECT_THROW(reader.u32(), FormatError);
+}
+
+TEST(ByteReader, SubReaderConsumesParent) {
+  ByteWriter writer;
+  writer.u32(0xAABBCCDD);
+  writer.u8(0x99);
+  ByteReader reader(writer.view());
+  ByteReader sub = reader.sub(4);
+  EXPECT_EQ(sub.u32(), 0xAABBCCDDu);
+  EXPECT_TRUE(sub.done());
+  EXPECT_EQ(reader.u8(), 0x99u);
+  EXPECT_THROW(reader.sub(1), FormatError);
+}
+
+TEST(ByteReader, BytesViewsWithoutCopy) {
+  ByteWriter writer;
+  writer.u32(0x01020304);
+  ByteReader reader(writer.view());
+  const auto bytes = reader.bytes(2);
+  EXPECT_EQ(std::to_integer<int>(bytes[0]), 0x01);
+  EXPECT_EQ(std::to_integer<int>(bytes[1]), 0x02);
+  EXPECT_EQ(reader.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace tass::util

@@ -1,0 +1,138 @@
+// Tests for core/estimator: the section-5 partial-scan population
+// estimator and the marked-census generator.
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/population.hpp"
+#include "census/topology.hpp"
+
+namespace tass::core {
+namespace {
+
+using census::Protocol;
+
+TEST(PopulationEstimate, ScaleUpArithmetic) {
+  const auto estimate = estimate_population(5000, 250, 0.5);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts(), 10000.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked(), 500.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_share(), 0.05);
+  EXPECT_GT(estimate.share_stderr(), 0.0);
+  EXPECT_LT(estimate.marked_low(), 500.0);
+  EXPECT_GT(estimate.marked_high(), 500.0);
+}
+
+TEST(PopulationEstimate, FullCoverageIsExact) {
+  const auto estimate = estimate_population(1234, 56, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts(), 1234.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked(), 56.0);
+}
+
+TEST(PopulationEstimate, EmptyObservation) {
+  const auto estimate = estimate_population(0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_share(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.share_stderr(), 0.0);
+}
+
+TEST(PopulationEstimate, RejectsBadInputs) {
+  EXPECT_DEATH(estimate_population(10, 20, 0.5), "Precondition");
+  EXPECT_DEATH(estimate_population(10, 5, 0.0), "Precondition");
+  EXPECT_DEATH(estimate_population(10, 5, 1.5), "Precondition");
+}
+
+class MarkedCensusTest : public ::testing::Test {
+ protected:
+  static const census::Snapshot& snapshot() {
+    static const census::Snapshot instance = [] {
+      census::TopologyParams params;
+      params.seed = 47;
+      params.l_prefix_count = 400;
+      const auto topo = census::generate_topology(params);
+      census::PopulationParams pop;
+      pop.host_scale = 0.002;
+      return census::generate_population(
+          topo, census::protocol_profile(Protocol::kHttps), pop);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(MarkedCensusTest, UniformMarkingHitsTheRate) {
+  const auto marked =
+      mark_hosts(snapshot(), 0.05, MarkingBias::kUniform, 1);
+  const double share = static_cast<double>(marked.total_marked) /
+                       static_cast<double>(snapshot().total_hosts());
+  EXPECT_NEAR(share, 0.05, 0.005);
+  // No cell can have more marked hosts than hosts.
+  const auto counts = snapshot().counts_per_cell();
+  for (std::size_t cell = 0; cell < counts.size(); ++cell) {
+    EXPECT_LE(marked.marked_per_cell[cell], counts[cell]);
+  }
+}
+
+TEST_F(MarkedCensusTest, SparseBiasKeepsTheOverallRate) {
+  const auto marked =
+      mark_hosts(snapshot(), 0.05, MarkingBias::kSparseBiased, 1);
+  const double share = static_cast<double>(marked.total_marked) /
+                       static_cast<double>(snapshot().total_hosts());
+  EXPECT_NEAR(share, 0.05, 0.01);
+}
+
+TEST_F(MarkedCensusTest, DeterministicInSeed) {
+  const auto a = mark_hosts(snapshot(), 0.03, MarkingBias::kUniform, 9);
+  const auto b = mark_hosts(snapshot(), 0.03, MarkingBias::kUniform, 9);
+  EXPECT_EQ(a.marked_per_cell, b.marked_per_cell);
+  const auto c = mark_hosts(snapshot(), 0.03, MarkingBias::kUniform, 10);
+  EXPECT_NE(a.marked_per_cell, c.marked_per_cell);
+}
+
+TEST_F(MarkedCensusTest, UniformEstimateIsAccurateAtPhiHalf) {
+  // The paper's section-5 hypothesis: when vulnerable hosts distribute
+  // like all hosts, a phi = 0.5 TASS scan estimates them accurately.
+  const auto ranking = rank_by_density(snapshot(), PrefixMode::kMore);
+  SelectionParams params;
+  params.phi = 0.5;
+  const auto selection = select_by_density(ranking, params);
+  const auto marked =
+      mark_hosts(snapshot(), 0.05, MarkingBias::kUniform, 3);
+
+  const auto estimate = estimate_population(
+      selection.covered_hosts, marked.marked_in(selection),
+      selection.host_coverage());
+  const double error =
+      std::abs(estimate.estimated_marked() -
+               static_cast<double>(marked.total_marked)) /
+      static_cast<double>(marked.total_marked);
+  EXPECT_LT(error, 0.10);
+}
+
+TEST_F(MarkedCensusTest, SparseBiasBreaksTheEstimate) {
+  // The adversarial case: vulnerable hosts concentrated in sparse (mostly
+  // unselected) prefixes make the phi = 0.5 scale-up underestimate.
+  const auto ranking = rank_by_density(snapshot(), PrefixMode::kMore);
+  SelectionParams params;
+  params.phi = 0.5;
+  const auto selection = select_by_density(ranking, params);
+  const auto marked =
+      mark_hosts(snapshot(), 0.05, MarkingBias::kSparseBiased, 3);
+
+  const auto estimate = estimate_population(
+      selection.covered_hosts, marked.marked_in(selection),
+      selection.host_coverage());
+  // Underestimates by a wide margin (the dense half carries few marks).
+  EXPECT_LT(estimate.estimated_marked(),
+            0.8 * static_cast<double>(marked.total_marked));
+}
+
+TEST_F(MarkedCensusTest, MarkedInRequiresMoreMode) {
+  const auto ranking = rank_by_density(snapshot(), PrefixMode::kLess);
+  SelectionParams params;
+  params.phi = 0.5;
+  const auto selection = select_by_density(ranking, params);
+  const auto marked = mark_hosts(snapshot(), 0.05, MarkingBias::kUniform, 2);
+  EXPECT_DEATH(marked.marked_in(selection), "Precondition");
+}
+
+}  // namespace
+}  // namespace tass::core

@@ -1,0 +1,97 @@
+// Tests for core/evaluate: the longitudinal (section 4) evaluator.
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::core {
+namespace {
+
+using census::Protocol;
+
+census::CensusSeries make_series(Protocol protocol, int months) {
+  census::TopologyParams topo_params;
+  topo_params.seed = 61;
+  topo_params.l_prefix_count = 400;
+  const auto topo = census::generate_topology(topo_params);
+  census::SeriesParams params;
+  params.months = months;
+  params.host_scale = 0.002;
+  params.seed = 16;
+  return census::CensusSeries::generate(topo, protocol, params);
+}
+
+TEST(Evaluate, FullScanIsTheUnitBaseline) {
+  const auto series = make_series(Protocol::kHttp, 4);
+  const auto evaluation =
+      evaluate(FullScanStrategy(series.month(0)), series);
+  ASSERT_EQ(evaluation.cycles.size(), 4u);
+  EXPECT_DOUBLE_EQ(evaluation.space_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(evaluation.mean_hitrate(), 1.0);
+  EXPECT_DOUBLE_EQ(evaluation.efficiency_vs_full(), 1.0);
+  EXPECT_EQ(evaluation.cycles[0].month, "09/15");
+  EXPECT_EQ(evaluation.cycles[3].month, "12/15");
+  for (const auto& cycle : evaluation.cycles) {
+    EXPECT_DOUBLE_EQ(cycle.hitrate(), 1.0);
+    EXPECT_GT(cycle.packets, static_cast<double>(cycle.scanned_addresses));
+  }
+}
+
+TEST(Evaluate, TassIsMoreEfficientThanFull) {
+  const auto series = make_series(Protocol::kFtp, 5);
+  SelectionParams params;
+  params.phi = 0.95;
+  const TassStrategy strategy(series.month(0), PrefixMode::kMore, params);
+  const auto evaluation = evaluate(strategy, series);
+  // The headline claim: TASS (phi<1) beats full scanning by >1.25x.
+  EXPECT_GT(evaluation.efficiency_vs_full(), 1.25);
+  EXPECT_LT(evaluation.space_fraction(), 0.5);
+  // Hitrate at seed is ~phi and decays gently.
+  EXPECT_NEAR(evaluation.cycles[0].hitrate(), 0.95, 0.01);
+  EXPECT_GT(evaluation.cycles.back().hitrate(), 0.85);
+  for (std::size_t i = 1; i < evaluation.cycles.size(); ++i) {
+    EXPECT_LE(evaluation.cycles[i].hitrate(),
+              evaluation.cycles[i - 1].hitrate() + 0.01);
+  }
+}
+
+TEST(Evaluate, HitlistEfficiencyIsHighButAccuracyCollapses) {
+  const auto series = make_series(Protocol::kCwmp, 6);
+  const auto evaluation =
+      evaluate(HitlistStrategy(series.month(0)), series);
+  // Probing only known-good addresses is extremely efficient per probe...
+  EXPECT_GT(evaluation.efficiency_vs_full(), 10.0);
+  // ...but accuracy is unacceptable for periodic scanning (paper 4.1).
+  EXPECT_LT(evaluation.cycles.back().hitrate(), 0.65);
+}
+
+TEST(Evaluate, PaperComparisonBundlesAllStrategies) {
+  const auto series = make_series(Protocol::kHttps, 3);
+  const double phis[] = {1.0, 0.95};
+  const auto comparison = evaluate_paper_strategies(series, phis);
+  EXPECT_EQ(comparison.full.cycles.size(), 3u);
+  EXPECT_EQ(comparison.hitlist.cycles.size(), 3u);
+  ASSERT_EQ(comparison.tass.size(), 4u);  // 2 modes x 2 phis
+  for (const auto& evaluation : comparison.tass) {
+    EXPECT_EQ(evaluation.cycles.size(), 3u);
+    EXPECT_GT(evaluation.cycles[0].hitrate(), 0.94);
+  }
+  // TASS at phi=1 scans less than full at equal month-0 accuracy.
+  EXPECT_LT(comparison.tass[0].space_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(comparison.tass[0].cycles[0].hitrate(), 1.0);
+}
+
+TEST(Evaluate, CycleAccountingIsConsistent) {
+  const auto series = make_series(Protocol::kSsh, 3);
+  SelectionParams params;
+  params.phi = 0.9;
+  const TassStrategy strategy(series.month(0), PrefixMode::kLess, params);
+  const auto evaluation = evaluate(strategy, series);
+  for (const auto& cycle : evaluation.cycles) {
+    EXPECT_LE(cycle.found_hosts, cycle.total_hosts);
+    EXPECT_EQ(cycle.scanned_addresses, strategy.scanned_addresses());
+    EXPECT_EQ(cycle.month, census::month_label(cycle.month_index));
+  }
+}
+
+}  // namespace
+}  // namespace tass::core

@@ -1,0 +1,59 @@
+// Tests for report/gnuplot: script emission for the figure benches.
+#include "report/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::report {
+namespace {
+
+SeriesSet sample_set() {
+  SeriesSet set("month");
+  set.set_ticks({"09/15", "10/15", "11/15"});
+  set.add_series("ftp", {1.0, 0.997, 0.994});
+  set.add_series("cwmp", {1.0, 0.9925, 0.985});
+  return set;
+}
+
+TEST(Gnuplot, EmitsCompleteScript) {
+  GnuplotOptions options;
+  options.title = "TASS hitrate";
+  options.output = "fig6a.png";
+  const std::string script = to_gnuplot(sample_set(), options);
+
+  EXPECT_NE(script.find("set terminal pngcairo"), std::string::npos);
+  EXPECT_NE(script.find("set output 'fig6a.png'"), std::string::npos);
+  EXPECT_NE(script.find("set title 'TASS hitrate'"), std::string::npos);
+  EXPECT_NE(script.find("$data << EOD"), std::string::npos);
+  EXPECT_NE(script.find("EOD"), std::string::npos);
+  // One data row per tick, with the label and both values.
+  EXPECT_NE(script.find("0 \"09/15\" 1.0000 1.0000"), std::string::npos);
+  EXPECT_NE(script.find("2 \"11/15\" 0.9940 0.9850"), std::string::npos);
+  // One plot clause per series, columns 3 and 4.
+  EXPECT_NE(script.find("using 1:3:xtic(2)"), std::string::npos);
+  EXPECT_NE(script.find("using 1:4:xtic(2)"), std::string::npos);
+  EXPECT_NE(script.find("title 'ftp'"), std::string::npos);
+  EXPECT_NE(script.find("title 'cwmp'"), std::string::npos);
+}
+
+TEST(Gnuplot, YRangeAndLabels) {
+  GnuplotOptions options;
+  options.y_min = 0.4;
+  options.y_max = 1.0;
+  options.y_label = "Hitrate";
+  const std::string script = to_gnuplot(sample_set(), options);
+  EXPECT_NE(script.find("set yrange [0.400:1.000]"), std::string::npos);
+  EXPECT_NE(script.find("set ylabel 'Hitrate'"), std::string::npos);
+}
+
+TEST(Gnuplot, RejectsEmptyAndMismatched) {
+  SeriesSet empty("x");
+  EXPECT_DEATH(to_gnuplot(empty, GnuplotOptions{}), "Precondition");
+
+  SeriesSet mismatched("x");
+  mismatched.set_ticks({"a", "b"});
+  mismatched.add_series("s", {1.0});
+  EXPECT_DEATH(to_gnuplot(mismatched, GnuplotOptions{}), "Precondition");
+}
+
+}  // namespace
+}  // namespace tass::report

@@ -1,0 +1,229 @@
+// Tests for net/interval: the disjoint interval set and its algebra,
+// cross-checked against a brute-force oracle on a small sub-universe.
+#include "net/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace tass::net {
+namespace {
+
+Interval iv(std::uint32_t lo, std::uint32_t hi) {
+  return Interval{Ipv4Address(lo), Ipv4Address(hi)};
+}
+
+TEST(Interval, SizeAndContains) {
+  const Interval i = iv(10, 19);
+  EXPECT_EQ(i.size(), 10u);
+  EXPECT_TRUE(i.contains(Ipv4Address(10)));
+  EXPECT_TRUE(i.contains(Ipv4Address(19)));
+  EXPECT_FALSE(i.contains(Ipv4Address(20)));
+  EXPECT_EQ(Interval::full_space().size(), 1ULL << 32);
+}
+
+TEST(IntervalSet, InsertMergesOverlaps) {
+  IntervalSet set;
+  set.insert(iv(10, 20));
+  set.insert(iv(15, 30));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 21u);
+}
+
+TEST(IntervalSet, InsertCoalescesAdjacent) {
+  IntervalSet set;
+  set.insert(iv(10, 20));
+  set.insert(iv(21, 30));
+  EXPECT_EQ(set.interval_count(), 1u);
+  set.insert(iv(0, 8));
+  EXPECT_EQ(set.interval_count(), 2u);  // gap at 9 keeps them apart
+  set.insert(iv(9, 9));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 31u);
+}
+
+TEST(IntervalSet, InsertBridgesManyIntervals) {
+  IntervalSet set;
+  set.insert(iv(0, 1));
+  set.insert(iv(10, 11));
+  set.insert(iv(20, 21));
+  set.insert(iv(2, 19));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 22u);
+}
+
+TEST(IntervalSet, RemoveSplits) {
+  IntervalSet set;
+  set.insert(iv(0, 99));
+  set.remove(iv(40, 59));
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_EQ(set.address_count(), 80u);
+  EXPECT_TRUE(set.contains(Ipv4Address(39)));
+  EXPECT_FALSE(set.contains(Ipv4Address(40)));
+  EXPECT_FALSE(set.contains(Ipv4Address(59)));
+  EXPECT_TRUE(set.contains(Ipv4Address(60)));
+}
+
+TEST(IntervalSet, RemoveAtEdges) {
+  IntervalSet set;
+  set.insert(iv(10, 20));
+  set.remove(iv(0, 10));
+  set.remove(iv(20, 30));
+  EXPECT_EQ(set.address_count(), 9u);
+  EXPECT_TRUE(set.contains(Ipv4Address(11)));
+  EXPECT_TRUE(set.contains(Ipv4Address(19)));
+}
+
+TEST(IntervalSet, FullSpaceEndpoints) {
+  IntervalSet set = IntervalSet::full_space();
+  EXPECT_EQ(set.address_count(), 1ULL << 32);
+  EXPECT_TRUE(set.contains(Ipv4Address(0)));
+  EXPECT_TRUE(set.contains(Ipv4Address(~0u)));
+  set.remove(iv(0, 0));
+  set.remove(iv(~0u, ~0u));
+  EXPECT_EQ(set.address_count(), (1ULL << 32) - 2);
+  EXPECT_FALSE(set.contains(Ipv4Address(0)));
+  EXPECT_FALSE(set.contains(Ipv4Address(~0u)));
+}
+
+TEST(IntervalSet, InsertAtTopOfSpaceMerges) {
+  IntervalSet set;
+  set.insert(iv(~0u - 5, ~0u));
+  set.insert(iv(~0u - 10, ~0u - 6));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 11u);
+}
+
+TEST(IntervalSet, ContainsAll) {
+  IntervalSet set;
+  set.insert(iv(10, 20));
+  set.insert(iv(30, 40));
+  EXPECT_TRUE(set.contains_all(iv(12, 18)));
+  EXPECT_TRUE(set.contains_all(iv(10, 20)));
+  EXPECT_FALSE(set.contains_all(iv(15, 35)));  // spans the gap
+  EXPECT_FALSE(set.contains_all(iv(25, 26)));
+}
+
+TEST(IntervalSet, ComplementRoundTrip) {
+  IntervalSet set;
+  set.insert(iv(100, 200));
+  set.insert(iv(300, 400));
+  const IntervalSet complement = set.complement();
+  EXPECT_EQ(complement.address_count(), (1ULL << 32) - set.address_count());
+  EXPECT_EQ(complement.complement(), set);
+  EXPECT_TRUE(complement.contains(Ipv4Address(99)));
+  EXPECT_FALSE(complement.contains(Ipv4Address(100)));
+}
+
+TEST(IntervalSet, OfPrefixesAndBack) {
+  const std::vector<Prefix> prefixes = {
+      Prefix::parse_or_throw("10.0.0.0/8"),
+      Prefix::parse_or_throw("11.0.0.0/8"),    // adjacent -> merges
+      Prefix::parse_or_throw("192.168.0.0/16"),
+  };
+  const IntervalSet set = IntervalSet::of_prefixes(prefixes);
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_EQ(set.address_count(), (1ULL << 25) + (1ULL << 16));
+
+  const auto back = set.to_prefixes();
+  // 10/8 + 11/8 merge into 10.0.0.0/7.
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].to_string(), "10.0.0.0/7");
+  EXPECT_EQ(back[1].to_string(), "192.168.0.0/16");
+}
+
+TEST(AddressIndexer, MapsDenseIndicesToAddresses) {
+  IntervalSet set;
+  set.insert(iv(10, 12));   // indices 0..2
+  set.insert(iv(100, 100)); // index 3
+  set.insert(iv(200, 203)); // indices 4..7
+  const AddressIndexer indexer(set);
+  ASSERT_EQ(indexer.size(), 8u);
+  EXPECT_EQ(indexer.at(0).value(), 10u);
+  EXPECT_EQ(indexer.at(2).value(), 12u);
+  EXPECT_EQ(indexer.at(3).value(), 100u);
+  EXPECT_EQ(indexer.at(4).value(), 200u);
+  EXPECT_EQ(indexer.at(7).value(), 203u);
+}
+
+TEST(AddressIndexer, IsTheInverseOfMembership) {
+  IntervalSet set;
+  set.insert(iv(5, 9));
+  set.insert(iv(1000, 1040));
+  const AddressIndexer indexer(set);
+  EXPECT_EQ(indexer.size(), set.address_count());
+  std::uint32_t previous = 0;
+  for (std::uint64_t i = 0; i < indexer.size(); ++i) {
+    const Ipv4Address addr = indexer.at(i);
+    EXPECT_TRUE(set.contains(addr));
+    if (i > 0) {
+      EXPECT_GT(addr.value(), previous);  // strictly ascending
+    }
+    previous = addr.value();
+  }
+}
+
+TEST(AddressIndexer, EmptySet) {
+  const AddressIndexer indexer{IntervalSet{}};
+  EXPECT_EQ(indexer.size(), 0u);
+}
+
+// Algebra properties against a brute-force oracle over a tiny universe
+// [0, 255]; sets are restricted to that range so exact comparison of
+// membership is cheap.
+class IntervalAlgebraProperty
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static IntervalSet random_set(util::Rng& rng,
+                                std::set<std::uint32_t>& oracle) {
+    IntervalSet set;
+    const int pieces = 1 + static_cast<int>(rng.bounded(6));
+    for (int i = 0; i < pieces; ++i) {
+      const auto lo = static_cast<std::uint32_t>(rng.bounded(256));
+      const auto hi =
+          std::min<std::uint32_t>(255, lo + static_cast<std::uint32_t>(
+                                               rng.bounded(40)));
+      set.insert(iv(lo, hi));
+      for (std::uint32_t v = lo; v <= hi; ++v) oracle.insert(v);
+    }
+    return set;
+  }
+};
+
+TEST_P(IntervalAlgebraProperty, MatchesOracle) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::set<std::uint32_t> oracle_a;
+    std::set<std::uint32_t> oracle_b;
+    const IntervalSet a = random_set(rng, oracle_a);
+    const IntervalSet b = random_set(rng, oracle_b);
+
+    const IntervalSet u = a.union_with(b);
+    const IntervalSet i = a.intersect(b);
+    const IntervalSet d = a.subtract(b);
+
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      const bool in_a = oracle_a.count(v) > 0;
+      const bool in_b = oracle_b.count(v) > 0;
+      EXPECT_EQ(a.contains(Ipv4Address(v)), in_a);
+      EXPECT_EQ(u.contains(Ipv4Address(v)), in_a || in_b);
+      EXPECT_EQ(i.contains(Ipv4Address(v)), in_a && in_b);
+      EXPECT_EQ(d.contains(Ipv4Address(v)), in_a && !in_b);
+    }
+    // Inclusion-exclusion on counts.
+    EXPECT_EQ(u.address_count() + i.address_count(),
+              a.address_count() + b.address_count());
+    // to_prefixes covers exactly.
+    std::uint64_t prefix_total = 0;
+    for (const Prefix p : a.to_prefixes()) prefix_total += p.size();
+    EXPECT_EQ(prefix_total, a.address_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebraProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace tass::net

@@ -1,0 +1,155 @@
+// Tests for census/io: the snapshot/series container format, including
+// every rejection path a robust reader needs.
+#include "census/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "census/population.hpp"
+#include "census/series.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace tass::census {
+namespace {
+
+std::shared_ptr<const Topology> topo_a() {
+  static const auto topo = [] {
+    TopologyParams params;
+    params.seed = 71;
+    params.l_prefix_count = 80;
+    return generate_topology(params);
+  }();
+  return topo;
+}
+
+std::shared_ptr<const Topology> topo_b() {
+  static const auto topo = [] {
+    TopologyParams params;
+    params.seed = 72;
+    params.l_prefix_count = 80;
+    return generate_topology(params);
+  }();
+  return topo;
+}
+
+Snapshot sample_snapshot() {
+  PopulationParams params;
+  params.host_scale = 0.0008;
+  params.seed = 12;
+  return generate_population(topo_a(), protocol_profile(Protocol::kHttps),
+                             params);
+}
+
+TEST(SnapshotIo, RoundTripsExactly) {
+  const Snapshot original = sample_snapshot();
+  const auto bytes = encode_snapshot(original);
+  const Snapshot decoded = decode_snapshot(bytes, topo_a());
+  EXPECT_EQ(decoded.protocol(), original.protocol());
+  EXPECT_EQ(decoded.month_index(), original.month_index());
+  EXPECT_EQ(decoded.total_hosts(), original.total_hosts());
+  EXPECT_EQ(decoded.addresses(), original.addresses());
+  // The stable/volatile split survives too.
+  for (std::uint32_t cell = 0; cell < original.cell_count(); ++cell) {
+    EXPECT_EQ(decoded.cell(cell).stable, original.cell(cell).stable);
+    EXPECT_EQ(decoded.cell(cell).volatile_hosts,
+              original.cell(cell).volatile_hosts);
+  }
+}
+
+TEST(SnapshotIo, DeltaVarintIsCompact) {
+  const Snapshot original = sample_snapshot();
+  const auto bytes = encode_snapshot(original);
+  // Raw encoding would be ~4 bytes per host plus per-cell headers; the
+  // delta-varint payload should beat 4 bytes/host comfortably.
+  EXPECT_LT(bytes.size(),
+            original.total_hosts() * 4 + original.cell_count() * 4);
+}
+
+TEST(SnapshotIo, RejectsWrongTopology) {
+  const auto bytes = encode_snapshot(sample_snapshot());
+  EXPECT_THROW(decode_snapshot(bytes, topo_b()), FormatError);
+}
+
+TEST(SnapshotIo, RejectsCorruption) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  // Flip one payload byte: checksum must catch it.
+  bytes[bytes.size() / 2] ^= std::byte{0x40};
+  EXPECT_THROW(decode_snapshot(bytes, topo_a()), FormatError);
+}
+
+TEST(SnapshotIo, RejectsBadMagicTruncationAndTrailer) {
+  const Snapshot original = sample_snapshot();
+  auto bytes = encode_snapshot(original);
+
+  auto bad_magic = bytes;
+  bad_magic[0] = std::byte{0x00};
+  EXPECT_THROW(decode_snapshot(bad_magic, topo_a()), FormatError);
+
+  EXPECT_THROW(decode_snapshot(std::span(bytes).first(10), topo_a()),
+               FormatError);
+
+  auto trailing = bytes;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW(decode_snapshot(trailing, topo_a()), FormatError);
+}
+
+TEST(SnapshotIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tass_snapshot_test.tsnp";
+  const Snapshot original = sample_snapshot();
+  save_snapshot(path.string(), original);
+  const Snapshot loaded = load_snapshot(path.string(), topo_a());
+  EXPECT_EQ(loaded.addresses(), original.addresses());
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_snapshot(path.string(), topo_a()), Error);
+}
+
+TEST(SeriesIo, RoundTripsAllMonths) {
+  SeriesParams params;
+  params.months = 3;
+  params.host_scale = 0.0008;
+  params.seed = 5;
+  const auto series =
+      CensusSeries::generate(topo_a(), Protocol::kFtp, params);
+  const auto bytes = encode_series(series.months());
+  const auto decoded = decode_series(bytes, topo_a());
+  ASSERT_EQ(decoded.size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(decoded[static_cast<std::size_t>(m)].addresses(),
+              series.month(m).addresses());
+    EXPECT_EQ(decoded[static_cast<std::size_t>(m)].month_index(), m);
+  }
+}
+
+TEST(SeriesIo, RejectsSnapshotAsSeries) {
+  const auto bytes = encode_snapshot(sample_snapshot());
+  EXPECT_THROW(decode_series(bytes, topo_a()), FormatError);
+}
+
+TEST(TopologyFingerprint, DistinguishesTopologies) {
+  EXPECT_EQ(topology_fingerprint(*topo_a()), topology_fingerprint(*topo_a()));
+  EXPECT_NE(topology_fingerprint(*topo_a()), topology_fingerprint(*topo_b()));
+}
+
+TEST(Fnv1a, KnownVectorsAndStreaming) {
+  // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+  util::Fnv1a64 empty;
+  EXPECT_EQ(empty.digest(), util::Fnv1a64::kOffsetBasis);
+  util::Fnv1a64 a;
+  a.update(static_cast<std::uint8_t>('a'));
+  EXPECT_EQ(a.digest(), 0xaf63dc4c8601ec8cULL);
+  // Streaming equals one-shot.
+  const char text[] = "topology aware scanning";
+  util::Fnv1a64 stream;
+  for (const char c : std::string_view(text)) {
+    stream.update(static_cast<std::uint8_t>(c));
+  }
+  EXPECT_EQ(stream.digest(),
+            util::fnv1a64(std::as_bytes(
+                std::span(text, std::string_view(text).size()))));
+}
+
+}  // namespace
+}  // namespace tass::census

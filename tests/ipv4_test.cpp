@@ -1,0 +1,72 @@
+// Unit tests for net/ipv4: parsing, formatting, ordering, octet access.
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tass::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto addr = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xC0000201u);
+}
+
+TEST(Ipv4Address, ParsesBoundaries) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+}
+
+TEST(Ipv4Address, RejectsLeadingZeros) {
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.02.3.4").has_value());
+  EXPECT_TRUE(Ipv4Address::parse("0.2.3.4").has_value());
+}
+
+TEST(Ipv4Address, ParseOrThrowThrowsParseError) {
+  EXPECT_THROW(Ipv4Address::parse_or_throw("not-an-ip"), ParseError);
+  EXPECT_EQ(Ipv4Address::parse_or_throw("10.0.0.1").value(), 0x0A000001u);
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "172.16.254.1",
+                           "255.255.255.255", "8.8.8.8"}) {
+    const auto addr = Ipv4Address::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, OctetAccess) {
+  const Ipv4Address addr = Ipv4Address::from_octets(192, 168, 1, 42);
+  EXPECT_EQ(addr.octet(0), 192);
+  EXPECT_EQ(addr.octet(1), 168);
+  EXPECT_EQ(addr.octet(2), 1);
+  EXPECT_EQ(addr.octet(3), 42);
+}
+
+TEST(Ipv4Address, OrdersNumerically) {
+  EXPECT_LT(Ipv4Address::parse_or_throw("1.2.3.4"),
+            Ipv4Address::parse_or_throw("1.2.3.5"));
+  EXPECT_LT(Ipv4Address::parse_or_throw("9.255.255.255"),
+            Ipv4Address::parse_or_throw("10.0.0.0"));
+  EXPECT_EQ(Ipv4Address::parse_or_throw("10.0.0.1"),
+            Ipv4Address(0x0A000001u));
+}
+
+}  // namespace
+}  // namespace tass::net

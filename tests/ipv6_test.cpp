@@ -1,0 +1,152 @@
+// Tests for net/ipv6: RFC 4291 parsing, RFC 5952 formatting, and prefix
+// containment — the groundwork for the paper's IPv6 outlook (§6).
+#include "net/ipv6.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tass::net {
+namespace {
+
+TEST(Ipv6Address, ParsesFullForm) {
+  const auto addr =
+      Ipv6Address::parse("2001:0db8:0000:0000:0000:ff00:0042:8329");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 0x0000ff0000428329ULL);
+}
+
+TEST(Ipv6Address, ParsesCompressedForms) {
+  EXPECT_EQ(Ipv6Address::parse("::")->hi(), 0u);
+  EXPECT_EQ(Ipv6Address::parse("::")->lo(), 0u);
+  EXPECT_EQ(Ipv6Address::parse("::1")->lo(), 1u);
+  EXPECT_EQ(Ipv6Address::parse("1::")->hi(), 0x0001000000000000ULL);
+  const auto mid = Ipv6Address::parse("2001:db8::42:8329");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(mid->lo(), 0x0000000000428329ULL);
+  // Trailing-run compression.
+  const auto trailing = Ipv6Address::parse("1:2:3:4:5:6:7::");
+  ASSERT_TRUE(trailing.has_value());
+  EXPECT_EQ(trailing->group(6), 7u);
+  EXPECT_EQ(trailing->group(7), 0u);
+}
+
+TEST(Ipv6Address, ParsesEmbeddedIpv4) {
+  const auto mapped = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->lo(), 0x0000ffffc0000201ULL);
+  const auto nat64 = Ipv6Address::parse("64:ff9b::192.0.2.33");
+  ASSERT_TRUE(nat64.has_value());
+  EXPECT_EQ(nat64->hi(), 0x0064ff9b00000000ULL);
+  EXPECT_EQ(nat64->lo(), 0x00000000c0000221ULL);
+  // Full 8-group count with trailing v4 and no compression.
+  EXPECT_TRUE(Ipv6Address::parse("1:2:3:4:5:6:192.0.2.1").has_value());
+}
+
+TEST(Ipv6Address, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv6Address::parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::parse(":::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7::8").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("g::1").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("192.0.2.1::1").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("::192.0.2.256").has_value());
+  EXPECT_THROW(Ipv6Address::parse_or_throw("nope"), ParseError);
+}
+
+TEST(Ipv6Address, FormatsRfc5952) {
+  const struct {
+    const char* in;
+    const char* out;
+  } cases[] = {
+      {"2001:0db8:0000:0000:0000:ff00:0042:8329", "2001:db8::ff00:42:8329"},
+      {"::1", "::1"},
+      {"::", "::"},
+      {"1::", "1::"},
+      {"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},  // leftmost-longest
+      {"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+      {"0:0:1:0:0:0:0:1", "0:0:1::1"},
+      {"ABCD::EF01", "abcd::ef01"},  // lower case
+  };
+  for (const auto& test_case : cases) {
+    const auto addr = Ipv6Address::parse(test_case.in);
+    ASSERT_TRUE(addr.has_value()) << test_case.in;
+    EXPECT_EQ(addr->to_string(), test_case.out) << test_case.in;
+  }
+}
+
+TEST(Ipv6Address, RoundTripsThroughText) {
+  for (const char* text :
+       {"2001:db8::1", "fe80::204:61ff:fe9d:f156", "::ffff:c000:201",
+        "2606:4700:4700::1111", "ff02::2"}) {
+    const auto addr = Ipv6Address::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(Ipv6Address::parse(addr->to_string()), addr) << text;
+  }
+}
+
+TEST(Ipv6Address, BitAndGroupAccess) {
+  const auto addr = Ipv6Address::parse_or_throw("8000::1");
+  EXPECT_EQ(addr.bit(0), 1);
+  EXPECT_EQ(addr.bit(1), 0);
+  EXPECT_EQ(addr.bit(127), 1);
+  EXPECT_EQ(addr.group(0), 0x8000u);
+  EXPECT_EQ(addr.group(7), 1u);
+}
+
+TEST(Ipv6Address, OrdersNumerically) {
+  EXPECT_LT(Ipv6Address::parse_or_throw("2001:db7::"),
+            Ipv6Address::parse_or_throw("2001:db8::"));
+  EXPECT_LT(Ipv6Address::parse_or_throw("2001:db8::1"),
+            Ipv6Address::parse_or_throw("2001:db8::2"));
+}
+
+TEST(Ipv6Prefix, CanonicalisesAndContains) {
+  const auto prefix = Ipv6Prefix::parse("2001:db8:aaaa::1/48");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->to_string(), "2001:db8:aaaa::/48");
+  EXPECT_TRUE(
+      prefix->contains(Ipv6Address::parse_or_throw("2001:db8:aaaa::42")));
+  EXPECT_TRUE(prefix->contains(
+      Ipv6Address::parse_or_throw("2001:db8:aaaa:ffff::")));
+  EXPECT_FALSE(
+      prefix->contains(Ipv6Address::parse_or_throw("2001:db8:aaab::")));
+}
+
+TEST(Ipv6Prefix, BoundaryLengths) {
+  const Ipv6Prefix all = Ipv6Prefix::parse_or_throw("::/0");
+  EXPECT_TRUE(all.contains(Ipv6Address::parse_or_throw("ffff::")));
+  EXPECT_EQ(all.size_bits(), 128);
+
+  const Ipv6Prefix host =
+      Ipv6Prefix::parse_or_throw("2001:db8::7/128");
+  EXPECT_TRUE(host.contains(Ipv6Address::parse_or_throw("2001:db8::7")));
+  EXPECT_FALSE(host.contains(Ipv6Address::parse_or_throw("2001:db8::8")));
+  EXPECT_EQ(host.size_bits(), 0);
+
+  // Mask across the 64-bit half boundary.
+  const Ipv6Prefix deep = Ipv6Prefix::parse_or_throw("2001:db8::ff00:0/100");
+  EXPECT_EQ(deep.to_string(), "2001:db8::f000:0/100");
+}
+
+TEST(Ipv6Prefix, ContainsPrefix) {
+  const Ipv6Prefix outer = Ipv6Prefix::parse_or_throw("2001:db8::/32");
+  const Ipv6Prefix inner = Ipv6Prefix::parse_or_throw("2001:db8:1::/48");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Ipv6Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::").has_value());
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Ipv6Prefix::parse("nope/64").has_value());
+}
+
+}  // namespace
+}  // namespace tass::net

@@ -1,0 +1,227 @@
+// Tests for bgp/mrt: the RFC 6396 TABLE_DUMP_V2 reader/writer (the
+// libbgpdump substitute) — round trips, attribute handling and the error
+// paths a robust dump reader must cover.
+#include "bgp/mrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/endian.hpp"
+#include "util/error.hpp"
+
+namespace tass::bgp {
+namespace {
+
+MrtRibDump make_dump() {
+  MrtRibDump dump;
+  dump.timestamp = 1441584000;
+  dump.collector_id = net::Ipv4Address::parse_or_throw("198.32.160.10");
+  dump.view_name = "test-view";
+  dump.peers.push_back({net::Ipv4Address::parse_or_throw("203.0.113.1"),
+                        net::Ipv4Address::parse_or_throw("203.0.113.1"),
+                        6447});
+  dump.peers.push_back({net::Ipv4Address::parse_or_throw("198.51.100.2"),
+                        net::Ipv4Address::parse_or_throw("198.51.100.2"),
+                        397213});  // 4-byte ASN
+
+  MrtRibRecord record;
+  record.sequence = 0;
+  record.prefix = net::Prefix::parse_or_throw("10.0.0.0/8");
+  MrtRibEntry entry;
+  entry.peer_index = 0;
+  entry.originated_time = 1441000000;
+  entry.origin = BgpOrigin::kIgp;
+  entry.as_path.push_back(
+      {AsPathSegment::Kind::kAsSequence, {6447, 3356, 64500}});
+  entry.next_hop = net::Ipv4Address::parse_or_throw("203.0.113.1");
+  record.entries.push_back(entry);
+
+  MrtRibEntry second;
+  second.peer_index = 1;
+  second.originated_time = 1441000001;
+  second.origin = BgpOrigin::kIncomplete;
+  second.as_path.push_back(
+      {AsPathSegment::Kind::kAsSequence, {397213, 174}});
+  second.as_path.push_back({AsPathSegment::Kind::kAsSet, {64501, 64502}});
+  record.entries.push_back(second);
+  dump.records.push_back(record);
+
+  MrtRibRecord slash0;
+  slash0.sequence = 1;
+  slash0.prefix = net::Prefix::parse_or_throw("0.0.0.0/0");
+  MrtRibEntry default_route;
+  default_route.peer_index = 0;
+  default_route.as_path.push_back(
+      {AsPathSegment::Kind::kAsSequence, {6447}});
+  slash0.entries.push_back(default_route);
+  dump.records.push_back(slash0);
+  return dump;
+}
+
+TEST(Mrt, EncodeDecodeRoundTrips) {
+  const MrtRibDump dump = make_dump();
+  const auto bytes = encode_mrt(dump);
+  const MrtRibDump decoded = decode_mrt(bytes);
+
+  EXPECT_EQ(decoded.timestamp, dump.timestamp);
+  EXPECT_EQ(decoded.collector_id, dump.collector_id);
+  EXPECT_EQ(decoded.view_name, dump.view_name);
+  EXPECT_EQ(decoded.peers, dump.peers);
+  EXPECT_EQ(decoded.records, dump.records);
+  EXPECT_EQ(decoded.skipped_records, 0u);
+}
+
+TEST(Mrt, PrefixByteLengthsRoundTrip) {
+  // Prefix encoding uses ceil(len/8) bytes; exercise every byte count.
+  MrtRibDump dump = make_dump();
+  dump.records.clear();
+  std::uint32_t sequence = 0;
+  for (const char* text :
+       {"0.0.0.0/0", "128.0.0.0/1", "10.0.0.0/7", "10.0.0.0/8",
+        "10.128.0.0/9", "10.255.0.0/16", "10.255.128.0/17", "1.2.3.0/24",
+        "1.2.3.128/25", "1.2.3.4/32"}) {
+    MrtRibRecord record;
+    record.sequence = sequence++;
+    record.prefix = net::Prefix::parse_or_throw(text);
+    MrtRibEntry entry;
+    entry.peer_index = 0;
+    entry.as_path.push_back({AsPathSegment::Kind::kAsSequence, {1}});
+    record.entries.push_back(entry);
+    dump.records.push_back(record);
+  }
+  const MrtRibDump decoded = decode_mrt(encode_mrt(dump));
+  EXPECT_EQ(decoded.records, dump.records);
+}
+
+TEST(Mrt, ExtendedLengthAttributesRoundTrip) {
+  // An AS_PATH longer than 255 bytes forces the extended-length flag.
+  MrtRibDump dump = make_dump();
+  dump.records.clear();
+  MrtRibRecord record;
+  record.sequence = 0;
+  record.prefix = net::Prefix::parse_or_throw("10.0.0.0/8");
+  MrtRibEntry entry;
+  entry.peer_index = 0;
+  AsPathSegment long_segment;
+  long_segment.kind = AsPathSegment::Kind::kAsSequence;
+  for (std::uint32_t asn = 1; asn <= 120; ++asn) {
+    long_segment.asns.push_back(asn);  // 120 * 4 + 2 bytes > 255
+  }
+  entry.as_path.push_back(long_segment);
+  record.entries.push_back(entry);
+  dump.records.push_back(record);
+
+  const MrtRibDump decoded = decode_mrt(encode_mrt(dump));
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.records[0].entries[0].as_path, entry.as_path);
+  EXPECT_EQ(decoded.records[0].entries[0].origin_as(), 120u);
+}
+
+TEST(Mrt, OriginAsSemantics) {
+  MrtRibEntry entry;
+  EXPECT_FALSE(entry.origin_as().has_value());
+  EXPECT_TRUE(entry.origin_set().empty());
+
+  entry.as_path.push_back(
+      {AsPathSegment::Kind::kAsSequence, {100, 200, 300}});
+  EXPECT_EQ(entry.origin_as(), 300u);
+  EXPECT_EQ(entry.origin_set(), std::vector<std::uint32_t>{300});
+
+  entry.as_path.push_back({AsPathSegment::Kind::kAsSet, {400, 500}});
+  EXPECT_FALSE(entry.origin_as().has_value());
+  EXPECT_EQ(entry.origin_set(), (std::vector<std::uint32_t>{400, 500}));
+}
+
+TEST(Mrt, UnknownSubtypeIsSkippedNotFatal) {
+  const MrtRibDump dump = make_dump();
+  auto bytes = encode_mrt(dump);
+
+  // Append a record with an unknown subtype (RIB_IPV6_UNICAST = 4).
+  util::ByteWriter extra;
+  extra.u32(dump.timestamp);
+  extra.u16(13);  // TABLE_DUMP_V2
+  extra.u16(4);   // unsupported subtype
+  extra.u32(3);
+  extra.u8(0xDE);
+  extra.u8(0xAD);
+  extra.u8(0x00);
+  const auto tail = std::move(extra).take();
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+  const MrtRibDump decoded = decode_mrt(bytes);
+  EXPECT_EQ(decoded.records.size(), dump.records.size());
+  EXPECT_EQ(decoded.skipped_records, 1u);
+}
+
+TEST(Mrt, UnknownTopLevelTypeIsSkipped) {
+  util::ByteWriter writer;
+  writer.u32(0);
+  writer.u16(16);  // BGP4MP
+  writer.u16(1);
+  writer.u32(2);
+  writer.u16(0);
+  const auto bytes = std::move(writer).take();
+  const MrtRibDump decoded = decode_mrt(bytes);
+  EXPECT_EQ(decoded.skipped_records, 1u);
+  EXPECT_TRUE(decoded.records.empty());
+}
+
+TEST(Mrt, TruncatedHeaderThrows) {
+  const auto bytes = encode_mrt(make_dump());
+  const std::span<const std::byte> truncated(bytes.data(),
+                                             bytes.size() - 3);
+  EXPECT_THROW(decode_mrt(truncated), FormatError);
+}
+
+TEST(Mrt, RibBeforePeerTableThrows) {
+  const MrtRibDump dump = make_dump();
+  const auto bytes = encode_mrt(dump);
+  // Skip the PEER_INDEX_TABLE record: its total length is 12-byte header
+  // plus body length stored at offset 8.
+  util::ByteReader header(bytes);
+  header.u32();
+  header.u16();
+  header.u16();
+  const std::uint32_t body_len = header.u32();
+  const std::span<const std::byte> tail(bytes.data() + 12 + body_len,
+                                        bytes.size() - 12 - body_len);
+  EXPECT_THROW(decode_mrt(tail), FormatError);
+}
+
+TEST(Mrt, BadPeerIndexThrowsOnEncodeAndDecode) {
+  MrtRibDump dump = make_dump();
+  dump.records[0].entries[0].peer_index = 99;
+  EXPECT_THROW(encode_mrt(dump), FormatError);
+}
+
+TEST(Mrt, InvalidPrefixLengthThrows) {
+  MrtRibDump dump = make_dump();
+  auto bytes = encode_mrt(dump);
+  // Corrupt the prefix length byte of the first RIB record: it sits right
+  // after the record's 12-byte header + 4-byte sequence number. Find the
+  // first RIB record: header(12) + peer body.
+  util::ByteReader header(bytes);
+  header.u32();
+  header.u16();
+  header.u16();
+  const std::uint32_t peer_body = header.u32();
+  const std::size_t offset = 12 + peer_body + 12 + 4;
+  bytes[offset] = std::byte{77};  // prefix length 77 > 32
+  EXPECT_THROW(decode_mrt(bytes), FormatError);
+}
+
+TEST(Mrt, FileSaveLoadRoundTrips) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tass_mrt_test.mrt";
+  const MrtRibDump dump = make_dump();
+  save_mrt(path.string(), dump);
+  const MrtRibDump loaded = load_mrt(path.string());
+  EXPECT_EQ(loaded.records, dump.records);
+  EXPECT_EQ(loaded.peers, dump.peers);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_mrt(path.string()), Error);
+}
+
+}  // namespace
+}  // namespace tass::bgp

@@ -1,0 +1,128 @@
+// Tests for scan/packet: internet checksums, SYN probe synthesis and
+// ZMap-style stateless response validation.
+#include "scan/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tass::scan {
+namespace {
+
+using net::Ipv4Address;
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::byte data[] = {std::byte{0x00}, std::byte{0x01},
+                            std::byte{0xf2}, std::byte{0x03},
+                            std::byte{0xf4}, std::byte{0xf5},
+                            std::byte{0xf6}, std::byte{0xf7}};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::byte odd[] = {std::byte{0xab}};
+  // 0xab00 -> ~0xab00 = 0x54ff.
+  EXPECT_EQ(internet_checksum(odd), 0x54ff);
+}
+
+TEST(InternetChecksum, EmptyIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(ProbeBuilder, ProducesVerifiableHeaders) {
+  const ProbeBuilder builder(Ipv4Address::parse_or_throw("198.51.100.9"),
+                             443, /*validation_key=*/0x1234);
+  const Ipv4Address target = Ipv4Address::parse_or_throw("93.184.216.34");
+  const ProbePacket packet = builder.build(target);
+
+  // decode_probe verifies both checksums.
+  const DecodedProbe decoded = decode_probe(packet.bytes);
+  EXPECT_EQ(decoded.ip.source.to_string(), "198.51.100.9");
+  EXPECT_EQ(decoded.ip.destination, target);
+  EXPECT_EQ(decoded.ip.protocol, 6);
+  EXPECT_EQ(decoded.ip.total_length, 40);
+  EXPECT_EQ(decoded.tcp.destination_port, 443);
+  EXPECT_EQ(decoded.tcp.flags, TcpHeader::kFlagSyn);
+  EXPECT_EQ(decoded.tcp.source_port, builder.source_port_for(target));
+  EXPECT_EQ(decoded.tcp.sequence, builder.sequence_for(target));
+  // Ephemeral port range.
+  EXPECT_GE(decoded.tcp.source_port, 32768);
+}
+
+TEST(ProbeBuilder, DeterministicPerTargetDistinctAcrossTargets) {
+  const ProbeBuilder builder(Ipv4Address(1), 80, 42);
+  const Ipv4Address a = Ipv4Address::parse_or_throw("10.0.0.1");
+  const Ipv4Address b = Ipv4Address::parse_or_throw("10.0.0.2");
+  EXPECT_EQ(builder.build(a).bytes, builder.build(a).bytes);
+  EXPECT_NE(builder.build(a).bytes, builder.build(b).bytes);
+  EXPECT_NE(builder.sequence_for(a), builder.sequence_for(b));
+}
+
+TEST(ProbeBuilder, ValidatesGenuineResponses) {
+  const ProbeBuilder builder(Ipv4Address(7), 22, 0xfeed);
+  const Ipv4Address target = Ipv4Address::parse_or_throw("203.0.113.99");
+
+  // A well-formed SYN-ACK: from (target, 22) to our MAC'd source port,
+  // acking sequence+1.
+  EXPECT_TRUE(builder.validate_response(target, 22,
+                                        builder.source_port_for(target),
+                                        builder.sequence_for(target) + 1));
+  // Wrong ack (blind spoofing without knowing the key).
+  EXPECT_FALSE(builder.validate_response(target, 22,
+                                         builder.source_port_for(target),
+                                         builder.sequence_for(target) + 2));
+  // Wrong destination port (not ours).
+  EXPECT_FALSE(builder.validate_response(
+      target, 22, builder.source_port_for(target) ^ 1,
+      builder.sequence_for(target) + 1));
+  // Wrong source port on the responder side.
+  EXPECT_FALSE(builder.validate_response(target, 23,
+                                         builder.source_port_for(target),
+                                         builder.sequence_for(target) + 1));
+  // A different host cannot replay another target's validation values.
+  const Ipv4Address other = Ipv4Address::parse_or_throw("203.0.113.100");
+  EXPECT_FALSE(builder.validate_response(other, 22,
+                                         builder.source_port_for(target),
+                                         builder.sequence_for(target) + 1));
+}
+
+TEST(ProbeBuilder, KeysSeparateScans) {
+  const Ipv4Address target = Ipv4Address::parse_or_throw("10.9.8.7");
+  const ProbeBuilder a(Ipv4Address(1), 80, 1);
+  const ProbeBuilder b(Ipv4Address(1), 80, 2);
+  EXPECT_NE(a.sequence_for(target), b.sequence_for(target));
+  EXPECT_FALSE(b.validate_response(target, 80, a.source_port_for(target),
+                                   a.sequence_for(target) + 1));
+}
+
+TEST(DecodeProbe, RejectsCorruption) {
+  const ProbeBuilder builder(Ipv4Address(5), 80, 9);
+  ProbePacket packet =
+      builder.build(Ipv4Address::parse_or_throw("192.0.2.55"));
+
+  auto bad_ip = packet.bytes;
+  bad_ip[8] = std::byte{1};  // TTL change invalidates the IP checksum
+  EXPECT_THROW(decode_probe(bad_ip), FormatError);
+
+  auto bad_tcp = packet.bytes;
+  bad_tcp[Ipv4Header::kSize + 4] ^= std::byte{0xff};  // sequence byte
+  EXPECT_THROW(decode_probe(bad_tcp), FormatError);
+
+  EXPECT_THROW(decode_probe(std::span(packet.bytes).first(39)),
+               FormatError);
+}
+
+TEST(EncodeHeaders, ChecksumsSelfVerify) {
+  // An encoded IPv4 header checksums to zero over its own bytes.
+  Ipv4Header ip;
+  ip.source = Ipv4Address::parse_or_throw("10.0.0.1");
+  ip.destination = Ipv4Address::parse_or_throw("10.0.0.2");
+  ip.total_length = 40;
+  std::array<std::byte, Ipv4Header::kSize> ip_bytes{};
+  encode_ipv4_header(ip, ip_bytes);
+  EXPECT_EQ(internet_checksum(ip_bytes), 0);
+}
+
+}  // namespace
+}  // namespace tass::scan

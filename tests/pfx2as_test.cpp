@@ -1,0 +1,107 @@
+// Tests for bgp/pfx2as: the CAIDA Routeviews prefix-to-AS text format.
+#include "bgp/pfx2as.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace tass::bgp {
+namespace {
+
+TEST(Pfx2As, ParsesSingleOrigin) {
+  const auto record = parse_pfx2as_line("1.0.0.0\t24\t13335");
+  EXPECT_EQ(record.prefix.to_string(), "1.0.0.0/24");
+  ASSERT_EQ(record.origins.size(), 1u);
+  EXPECT_EQ(record.origins[0], 13335u);
+}
+
+TEST(Pfx2As, ParsesMultiOriginComma) {
+  const auto record = parse_pfx2as_line("8.0.0.0\t9\t701,3356");
+  ASSERT_EQ(record.origins.size(), 2u);
+  EXPECT_EQ(record.origins[0], 701u);
+  EXPECT_EQ(record.origins[1], 3356u);
+}
+
+TEST(Pfx2As, ParsesAsSetUnderscore) {
+  const auto record = parse_pfx2as_line("12.0.0.0\t8\t4_5_6");
+  ASSERT_EQ(record.origins.size(), 3u);
+  EXPECT_EQ(record.origins[2], 6u);
+}
+
+TEST(Pfx2As, ParsesMixedOriginsAndDeduplicates) {
+  const auto record = parse_pfx2as_line("12.0.0.0\t8\t7018,4_7018");
+  ASSERT_EQ(record.origins.size(), 2u);
+  EXPECT_EQ(record.origins[0], 7018u);
+  EXPECT_EQ(record.origins[1], 4u);
+}
+
+TEST(Pfx2As, AcceptsSpacesAsSeparators) {
+  const auto record = parse_pfx2as_line("10.0.0.0 8 64512");
+  EXPECT_EQ(record.prefix.to_string(), "10.0.0.0/8");
+}
+
+TEST(Pfx2As, RejectsMalformedLines) {
+  EXPECT_THROW(parse_pfx2as_line(""), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.0\t24"), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.0\t24\t13335\textra"), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.256\t24\t13335"), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.0\t33\t13335"), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.0\t24\tAS13335"), ParseError);
+  EXPECT_THROW(parse_pfx2as_line("1.0.0.0\t24\t"), ParseError);
+}
+
+TEST(Pfx2As, DocumentSkipsCommentsAndBlanks) {
+  const auto records = parse_pfx2as(
+      "# CAIDA routeviews pfx2as\n"
+      "\n"
+      "1.0.0.0\t24\t13335\n"
+      "  \n"
+      "8.8.8.0\t24\t15169\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].origins[0], 15169u);
+}
+
+TEST(Pfx2As, StrictModeThrowsLenientModeCounts) {
+  const std::string text =
+      "1.0.0.0\t24\t13335\n"
+      "2001:db8::\t32\t64496\n"  // v6 leakage
+      "8.8.8.0\t24\t15169\n";
+  EXPECT_THROW(parse_pfx2as(text, /*strict=*/true), ParseError);
+  std::size_t skipped = 0;
+  const auto records = parse_pfx2as(text, /*strict=*/false, &skipped);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(Pfx2As, FormatRoundTrips) {
+  const std::vector<Pfx2AsRecord> records = {
+      {net::Prefix::parse_or_throw("1.0.0.0/24"), {13335}},
+      {net::Prefix::parse_or_throw("8.0.0.0/9"), {701, 3356}},
+  };
+  const std::string text = format_pfx2as(records);
+  EXPECT_EQ(text, "1.0.0.0\t24\t13335\n8.0.0.0\t9\t701,3356\n");
+  EXPECT_EQ(parse_pfx2as(text), records);
+}
+
+TEST(Pfx2As, FileSaveLoadRoundTrips) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tass_pfx2as_test.txt";
+  const std::vector<Pfx2AsRecord> records = {
+      {net::Prefix::parse_or_throw("100.0.0.0/8"), {64500}},
+      {net::Prefix::parse_or_throw("100.0.0.0/12"), {64501}},
+  };
+  save_pfx2as(path.string(), records);
+  EXPECT_EQ(load_pfx2as(path.string()), records);
+  std::filesystem::remove(path);
+}
+
+TEST(Pfx2As, LoadMissingFileThrows) {
+  EXPECT_THROW(load_pfx2as("/nonexistent/path/pfx2as.txt"), Error);
+}
+
+}  // namespace
+}  // namespace tass::bgp

@@ -1,0 +1,160 @@
+// Tests for census/population: the calibrated month-0 host placement.
+#include "census/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tass::census {
+namespace {
+
+std::shared_ptr<const Topology> test_topology() {
+  static const auto topo = [] {
+    TopologyParams params;
+    params.seed = 77;
+    params.l_prefix_count = 600;
+    return generate_topology(params);
+  }();
+  return topo;
+}
+
+PopulationParams small_params() {
+  PopulationParams params;
+  params.host_scale = 0.002;
+  params.seed = 9;
+  return params;
+}
+
+TEST(Population, DeterministicInSeedAndProtocol) {
+  const auto& profile = protocol_profile(Protocol::kFtp);
+  const Snapshot a =
+      generate_population(test_topology(), profile, small_params());
+  const Snapshot b =
+      generate_population(test_topology(), profile, small_params());
+  EXPECT_EQ(a.addresses(), b.addresses());
+
+  auto other_seed = small_params();
+  other_seed.seed = 10;
+  const Snapshot c =
+      generate_population(test_topology(), profile, other_seed);
+  EXPECT_NE(a.addresses(), c.addresses());
+
+  const Snapshot d = generate_population(
+      test_topology(), protocol_profile(Protocol::kHttp), small_params());
+  EXPECT_NE(a.addresses(), d.addresses());
+}
+
+TEST(Population, HitsTheTargetHostCount) {
+  const auto& profile = protocol_profile(Protocol::kHttp);
+  const auto params = small_params();
+  const Snapshot snapshot =
+      generate_population(test_topology(), profile, params);
+  const auto target = profile.base_hosts * params.host_scale;
+  EXPECT_NEAR(static_cast<double>(snapshot.total_hosts()), target,
+              target * 0.02);
+}
+
+TEST(Population, VolatileShareMatchesProfile) {
+  const auto& profile = protocol_profile(Protocol::kCwmp);
+  const Snapshot snapshot =
+      generate_population(test_topology(), profile, small_params());
+  std::uint64_t volatile_hosts = 0;
+  for (std::uint32_t cell = 0; cell < snapshot.cell_count(); ++cell) {
+    volatile_hosts += snapshot.cell(cell).volatile_hosts.size();
+  }
+  const double share = static_cast<double>(volatile_hosts) /
+                       static_cast<double>(snapshot.total_hosts());
+  EXPECT_NEAR(share, profile.volatile_fraction, 0.02);
+}
+
+TEST(Population, EmptyLSpaceShareMatchesProfile) {
+  const auto topo = test_topology();
+  const auto& profile = protocol_profile(Protocol::kFtp);
+  const Snapshot snapshot =
+      generate_population(topo, profile, small_params());
+  const auto l_counts = snapshot.counts_per_l();
+  std::uint64_t empty_space = 0;
+  for (std::uint32_t l = 0; l < l_counts.size(); ++l) {
+    if (l_counts[l] == 0) empty_space += topo->l_partition.prefix(l).size();
+  }
+  const double share = static_cast<double>(empty_space) /
+                       static_cast<double>(topo->advertised_addresses);
+  // Granularity of whole l-prefixes makes this approximate.
+  EXPECT_NEAR(share, profile.empty_l_space_share, 0.06);
+}
+
+TEST(Population, ZeroTierSpaceShareMatchesProfile) {
+  const auto topo = test_topology();
+  const auto& profile = protocol_profile(Protocol::kCwmp);
+  const Snapshot snapshot =
+      generate_population(topo, profile, small_params());
+  const auto counts = snapshot.counts_per_cell();
+  std::uint64_t occupied_space = 0;
+  for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+    if (counts[cell] > 0) {
+      occupied_space += topo->m_partition.prefix(cell).size();
+    }
+  }
+  const double tier_space = std::accumulate(
+      profile.tiers.begin(), profile.tiers.end(), 0.0,
+      [](double acc, const DensityTier& t) { return acc + t.space_share; });
+  const double share = static_cast<double>(occupied_space) /
+                       static_cast<double>(topo->advertised_addresses);
+  EXPECT_NEAR(share, tier_space, 0.06);
+}
+
+TEST(Population, LorenzCurveIsSteep) {
+  // The defining shape of Figure 4 / Table 1: the densest slice of space
+  // carries a wildly disproportionate host share.
+  const auto topo = test_topology();
+  const Snapshot snapshot = generate_population(
+      topo, protocol_profile(Protocol::kFtp), small_params());
+  const auto counts = snapshot.counts_per_cell();
+
+  std::vector<std::pair<double, std::uint32_t>> by_density;
+  for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+    if (counts[cell] == 0) continue;
+    by_density.emplace_back(
+        -static_cast<double>(counts[cell]) /
+            static_cast<double>(topo->m_partition.prefix(cell).size()),
+        cell);
+  }
+  std::sort(by_density.begin(), by_density.end());
+
+  std::uint64_t hosts = 0;
+  std::uint64_t space = 0;
+  for (const auto& [neg_density, cell] : by_density) {
+    hosts += counts[cell];
+    space += topo->m_partition.prefix(cell).size();
+    if (static_cast<double>(hosts) >=
+        0.5 * static_cast<double>(snapshot.total_hosts())) {
+      break;
+    }
+  }
+  // Half the hosts in (far) under 5% of the advertised space.
+  EXPECT_LT(static_cast<double>(space),
+            0.05 * static_cast<double>(topo->advertised_addresses));
+}
+
+TEST(Population, OffsetsAreWithinCellsAndUnique) {
+  const auto topo = test_topology();
+  const Snapshot snapshot = generate_population(
+      topo, protocol_profile(Protocol::kSsh), small_params());
+  for (std::uint32_t cell = 0; cell < snapshot.cell_count(); ++cell) {
+    const CellPopulation& population = snapshot.cell(cell);
+    const std::uint64_t size = topo->m_partition.prefix(cell).size();
+    auto check = [&](const std::vector<std::uint32_t>& offsets) {
+      EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+      EXPECT_TRUE(std::adjacent_find(offsets.begin(), offsets.end()) ==
+                  offsets.end());
+      if (!offsets.empty()) {
+        EXPECT_LT(offsets.back(), size);
+      }
+    };
+    check(population.stable);
+    check(population.volatile_hosts);
+  }
+}
+
+}  // namespace
+}  // namespace tass::census

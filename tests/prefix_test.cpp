@@ -1,0 +1,167 @@
+// Tests for net/prefix: canonicalisation, containment, navigation and the
+// minimal-CIDR-cover primitive.
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::net {
+namespace {
+
+TEST(Prefix, CanonicalisesHostBits) {
+  const Prefix prefix(Ipv4Address::parse_or_throw("192.0.2.77"), 24);
+  EXPECT_EQ(prefix.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(Prefix(Ipv4Address(~0u), 0).to_string(), "0.0.0.0/0");
+}
+
+TEST(Prefix, ParseAcceptsAndCanonicalises) {
+  const auto prefix = Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix, ParseStrictRejectsHostBits) {
+  EXPECT_FALSE(Prefix::parse_strict("10.1.2.3/8").has_value());
+  EXPECT_TRUE(Prefix::parse_strict("10.0.0.0/8").has_value());
+  EXPECT_TRUE(Prefix::parse_strict("10.1.2.3/32").has_value());
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/08x").has_value());
+  EXPECT_THROW(Prefix::parse_or_throw("bogus"), ParseError);
+}
+
+TEST(Prefix, MaskValues) {
+  EXPECT_EQ(Prefix::mask(0), 0u);
+  EXPECT_EQ(Prefix::mask(8), 0xFF000000u);
+  EXPECT_EQ(Prefix::mask(24), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix::mask(32), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, SizeAndBounds) {
+  const Prefix slash0 = Prefix::parse_or_throw("0.0.0.0/0");
+  EXPECT_EQ(slash0.size(), 1ULL << 32);
+  const Prefix p = Prefix::parse_or_throw("192.168.4.0/22");
+  EXPECT_EQ(p.size(), 1024u);
+  EXPECT_EQ(p.first().to_string(), "192.168.4.0");
+  EXPECT_EQ(p.last().to_string(), "192.168.7.255");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse_or_throw("172.16.0.0/12");
+  EXPECT_TRUE(p.contains(Ipv4Address::parse_or_throw("172.16.0.0")));
+  EXPECT_TRUE(p.contains(Ipv4Address::parse_or_throw("172.31.255.255")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse_or_throw("172.32.0.0")));
+  EXPECT_FALSE(p.contains(Ipv4Address::parse_or_throw("172.15.255.255")));
+}
+
+TEST(Prefix, ContainsPrefixIsReflexiveAndAntisymmetric) {
+  const Prefix outer = Prefix::parse_or_throw("10.0.0.0/8");
+  const Prefix inner = Prefix::parse_or_throw("10.32.0.0/12");
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.overlaps(inner));
+  EXPECT_TRUE(inner.overlaps(outer));
+  const Prefix disjoint = Prefix::parse_or_throw("11.0.0.0/8");
+  EXPECT_FALSE(outer.overlaps(disjoint));
+}
+
+TEST(Prefix, HalvesTileTheParent) {
+  const Prefix p = Prefix::parse_or_throw("100.0.0.0/8");
+  EXPECT_EQ(p.lower_half().to_string(), "100.0.0.0/9");
+  EXPECT_EQ(p.upper_half().to_string(), "100.128.0.0/9");
+  EXPECT_EQ(p.lower_half().size() + p.upper_half().size(), p.size());
+  EXPECT_EQ(p.lower_half().parent(), p);
+  EXPECT_EQ(p.upper_half().parent(), p);
+  EXPECT_EQ(p.lower_half().sibling(), p.upper_half());
+  EXPECT_EQ(p.upper_half().sibling(), p.lower_half());
+}
+
+TEST(Prefix, AtAndOffsetRoundTrip) {
+  const Prefix p = Prefix::parse_or_throw("198.51.100.0/24");
+  const Ipv4Address addr = p.at(37);
+  EXPECT_EQ(addr.to_string(), "198.51.100.37");
+  EXPECT_EQ(p.offset_of(addr), 37u);
+}
+
+TEST(Prefix, OrderingSortsContainedAfterContainer) {
+  const Prefix a = Prefix::parse_or_throw("10.0.0.0/8");
+  const Prefix b = Prefix::parse_or_throw("10.0.0.0/12");
+  const Prefix c = Prefix::parse_or_throw("10.16.0.0/12");
+  const Prefix d = Prefix::parse_or_throw("11.0.0.0/8");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+}
+
+TEST(CoverRange, SingleAddress) {
+  const auto cover = cover_range(Ipv4Address(5), Ipv4Address(5));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].to_string(), "0.0.0.5/32");
+}
+
+TEST(CoverRange, ExactPrefix) {
+  const Prefix p = Prefix::parse_or_throw("192.168.0.0/16");
+  const auto cover = cover_range(p.first(), p.last());
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], p);
+}
+
+TEST(CoverRange, FullSpace) {
+  const auto cover = cover_range(Ipv4Address(0), Ipv4Address(~0u));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].length(), 0);
+}
+
+TEST(CoverRange, UnalignedRangeIsMinimal) {
+  // [10.0.0.1, 10.0.0.6] -> /32, /31, /31 /32? Minimal cover:
+  // 1 /32 (.1), 2 /31 (.2-.3, .4-.5), 1 /32 (.6) = 4 prefixes.
+  const auto cover = cover_range(Ipv4Address::parse_or_throw("10.0.0.1"),
+                                 Ipv4Address::parse_or_throw("10.0.0.6"));
+  ASSERT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover[0].to_string(), "10.0.0.1/32");
+  EXPECT_EQ(cover[1].to_string(), "10.0.0.2/31");
+  EXPECT_EQ(cover[2].to_string(), "10.0.0.4/31");
+  EXPECT_EQ(cover[3].to_string(), "10.0.0.6/32");
+}
+
+// Property sweep: random ranges are covered exactly, disjointly and in
+// order.
+class CoverRangeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverRangeProperty, CoversExactlyAndDisjointly) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const auto a = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    const auto b = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    const Ipv4Address lo(std::min(a, b));
+    const Ipv4Address hi(std::max(a, b));
+    const auto cover = cover_range(lo, hi);
+
+    ASSERT_FALSE(cover.empty());
+    // In order, adjacent, and sized exactly.
+    std::uint64_t total = 0;
+    std::uint64_t expected_next = lo.value();
+    for (const Prefix prefix : cover) {
+      EXPECT_EQ(prefix.first().value(), expected_next);
+      expected_next = prefix.first().value() + prefix.size();
+      total += prefix.size();
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(hi.value()) - lo.value() + 1);
+    // Minimality: at most 2 prefixes per bit level.
+    EXPECT_LE(cover.size(), 62u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverRangeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tass::net

@@ -1,0 +1,118 @@
+// Tests for census/protocol: registry consistency and the structural
+// sanity of every calibrated preset.
+#include "census/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace tass::census {
+namespace {
+
+TEST(Protocol, NamesAndPorts) {
+  EXPECT_EQ(protocol_name(Protocol::kFtp), "ftp");
+  EXPECT_EQ(protocol_port(Protocol::kFtp), 21);
+  EXPECT_EQ(protocol_name(Protocol::kCwmp), "cwmp");
+  EXPECT_EQ(protocol_port(Protocol::kCwmp), 7547);
+  EXPECT_EQ(protocol_port(Protocol::kHttps), 443);
+}
+
+TEST(Protocol, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_protocol("ftp"), Protocol::kFtp);
+  EXPECT_EQ(parse_protocol("HTTP"), Protocol::kHttp);
+  EXPECT_EQ(parse_protocol("Cwmp"), Protocol::kCwmp);
+  EXPECT_THROW(parse_protocol("gopher"), ParseError);
+}
+
+TEST(Protocol, PaperSetIsTheEvaluatedFour) {
+  const auto paper = paper_protocols();
+  ASSERT_EQ(paper.size(), 4u);
+  EXPECT_EQ(paper[0], Protocol::kFtp);
+  EXPECT_EQ(paper[1], Protocol::kHttp);
+  EXPECT_EQ(paper[2], Protocol::kHttps);
+  EXPECT_EQ(paper[3], Protocol::kCwmp);
+  EXPECT_EQ(all_protocols().size(), kProtocolCount);
+}
+
+TEST(Protocol, NetworkTypeNames) {
+  EXPECT_EQ(network_type_name(NetworkType::kEyeball), "eyeball");
+  EXPECT_EQ(network_type_name(NetworkType::kHosting), "hosting");
+}
+
+class ProfileSanity : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProfileSanity, StructurallyValid) {
+  const ProtocolProfile& profile = protocol_profile(GetParam());
+  EXPECT_EQ(profile.protocol, GetParam());
+  EXPECT_GT(profile.base_hosts, 0.0);
+
+  // Tier host shares must sum to 1 (all hosts accounted for) and space
+  // shares must leave room for a zero tier.
+  double host_sum = 0;
+  double space_sum = 0;
+  double previous_density = std::numeric_limits<double>::infinity();
+  for (const DensityTier& tier : profile.tiers) {
+    EXPECT_GT(tier.space_share, 0.0);
+    EXPECT_GE(tier.host_share, 0.0);
+    host_sum += tier.host_share;
+    space_sum += tier.space_share;
+    // Tiers must be ordered densest-first.
+    const double density = tier.host_share / tier.space_share;
+    EXPECT_LT(density, previous_density);
+    previous_density = density;
+  }
+  EXPECT_NEAR(host_sum, 1.0, 1e-9);
+  EXPECT_LT(space_sum, 1.0);
+
+  // The fully-empty-l share fits inside the zero tier.
+  EXPECT_LE(profile.empty_l_space_share, 1.0 - space_sum + 1e-9);
+
+  // Churn rates are probabilities / monthly fractions.
+  for (const double rate :
+       {profile.volatile_fraction, profile.volatile_cross_cell,
+        profile.monthly_death_rate, profile.empty_m_birth_rate,
+        profile.empty_l_birth_rate}) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LT(rate, 1.0);
+  }
+  // Births into empty cells must fit inside the monthly birth budget.
+  EXPECT_LT(profile.empty_m_birth_rate + profile.empty_l_birth_rate,
+            profile.monthly_death_rate);
+
+  // Affinity must be positive somewhere.
+  const double affinity_sum = std::accumulate(
+      profile.affinity.begin(), profile.affinity.end(), 0.0);
+  EXPECT_GT(affinity_sum, 0.0);
+  EXPECT_GT(profile.handshake_packets, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProfileSanity,
+    ::testing::Values(Protocol::kFtp, Protocol::kHttp, Protocol::kHttps,
+                      Protocol::kCwmp, Protocol::kSsh, Protocol::kTelnet),
+    [](const ::testing::TestParamInfo<Protocol>& param_info) {
+      return std::string(protocol_name(param_info.param));
+    });
+
+TEST(ProfileCalibration, CwmpIsTheVolatileOutlier) {
+  // Figure 5's contrast: residential gateways churn much harder.
+  const auto& cwmp = protocol_profile(Protocol::kCwmp);
+  for (const Protocol p :
+       {Protocol::kFtp, Protocol::kHttp, Protocol::kHttps}) {
+    EXPECT_GT(cwmp.volatile_fraction,
+              protocol_profile(p).volatile_fraction);
+    EXPECT_GT(cwmp.monthly_death_rate,
+              protocol_profile(p).monthly_death_rate);
+    EXPECT_GT(cwmp.empty_m_birth_rate,
+              protocol_profile(p).empty_m_birth_rate);
+  }
+  // And it concentrates in eyeball space.
+  EXPECT_GT(cwmp.affinity[static_cast<std::size_t>(NetworkType::kEyeball)],
+            cwmp.affinity[static_cast<std::size_t>(NetworkType::kHosting)]);
+}
+
+}  // namespace
+}  // namespace tass::census

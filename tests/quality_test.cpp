@@ -1,0 +1,108 @@
+// Tests for census/quality: the section-4.2 accumulation injector and
+// detector.
+#include "census/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/series.hpp"
+
+namespace tass::census {
+namespace {
+
+CensusSeries make_series(Protocol protocol, int months) {
+  TopologyParams topo_params;
+  topo_params.seed = 91;
+  topo_params.l_prefix_count = 300;
+  const auto topo = generate_topology(topo_params);
+  SeriesParams params;
+  params.months = months;
+  params.host_scale = 0.002;
+  params.seed = 23;
+  return CensusSeries::generate(topo, protocol, params);
+}
+
+TEST(Quality, HonestSeriesIsNotFlagged) {
+  for (const Protocol protocol : {Protocol::kHttp, Protocol::kCwmp}) {
+    const auto series = make_series(protocol, 5);
+    const auto report = detect_accumulation(series.months());
+    EXPECT_FALSE(report.accumulation_suspected)
+        << protocol_name(protocol);
+    // Dynamic addressing keeps in-place retention clearly below 1.
+    EXPECT_LT(report.mean_retention, 0.90) << protocol_name(protocol);
+    ASSERT_EQ(report.retention.size(), 4u);
+    ASSERT_EQ(report.growth.size(), 4u);
+    // Stationary population: growth hovers around 1.
+    for (const double growth : report.growth) {
+      EXPECT_NEAR(growth, 1.0, 0.05);
+    }
+  }
+}
+
+TEST(Quality, InjectedAccumulationIsMonotoneAndDetected) {
+  const auto series = make_series(Protocol::kSsh, 5);
+  const auto contaminated = contaminate_series(series.months());
+  ASSERT_EQ(contaminated.size(), 5u);
+
+  // Responsive sets only grow: every month contains the previous one.
+  for (std::size_t t = 0; t + 1 < contaminated.size(); ++t) {
+    const auto current = contaminated[t].addresses();
+    const auto next = contaminated[t + 1].addresses();
+    EXPECT_GE(next.size(), current.size());
+    EXPECT_TRUE(std::includes(next.begin(), next.end(), current.begin(),
+                              current.end()))
+        << "month " << t;
+  }
+
+  const auto report = detect_accumulation(contaminated);
+  EXPECT_TRUE(report.accumulation_suspected);
+  EXPECT_GT(report.mean_retention, 0.99);
+  EXPECT_GE(report.mean_growth, 1.0);
+}
+
+TEST(Quality, AccumulationInflatesHitlistAccuracyLikeThePaperSaw) {
+  // "accuracy and densities increased over time" — the symptom that made
+  // the authors distrust the SSH/SCADA snapshots.
+  const auto series = make_series(Protocol::kSsh, 5);
+  const auto contaminated = contaminate_series(series.months());
+
+  const auto honest_seed = series.month(0).addresses();
+  // Month-4 honest retention of the seed addresses:
+  const auto honest_4 = series.month(4).addresses();
+  std::vector<std::uint32_t> kept_honest;
+  std::set_intersection(honest_seed.begin(), honest_seed.end(),
+                        honest_4.begin(), honest_4.end(),
+                        std::back_inserter(kept_honest));
+  // Contaminated month 4 still "responds" at every seed address.
+  const auto fake_4 = contaminated[4].addresses();
+  std::vector<std::uint32_t> kept_fake;
+  std::set_intersection(honest_seed.begin(), honest_seed.end(),
+                        fake_4.begin(), fake_4.end(),
+                        std::back_inserter(kept_fake));
+  EXPECT_EQ(kept_fake.size(), honest_seed.size());
+  EXPECT_LT(kept_honest.size(), honest_seed.size());
+}
+
+TEST(Quality, InjectorPreservesInvariants) {
+  const auto series = make_series(Protocol::kTelnet, 3);
+  const Snapshot merged =
+      inject_accumulation(series.month(0), series.month(1));
+  EXPECT_EQ(merged.month_index(), 1);
+  EXPECT_GE(merged.total_hosts(), series.month(1).total_hosts());
+  // Union semantics: everything from both months responds.
+  std::size_t checked = 0;
+  series.month(0).for_each_address([&](net::Ipv4Address addr) {
+    if (checked++ % 97 == 0) {  // sample to keep the test fast
+      EXPECT_TRUE(merged.contains(addr));
+    }
+  });
+}
+
+TEST(Quality, DetectorNeedsTwoMonths) {
+  const auto series = make_series(Protocol::kHttp, 2);
+  EXPECT_NO_THROW(detect_accumulation(series.months()));
+  const std::vector<Snapshot> single = {series.month(0)};
+  EXPECT_DEATH(detect_accumulation(single), "Precondition");
+}
+
+}  // namespace
+}  // namespace tass::census

@@ -1,0 +1,138 @@
+// Tests for core/ranking: density statistics, rank curves and the
+// prefix-length histograms (the machinery behind Figures 3 and 4).
+#include "core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/population.hpp"
+#include "census/topology.hpp"
+
+namespace tass::core {
+namespace {
+
+using census::Protocol;
+
+std::shared_ptr<const census::Topology> tiny_topology() {
+  const std::vector<bgp::Pfx2AsRecord> records = {
+      {net::Prefix::parse_or_throw("10.0.0.0/8"), {1}},
+      {net::Prefix::parse_or_throw("10.0.0.0/10"), {2}},
+      {net::Prefix::parse_or_throw("20.0.0.0/16"), {3}},
+      {net::Prefix::parse_or_throw("30.0.0.0/24"), {4}},
+  };
+  return census::topology_from_table(bgp::RoutingTable::from_pfx2as(records),
+                                     1);
+}
+
+census::Snapshot tiny_snapshot() {
+  // m-cells ascending: 10.0.0.0/10, 10.64.0.0/10, 10.128.0.0/9,
+  // 20.0.0.0/16, 30.0.0.0/24.
+  auto topo = tiny_topology();
+  std::vector<census::CellPopulation> cells(topo->m_partition.size());
+  cells[0].stable = {1, 2, 3, 4};           // density 4/2^22
+  cells[3].stable = {10, 20};               // density 2/2^16
+  cells[4].stable = {0, 1, 2, 3, 4, 5, 6};  // density 7/256 (densest)
+  return census::Snapshot(topo, Protocol::kFtp, 0, std::move(cells));
+}
+
+TEST(Ranking, ExcludesZeroDensityAndSortsDescending) {
+  const auto snapshot = tiny_snapshot();
+  const auto ranking = rank_by_density(snapshot, PrefixMode::kMore);
+  EXPECT_EQ(ranking.total_hosts, 13u);
+  ASSERT_EQ(ranking.ranked.size(), 3u);  // two cells are empty
+  EXPECT_EQ(ranking.ranked[0].prefix.to_string(), "30.0.0.0/24");
+  EXPECT_EQ(ranking.ranked[1].prefix.to_string(), "20.0.0.0/16");
+  EXPECT_EQ(ranking.ranked[2].prefix.to_string(), "10.0.0.0/10");
+  EXPECT_GT(ranking.ranked[0].density, ranking.ranked[1].density);
+  EXPECT_GT(ranking.ranked[1].density, ranking.ranked[2].density);
+  EXPECT_EQ(ranking.advertised_addresses,
+            snapshot.topology().advertised_addresses);
+  EXPECT_EQ(ranking.responsive_addresses(),
+            (1ULL << 22) + (1ULL << 16) + 256);
+}
+
+TEST(Ranking, HostSharesSumToOne) {
+  const auto ranking =
+      rank_by_density(tiny_snapshot(), PrefixMode::kMore);
+  double total = 0;
+  for (const RankedPrefix& entry : ranking.ranked) {
+    total += entry.host_share;
+    EXPECT_DOUBLE_EQ(entry.density,
+                     static_cast<double>(entry.hosts) /
+                         static_cast<double>(entry.size));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Ranking, LessModeAggregatesOverLPrefixes) {
+  const auto snapshot = tiny_snapshot();
+  const auto ranking = rank_by_density(snapshot, PrefixMode::kLess);
+  // l-prefixes: 10/8 (4 hosts), 20.0/16 (2), 30.0/24 (7).
+  ASSERT_EQ(ranking.ranked.size(), 3u);
+  EXPECT_EQ(ranking.total_hosts, 13u);
+  EXPECT_EQ(ranking.ranked[0].prefix.to_string(), "30.0.0.0/24");
+  EXPECT_EQ(ranking.ranked[0].hosts, 7u);
+  EXPECT_EQ(ranking.ranked[2].prefix.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(ranking.ranked[2].hosts, 4u);
+}
+
+TEST(Ranking, RankCurveIsMonotoneAndEndsAtFullCoverage) {
+  const auto ranking =
+      rank_by_density(tiny_snapshot(), PrefixMode::kMore);
+  const auto curve = rank_curve(ranking, 16);
+  ASSERT_GE(curve.size(), 2u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].cumulative_hosts, curve[i - 1].cumulative_hosts);
+    EXPECT_GE(curve[i].cumulative_space, curve[i - 1].cumulative_space);
+    EXPECT_LE(curve[i].density, curve[i - 1].density);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().cumulative_hosts, 1.0);
+  EXPECT_NEAR(curve.back().cumulative_space,
+              static_cast<double>(ranking.responsive_addresses()) /
+                  static_cast<double>(ranking.advertised_addresses),
+              1e-12);
+}
+
+TEST(Ranking, RankCurveSamplingBoundsPoints) {
+  census::TopologyParams params;
+  params.seed = 21;
+  params.l_prefix_count = 400;
+  const auto topo = census::generate_topology(params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.001;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(Protocol::kHttp), pop);
+  const auto ranking = rank_by_density(snapshot, PrefixMode::kMore);
+  const auto curve = rank_curve(ranking, 16);
+  EXPECT_LE(curve.size(), 20u);  // max_points plus the final rank
+  EXPECT_EQ(curve.back().rank, ranking.ranked.size());
+}
+
+TEST(Ranking, HistogramCountsEveryHostAtTheRightLength) {
+  const auto snapshot = tiny_snapshot();
+  const auto more = hosts_by_prefix_length(snapshot, PrefixMode::kMore);
+  EXPECT_EQ(more[10], 4u);
+  EXPECT_EQ(more[16], 2u);
+  EXPECT_EQ(more[24], 7u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : more) total += count;
+  EXPECT_EQ(total, snapshot.total_hosts());
+
+  const auto less = hosts_by_prefix_length(snapshot, PrefixMode::kLess);
+  EXPECT_EQ(less[8], 4u);
+  EXPECT_EQ(less[16], 2u);
+  EXPECT_EQ(less[24], 7u);
+}
+
+TEST(Ranking, FromExplicitCounts) {
+  const auto topo = tiny_topology();
+  const std::vector<std::uint32_t> counts(topo->m_partition.size(), 1);
+  const auto ranking =
+      rank_by_density(counts, topo->m_partition, PrefixMode::kMore);
+  EXPECT_EQ(ranking.ranked.size(), topo->m_partition.size());
+  EXPECT_EQ(ranking.total_hosts, topo->m_partition.size());
+  // Equal counts: densest = smallest prefix first.
+  EXPECT_EQ(ranking.ranked[0].prefix.to_string(), "30.0.0.0/24");
+}
+
+}  // namespace
+}  // namespace tass::core

@@ -1,0 +1,71 @@
+// Tests for report/table and report/series: the emitters behind every
+// bench binary.
+#include "report/series.hpp"
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::report {
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "10,000"});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("name   value"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_NE(text.find("b      10,000"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CellFormatters) {
+  EXPECT_EQ(Table::cell(static_cast<std::uint64_t>(1234567)), "1,234,567");
+  EXPECT_EQ(Table::cell(0.12345, 3), "0.123");
+  EXPECT_EQ(Table::cell("text"), "text");
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Table, MarkdownHasHeaderRule) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "Precondition");
+}
+
+TEST(SeriesSet, EmitsTsvWithHeader) {
+  SeriesSet set("month");
+  set.set_ticks({"09/15", "10/15"});
+  set.add_series("ftp", {1.0, 0.9971});
+  set.add_series("http", {1.0, 0.9969});
+  const std::string tsv = set.to_tsv();
+  EXPECT_NE(tsv.find("month\tftp\thttp"), std::string::npos);
+  EXPECT_NE(tsv.find("09/15\t1.0000\t1.0000"), std::string::npos);
+  EXPECT_NE(tsv.find("10/15\t0.9971\t0.9969"), std::string::npos);
+}
+
+TEST(SeriesSet, RejectsLengthMismatch) {
+  SeriesSet set("x");
+  set.set_ticks({"a", "b"});
+  set.add_series("s", {1.0});
+  EXPECT_DEATH(set.to_tsv(), "Precondition");
+}
+
+}  // namespace
+}  // namespace tass::report

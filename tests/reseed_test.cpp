@@ -1,0 +1,99 @@
+// Tests for core/reseed: the Delta-t reseeding policy evaluation.
+#include "core/reseed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::core {
+namespace {
+
+census::CensusSeries make_series(int months) {
+  census::TopologyParams topo_params;
+  topo_params.seed = 83;
+  topo_params.l_prefix_count = 400;
+  const auto topo = census::generate_topology(topo_params);
+  census::SeriesParams params;
+  params.months = months;
+  params.host_scale = 0.002;
+  params.seed = 19;
+  return census::CensusSeries::generate(topo, census::Protocol::kCwmp,
+                                        params);
+}
+
+TEST(Reseed, NeverReseedingMatchesPlainTass) {
+  const auto series = make_series(6);
+  SelectionParams params;
+  params.phi = 0.95;
+  ReseedPolicy never;
+  never.interval_months = 0;
+  const auto outcome =
+      evaluate_with_reseed(series, PrefixMode::kMore, params, never);
+  ASSERT_EQ(outcome.cycles.size(), 6u);
+  EXPECT_EQ(outcome.reseed_count, 1);  // only the month-0 seed scan
+
+  // Months 1+ must match a plain TassStrategy seeded at month 0.
+  const TassStrategy plain(series.month(0), PrefixMode::kMore, params);
+  for (int month = 1; month < 6; ++month) {
+    EXPECT_EQ(outcome.cycles[static_cast<std::size_t>(month)].found_hosts,
+              plain.found_hosts(series.month(month)));
+  }
+  // The seeding month is accounted as a full scan.
+  EXPECT_DOUBLE_EQ(outcome.cycles[0].hitrate(), 1.0);
+  EXPECT_EQ(outcome.cycles[0].scanned_addresses,
+            series.topology().advertised_addresses);
+}
+
+TEST(Reseed, EveryMonthIsAFullScanSchedule) {
+  const auto series = make_series(4);
+  SelectionParams params;
+  params.phi = 0.95;
+  ReseedPolicy monthly;
+  monthly.interval_months = 1;
+  const auto outcome =
+      evaluate_with_reseed(series, PrefixMode::kMore, params, monthly);
+  EXPECT_EQ(outcome.reseed_count, 4);
+  EXPECT_DOUBLE_EQ(outcome.mean_hitrate(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.traffic_vs_monthly_full(
+                       series.topology().advertised_addresses),
+                   1.0);
+}
+
+TEST(Reseed, ShorterIntervalsBuyAccuracyWithTraffic) {
+  const auto series = make_series(13);
+  SelectionParams params;
+  params.phi = 0.95;
+  double previous_hitrate = 0.0;
+  double previous_traffic = 0.0;
+  // Walk from rare to frequent reseeding: both accuracy and traffic must
+  // rise monotonically.
+  for (const int interval : {0, 6, 3}) {
+    ReseedPolicy policy;
+    policy.interval_months = interval;
+    const auto outcome =
+        evaluate_with_reseed(series, PrefixMode::kMore, params, policy);
+    const double traffic = outcome.traffic_vs_monthly_full(
+        series.topology().advertised_addresses);
+    EXPECT_GT(outcome.mean_hitrate(), previous_hitrate);
+    EXPECT_GT(traffic, previous_traffic);
+    EXPECT_LT(traffic, 1.0);  // always cheaper than monthly full scans
+    previous_hitrate = outcome.mean_hitrate();
+    previous_traffic = traffic;
+  }
+}
+
+TEST(Reseed, ReseedRecoversAccuracy) {
+  const auto series = make_series(13);
+  SelectionParams params;
+  params.phi = 1.0;
+  ReseedPolicy policy;
+  policy.interval_months = 6;
+  const auto outcome =
+      evaluate_with_reseed(series, PrefixMode::kMore, params, policy);
+  // Months 0, 6 and 12 are reseeds with hitrate 1; month 7's hitrate must
+  // beat month 5's (fresh selection vs a 5-month-old one).
+  EXPECT_DOUBLE_EQ(outcome.cycles[6].hitrate(), 1.0);
+  EXPECT_GT(outcome.cycles[7].hitrate(), outcome.cycles[5].hitrate());
+  EXPECT_EQ(outcome.reseed_count, 3);
+}
+
+}  // namespace
+}  // namespace tass::core

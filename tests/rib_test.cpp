@@ -1,0 +1,166 @@
+// Tests for bgp/rib and bgp/partition: routing-table construction, l/m
+// classification, the scanning partitions and address-space accounting.
+#include "bgp/partition.hpp"
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tass::bgp {
+namespace {
+
+using net::Ipv4Address;
+using net::Prefix;
+
+Prefix pfx(const char* text) { return Prefix::parse_or_throw(text); }
+
+std::vector<Pfx2AsRecord> sample_records() {
+  return {
+      {pfx("10.0.0.0/8"), {100}},
+      {pfx("10.0.0.0/12"), {101}},     // m-prefix of 10/8
+      {pfx("10.16.0.0/12"), {102}},    // m-prefix of 10/8
+      {pfx("10.16.0.0/16"), {103}},    // nested m-prefix
+      {pfx("20.0.0.0/8"), {200}},      // standalone l-prefix
+      {pfx("30.0.0.0/16"), {300}},     // standalone l-prefix
+  };
+}
+
+TEST(RoutingTable, ClassifiesLAndM) {
+  const auto table = RoutingTable::from_pfx2as(sample_records());
+  EXPECT_EQ(table.size(), 6u);
+
+  const auto l = table.l_prefixes();
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_EQ(l[0], pfx("10.0.0.0/8"));
+  EXPECT_EQ(l[1], pfx("20.0.0.0/8"));
+  EXPECT_EQ(l[2], pfx("30.0.0.0/16"));
+
+  const auto m = table.m_prefixes();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], pfx("10.0.0.0/12"));
+  EXPECT_EQ(m[1], pfx("10.16.0.0/12"));
+  EXPECT_EQ(m[2], pfx("10.16.0.0/16"));
+}
+
+TEST(RoutingTable, MergesDuplicateOrigins) {
+  const std::vector<Pfx2AsRecord> records = {
+      {pfx("10.0.0.0/8"), {100}},
+      {pfx("10.0.0.0/8"), {200}},
+      {pfx("10.0.0.0/8"), {100}},
+  };
+  const auto table = RoutingTable::from_pfx2as(records);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.routes()[0].origins, (std::vector<std::uint32_t>{100, 200}));
+}
+
+TEST(RoutingTable, StatsAccounting) {
+  const auto stats = RoutingTable::from_pfx2as(sample_records()).stats();
+  EXPECT_EQ(stats.prefix_count, 6u);
+  EXPECT_EQ(stats.m_prefix_count, 3u);
+  EXPECT_DOUBLE_EQ(stats.m_prefix_fraction, 0.5);
+  EXPECT_EQ(stats.advertised_addresses,
+            (1ULL << 24) * 2 + (1ULL << 16));      // 10/8 + 20/8 + 30.0/16
+  EXPECT_EQ(stats.m_prefix_addresses, (1ULL << 20) * 2);  // two /12 unions
+}
+
+TEST(RoutingTable, LPartitionMatchesLPrefixes) {
+  const auto table = RoutingTable::from_pfx2as(sample_records());
+  const auto partition = table.l_partition();
+  EXPECT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition.address_count(), table.stats().advertised_addresses);
+  EXPECT_EQ(partition.locate(Ipv4Address::parse_or_throw("10.200.0.1")), 0u);
+  EXPECT_EQ(partition.locate(Ipv4Address::parse_or_throw("20.0.0.1")), 1u);
+  EXPECT_FALSE(
+      partition.locate(Ipv4Address::parse_or_throw("40.0.0.1")).has_value());
+}
+
+TEST(RoutingTable, MPartitionTilesAdvertisedSpace) {
+  const auto table = RoutingTable::from_pfx2as(sample_records());
+  const auto partition = table.m_partition();
+  EXPECT_EQ(partition.address_count(), table.stats().advertised_addresses);
+  // Announced m-prefixes appear as exact cells, except those refined by
+  // nested announcements.
+  EXPECT_TRUE(partition.index_of(pfx("10.0.0.0/12")).has_value());
+  EXPECT_TRUE(partition.index_of(pfx("10.16.0.0/16")).has_value());
+  EXPECT_FALSE(partition.index_of(pfx("10.16.0.0/12")).has_value());
+  // Standalone l-prefix survives whole.
+  EXPECT_TRUE(partition.index_of(pfx("20.0.0.0/8")).has_value());
+  // Every address maps to exactly one cell that contains it.
+  for (const char* text : {"10.0.0.1", "10.16.5.5", "10.31.0.1",
+                           "10.200.0.1", "20.1.2.3", "30.0.255.255"}) {
+    const auto addr = Ipv4Address::parse_or_throw(text);
+    const auto cell = partition.locate(addr);
+    ASSERT_TRUE(cell.has_value()) << text;
+    EXPECT_TRUE(partition.prefix(*cell).contains(addr));
+  }
+}
+
+TEST(RoutingTable, Pfx2AsRoundTrip) {
+  const auto table = RoutingTable::from_pfx2as(sample_records());
+  const auto table2 = RoutingTable::from_pfx2as(table.to_pfx2as());
+  EXPECT_TRUE(std::equal(table.routes().begin(), table.routes().end(),
+                         table2.routes().begin(), table2.routes().end()));
+}
+
+TEST(RoutingTable, FromMrtMatchesPfx2As) {
+  MrtRibDump dump;
+  dump.collector_id = Ipv4Address(1);
+  dump.peers.push_back({Ipv4Address(1), Ipv4Address(1), 65000});
+  std::uint32_t sequence = 0;
+  for (const Pfx2AsRecord& record : sample_records()) {
+    MrtRibRecord rib;
+    rib.sequence = sequence++;
+    rib.prefix = record.prefix;
+    MrtRibEntry entry;
+    entry.peer_index = 0;
+    entry.as_path.push_back(
+        {AsPathSegment::Kind::kAsSequence, {65000, record.origins[0]}});
+    rib.entries.push_back(entry);
+    dump.records.push_back(rib);
+  }
+  const auto from_mrt = RoutingTable::from_mrt(dump);
+  const auto from_text = RoutingTable::from_pfx2as(sample_records());
+  ASSERT_EQ(from_mrt.size(), from_text.size());
+  for (std::size_t i = 0; i < from_mrt.size(); ++i) {
+    EXPECT_EQ(from_mrt.routes()[i].prefix, from_text.routes()[i].prefix);
+    EXPECT_EQ(from_mrt.routes()[i].more_specific,
+              from_text.routes()[i].more_specific);
+  }
+}
+
+TEST(PrefixPartition, RejectsOverlap) {
+  EXPECT_THROW(PrefixPartition({pfx("10.0.0.0/8"), pfx("10.0.0.0/12")}),
+               Error);
+  EXPECT_THROW(PrefixPartition({pfx("10.0.0.0/12"), pfx("10.0.0.0/8")}),
+               Error);
+  EXPECT_THROW(PrefixPartition({pfx("10.0.0.0/8"), pfx("10.0.0.0/8")}),
+               Error);
+  EXPECT_NO_THROW(PrefixPartition({pfx("10.0.0.0/9"), pfx("10.128.0.0/9")}));
+}
+
+TEST(PrefixPartition, EmptyPartition) {
+  const PrefixPartition partition;
+  EXPECT_TRUE(partition.empty());
+  EXPECT_EQ(partition.address_count(), 0u);
+  EXPECT_FALSE(partition.locate(Ipv4Address(0)).has_value());
+}
+
+TEST(PrefixPartition, PreservesInputOrder) {
+  const PrefixPartition partition(
+      {pfx("20.0.0.0/8"), pfx("10.0.0.0/8")});
+  EXPECT_EQ(partition.prefix(0), pfx("20.0.0.0/8"));
+  EXPECT_EQ(partition.prefix(1), pfx("10.0.0.0/8"));
+  EXPECT_EQ(partition.index_of(pfx("10.0.0.0/8")), 1u);
+  EXPECT_EQ(partition.locate(Ipv4Address::parse_or_throw("20.5.5.5")), 0u);
+}
+
+TEST(PrefixPartition, IntervalSetMatchesAddressCount) {
+  const PrefixPartition partition(
+      {pfx("10.0.0.0/8"), pfx("11.0.0.0/8"), pfx("192.168.0.0/16")});
+  EXPECT_EQ(partition.to_interval_set().address_count(),
+            partition.address_count());
+}
+
+}  // namespace
+}  // namespace tass::bgp

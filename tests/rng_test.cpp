@@ -1,0 +1,219 @@
+// Tests for util/rng: the deterministic generator and distributions the
+// census simulation depends on for reproducibility.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tass::util {
+namespace {
+
+TEST(Splitmix, IsDeterministicAndMixes) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 1;
+  const std::uint64_t first = splitmix64(a);
+  EXPECT_EQ(first, splitmix64(b));   // same state, same output
+  EXPECT_NE(first, splitmix64(a));   // the stream advances
+  a = 1;
+  b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));  // nearby seeds diverge
+}
+
+TEST(Mix64, SeparatesStreams) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2), mix64(1, 3));
+  EXPECT_EQ(mix64(7, 9), mix64(7, 9));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformU32Inclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t value = rng.uniform_u32(5, 8);
+    EXPECT_GE(value, 5u);
+    EXPECT_LE(value, 8u);
+    saw_lo = saw_lo || value == 5;
+    saw_hi = saw_hi || value == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 50000, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, LognormalIsPositiveWithSaneMedian) {
+  Rng rng(37);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) {
+    const double x = rng.lognormal(0.0, 0.5);
+    EXPECT_GT(x, 0.0);
+    draws.push_back(x);
+  }
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], 1.0, 0.05);  // median of LogNormal(0, s) is 1
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(41);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / kDraws - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(43);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05 + 0.05);
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(47);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(53);
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_EQ(std::set<std::uint64_t>(sample.begin(), sample.end()).size(),
+            100u);
+  for (const std::uint64_t value : sample) EXPECT_LT(value, 1000u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(59);
+  const auto sample = rng.sample_without_replacement(16, 16);
+  EXPECT_EQ(sample.size(), 16u);
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const double weights[] = {1.0, 0.0, 3.0};
+  DiscreteSampler sampler(weights);
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_DOUBLE_EQ(sampler.total(), 4.0);
+
+  Rng rng(61);
+  int counts[3] = {};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_EQ(counts[1], 0);  // zero weight is never drawn
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.75, 0.02);
+}
+
+TEST(DiscreteSampler, SingleCategory) {
+  const double weights[] = {0.7};
+  DiscreteSampler sampler(weights);
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace tass::util

@@ -1,0 +1,205 @@
+// Tests for core/selection: the paper's step-4 stopping rule and its
+// refinements, including a parameterized phi-monotonicity sweep.
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "census/population.hpp"
+#include "census/topology.hpp"
+
+namespace tass::core {
+namespace {
+
+DensityRanking synthetic_ranking() {
+  // Hand-built ranking: three prefixes with hosts 50 / 30 / 20 and sizes
+  // 256 / 1024 / 65536 (already density-descending).
+  DensityRanking ranking;
+  ranking.mode = PrefixMode::kMore;
+  ranking.total_hosts = 100;
+  ranking.advertised_addresses = 1 << 20;
+  const struct {
+    const char* prefix;
+    std::uint64_t hosts;
+  } entries[] = {
+      {"10.0.0.0/24", 50}, {"10.1.0.0/22", 30}, {"10.16.0.0/16", 20}};
+  std::uint32_t index = 0;
+  for (const auto& [text, hosts] : entries) {
+    RankedPrefix entry;
+    entry.index = index++;
+    entry.prefix = net::Prefix::parse_or_throw(text);
+    entry.size = entry.prefix.size();
+    entry.hosts = hosts;
+    entry.density = static_cast<double>(hosts) /
+                    static_cast<double>(entry.size);
+    entry.host_share = static_cast<double>(hosts) / 100.0;
+    ranking.ranked.push_back(entry);
+  }
+  return ranking;
+}
+
+TEST(Selection, PhiOneSelectsAllResponsivePrefixes) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 1.0;
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 3u);
+  EXPECT_EQ(selection.covered_hosts, 100u);
+  EXPECT_DOUBLE_EQ(selection.host_coverage(), 1.0);
+  EXPECT_EQ(selection.selected_addresses, 256u + 1024u + 65536u);
+}
+
+TEST(Selection, SmallestKExceedingPhi) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 0.5;  // first prefix alone covers exactly 50%
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 1u);
+  EXPECT_EQ(selection.covered_hosts, 50u);
+
+  params.phi = 0.51;  // needs the second prefix
+  const auto more = select_by_density(ranking, params);
+  EXPECT_EQ(more.k(), 2u);
+  EXPECT_EQ(more.covered_hosts, 80u);
+
+  params.phi = 0.81;
+  EXPECT_EQ(select_by_density(ranking, params).k(), 3u);
+}
+
+TEST(Selection, SpaceCoverageAccounting) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 0.5;
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_DOUBLE_EQ(selection.space_coverage(), 256.0 / (1 << 20));
+  EXPECT_EQ(selection.prefixes.size(), selection.indices.size());
+  EXPECT_EQ(selection.prefixes[0].to_string(), "10.0.0.0/24");
+}
+
+TEST(Selection, MinDensityCutsTheTail) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 1.0;
+  params.min_density = 0.01;  // excludes the /16 (20 / 65536 ~ 0.0003)
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 2u);
+  EXPECT_EQ(selection.covered_hosts, 80u);
+}
+
+TEST(Selection, MaxAddressBudgetStopsEarly) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 1.0;
+  params.max_addresses = 2000;  // room for /24 + /22 but not the /16
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 2u);
+  EXPECT_LE(selection.selected_addresses, 2000u);
+}
+
+TEST(Selection, RejectsInvalidPhi) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 0.0;
+  EXPECT_DEATH(select_by_density(ranking, params), "Precondition");
+}
+
+TEST(Selection, EmptyRankingYieldsEmptySelection) {
+  DensityRanking ranking;
+  ranking.advertised_addresses = 1000;
+  SelectionParams params;
+  params.phi = 0.9;
+  const auto selection = select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 0u);
+  EXPECT_DOUBLE_EQ(selection.host_coverage(), 0.0);
+}
+
+TEST(SelectionOrder, DensityIsNeverWorseThanAlternatives) {
+  // On a realistic synthetic census, the paper's density order must cost
+  // no more address space than host-count, size or random order at the
+  // same coverage target.
+  census::TopologyParams topo_params;
+  topo_params.seed = 13;
+  topo_params.l_prefix_count = 500;
+  const auto topo = census::generate_topology(topo_params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.002;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(census::Protocol::kHttp), pop);
+  const auto ranking = rank_by_density(snapshot, PrefixMode::kMore);
+
+  for (const double phi : {0.5, 0.7, 0.95}) {
+    SelectionParams params;
+    params.phi = phi;
+    const auto density = select_by_density(ranking, params);
+    for (const RankingOrder order :
+         {RankingOrder::kHostCount, RankingOrder::kRandom,
+          RankingOrder::kSpaceAscending}) {
+      const auto other = select_with_order(ranking, params, order, 3);
+      EXPECT_LE(density.selected_addresses, other.selected_addresses)
+          << "phi=" << phi;
+      EXPECT_GE(other.host_coverage(), phi - 1e-9);
+    }
+  }
+}
+
+TEST(SelectionOrder, RandomOrderIsSeedDeterministic) {
+  const auto ranking = synthetic_ranking();
+  SelectionParams params;
+  params.phi = 0.6;
+  const auto a = select_with_order(ranking, params, RankingOrder::kRandom, 7);
+  const auto b = select_with_order(ranking, params, RankingOrder::kRandom, 7);
+  EXPECT_EQ(a.indices, b.indices);
+}
+
+// Parameterized monotonicity sweep on a generated census: k, space and
+// host coverage must all be nondecreasing in phi.
+class PhiMonotonicity : public ::testing::TestWithParam<PrefixMode> {};
+
+TEST_P(PhiMonotonicity, SelectionGrowsWithPhi) {
+  census::TopologyParams topo_params;
+  topo_params.seed = 29;
+  topo_params.l_prefix_count = 500;
+  const auto topo = census::generate_topology(topo_params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.002;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(census::Protocol::kFtp), pop);
+  const auto ranking = rank_by_density(snapshot, GetParam());
+
+  std::uint64_t previous_addresses = 0;
+  std::size_t previous_k = 0;
+  double previous_coverage = 0.0;
+  for (const double phi : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99, 1.0}) {
+    SelectionParams params;
+    params.phi = phi;
+    const auto selection = select_by_density(ranking, params);
+    EXPECT_GE(selection.host_coverage(), phi - 1e-9);
+    EXPECT_GE(selection.k(), previous_k);
+    EXPECT_GE(selection.selected_addresses, previous_addresses);
+    EXPECT_GE(selection.host_coverage(), previous_coverage);
+    previous_k = selection.k();
+    previous_addresses = selection.selected_addresses;
+    previous_coverage = selection.host_coverage();
+
+    // Minimality: dropping the last selected prefix must fall below phi.
+    if (selection.k() > 1 && phi < 1.0) {
+      const std::uint64_t without_last =
+          selection.covered_hosts -
+          ranking.ranked[selection.k() - 1].hosts;
+      EXPECT_LT(static_cast<double>(without_last),
+                std::ceil(phi * static_cast<double>(ranking.total_hosts)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PhiMonotonicity,
+                         ::testing::Values(PrefixMode::kLess,
+                                           PrefixMode::kMore),
+                         [](const ::testing::TestParamInfo<PrefixMode>& param_info) {
+                           return std::string(
+                               prefix_mode_name(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace tass::core

@@ -1,0 +1,95 @@
+// Tests for census/snapshot: the ground-truth container.
+#include "census/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/topology.hpp"
+
+namespace tass::census {
+namespace {
+
+std::shared_ptr<const Topology> small_topology() {
+  const std::vector<bgp::Pfx2AsRecord> records = {
+      {net::Prefix::parse_or_throw("10.0.0.0/8"), {100}},
+      {net::Prefix::parse_or_throw("10.0.0.0/9"), {101}},
+      {net::Prefix::parse_or_throw("20.0.0.0/16"), {200}},
+  };
+  return topology_from_table(bgp::RoutingTable::from_pfx2as(records), 1);
+}
+
+Snapshot make_snapshot(std::shared_ptr<const Topology> topo) {
+  // Cells (ascending): 10.0.0.0/9, 10.128.0.0/9, 20.0.0.0/16.
+  std::vector<CellPopulation> cells(topo->m_partition.size());
+  cells[0].stable = {0, 5, 100};
+  cells[0].volatile_hosts = {7};
+  cells[1].stable = {1};
+  cells[2].volatile_hosts = {65535};
+  return Snapshot(std::move(topo), Protocol::kHttp, 0, std::move(cells));
+}
+
+TEST(Snapshot, CountsAndTotals) {
+  const auto topo = small_topology();
+  const Snapshot snapshot = make_snapshot(topo);
+  EXPECT_EQ(snapshot.total_hosts(), 6u);
+  EXPECT_EQ(snapshot.protocol(), Protocol::kHttp);
+  EXPECT_EQ(snapshot.month_index(), 0);
+
+  const auto counts = snapshot.counts_per_cell();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+
+  const auto l_counts = snapshot.counts_per_l();
+  ASSERT_EQ(l_counts.size(), 2u);
+  EXPECT_EQ(l_counts[0], 5u);  // 10/8 = both /9 cells
+  EXPECT_EQ(l_counts[1], 1u);  // 20.0/16
+}
+
+TEST(Snapshot, ContainsQueriesBothPopulations) {
+  const Snapshot snapshot = make_snapshot(small_topology());
+  EXPECT_TRUE(snapshot.contains(net::Ipv4Address::parse_or_throw("10.0.0.0")));
+  EXPECT_TRUE(snapshot.contains(net::Ipv4Address::parse_or_throw("10.0.0.7")));
+  EXPECT_TRUE(
+      snapshot.contains(net::Ipv4Address::parse_or_throw("10.128.0.1")));
+  EXPECT_TRUE(
+      snapshot.contains(net::Ipv4Address::parse_or_throw("20.0.255.255")));
+  EXPECT_FALSE(
+      snapshot.contains(net::Ipv4Address::parse_or_throw("10.0.0.1")));
+  EXPECT_FALSE(
+      snapshot.contains(net::Ipv4Address::parse_or_throw("30.0.0.1")));
+}
+
+TEST(Snapshot, AddressesSortedAndComplete) {
+  const Snapshot snapshot = make_snapshot(small_topology());
+  const auto addresses = snapshot.addresses();
+  ASSERT_EQ(addresses.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(addresses.begin(), addresses.end()));
+  for (const std::uint32_t addr : addresses) {
+    EXPECT_TRUE(snapshot.contains(net::Ipv4Address(addr)));
+  }
+}
+
+TEST(Snapshot, ForEachAddressVisitsInOrder) {
+  const Snapshot snapshot = make_snapshot(small_topology());
+  std::vector<std::uint32_t> visited;
+  snapshot.for_each_address(
+      [&](net::Ipv4Address addr) { visited.push_back(addr.value()); });
+  EXPECT_EQ(visited.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+  // Stable/volatile interleaving preserved order: 0,5,7,100 in cell 0.
+  EXPECT_EQ(visited[0], net::Ipv4Address::parse_or_throw("10.0.0.0").value());
+  EXPECT_EQ(visited[2], net::Ipv4Address::parse_or_throw("10.0.0.7").value());
+}
+
+TEST(Snapshot, MonthLabelsMatchThePaperAxis) {
+  EXPECT_EQ(month_label(0), "09/15");
+  EXPECT_EQ(month_label(1), "10/15");
+  EXPECT_EQ(month_label(3), "12/15");
+  EXPECT_EQ(month_label(4), "01/16");
+  EXPECT_EQ(month_label(6), "03/16");
+  EXPECT_EQ(month_label(16), "01/17");
+}
+
+}  // namespace
+}  // namespace tass::census

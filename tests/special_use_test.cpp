@@ -1,0 +1,64 @@
+// Tests for net/special_use: the IANA special-use registry and the derived
+// reserved / scannable spaces (the paper's Figure 1 scoping levels).
+#include "net/special_use.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::net {
+namespace {
+
+TEST(SpecialUse, RegistryIsSortedAndNonEmpty) {
+  const auto ranges = special_use_ranges();
+  ASSERT_GE(ranges.size(), 10u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i - 1].prefix, ranges[i].prefix);
+  }
+}
+
+TEST(SpecialUse, KnownRangesPresent) {
+  bool saw_rfc1918 = false;
+  bool saw_multicast = false;
+  for (const SpecialUseRange& range : special_use_ranges()) {
+    if (range.prefix == Prefix::parse_or_throw("10.0.0.0/8")) {
+      saw_rfc1918 = true;
+      EXPECT_EQ(range.rfc, "RFC1918");
+      EXPECT_FALSE(range.globally_reachable);
+    }
+    if (range.prefix == Prefix::parse_or_throw("224.0.0.0/4")) {
+      saw_multicast = true;
+    }
+  }
+  EXPECT_TRUE(saw_rfc1918);
+  EXPECT_TRUE(saw_multicast);
+}
+
+TEST(SpecialUse, ReservedBlocksExpectedAddresses) {
+  const IntervalSet& reserved = reserved_space();
+  EXPECT_TRUE(reserved.contains(Ipv4Address::parse_or_throw("10.1.2.3")));
+  EXPECT_TRUE(reserved.contains(Ipv4Address::parse_or_throw("127.0.0.1")));
+  EXPECT_TRUE(reserved.contains(Ipv4Address::parse_or_throw("192.168.1.1")));
+  EXPECT_TRUE(reserved.contains(Ipv4Address::parse_or_throw("239.1.1.1")));
+  EXPECT_TRUE(reserved.contains(Ipv4Address::parse_or_throw("255.1.1.1")));
+  EXPECT_FALSE(reserved.contains(Ipv4Address::parse_or_throw("8.8.8.8")));
+  // 6to4 anycast is globally reachable, hence scannable.
+  EXPECT_FALSE(reserved.contains(Ipv4Address::parse_or_throw("192.88.99.1")));
+}
+
+TEST(SpecialUse, ReservedAndScannablePartitionTheSpace) {
+  const IntervalSet& reserved = reserved_space();
+  const IntervalSet& scannable = scannable_space();
+  EXPECT_EQ(reserved.address_count() + scannable.address_count(),
+            kIpv4SpaceSize);
+  EXPECT_TRUE(reserved.intersect(scannable).empty());
+}
+
+TEST(SpecialUse, ScannableIsRoughlyThePaperScale) {
+  // The paper's Figure 1: ~3.7B allocated/scannable addresses.
+  const double billions =
+      static_cast<double>(scannable_space().address_count()) / 1e9;
+  EXPECT_GT(billions, 3.5);
+  EXPECT_LT(billions, 3.8);
+}
+
+}  // namespace
+}  // namespace tass::net

@@ -1,0 +1,156 @@
+// Tests for core/strategies: the full-scan / hitlist / TASS /
+// random-sample strategy implementations over controlled snapshots.
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "census/churn.hpp"
+#include "census/population.hpp"
+#include "census/series.hpp"
+
+namespace tass::core {
+namespace {
+
+using census::Protocol;
+
+std::shared_ptr<const census::Topology> test_topology() {
+  static const auto topo = [] {
+    census::TopologyParams params;
+    params.seed = 41;
+    params.l_prefix_count = 400;
+    return census::generate_topology(params);
+  }();
+  return topo;
+}
+
+census::CensusSeries test_series(Protocol protocol, int months = 4) {
+  census::SeriesParams params;
+  params.months = months;
+  params.host_scale = 0.002;
+  params.seed = 6;
+  return census::CensusSeries::generate(test_topology(), protocol, params);
+}
+
+TEST(FullScanStrategy, FindsEverythingAtFullCost) {
+  const auto series = test_series(Protocol::kHttp);
+  const FullScanStrategy strategy(series.month(0));
+  EXPECT_EQ(strategy.scanned_addresses(),
+            test_topology()->advertised_addresses);
+  for (const auto& month : series.months()) {
+    EXPECT_EQ(strategy.found_hosts(month), month.total_hosts());
+  }
+}
+
+TEST(HitlistStrategy, PerfectAtSeedDecaysAfter) {
+  const auto series = test_series(Protocol::kCwmp);
+  const HitlistStrategy strategy(series.month(0));
+  EXPECT_EQ(strategy.scanned_addresses(), series.month(0).total_hosts());
+  EXPECT_EQ(strategy.found_hosts(series.month(0)),
+            series.month(0).total_hosts());
+  // CWMP churns hard: the hitlist must lose ground fast.
+  const double month1 =
+      static_cast<double>(strategy.found_hosts(series.month(1))) /
+      static_cast<double>(series.month(1).total_hosts());
+  EXPECT_LT(month1, 0.8);
+  EXPECT_GT(month1, 0.3);
+  const double month3 =
+      static_cast<double>(strategy.found_hosts(series.month(3))) /
+      static_cast<double>(series.month(3).total_hosts());
+  EXPECT_LT(month3, month1);
+}
+
+TEST(TassStrategy, PhiOneIsExactAtSeed) {
+  const auto series = test_series(Protocol::kFtp);
+  for (const PrefixMode mode : {PrefixMode::kLess, PrefixMode::kMore}) {
+    SelectionParams params;
+    params.phi = 1.0;
+    const TassStrategy strategy(series.month(0), mode, params);
+    EXPECT_EQ(strategy.found_hosts(series.month(0)),
+              series.month(0).total_hosts());
+    EXPECT_LT(strategy.scanned_addresses(),
+              test_topology()->advertised_addresses);
+  }
+}
+
+TEST(TassStrategy, FoundHostsMatchesManualCellSum) {
+  const auto series = test_series(Protocol::kHttps);
+  SelectionParams params;
+  params.phi = 0.9;
+  const TassStrategy strategy(series.month(0), PrefixMode::kMore, params);
+
+  const auto& later = series.month(2);
+  const auto counts = later.counts_per_cell();
+  std::uint64_t expected = 0;
+  for (const std::uint32_t index : strategy.selection().indices) {
+    expected += counts[index];
+  }
+  EXPECT_EQ(strategy.found_hosts(later), expected);
+}
+
+TEST(TassStrategy, OutperformsHitlistOverTime) {
+  const auto series = test_series(Protocol::kHttp, 5);
+  SelectionParams params;
+  params.phi = 1.0;
+  const TassStrategy tass(series.month(0), PrefixMode::kLess, params);
+  const HitlistStrategy hitlist(series.month(0));
+  const auto& last = series.month(4);
+  EXPECT_GT(tass.found_hosts(last), hitlist.found_hosts(last));
+}
+
+TEST(TassStrategy, MoreSpecificCostsLessSpaceAtSeed) {
+  const auto series = test_series(Protocol::kFtp);
+  SelectionParams params;
+  params.phi = 1.0;
+  const TassStrategy less(series.month(0), PrefixMode::kLess, params);
+  const TassStrategy more(series.month(0), PrefixMode::kMore, params);
+  EXPECT_LT(more.scanned_addresses(), less.scanned_addresses());
+}
+
+TEST(TassStrategy, NameEncodesModeAndPhi) {
+  const auto series = test_series(Protocol::kFtp, 1);
+  SelectionParams params;
+  params.phi = 0.95;
+  const TassStrategy strategy(series.month(0), PrefixMode::kMore, params);
+  EXPECT_NE(strategy.name().find("more"), std::string::npos);
+  EXPECT_NE(strategy.name().find("0.95"), std::string::npos);
+}
+
+TEST(RandomSampleStrategy, ScansTheConfiguredBlockBudget) {
+  const auto series = test_series(Protocol::kHttp, 1);
+  RandomSampleParams params;
+  params.block_fraction = 0.01;
+  const RandomSampleStrategy strategy(series.month(0), params);
+  const std::uint64_t total_blocks =
+      test_topology()->advertised_addresses / 256;
+  EXPECT_NEAR(static_cast<double>(strategy.block_count()),
+              0.01 * static_cast<double>(total_blocks),
+              0.002 * static_cast<double>(total_blocks));
+  EXPECT_EQ(strategy.scanned_addresses(), strategy.block_count() * 256);
+}
+
+TEST(RandomSampleStrategy, FindsASliverProportionalToCoverage) {
+  const auto series = test_series(Protocol::kHttp, 2);
+  RandomSampleParams params;
+  params.block_fraction = 0.02;
+  const RandomSampleStrategy strategy(series.month(0), params);
+  const std::uint64_t found = strategy.found_hosts(series.month(0));
+  EXPECT_GT(found, 0u);
+  EXPECT_LT(found, series.month(0).total_hosts());
+  // The responsive-block and dense-block quotas pull in far more hosts
+  // than 2% of the population.
+  EXPECT_GT(static_cast<double>(found),
+            0.02 * static_cast<double>(series.month(0).total_hosts()));
+}
+
+TEST(RandomSampleStrategy, DeterministicInSeed) {
+  const auto series = test_series(Protocol::kFtp, 1);
+  RandomSampleParams params;
+  params.seed = 5;
+  const RandomSampleStrategy a(series.month(0), params);
+  const RandomSampleStrategy b(series.month(0), params);
+  EXPECT_EQ(a.found_hosts(series.month(0)), b.found_hosts(series.month(0)));
+  EXPECT_EQ(a.block_count(), b.block_count());
+}
+
+}  // namespace
+}  // namespace tass::core

@@ -1,0 +1,98 @@
+// Unit tests for util/strings: splitting, trimming, strict numeric parsing
+// and formatting helpers used by the text-format parsers.
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tass::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Split, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto fields = split("x\ty\t", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto fields = split_whitespace("  a \t b\n\nc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitWhitespace, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(split_whitespace(" \t\r\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseU64, AcceptsCanonicalNumbers) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~0ULL);
+}
+
+TEST(ParseU64, RejectsNonCanonicalInput) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64(" 1").has_value());
+  EXPECT_FALSE(parse_u64("1 ").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(ParseU32, RangeChecksTo32Bits) {
+  EXPECT_EQ(parse_u32("4294967295"), 0xffffffffu);
+  EXPECT_FALSE(parse_u32("4294967296").has_value());
+}
+
+TEST(ParseDouble, ParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-3").value(), -3.0);
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("table_dump", "table"));
+  EXPECT_FALSE(starts_with("tab", "table"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(WithThousands, GroupsDigits) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(4294967296ULL), "4,294,967,296");
+}
+
+TEST(Fixed, FormatsWithPrecision) {
+  EXPECT_EQ(fixed(0.5, 3), "0.500");
+  EXPECT_EQ(fixed(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace tass::util

@@ -1,0 +1,171 @@
+// Tests for scan/target_iterator: the number-theoretic helpers and the
+// ZMap-style full-cycle permutation, including exact full-cycle coverage
+// on small universes.
+#include "scan/target_iterator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace tass::scan {
+namespace {
+
+TEST(PowMod, MatchesKnownValues) {
+  EXPECT_EQ(pow_mod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(pow_mod(2, 0, 97), 1u);
+  EXPECT_EQ(pow_mod(5, 96, 97), 1u);  // Fermat's little theorem
+  EXPECT_EQ(mul_mod(1ULL << 62, 8, (1ULL << 62) + 1),
+            pow_mod(2, 65, (1ULL << 62) + 1));
+}
+
+TEST(IsPrime, ClassifiesCorrectly) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(561));  // Carmichael number
+  EXPECT_TRUE(is_prime(kPermutationPrime));
+  EXPECT_FALSE(is_prime((1ULL << 32) + 1));
+  EXPECT_TRUE(is_prime(1000000007));
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(LeastPrimeAbove, FindsTheClassicModulus) {
+  EXPECT_EQ(least_prime_above(1ULL << 32), kPermutationPrime);
+  EXPECT_EQ(least_prime_above(1), 2u);
+  EXPECT_EQ(least_prime_above(2), 3u);
+  EXPECT_EQ(least_prime_above(10), 11u);
+  EXPECT_EQ(least_prime_above(13), 17u);
+}
+
+TEST(Factorisation, DistinctPrimes) {
+  EXPECT_EQ(distinct_prime_factors(1), std::vector<std::uint64_t>{});
+  EXPECT_EQ(distinct_prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(distinct_prime_factors(97), std::vector<std::uint64_t>{97});
+  EXPECT_EQ(distinct_prime_factors(2 * 2 * 3 * 5 * 5 * 7),
+            (std::vector<std::uint64_t>{2, 3, 5, 7}));
+}
+
+TEST(Factorisation, GroupOrderOfTheZmapPrime) {
+  const auto factors = distinct_prime_factors(kPermutationPrime - 1);
+  ASSERT_FALSE(factors.empty());
+  std::uint64_t remainder = kPermutationPrime - 1;
+  for (const std::uint64_t factor : factors) {
+    EXPECT_EQ(remainder % factor, 0u);
+    while (remainder % factor == 0) remainder /= factor;
+  }
+  EXPECT_EQ(remainder, 1u);
+}
+
+TEST(PrimitiveRoot, KnownSmallPrime) {
+  // Z_7*: 3 and 5 are generators; 2 and 4 are not (2^3 = 1 mod 7).
+  const auto factors = distinct_prime_factors(6);
+  EXPECT_TRUE(is_primitive_root(3, 7, factors));
+  EXPECT_TRUE(is_primitive_root(5, 7, factors));
+  EXPECT_FALSE(is_primitive_root(2, 7, factors));
+  EXPECT_FALSE(is_primitive_root(4, 7, factors));
+  EXPECT_FALSE(is_primitive_root(7, 7, factors));  // 0 mod p
+}
+
+TEST(TargetIterator, UsesTheClassicModulusForFullSpace) {
+  const TargetIterator iterator(42);
+  EXPECT_EQ(iterator.modulus(), kPermutationPrime);
+  const auto factors = distinct_prime_factors(kPermutationPrime - 1);
+  EXPECT_TRUE(
+      is_primitive_root(iterator.generator(), kPermutationPrime, factors));
+}
+
+TEST(TargetIterator, FullCycleCoversSmallUniverseExactlyOnce) {
+  for (const std::uint64_t universe : {1ULL, 2ULL, 3ULL, 1000ULL, 4096ULL,
+                                       10007ULL}) {
+    TargetIterator iterator(17, universe);
+    std::vector<bool> seen(universe, false);
+    std::uint64_t count = 0;
+    while (const auto value = iterator.next_value()) {
+      ASSERT_LT(*value, universe);
+      ASSERT_FALSE(seen[*value]) << "duplicate in universe " << universe;
+      seen[*value] = true;
+      ++count;
+    }
+    EXPECT_EQ(count, universe);
+    EXPECT_TRUE(iterator.done());
+    EXPECT_EQ(iterator.emitted(), universe);
+  }
+}
+
+TEST(TargetIterator, DeterministicPerSeedAndDistinctAcrossSeeds) {
+  TargetIterator a(7);
+  TargetIterator b(7);
+  TargetIterator c(8);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto av = a.next();
+    const auto bv = b.next();
+    const auto cv = c.next();
+    ASSERT_TRUE(av && bv && cv);
+    EXPECT_EQ(*av, *bv);
+    differs = differs || (*av != *cv);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TargetIterator, FullSpaceEmitsUniqueAddresses) {
+  TargetIterator iterator(99);
+  std::unordered_set<std::uint32_t> seen;
+  for (int i = 0; i < 200000; ++i) {
+    const auto addr = iterator.next();
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_TRUE(seen.insert(addr->value()).second)
+        << "duplicate after " << i << " draws";
+  }
+  EXPECT_EQ(iterator.emitted(), 200000u);
+  EXPECT_FALSE(iterator.done());
+}
+
+TEST(TargetIterator, ShardsPartitionTheUniverse) {
+  constexpr std::uint32_t kShards = 3;
+  constexpr std::uint64_t kUniverse = 9001;
+  std::vector<int> seen(kUniverse, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    TargetIterator iterator =
+        TargetIterator::shard(5, shard, kShards, kUniverse);
+    while (const auto value = iterator.next_value()) {
+      ++seen[*value];
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kUniverse);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int count) { return count == 1; }));
+}
+
+TEST(TargetIterator, ShardCycleLengthsSumToGroupOrder) {
+  constexpr std::uint32_t kShards = 7;
+  const std::uint64_t order = kPermutationPrime - 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    total += (order - shard + kShards - 1) / kShards;
+  }
+  EXPECT_EQ(total, order);
+}
+
+TEST(TargetIterator, AddressesCoverLowAndHighSpace) {
+  // The permutation must not be biased away from any region: after a
+  // modest number of draws we should have seen all 8 top-octant classes.
+  TargetIterator iterator(3);
+  std::unordered_set<std::uint32_t> octants;
+  for (int i = 0; i < 1000 && octants.size() < 8; ++i) {
+    const auto addr = iterator.next();
+    ASSERT_TRUE(addr.has_value());
+    octants.insert(addr->value() >> 29);
+  }
+  EXPECT_EQ(octants.size(), 8u);
+}
+
+}  // namespace
+}  // namespace tass::scan
