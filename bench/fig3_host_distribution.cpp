@@ -40,7 +40,9 @@ int main() {
           any = any || histogram[static_cast<std::size_t>(length)] > 0;
         }
         if (!any) continue;
-        std::vector<std::string> row{"/" + std::to_string(length)};
+        std::string label = "/";
+        label += std::to_string(length);
+        std::vector<std::string> row{std::move(label)};
         for (const auto& histogram : histograms) {
           row.push_back(report::Table::cell(
               histogram[static_cast<std::size_t>(length)]));

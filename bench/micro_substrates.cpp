@@ -1,11 +1,13 @@
 // Micro-benchmarks for the substrate hot paths (google-benchmark):
 // trie longest-prefix match, deaggregation, the ZMap permutation step,
-// interval-set algebra, density ranking and selection, and snapshot
-// membership — the operations every TASS scan cycle is built from.
+// interval-set algebra, density ranking and selection, snapshot
+// membership and the bitmap index behind the batched oracle — the
+// operations every TASS scan cycle is built from.
 #include <benchmark/benchmark.h>
 
 #include "bgp/deaggregate.hpp"
 #include "census/population.hpp"
+#include "census/snapshot_index.hpp"
 #include "census/topology.hpp"
 #include "core/ranking.hpp"
 #include "core/selection.hpp"
@@ -13,6 +15,7 @@
 #include "scan/target_iterator.hpp"
 #include "trie/prefix_set.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -156,5 +159,57 @@ void BM_SnapshotContains(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SnapshotContains);
+
+const census::SnapshotIndex& shared_index() {
+  static const census::SnapshotIndex index(shared_snapshot());
+  return index;
+}
+
+void BM_SnapshotIndexContains(benchmark::State& state) {
+  const auto& index = shared_index();
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const net::Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    benchmark::DoNotOptimize(index.contains(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotIndexContains);
+
+void BM_SnapshotIndexCountPerCell(benchmark::State& state) {
+  // The batched oracle question the enumerate path asks: hosts per
+  // m-cell, answered by masked popcount word scans.
+  const auto topology = shared_topology();
+  const auto& index = shared_index();
+  std::uint64_t addresses = 0;
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (std::uint32_t cell = 0; cell < topology->m_partition.size();
+         ++cell) {
+      const net::Interval interval =
+          net::Interval::of(topology->m_partition.prefix(cell));
+      total += index.count_responsive(interval);
+      addresses += interval.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  // Throughput in addresses covered, comparable to per-address probing.
+  state.SetItemsProcessed(static_cast<std::int64_t>(addresses));
+}
+BENCHMARK(BM_SnapshotIndexCountPerCell);
+
+void BM_ThreadPoolForEachShard(benchmark::State& state) {
+  // Dispatch overhead of one parallel region (empty shards).
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    pool.for_each_shard(64, [](std::size_t shard) {
+      benchmark::DoNotOptimize(shard);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          64);
+}
+BENCHMARK(BM_ThreadPoolForEachShard)->Arg(1)->Arg(4);
 
 }  // namespace

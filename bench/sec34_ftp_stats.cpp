@@ -36,8 +36,9 @@ int main() {
   for (const core::PrefixMode mode :
        {core::PrefixMode::kLess, core::PrefixMode::kMore}) {
     const auto ranking = core::rank_by_density(seed, mode);
-    const std::string tag =
-        "[" + std::string(core::prefix_mode_name(mode)) + "] ";
+    std::string tag = "[";
+    tag += core::prefix_mode_name(mode);
+    tag += "] ";
 
     core::SelectionParams full;
     full.phi = 1.0;

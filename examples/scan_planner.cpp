@@ -112,5 +112,23 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", addr->to_string().c_str());
     ++shown;
   }
+
+  // 6. Dry-run the plan: replay one cycle against the seed snapshot with
+  //    the sharded engine's estimate path (batched bitmap counts, one
+  //    shard slot per scope chunk, process-wide thread pool) — only the
+  //    totals matter for planning, so no hitlist is materialised.
+  scan::EngineConfig engine_config;
+  engine_config.order = scan::EngineConfig::Order::kEnumerate;
+  engine_config.threads = 0;  // all hardware threads
+  const scan::SnapshotOracle oracle(seed);
+  const scan::ScanStats dry_run =
+      scan::ScanEngine(engine_config).estimate(scope, oracle);
+  std::printf(
+      "\ndry run vs seed snapshot (%u threads): %llu probes, %llu hits, "
+      "hitrate %.4f\n",
+      util::ThreadPool::shared().thread_count(),
+      static_cast<unsigned long long>(dry_run.probes_sent),
+      static_cast<unsigned long long>(dry_run.responses),
+      dry_run.hitrate());
   return 0;
 }

@@ -1,17 +1,69 @@
 #include "core/attribution.hpp"
 
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
 namespace tass::core {
 
-Attribution attribute(std::span<const std::uint32_t> addresses,
-                      const bgp::PrefixPartition& partition) {
-  Attribution result;
-  result.counts.assign(partition.size(), 0);
+namespace {
+
+// Sequential kernel shared by the one-thread path and each shard.
+void attribute_range(std::span<const std::uint32_t> addresses,
+                     const bgp::PrefixPartition& partition,
+                     Attribution& out) {
   for (const std::uint32_t address : addresses) {
     if (const auto cell = partition.locate(net::Ipv4Address(address))) {
-      ++result.counts[*cell];
-      ++result.attributed;
+      ++out.counts[*cell];
+      ++out.attributed;
     } else {
-      ++result.unattributed;
+      ++out.unattributed;
+    }
+  }
+}
+
+}  // namespace
+
+Attribution attribute(std::span<const std::uint32_t> addresses,
+                      const bgp::PrefixPartition& partition,
+                      const AttributionConfig& config) {
+  Attribution result;
+  result.counts.assign(partition.size(), 0);
+
+  // Each shard owns a dense per-cell count vector, and the merge costs
+  // O(shards * cells); cap the fan-out so the slot arrays stay within a
+  // fixed memory budget however large the partition is. The cap depends
+  // only on the inputs, so results stay thread-count invariant.
+  constexpr std::uint64_t kSlotMemoryBudget = 64ULL << 20;  // bytes
+  const std::uint64_t cells = std::max<std::uint64_t>(1, partition.size());
+  const std::size_t max_shards = static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(
+          kSlotMemoryBudget / (cells * sizeof(std::uint32_t)), 1, 1024));
+  const std::size_t shards = util::shard_count_for(
+      addresses.size(),
+      std::max<std::uint64_t>(1, config.min_addresses_per_shard),
+      max_shards);
+  if (config.threads == 1 || shards == 1) {
+    attribute_range(addresses, partition, result);
+    return result;
+  }
+
+  std::vector<Attribution> slots(shards);
+  for (Attribution& slot : slots) slot.counts.assign(partition.size(), 0);
+  util::run_chunks(config.threads, 0, addresses.size(), shards,
+                   [&](std::size_t shard, std::uint64_t lo,
+                       std::uint64_t hi) {
+                     attribute_range(
+                         addresses.subspan(static_cast<std::size_t>(lo),
+                                           static_cast<std::size_t>(hi - lo)),
+                         partition, slots[shard]);
+                   });
+
+  for (const Attribution& slot : slots) {
+    result.attributed += slot.attributed;
+    result.unattributed += slot.unattributed;
+    for (std::size_t i = 0; i < result.counts.size(); ++i) {
+      result.counts[i] += slot.counts[i];
     }
   }
   return result;

@@ -1,6 +1,9 @@
 #include "core/evaluate.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tass::core {
 
@@ -37,7 +40,8 @@ double StrategyEvaluation::efficiency_vs_full() const noexcept {
 }
 
 StrategyEvaluation evaluate(const Strategy& strategy,
-                            const census::CensusSeries& series) {
+                            const census::CensusSeries& series,
+                            const EvaluationConfig& config) {
   StrategyEvaluation evaluation;
   evaluation.strategy = strategy.name();
   evaluation.advertised_addresses =
@@ -45,7 +49,13 @@ StrategyEvaluation evaluate(const Strategy& strategy,
   const scan::CostModel cost =
       scan::CostModel::for_protocol(series.protocol());
 
-  for (const census::Snapshot& truth : series.months()) {
+  // Every month is an independent replay of the same (immutable) strategy
+  // against that month's ground truth, so the longitudinal loop fans out
+  // one shard per month; each shard fills its own slot.
+  const auto months = series.months();
+  evaluation.cycles.resize(months.size());
+  const auto run_cycle = [&](std::size_t month) {
+    const census::Snapshot& truth = months[month];
     CycleResult cycle;
     cycle.month_index = truth.month_index();
     cycle.month = census::month_label(truth.month_index());
@@ -53,27 +63,42 @@ StrategyEvaluation evaluate(const Strategy& strategy,
     cycle.total_hosts = truth.total_hosts();
     cycle.scanned_addresses = strategy.scanned_addresses();
     cycle.packets = cost.packets(cycle.scanned_addresses, cycle.found_hosts);
-    evaluation.cycles.push_back(std::move(cycle));
-  }
+    evaluation.cycles[month] = std::move(cycle);
+  };
+  util::run_shards(config.threads, months.size(), run_cycle);
   return evaluation;
 }
 
 PaperComparison evaluate_paper_strategies(const census::CensusSeries& series,
-                                          std::span<const double> phis) {
+                                          std::span<const double> phis,
+                                          const EvaluationConfig& config) {
   TASS_EXPECTS(series.month_count() >= 1);
   const census::Snapshot& seed = series.month(0);
 
   PaperComparison comparison;
-  comparison.full = evaluate(FullScanStrategy(seed), series);
-  comparison.hitlist = evaluate(HitlistStrategy(seed), series);
+  comparison.full = evaluate(FullScanStrategy(seed), series, config);
+  comparison.hitlist = evaluate(HitlistStrategy(seed), series, config);
+
+  // The TASS grid is a set of independent (mode, phi) seedings; build and
+  // evaluate each point in its own slot. Nested parallelism (the inner
+  // per-month fan-out of evaluate()) is fine: the pool is reentrant.
+  std::vector<std::pair<PrefixMode, double>> grid;
   for (const PrefixMode mode : {PrefixMode::kLess, PrefixMode::kMore}) {
-    for (const double phi : phis) {
-      SelectionParams params;
-      params.phi = phi;
-      const TassStrategy tass(seed, mode, params);
-      comparison.tass.push_back(evaluate(tass, series));
-    }
+    for (const double phi : phis) grid.emplace_back(mode, phi);
   }
+  comparison.tass.resize(grid.size());
+  // With a dedicated pool (threads = N > 1) the grid points already
+  // occupy all N threads, so the inner per-month loops run inline rather
+  // than each spawning another dedicated pool. The shared pool (0) is
+  // reentrant and bounded, so nesting is fine there.
+  EvaluationConfig inner = config;
+  if (config.threads > 1) inner.threads = 1;
+  util::run_shards(config.threads, grid.size(), [&](std::size_t point) {
+    SelectionParams params;
+    params.phi = grid[point].second;
+    const TassStrategy tass(seed, grid[point].first, params);
+    comparison.tass[point] = evaluate(tass, series, inner);
+  });
   return comparison;
 }
 

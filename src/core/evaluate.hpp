@@ -51,10 +51,20 @@ struct StrategyEvaluation {
   double efficiency_vs_full() const noexcept;
 };
 
+/// Parallelism knob for evaluate(): months are independent replays, so
+/// the cycle loop fans out one shard per month and writes each
+/// CycleResult into its month slot (deterministic for any thread count).
+/// Strategy implementations must be const-thread-safe; all built-ins are.
+struct EvaluationConfig {
+  /// 1 = calling thread only; 0 = process-wide pool; N = dedicated pool.
+  unsigned threads = 0;
+};
+
 /// Replays `strategy` against every month of the series. The packet
 /// accounting uses the protocol's handshake cost model.
 StrategyEvaluation evaluate(const Strategy& strategy,
-                            const census::CensusSeries& series);
+                            const census::CensusSeries& series,
+                            const EvaluationConfig& config = {});
 
 /// Convenience: evaluates the paper's Figure 5/6 strategy set (full scan,
 /// hitlist, TASS l/m at the given phi values) in one call.
@@ -65,6 +75,7 @@ struct PaperComparison {
 };
 
 PaperComparison evaluate_paper_strategies(const census::CensusSeries& series,
-                                          std::span<const double> phis);
+                                          std::span<const double> phis,
+                                          const EvaluationConfig& config = {});
 
 }  // namespace tass::core

@@ -28,6 +28,9 @@
 
 namespace tass::core {
 
+/// Implementations must be immutable after construction (const methods
+/// thread-safe): the longitudinal evaluator replays months concurrently
+/// against one strategy instance.
 class Strategy {
  public:
   virtual ~Strategy() = default;

@@ -5,6 +5,14 @@
 // pulls in the paper's pipeline end to end: routing-table ingestion
 // (pfx2as / MRT), deaggregation, census simulation, density ranking,
 // prefix selection, scanning strategies and the longitudinal evaluator.
+//
+// The hot path runs on a parallel substrate: util::ThreadPool shards
+// work deterministically (results are bit-identical for any thread
+// count), census::SnapshotIndex turns per-address oracle probes into
+// masked-popcount bitmap scans, and the scan engine, attribution and
+// evaluation stages all fan out over the process-wide pool. Threading
+// knobs: scan::EngineConfig::threads, core::AttributionConfig::threads,
+// core::EvaluationConfig::threads (1 = sequential, 0 = hardware).
 #pragma once
 
 #include "bgp/aggregate.hpp"
@@ -21,6 +29,7 @@
 #include "census/quality.hpp"
 #include "census/series.hpp"
 #include "census/snapshot.hpp"
+#include "census/snapshot_index.hpp"
 #include "census/topology.hpp"
 #include "core/attribution.hpp"
 #include "core/estimator.hpp"
@@ -40,3 +49,4 @@
 #include "scan/ratelimit.hpp"
 #include "scan/scope.hpp"
 #include "scan/target_iterator.hpp"
+#include "util/thread_pool.hpp"

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "scan/target_iterator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tass::scan {
+
+std::uint64_t ProbeOracle::count_responsive(net::Interval interval) const {
+  std::uint64_t count = 0;
+  const std::uint64_t last = interval.last.value();
+  for (std::uint64_t value = interval.first.value(); value <= last; ++value) {
+    if (responds(net::Ipv4Address(static_cast<std::uint32_t>(value)))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ProbeOracle::collect_responsive(net::Interval interval,
+                                     std::vector<std::uint32_t>& out) const {
+  const std::uint64_t last = interval.last.value();
+  for (std::uint64_t value = interval.first.value(); value <= last; ++value) {
+    const net::Ipv4Address addr(static_cast<std::uint32_t>(value));
+    if (responds(addr)) out.push_back(addr.value());
+  }
+}
 
 ScanResult ScanEngine::run(const ScanScope& scope,
                            const ProbeOracle& oracle) const {
@@ -27,7 +48,8 @@ ScanResult ScanEngine::run_permutation(const ScanScope& scope,
   if (scope.empty()) return result;
   // Permute the dense scope offsets (ZMap sizes its cyclic group to the
   // whitelist the same way), so cost is linear in the scope, not in the
-  // whole address space.
+  // whole address space. Stays sequential: the probe order *is* the
+  // semantics of this path.
   const net::AddressIndexer indexer(scope.targets());
   TargetIterator targets(config_.seed, indexer.size());
   while (const auto offset = targets.next_value()) {
@@ -44,20 +66,118 @@ ScanResult ScanEngine::run_permutation(const ScanScope& scope,
   return result;
 }
 
+namespace {
+
+// Cumulative address counts: entry i = scope addresses before interval i.
+std::vector<std::uint64_t> prefix_counts(
+    std::span<const net::Interval> intervals) {
+  std::vector<std::uint64_t> cumulative(intervals.size() + 1, 0);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    cumulative[i + 1] = cumulative[i] + intervals[i].size();
+  }
+  return cumulative;
+}
+
+// Visits, in address order, the sub-intervals covering the dense scope
+// ranks [lo, hi) — the one place the rank-to-address arithmetic lives;
+// both the run (collect) and estimate (count) shards walk through here.
+template <typename Fn>
+void for_each_subinterval(std::span<const net::Interval> intervals,
+                          std::span<const std::uint64_t> cumulative,
+                          std::uint64_t lo, std::uint64_t hi, Fn&& fn) {
+  std::size_t index = static_cast<std::size_t>(
+      std::upper_bound(cumulative.begin(), cumulative.end(), lo) -
+      cumulative.begin() - 1);
+  std::uint64_t pos = lo;
+  while (pos < hi) {
+    const net::Interval& interval = intervals[index];
+    const std::uint64_t first =
+        interval.first.value() + (pos - cumulative[index]);
+    const std::uint64_t last =
+        std::min<std::uint64_t>(interval.last.value(),
+                                interval.first.value() +
+                                    (hi - 1 - cumulative[index]));
+    fn(net::Interval{net::Ipv4Address(static_cast<std::uint32_t>(first)),
+                     net::Ipv4Address(static_cast<std::uint32_t>(last))});
+    pos += last - first + 1;
+    ++index;
+  }
+}
+
+}  // namespace
+
+ScanStats ScanEngine::estimate(const ScanScope& scope,
+                               const ProbeOracle& oracle) const {
+  ScanStats stats;
+  const std::uint64_t total = scope.address_count();
+  stats.probes_sent = total;
+  const std::span<const net::Interval> intervals = scope.targets().intervals();
+  const std::size_t shards = util::shard_count_for(
+      total, std::max<std::uint64_t>(1, config_.min_addresses_per_shard));
+
+  if (config_.threads == 1 || shards == 1) {
+    for (const net::Interval& interval : intervals) {
+      stats.responses += oracle.count_responsive(interval);
+    }
+  } else {
+    const auto cumulative = prefix_counts(intervals);
+    std::vector<std::uint64_t> slots(shards, 0);
+    util::run_chunks(
+        config_.threads, 0, total, shards,
+        [&](std::size_t shard, std::uint64_t lo, std::uint64_t hi) {
+          for_each_subinterval(intervals, cumulative, lo, hi,
+                               [&](net::Interval sub) {
+                                 slots[shard] +=
+                                     oracle.count_responsive(sub);
+                               });
+        });
+    for (const std::uint64_t slot : slots) stats.responses += slot;
+  }
+  stats.packets = config_.cost.packets(stats.probes_sent, stats.responses);
+  return stats;
+}
+
 ScanResult ScanEngine::run_enumerated(const ScanScope& scope,
                                       const ProbeOracle& oracle) const {
   ScanResult result;
-  for (const net::Interval& interval : scope.targets().intervals()) {
-    const std::uint64_t first = interval.first.value();
-    const std::uint64_t last = interval.last.value();
-    for (std::uint64_t value = first; value <= last; ++value) {
-      const net::Ipv4Address addr(static_cast<std::uint32_t>(value));
-      ++result.stats.probes_sent;
-      if (oracle.responds(addr)) {
-        ++result.stats.responses;
-        result.responsive.push_back(addr.value());
-      }
+  const std::uint64_t total = scope.address_count();
+  result.stats.probes_sent = total;
+  const std::span<const net::Interval> intervals = scope.targets().intervals();
+  const std::size_t shards = util::shard_count_for(
+      total, std::max<std::uint64_t>(1, config_.min_addresses_per_shard));
+
+  if (config_.threads == 1 || shards == 1) {
+    for (const net::Interval& interval : intervals) {
+      oracle.collect_responsive(interval, result.responsive);
     }
+  } else {
+    const auto cumulative = prefix_counts(intervals);
+    std::vector<std::vector<std::uint32_t>> slots(shards);
+    util::run_chunks(
+        config_.threads, 0, total, shards,
+        [&](std::size_t shard, std::uint64_t lo, std::uint64_t hi) {
+          for_each_subinterval(intervals, cumulative, lo, hi,
+                               [&](net::Interval sub) {
+                                 oracle.collect_responsive(sub,
+                                                           slots[shard]);
+                               });
+        });
+    std::size_t found = 0;
+    for (const auto& slot : slots) found += slot.size();
+    result.responsive.reserve(found);
+    for (const auto& slot : slots) {
+      result.responsive.insert(result.responsive.end(), slot.begin(),
+                               slot.end());
+    }
+  }
+  result.stats.responses = result.responsive.size();
+  // Both branches emit in address order (disjoint ascending intervals /
+  // rank-ordered shard slots), so normalising to the documented
+  // "ascending addresses" contract is an O(n) check in practice; the sort
+  // only runs if an oracle's collect_responsive violates its ordering
+  // contract.
+  if (!std::is_sorted(result.responsive.begin(), result.responsive.end())) {
+    std::sort(result.responsive.begin(), result.responsive.end());
   }
   result.stats.packets =
       config_.cost.packets(result.stats.probes_sent, result.stats.responses);

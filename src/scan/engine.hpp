@@ -7,10 +7,18 @@
 //
 //   * kPermutation — the ZMap multiplicative-group permutation sized to
 //     the scope (faithful probe ordering: spreads load across networks);
-//     one modular multiplication + indexer lookup per probe.
-//   * kEnumerate — walks the scope's intervals in address order; same
-//     results, cheapest per probe. The default above a scope-size
-//     threshold where probe order does not matter for simulation.
+//     one modular multiplication + indexer lookup per probe. Always
+//     sequential, so the probe order stays exactly the ZMap cycle.
+//   * kEnumerate — walks the scope's intervals in address order through
+//     the oracle's *batched* interval API; same results, cheapest per
+//     probe. The default above a scope-size threshold where probe order
+//     does not matter for simulation.
+//
+// The enumerate path is sharded: the scope is cut into address chunks
+// whose boundaries depend only on the scope (never on the thread count),
+// each shard accumulates into its own ScanResult slot, and the slots are
+// merged in shard order — so the ScanResult is bit-identical for 1 thread
+// and N threads. Oracles must be const-thread-safe when threads != 1.
 #pragma once
 
 #include <cstdint>
@@ -19,30 +27,57 @@
 
 #include "census/protocol.hpp"
 #include "census/snapshot.hpp"
+#include "census/snapshot_index.hpp"
+#include "net/interval.hpp"
 #include "net/ipv4.hpp"
 #include "scan/scope.hpp"
 
 namespace tass::scan {
 
-/// Answers probe simulations. Implementations must be cheap: the engine
-/// calls this once per in-scope address.
+/// Answers probe simulations. The engine prefers the batched interval
+/// queries on its hot path; the per-address defaults below keep simple
+/// oracles (one virtual call per probe) working unchanged. Implementations
+/// must be cheap, and const-thread-safe if the engine runs multi-threaded.
 class ProbeOracle {
  public:
   virtual ~ProbeOracle() = default;
   virtual bool responds(net::Ipv4Address addr) const = 0;
+
+  /// Number of responsive addresses in the inclusive interval. Default:
+  /// one responds() call per address.
+  virtual std::uint64_t count_responsive(net::Interval interval) const;
+
+  /// Appends the responsive addresses of the inclusive interval to `out`
+  /// in ascending order. Default: one responds() call per address.
+  virtual void collect_responsive(net::Interval interval,
+                                  std::vector<std::uint32_t>& out) const;
 };
 
-/// Oracle backed by a census ground-truth snapshot.
+/// Oracle backed by a census ground-truth snapshot. Builds a
+/// census::SnapshotIndex bitmap once so batched interval queries are
+/// masked popcount word scans instead of per-address binary searches.
 class SnapshotOracle final : public ProbeOracle {
  public:
   explicit SnapshotOracle(const census::Snapshot& snapshot)
-      : snapshot_(&snapshot) {}
+      : snapshot_(&snapshot), index_(snapshot) {}
+
   bool responds(net::Ipv4Address addr) const override {
-    return snapshot_->contains(addr);
+    return index_.contains(addr);
   }
+  std::uint64_t count_responsive(net::Interval interval) const override {
+    return index_.count_responsive(interval);
+  }
+  void collect_responsive(net::Interval interval,
+                          std::vector<std::uint32_t>& out) const override {
+    index_.collect_responsive(interval, out);
+  }
+
+  const census::Snapshot& snapshot() const noexcept { return *snapshot_; }
+  const census::SnapshotIndex& index() const noexcept { return index_; }
 
  private:
   const census::Snapshot* snapshot_;
+  census::SnapshotIndex index_;
 };
 
 /// Packet accounting for one scan cycle. Defaults model a SYN scan with
@@ -98,6 +133,17 @@ struct EngineConfig {
   /// always pays one group step per address of the full space).
   std::uint64_t permutation_threshold = 1ULL << 22;
   CostModel cost;
+
+  /// Enumerate-path parallelism: 1 runs on the calling thread only (safe
+  /// for oracles with mutable per-probe state, e.g. probe counters);
+  /// 0 uses the process-wide pool sized to the hardware; N > 1 runs on a
+  /// dedicated pool of N threads. Results are identical for every value.
+  unsigned threads = 1;
+
+  /// Sharding grain for the enumerate path. Shard boundaries depend only
+  /// on the scope and this value — never on `threads` — which is what
+  /// keeps parallel results bit-identical to sequential ones.
+  std::uint64_t min_addresses_per_shard = 1ULL << 16;
 };
 
 class ScanEngine {
@@ -106,6 +152,12 @@ class ScanEngine {
 
   /// Simulates one scan cycle over the scope.
   ScanResult run(const ScanScope& scope, const ProbeOracle& oracle) const;
+
+  /// Probe/hit/packet accounting for one cycle without materialising the
+  /// responsive-address list: pure count_responsive() sums over the scope
+  /// (sharded like the enumerate path). Same stats as run(), cheaper when
+  /// only the totals matter (planning, capacity estimates).
+  ScanStats estimate(const ScanScope& scope, const ProbeOracle& oracle) const;
 
   const EngineConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tass::util {
+
+std::size_t shard_count_for(std::uint64_t total_items,
+                            std::uint64_t min_items_per_shard,
+                            std::size_t max_shards) noexcept {
+  if (total_items == 0 || max_shards <= 1) return 1;
+  if (min_items_per_shard == 0) min_items_per_shard = 1;
+  const std::uint64_t shards = total_items / min_items_per_shard;
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(shards, 1, max_shards));
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::run_one_shard(Job& job,
+                               const std::function<void(std::size_t)>& fn) {
+  const std::size_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
+  if (shard >= job.shard_count) return false;
+  std::exception_ptr error;
+  try {
+    fn(shard);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error && !job.error) job.error = error;
+  if (++job.completed == job.shard_count) job.done_cv.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    if (stop_) return;
+    const std::shared_ptr<Job> job = jobs_.front();
+    if (job->next.load(std::memory_order_relaxed) >= job->shard_count) {
+      // Exhausted; retire it and look for the next job.
+      jobs_.pop_front();
+      continue;
+    }
+    lock.unlock();
+    run_one_shard(*job, *job->fn);
+    lock.lock();
+  }
+}
+
+void ThreadPool::for_each_shard(std::size_t shard_count,
+                                const std::function<void(std::size_t)>& fn) {
+  if (shard_count == 0) return;
+  if (workers_.empty() || shard_count == 1) {
+    for (std::size_t shard = 0; shard < shard_count; ++shard) fn(shard);
+    return;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->shard_count = shard_count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller participates until no shard is left to claim...
+  while (run_one_shard(*job, fn)) {
+  }
+
+  // ...then waits for shards still in flight on other threads.
+  std::unique_lock<std::mutex> lock(mutex_);
+  job->done_cv.wait(lock,
+                    [&] { return job->completed == job->shard_count; });
+  const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void run_shards(unsigned threads, std::size_t shard_count,
+                const std::function<void(std::size_t)>& fn) {
+  if (threads == 1 || shard_count <= 1) {
+    for (std::size_t shard = 0; shard < shard_count; ++shard) fn(shard);
+  } else if (threads == 0) {
+    ThreadPool::shared().for_each_shard(shard_count, fn);
+  } else {
+    ThreadPool pool(threads);
+    pool.for_each_shard(shard_count, fn);
+  }
+}
+
+}  // namespace tass::util

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "census/population.hpp"
 #include "census/topology.hpp"
 #include "scan/engine.hpp"
@@ -57,6 +59,40 @@ TEST(Attribution, RankScanResultsMatchesSnapshotPath) {
   for (std::size_t i = 0; i < from_scan.ranked.size(); ++i) {
     EXPECT_EQ(from_scan.ranked[i].prefix, from_census.ranked[i].prefix);
     EXPECT_EQ(from_scan.ranked[i].hosts, from_census.ranked[i].hosts);
+  }
+}
+
+TEST(Attribution, ParallelShardingMatchesSequential) {
+  // Per-shard count vectors merged in shard order must equal the
+  // single-threaded tally for any thread count.
+  census::TopologyParams params;
+  params.seed = 29;
+  params.l_prefix_count = 100;
+  const auto topo = census::generate_topology(params);
+  census::PopulationParams pop;
+  pop.host_scale = 0.001;
+  const auto snapshot = census::generate_population(
+      topo, census::protocol_profile(census::Protocol::kHttps), pop);
+  auto addresses = snapshot.addresses();
+  // Sprinkle in unrouted addresses so the unattributed tally is exercised.
+  addresses.push_back(0x01000001u);
+  addresses.push_back(0xFFFFFF01u);
+  std::sort(addresses.begin(), addresses.end());
+
+  core::AttributionConfig sequential;
+  sequential.threads = 1;
+  const auto reference =
+      core::attribute(addresses, topo->m_partition, sequential);
+
+  for (const unsigned threads : {0u, 2u, 8u}) {
+    core::AttributionConfig config;
+    config.threads = threads;
+    config.min_addresses_per_shard = 64;  // force real sharding
+    const auto parallel =
+        core::attribute(addresses, topo->m_partition, config);
+    EXPECT_EQ(parallel.counts, reference.counts) << "threads=" << threads;
+    EXPECT_EQ(parallel.attributed, reference.attributed);
+    EXPECT_EQ(parallel.unattributed, reference.unattributed);
   }
 }
 

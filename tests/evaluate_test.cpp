@@ -80,6 +80,40 @@ TEST(Evaluate, PaperComparisonBundlesAllStrategies) {
   EXPECT_DOUBLE_EQ(comparison.tass[0].cycles[0].hitrate(), 1.0);
 }
 
+TEST(Evaluate, ParallelCycleLoopMatchesSequential) {
+  // The per-month fan-out writes into deterministic slots, so any thread
+  // count reproduces the sequential evaluation exactly.
+  const auto series = make_series(Protocol::kFtp, 5);
+  SelectionParams params;
+  params.phi = 0.95;
+  const TassStrategy strategy(series.month(0), PrefixMode::kMore, params);
+
+  EvaluationConfig sequential;
+  sequential.threads = 1;
+  const auto reference = evaluate(strategy, series, sequential);
+  ASSERT_EQ(reference.cycles.size(), 5u);
+
+  for (const unsigned threads : {0u, 2u, 8u}) {
+    EvaluationConfig config;
+    config.threads = threads;
+    const auto parallel = evaluate(strategy, series, config);
+    ASSERT_EQ(parallel.cycles.size(), reference.cycles.size());
+    for (std::size_t i = 0; i < reference.cycles.size(); ++i) {
+      EXPECT_EQ(parallel.cycles[i].month_index,
+                reference.cycles[i].month_index);
+      EXPECT_EQ(parallel.cycles[i].month, reference.cycles[i].month);
+      EXPECT_EQ(parallel.cycles[i].found_hosts,
+                reference.cycles[i].found_hosts);
+      EXPECT_EQ(parallel.cycles[i].total_hosts,
+                reference.cycles[i].total_hosts);
+      EXPECT_EQ(parallel.cycles[i].scanned_addresses,
+                reference.cycles[i].scanned_addresses);
+      EXPECT_DOUBLE_EQ(parallel.cycles[i].packets,
+                       reference.cycles[i].packets);
+    }
+  }
+}
+
 TEST(Evaluate, CycleAccountingIsConsistent) {
   const auto series = make_series(Protocol::kSsh, 3);
   SelectionParams params;

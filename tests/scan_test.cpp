@@ -198,6 +198,139 @@ TEST(ScanEngine, AutoModePicksByScopeSize) {
   EXPECT_EQ(below.probes_.size(), small_scope.address_count());
 }
 
+TEST(ScanEngine, EnumeratedResultsAreSortNormalized) {
+  // The enumerate and permutation paths must be interchangeable: both
+  // emit `responsive` in ascending order whatever the probe order was.
+  census::TopologyParams topo_params;
+  topo_params.seed = 12;
+  topo_params.l_prefix_count = 70;
+  const auto topology = census::generate_topology(topo_params);
+  census::PopulationParams pop_params;
+  pop_params.host_scale = 0.0008;
+  const census::Snapshot snapshot = census::generate_population(
+      topology, census::protocol_profile(census::Protocol::kHttp),
+      pop_params);
+
+  std::vector<net::Prefix> some_cells;
+  for (std::uint32_t cell = 0;
+       cell < topology->m_partition.size() && some_cells.size() < 40;
+       cell += 3) {
+    some_cells.push_back(topology->m_partition.prefix(cell));
+  }
+  const ScanScope scope(some_cells, Blocklist{});
+  const SnapshotOracle oracle(snapshot);
+
+  EngineConfig enumerate;
+  enumerate.order = EngineConfig::Order::kEnumerate;
+  EngineConfig permute;
+  permute.order = EngineConfig::Order::kPermutation;
+  const ScanResult a = ScanEngine(enumerate).run(scope, oracle);
+  const ScanResult b = ScanEngine(permute).run(scope, oracle);
+  EXPECT_TRUE(std::is_sorted(a.responsive.begin(), a.responsive.end()));
+  EXPECT_TRUE(std::is_sorted(b.responsive.begin(), b.responsive.end()));
+  EXPECT_EQ(a.responsive, b.responsive);
+}
+
+TEST(ScanEngine, ResultsAreBitIdenticalAcrossThreadCounts) {
+  // The sharded enumerate path must reproduce the sequential result
+  // exactly for any thread count: shard boundaries depend only on the
+  // scope, and per-shard slots merge in shard order.
+  census::TopologyParams topo_params;
+  topo_params.seed = 77;
+  topo_params.l_prefix_count = 90;
+  const auto topology = census::generate_topology(topo_params);
+  census::PopulationParams pop_params;
+  pop_params.host_scale = 0.001;
+  pop_params.seed = 5;
+  const census::Snapshot snapshot = census::generate_population(
+      topology, census::protocol_profile(census::Protocol::kSsh),
+      pop_params);
+
+  // A multi-interval scope: every third m-cell.
+  std::vector<net::Prefix> cells;
+  for (std::uint32_t cell = 0; cell < topology->m_partition.size();
+       cell += 3) {
+    cells.push_back(topology->m_partition.prefix(cell));
+  }
+  const ScanScope scope(cells, Blocklist{});
+  const SnapshotOracle oracle(snapshot);
+
+  // Legacy reference: one virtual membership probe per in-scope address.
+  ScanResult reference;
+  for (const net::Interval& interval : scope.targets().intervals()) {
+    const std::uint64_t last = interval.last.value();
+    for (std::uint64_t value = interval.first.value(); value <= last;
+         ++value) {
+      const net::Ipv4Address addr(static_cast<std::uint32_t>(value));
+      ++reference.stats.probes_sent;
+      if (snapshot.contains(addr)) {
+        ++reference.stats.responses;
+        reference.responsive.push_back(addr.value());
+      }
+    }
+  }
+
+  EngineConfig config;
+  config.order = EngineConfig::Order::kEnumerate;
+  config.min_addresses_per_shard = 1 << 10;  // force many shards
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    const ScanResult result = ScanEngine(config).run(scope, oracle);
+    EXPECT_EQ(result.responsive, reference.responsive)
+        << "threads=" << threads;
+    EXPECT_EQ(result.stats.probes_sent, reference.stats.probes_sent);
+    EXPECT_EQ(result.stats.responses, reference.stats.responses);
+  }
+}
+
+TEST(ScanEngine, EstimateMatchesRunStats) {
+  // estimate() is the count-only twin of the enumerate path: identical
+  // probe/hit/packet accounting, no hitlist, any thread count.
+  census::TopologyParams topo_params;
+  topo_params.seed = 31;
+  topo_params.l_prefix_count = 70;
+  const auto topology = census::generate_topology(topo_params);
+  census::PopulationParams pop_params;
+  pop_params.host_scale = 0.001;
+  const census::Snapshot snapshot = census::generate_population(
+      topology, census::protocol_profile(census::Protocol::kHttps),
+      pop_params);
+
+  std::vector<net::Prefix> cells;
+  for (std::uint32_t cell = 0; cell < topology->m_partition.size();
+       cell += 2) {
+    cells.push_back(topology->m_partition.prefix(cell));
+  }
+  const ScanScope scope(cells, Blocklist{});
+  const SnapshotOracle oracle(snapshot);
+
+  EngineConfig config;
+  config.order = EngineConfig::Order::kEnumerate;
+  config.min_addresses_per_shard = 1 << 10;
+  const ScanResult full = ScanEngine(config).run(scope, oracle);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    const ScanStats stats = ScanEngine(config).estimate(scope, oracle);
+    EXPECT_EQ(stats.probes_sent, full.stats.probes_sent);
+    EXPECT_EQ(stats.responses, full.stats.responses);
+    EXPECT_DOUBLE_EQ(stats.packets, full.stats.packets);
+  }
+}
+
+TEST(ScanEngine, DefaultOracleBatchingPreservesPerProbeCounting) {
+  // Oracles that do not override the batched API still see exactly one
+  // responds() call per in-scope address on the enumerate path.
+  const std::vector<Prefix> whitelist = {
+      Prefix::parse_or_throw("100.64.0.0/20")};
+  const ScanScope scope(whitelist, Blocklist{});
+  const CountingOracle oracle({});
+  EngineConfig config;
+  config.order = EngineConfig::Order::kEnumerate;
+  const ScanResult result = ScanEngine(config).run(scope, oracle);
+  EXPECT_EQ(oracle.probes_, scope.address_count());
+  EXPECT_EQ(result.stats.probes_sent, scope.address_count());
+}
+
 TEST(CostModel, PerProtocolHandshakes) {
   const CostModel ftp = CostModel::for_protocol(census::Protocol::kFtp);
   const CostModel https = CostModel::for_protocol(census::Protocol::kHttps);

@@ -1,0 +1,172 @@
+// Tests for census/snapshot_index: the paged bitmap behind the batched
+// scan oracle. Counts and collections are cross-checked against
+// brute-force per-address membership on interval edge cases.
+#include "census/snapshot_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "census/population.hpp"
+#include "census/snapshot.hpp"
+#include "census/topology.hpp"
+#include "util/rng.hpp"
+
+namespace tass::census {
+namespace {
+
+using net::Interval;
+using net::Ipv4Address;
+
+// Brute force: membership test per address of the inclusive interval.
+std::uint64_t brute_count(const std::vector<std::uint32_t>& sorted,
+                          Interval interval) {
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(),
+                                   interval.first.value());
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(),
+                                   interval.last.value());
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::vector<std::uint32_t> random_addresses(std::uint64_t seed,
+                                            std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> addresses;
+  addresses.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Cluster half the draws into one /16 so full pages, word boundaries
+    // and sparse pages all occur.
+    const bool clustered = rng.chance(0.5);
+    const std::uint32_t base = clustered ? 0x0A0A0000u : 0;
+    const std::uint64_t span = clustered ? 1ULL << 16 : 1ULL << 32;
+    addresses.push_back(base +
+                        static_cast<std::uint32_t>(rng.bounded(span)));
+  }
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()),
+                  addresses.end());
+  return addresses;
+}
+
+TEST(SnapshotIndex, ContainsMatchesTheAddressList) {
+  const auto addresses = random_addresses(7, 4000);
+  const SnapshotIndex index(addresses);
+  EXPECT_EQ(index.total_responsive(), addresses.size());
+
+  for (const std::uint32_t addr : addresses) {
+    EXPECT_TRUE(index.contains(Ipv4Address(addr)));
+  }
+  util::Rng rng(8);
+  for (int i = 0; i < 4000; ++i) {
+    const auto addr =
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    EXPECT_EQ(index.contains(Ipv4Address(addr)),
+              std::binary_search(addresses.begin(), addresses.end(), addr));
+  }
+}
+
+TEST(SnapshotIndex, CountMatchesBruteForceOnEdgeCaseIntervals) {
+  const auto addresses = random_addresses(21, 6000);
+  const SnapshotIndex index(addresses);
+
+  std::vector<Interval> cases;
+  // Single addresses: present and absent.
+  cases.push_back({Ipv4Address(addresses.front()),
+                   Ipv4Address(addresses.front())});
+  cases.push_back({Ipv4Address(addresses.front() + 1),
+                   Ipv4Address(addresses.front() + 1)});
+  // Word boundaries: intervals starting/ending exactly on bit 0/63 of a
+  // 64-bit word, and one-word spans.
+  const std::uint32_t word_base = 0x0A0A0000u + 5 * 64;
+  cases.push_back({Ipv4Address(word_base), Ipv4Address(word_base + 63)});
+  cases.push_back({Ipv4Address(word_base + 63), Ipv4Address(word_base + 64)});
+  cases.push_back({Ipv4Address(word_base + 1), Ipv4Address(word_base + 62)});
+  // A full /16 (exactly one page), and intervals straddling page edges.
+  cases.push_back({Ipv4Address(0x0A0A0000u), Ipv4Address(0x0A0AFFFFu)});
+  cases.push_back({Ipv4Address(0x0A09FFF0u), Ipv4Address(0x0A0A000Fu)});
+  cases.push_back({Ipv4Address(0x0A0AFFFFu), Ipv4Address(0x0A0B0000u)});
+  // Extremes of the address space.
+  cases.push_back({Ipv4Address(0), Ipv4Address(0)});
+  cases.push_back({Ipv4Address(~0u), Ipv4Address(~0u)});
+  cases.push_back(Interval::full_space());
+  // Randomised intervals of mixed widths.
+  util::Rng rng(22);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    const std::uint64_t width = rng.bounded(1ULL << (8 + rng.bounded(16)));
+    const auto b = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(a + width, 0xFFFFFFFFu));
+    cases.push_back({Ipv4Address(a), Ipv4Address(b)});
+  }
+
+  for (const Interval& interval : cases) {
+    EXPECT_EQ(index.count_responsive(interval),
+              brute_count(addresses, interval))
+        << interval.first.value() << "-" << interval.last.value();
+  }
+}
+
+TEST(SnapshotIndex, CollectMatchesBruteForceAndIsAscending) {
+  const auto addresses = random_addresses(33, 3000);
+  const SnapshotIndex index(addresses);
+
+  util::Rng rng(34);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    const std::uint64_t width = rng.bounded(1ULL << 20);
+    const auto b = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(a + width, 0xFFFFFFFFu));
+    const Interval interval{Ipv4Address(a), Ipv4Address(b)};
+
+    std::vector<std::uint32_t> collected;
+    index.collect_responsive(interval, collected);
+    EXPECT_TRUE(std::is_sorted(collected.begin(), collected.end()));
+
+    const auto lo = std::lower_bound(addresses.begin(), addresses.end(), a);
+    const auto hi = std::upper_bound(addresses.begin(), addresses.end(), b);
+    EXPECT_TRUE(std::equal(collected.begin(), collected.end(), lo, hi));
+  }
+}
+
+TEST(SnapshotIndex, FullSpaceCollectReturnsEveryAddress) {
+  const auto addresses = random_addresses(55, 2000);
+  const SnapshotIndex index(addresses);
+  std::vector<std::uint32_t> collected;
+  index.collect_responsive(Interval::full_space(), collected);
+  EXPECT_EQ(collected, addresses);
+  EXPECT_EQ(index.count_responsive(Interval::full_space()),
+            addresses.size());
+}
+
+TEST(SnapshotIndex, AgreesWithSnapshotContains) {
+  census::TopologyParams params;
+  params.seed = 11;
+  params.l_prefix_count = 60;
+  const auto topo = generate_topology(params);
+  PopulationParams pop;
+  pop.host_scale = 0.0005;
+  const Snapshot snapshot = generate_population(
+      topo, protocol_profile(Protocol::kHttp), pop);
+
+  const SnapshotIndex index(snapshot);
+  EXPECT_EQ(index.total_responsive(), snapshot.total_hosts());
+  snapshot.for_each_address([&](Ipv4Address addr) {
+    EXPECT_TRUE(index.contains(addr));
+  });
+  util::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    EXPECT_EQ(index.contains(addr), snapshot.contains(addr));
+  }
+  // Per-cell counts through the bitmap equal the snapshot's own counts.
+  const auto counts = snapshot.counts_per_cell();
+  for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
+    const net::Prefix prefix = topo->m_partition.prefix(cell);
+    EXPECT_EQ(index.count_responsive(Interval::of(prefix)), counts[cell]);
+  }
+}
+
+}  // namespace
+}  // namespace tass::census

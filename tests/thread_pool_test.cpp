@@ -1,0 +1,124 @@
+// Tests for util/thread_pool: exact shard coverage, deterministic chunk
+// boundaries, caller participation, nesting and exception propagation —
+// the guarantees the parallel scan pipeline is built on.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tass::util {
+namespace {
+
+TEST(ShardCountFor, ScalesWithWorkloadNotPool) {
+  EXPECT_EQ(shard_count_for(0, 100), 1u);
+  EXPECT_EQ(shard_count_for(99, 100), 1u);
+  EXPECT_EQ(shard_count_for(100, 100), 1u);
+  EXPECT_EQ(shard_count_for(1000, 100), 10u);
+  EXPECT_EQ(shard_count_for(1'000'000, 100, 64), 64u);  // capped
+  EXPECT_EQ(shard_count_for(42, 0), 42u);  // zero grain treated as 1
+}
+
+TEST(ThreadPool, RunsEveryShardExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(137);
+    pool.for_each_shard(hits.size(), [&](std::size_t shard) {
+      hits[shard].fetch_add(1);
+    });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksCoverTheRangeExactly) {
+  ThreadPool pool(4);
+  // Chunk boundaries must tile [begin, end) without gaps or overlaps and
+  // be identical for any pool size (they depend only on the arguments).
+  const std::uint64_t begin = 1000;
+  const std::uint64_t end = 1000 + 12345;
+  std::vector<std::atomic<int>> touched(12345);
+  pool.parallel_for(begin, end, 16,
+                    [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                      EXPECT_LT(lo, hi);
+                      for (std::uint64_t i = lo; i < hi; ++i) {
+                        touched[i - begin].fetch_add(1);
+                      }
+                    });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesAreDeterministic) {
+  // Record the boundaries with two differently-sized pools; they must
+  // agree because the merge-order determinism of the pipeline depends on
+  // it.
+  const auto boundaries = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks(7);
+    pool.parallel_for(3, 1000, 7,
+                      [&](std::size_t shard, std::uint64_t lo,
+                          std::uint64_t hi) { chunks[shard] = {lo, hi}; });
+    return chunks;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(8));
+}
+
+TEST(ThreadPool, ShardCountLargerThanRangeIsClamped) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 2, 100,
+                    [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                      EXPECT_EQ(hi, lo + 1);
+                      calls.fetch_add(1);
+                    });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.for_each_shard(32,
+                          [&](std::size_t shard) {
+                            if (shard == 7) {
+                              throw std::runtime_error("shard 7 failed");
+                            }
+                            completed.fetch_add(1);
+                          }),
+      std::runtime_error);
+  // The remaining shards still ran to completion.
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(ThreadPool, NestedRegionsMakeProgress) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.for_each_shard(8, [&](std::size_t outer) {
+    pool.parallel_for(0, 100, 4,
+                      [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                        sum.fetch_add((hi - lo) * (outer + 1));
+                      });
+  });
+  // sum = 100 * (1 + 2 + ... + 8)
+  EXPECT_EQ(sum.load(), 100u * 36u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<std::uint64_t> sum{0};
+  a.parallel_for(0, 1'000, 13,
+                 [&](std::size_t, std::uint64_t lo, std::uint64_t hi) {
+                   std::uint64_t local = 0;
+                   for (std::uint64_t i = lo; i < hi; ++i) local += i;
+                   sum.fetch_add(local);
+                 });
+  EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+}  // namespace
+}  // namespace tass::util
