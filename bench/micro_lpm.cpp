@@ -1,0 +1,179 @@
+// LPM substrate micro-benchmark: legacy bitwise PrefixTrie vs the flat
+// trie::LpmIndex, on a full-RIB-sized synthetic table (~700k prefixes with
+// a realistic length distribution).
+//
+// Plain executable (no google-benchmark dependency) so it always builds
+// and can double as a ctest smoke test. Prints one machine-readable JSON
+// object on stdout for BENCH tracking; human-readable notes go to stderr.
+// Exits non-zero if the two engines ever disagree — the benchmark is also
+// a sampled correctness check.
+//
+// Usage: micro_lpm [--prefixes N] [--lookups M] [--seed S]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "trie/lpm_index.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// RIB-shaped prefix table: bulk in /16../24 (half of a real table is /24),
+// a few short covers, a thin tail of more-specifics.
+std::vector<trie::LpmIndex::Entry> synthesize_table(std::size_t count,
+                                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<trie::LpmIndex::Entry> table;
+  table.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.uniform();
+    int length;
+    if (roll < 0.03) {
+      length = 8 + static_cast<int>(rng.bounded(7));
+    } else if (roll < 0.45) {
+      length = 15 + static_cast<int>(rng.bounded(7));
+    } else if (roll < 0.98) {
+      length = 22 + static_cast<int>(rng.bounded(3));
+    } else {
+      length = 25 + static_cast<int>(rng.bounded(8));
+    }
+    const auto network = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+    table.push_back({net::Prefix(net::Ipv4Address(network), length),
+                     static_cast<std::uint32_t>(i & 0xffffff)});
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t prefix_count = 700'000;
+  std::size_t lookup_count = 5'000'000;
+  std::uint64_t seed = 2016;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '%s'\n", argv[i]);
+      return 2;
+    }
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0') {
+      std::fprintf(stderr, "not a number: '%s'\n", argv[i + 1]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--prefixes") == 0) {
+      prefix_count = value;
+    } else if (std::strcmp(argv[i], "--lookups") == 0) {
+      lookup_count = value;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: micro_lpm [--prefixes N] "
+                   "[--lookups M] [--seed S]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  // Degenerate sizes would divide by zero-duration timings (and an empty
+  // lookup set has no .back()); clamp to something measurable.
+  if (prefix_count == 0) prefix_count = 1;
+  if (lookup_count == 0) lookup_count = 1;
+
+  const auto table = synthesize_table(prefix_count, seed);
+
+  auto start = std::chrono::steady_clock::now();
+  trie::PrefixTrie<std::uint32_t> legacy;
+  for (const auto& entry : table) legacy.insert(entry.prefix, entry.value);
+  const double legacy_build_ms = ms_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const trie::LpmIndex index(table);
+  const double lpm_build_ms = ms_since(start);
+
+  // One shared address stream, pre-generated so the RNG is out of the
+  // timed loops.
+  util::Rng addr_rng(util::mix64(seed, 99));
+  std::vector<std::uint32_t> addresses(lookup_count);
+  for (auto& a : addresses) {
+    a = static_cast<std::uint32_t>(addr_rng.bounded(1ULL << 32));
+  }
+
+  // Sampled agreement check before timing anything.
+  for (std::size_t i = 0; i < addresses.size(); i += 37) {
+    const net::Ipv4Address addr(addresses[i]);
+    const auto match = legacy.longest_match(addr);
+    const std::uint32_t want =
+        match ? match->second : trie::LpmIndex::kNoMatch;
+    if (index.lookup(addr) != want) {
+      std::fprintf(stderr, "MISMATCH at %s: lpm=%u legacy=%u\n",
+                   addr.to_string().c_str(), index.lookup(addr), want);
+      return 1;
+    }
+  }
+
+  std::uint64_t sink = 0;
+
+  start = std::chrono::steady_clock::now();
+  for (const std::uint32_t a : addresses) {
+    const auto match = legacy.longest_match(net::Ipv4Address(a));
+    sink += match ? match->second : 0;
+  }
+  const double legacy_lookup_ms = ms_since(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const std::uint32_t a : addresses) {
+    const std::uint32_t value = index.lookup(net::Ipv4Address(a));
+    sink += value != trie::LpmIndex::kNoMatch ? value : 0;
+  }
+  const double lpm_lookup_ms = ms_since(start);
+
+  std::vector<std::uint32_t> batched(addresses.size());
+  start = std::chrono::steady_clock::now();
+  index.lookup_many(addresses, batched);
+  const double lpm_batch_ms = ms_since(start);
+  sink += batched.back();
+
+  const double n = static_cast<double>(lookup_count);
+  const double legacy_rate = n / (legacy_lookup_ms / 1e3);
+  const double lpm_rate = n / (lpm_lookup_ms / 1e3);
+  const double batch_rate = n / (lpm_batch_ms / 1e3);
+
+  std::fprintf(stderr,
+               "# %zu prefixes, %zu lookups (sink=%" PRIu64 ")\n"
+               "# legacy trie : build %.1f ms, %.2f M lookups/s\n"
+               "# LpmIndex    : build %.1f ms, %.2f M lookups/s "
+               "(batched %.2f M/s), %.1f MiB, speedup %.1fx\n",
+               prefix_count, lookup_count, sink, legacy_build_ms,
+               legacy_rate / 1e6, lpm_build_ms, lpm_rate / 1e6,
+               batch_rate / 1e6,
+               static_cast<double>(index.memory_bytes()) / (1024 * 1024),
+               lpm_rate / legacy_rate);
+
+  // Machine-readable record for BENCH tracking (one JSON object).
+  std::printf(
+      "{\"bench\":\"micro_lpm\",\"prefixes\":%zu,\"lookups\":%zu,"
+      "\"seed\":%" PRIu64 ",\"legacy_build_ms\":%.3f,"
+      "\"legacy_lookups_per_sec\":%.0f,\"lpm_build_ms\":%.3f,"
+      "\"lpm_lookups_per_sec\":%.0f,\"lpm_batch_lookups_per_sec\":%.0f,"
+      "\"lpm_memory_bytes\":%zu,\"lpm_nodes\":%zu,\"lpm_leaves\":%zu,"
+      "\"speedup\":%.2f}\n",
+      prefix_count, lookup_count, seed, legacy_build_ms, legacy_rate,
+      lpm_build_ms, lpm_rate, batch_rate, index.memory_bytes(),
+      index.node_count(), index.leaf_count(), lpm_rate / legacy_rate);
+  return 0;
+}

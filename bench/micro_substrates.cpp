@@ -1,8 +1,14 @@
 // Micro-benchmarks for the substrate hot paths (google-benchmark):
-// trie longest-prefix match, deaggregation, the ZMap permutation step,
+// trie longest-prefix match (legacy bitwise trie vs the flat LpmIndex,
+// build and lookup), deaggregation, the ZMap permutation step,
 // interval-set algebra, density ranking and selection, snapshot
 // membership and the bitmap index behind the batched oracle — the
 // operations every TASS scan cycle is built from.
+//
+// For machine-readable output (BENCH tracking), run with
+//   micro_substrates --benchmark_format=json
+// or see bench/micro_lpm.cpp for the standalone full-RIB-scale LPM
+// comparison that always emits JSON.
 #include <benchmark/benchmark.h>
 
 #include "bgp/deaggregate.hpp"
@@ -13,6 +19,7 @@
 #include "core/selection.hpp"
 #include "net/interval.hpp"
 #include "scan/target_iterator.hpp"
+#include "trie/lpm_index.hpp"
 #include "trie/prefix_set.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -67,6 +74,56 @@ void BM_TrieLongestMatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TrieLongestMatch);
+
+void BM_LpmIndexBuild(benchmark::State& state) {
+  const auto topology = shared_topology();
+  const auto prefixes = topology->m_partition.prefixes();
+  for (auto _ : state) {
+    const trie::LpmIndex index = trie::LpmIndex::from_prefixes(prefixes);
+    benchmark::DoNotOptimize(index.prefix_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(prefixes.size()));
+}
+BENCHMARK(BM_LpmIndexBuild);
+
+const trie::LpmIndex& shared_lpm_index() {
+  static const trie::LpmIndex index = trie::LpmIndex::from_prefixes(
+      shared_topology()->m_partition.prefixes());
+  return index;
+}
+
+void BM_LpmIndexLookup(benchmark::State& state) {
+  // Same table and address stream as BM_TrieLongestMatch: the direct
+  // legacy-vs-flat comparison.
+  const auto& index = shared_lpm_index();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const net::Ipv4Address addr(
+        static_cast<std::uint32_t>(rng.bounded(1ULL << 32)));
+    benchmark::DoNotOptimize(index.lookup(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LpmIndexLookup);
+
+void BM_LpmIndexLookupMany(benchmark::State& state) {
+  // The per-shard batched path of the scan pipeline.
+  const auto& index = shared_lpm_index();
+  util::Rng rng(1);
+  std::vector<std::uint32_t> addresses(4096);
+  for (auto& a : addresses) {
+    a = static_cast<std::uint32_t>(rng.bounded(1ULL << 32));
+  }
+  std::vector<std::uint32_t> out(addresses.size());
+  for (auto _ : state) {
+    index.lookup_many(addresses, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(addresses.size()));
+}
+BENCHMARK(BM_LpmIndexLookupMany);
 
 void BM_PartitionLocate(benchmark::State& state) {
   const auto topology = shared_topology();

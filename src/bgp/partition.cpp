@@ -1,40 +1,61 @@
 #include "bgp/partition.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace tass::bgp {
 
 PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
     : prefixes_(std::move(prefixes)) {
-  if (prefixes_.size() > 0xffffffffULL) {
+  if (prefixes_.size() >= trie::LpmIndex::kNoMatch) {
     throw Error("partition too large");
   }
+  sorted_.reserve(prefixes_.size());
   for (std::size_t i = 0; i < prefixes_.size(); ++i) {
-    const net::Prefix prefix = prefixes_[i];
-    // Overlap <=> an ancestor (or exact duplicate) already stored, or a
-    // descendant already stored under this prefix.
-    if (index_.has_strict_ancestor(prefix) || index_.find(prefix) != nullptr ||
-        !index_.entries_within(prefix).empty()) {
+    sorted_.emplace_back(prefixes_[i], static_cast<std::uint32_t>(i));
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+
+  // Disjointness: with cells sorted by network address, an overlap exists
+  // exactly when a cell starts at or before the furthest end seen so far
+  // (CIDR blocks overlap only by containment, which this detects too).
+  bool have_previous = false;
+  std::uint32_t max_last = 0;
+  std::vector<trie::LpmIndex::Entry> table;
+  table.reserve(sorted_.size());
+  for (const auto& [prefix, cell] : sorted_) {
+    if (have_previous && prefix.network().value() <= max_last) {
       throw Error("partition prefixes overlap at " + prefix.to_string());
     }
-    index_.insert(prefix, static_cast<std::uint32_t>(i));
+    max_last = prefix.last().value();
+    have_previous = true;
+    table.push_back({prefix, cell});
     address_count_ += prefix.size();
   }
+  index_ = trie::LpmIndex(table);
 }
 
 std::optional<std::uint32_t> PrefixPartition::locate(
     net::Ipv4Address addr) const {
-  // Cells are disjoint, so the shortest match is the only match.
-  const auto match = index_.shortest_match(addr);
-  if (!match) return std::nullopt;
-  return match->second;
+  const std::uint32_t cell = index_.lookup(addr);
+  if (cell == kNoCell) return std::nullopt;
+  return cell;
+}
+
+void PrefixPartition::locate_many(std::span<const std::uint32_t> addresses,
+                                  std::span<std::uint32_t> cells) const
+    noexcept {
+  index_.lookup_many(addresses, cells);
 }
 
 std::optional<std::uint32_t> PrefixPartition::index_of(
     net::Prefix prefix) const {
-  const auto* cell = index_.find(prefix);
-  if (cell == nullptr) return std::nullopt;
-  return *cell;
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), prefix,
+      [](const auto& entry, net::Prefix p) { return entry.first < p; });
+  if (it == sorted_.end() || it->first != prefix) return std::nullopt;
+  return it->second;
 }
 
 net::IntervalSet PrefixPartition::to_interval_set() const {

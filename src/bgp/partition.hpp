@@ -1,21 +1,27 @@
-// PrefixPartition: a set of pairwise-disjoint prefixes with O(32) address
-// attribution.
+// PrefixPartition: a set of pairwise-disjoint prefixes with flat-index
+// address attribution.
 //
 // Both prefix granularities the paper studies — the l-prefix view and the
 // deaggregated m-prefix view (Figure 2) — are partitions of the advertised
 // space. The census model places hosts into partition cells and the TASS
 // core attributes scan responses to cells, so this type is the common
-// currency between bgp, census, and core.
+// currency between bgp, census, and core. Attribution rides on the
+// trie::LpmIndex substrate: locate() is a handful of dependent loads and
+// locate_many() resolves a whole shard's addresses in one call.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/interval.hpp"
 #include "net/prefix.hpp"
-#include "trie/prefix_trie.hpp"
+#include "trie/lpm_index.hpp"
+#include "util/error.hpp"
 
 namespace tass::bgp {
 
@@ -36,11 +42,49 @@ class PrefixPartition {
   }
   std::span<const net::Prefix> prefixes() const noexcept { return prefixes_; }
 
+  /// Sentinel cell index reported by locate_many for unrouted addresses.
+  static constexpr std::uint32_t kNoCell = trie::LpmIndex::kNoMatch;
+
   /// Index of the cell containing the address, if any.
   std::optional<std::uint32_t> locate(net::Ipv4Address addr) const;
 
+  /// Batched locate: cells[i] = cell index of addresses[i], or kNoCell.
+  /// This is the per-shard API of the parallel attribution path.
+  /// Precondition: cells.size() >= addresses.size().
+  void locate_many(std::span<const std::uint32_t> addresses,
+                   std::span<std::uint32_t> cells) const noexcept;
+
+  /// The shared per-shard attribution kernel: resolves `addresses` in
+  /// cache-sized blocks through locate_many and tallies them into
+  /// counts[cell]; addresses outside the partition increment
+  /// `unattributed` instead. Precondition: counts.size() == size().
+  template <typename Count>
+  void tally_cells(std::span<const std::uint32_t> addresses,
+                   std::vector<Count>& counts, std::uint64_t& attributed,
+                   std::uint64_t& unattributed) const {
+    TASS_EXPECTS(counts.size() == prefixes_.size());
+    constexpr std::size_t kBlock = 4096;
+    std::array<std::uint32_t, kBlock> cells;
+    for (std::size_t offset = 0; offset < addresses.size();
+         offset += kBlock) {
+      const std::size_t n = std::min(kBlock, addresses.size() - offset);
+      locate_many(addresses.subspan(offset, n), std::span(cells).first(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cells[i] != kNoCell) {
+          ++counts[cells[i]];
+          ++attributed;
+        } else {
+          ++unattributed;
+        }
+      }
+    }
+  }
+
   /// Index of the cell equal to `prefix`, if present.
   std::optional<std::uint32_t> index_of(net::Prefix prefix) const;
+
+  /// The underlying match substrate (shared with benches and tests).
+  const trie::LpmIndex& index() const noexcept { return index_; }
 
   /// Total number of addresses covered by the partition.
   std::uint64_t address_count() const noexcept { return address_count_; }
@@ -50,7 +94,10 @@ class PrefixPartition {
 
  private:
   std::vector<net::Prefix> prefixes_;
-  trie::PrefixTrie<std::uint32_t> index_;
+  // Cells sorted by (network, length) for index_of binary search; the
+  // second member is the cell index in input order.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> sorted_;
+  trie::LpmIndex index_;
   std::uint64_t address_count_ = 0;
 };
 

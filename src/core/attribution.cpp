@@ -8,18 +8,13 @@ namespace tass::core {
 
 namespace {
 
-// Sequential kernel shared by the one-thread path and each shard.
+// Sequential kernel shared by the one-thread path and each shard: the
+// partition's blocked locate_many + tally kernel.
 void attribute_range(std::span<const std::uint32_t> addresses,
                      const bgp::PrefixPartition& partition,
                      Attribution& out) {
-  for (const std::uint32_t address : addresses) {
-    if (const auto cell = partition.locate(net::Ipv4Address(address))) {
-      ++out.counts[*cell];
-      ++out.attributed;
-    } else {
-      ++out.unattributed;
-    }
-  }
+  partition.tally_cells(addresses, out.counts, out.attributed,
+                        out.unattributed);
 }
 
 }  // namespace
@@ -31,18 +26,12 @@ Attribution attribute(std::span<const std::uint32_t> addresses,
   result.counts.assign(partition.size(), 0);
 
   // Each shard owns a dense per-cell count vector, and the merge costs
-  // O(shards * cells); cap the fan-out so the slot arrays stay within a
-  // fixed memory budget however large the partition is. The cap depends
-  // only on the inputs, so results stay thread-count invariant.
-  constexpr std::uint64_t kSlotMemoryBudget = 64ULL << 20;  // bytes
-  const std::uint64_t cells = std::max<std::uint64_t>(1, partition.size());
-  const std::size_t max_shards = static_cast<std::size_t>(
-      std::clamp<std::uint64_t>(
-          kSlotMemoryBudget / (cells * sizeof(std::uint32_t)), 1, 1024));
-  const std::size_t shards = util::shard_count_for(
-      addresses.size(),
-      std::max<std::uint64_t>(1, config.min_addresses_per_shard),
-      max_shards);
+  // O(shards * cells); shard_count_for_slots caps the fan-out so the slot
+  // arrays stay within a fixed memory budget however large the partition
+  // is, keeping results thread-count invariant.
+  const std::size_t shards = util::shard_count_for_slots(
+      addresses.size(), config.min_addresses_per_shard, partition.size(),
+      sizeof(std::uint32_t));
   if (config.threads == 1 || shards == 1) {
     attribute_range(addresses, partition, result);
     return result;

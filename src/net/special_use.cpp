@@ -37,6 +37,29 @@ std::span<const SpecialUseRange> special_use_ranges() noexcept {
   return kRegistry;
 }
 
+const trie::LpmIndex& special_use_index() {
+  static const trie::LpmIndex index = [] {
+    std::vector<trie::LpmIndex::Entry> table;
+    table.reserve(kRegistry.size());
+    for (std::uint32_t i = 0; i < kRegistry.size(); ++i) {
+      table.push_back({kRegistry[i].prefix, i});
+    }
+    return trie::LpmIndex(table);
+  }();
+  return index;
+}
+
+const SpecialUseRange* classify(Ipv4Address addr) {
+  const std::uint32_t entry = special_use_index().lookup(addr);
+  if (entry == trie::LpmIndex::kNoMatch) return nullptr;
+  return &kRegistry[entry];
+}
+
+bool is_reserved(Ipv4Address addr) {
+  const SpecialUseRange* range = classify(addr);
+  return range != nullptr && !range->globally_reachable;
+}
+
 const IntervalSet& reserved_space() {
   static const IntervalSet set = [] {
     IntervalSet reserved;

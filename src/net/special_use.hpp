@@ -10,6 +10,7 @@
 
 #include "net/interval.hpp"
 #include "net/prefix.hpp"
+#include "trie/lpm_index.hpp"
 
 namespace tass::net {
 
@@ -23,6 +24,21 @@ struct SpecialUseRange {
 
 /// The special-use registry, ordered by prefix.
 std::span<const SpecialUseRange> special_use_ranges() noexcept;
+
+/// Longest-prefix classification of an address against the registry, via
+/// the shared trie::LpmIndex substrate. nullptr if the address is ordinary
+/// unicast space. (Not noexcept: the first call builds the static index,
+/// which may allocate.)
+const SpecialUseRange* classify(Ipv4Address addr);
+
+/// True if the address can never host a public service (it falls in a
+/// registry range with globally_reachable == false). Fast path equivalent
+/// of reserved_space().contains(addr).
+bool is_reserved(Ipv4Address addr);
+
+/// The registry as an LpmIndex mapping an address to its registry entry
+/// index (into special_use_ranges()), for callers that batch.
+const trie::LpmIndex& special_use_index();
 
 /// Addresses that can never host a public service (registry entries with
 /// globally_reachable == false). This is what "IANA allocated/scannable"

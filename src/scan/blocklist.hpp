@@ -7,19 +7,31 @@
 // with '#' comments and blank lines ignored. The default blocklist is the
 // IANA special-use registry — what every good Internet citizen excludes
 // before probing anything.
+//
+// The membership check rides on the trie::LpmIndex substrate, so blocks()
+// costs a couple of dependent loads on the scan hot path; the IntervalSet
+// remains the authority for set algebra and accounting. The index is
+// rebuilt lazily on the first query after a mutation (so an add() loop is
+// O(n), not O(n^2)); mutation and the first query after it must not race
+// with concurrent queries — queries on a settled blocklist are
+// const-thread-safe.
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "net/interval.hpp"
+#include "trie/lpm_index.hpp"
 
 namespace tass::scan {
 
 class Blocklist {
  public:
   Blocklist() = default;
-  explicit Blocklist(net::IntervalSet blocked) : blocked_(std::move(blocked)) {}
+  explicit Blocklist(net::IntervalSet blocked)
+      : blocked_(std::move(blocked)) {
+    refresh();
+  }
 
   /// Parses blocklist text. Throws tass::ParseError on malformed lines.
   static Blocklist parse(std::string_view text);
@@ -30,11 +42,18 @@ class Blocklist {
   /// The RFC special-use registry blocklist.
   static Blocklist default_blocklist();
 
-  void add(net::Prefix prefix) { blocked_.insert(prefix); }
-  void add(net::Interval interval) { blocked_.insert(interval); }
+  void add(net::Prefix prefix) {
+    blocked_.insert(prefix);
+    dirty_ = true;
+  }
+  void add(net::Interval interval) {
+    blocked_.insert(interval);
+    dirty_ = true;
+  }
 
-  bool blocks(net::Ipv4Address addr) const noexcept {
-    return blocked_.contains(addr);
+  bool blocks(net::Ipv4Address addr) const {
+    if (dirty_) refresh();
+    return index_.covers(addr);
   }
   const net::IntervalSet& blocked() const noexcept { return blocked_; }
   std::uint64_t blocked_addresses() const noexcept {
@@ -42,7 +61,14 @@ class Blocklist {
   }
 
  private:
+  void refresh() const {
+    index_ = trie::LpmIndex::from_prefixes(blocked_.to_prefixes());
+    dirty_ = false;
+  }
+
   net::IntervalSet blocked_;
+  mutable trie::LpmIndex index_;
+  mutable bool dirty_ = false;
 };
 
 }  // namespace tass::scan

@@ -137,6 +137,73 @@ ScanStats ScanEngine::estimate(const ScanScope& scope,
   return stats;
 }
 
+AttributedScanResult ScanEngine::run_attributed(
+    const ScanScope& scope, const ProbeOracle& oracle,
+    const bgp::PrefixPartition& partition) const {
+  AttributedScanResult out;
+  out.cell_counts.assign(partition.size(), 0);
+  const std::uint64_t total = scope.address_count();
+  out.result.stats.probes_sent = total;
+  const std::span<const net::Interval> intervals = scope.targets().intervals();
+
+  // Each shard owns a per-cell count vector; shard_count_for_slots caps
+  // the fan-out to a fixed slot-memory budget, thread-count invariant.
+  const std::size_t shards = util::shard_count_for_slots(
+      total, config_.min_addresses_per_shard, partition.size(),
+      sizeof(std::uint64_t));
+
+  if (config_.threads == 1 || shards == 1) {
+    for (const net::Interval& interval : intervals) {
+      oracle.collect_responsive(interval, out.result.responsive);
+    }
+    partition.tally_cells(out.result.responsive, out.cell_counts,
+                          out.attributed, out.unattributed);
+  } else {
+    struct Slot {
+      std::vector<std::uint32_t> responsive;
+      std::vector<std::uint64_t> counts;
+      std::uint64_t attributed = 0;
+      std::uint64_t unattributed = 0;
+    };
+    const auto cumulative = prefix_counts(intervals);
+    std::vector<Slot> slots(shards);
+    for (Slot& slot : slots) slot.counts.assign(partition.size(), 0);
+    util::run_chunks(
+        config_.threads, 0, total, shards,
+        [&](std::size_t shard, std::uint64_t lo, std::uint64_t hi) {
+          Slot& slot = slots[shard];
+          for_each_subinterval(intervals, cumulative, lo, hi,
+                               [&](net::Interval sub) {
+                                 oracle.collect_responsive(sub,
+                                                           slot.responsive);
+                               });
+          partition.tally_cells(slot.responsive, slot.counts,
+                                slot.attributed, slot.unattributed);
+        });
+    std::size_t found = 0;
+    for (const Slot& slot : slots) found += slot.responsive.size();
+    out.result.responsive.reserve(found);
+    for (const Slot& slot : slots) {
+      out.result.responsive.insert(out.result.responsive.end(),
+                                   slot.responsive.begin(),
+                                   slot.responsive.end());
+      out.attributed += slot.attributed;
+      out.unattributed += slot.unattributed;
+      for (std::size_t i = 0; i < out.cell_counts.size(); ++i) {
+        out.cell_counts[i] += slot.counts[i];
+      }
+    }
+  }
+  out.result.stats.responses = out.result.responsive.size();
+  if (!std::is_sorted(out.result.responsive.begin(),
+                      out.result.responsive.end())) {
+    std::sort(out.result.responsive.begin(), out.result.responsive.end());
+  }
+  out.result.stats.packets = config_.cost.packets(
+      out.result.stats.probes_sent, out.result.stats.responses);
+  return out;
+}
+
 ScanResult ScanEngine::run_enumerated(const ScanScope& scope,
                                       const ProbeOracle& oracle) const {
   ScanResult result;

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "bgp/partition.hpp"
 #include "census/protocol.hpp"
 #include "census/snapshot.hpp"
 #include "census/snapshot_index.hpp"
@@ -125,6 +126,15 @@ struct ScanResult {
   std::vector<std::uint32_t> responsive;  // ascending addresses
 };
 
+/// A scan cycle fused with per-cell attribution of the hits (paper §3.1
+/// step 1 without a separate pass over the result list).
+struct AttributedScanResult {
+  ScanResult result;
+  std::vector<std::uint64_t> cell_counts;  // responsive per partition cell
+  std::uint64_t attributed = 0;            // hits inside the partition
+  std::uint64_t unattributed = 0;          // hits outside (unrouted space)
+};
+
 struct EngineConfig {
   enum class Order { kAuto, kPermutation, kEnumerate };
   Order order = Order::kAuto;
@@ -152,6 +162,17 @@ class ScanEngine {
 
   /// Simulates one scan cycle over the scope.
   ScanResult run(const ScanScope& scope, const ProbeOracle& oracle) const;
+
+  /// One enumerated scan cycle plus attribution: each shard resolves its
+  /// freshly collected hits against `partition` through the batched
+  /// LpmIndex path while the block is still cache-hot, so no second pass
+  /// over the responsive list is needed. Identical responsive list and
+  /// stats to run() on the enumerate path, and cell_counts identical to
+  /// attributing the result afterwards — for any thread count.
+  AttributedScanResult run_attributed(const ScanScope& scope,
+                                      const ProbeOracle& oracle,
+                                      const bgp::PrefixPartition& partition)
+      const;
 
   /// Probe/hit/packet accounting for one cycle without materialising the
   /// responsive-address list: pure count_responsive() sums over the scope

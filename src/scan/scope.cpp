@@ -4,7 +4,7 @@ namespace tass::scan {
 
 ScanScope::ScanScope(std::span<const net::Prefix> prefixes,
                      const Blocklist& blocklist)
-    : targets_(net::IntervalSet::of_prefixes(prefixes)
-                   .subtract(blocklist.blocked())) {}
+    : ScanScope(net::IntervalSet::of_prefixes(prefixes)
+                    .subtract(blocklist.blocked())) {}
 
 }  // namespace tass::scan

@@ -1,12 +1,15 @@
 // ScanScope: the set of addresses a scan cycle will probe — a whitelist of
 // prefixes (e.g. a TASS selection, or the whole announced space) minus a
-// blocklist.
+// blocklist. Membership queries resolve through the trie::LpmIndex
+// substrate; the IntervalSet stays the enumeration/accounting view the
+// engine walks.
 #pragma once
 
 #include <span>
 
 #include "net/interval.hpp"
 #include "scan/blocklist.hpp"
+#include "trie/lpm_index.hpp"
 
 namespace tass::scan {
 
@@ -18,10 +21,12 @@ class ScanScope {
   ScanScope(std::span<const net::Prefix> prefixes, const Blocklist& blocklist);
 
   /// Scope over raw intervals (already exclusion-applied).
-  explicit ScanScope(net::IntervalSet targets) : targets_(std::move(targets)) {}
+  explicit ScanScope(net::IntervalSet targets) : targets_(std::move(targets)) {
+    index_ = trie::LpmIndex::from_prefixes(targets_.to_prefixes());
+  }
 
   bool contains(net::Ipv4Address addr) const noexcept {
-    return targets_.contains(addr);
+    return index_.covers(addr);
   }
   std::uint64_t address_count() const noexcept {
     return targets_.address_count();
@@ -31,6 +36,7 @@ class ScanScope {
 
  private:
   net::IntervalSet targets_;
+  trie::LpmIndex index_;
 };
 
 }  // namespace tass::scan

@@ -1,0 +1,185 @@
+#include "trie/lpm_index.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+
+namespace tass::trie {
+
+// Transient binary trie used only during construction; 12 bytes per node
+// (no std::optional padding) so full-RIB builds stay cheap. The read
+// structure is derived from it by leaf-pushing whole strides at a time.
+struct LpmIndex::BuildNode {
+  std::int32_t child[2] = {-1, -1};
+  std::uint32_t value = kNoMatch;
+};
+
+namespace {
+
+constexpr int kRootBits = 16;
+
+// Stride of the node that starts at `depth` (16 -> 6, 22 -> 6, 28 -> 4).
+constexpr int stride_at(int depth) noexcept { return depth < 28 ? 6 : 4; }
+
+}  // namespace
+
+LpmIndex::LpmIndex(std::span<const Entry> table) {
+  std::vector<BuildNode> bt(1);
+  for (const Entry& entry : table) {
+    if (entry.value >= kNoMatch) {
+      throw Error("LpmIndex value out of range (>= kNoMatch)");
+    }
+    std::int32_t node = 0;
+    const std::uint32_t network = entry.prefix.network().value();
+    for (int depth = 0; depth < entry.prefix.length(); ++depth) {
+      const int bit = (network >> (31 - depth)) & 1;
+      if (bt[static_cast<std::size_t>(node)].child[bit] < 0) {
+        bt[static_cast<std::size_t>(node)].child[bit] =
+            static_cast<std::int32_t>(bt.size());
+        bt.emplace_back();
+      }
+      node = bt[static_cast<std::size_t>(node)].child[bit];
+    }
+    if (bt[static_cast<std::size_t>(node)].value == kNoMatch) ++prefix_count_;
+    bt[static_cast<std::size_t>(node)].value = entry.value;
+  }
+  root_.assign(std::size_t{1} << kRootBits, kNoMatch);
+  fill_root(bt, 0, 0, 0, kNoMatch);
+}
+
+LpmIndex LpmIndex::from_prefixes(std::span<const net::Prefix> prefixes,
+                                 std::uint32_t value) {
+  std::vector<Entry> table;
+  table.reserve(prefixes.size());
+  for (const net::Prefix prefix : prefixes) table.push_back({prefix, value});
+  return LpmIndex(table);
+}
+
+// Walks the build trie down to the root-stride depth. Slots whose subtree
+// ends at or above /16 become direct leaves; slots with longer prefixes
+// below get a node subtree. `path` is the address-bit prefix accumulated so
+// far, `inherited` the best match covering it.
+void LpmIndex::fill_root(const std::vector<BuildNode>& bt, std::int32_t node,
+                         int depth, std::uint32_t path,
+                         std::uint32_t inherited) {
+  if (node >= 0 && bt[static_cast<std::size_t>(node)].value != kNoMatch) {
+    inherited = bt[static_cast<std::size_t>(node)].value;
+  }
+  const bool has_children =
+      node >= 0 && (bt[static_cast<std::size_t>(node)].child[0] >= 0 ||
+                    bt[static_cast<std::size_t>(node)].child[1] >= 0);
+  if (depth == kRootBits) {
+    if (has_children) {
+      const auto index = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      populate(index, bt, node, depth, inherited);
+      root_[path] = kNodeFlag | index;
+    } else {
+      root_[path] = inherited;
+    }
+    return;
+  }
+  if (!has_children) {
+    // The whole sub-block resolves to `inherited` (root_ is pre-filled
+    // with kNoMatch, so only real matches need writing).
+    if (inherited != kNoMatch) {
+      const std::uint32_t width = 1u << (kRootBits - depth);
+      std::fill_n(root_.begin() + (path << (kRootBits - depth)), width,
+                  inherited);
+    }
+    return;
+  }
+  const BuildNode& bn = bt[static_cast<std::size_t>(node)];
+  fill_root(bt, bn.child[0], depth + 1, path << 1, inherited);
+  fill_root(bt, bn.child[1], depth + 1, (path << 1) | 1u, inherited);
+}
+
+// Fills nodes_[index] for the build-trie subtree rooted at `node` (depth 16,
+// 22 or 28). For every stride slot the best covering value is leaf-pushed;
+// slots with prefixes continuing below the stride become children, which
+// are allocated as one contiguous block so popcount ranking addresses them.
+void LpmIndex::populate(std::uint32_t index, const std::vector<BuildNode>& bt,
+                        std::int32_t node, int depth, std::uint32_t inherited) {
+  const int stride = stride_at(depth);
+  const std::uint32_t slots = 1u << stride;
+
+  std::array<std::int32_t, 64> sub{};
+  std::array<std::uint32_t, 64> value{};
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    std::int32_t cur = node;
+    std::uint32_t best = inherited;
+    for (int bit = stride - 1; bit >= 0 && cur >= 0; --bit) {
+      cur = bt[static_cast<std::size_t>(cur)].child[(slot >> bit) & 1u];
+      if (cur >= 0 && bt[static_cast<std::size_t>(cur)].value != kNoMatch) {
+        best = bt[static_cast<std::size_t>(cur)].value;
+      }
+    }
+    sub[slot] = cur;
+    value[slot] = best;
+  }
+
+  Node result;
+  result.leaf_base = static_cast<std::uint32_t>(leaves_.size());
+  bool in_run = false;
+  std::uint32_t run_value = 0;
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    const bool internal =
+        sub[slot] >= 0 &&
+        (bt[static_cast<std::size_t>(sub[slot])].child[0] >= 0 ||
+         bt[static_cast<std::size_t>(sub[slot])].child[1] >= 0);
+    if (internal) {
+      result.child_bits |= 1ull << slot;
+      in_run = false;  // an internal slot breaks the leaf run
+      continue;
+    }
+    if (!in_run || value[slot] != run_value) {
+      result.leaf_bits |= 1ull << slot;
+      leaves_.push_back(value[slot]);
+      in_run = true;
+      run_value = value[slot];
+    }
+  }
+
+  // Children must be contiguous; reserve the block first, then recurse
+  // (grandchildren land after it).
+  result.child_base = static_cast<std::uint32_t>(nodes_.size());
+  const auto child_count =
+      static_cast<std::size_t>(std::popcount(result.child_bits));
+  nodes_.resize(nodes_.size() + child_count);
+  nodes_[index] = result;
+  std::uint32_t child = result.child_base;
+  for (std::uint32_t slot = 0; slot < slots; ++slot) {
+    if ((result.child_bits >> slot) & 1u) {
+      populate(child++, bt, sub[slot], depth + stride, value[slot]);
+    }
+  }
+}
+
+void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,
+                           std::span<std::uint32_t> out) const noexcept {
+  TASS_EXPECTS(out.size() >= addresses.size());
+  if (root_.empty()) {
+    std::fill_n(out.begin(), addresses.size(), kNoMatch);
+    return;
+  }
+  // Pull the root words of upcoming addresses into cache while resolving
+  // the current one; on big shards most time is the root-array miss.
+  constexpr std::size_t kAhead = 16;
+  const std::size_t n = addresses.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      __builtin_prefetch(&root_[addresses[i + kAhead] >> 16]);
+    }
+    out[i] = lookup(net::Ipv4Address(addresses[i]));
+  }
+}
+
+std::vector<std::uint32_t> LpmIndex::lookup_many(
+    std::span<const std::uint32_t> addresses) const {
+  std::vector<std::uint32_t> out(addresses.size());
+  lookup_many(addresses, out);
+  return out;
+}
+
+}  // namespace tass::trie

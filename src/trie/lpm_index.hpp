@@ -1,0 +1,142 @@
+// LpmIndex: a flat, cache-friendly longest-prefix-match engine.
+//
+// This is the unified match substrate behind every per-address decision a
+// scan cycle makes: prefix/AS attribution (bgp::PrefixPartition), blocklist
+// checks (scan::Blocklist), special-use classification (net::special_use)
+// and scope membership (scan::ScanScope). The bitwise PrefixTrie stays
+// around as the mutable build/enumeration structure and as the reference
+// implementation for the differential tests; LpmIndex is the immutable
+// read-optimised form built once from a prefix -> value table.
+//
+// Layout (Poptrie-flavoured, specialised for IPv4):
+//   * a direct-indexed root array over the top 16 address bits — one load
+//     resolves any address whose longest match is /16 or shorter;
+//   * below the root, path-compressed nodes of stride 6, 6 and 4 (16 more
+//     bits). Each node holds two 64-bit bitmaps: `child_bits` marks slots
+//     that continue into a deeper node, `leaf_bits` marks the starts of
+//     runs of equal leaf values. Children and leaf runs are stored in
+//     contiguous arrays addressed by popcount rank, so a lookup is at most
+//     four dependent loads and never backtracks.
+//   * values are leaf-pushed during construction: every slot already knows
+//     the best (longest) match covering it, which is what makes the
+//     no-backtracking lookup correct.
+//
+// The batched lookup_many() is the API the sharded scan pipeline uses: a
+// shard hands over its whole address block so the index amortises across
+// the batch instead of being re-entered through per-address virtual calls.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tass::trie {
+
+class LpmIndex {
+ public:
+  /// Returned by lookup() when no stored prefix covers the address. Stored
+  /// values must be < kNoMatch.
+  static constexpr std::uint32_t kNoMatch = 0x7fffffffu;
+
+  /// One row of the prefix -> value table the index is built from.
+  struct Entry {
+    net::Prefix prefix;
+    std::uint32_t value = 0;
+  };
+
+  /// An empty index: lookup() returns kNoMatch for every address.
+  LpmIndex() = default;
+
+  /// Builds from a prefix -> value table. Nested and duplicate prefixes are
+  /// fine; lookups return the value of the longest covering prefix, and for
+  /// duplicate prefixes the last entry wins (matching PrefixTrie::insert
+  /// overwrite semantics). Throws tass::Error if a value is >= kNoMatch.
+  explicit LpmIndex(std::span<const Entry> table);
+
+  /// Membership-only index: every prefix maps to `value`.
+  static LpmIndex from_prefixes(std::span<const net::Prefix> prefixes,
+                                std::uint32_t value = 0);
+
+  /// Value of the longest stored prefix covering `addr`, or kNoMatch.
+  std::uint32_t lookup(net::Ipv4Address addr) const noexcept {
+    if (root_.empty()) return kNoMatch;
+    const std::uint32_t a = addr.value();
+    const std::uint32_t word = root_[a >> 16];
+    if ((word & kNodeFlag) == 0) return word;  // leaf (possibly kNoMatch)
+    const Node* node = &nodes_[word & ~kNodeFlag];
+    std::uint32_t slot = (a >> 10) & 63u;  // bits 15..10
+    if ((node->child_bits >> slot) & 1u) {
+      node = &nodes_[node->child_base + rank(node->child_bits, slot)];
+      slot = (a >> 4) & 63u;  // bits 9..4
+      if ((node->child_bits >> slot) & 1u) {
+        node = &nodes_[node->child_base + rank(node->child_bits, slot)];
+        slot = a & 15u;  // bits 3..0; the last level is always a leaf
+      }
+    }
+    return leaves_[node->leaf_base + rank_inclusive(node->leaf_bits, slot) - 1];
+  }
+
+  /// True if some stored prefix covers the address.
+  bool covers(net::Ipv4Address addr) const noexcept {
+    return lookup(addr) != kNoMatch;
+  }
+
+  /// Batched lookup: out[i] = lookup(addresses[i]). The span forms are what
+  /// the sharded scan engine and attribution call once per shard.
+  /// Precondition: out.size() >= addresses.size().
+  void lookup_many(std::span<const std::uint32_t> addresses,
+                   std::span<std::uint32_t> out) const noexcept;
+  std::vector<std::uint32_t> lookup_many(
+      std::span<const std::uint32_t> addresses) const;
+
+  /// Number of distinct prefixes the index was built from.
+  std::size_t prefix_count() const noexcept { return prefix_count_; }
+  bool empty() const noexcept { return prefix_count_ == 0; }
+
+  /// Introspection for benchmarks and memory accounting.
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const noexcept { return leaves_.size(); }
+  std::size_t memory_bytes() const noexcept {
+    return root_.size() * sizeof(std::uint32_t) + nodes_.size() * sizeof(Node) +
+           leaves_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  // Root words: high bit set -> index into nodes_; clear -> leaf value.
+  static constexpr std::uint32_t kNodeFlag = 0x80000000u;
+
+  struct Node {
+    std::uint64_t child_bits = 0;  // slot continues into nodes_[child_base+r]
+    std::uint64_t leaf_bits = 0;   // slot starts a new run of equal leaves
+    std::uint32_t child_base = 0;
+    std::uint32_t leaf_base = 0;
+  };
+
+  // Children (or leaf runs) strictly below `slot`.
+  static std::uint32_t rank(std::uint64_t bits, std::uint32_t slot) noexcept {
+    return static_cast<std::uint32_t>(
+        std::popcount(bits & ((1ull << slot) - 1)));
+  }
+  // Leaf runs at or below `slot`; (2 << 63) wraps to 0 so slot 63 counts all.
+  static std::uint32_t rank_inclusive(std::uint64_t bits,
+                                      std::uint32_t slot) noexcept {
+    return static_cast<std::uint32_t>(
+        std::popcount(bits & ((2ull << slot) - 1)));
+  }
+
+  struct BuildNode;
+  void populate(std::uint32_t index, const std::vector<BuildNode>& bt,
+                std::int32_t node, int depth, std::uint32_t inherited);
+  void fill_root(const std::vector<BuildNode>& bt, std::int32_t node,
+                 int depth, std::uint32_t path, std::uint32_t inherited);
+
+  std::vector<std::uint32_t> root_;  // 65536 words once built
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> leaves_;
+  std::size_t prefix_count_ = 0;
+};
+
+}  // namespace tass::trie

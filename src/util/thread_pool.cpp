@@ -14,6 +14,20 @@ std::size_t shard_count_for(std::uint64_t total_items,
       std::clamp<std::uint64_t>(shards, 1, max_shards));
 }
 
+std::size_t shard_count_for_slots(std::uint64_t total_items,
+                                  std::uint64_t min_items_per_shard,
+                                  std::uint64_t cells,
+                                  std::size_t bytes_per_cell) noexcept {
+  constexpr std::uint64_t kSlotMemoryBudget = 64ULL << 20;  // bytes
+  const std::uint64_t slot_bytes =
+      std::max<std::uint64_t>(1, cells) * bytes_per_cell;
+  const auto max_shards = static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(kSlotMemoryBudget / slot_bytes, 1, 1024));
+  return shard_count_for(total_items,
+                         std::max<std::uint64_t>(1, min_items_per_shard),
+                         max_shards);
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());

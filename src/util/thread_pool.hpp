@@ -34,6 +34,16 @@ std::size_t shard_count_for(std::uint64_t total_items,
                             std::uint64_t min_items_per_shard,
                             std::size_t max_shards = 1024) noexcept;
 
+/// shard_count_for when every shard owns a dense result slot of `cells`
+/// entries of `bytes_per_cell` each (attribution-style count vectors):
+/// additionally caps the fan-out so the slot arrays fit a fixed memory
+/// budget however large one slot is. Still depends only on the inputs,
+/// never on the pool size.
+std::size_t shard_count_for_slots(std::uint64_t total_items,
+                                  std::uint64_t min_items_per_shard,
+                                  std::uint64_t cells,
+                                  std::size_t bytes_per_cell) noexcept;
+
 /// The pipeline-wide dispatch convention for a `threads` knob: 1 runs the
 /// shards inline on the calling thread, 0 uses the process-wide pool, and
 /// N > 1 uses a dedicated pool of N participants. The shard set is the

@@ -225,5 +225,89 @@ TEST_P(IntervalAlgebraProperty, MatchesOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebraProperty,
                          ::testing::Values(11, 22, 33, 44));
 
+// --- inclusive-upper-bound regression suite ---------------------------
+//
+// The set is inclusive so 255.255.255.255 is representable; every mutator
+// and query involving `last + 1` must handle the top of the space without
+// wrapping. These pin the audited behaviour (ISSUE 2 satellite).
+
+constexpr std::uint32_t kTop = 0xffffffffu;
+
+TEST(IntervalOverflow, InsertMergesAtTopOfSpace) {
+  IntervalSet set;
+  set.insert(iv(kTop - 9, kTop));
+  set.insert(iv(kTop - 19, kTop - 10));  // adjacent below: must coalesce
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 20u);
+  EXPECT_TRUE(set.contains(Ipv4Address(kTop)));
+  // Re-inserting an interval ending at the top over an existing one.
+  set.insert(iv(kTop - 4, kTop));
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 20u);
+}
+
+TEST(IntervalOverflow, FullSpaceAccounting) {
+  const IntervalSet full = IntervalSet::full_space();
+  EXPECT_EQ(full.address_count(), 1ULL << 32);
+  EXPECT_TRUE(full.contains(Ipv4Address(0)));
+  EXPECT_TRUE(full.contains(Ipv4Address(kTop)));
+  EXPECT_TRUE(full.contains_all(Interval::full_space()));
+  EXPECT_TRUE(full.complement().empty());
+}
+
+TEST(IntervalOverflow, RemoveAtTopOfSpace) {
+  IntervalSet set = IntervalSet::full_space();
+  set.remove(iv(kTop, kTop));
+  EXPECT_EQ(set.address_count(), (1ULL << 32) - 1);
+  EXPECT_FALSE(set.contains(Ipv4Address(kTop)));
+  EXPECT_TRUE(set.contains(Ipv4Address(kTop - 1)));
+  // Complement of "everything but the top" is exactly the top.
+  const IntervalSet top = set.complement();
+  EXPECT_EQ(top.address_count(), 1u);
+  EXPECT_TRUE(top.contains(Ipv4Address(kTop)));
+}
+
+TEST(IntervalOverflow, ComplementRoundTripsAtBothEdges) {
+  IntervalSet set;
+  set.insert(iv(0, 9));
+  set.insert(iv(kTop - 9, kTop));
+  const IntervalSet complement = set.complement();
+  EXPECT_EQ(complement.address_count(), (1ULL << 32) - 20);
+  EXPECT_FALSE(complement.contains(Ipv4Address(0)));
+  EXPECT_FALSE(complement.contains(Ipv4Address(kTop)));
+  EXPECT_EQ(complement.complement(), set);
+}
+
+TEST(IntervalOverflow, InsertBridgingGapBelowTop) {
+  IntervalSet set;
+  set.insert(iv(kTop - 100, kTop - 50));
+  set.insert(iv(kTop - 20, kTop));
+  set.insert(iv(kTop - 49, kTop - 21));  // exact bridge
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.address_count(), 101u);
+}
+
+TEST(IntervalOverflow, AddressIndexerReachesTheTop) {
+  IntervalSet set;
+  set.insert(iv(5, 6));
+  set.insert(iv(kTop - 1, kTop));
+  const AddressIndexer indexer(set);
+  ASSERT_EQ(indexer.size(), 4u);
+  EXPECT_EQ(indexer.at(0).value(), 5u);
+  EXPECT_EQ(indexer.at(3).value(), kTop);
+}
+
+TEST(IntervalOverflow, ToPrefixesCoversTheTop) {
+  IntervalSet set;
+  set.insert(iv(kTop, kTop));
+  const auto prefixes = set.to_prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0], Prefix(Ipv4Address(kTop), 32));
+  // And the full space covers as the single /0.
+  const auto all = IntervalSet::full_space().to_prefixes();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], Prefix(Ipv4Address(0), 0));
+}
+
 }  // namespace
 }  // namespace tass::net

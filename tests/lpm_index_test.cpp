@@ -1,0 +1,159 @@
+#include "trie/lpm_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tass::trie {
+namespace {
+
+net::Ipv4Address addr(std::string_view text) {
+  return net::Ipv4Address::parse_or_throw(text);
+}
+
+net::Prefix pfx(std::string_view text) {
+  return net::Prefix::parse_or_throw(text);
+}
+
+TEST(LpmIndexTest, EmptyIndexMatchesNothing) {
+  const LpmIndex index;
+  EXPECT_EQ(index.lookup(addr("0.0.0.0")), LpmIndex::kNoMatch);
+  EXPECT_EQ(index.lookup(addr("255.255.255.255")), LpmIndex::kNoMatch);
+  EXPECT_FALSE(index.covers(addr("10.0.0.1")));
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.prefix_count(), 0u);
+}
+
+TEST(LpmIndexTest, EmptyTableMatchesNothing) {
+  const LpmIndex index{std::span<const LpmIndex::Entry>{}};
+  EXPECT_EQ(index.lookup(addr("192.0.2.1")), LpmIndex::kNoMatch);
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(LpmIndexTest, DefaultRouteCoversEverything) {
+  const std::vector<LpmIndex::Entry> table{{pfx("0.0.0.0/0"), 7}};
+  const LpmIndex index(table);
+  EXPECT_EQ(index.lookup(addr("0.0.0.0")), 7u);
+  EXPECT_EQ(index.lookup(addr("255.255.255.255")), 7u);
+  EXPECT_EQ(index.lookup(addr("128.66.7.9")), 7u);
+  EXPECT_EQ(index.prefix_count(), 1u);
+}
+
+TEST(LpmIndexTest, LongestMatchWinsAcrossNesting) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("0.0.0.0/0"), 0},     {pfx("10.0.0.0/8"), 1},
+      {pfx("10.64.0.0/10"), 2},  {pfx("10.64.0.0/24"), 3},
+      {pfx("10.64.0.128/25"), 4}, {pfx("10.64.0.129/32"), 5},
+  };
+  const LpmIndex index(table);
+  EXPECT_EQ(index.lookup(addr("192.0.2.1")), 0u);
+  EXPECT_EQ(index.lookup(addr("10.255.0.1")), 1u);
+  EXPECT_EQ(index.lookup(addr("10.64.1.0")), 2u);
+  EXPECT_EQ(index.lookup(addr("10.64.0.5")), 3u);
+  EXPECT_EQ(index.lookup(addr("10.64.0.128")), 4u);
+  EXPECT_EQ(index.lookup(addr("10.64.0.129")), 5u);
+  EXPECT_EQ(index.lookup(addr("10.64.0.130")), 4u);
+}
+
+TEST(LpmIndexTest, BoundariesOfAPrefixAreExact) {
+  const std::vector<LpmIndex::Entry> table{{pfx("198.51.100.0/24"), 42}};
+  const LpmIndex index(table);
+  EXPECT_EQ(index.lookup(addr("198.51.99.255")), LpmIndex::kNoMatch);
+  EXPECT_EQ(index.lookup(addr("198.51.100.0")), 42u);
+  EXPECT_EQ(index.lookup(addr("198.51.100.255")), 42u);
+  EXPECT_EQ(index.lookup(addr("198.51.101.0")), LpmIndex::kNoMatch);
+}
+
+TEST(LpmIndexTest, AdjacentSlash32s) {
+  std::vector<LpmIndex::Entry> table;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    table.push_back(
+        {net::Prefix(net::Ipv4Address(0xc6336400u + i), 32), 100 + i});
+  }
+  const LpmIndex index(table);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(index.lookup(net::Ipv4Address(0xc6336400u + i)), 100 + i);
+  }
+  EXPECT_EQ(index.lookup(net::Ipv4Address(0xc6336400u - 1)),
+            LpmIndex::kNoMatch);
+  EXPECT_EQ(index.lookup(net::Ipv4Address(0xc6336400u + 8)),
+            LpmIndex::kNoMatch);
+}
+
+TEST(LpmIndexTest, DuplicatePrefixLastValueWins) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("203.0.113.0/24"), 1},
+      {pfx("203.0.113.0/24"), 9},
+  };
+  const LpmIndex index(table);
+  EXPECT_EQ(index.lookup(addr("203.0.113.7")), 9u);
+  EXPECT_EQ(index.prefix_count(), 1u);  // distinct prefixes
+}
+
+TEST(LpmIndexTest, ExtremeAddressesWithEdgePrefixes) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("0.0.0.0/32"), 1},
+      {pfx("255.255.255.255/32"), 2},
+      {pfx("255.255.255.254/31"), 3},
+  };
+  const LpmIndex index(table);
+  EXPECT_EQ(index.lookup(addr("0.0.0.0")), 1u);
+  EXPECT_EQ(index.lookup(addr("0.0.0.1")), LpmIndex::kNoMatch);
+  EXPECT_EQ(index.lookup(addr("255.255.255.255")), 2u);
+  EXPECT_EQ(index.lookup(addr("255.255.255.254")), 3u);
+  EXPECT_EQ(index.lookup(addr("255.255.255.253")), LpmIndex::kNoMatch);
+}
+
+TEST(LpmIndexTest, ValueOutOfRangeThrows) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("10.0.0.0/8"), LpmIndex::kNoMatch}};
+  EXPECT_THROW(LpmIndex{table}, Error);
+}
+
+TEST(LpmIndexTest, LookupManyMatchesScalarLookup) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("10.0.0.0/8"), 1},
+      {pfx("10.2.0.0/15"), 2},
+      {pfx("172.16.0.0/12"), 3},
+  };
+  const LpmIndex index(table);
+  std::vector<std::uint32_t> addresses;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    addresses.push_back(0x09000000u + i * 0x00020301u);  // spread widely
+  }
+  const auto batched = index.lookup_many(addresses);
+  ASSERT_EQ(batched.size(), addresses.size());
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    EXPECT_EQ(batched[i], index.lookup(net::Ipv4Address(addresses[i])));
+  }
+}
+
+TEST(LpmIndexTest, FromPrefixesBuildsMembershipIndex) {
+  const std::vector<net::Prefix> prefixes{pfx("192.0.2.0/24"),
+                                          pfx("198.18.0.0/15")};
+  const LpmIndex index = LpmIndex::from_prefixes(prefixes);
+  EXPECT_TRUE(index.covers(addr("192.0.2.200")));
+  EXPECT_TRUE(index.covers(addr("198.19.255.255")));
+  EXPECT_FALSE(index.covers(addr("192.0.3.0")));
+  EXPECT_EQ(index.lookup(addr("192.0.2.200")), 0u);
+}
+
+TEST(LpmIndexTest, StatsAreConsistent) {
+  std::vector<LpmIndex::Entry> table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    table.push_back({net::Prefix(net::Ipv4Address(i << 24), 8), i});
+  }
+  const LpmIndex index(table);
+  EXPECT_EQ(index.prefix_count(), 256u);
+  // /8s resolve entirely inside the 16-bit root: no deep nodes needed.
+  EXPECT_EQ(index.node_count(), 0u);
+  EXPECT_GE(index.memory_bytes(), (1u << 16) * sizeof(std::uint32_t));
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(index.lookup(net::Ipv4Address((i << 24) | 0x00ffffffu)), i);
+  }
+}
+
+}  // namespace
+}  // namespace tass::trie

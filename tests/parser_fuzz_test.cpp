@@ -1,0 +1,236 @@
+// Seeded corrupt-input tests for the two external-format parsers the
+// prefix pipeline depends on: the CAIDA pfx2as text reader and the MRT
+// TABLE_DUMP_V2 binary decoder.
+//
+// The contract under test is narrow but vital for anything that eats
+// collector output from the open Internet: for arbitrary corruption the
+// parsers either succeed or throw a tass::Error subclass — they never
+// crash, hang, or read out of bounds (the CI sanitizer job runs this
+// suite under ASan+UBSan to enforce the latter). All corruption is
+// generated from fixed seeds so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgp/mrt.hpp"
+#include "bgp/pfx2as.hpp"
+#include "bgp/rib.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::bgp {
+namespace {
+
+// --- pfx2as ----------------------------------------------------------
+
+std::string valid_pfx2as_document() {
+  return
+      "# CAIDA-style header comment\n"
+      "1.0.0.0\t24\t13335\n"
+      "8.0.0.0\t9\t3356\n"
+      "8.8.8.0\t24\t15169\n"
+      "9.9.9.0\t24\t19281,42\n"
+      "11.0.0.0\t8\t4_5_6\n";
+}
+
+TEST(Pfx2AsCorruption, BadMaskRejectedCleanly) {
+  for (const char* line : {"10.0.0.0\t33\t1", "10.0.0.0\t300\t1",
+                           "10.0.0.0\t-1\t1", "10.0.0.0\t4294967296\t1"}) {
+    EXPECT_THROW(parse_pfx2as_line(line), ParseError) << line;
+  }
+}
+
+TEST(Pfx2AsCorruption, StructuralGarbageRejectedCleanly) {
+  for (const char* line :
+       {"", "10.0.0.0", "10.0.0.0\t24", "10.0.0.0\t24\t1\textra",
+        "999.0.0.0\t8\t1", "10.0.0.0\t8\t", "10.0.0.0\t8\tAS13335",
+        "10.0.0.0\t8\t1,,2", "10.0.0.0\t8\t1__2_"}) {
+    EXPECT_THROW(parse_pfx2as_line(line), ParseError)
+        << "'" << line << "'";
+  }
+}
+
+TEST(Pfx2AsCorruption, OverlappingDuplicatesAreDataNotErrors) {
+  // Duplicate and overlapping announcements are routine in real tables;
+  // the parser must accept them and RoutingTable must merge origins.
+  const auto records = parse_pfx2as(
+      "10.0.0.0\t8\t1\n"
+      "10.0.0.0\t8\t2\n"
+      "10.128.0.0\t9\t3\n");
+  ASSERT_EQ(records.size(), 3u);
+  const RoutingTable table = RoutingTable::from_pfx2as(records);
+  ASSERT_EQ(table.size(), 2u);  // duplicates merged
+  EXPECT_EQ(table.routes()[0].origins, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_TRUE(table.routes()[1].more_specific);
+}
+
+TEST(Pfx2AsCorruption, SeededTruncationsNeverCrash) {
+  const std::string document = valid_pfx2as_document();
+  for (std::size_t cut = 0; cut <= document.size(); ++cut) {
+    const std::string_view truncated(document.data(), cut);
+    try {
+      parse_pfx2as(truncated);  // strict: may throw ParseError
+    } catch (const Error&) {
+    }
+    // Lenient mode must swallow every line-level problem.
+    std::size_t skipped = 0;
+    EXPECT_NO_THROW(parse_pfx2as(truncated, /*strict=*/false, &skipped));
+  }
+}
+
+TEST(Pfx2AsCorruption, SeededByteFlipsNeverCrash) {
+  const std::string document = valid_pfx2as_document();
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 200; ++round) {
+      std::string mutated = document;
+      const std::size_t flips = 1 + rng.bounded(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.bounded(mutated.size()));
+        mutated[pos] = static_cast<char>(rng.bounded(256));
+      }
+      try {
+        const auto records = parse_pfx2as(mutated);
+        // Whatever survived must be structurally sane.
+        for (const auto& record : records) {
+          EXPECT_LE(record.prefix.length(), 32);
+          EXPECT_FALSE(record.origins.empty());
+        }
+      } catch (const Error&) {
+        // Clean rejection is the other acceptable outcome.
+      }
+    }
+  }
+}
+
+// --- MRT -------------------------------------------------------------
+
+MrtRibDump valid_dump() {
+  MrtRibDump dump;
+  dump.timestamp = 1441584000;  // 2015-09-07, the paper's snapshot
+  dump.collector_id = net::Ipv4Address::from_octets(198, 51, 100, 1);
+  dump.view_name = "tass-test";
+  dump.peers.push_back({net::Ipv4Address::from_octets(192, 0, 2, 1),
+                        net::Ipv4Address::from_octets(192, 0, 2, 2), 64500});
+  dump.peers.push_back({net::Ipv4Address::from_octets(192, 0, 2, 3),
+                        net::Ipv4Address::from_octets(192, 0, 2, 4), 64501});
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    MrtRibRecord record;
+    record.sequence = i;
+    record.prefix = net::Prefix(net::Ipv4Address(0x0a000000u + (i << 16)),
+                                i % 2 == 0 ? 16 : 24);
+    MrtRibEntry entry;
+    entry.peer_index = static_cast<std::uint16_t>(i % 2);
+    entry.originated_time = dump.timestamp - i;
+    entry.origin = BgpOrigin::kIgp;
+    entry.as_path.push_back(
+        {AsPathSegment::Kind::kAsSequence, {64500, 3356, 13335 + i}});
+    entry.next_hop = net::Ipv4Address::from_octets(192, 0, 2, 2);
+    record.entries.push_back(std::move(entry));
+    dump.records.push_back(std::move(record));
+  }
+  return dump;
+}
+
+TEST(MrtCorruption, RoundTripSurvives) {
+  const MrtRibDump dump = valid_dump();
+  const auto bytes = encode_mrt(dump);
+  const MrtRibDump decoded = decode_mrt(bytes);
+  ASSERT_EQ(decoded.records.size(), dump.records.size());
+  EXPECT_EQ(decoded.peers, dump.peers);
+  EXPECT_EQ(decoded.records, dump.records);
+}
+
+TEST(MrtCorruption, EveryTruncationPointRejectedCleanly) {
+  const auto bytes = encode_mrt(valid_dump());
+  // A truncated dump must either decode a clean prefix of the records or
+  // throw FormatError — at every possible cut point.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    try {
+      const MrtRibDump decoded =
+          decode_mrt(std::span(bytes.data(), cut));
+      EXPECT_LE(decoded.records.size(), 8u);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(MrtCorruption, BadPrefixLengthRejected) {
+  // Corrupt the prefix-length byte of the first RIB record to every
+  // invalid value; the decoder must throw FormatError, never build a
+  // Prefix with length > 32 (which would corrupt downstream masks).
+  const MrtRibDump dump = valid_dump();
+  const auto bytes = encode_mrt(dump);
+  // Locate the first RIB record's length byte: scan for the encoded
+  // sequence number 0 followed by the known prefix length 16.
+  std::size_t length_offset = 0;
+  for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+    if (std::to_integer<std::uint8_t>(bytes[i]) == 0 &&
+        std::to_integer<std::uint8_t>(bytes[i + 1]) == 0 &&
+        std::to_integer<std::uint8_t>(bytes[i + 2]) == 0 &&
+        std::to_integer<std::uint8_t>(bytes[i + 3]) == 0 &&
+        std::to_integer<std::uint8_t>(bytes[i + 4]) == 16) {
+      length_offset = i + 4;
+      break;
+    }
+  }
+  ASSERT_NE(length_offset, 0u) << "could not locate RIB record";
+  for (int bad = 33; bad < 256; bad += 37) {
+    auto mutated = bytes;
+    mutated[length_offset] = static_cast<std::byte>(bad);
+    EXPECT_THROW(decode_mrt(mutated), FormatError) << "length=" << bad;
+  }
+}
+
+TEST(MrtCorruption, SeededByteFlipsNeverCrash) {
+  const auto bytes = encode_mrt(valid_dump());
+  for (const std::uint64_t seed : {7ull, 77ull, 777ull, 7777ull, 77777ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 400; ++round) {
+      auto mutated = bytes;
+      const std::size_t flips = 1 + rng.bounded(6);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.bounded(mutated.size()));
+        mutated[pos] = static_cast<std::byte>(rng.bounded(256));
+      }
+      try {
+        const MrtRibDump decoded = decode_mrt(mutated);
+        for (const MrtRibRecord& record : decoded.records) {
+          EXPECT_LE(record.prefix.length(), 32);
+        }
+      } catch (const Error&) {
+        // Structural corruption must surface as FormatError (a subclass
+        // of Error), nothing else.
+      }
+    }
+  }
+}
+
+TEST(MrtCorruption, SeededTruncatedTailsNeverCrash) {
+  const auto bytes = encode_mrt(valid_dump());
+  for (const std::uint64_t seed : {3ull, 5ull, 9ull, 13ull, 21ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 100; ++round) {
+      // Random cut plus random flip near the cut — the classic shape of
+      // an interrupted transfer.
+      const auto cut = static_cast<std::size_t>(rng.bounded(bytes.size()));
+      std::vector<std::byte> mutated(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+      if (!mutated.empty()) {
+        const auto pos =
+            static_cast<std::size_t>(rng.bounded(mutated.size()));
+        mutated[pos] = static_cast<std::byte>(rng.bounded(256));
+      }
+      try {
+        decode_mrt(mutated);
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tass::bgp

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "census/population.hpp"
+#include "core/attribution.hpp"
 #include "scan/blocklist.hpp"
 #include "scan/engine.hpp"
 #include "scan/scope.hpp"
@@ -317,6 +318,53 @@ TEST(ScanEngine, EstimateMatchesRunStats) {
   }
 }
 
+TEST(ScanEngine, RunAttributedMatchesRunPlusAttribute) {
+  // The fused scan+attribution path must produce the same responsive list
+  // as run() and the same per-cell counts as a separate core::attribute
+  // pass — for any thread count.
+  census::TopologyParams topo_params;
+  topo_params.seed = 83;
+  topo_params.l_prefix_count = 80;
+  const auto topology = census::generate_topology(topo_params);
+  census::PopulationParams pop_params;
+  pop_params.host_scale = 0.001;
+  pop_params.seed = 11;
+  const census::Snapshot snapshot = census::generate_population(
+      topology, census::protocol_profile(census::Protocol::kHttp),
+      pop_params);
+
+  std::vector<net::Prefix> cells;
+  for (std::uint32_t cell = 0; cell < topology->m_partition.size();
+       cell += 2) {
+    cells.push_back(topology->m_partition.prefix(cell));
+  }
+  const ScanScope scope(cells, Blocklist{});
+  const SnapshotOracle oracle(snapshot);
+
+  EngineConfig config;
+  config.order = EngineConfig::Order::kEnumerate;
+  config.min_addresses_per_shard = 1 << 10;
+  const ScanResult plain = ScanEngine(config).run(scope, oracle);
+  const core::Attribution reference =
+      core::attribute(plain.responsive, topology->m_partition);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    config.threads = threads;
+    const AttributedScanResult attributed =
+        ScanEngine(config).run_attributed(scope, oracle,
+                                          topology->m_partition);
+    EXPECT_EQ(attributed.result.responsive, plain.responsive)
+        << "threads=" << threads;
+    EXPECT_EQ(attributed.attributed, reference.attributed);
+    EXPECT_EQ(attributed.unattributed, reference.unattributed);
+    ASSERT_EQ(attributed.cell_counts.size(), reference.counts.size());
+    for (std::size_t i = 0; i < reference.counts.size(); ++i) {
+      EXPECT_EQ(attributed.cell_counts[i], reference.counts[i])
+          << "cell=" << i << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ScanEngine, DefaultOracleBatchingPreservesPerProbeCounting) {
   // Oracles that do not override the batched API still see exactly one
   // responds() call per in-scope address on the enumerate path.
@@ -329,6 +377,28 @@ TEST(ScanEngine, DefaultOracleBatchingPreservesPerProbeCounting) {
   const ScanResult result = ScanEngine(config).run(scope, oracle);
   EXPECT_EQ(oracle.probes_, scope.address_count());
   EXPECT_EQ(result.stats.probes_sent, scope.address_count());
+}
+
+TEST(ScanScope, HandlesTopOfAddressSpace) {
+  // Regression for inclusive-upper-bound handling: a scope ending at
+  // 255.255.255.255 must be containable, countable, and enumerable
+  // without the probe loop or the LpmIndex wrapping around.
+  net::IntervalSet targets;
+  targets.insert(net::Interval{Ipv4Address(0xffffff00u),
+                               Ipv4Address(0xffffffffu)});
+  const ScanScope scope(targets);
+  EXPECT_EQ(scope.address_count(), 256u);
+  EXPECT_TRUE(scope.contains(Ipv4Address(0xffffffffu)));
+  EXPECT_TRUE(scope.contains(Ipv4Address(0xffffff00u)));
+  EXPECT_FALSE(scope.contains(Ipv4Address(0xfffffeffu)));
+
+  const CountingOracle oracle({0xffffff05u, 0xffffffffu});
+  EngineConfig config;
+  config.order = EngineConfig::Order::kEnumerate;
+  const ScanResult result = ScanEngine(config).run(scope, oracle);
+  EXPECT_EQ(result.stats.probes_sent, 256u);
+  EXPECT_EQ(result.responsive,
+            (std::vector<std::uint32_t>{0xffffff05u, 0xffffffffu}));
 }
 
 TEST(CostModel, PerProtocolHandshakes) {

@@ -52,6 +52,38 @@ TEST(SpecialUse, ReservedAndScannablePartitionTheSpace) {
   EXPECT_TRUE(reserved.intersect(scannable).empty());
 }
 
+TEST(SpecialUse, ClassifyResolvesRegistryEntries) {
+  const SpecialUseRange* priv =
+      classify(Ipv4Address::parse_or_throw("192.168.1.1"));
+  ASSERT_NE(priv, nullptr);
+  EXPECT_EQ(priv->name, "Private-Use");
+  const SpecialUseRange* anycast =
+      classify(Ipv4Address::parse_or_throw("192.88.99.1"));
+  ASSERT_NE(anycast, nullptr);
+  EXPECT_TRUE(anycast->globally_reachable);
+  EXPECT_EQ(classify(Ipv4Address::parse_or_throw("8.8.8.8")), nullptr);
+}
+
+TEST(SpecialUse, IsReservedAgreesWithReservedSpaceEverywhere) {
+  // The LpmIndex fast path and the IntervalSet must agree, including the
+  // edges of the space and every registry boundary +/- 1.
+  const IntervalSet& reserved = reserved_space();
+  std::vector<std::uint32_t> probes = {0u, ~0u};
+  for (const SpecialUseRange& entry : special_use_ranges()) {
+    const std::uint32_t first = entry.prefix.first().value();
+    const std::uint32_t last = entry.prefix.last().value();
+    probes.push_back(first);
+    probes.push_back(last);
+    if (first != 0) probes.push_back(first - 1);
+    if (last != ~0u) probes.push_back(last + 1);
+  }
+  for (const std::uint32_t value : probes) {
+    const Ipv4Address addr(value);
+    EXPECT_EQ(is_reserved(addr), reserved.contains(addr))
+        << addr.to_string();
+  }
+}
+
 TEST(SpecialUse, ScannableIsRoughlyThePaperScale) {
   // The paper's Figure 1: ~3.7B allocated/scannable addresses.
   const double billions =
