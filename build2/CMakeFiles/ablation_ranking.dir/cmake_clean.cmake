@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ranking.dir/bench/ablation_ranking.cpp.o"
+  "CMakeFiles/ablation_ranking.dir/bench/ablation_ranking.cpp.o.d"
+  "ablation_ranking"
+  "ablation_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

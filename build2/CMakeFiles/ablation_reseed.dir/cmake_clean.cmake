@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reseed.dir/bench/ablation_reseed.cpp.o"
+  "CMakeFiles/ablation_reseed.dir/bench/ablation_reseed.cpp.o.d"
+  "ablation_reseed"
+  "ablation_reseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quality_anomaly.dir/bench/ext_quality_anomaly.cpp.o"
+  "CMakeFiles/ext_quality_anomaly.dir/bench/ext_quality_anomaly.cpp.o.d"
+  "ext_quality_anomaly"
+  "ext_quality_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quality_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_strategy_scope.dir/bench/fig1_strategy_scope.cpp.o"
+  "CMakeFiles/fig1_strategy_scope.dir/bench/fig1_strategy_scope.cpp.o.d"
+  "fig1_strategy_scope"
+  "fig1_strategy_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_strategy_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

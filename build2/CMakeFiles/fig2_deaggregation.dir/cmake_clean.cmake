@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_deaggregation.dir/bench/fig2_deaggregation.cpp.o"
+  "CMakeFiles/fig2_deaggregation.dir/bench/fig2_deaggregation.cpp.o.d"
+  "fig2_deaggregation"
+  "fig2_deaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_deaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_host_distribution.dir/bench/fig3_host_distribution.cpp.o"
+  "CMakeFiles/fig3_host_distribution.dir/bench/fig3_host_distribution.cpp.o.d"
+  "fig3_host_distribution"
+  "fig3_host_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_host_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

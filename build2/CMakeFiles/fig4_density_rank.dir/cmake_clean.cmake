@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_density_rank.dir/bench/fig4_density_rank.cpp.o"
+  "CMakeFiles/fig4_density_rank.dir/bench/fig4_density_rank.cpp.o.d"
+  "fig4_density_rank"
+  "fig4_density_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_density_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hitlist_decay.dir/bench/fig5_hitlist_decay.cpp.o"
+  "CMakeFiles/fig5_hitlist_decay.dir/bench/fig5_hitlist_decay.cpp.o.d"
+  "fig5_hitlist_decay"
+  "fig5_hitlist_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hitlist_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

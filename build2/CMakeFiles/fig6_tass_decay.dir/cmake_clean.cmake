@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tass_decay.dir/bench/fig6_tass_decay.cpp.o"
+  "CMakeFiles/fig6_tass_decay.dir/bench/fig6_tass_decay.cpp.o.d"
+  "fig6_tass_decay"
+  "fig6_tass_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tass_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_efficiency.dir/bench/headline_efficiency.cpp.o"
+  "CMakeFiles/headline_efficiency.dir/bench/headline_efficiency.cpp.o.d"
+  "headline_efficiency"
+  "headline_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

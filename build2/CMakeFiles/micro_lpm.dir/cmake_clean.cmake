@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lpm.dir/bench/micro_lpm.cpp.o"
+  "CMakeFiles/micro_lpm.dir/bench/micro_lpm.cpp.o.d"
+  "micro_lpm"
+  "micro_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

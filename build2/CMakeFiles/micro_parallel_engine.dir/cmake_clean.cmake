@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parallel_engine.dir/bench/micro_parallel_engine.cpp.o"
+  "CMakeFiles/micro_parallel_engine.dir/bench/micro_parallel_engine.cpp.o.d"
+  "micro_parallel_engine"
+  "micro_parallel_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

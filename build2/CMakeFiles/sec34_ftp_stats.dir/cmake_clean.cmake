@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec34_ftp_stats.dir/bench/sec34_ftp_stats.cpp.o"
+  "CMakeFiles/sec34_ftp_stats.dir/bench/sec34_ftp_stats.cpp.o.d"
+  "sec34_ftp_stats"
+  "sec34_ftp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_ftp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

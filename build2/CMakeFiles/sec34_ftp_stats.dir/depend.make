@@ -1,0 +1,2 @@
+# Empty dependencies file for sec34_ftp_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_coverage.dir/bench/table1_coverage.cpp.o"
+  "CMakeFiles/table1_coverage.dir/bench/table1_coverage.cpp.o.d"
+  "table1_coverage"
+  "table1_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aggregate.cpp" "CMakeFiles/tass.dir/src/bgp/aggregate.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/aggregate.cpp.o.d"
+  "/root/repo/src/bgp/deaggregate.cpp" "CMakeFiles/tass.dir/src/bgp/deaggregate.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/deaggregate.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "CMakeFiles/tass.dir/src/bgp/mrt.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/mrt.cpp.o.d"
+  "/root/repo/src/bgp/partition.cpp" "CMakeFiles/tass.dir/src/bgp/partition.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/partition.cpp.o.d"
+  "/root/repo/src/bgp/pfx2as.cpp" "CMakeFiles/tass.dir/src/bgp/pfx2as.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/pfx2as.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "CMakeFiles/tass.dir/src/bgp/rib.cpp.o" "gcc" "CMakeFiles/tass.dir/src/bgp/rib.cpp.o.d"
+  "/root/repo/src/census/churn.cpp" "CMakeFiles/tass.dir/src/census/churn.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/churn.cpp.o.d"
+  "/root/repo/src/census/import.cpp" "CMakeFiles/tass.dir/src/census/import.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/import.cpp.o.d"
+  "/root/repo/src/census/io.cpp" "CMakeFiles/tass.dir/src/census/io.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/io.cpp.o.d"
+  "/root/repo/src/census/population.cpp" "CMakeFiles/tass.dir/src/census/population.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/population.cpp.o.d"
+  "/root/repo/src/census/protocol.cpp" "CMakeFiles/tass.dir/src/census/protocol.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/protocol.cpp.o.d"
+  "/root/repo/src/census/quality.cpp" "CMakeFiles/tass.dir/src/census/quality.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/quality.cpp.o.d"
+  "/root/repo/src/census/series.cpp" "CMakeFiles/tass.dir/src/census/series.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/series.cpp.o.d"
+  "/root/repo/src/census/snapshot.cpp" "CMakeFiles/tass.dir/src/census/snapshot.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/snapshot.cpp.o.d"
+  "/root/repo/src/census/snapshot_index.cpp" "CMakeFiles/tass.dir/src/census/snapshot_index.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/snapshot_index.cpp.o.d"
+  "/root/repo/src/census/topology.cpp" "CMakeFiles/tass.dir/src/census/topology.cpp.o" "gcc" "CMakeFiles/tass.dir/src/census/topology.cpp.o.d"
+  "/root/repo/src/core/attribution.cpp" "CMakeFiles/tass.dir/src/core/attribution.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/attribution.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "CMakeFiles/tass.dir/src/core/estimator.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/estimator.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "CMakeFiles/tass.dir/src/core/evaluate.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/evaluate.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "CMakeFiles/tass.dir/src/core/ranking.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/ranking.cpp.o.d"
+  "/root/repo/src/core/reseed.cpp" "CMakeFiles/tass.dir/src/core/reseed.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/reseed.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "CMakeFiles/tass.dir/src/core/selection.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/selection.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "CMakeFiles/tass.dir/src/core/strategies.cpp.o" "gcc" "CMakeFiles/tass.dir/src/core/strategies.cpp.o.d"
+  "/root/repo/src/net/interval.cpp" "CMakeFiles/tass.dir/src/net/interval.cpp.o" "gcc" "CMakeFiles/tass.dir/src/net/interval.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "CMakeFiles/tass.dir/src/net/ipv4.cpp.o" "gcc" "CMakeFiles/tass.dir/src/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "CMakeFiles/tass.dir/src/net/ipv6.cpp.o" "gcc" "CMakeFiles/tass.dir/src/net/ipv6.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "CMakeFiles/tass.dir/src/net/prefix.cpp.o" "gcc" "CMakeFiles/tass.dir/src/net/prefix.cpp.o.d"
+  "/root/repo/src/net/special_use.cpp" "CMakeFiles/tass.dir/src/net/special_use.cpp.o" "gcc" "CMakeFiles/tass.dir/src/net/special_use.cpp.o.d"
+  "/root/repo/src/report/gnuplot.cpp" "CMakeFiles/tass.dir/src/report/gnuplot.cpp.o" "gcc" "CMakeFiles/tass.dir/src/report/gnuplot.cpp.o.d"
+  "/root/repo/src/report/series.cpp" "CMakeFiles/tass.dir/src/report/series.cpp.o" "gcc" "CMakeFiles/tass.dir/src/report/series.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "CMakeFiles/tass.dir/src/report/table.cpp.o" "gcc" "CMakeFiles/tass.dir/src/report/table.cpp.o.d"
+  "/root/repo/src/scan/blocklist.cpp" "CMakeFiles/tass.dir/src/scan/blocklist.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/blocklist.cpp.o.d"
+  "/root/repo/src/scan/engine.cpp" "CMakeFiles/tass.dir/src/scan/engine.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/engine.cpp.o.d"
+  "/root/repo/src/scan/packet.cpp" "CMakeFiles/tass.dir/src/scan/packet.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/packet.cpp.o.d"
+  "/root/repo/src/scan/ratelimit.cpp" "CMakeFiles/tass.dir/src/scan/ratelimit.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/ratelimit.cpp.o.d"
+  "/root/repo/src/scan/scope.cpp" "CMakeFiles/tass.dir/src/scan/scope.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/scope.cpp.o.d"
+  "/root/repo/src/scan/target_iterator.cpp" "CMakeFiles/tass.dir/src/scan/target_iterator.cpp.o" "gcc" "CMakeFiles/tass.dir/src/scan/target_iterator.cpp.o.d"
+  "/root/repo/src/trie/lpm_index.cpp" "CMakeFiles/tass.dir/src/trie/lpm_index.cpp.o" "gcc" "CMakeFiles/tass.dir/src/trie/lpm_index.cpp.o.d"
+  "/root/repo/src/trie/prefix_set.cpp" "CMakeFiles/tass.dir/src/trie/prefix_set.cpp.o" "gcc" "CMakeFiles/tass.dir/src/trie/prefix_set.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "CMakeFiles/tass.dir/src/util/error.cpp.o" "gcc" "CMakeFiles/tass.dir/src/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/tass.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/tass.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/tass.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/tass.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/tass.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/tass.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
