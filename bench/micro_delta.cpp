@@ -1,0 +1,260 @@
+// Incremental churn micro-benchmark: PrefixPartition::apply_delta +
+// core::rerank_cells (the delta path) versus a from-scratch
+// PrefixPartition construction + core::rank_by_density (the full-rebuild
+// path), across BGP-realistic churn rates on a full-table-sized
+// partition.
+//
+// Plain executable (no google-benchmark dependency) so it always builds
+// and doubles as a ctest bench-smoke test. Prints one machine-readable
+// JSON object on stdout for BENCH tracking; human-readable notes go to
+// stderr. Every step cross-checks the two paths — bit-identical rankings
+// and identical LPM lookups — and exits non-zero on any disagreement, so
+// the benchmark is also a sampled correctness check.
+//
+// The full path is measured *without* re-attribution (it gets the per-cell
+// counts for free), so the reported speedup is a lower bound: a real full
+// rebuild would also rescan the entire advertised space.
+//
+// Usage: micro_delta [--prefixes N] [--steps K] [--seed S]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "census/topology.hpp"
+#include "core/ranking.hpp"
+#include "net/prefix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Disjoint, RIB-shaped partition prefixes: bulk in /17../24, a few short
+// covers — allocated with the buddy allocator so they tile cleanly.
+std::vector<net::Prefix> synthesize_partition(std::size_t count,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<net::Prefix> space{
+      net::Prefix::parse_or_throw("0.0.0.0/2"),
+      net::Prefix::parse_or_throw("64.0.0.0/2"),
+      net::Prefix::parse_or_throw("128.0.0.0/2"),
+      net::Prefix::parse_or_throw("192.0.0.0/2"),
+  };
+  census::BuddyAllocator allocator(space);
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(count);
+  while (prefixes.size() < count) {
+    const double roll = rng.uniform();
+    int length;
+    if (roll < 0.02) {
+      length = 12 + static_cast<int>(rng.bounded(4));
+    } else if (roll < 0.40) {
+      length = 16 + static_cast<int>(rng.bounded(5));
+    } else {
+      length = 21 + static_cast<int>(rng.bounded(4));
+    }
+    const auto prefix = allocator.allocate(length, rng);
+    if (!prefix) {
+      std::fprintf(stderr, "address space exhausted at %zu prefixes\n",
+                   prefixes.size());
+      break;
+    }
+    prefixes.push_back(*prefix);
+  }
+  return prefixes;
+}
+
+// Deterministic per-prefix host count (the bench has no oracle; both
+// paths must see identical counts, which is all that matters here).
+std::uint32_t synthetic_count(net::Prefix prefix, std::uint64_t seed) {
+  const std::uint64_t h =
+      util::mix64(seed, (static_cast<std::uint64_t>(prefix.network().value())
+                         << 6) |
+                            static_cast<std::uint64_t>(prefix.length()));
+  if ((h & 7u) < 3u) return 0;  // ~40% of cells are host-free
+  return static_cast<std::uint32_t>(1 + (h >> 3) % 500);
+}
+
+// One churn batch at the given rate: withdrawn-and-readvertised cells and
+// deaggregation splits, the two dominant real-world shapes.
+bgp::PartitionDelta draw_delta(const bgp::PrefixPartition& partition,
+                               double rate, util::Rng& rng) {
+  bgp::PartitionDelta delta;
+  const auto changes = static_cast<std::size_t>(
+      static_cast<double>(partition.live_cells()) * rate);
+  std::vector<std::uint8_t> used(partition.size(), 0);
+  for (std::size_t k = 0; k < changes; ++k) {
+    const auto slot =
+        static_cast<std::uint32_t>(rng.bounded(partition.size()));
+    if (used[slot] != 0 || !partition.live(slot)) continue;
+    used[slot] = 1;
+    const net::Prefix prefix = partition.prefix(slot);
+    delta.remove.push_back(prefix);
+    if (prefix.length() < 30 && rng.chance(0.5)) {
+      delta.add.push_back(prefix.lower_half());
+      delta.add.push_back(prefix.upper_half());
+    } else {
+      delta.add.push_back(prefix);  // withdraw + re-advertise
+    }
+  }
+  return delta;
+}
+
+bool rankings_agree(const core::DensityRanking& a,
+                    const core::DensityRanking& b) {
+  if (a.total_hosts != b.total_hosts || a.ranked.size() != b.ranked.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].prefix != b.ranked[i].prefix ||
+        a.ranked[i].hosts != b.ranked[i].hosts ||
+        a.ranked[i].density != b.ranked[i].density ||
+        a.ranked[i].host_share != b.ranked[i].host_share) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct RateResult {
+  double churn = 0.0;
+  double delta_ms = 0.0;  // apply_delta + reindex + rerank, mean per step
+  double full_ms = 0.0;   // fresh partition + full rank, mean per step
+  double speedup = 0.0;
+  std::uint64_t changed_cells = 0;  // mean invalidated cells per step
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t prefix_count = 120'000;
+  int steps = 5;
+  std::uint64_t seed = 2016;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '%s'\n", argv[i]);
+      return 2;
+    }
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0') {
+      std::fprintf(stderr, "not a number: '%s'\n", argv[i + 1]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--prefixes") == 0) {
+      prefix_count = value;
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      steps = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: micro_delta [--prefixes N] "
+                   "[--steps K] [--seed S]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (prefix_count == 0) prefix_count = 1;
+  if (steps <= 0) steps = 1;
+
+  const auto initial = synthesize_partition(prefix_count, seed);
+  constexpr double kRates[] = {0.001, 0.01, 0.05};
+  std::vector<RateResult> results;
+
+  for (const double rate : kRates) {
+    util::Rng rng(util::mix64(seed, static_cast<std::uint64_t>(rate * 1e6)));
+    bgp::PrefixPartition partition{std::vector<net::Prefix>(initial)};
+    std::vector<std::uint32_t> counts(partition.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = synthetic_count(partition.prefix(i), seed);
+    }
+    core::DensityRanking ranking =
+        core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+
+    RateResult result;
+    result.churn = rate;
+    for (int step = 0; step < steps; ++step) {
+      const bgp::PartitionDelta delta = draw_delta(partition, rate, rng);
+
+      // --- delta path (timed) -----------------------------------------
+      auto start = std::chrono::steady_clock::now();
+      const bgp::PartitionApplyResult applied = partition.apply_delta(delta);
+      applied.reindex(counts);
+      for (const std::uint32_t cell : applied.added_cells) {
+        counts[cell] = synthetic_count(partition.prefix(cell), seed);
+      }
+      core::rerank_cells(ranking, counts, partition, applied);
+      result.delta_ms += ms_since(start);
+      result.changed_cells += applied.removed_cells.size() +
+                              applied.added_cells.size();
+
+      // --- full-rebuild path (timed; the per-cell counts are handed
+      // over for free, so generating them stays OUTSIDE the clock) -----
+      const auto live = partition.live_prefixes();
+      std::vector<std::uint32_t> fresh_counts(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        fresh_counts[i] = synthetic_count(live[i], seed);
+      }
+      start = std::chrono::steady_clock::now();
+      const bgp::PrefixPartition fresh{std::vector<net::Prefix>(live)};
+      const core::DensityRanking fresh_ranking = core::rank_by_density(
+          fresh_counts, fresh, core::PrefixMode::kMore);
+      result.full_ms += ms_since(start);
+
+      // --- cross-check (not timed) ------------------------------------
+      if (!rankings_agree(ranking, fresh_ranking)) {
+        std::fprintf(stderr, "RANKING MISMATCH at rate %.3f step %d\n",
+                     rate, step);
+        return 1;
+      }
+      for (int probe = 0; probe < 20000; ++probe) {
+        const net::Ipv4Address address(
+            static_cast<std::uint32_t>(rng.bounded(1ull << 32)));
+        const auto got = partition.locate(address);
+        const auto want = fresh.locate(address);
+        if (got.has_value() != want.has_value() ||
+            (got && partition.prefix(*got) != fresh.prefix(*want))) {
+          std::fprintf(stderr, "LOOKUP MISMATCH at %s\n",
+                       address.to_string().c_str());
+          return 1;
+        }
+      }
+    }
+    result.delta_ms /= steps;
+    result.full_ms /= steps;
+    result.changed_cells /= static_cast<std::uint64_t>(steps);
+    result.speedup =
+        result.delta_ms > 0.0 ? result.full_ms / result.delta_ms : 0.0;
+    results.push_back(result);
+
+    std::fprintf(stderr,
+                 "# churn %5.2f%%: delta %8.3f ms, full rebuild %8.3f ms, "
+                 "speedup %6.1fx (%" PRIu64 " cells/step)\n",
+                 rate * 100.0, result.delta_ms, result.full_ms,
+                 result.speedup, result.changed_cells);
+  }
+
+  std::printf("{\"bench\":\"micro_delta\",\"prefixes\":%zu,\"steps\":%d,"
+              "\"seed\":%" PRIu64 ",\"rates\":[",
+              prefix_count, steps, seed);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RateResult& r = results[i];
+    std::printf("%s{\"churn\":%.4f,\"changed_cells\":%" PRIu64
+                ",\"delta_ms\":%.3f,\"full_ms\":%.3f,\"speedup\":%.2f}",
+                i == 0 ? "" : ",", r.churn, r.changed_cells, r.delta_ms,
+                r.full_ms, r.speedup);
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -67,7 +67,9 @@ void encode_attribute(ByteWriter& out, std::uint8_t flags,
   out.bytes(value);
 }
 
-std::vector<std::byte> encode_attributes(const MrtRibEntry& entry) {
+}  // namespace
+
+std::vector<std::byte> encode_path_attributes(const MrtRibEntry& entry) {
   ByteWriter attrs;
 
   {
@@ -98,6 +100,8 @@ std::vector<std::byte> encode_attributes(const MrtRibEntry& entry) {
   return std::move(attrs).take();
 }
 
+namespace {
+
 std::vector<std::byte> encode_rib_record(const MrtRibRecord& record) {
   ByteWriter body;
   body.u32(record.sequence);
@@ -114,7 +118,7 @@ std::vector<std::byte> encode_rib_record(const MrtRibRecord& record) {
   for (const MrtRibEntry& entry : record.entries) {
     body.u16(entry.peer_index);
     body.u32(entry.originated_time);
-    const auto attrs = encode_attributes(entry);
+    const auto attrs = encode_path_attributes(entry);
     if (attrs.size() > 0xffff) {
       throw FormatError("RIB entry attributes too long");
     }
@@ -225,6 +229,11 @@ MrtRibRecord decode_rib_record(ByteReader in) {
 }
 
 }  // namespace
+
+void decode_path_attributes(std::span<const std::byte> data,
+                            MrtRibEntry& entry) {
+  decode_attributes(ByteReader(data), entry);
+}
 
 std::optional<std::uint32_t> MrtRibEntry::origin_as() const noexcept {
   if (as_path.empty()) return std::nullopt;

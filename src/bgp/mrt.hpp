@@ -29,12 +29,20 @@ namespace tass::bgp {
 /// MRT top-level record types (RFC 6396 §4).
 enum class MrtType : std::uint16_t {
   kTableDumpV2 = 13,
+  kBgp4mp = 16,  // live BGP message stream (bgp::rib_delta consumes it)
 };
 
 /// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
 enum class TableDumpV2Subtype : std::uint16_t {
   kPeerIndexTable = 1,
   kRibIpv4Unicast = 2,
+};
+
+/// BGP4MP subtypes (RFC 6396 §4.4). Only the 4-byte-AS message form is
+/// produced and consumed; the others are skipped by readers.
+enum class Bgp4mpSubtype : std::uint16_t {
+  kMessage = 1,
+  kMessageAs4 = 4,
 };
 
 /// BGP path attribute type codes (RFC 4271 §5).
@@ -105,6 +113,14 @@ struct MrtRibDump {
   std::vector<MrtRibRecord> records;
   std::size_t skipped_records = 0;  // unknown types/subtypes encountered
 };
+
+/// Encodes/decodes the BGP path-attribute block shared by TABLE_DUMP_V2
+/// RIB entries and BGP4MP UPDATE messages (ORIGIN, AS_PATH with 4-byte
+/// ASNs, NEXT_HOP; unknown attributes are skipped on decode). Exposed so
+/// bgp::rib_delta's update-stream codec reuses the one implementation.
+std::vector<std::byte> encode_path_attributes(const MrtRibEntry& entry);
+void decode_path_attributes(std::span<const std::byte> data,
+                            MrtRibEntry& entry);
 
 /// Encodes a RIB dump into MRT wire format (PEER_INDEX_TABLE first, then
 /// one RIB_IPV4_UNICAST record per route, in the given order).

@@ -34,6 +34,165 @@ PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
     address_count_ += prefix.size();
   }
   index_ = trie::LpmIndex(table);
+  live_count_ = prefixes_.size();
+}
+
+PartitionApplyResult PrefixPartition::apply_delta(
+    const PartitionDelta& delta) {
+  PartitionApplyResult result;
+  result.old_cell_count = static_cast<std::uint32_t>(prefixes_.size());
+
+  // ---- validation (all of it before any mutation) --------------------
+  result.removed_cells.reserve(delta.remove.size());
+  for (const net::Prefix prefix : delta.remove) {
+    const auto slot = index_of(prefix);
+    if (!slot) {
+      throw Error("apply_delta: removed prefix " + prefix.to_string() +
+                  " is not a live cell");
+    }
+    result.removed_cells.push_back(*slot);
+  }
+  std::sort(result.removed_cells.begin(), result.removed_cells.end());
+  if (std::adjacent_find(result.removed_cells.begin(),
+                         result.removed_cells.end()) !=
+      result.removed_cells.end()) {
+    throw Error("apply_delta: prefix removed twice");
+  }
+  // O(1) removal test: the sorted-view merge below asks it once per cell.
+  std::vector<std::uint8_t> removed_flag(prefixes_.size(), 0);
+  for (const std::uint32_t slot : result.removed_cells) {
+    removed_flag[slot] = 1;
+  }
+  const auto being_removed = [&](std::uint32_t slot) {
+    return removed_flag[slot] != 0;
+  };
+
+  {
+    // Additions must be pairwise disjoint: with CIDR blocks sorted by
+    // (network, length), any overlap is visible as a prefix starting at
+    // or before the furthest end seen so far (same sweep as the ctor).
+    std::vector<net::Prefix> adds(delta.add.begin(), delta.add.end());
+    std::sort(adds.begin(), adds.end());
+    bool have_previous = false;
+    std::uint32_t max_last = 0;
+    for (const net::Prefix prefix : adds) {
+      if (have_previous && prefix.network().value() <= max_last) {
+        throw Error("apply_delta: added prefixes overlap at " +
+                    prefix.to_string());
+      }
+      max_last = prefix.last().value();
+      have_previous = true;
+    }
+  }
+  for (const net::Prefix prefix : delta.add) {
+    // The partition is disjoint, so at most one live cell covers the
+    // added prefix's network address; any other overlapping live cell
+    // must start strictly inside the added prefix.
+    if (const auto covering = locate(prefix.network())) {
+      if (!being_removed(*covering) &&
+          prefixes_[*covering].overlaps(prefix)) {
+        throw Error("apply_delta: added prefix " + prefix.to_string() +
+                    " overlaps live cell " +
+                    prefixes_[*covering].to_string());
+      }
+    }
+    const auto begin = std::lower_bound(
+        sorted_.begin(), sorted_.end(), prefix,
+        [](const auto& entry, net::Prefix p) { return entry.first < p; });
+    for (auto it = begin;
+         it != sorted_.end() &&
+         it->first.network().value() <= prefix.last().value();
+         ++it) {
+      if (!being_removed(it->second)) {
+        throw Error("apply_delta: added prefix " + prefix.to_string() +
+                    " overlaps live cell " + it->first.to_string());
+      }
+    }
+  }
+  const std::size_t pool_capacity =
+      free_slots_.size() + result.removed_cells.size();
+  const std::size_t appended =
+      delta.add.size() > pool_capacity ? delta.add.size() - pool_capacity : 0;
+  if (prefixes_.size() + appended >= trie::LpmIndex::kNoMatch) {
+    throw Error("partition too large");
+  }
+
+  // ---- mutation ------------------------------------------------------
+  if (live_.empty()) live_.assign(prefixes_.size(), 1);
+
+  std::vector<trie::LpmIndex::Entry> upserts;
+  upserts.reserve(delta.add.size());
+  std::vector<net::Prefix> erases;
+  erases.reserve(result.removed_cells.size());
+  for (const std::uint32_t slot : result.removed_cells) {
+    live_[slot] = 0;
+    address_count_ -= prefixes_[slot].size();
+    erases.push_back(prefixes_[slot]);
+  }
+  live_count_ -= result.removed_cells.size();
+
+  // Free pool: pre-existing free slots plus the ones this delta freed,
+  // consumed in ascending order so slot assignment is deterministic.
+  std::vector<std::uint32_t> pool;
+  pool.reserve(pool_capacity);
+  std::merge(free_slots_.begin(), free_slots_.end(),
+             result.removed_cells.begin(), result.removed_cells.end(),
+             std::back_inserter(pool));
+  std::size_t pooled = 0;
+  result.added_cells.reserve(delta.add.size());
+  for (const net::Prefix prefix : delta.add) {
+    std::uint32_t slot;
+    if (pooled < pool.size()) {
+      slot = pool[pooled++];
+      prefixes_[slot] = prefix;
+    } else {
+      slot = static_cast<std::uint32_t>(prefixes_.size());
+      prefixes_.push_back(prefix);
+      live_.push_back(0);
+    }
+    live_[slot] = 1;
+    address_count_ += prefix.size();
+    result.added_cells.push_back(slot);
+    upserts.push_back({prefix, slot});
+  }
+  live_count_ += delta.add.size();
+  free_slots_.assign(pool.begin() + static_cast<std::ptrdiff_t>(pooled),
+                     pool.end());
+  result.new_cell_count = static_cast<std::uint32_t>(prefixes_.size());
+
+  // Patch the sorted live-cell view: drop removed entries, merge in the
+  // added ones (one linear pass; both sequences are prefix-sorted).
+  std::vector<std::pair<net::Prefix, std::uint32_t>> added_sorted;
+  added_sorted.reserve(delta.add.size());
+  for (std::size_t i = 0; i < delta.add.size(); ++i) {
+    added_sorted.emplace_back(delta.add[i], result.added_cells[i]);
+  }
+  std::sort(added_sorted.begin(), added_sorted.end());
+  std::vector<std::pair<net::Prefix, std::uint32_t>> next;
+  next.reserve(sorted_.size() - result.removed_cells.size() +
+               added_sorted.size());
+  auto add_it = added_sorted.cbegin();
+  for (const auto& entry : sorted_) {
+    if (being_removed(entry.second)) continue;
+    while (add_it != added_sorted.cend() && add_it->first < entry.first) {
+      next.push_back(*add_it++);
+    }
+    next.push_back(entry);
+  }
+  next.insert(next.end(), add_it, added_sorted.cend());
+  sorted_ = std::move(next);
+
+  // Patch the LpmIndex with the *net* change per prefix: a prefix that is
+  // both withdrawn and re-announced is a plain value upsert.
+  std::vector<net::Prefix> upserted;
+  upserted.reserve(upserts.size());
+  for (const auto& entry : upserts) upserted.push_back(entry.prefix);
+  std::sort(upserted.begin(), upserted.end());
+  std::erase_if(erases, [&](net::Prefix p) {
+    return std::binary_search(upserted.begin(), upserted.end(), p);
+  });
+  result.index_stats = index_.update(upserts, erases);
+  return result;
 }
 
 std::optional<std::uint32_t> PrefixPartition::locate(
@@ -58,8 +217,39 @@ std::optional<std::uint32_t> PrefixPartition::index_of(
   return it->second;
 }
 
+std::vector<net::Prefix> PrefixPartition::live_prefixes() const {
+  if (live_.empty()) {
+    return std::vector<net::Prefix>(prefixes_.begin(), prefixes_.end());
+  }
+  std::vector<net::Prefix> live;
+  live.reserve(live_count_);
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    if (live_[i] != 0) live.push_back(prefixes_[i]);
+  }
+  return live;
+}
+
 net::IntervalSet PrefixPartition::to_interval_set() const {
-  return net::IntervalSet::of_prefixes(prefixes_);
+  if (live_.empty()) return net::IntervalSet::of_prefixes(prefixes_);
+  return net::IntervalSet::of_prefixes(live_prefixes());
+}
+
+PartitionDelta partition_delta(const PrefixPartition& current,
+                               std::span<const net::Prefix> target) {
+  std::vector<net::Prefix> want(target.begin(), target.end());
+  std::sort(want.begin(), want.end());
+  if (std::adjacent_find(want.begin(), want.end()) != want.end()) {
+    throw Error("partition_delta: duplicate prefix in target");
+  }
+  std::vector<net::Prefix> have = current.live_prefixes();
+  std::sort(have.begin(), have.end());
+
+  PartitionDelta delta;
+  std::set_difference(have.begin(), have.end(), want.begin(), want.end(),
+                      std::back_inserter(delta.remove));
+  std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
+                      std::back_inserter(delta.add));
+  return delta;
 }
 
 }  // namespace tass::bgp

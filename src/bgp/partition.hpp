@@ -8,6 +8,14 @@
 // currency between bgp, census, and core. Attribution rides on the
 // trie::LpmIndex substrate: locate() is a handful of dependent loads and
 // locate_many() resolves a whole shard's addresses in one call.
+//
+// Churn: apply_delta() patches the partition in place as the BGP table
+// evolves. Cell indices are *stable* — surviving cells keep their index
+// across any number of deltas, so per-cell state (host counts, rankings)
+// carried between scan cycles stays valid without re-attribution. Removed
+// cells become free slots that later additions reuse; until reused, a
+// dead slot stays in size() with live(i) == false and can never be
+// returned by locate()/locate_many().
 #pragma once
 
 #include <algorithm>
@@ -25,6 +33,48 @@
 
 namespace tass::bgp {
 
+/// A batch of prefix-level changes to a partition: `remove` lists cells to
+/// withdraw (must be present), `add` lists prefixes to announce (must stay
+/// disjoint from the surviving cells and from each other). Typically
+/// derived from a bgp::RibDelta via partition_delta().
+struct PartitionDelta {
+  std::vector<net::Prefix> remove;
+  std::vector<net::Prefix> add;
+
+  bool empty() const noexcept { return remove.empty() && add.empty(); }
+  std::size_t change_count() const noexcept {
+    return remove.size() + add.size();
+  }
+};
+
+/// Cell bookkeeping produced by PrefixPartition::apply_delta — exactly the
+/// invalidation set an incremental consumer (core::rerank_cells,
+/// core::churn_step) needs to re-score only what the delta touched.
+struct PartitionApplyResult {
+  /// Cells withdrawn by the delta, ascending. Their per-cell state is
+  /// stale; the slots were freed (and possibly reused by `added_cells`).
+  std::vector<std::uint32_t> removed_cells;
+  /// Cells created for added prefixes, ascending: reused free slots first,
+  /// then slots appended at the end of the partition.
+  std::vector<std::uint32_t> added_cells;
+  std::uint32_t old_cell_count = 0;  // size() before the delta
+  std::uint32_t new_cell_count = 0;  // size() after the delta
+
+  /// How the LpmIndex absorbed the change (patched vs rebuilt); benches
+  /// and tests use this to see which path the cost model chose.
+  trie::LpmIndex::UpdateStats index_stats;
+
+  /// Grows a per-cell vector to the post-delta size() and resets the slots
+  /// whose cell was removed or re-assigned, leaving untouched cells'
+  /// values in place (index stability makes this a pure patch).
+  template <typename T>
+  void reindex(std::vector<T>& per_cell) const {
+    per_cell.resize(new_cell_count);
+    for (const std::uint32_t cell : removed_cells) per_cell[cell] = T{};
+    for (const std::uint32_t cell : added_cells) per_cell[cell] = T{};
+  }
+};
+
 class PrefixPartition {
  public:
   PrefixPartition() = default;
@@ -33,14 +83,58 @@ class PrefixPartition {
   /// the input order is preserved and becomes the cell index order.
   explicit PrefixPartition(std::vector<net::Prefix> prefixes);
 
+  /// Number of cell slots (live + free). Per-cell vectors are sized by
+  /// this; free slots simply never receive attributions.
   std::size_t size() const noexcept { return prefixes_.size(); }
   bool empty() const noexcept { return prefixes_.empty(); }
 
+  /// Live cells (size() minus free slots left by apply_delta).
+  std::size_t live_cells() const noexcept { return live_count_; }
+  std::size_t free_cells() const noexcept {
+    return prefixes_.size() - live_count_;
+  }
+
+  /// True if the slot currently holds a cell (always true for a freshly
+  /// constructed partition; apply_delta may free slots).
+  bool live(std::size_t index) const noexcept {
+    TASS_EXPECTS(index < prefixes_.size());
+    return live_.empty() || live_[index] != 0;
+  }
+
+  /// Prefix of the cell at `index`. For a freed slot this returns the
+  /// last prefix the slot held — callers walking all slots should gate on
+  /// live(i) (attribution never produces counts for freed slots, so
+  /// count-driven consumers like core::rank_by_density need no gate).
   net::Prefix prefix(std::size_t index) const noexcept {
     TASS_EXPECTS(index < prefixes_.size());
     return prefixes_[index];
   }
   std::span<const net::Prefix> prefixes() const noexcept { return prefixes_; }
+
+  /// The live prefixes in slot order (== prefixes() for a partition that
+  /// never absorbed a delta). This is the prefix set a from-scratch
+  /// rebuild of this partition would be built from.
+  std::vector<net::Prefix> live_prefixes() const;
+
+  /// Applies a prefix-level delta in place, patching the LpmIndex rather
+  /// than rebuilding it (see trie::LpmIndex::update for the cost model).
+  ///
+  /// Index stability contract: cells not named by the delta keep their
+  /// index, prefix, and locate() behaviour bit-identically; only the
+  /// removed/added cells change. After the call, locate()/locate_many()
+  /// and index_of() are bit-identical to a partition freshly built from
+  /// the post-delta live prefix set — the delta differential suite
+  /// enforces this.
+  ///
+  /// Validation happens before any mutation (strong guarantee): throws
+  /// tass::Error if a removed prefix is not a live cell, is listed twice,
+  /// or if an added prefix overlaps a surviving cell or another addition.
+  /// A prefix listed in both remove and add is allowed (the cell is
+  /// withdrawn and re-announced, landing on a possibly different slot).
+  ///
+  /// Thread safety: like LpmIndex::update — never concurrent with locate
+  /// queries or another apply_delta; deltas apply between scan cycles.
+  PartitionApplyResult apply_delta(const PartitionDelta& delta);
 
   /// Sentinel cell index reported by locate_many for unrouted addresses.
   static constexpr std::uint32_t kNoCell = trie::LpmIndex::kNoMatch;
@@ -86,19 +180,32 @@ class PrefixPartition {
   /// The underlying match substrate (shared with benches and tests).
   const trie::LpmIndex& index() const noexcept { return index_; }
 
-  /// Total number of addresses covered by the partition.
+  /// Total number of addresses covered by the (live) partition cells.
   std::uint64_t address_count() const noexcept { return address_count_; }
 
-  /// The covered space as an interval set.
+  /// The covered space as an interval set (live cells only).
   net::IntervalSet to_interval_set() const;
 
  private:
   std::vector<net::Prefix> prefixes_;
-  // Cells sorted by (network, length) for index_of binary search; the
-  // second member is the cell index in input order.
+  // Live cells sorted by (network, length) for index_of binary search;
+  // the second member is the cell's slot index.
   std::vector<std::pair<net::Prefix, std::uint32_t>> sorted_;
   trie::LpmIndex index_;
   std::uint64_t address_count_ = 0;
+  // Tombstone bookkeeping for apply_delta. live_ stays empty until the
+  // first delta frees a slot (the common fresh-build case pays nothing);
+  // free_slots_ is kept ascending so reuse is deterministic.
+  std::vector<std::uint8_t> live_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
 };
+
+/// Prefix-level diff between a partition's live cells and a target prefix
+/// set: apply_delta(partition_delta(p, target)) makes p cover exactly
+/// `target`. Throws tass::Error if `target` contains duplicates (overlap
+/// among the survivors is caught by apply_delta itself).
+PartitionDelta partition_delta(const PrefixPartition& current,
+                               std::span<const net::Prefix> target);
 
 }  // namespace tass::bgp

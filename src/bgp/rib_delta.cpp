@@ -1,0 +1,442 @@
+#include "bgp/rib_delta.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "bgp/mrt.hpp"
+#include "util/endian.hpp"
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+constexpr std::uint8_t kBgpUpdate = 2;
+constexpr std::size_t kBgpMarkerSize = 16;
+constexpr std::size_t kBgpHeaderSize = kBgpMarkerSize + 2 + 1;
+// Prefixes per UPDATE message; keeps every message far below the 4096-byte
+// BGP limit (64 * 5 NLRI bytes + attributes).
+constexpr std::size_t kPrefixesPerMessage = 64;
+
+bool record_less(const Pfx2AsRecord& a, const Pfx2AsRecord& b) noexcept {
+  return a.prefix < b.prefix;
+}
+
+// Sorted copy of a table; throws if two records share a prefix.
+std::vector<Pfx2AsRecord> sorted_table(std::span<const Pfx2AsRecord> table,
+                                       const char* what) {
+  std::vector<Pfx2AsRecord> sorted(table.begin(), table.end());
+  std::sort(sorted.begin(), sorted.end(), record_less);
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i].prefix == sorted[i + 1].prefix) {
+      throw Error(std::string(what) + ": duplicate prefix " +
+                  sorted[i].prefix.to_string());
+    }
+  }
+  return sorted;
+}
+
+// BGP NLRI / withdrawn-routes prefix encoding: length byte + the minimal
+// number of network bytes.
+void encode_wire_prefix(ByteWriter& out, net::Prefix prefix) {
+  out.u8(static_cast<std::uint8_t>(prefix.length()));
+  const int prefix_bytes = (prefix.length() + 7) / 8;
+  const std::uint32_t network = prefix.network().value();
+  for (int i = 0; i < prefix_bytes; ++i) {
+    out.u8(static_cast<std::uint8_t>((network >> (24 - 8 * i)) & 0xff));
+  }
+}
+
+net::Prefix decode_wire_prefix(ByteReader& in) {
+  const std::uint8_t length = in.u8();
+  if (length > 32) {
+    throw FormatError("invalid IPv4 prefix length " + std::to_string(length));
+  }
+  const int prefix_bytes = (length + 7) / 8;
+  std::uint32_t network = 0;
+  const auto raw = in.bytes(static_cast<std::size_t>(prefix_bytes));
+  for (int i = 0; i < prefix_bytes; ++i) {
+    network |= std::to_integer<std::uint32_t>(raw[static_cast<std::size_t>(i)])
+               << (24 - 8 * i);
+  }
+  return net::Prefix(net::Ipv4Address(network), length);
+}
+
+// Wraps one BGP message into a BGP4MP_MESSAGE_AS4 MRT record.
+void encode_bgp4mp_record(ByteWriter& out, std::uint32_t timestamp,
+                          std::uint32_t peer_asn,
+                          net::Ipv4Address peer_address,
+                          std::span<const std::byte> bgp_message) {
+  ByteWriter body;
+  body.u32(peer_asn);
+  body.u32(peer_asn);  // local AS (we synthesise a single-speaker stream)
+  body.u16(0);         // interface index
+  body.u16(1);         // AFI: IPv4
+  body.u32(peer_address.value());
+  body.u32(peer_address.value());  // local address
+  body.bytes(bgp_message);
+
+  out.u32(timestamp);
+  out.u16(static_cast<std::uint16_t>(MrtType::kBgp4mp));
+  out.u16(static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4));
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body.view());
+}
+
+// One BGP UPDATE: the given withdrawals, plus NLRI sharing one attribute
+// block (empty attrs when there is nothing to announce).
+std::vector<std::byte> encode_update_message(
+    std::span<const net::Prefix> withdrawals,
+    std::span<const std::byte> attributes,
+    std::span<const net::Prefix> nlri) {
+  ByteWriter withdrawn;
+  for (const net::Prefix prefix : withdrawals) {
+    encode_wire_prefix(withdrawn, prefix);
+  }
+
+  ByteWriter message;
+  for (std::size_t i = 0; i < kBgpMarkerSize; ++i) message.u8(0xff);
+  const std::size_t length_offset = message.size();
+  message.u16(0);  // patched below
+  message.u8(kBgpUpdate);
+  message.u16(static_cast<std::uint16_t>(withdrawn.size()));
+  message.bytes(withdrawn.view());
+  message.u16(static_cast<std::uint16_t>(attributes.size()));
+  message.bytes(attributes);
+  for (const net::Prefix prefix : nlri) encode_wire_prefix(message, prefix);
+  message.patch_u16(length_offset, static_cast<std::uint16_t>(message.size()));
+  return std::move(message).take();
+}
+
+// Attribute block announcing routes originated by `origins` as seen from
+// `peer_asn`: ORIGIN IGP + AS_PATH (single origin ends the sequence; a
+// multi-origin set becomes a trailing AS_SET, which is exactly the shape
+// MrtRibEntry::origin_set() reports back).
+std::vector<std::byte> announcement_attributes(
+    std::uint32_t peer_asn, std::span<const std::uint32_t> origins) {
+  MrtRibEntry entry;
+  entry.origin = BgpOrigin::kIgp;
+  AsPathSegment sequence;
+  sequence.kind = AsPathSegment::Kind::kAsSequence;
+  sequence.asns.push_back(peer_asn);
+  if (origins.size() == 1) {
+    sequence.asns.push_back(origins.front());
+    entry.as_path.push_back(std::move(sequence));
+  } else {
+    entry.as_path.push_back(std::move(sequence));
+    AsPathSegment set;
+    set.kind = AsPathSegment::Kind::kAsSet;
+    set.asns.assign(origins.begin(), origins.end());
+    entry.as_path.push_back(std::move(set));
+  }
+  return encode_path_attributes(entry);
+}
+
+}  // namespace
+
+void RibDelta::validate() const {
+  std::vector<std::pair<net::Prefix, int>> seen;  // (prefix, section)
+  seen.reserve(change_count());
+  for (const Pfx2AsRecord& record : announce) {
+    if (record.origins.empty()) {
+      throw Error("RibDelta: announce of " + record.prefix.to_string() +
+                  " has no origin");
+    }
+    seen.emplace_back(record.prefix, 0);
+  }
+  for (const net::Prefix prefix : withdraw) seen.emplace_back(prefix, 1);
+  for (const Pfx2AsRecord& record : reorigin) {
+    if (record.origins.empty()) {
+      throw Error("RibDelta: reorigin of " + record.prefix.to_string() +
+                  " has no origin");
+    }
+    seen.emplace_back(record.prefix, 2);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i + 1 < seen.size(); ++i) {
+    if (seen[i].first == seen[i + 1].first) {
+      throw Error(seen[i].second == seen[i + 1].second
+                      ? "RibDelta: duplicate prefix " +
+                            seen[i].first.to_string() + " in one section"
+                      : "RibDelta: prefix " + seen[i].first.to_string() +
+                            " appears in two sections");
+    }
+  }
+}
+
+RibDelta RibDelta::diff(std::span<const Pfx2AsRecord> from,
+                        std::span<const Pfx2AsRecord> to) {
+  const auto old_table = sorted_table(from, "RibDelta::diff(from)");
+  const auto new_table = sorted_table(to, "RibDelta::diff(to)");
+
+  RibDelta delta;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < old_table.size() || j < new_table.size()) {
+    if (j == new_table.size() ||
+        (i < old_table.size() &&
+         old_table[i].prefix < new_table[j].prefix)) {
+      delta.withdraw.push_back(old_table[i].prefix);
+      ++i;
+    } else if (i == old_table.size() ||
+               new_table[j].prefix < old_table[i].prefix) {
+      delta.announce.push_back(new_table[j]);
+      ++j;
+    } else {
+      if (old_table[i].origins != new_table[j].origins) {
+        delta.reorigin.push_back(new_table[j]);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return delta;
+}
+
+std::vector<Pfx2AsRecord> RibDelta::apply(
+    std::span<const Pfx2AsRecord> table) const {
+  validate();
+  auto result = sorted_table(table, "RibDelta::apply");
+
+  auto find = [&](net::Prefix prefix) {
+    const auto it =
+        std::lower_bound(result.begin(), result.end(),
+                         Pfx2AsRecord{prefix, {}}, record_less);
+    return it != result.end() && it->prefix == prefix ? it : result.end();
+  };
+
+  // Withdraw and reorigin patch in place; announcements are collected and
+  // merged afterwards so each mutation stays O(log n) per change.
+  std::vector<bool> drop(result.size(), false);
+  for (const net::Prefix prefix : withdraw) {
+    const auto it = find(prefix);
+    if (it == result.end()) {
+      throw Error("RibDelta::apply: withdrawn prefix " + prefix.to_string() +
+                  " not in table");
+    }
+    drop[static_cast<std::size_t>(it - result.begin())] = true;
+  }
+  for (const Pfx2AsRecord& record : reorigin) {
+    const auto it = find(record.prefix);
+    if (it == result.end()) {
+      throw Error("RibDelta::apply: reorigined prefix " +
+                  record.prefix.to_string() + " not in table");
+    }
+    it->origins = record.origins;
+  }
+  for (const Pfx2AsRecord& record : announce) {
+    if (find(record.prefix) != result.end()) {
+      throw Error("RibDelta::apply: announced prefix " +
+                  record.prefix.to_string() + " already in table");
+    }
+  }
+
+  std::vector<Pfx2AsRecord> merged;
+  merged.reserve(result.size() - withdraw.size() + announce.size());
+  auto announced = sorted_table(announce, "RibDelta::apply(announce)");
+  auto a = announced.cbegin();
+  for (std::size_t k = 0; k < result.size(); ++k) {
+    if (drop[k]) continue;
+    while (a != announced.cend() && a->prefix < result[k].prefix) {
+      merged.push_back(*a++);
+    }
+    merged.push_back(std::move(result[k]));
+  }
+  merged.insert(merged.end(), a, announced.cend());
+  return merged;
+}
+
+std::vector<std::byte> encode_mrt_updates(const RibDelta& delta,
+                                          std::uint32_t timestamp,
+                                          std::uint32_t peer_asn,
+                                          net::Ipv4Address peer_address) {
+  delta.validate();
+  ByteWriter out;
+
+  for (std::size_t offset = 0; offset < delta.withdraw.size();
+       offset += kPrefixesPerMessage) {
+    const std::size_t count =
+        std::min(kPrefixesPerMessage, delta.withdraw.size() - offset);
+    const auto message = encode_update_message(
+        std::span(delta.withdraw).subspan(offset, count), {}, {});
+    encode_bgp4mp_record(out, timestamp, peer_asn, peer_address, message);
+  }
+
+  // Announcements (and reorigins, which are re-announcements on the wire)
+  // grouped by origin set so each group shares one attribute block.
+  std::vector<const Pfx2AsRecord*> routes;
+  routes.reserve(delta.announce.size() + delta.reorigin.size());
+  for (const Pfx2AsRecord& record : delta.announce) routes.push_back(&record);
+  for (const Pfx2AsRecord& record : delta.reorigin) routes.push_back(&record);
+  std::stable_sort(routes.begin(), routes.end(),
+                   [](const Pfx2AsRecord* a, const Pfx2AsRecord* b) {
+                     if (a->origins != b->origins) {
+                       return a->origins < b->origins;
+                     }
+                     return a->prefix < b->prefix;
+                   });
+  std::size_t group_begin = 0;
+  while (group_begin < routes.size()) {
+    std::size_t group_end = group_begin;
+    while (group_end < routes.size() &&
+           routes[group_end]->origins == routes[group_begin]->origins) {
+      ++group_end;
+    }
+    const auto attributes =
+        announcement_attributes(peer_asn, routes[group_begin]->origins);
+    for (std::size_t offset = group_begin; offset < group_end;
+         offset += kPrefixesPerMessage) {
+      const std::size_t count =
+          std::min(kPrefixesPerMessage, group_end - offset);
+      std::vector<net::Prefix> nlri;
+      nlri.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        nlri.push_back(routes[offset + k]->prefix);
+      }
+      const auto message = encode_update_message({}, attributes, nlri);
+      encode_bgp4mp_record(out, timestamp, peer_asn, peer_address, message);
+    }
+    group_begin = group_end;
+  }
+  return std::move(out).take();
+}
+
+RibDelta decode_mrt_updates(std::span<const std::byte> data,
+                            std::size_t* skipped) {
+  // Stream-ordered actions; the last action per prefix wins, which is how
+  // a BGP listener's view converges too.
+  struct Action {
+    net::Prefix prefix;
+    std::optional<std::vector<std::uint32_t>> origins;  // nullopt: withdraw
+  };
+  std::vector<Action> actions;
+  std::size_t skipped_records = 0;
+
+  ByteReader in(data);
+  while (!in.done()) {
+    in.u32();  // timestamp (unused: deltas are order-defined)
+    const std::uint16_t type = in.u16();
+    const std::uint16_t subtype = in.u16();
+    const std::uint32_t length = in.u32();
+    ByteReader body = in.sub(length);
+    if (type != static_cast<std::uint16_t>(MrtType::kBgp4mp) ||
+        subtype != static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4)) {
+      ++skipped_records;
+      continue;
+    }
+    body.u32();  // peer AS
+    body.u32();  // local AS
+    body.u16();  // interface index
+    const std::uint16_t afi = body.u16();
+    if (afi != 1) {  // not IPv4: a well-formed record we do not consume
+      ++skipped_records;
+      continue;
+    }
+    body.u32();  // peer address
+    body.u32();  // local address
+
+    for (std::size_t i = 0; i < kBgpMarkerSize; ++i) {
+      if (body.u8() != 0xff) {
+        throw FormatError("BGP message with corrupt marker");
+      }
+    }
+    const std::uint16_t message_length = body.u16();
+    // message_length covers marker + length field + the remainder.
+    if (message_length < kBgpHeaderSize ||
+        message_length - (kBgpMarkerSize + 2) != body.remaining()) {
+      throw FormatError("BGP message length disagrees with MRT record");
+    }
+    const std::uint8_t message_type = body.u8();
+    if (message_type != kBgpUpdate) {  // OPEN/KEEPALIVE/NOTIFICATION
+      ++skipped_records;
+      continue;
+    }
+
+    const std::uint16_t withdrawn_length = body.u16();
+    ByteReader withdrawn = body.sub(withdrawn_length);
+    while (!withdrawn.done()) {
+      actions.push_back({decode_wire_prefix(withdrawn), std::nullopt});
+    }
+    const std::uint16_t attribute_length = body.u16();
+    MrtRibEntry entry;
+    decode_path_attributes(body.bytes(attribute_length), entry);
+    const auto origins = entry.origin_set();
+    bool saw_nlri = false;
+    while (!body.done()) {
+      saw_nlri = true;
+      actions.push_back({decode_wire_prefix(body), origins});
+    }
+    if (saw_nlri && origins.empty()) {
+      throw FormatError("BGP announcement without an origin AS");
+    }
+  }
+  if (skipped != nullptr) *skipped = skipped_records;
+
+  // Resolve per-prefix history: stable sort keeps stream order within a
+  // prefix, the last entry is the surviving action.
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.prefix < b.prefix;
+                   });
+  RibDelta delta;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i + 1 < actions.size() &&
+        actions[i].prefix == actions[i + 1].prefix) {
+      continue;
+    }
+    if (actions[i].origins) {
+      delta.announce.push_back({actions[i].prefix, *actions[i].origins});
+    } else {
+      delta.withdraw.push_back(actions[i].prefix);
+    }
+  }
+  return delta;
+}
+
+RibDelta rebased(RibDelta delta, std::span<const Pfx2AsRecord> table) {
+  const auto current = sorted_table(table, "rebased");
+  const auto find = [&](net::Prefix prefix) {
+    const auto it =
+        std::lower_bound(current.begin(), current.end(),
+                         Pfx2AsRecord{prefix, {}}, record_less);
+    return it != current.end() && it->prefix == prefix ? &*it : nullptr;
+  };
+
+  RibDelta result;
+  for (const net::Prefix prefix : delta.withdraw) {
+    if (find(prefix) == nullptr) {
+      throw Error("rebased: withdrawn prefix " + prefix.to_string() +
+                  " not in table");
+    }
+    result.withdraw.push_back(prefix);
+  }
+  auto split = [&](std::vector<Pfx2AsRecord>& section) {
+    for (Pfx2AsRecord& record : section) {
+      if (const Pfx2AsRecord* existing = find(record.prefix)) {
+        if (existing->origins != record.origins) {
+          result.reorigin.push_back(std::move(record));
+        }  // identical re-announcement: drop
+      } else {
+        result.announce.push_back(std::move(record));
+      }
+    }
+  };
+  split(delta.announce);
+  split(delta.reorigin);
+
+  const auto by_prefix = [](const Pfx2AsRecord& a, const Pfx2AsRecord& b) {
+    return a.prefix < b.prefix;
+  };
+  std::sort(result.announce.begin(), result.announce.end(), by_prefix);
+  std::sort(result.withdraw.begin(), result.withdraw.end());
+  std::sort(result.reorigin.begin(), result.reorigin.end(), by_prefix);
+  result.validate();
+  return result;
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,103 @@
+// Streaming RIB deltas — the churn currency of the incremental pipeline.
+//
+// The paper's evaluation is longitudinal: one seed scan, then repeated
+// TASS cycles while the BGP topology drifts underneath (Fig. 5/6). A
+// RibDelta captures one step of that drift as explicit announce /
+// withdraw / reorigin batches, so the downstream structures
+// (bgp::PrefixPartition, trie::LpmIndex, core::DensityRanking) can be
+// patched instead of rebuilt — see docs/ARCHITECTURE.md for the full
+// delta pipeline.
+//
+// Three sources produce deltas:
+//   * diff() between two pfx2as snapshots (e.g. monthly CAIDA tables);
+//   * decode_mrt_updates() over an MRT BGP4MP update stream — the format
+//     RouteViews / RIPE RIS collectors publish between RIB dumps —
+//     followed by rebased() against the current table;
+//   * synthetic churn generators in tests and benches.
+//
+// Equivalence contract: for any table T and valid delta D,
+// apply(D, T) == the table a full re-ingest of the post-churn world would
+// produce, and the partition/index/ranking patches driven by D are
+// bit-identical to rebuilding those structures from apply(D, T) — the
+// delta differential suite enforces this end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/pfx2as.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::bgp {
+
+/// One batch of routing-table churn. Sections produced by this module are
+/// always ascending by prefix and pairwise disjoint across sections.
+struct RibDelta {
+  std::vector<Pfx2AsRecord> announce;  // prefixes absent from the base table
+  std::vector<net::Prefix> withdraw;   // prefixes present in the base table
+  std::vector<Pfx2AsRecord> reorigin;  // prefix stays, origin set changes
+
+  bool empty() const noexcept {
+    return announce.empty() && withdraw.empty() && reorigin.empty();
+  }
+  std::size_t change_count() const noexcept {
+    return announce.size() + withdraw.size() + reorigin.size();
+  }
+
+  friend bool operator==(const RibDelta&, const RibDelta&) = default;
+
+  /// Structural validity: no duplicate prefix within a section, no prefix
+  /// in two sections, every announce/reorigin carries at least one
+  /// origin. Throws tass::Error with the offending prefix otherwise.
+  /// apply() and the partition patch path call this first, so a corrupt
+  /// or duplicated delta can never half-apply.
+  void validate() const;
+
+  /// The delta turning `from` into `to`. Both tables must be
+  /// duplicate-free (throws tass::Error otherwise); order is irrelevant.
+  /// Origin lists are compared verbatim, so a reordered origin list
+  /// counts as a reorigin.
+  static RibDelta diff(std::span<const Pfx2AsRecord> from,
+                       std::span<const Pfx2AsRecord> to);
+
+  /// Applies the delta to a table, returning the patched table ascending
+  /// by prefix. validate()s first, then throws tass::Error if a withdraw
+  /// or reorigin names a prefix missing from the table, an announce names
+  /// one already present, or the table itself carries duplicates.
+  std::vector<Pfx2AsRecord> apply(std::span<const Pfx2AsRecord> table) const;
+};
+
+/// Encodes the delta as an MRT BGP4MP_MESSAGE_AS4 update stream: UPDATE
+/// messages carrying the withdrawals, then one announcement UPDATE per
+/// origin group (multi-origin records become a trailing AS_SET, matching
+/// how CAIDA derives multi-origin pfx2as rows). Reorigins are encoded as
+/// plain re-announcements — that is all BGP puts on the wire; decode +
+/// rebased() recovers the three-way split.
+std::vector<std::byte> encode_mrt_updates(
+    const RibDelta& delta, std::uint32_t timestamp,
+    std::uint32_t peer_asn = 64500,
+    net::Ipv4Address peer_address = net::Ipv4Address(0xc0000201u));
+
+/// Decodes an MRT BGP4MP update stream into a delta of announcements and
+/// withdrawals. Later messages override earlier ones per prefix (streams
+/// legitimately re-announce), so the result is duplicate-free and
+/// ascending by prefix; reorigin stays empty — the wire cannot tell a
+/// re-announcement from a new route, use rebased(). Unknown MRT types,
+/// non-UPDATE BGP messages and non-IPv4 updates are counted into
+/// `skipped` when provided. Throws tass::FormatError on structural
+/// corruption (truncation, bad marker, prefix length > 32, announcements
+/// without an origin) — parse or throw, never crash.
+RibDelta decode_mrt_updates(std::span<const std::byte> data,
+                            std::size_t* skipped = nullptr);
+
+/// Normalises a delta against the table it is about to patch: announces
+/// of already-present prefixes become reorigins (or are dropped when the
+/// origins match — wire streams re-announce liberally), withdrawals must
+/// name present prefixes (throws tass::Error otherwise). Returns a
+/// valid() delta with sections ascending by prefix.
+RibDelta rebased(RibDelta delta, std::span<const Pfx2AsRecord> table);
+
+}  // namespace tass::bgp

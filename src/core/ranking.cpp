@@ -6,6 +6,23 @@
 
 namespace tass::core {
 
+namespace {
+
+// Density descending; ties broken towards more hosts, then by ascending
+// prefix. The prefix tie-break (rather than the cell index) makes the
+// order a pure function of (prefix, hosts, density), so a delta-patched
+// partition and a from-scratch rebuild rank identically even when their
+// internal cell numbering differs — and since a partition holds each
+// prefix at most once, the comparator is a total order and every correct
+// sort or merge produces the same sequence.
+bool ranked_before(const RankedPrefix& a, const RankedPrefix& b) noexcept {
+  if (a.density != b.density) return a.density > b.density;
+  if (a.hosts != b.hosts) return a.hosts > b.hosts;
+  return a.prefix < b.prefix;
+}
+
+}  // namespace
+
 std::string_view prefix_mode_name(PrefixMode mode) noexcept {
   return mode == PrefixMode::kLess ? "less" : "more";
 }
@@ -43,15 +60,90 @@ DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
                                  static_cast<double>(ranking.total_hosts);
     ranking.ranked.push_back(entry);
   }
-  // Density descending; ties broken towards more hosts, then stable by
-  // index so the ranking is deterministic.
-  std::sort(ranking.ranked.begin(), ranking.ranked.end(),
-            [](const RankedPrefix& a, const RankedPrefix& b) {
-              if (a.density != b.density) return a.density > b.density;
-              if (a.hosts != b.hosts) return a.hosts > b.hosts;
-              return a.index < b.index;
-            });
+  std::sort(ranking.ranked.begin(), ranking.ranked.end(), ranked_before);
   return ranking;
+}
+
+void rerank_cells(DensityRanking& ranking,
+                  std::span<const std::uint32_t> counts,
+                  const bgp::PrefixPartition& partition,
+                  const bgp::PartitionApplyResult& delta,
+                  std::span<const std::uint32_t> dirty_cells) {
+  TASS_EXPECTS(counts.size() == partition.size());
+
+  // The invalidation set: removed slots hold stale entries, added slots
+  // may reuse a freed slot whose old entry is still ranked, dirty cells
+  // carry stale counts. Removed and added can share a slot number (free
+  // slot reuse), hence the unique().
+  std::vector<std::uint32_t> invalid;
+  invalid.reserve(delta.removed_cells.size() + delta.added_cells.size() +
+                  dirty_cells.size());
+  invalid.insert(invalid.end(), delta.removed_cells.begin(),
+                 delta.removed_cells.end());
+  invalid.insert(invalid.end(), delta.added_cells.begin(),
+                 delta.added_cells.end());
+  invalid.insert(invalid.end(), dirty_cells.begin(), dirty_cells.end());
+  std::sort(invalid.begin(), invalid.end());
+  invalid.erase(std::unique(invalid.begin(), invalid.end()), invalid.end());
+
+  // O(1) membership for the two full passes below (a binary search per
+  // ranked entry is measurably slower on full-table rankings).
+  std::vector<std::uint8_t> invalid_flag(partition.size(), 0);
+  for (const std::uint32_t cell : invalid) invalid_flag[cell] = 1;
+  const auto is_invalid = [&](std::uint32_t cell) {
+    return invalid_flag[cell] != 0;
+  };
+
+  // New total first (shares depend on it): stale entries roll out, fresh
+  // scores roll in. This pass only reads.
+  std::uint64_t total = ranking.total_hosts;
+  for (const RankedPrefix& entry : ranking.ranked) {
+    if (is_invalid(entry.index)) total -= entry.hosts;
+  }
+
+  // Re-score the invalidated cells that are live and populated.
+  std::vector<RankedPrefix> fresh;
+  for (const std::uint32_t cell : invalid) {
+    if (!partition.live(cell) || counts[cell] == 0) continue;
+    RankedPrefix entry;
+    entry.index = cell;
+    entry.prefix = partition.prefix(cell);
+    entry.size = entry.prefix.size();
+    entry.hosts = counts[cell];
+    entry.density =
+        static_cast<double>(entry.hosts) / static_cast<double>(entry.size);
+    total += entry.hosts;
+    fresh.push_back(entry);
+  }
+  std::sort(fresh.begin(), fresh.end(), ranked_before);
+
+  ranking.total_hosts = total;
+  ranking.advertised_addresses = partition.address_count();
+
+  // Every host share is a function of the new total, so one full pass is
+  // unavoidable; fuse it with the drop + merge into a single rebuild so
+  // the ranked array is moved exactly once. Shares are recomputed from
+  // the integers (never rescaled) so the floats match the from-scratch
+  // path bit for bit.
+  const auto share = [total](std::uint64_t hosts) {
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hosts) / static_cast<double>(total);
+  };
+  for (RankedPrefix& entry : fresh) entry.host_share = share(entry.hosts);
+  std::vector<RankedPrefix> next;
+  next.reserve(ranking.ranked.size() + fresh.size());
+  auto f = fresh.cbegin();
+  for (RankedPrefix& entry : ranking.ranked) {
+    if (is_invalid(entry.index)) continue;
+    entry.host_share = share(entry.hosts);
+    while (f != fresh.cend() && ranked_before(*f, entry)) {
+      next.push_back(*f++);
+    }
+    next.push_back(entry);
+  }
+  next.insert(next.end(), f, fresh.cend());
+  ranking.ranked = std::move(next);
 }
 
 DensityRanking rank_by_density(const census::Snapshot& seed,

@@ -55,6 +55,26 @@ DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
                                const bgp::PrefixPartition& partition,
                                PrefixMode mode);
 
+/// Incrementally patches `ranking` after `partition` absorbed a delta:
+/// entries of removed/re-assigned cells are dropped, the added cells (and
+/// any `dirty_cells` whose counts changed, e.g. from host churn) are
+/// re-scored from `counts`, totals and host shares are refreshed, and the
+/// few new entries are merged into the otherwise still-sorted order.
+/// Cost: O(changed cells · log + ranked) versus the full path's
+/// O(cells + ranked · log ranked) re-sort — no untouched cell is visited.
+///
+/// Equivalence contract: bit-identical (every field, float bits included)
+/// to rank_by_density(counts, partition, ranking.mode), provided `counts`
+/// for cells outside the invalidation set still hold the values the
+/// ranking was built from. `counts` must already be in post-delta
+/// indexing (PartitionApplyResult::reindex does that), `dirty_cells` must
+/// be duplicate-free, live, and disjoint from the delta's added cells.
+void rerank_cells(DensityRanking& ranking,
+                  std::span<const std::uint32_t> counts,
+                  const bgp::PrefixPartition& partition,
+                  const bgp::PartitionApplyResult& delta,
+                  std::span<const std::uint32_t> dirty_cells = {});
+
 /// One point of the Figure 4 curves.
 struct RankCurvePoint {
   std::size_t rank = 0;              // 1-based prefix rank

@@ -1,7 +1,9 @@
 #include "core/reseed.hpp"
 
+#include <algorithm>
 #include <memory>
 
+#include "scan/scope.hpp"
 #include "util/error.hpp"
 
 namespace tass::core {
@@ -59,6 +61,41 @@ ReseedOutcome evaluate_with_reseed(const census::CensusSeries& series,
     outcome.cycles.push_back(std::move(cycle));
   }
   return outcome;
+}
+
+ChurnStepStats churn_step(DensityRanking& ranking,
+                          std::vector<std::uint32_t>& counts,
+                          const bgp::PrefixPartition& partition,
+                          const bgp::PartitionApplyResult& delta,
+                          const scan::ProbeOracle& oracle,
+                          const scan::ScanEngine& engine,
+                          std::span<const std::uint32_t> dirty_cells) {
+  TASS_EXPECTS(counts.size() == delta.old_cell_count);
+  delta.reindex(counts);
+
+  // Rescan scope: the cells the delta created plus the host-churn-dirty
+  // ones. The two sets are disjoint by contract; unique() is insurance.
+  std::vector<std::uint32_t> rescan(delta.added_cells.begin(),
+                                    delta.added_cells.end());
+  rescan.insert(rescan.end(), dirty_cells.begin(), dirty_cells.end());
+  std::sort(rescan.begin(), rescan.end());
+  rescan.erase(std::unique(rescan.begin(), rescan.end()), rescan.end());
+
+  ChurnStepStats stats;
+  stats.rescanned_cells = rescan.size();
+  if (!rescan.empty()) {
+    const scan::ScanScope scope = scan::ScanScope::of_cells(partition, rescan);
+    const scan::AttributedScanResult attributed =
+        engine.run_attributed(scope, oracle, partition);
+    stats.rescanned_addresses = attributed.result.stats.probes_sent;
+    stats.rescan_hits = attributed.result.stats.responses;
+    // The whole cell was in scope, so its count is exact and final.
+    for (const std::uint32_t cell : rescan) {
+      counts[cell] = static_cast<std::uint32_t>(attributed.cell_counts[cell]);
+    }
+  }
+  rerank_cells(ranking, counts, partition, delta, dirty_cells);
+  return stats;
 }
 
 }  // namespace tass::core

@@ -8,8 +8,13 @@
 // months in between scan only the current selection.
 #pragma once
 
+#include <span>
+#include <vector>
+
+#include "bgp/partition.hpp"
 #include "census/series.hpp"
 #include "core/evaluate.hpp"
+#include "core/ranking.hpp"
 
 namespace tass::core {
 
@@ -33,5 +38,36 @@ struct ReseedOutcome {
 ReseedOutcome evaluate_with_reseed(const census::CensusSeries& series,
                                    PrefixMode mode, SelectionParams params,
                                    ReseedPolicy policy);
+
+/// Accounting for one incremental churn step (probes saved is the whole
+/// point: rescanned_addresses versus the partition's full address_count).
+struct ChurnStepStats {
+  std::uint64_t rescanned_cells = 0;      // cells re-scored by this step
+  std::uint64_t rescanned_addresses = 0;  // probe cost of the rescan
+  std::uint64_t rescan_hits = 0;          // responsive addresses found
+};
+
+/// Runs one churn step of the incremental pipeline, between reseeds:
+/// the caller has already patched `partition` with apply_delta; this
+/// re-probes ONLY the invalidated cells (the delta's added cells plus
+/// any `dirty_cells` whose host population is known to have changed)
+/// through the engine, patches `counts` in place, and rerank_cells()s
+/// the ranking — the untouched world is never re-attributed.
+///
+/// `counts` arrives in pre-delta indexing and leaves in post-delta
+/// indexing (PartitionApplyResult::reindex is applied internally).
+///
+/// Equivalence contract: afterwards, (counts, ranking) are bit-identical
+/// to re-scanning the entire partition through the same engine/oracle and
+/// ranking from scratch, provided the oracle's population only changed
+/// inside dirty_cells and the delta's cells — the churn-replay
+/// differential suite enforces this at every step.
+ChurnStepStats churn_step(DensityRanking& ranking,
+                          std::vector<std::uint32_t>& counts,
+                          const bgp::PrefixPartition& partition,
+                          const bgp::PartitionApplyResult& delta,
+                          const scan::ProbeOracle& oracle,
+                          const scan::ScanEngine& engine,
+                          std::span<const std::uint32_t> dirty_cells = {});
 
 }  // namespace tass::core

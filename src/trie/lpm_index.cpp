@@ -22,30 +22,69 @@ constexpr int kRootBits = 16;
 // Stride of the node that starts at `depth` (16 -> 6, 22 -> 6, 28 -> 4).
 constexpr int stride_at(int depth) noexcept { return depth < 28 ? 6 : 4; }
 
+// Ordering by prefix only (the Entry value rides along).
+bool entry_less(const LpmIndex::Entry& a, const LpmIndex::Entry& b) noexcept {
+  return a.prefix < b.prefix;
+}
+
 }  // namespace
 
-LpmIndex::LpmIndex(std::span<const Entry> table) {
+void LpmIndex::trie_insert(std::vector<BuildNode>& bt, const Entry& entry) {
+  std::int32_t node = 0;
+  const std::uint32_t network = entry.prefix.network().value();
+  for (int depth = 0; depth < entry.prefix.length(); ++depth) {
+    const int bit = (network >> (31 - depth)) & 1;
+    if (bt[static_cast<std::size_t>(node)].child[bit] < 0) {
+      bt[static_cast<std::size_t>(node)].child[bit] =
+          static_cast<std::int32_t>(bt.size());
+      bt.emplace_back();
+    }
+    node = bt[static_cast<std::size_t>(node)].child[bit];
+  }
+  bt[static_cast<std::size_t>(node)].value = entry.value;
+}
+
+// Builds the transient binary trie for a set of (absolute) entries; used
+// for both the full build and the per-block patches.
+std::vector<LpmIndex::BuildNode> LpmIndex::build_trie(
+    std::span<const Entry> entries) {
   std::vector<BuildNode> bt(1);
+  for (const Entry& entry : entries) trie_insert(bt, entry);
+  return bt;
+}
+
+LpmIndex::LpmIndex(std::span<const Entry> table) {
   for (const Entry& entry : table) {
     if (entry.value >= kNoMatch) {
       throw Error("LpmIndex value out of range (>= kNoMatch)");
     }
-    std::int32_t node = 0;
-    const std::uint32_t network = entry.prefix.network().value();
-    for (int depth = 0; depth < entry.prefix.length(); ++depth) {
-      const int bit = (network >> (31 - depth)) & 1;
-      if (bt[static_cast<std::size_t>(node)].child[bit] < 0) {
-        bt[static_cast<std::size_t>(node)].child[bit] =
-            static_cast<std::int32_t>(bt.size());
-        bt.emplace_back();
-      }
-      node = bt[static_cast<std::size_t>(node)].child[bit];
-    }
-    if (bt[static_cast<std::size_t>(node)].value == kNoMatch) ++prefix_count_;
-    bt[static_cast<std::size_t>(node)].value = entry.value;
   }
+  // Canonical entry table: ascending by prefix, duplicates resolved with
+  // the historical last-entry-wins semantics (stable sort keeps input
+  // order within a duplicate run; we keep the run's last element).
+  entries_.assign(table.begin(), table.end());
+  std::stable_sort(entries_.begin(), entries_.end(), entry_less);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i + 1 < entries_.size() &&
+        entries_[i].prefix == entries_[i + 1].prefix) {
+      continue;  // a later duplicate overrides this one
+    }
+    entries_[out++] = entries_[i];
+  }
+  entries_.resize(out);
+  prefix_count_ = entries_.size();
+  rebuild_all();
+}
+
+void LpmIndex::rebuild_all() {
+  nodes_.clear();
+  leaves_.clear();
+  const std::vector<BuildNode> bt = build_trie(entries_);
   root_.assign(std::size_t{1} << kRootBits, kNoMatch);
   fill_root(bt, 0, 0, 0, kNoMatch);
+  node_limit_ = nodes_.size() * 2 + 1024;
+  leaf_limit_ = leaves_.size() * 2 + 4096;
 }
 
 LpmIndex LpmIndex::from_prefixes(std::span<const net::Prefix> prefixes,
@@ -154,6 +193,216 @@ void LpmIndex::populate(std::uint32_t index, const std::vector<BuildNode>& bt,
       populate(child++, bt, sub[slot], depth + stride, value[slot]);
     }
   }
+}
+
+// Rebuilds the read structures of one /16 root block from a transient
+// trie holding exactly the entries that intersect the block (in-block
+// prefixes plus any shorter covering prefixes). Mirrors the terminal case
+// of fill_root; the replaced subtree is abandoned in place and reclaimed
+// by the next full rebuild.
+void LpmIndex::patch_block(std::uint32_t block,
+                           const std::vector<BuildNode>& bt) {
+  std::int32_t node = 0;
+  std::uint32_t inherited = kNoMatch;
+  for (int depth = 0; depth < kRootBits && node >= 0; ++depth) {
+    if (bt[static_cast<std::size_t>(node)].value != kNoMatch) {
+      inherited = bt[static_cast<std::size_t>(node)].value;
+    }
+    const int bit = (block >> (kRootBits - 1 - depth)) & 1;
+    node = bt[static_cast<std::size_t>(node)].child[bit];
+  }
+  if (node >= 0 && bt[static_cast<std::size_t>(node)].value != kNoMatch) {
+    inherited = bt[static_cast<std::size_t>(node)].value;
+  }
+  const bool has_children =
+      node >= 0 && (bt[static_cast<std::size_t>(node)].child[0] >= 0 ||
+                    bt[static_cast<std::size_t>(node)].child[1] >= 0);
+  if (has_children) {
+    const auto index = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    populate(index, bt, node, kRootBits, inherited);
+    root_[block] = kNodeFlag | index;
+  } else {
+    root_[block] = inherited;
+  }
+}
+
+LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
+                                       std::span<const net::Prefix> erases) {
+  for (const Entry& entry : upserts) {
+    if (entry.value >= kNoMatch) {
+      throw Error("LpmIndex value out of range (>= kNoMatch)");
+    }
+  }
+  // Normalise the batch: sorted upserts with last-wins duplicates, sorted
+  // unique erases. All validation happens before any mutation so input
+  // errors leave the index untouched.
+  std::vector<Entry> ups(upserts.begin(), upserts.end());
+  std::stable_sort(ups.begin(), ups.end(), entry_less);
+  {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < ups.size(); ++i) {
+      if (i + 1 < ups.size() && ups[i].prefix == ups[i + 1].prefix) continue;
+      ups[out++] = ups[i];
+    }
+    ups.resize(out);
+  }
+  std::vector<net::Prefix> ers(erases.begin(), erases.end());
+  std::sort(ers.begin(), ers.end());
+  ers.erase(std::unique(ers.begin(), ers.end()), ers.end());
+  {
+    auto u = ups.begin();
+    for (const net::Prefix p : ers) {
+      while (u != ups.end() && u->prefix < p) ++u;
+      if (u != ups.end() && u->prefix == p) {
+        throw Error("LpmIndex update: prefix " + p.to_string() +
+                    " both upserted and erased");
+      }
+    }
+    auto e = entries_.cbegin();
+    for (const net::Prefix p : ers) {
+      e = std::lower_bound(e, entries_.cend(), Entry{p, 0}, entry_less);
+      if (e == entries_.cend() || e->prefix != p) {
+        throw Error("LpmIndex update: erased prefix " + p.to_string() +
+                    " not present");
+      }
+    }
+  }
+
+  UpdateStats stats;
+  // Merge the batch into a fresh entry table, recording which prefixes
+  // actually change the mapping (value-identical upserts are no-ops).
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + ups.size());
+  std::vector<net::Prefix> dirty;
+  // Which prefix lengths < 16 exist at all — gathering block coverers
+  // below then only probes lengths that can match (real tables hold a
+  // handful of short lengths, not all sixteen).
+  std::uint32_t short_lengths = 0;
+  {
+    std::size_t i = 0;
+    auto u = ups.cbegin();
+    auto e = ers.cbegin();
+    while (i < entries_.size() || u != ups.cend()) {
+      const bool take_upsert =
+          u != ups.cend() &&
+          (i == entries_.size() || !(entries_[i].prefix < u->prefix));
+      if (take_upsert) {
+        if (i < entries_.size() && entries_[i].prefix == u->prefix) {
+          if (entries_[i].value != u->value) {
+            dirty.push_back(u->prefix);
+            ++stats.upserts;
+          }
+          ++i;
+        } else {
+          dirty.push_back(u->prefix);
+          ++stats.upserts;
+        }
+        if (u->prefix.length() < kRootBits) {
+          short_lengths |= 1u << u->prefix.length();
+        }
+        merged.push_back(*u);
+        ++u;
+        continue;
+      }
+      while (e != ers.cend() && *e < entries_[i].prefix) ++e;
+      if (e != ers.cend() && *e == entries_[i].prefix) {
+        dirty.push_back(entries_[i].prefix);
+        ++stats.erases;
+        ++i;
+        continue;
+      }
+      if (entries_[i].prefix.length() < kRootBits) {
+        short_lengths |= 1u << entries_[i].prefix.length();
+      }
+      merged.push_back(entries_[i]);
+      ++i;
+    }
+  }
+  entries_ = std::move(merged);
+  prefix_count_ = entries_.size();
+  if (dirty.empty()) return stats;  // value-identical no-op batch
+
+  // Dirty /16 root blocks, as merged runs. `dirty` came out of an ordered
+  // merge, so the runs are already sorted by first block.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+  runs.reserve(dirty.size());
+  for (const net::Prefix p : dirty) {
+    const std::uint32_t lo = p.network().value() >> 16;
+    const std::uint32_t hi = p.last().value() >> 16;
+    if (!runs.empty() && lo <= runs.back().second) {
+      runs.back().second = std::max(runs.back().second, hi);
+    } else {
+      runs.emplace_back(lo, hi);
+    }
+  }
+  const auto net_lower = [](const Entry& e, std::uint32_t network) {
+    return e.prefix.network().value() < network;
+  };
+  for (const auto& [lo, hi] : runs) {
+    stats.dirty_blocks += hi - lo + 1;
+    const auto begin = std::lower_bound(entries_.cbegin(), entries_.cend(),
+                                        lo << 16, net_lower);
+    const auto end = std::lower_bound(
+        begin, entries_.cend(),
+        hi == 0xffffu ? 0xffffffffu : ((hi + 1) << 16), net_lower);
+    stats.touched_entries += static_cast<std::size_t>(end - begin);
+    if (hi == 0xffffu) {
+      // The sentinel above excludes network 255.255.255.255 itself.
+      if (end != entries_.cend()) stats.touched_entries += 1;
+    }
+  }
+
+  // Cost model: patch cost scales with the entries living in dirty blocks
+  // plus the dirty block count; rebuild cost with the whole table plus
+  // the whole root. Past ~1/4 of either the patch does enough of a
+  // rebuild's work (with worse locality and per-block overhead) that
+  // rebuilding wins — measured on RIB-shaped tables by bench/micro_delta.
+  if (root_.empty() || stats.dirty_blocks * 4 >= root_.size() ||
+      stats.touched_entries * 4 >= entries_.size() + 4) {
+    rebuild_all();
+    stats.rebuilt = true;
+    return stats;
+  }
+
+  // Per-block rebuild, with the gather buffer and the transient trie
+  // reused across blocks (the patch loop's hot allocation otherwise).
+  std::vector<BuildNode> bt;
+  for (const auto& [lo, hi] : runs) {
+    for (std::uint32_t block = lo; block <= hi; ++block) {
+      bt.clear();
+      bt.emplace_back();
+      const std::uint32_t base = block << 16;
+      // Shorter prefixes covering the block — only lengths the table has.
+      for (std::uint32_t mask = short_lengths; mask != 0;
+           mask &= mask - 1) {
+        const int length = std::countr_zero(mask);
+        const net::Prefix cover(net::Ipv4Address(base), length);
+        const auto it = std::lower_bound(entries_.cbegin(), entries_.cend(),
+                                         Entry{cover, 0}, entry_less);
+        if (it != entries_.cend() && it->prefix == cover) {
+          trie_insert(bt, *it);
+        }
+      }
+      // Prefixes of /16 and longer whose network lies inside the block.
+      for (auto it = std::lower_bound(entries_.cbegin(), entries_.cend(),
+                                      base, net_lower);
+           it != entries_.cend() &&
+           (it->prefix.network().value() >> 16) == block;
+           ++it) {
+        if (it->prefix.length() >= kRootBits) trie_insert(bt, *it);
+      }
+      patch_block(block, bt);
+    }
+  }
+
+  // Patches abandon replaced subtrees; compact via a full rebuild once
+  // the arrays carry more garbage than live structure.
+  if (nodes_.size() > node_limit_ || leaves_.size() > leaf_limit_) {
+    rebuild_all();
+    stats.compacted = true;
+  }
+  return stats;
 }
 
 void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,

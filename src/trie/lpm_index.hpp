@@ -24,6 +24,14 @@
 // The batched lookup_many() is the API the sharded scan pipeline uses: a
 // shard hands over its whole address block so the index amortises across
 // the batch instead of being re-entered through per-address virtual calls.
+//
+// Incremental updates: update() patches the read structures in place by
+// rebuilding only the root blocks (/16 sub-spaces) a change touches. The
+// index retains its entry table for this, and a cost model falls back to
+// a full rebuild when the churn is large enough that patching would not
+// pay (see update() below). Lookups observe either the old or the new
+// state per address; update() itself must be externally synchronised —
+// see the thread-safety contract on update().
 #pragma once
 
 #include <bit>
@@ -59,6 +67,47 @@ class LpmIndex {
   /// Membership-only index: every prefix maps to `value`.
   static LpmIndex from_prefixes(std::span<const net::Prefix> prefixes,
                                 std::uint32_t value = 0);
+
+  /// Bookkeeping returned by update() (benchmarks and tests use it to see
+  /// which path ran; callers needing only correctness can ignore it).
+  struct UpdateStats {
+    std::size_t upserts = 0;          // net entry inserts + value changes
+    std::size_t erases = 0;           // net entry removals
+    std::size_t dirty_blocks = 0;     // /16 root blocks invalidated
+    std::size_t touched_entries = 0;  // entries living in dirty blocks
+    bool rebuilt = false;             // cost model chose a full rebuild
+    bool compacted = false;           // patched, then compacted garbage
+  };
+
+  /// Incrementally applies a change batch: `upserts` insert new prefixes or
+  /// overwrite the value of existing ones, `erases` remove prefixes.
+  ///
+  /// Equivalence contract: after update() returns, lookup()/lookup_many()
+  /// are bit-identical to a fresh LpmIndex built from the post-change entry
+  /// table (entries()) — the differential suite enforces this. Only the
+  /// root blocks covered by a changed prefix are rebuilt; past a churn
+  /// threshold (~1/4 of the root blocks or ~1/4 of the entries touched)
+  /// patching would not beat rebuilding, so the whole index is rebuilt
+  /// instead. Patching appends replacement subtrees and abandons the old
+  /// ones; the accumulated garbage is compacted by an automatic full
+  /// rebuild once the arrays exceed twice their last-rebuilt size.
+  ///
+  /// Input validation happens before any mutation (strong guarantee):
+  /// throws tass::Error if an upsert value is >= kNoMatch, if a prefix is
+  /// both upserted and erased, or if an erased prefix is not in the index.
+  /// Duplicate upserts of one prefix keep the last value; duplicate erases
+  /// of one prefix are idempotent.
+  ///
+  /// Thread safety: lookups are const-thread-safe with each other, but
+  /// update() mutates the read structures — it must not run concurrently
+  /// with lookups or with another update(). The sharded scan pipeline
+  /// applies deltas between cycles, never inside one.
+  UpdateStats update(std::span<const Entry> upserts,
+                     std::span<const net::Prefix> erases);
+
+  /// The current entry table, ascending by prefix, duplicates resolved
+  /// (this is what a fresh rebuild would be built from).
+  std::span<const Entry> entries() const noexcept { return entries_; }
 
   /// Value of the longest stored prefix covering `addr`, or kNoMatch.
   std::uint32_t lookup(net::Ipv4Address addr) const noexcept {
@@ -96,12 +145,17 @@ class LpmIndex {
   std::size_t prefix_count() const noexcept { return prefix_count_; }
   bool empty() const noexcept { return prefix_count_ == 0; }
 
-  /// Introspection for benchmarks and memory accounting.
+  /// Introspection for benchmarks and memory accounting. memory_bytes()
+  /// covers the read structures only; the retained entry table that makes
+  /// update() possible is reported separately by table_memory_bytes().
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t leaf_count() const noexcept { return leaves_.size(); }
   std::size_t memory_bytes() const noexcept {
     return root_.size() * sizeof(std::uint32_t) + nodes_.size() * sizeof(Node) +
            leaves_.size() * sizeof(std::uint32_t);
+  }
+  std::size_t table_memory_bytes() const noexcept {
+    return entries_.size() * sizeof(Entry);
   }
 
  private:
@@ -128,15 +182,25 @@ class LpmIndex {
   }
 
   struct BuildNode;
+  static std::vector<BuildNode> build_trie(std::span<const Entry> entries);
+  static void trie_insert(std::vector<BuildNode>& bt, const Entry& entry);
   void populate(std::uint32_t index, const std::vector<BuildNode>& bt,
                 std::int32_t node, int depth, std::uint32_t inherited);
   void fill_root(const std::vector<BuildNode>& bt, std::int32_t node,
                  int depth, std::uint32_t path, std::uint32_t inherited);
+  void rebuild_all();
+  void patch_block(std::uint32_t block, const std::vector<BuildNode>& bt);
 
+  std::vector<Entry> entries_;       // ascending by prefix, deduplicated
   std::vector<std::uint32_t> root_;  // 65536 words once built
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> leaves_;
   std::size_t prefix_count_ = 0;
+  // Garbage-compaction thresholds, re-armed by every full rebuild: a patch
+  // abandons its replaced subtrees, so the arrays only grow until a
+  // rebuild reclaims them.
+  std::size_t node_limit_ = 0;
+  std::size_t leaf_limit_ = 0;
 };
 
 }  // namespace tass::trie

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace tass::trie {
 namespace {
@@ -152,6 +154,214 @@ TEST(LpmIndexTest, StatsAreConsistent) {
   EXPECT_GE(index.memory_bytes(), (1u << 16) * sizeof(std::uint32_t));
   for (std::uint32_t i = 0; i < 256; ++i) {
     EXPECT_EQ(index.lookup(net::Ipv4Address((i << 24) | 0x00ffffffu)), i);
+  }
+}
+
+// ---- incremental update ---------------------------------------------
+
+// The update() contract: lookups afterwards are bit-identical to a fresh
+// index built from the post-change entry table.
+void expect_matches_fresh_rebuild(const LpmIndex& patched) {
+  const std::vector<LpmIndex::Entry> table(patched.entries().begin(),
+                                           patched.entries().end());
+  const LpmIndex fresh(table);
+  EXPECT_EQ(patched.prefix_count(), fresh.prefix_count());
+  // Every stored boundary +/- 1, plus a deterministic spread.
+  std::vector<std::uint32_t> probes{0x00000000u, 0xffffffffu};
+  for (const auto& entry : table) {
+    const std::uint32_t first = entry.prefix.network().value();
+    const std::uint32_t last = entry.prefix.last().value();
+    probes.insert(probes.end(), {first, last, first - 1, last + 1,
+                                 first + (last - first) / 2});
+  }
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    probes.push_back(i * 0x00fedc01u);
+  }
+  for (const std::uint32_t probe : probes) {
+    const net::Ipv4Address address(probe);
+    ASSERT_EQ(patched.lookup(address), fresh.lookup(address))
+        << address.to_string();
+  }
+}
+
+TEST(LpmIndexUpdateTest, InsertEraseAndRevalue) {
+  const std::vector<LpmIndex::Entry> table{
+      {pfx("10.0.0.0/8"), 1},
+      {pfx("10.64.0.0/10"), 2},
+      {pfx("172.16.0.0/12"), 3},
+  };
+  LpmIndex index(table);
+  const std::vector<LpmIndex::Entry> upserts{
+      {pfx("10.64.0.0/10"), 7},    // value change
+      {pfx("192.0.2.0/24"), 8},    // new prefix
+      {pfx("10.64.99.0/24"), 9},   // new nested prefix
+  };
+  const std::vector<net::Prefix> erases{pfx("172.16.0.0/12")};
+  const auto stats = index.update(upserts, erases);
+  EXPECT_EQ(stats.upserts, 3u);
+  EXPECT_EQ(stats.erases, 1u);
+  EXPECT_EQ(index.prefix_count(), 4u);
+  EXPECT_EQ(index.lookup(addr("10.64.1.1")), 7u);
+  EXPECT_EQ(index.lookup(addr("10.64.99.1")), 9u);
+  EXPECT_EQ(index.lookup(addr("192.0.2.5")), 8u);
+  EXPECT_EQ(index.lookup(addr("172.16.0.1")), LpmIndex::kNoMatch);
+  EXPECT_EQ(index.lookup(addr("10.1.2.3")), 1u);
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, UpdateOnEmptyIndexRebuildsFromScratch) {
+  LpmIndex index;
+  const std::vector<LpmIndex::Entry> upserts{{pfx("198.51.100.0/24"), 4}};
+  const auto stats = index.update(upserts, {});
+  EXPECT_TRUE(stats.rebuilt);
+  EXPECT_EQ(index.lookup(addr("198.51.100.77")), 4u);
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, ShortPrefixDirtiesManyBlocksButStaysCorrect) {
+  std::vector<LpmIndex::Entry> table;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    table.push_back({net::Prefix(net::Ipv4Address(i << 24 | 0x040000u), 16),
+                     i + 1});
+  }
+  LpmIndex index(table);
+  // A /9 covers 128 root blocks; the patch must leaf-push it under the
+  // existing /16s without disturbing them.
+  const std::vector<LpmIndex::Entry> upserts{{pfx("7.128.0.0/9"), 500}};
+  index.update(upserts, {});
+  EXPECT_EQ(index.lookup(addr("7.129.0.1")), 500u);
+  EXPECT_EQ(index.lookup(addr("7.4.0.1")), 8u);  // untouched /16
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, ValidationFailuresLeaveIndexUntouched) {
+  const std::vector<LpmIndex::Entry> table{{pfx("10.0.0.0/8"), 1}};
+  LpmIndex index(table);
+  const std::vector<LpmIndex::Entry> bad_value{
+      {pfx("10.0.0.0/8"), LpmIndex::kNoMatch}};
+  EXPECT_THROW(index.update(bad_value, {}), Error);
+  const std::vector<net::Prefix> missing{pfx("192.0.2.0/24")};
+  EXPECT_THROW(index.update({}, missing), Error);
+  const std::vector<LpmIndex::Entry> upsert{{pfx("10.0.0.0/8"), 2}};
+  const std::vector<net::Prefix> same{pfx("10.0.0.0/8")};
+  EXPECT_THROW(index.update(upsert, same), Error);
+  // All three rejections must have left the index bit-identical.
+  EXPECT_EQ(index.prefix_count(), 1u);
+  EXPECT_EQ(index.lookup(addr("10.1.1.1")), 1u);
+}
+
+TEST(LpmIndexUpdateTest, DuplicateUpsertsKeepLastDuplicateErasesCoalesce) {
+  const std::vector<LpmIndex::Entry> table{{pfx("10.0.0.0/8"), 1},
+                                           {pfx("172.16.0.0/12"), 2}};
+  LpmIndex index(table);
+  const std::vector<LpmIndex::Entry> upserts{{pfx("192.0.2.0/24"), 3},
+                                             {pfx("192.0.2.0/24"), 4}};
+  const std::vector<net::Prefix> erases{pfx("172.16.0.0/12"),
+                                        pfx("172.16.0.0/12")};
+  index.update(upserts, erases);
+  EXPECT_EQ(index.lookup(addr("192.0.2.1")), 4u);
+  EXPECT_EQ(index.lookup(addr("172.16.0.1")), LpmIndex::kNoMatch);
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, MassiveChurnFallsBackToFullRebuild) {
+  std::vector<LpmIndex::Entry> table;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    table.push_back({net::Prefix(net::Ipv4Address(i << 23), 9), i});
+  }
+  LpmIndex index(table);
+  // Re-value every prefix: far past the 1/8 churn threshold.
+  std::vector<LpmIndex::Entry> upserts;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    upserts.push_back({net::Prefix(net::Ipv4Address(i << 23), 9), i + 1000});
+  }
+  const auto stats = index.update(upserts, {});
+  EXPECT_TRUE(stats.rebuilt);
+  EXPECT_EQ(index.lookup(addr("0.0.0.1")), 1000u);
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, RepeatedPatchesCompactInsteadOfGrowingForever) {
+  util::Rng rng(2024);
+  std::vector<LpmIndex::Entry> table;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    const auto network = static_cast<std::uint32_t>(rng.bounded(1ull << 32));
+    table.push_back({net::Prefix(net::Ipv4Address(network), 24),
+                     (network >> 8) & 0xffffu});
+  }
+  LpmIndex index(table);
+  const std::size_t baseline = index.node_count() + index.leaf_count();
+  bool compacted = false;
+  for (int round = 0; round < 400; ++round) {
+    // Re-value a handful of random entries each round; every patch
+    // abandons subtrees, so without compaction the arrays would only grow.
+    std::vector<LpmIndex::Entry> upserts;
+    for (int k = 0; k < 32; ++k) {
+      const auto& entry = index.entries()[static_cast<std::size_t>(
+          rng.bounded(index.entries().size()))];
+      upserts.push_back(
+          {entry.prefix, (entry.value + 1 + static_cast<std::uint32_t>(k)) %
+                             0x10000u});
+    }
+    const auto stats = index.update(upserts, {});
+    compacted = compacted || stats.compacted || stats.rebuilt;
+  }
+  EXPECT_TRUE(compacted);
+  // Bounded garbage: within the documented 2x-of-last-rebuild envelope
+  // (plus the small constant slack), not 400 rounds of accretion.
+  EXPECT_LE(index.node_count() + index.leaf_count(), baseline * 3 + 6000);
+  expect_matches_fresh_rebuild(index);
+}
+
+TEST(LpmIndexUpdateTest, RandomizedChurnMatchesFreshRebuild) {
+  for (const std::uint64_t seed : {7ull, 77ull, 777ull}) {
+    util::Rng rng(seed);
+    std::vector<LpmIndex::Entry> table;
+    for (int i = 0; i < 3000; ++i) {
+      const auto network =
+          static_cast<std::uint32_t>(rng.bounded(1ull << 32));
+      const int length = 8 + static_cast<int>(rng.bounded(25));
+      table.push_back({net::Prefix(net::Ipv4Address(network), length),
+                       static_cast<std::uint32_t>(rng.bounded(100000))});
+    }
+    LpmIndex index(table);
+    for (int step = 0; step < 8; ++step) {
+      std::vector<LpmIndex::Entry> upserts;
+      std::vector<net::Prefix> erases;
+      for (int k = 0; k < 40; ++k) {
+        const auto roll = rng.bounded(3);
+        if (roll == 0 && !index.entries().empty()) {
+          erases.push_back(
+              index.entries()[static_cast<std::size_t>(
+                                  rng.bounded(index.entries().size()))]
+                  .prefix);
+        } else if (roll == 1 && !index.entries().empty()) {
+          const auto& entry = index.entries()[static_cast<std::size_t>(
+              rng.bounded(index.entries().size()))];
+          upserts.push_back(
+              {entry.prefix, static_cast<std::uint32_t>(rng.bounded(100000))});
+        } else {
+          const auto network =
+              static_cast<std::uint32_t>(rng.bounded(1ull << 32));
+          upserts.push_back(
+              {net::Prefix(net::Ipv4Address(network),
+                           8 + static_cast<int>(rng.bounded(25))),
+               static_cast<std::uint32_t>(rng.bounded(100000))});
+        }
+      }
+      // A prefix drawn for both sides would (correctly) throw; resolve the
+      // collision the way a partition does — keep the upsert.
+      std::erase_if(erases, [&](net::Prefix p) {
+        return std::any_of(upserts.begin(), upserts.end(),
+                           [&](const LpmIndex::Entry& e) {
+                             return e.prefix == p;
+                           });
+      });
+      std::sort(erases.begin(), erases.end());
+      erases.erase(std::unique(erases.begin(), erases.end()), erases.end());
+      index.update(upserts, erases);
+      expect_matches_fresh_rebuild(index);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include "bgp/mrt.hpp"
 #include "bgp/pfx2as.hpp"
 #include "bgp/rib.hpp"
+#include "bgp/rib_delta.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -230,6 +231,98 @@ TEST(MrtCorruption, SeededTruncatedTailsNeverCrash) {
       }
     }
   }
+}
+
+// --- MRT BGP4MP update streams (bgp::rib_delta) ----------------------
+
+RibDelta valid_update_delta() {
+  RibDelta delta;
+  delta.announce = {
+      {net::Prefix::parse_or_throw("198.18.0.0/15"), {600, 601}},
+      {net::Prefix::parse_or_throw("198.51.100.0/24"), {500}},
+  };
+  delta.withdraw = {net::Prefix::parse_or_throw("172.16.0.0/12"),
+                    net::Prefix::parse_or_throw("192.0.2.0/24")};
+  delta.reorigin = {{net::Prefix::parse_or_throw("10.64.0.0/10"), {250}}};
+  return delta;
+}
+
+TEST(MrtUpdateCorruption, EveryTruncationParsesOrThrows) {
+  const auto bytes = encode_mrt_updates(valid_update_delta(), 1441584000);
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::span<const std::byte> truncated(bytes.data(), cut);
+    try {
+      decode_mrt_updates(truncated);
+    } catch (const Error&) {
+      // Clean rejection is the other acceptable outcome.
+    }
+  }
+}
+
+TEST(MrtUpdateCorruption, SeededByteFlipsNeverCrash) {
+  const auto bytes = encode_mrt_updates(valid_update_delta(), 1441584000);
+  for (const std::uint64_t seed : {19ull, 29ull, 39ull, 49ull, 59ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 400; ++round) {
+      auto mutated = bytes;
+      const std::size_t flips = 1 + rng.bounded(6);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto pos =
+            static_cast<std::size_t>(rng.bounded(mutated.size()));
+        mutated[pos] = static_cast<std::byte>(rng.bounded(256));
+      }
+      try {
+        const RibDelta decoded = decode_mrt_updates(mutated);
+        // Whatever survived must be structurally sane.
+        for (const auto& record : decoded.announce) {
+          EXPECT_LE(record.prefix.length(), 32);
+          EXPECT_FALSE(record.origins.empty());
+        }
+        EXPECT_NO_THROW(decoded.validate());
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST(MrtUpdateCorruption, ForeignRecordsAreSkippedNotFatal) {
+  // A TABLE_DUMP_V2 dump fed to the update reader is well-formed MRT of
+  // the wrong type: every record must be counted as skipped, not die.
+  const auto bytes = encode_mrt(valid_dump());
+  std::size_t skipped = 0;
+  const RibDelta decoded = decode_mrt_updates(bytes, &skipped);
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_GT(skipped, 0u);
+  // And the reverse: an update stream fed to the RIB reader.
+  const auto updates = encode_mrt_updates(valid_update_delta(), 0);
+  const MrtRibDump dump = decode_mrt(updates);
+  EXPECT_TRUE(dump.records.empty());
+  EXPECT_GT(dump.skipped_records, 0u);
+}
+
+TEST(MrtUpdateCorruption, DuplicateAndConflictingDeltasAreRejected) {
+  const auto table = valid_update_delta().apply(std::vector<Pfx2AsRecord>{
+      {net::Prefix::parse_or_throw("172.16.0.0/12"), {1}},
+      {net::Prefix::parse_or_throw("192.0.2.0/24"), {2}},
+      {net::Prefix::parse_or_throw("10.64.0.0/10"), {3}},
+  });
+  // The delta layer throws on duplicated work instead of corrupting
+  // downstream state: double withdraw, double announce, cross-section
+  // duplicates — every one is an Error, never a crash or a half-apply.
+  RibDelta twice;
+  twice.withdraw = {net::Prefix::parse_or_throw("198.51.100.0/24"),
+                    net::Prefix::parse_or_throw("198.51.100.0/24")};
+  EXPECT_THROW(twice.validate(), Error);
+  EXPECT_THROW(twice.apply(table), Error);
+
+  RibDelta conflicted;
+  conflicted.announce = {{net::Prefix::parse_or_throw("7.0.0.0/8"), {9}}};
+  conflicted.withdraw = {net::Prefix::parse_or_throw("7.0.0.0/8")};
+  EXPECT_THROW(conflicted.validate(), Error);
+  EXPECT_THROW(conflicted.apply(table), Error);
+
+  RibDelta replay = valid_update_delta();  // applying twice must fail loud
+  EXPECT_THROW(replay.apply(replay.apply(table)), Error);
 }
 
 }  // namespace
