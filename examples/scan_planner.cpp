@@ -2,19 +2,27 @@
 // scan plan — the operational tool a scanning team would run.
 //
 // Usage:
-//   ./scan_planner [pfx2as_file] [protocol] [phi] [less|more]
+//   ./scan_planner [pfx2as_file|state.tsim] [protocol] [phi] [less|more]
 //
-// With no pfx2as file, a synthetic table is generated and also written to
+// With no input file, a synthetic table is generated and also written to
 // ./demo.pfx2as so the file-driven path can be replayed. The seed scan is
 // simulated from the census model; with real infrastructure it would be
 // the result of one full ZMap sweep. The plan reports the selected
 // prefixes, per-cycle probe volume, packet estimate and expected duration,
 // and emits the first targets in ZMap permutation order.
+//
+// Cold-start path: every run that builds the pipeline from a table also
+// seals the derived partition + ranking into ./demo.tsim; pass that
+// .tsim file as the first argument and the planner mmaps the prebuilt
+// state (millisecond start, shared page cache across planner processes)
+// instead of re-deriving it. The census dry-run steps need the full
+// topology and are skipped in image mode.
 #include <cstdio>
 #include <string>
 
 #include "core/tass.hpp"
 #include "report/table.hpp"
+#include "state/image.hpp"
 
 namespace {
 
@@ -25,13 +33,55 @@ constexpr double kProbesPerSecond = 100'000;  // a polite ZMap rate
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string pfx2as_path = argc > 1 ? argv[1] : "";
+  const std::string input_path = argc > 1 ? argv[1] : "";
   const census::Protocol protocol =
       argc > 2 ? census::parse_protocol(argv[2]) : census::Protocol::kHttps;
   const double phi = argc > 3 ? std::stod(argv[3]) : 0.95;
   const core::PrefixMode mode =
       argc > 4 && std::string(argv[4]) == "less" ? core::PrefixMode::kLess
                                                  : core::PrefixMode::kMore;
+
+  // 0. Fast path: a sealed state image replaces steps 1-3's derivation.
+  if (input_path.ends_with(".tsim")) {
+    const auto image = state::StateImage::load(input_path);
+    std::printf(
+        "attached state image %s (%zu cells, %zu ranked prefixes, "
+        "%zu bytes; topology fingerprint %016llx)\n",
+        input_path.c_str(), image.info().cell_count,
+        image.info().ranked_count, image.info().file_bytes,
+        static_cast<unsigned long long>(image.info().fingerprint));
+
+    const core::DensityRankingView ranking = image.ranking();
+    core::SelectionParams params;
+    params.phi = phi;
+    const auto selection = core::select_by_density(ranking, params);
+    const auto cost = scan::CostModel::for_protocol(protocol);
+    const double packets = cost.packets(
+        selection.selected_addresses,
+        static_cast<std::uint64_t>(
+            static_cast<double>(ranking.total_hosts) *
+            selection.host_coverage()));
+    report::Table table({"plan item", "value"});
+    table.add_row({"pipeline state", "mmap'ed image (no rebuild)"});
+    table.add_row({"selected prefixes",
+                   report::Table::cell(
+                       static_cast<std::uint64_t>(selection.k()))});
+    table.add_row({"addresses per cycle",
+                   report::Table::cell(selection.selected_addresses)});
+    table.add_row({"share of announced space",
+                   report::Table::cell(selection.space_coverage(), 3)});
+    table.add_row({"expected host coverage at seed",
+                   report::Table::cell(selection.host_coverage(), 3)});
+    table.add_row({"estimated packets per cycle",
+                   report::Table::cell(
+                       static_cast<std::uint64_t>(packets))});
+    std::printf("\n%s", table.to_text().c_str());
+    std::printf(
+        "\n(census dry-run steps need the full topology; run the "
+        "pfx2as path for those)\n");
+    return 0;
+  }
+  const std::string pfx2as_path = input_path;
 
   // 1. Routing table: from file, or synthetic (then saved for replay).
   std::shared_ptr<const census::Topology> topology;
@@ -60,6 +110,21 @@ int main(int argc, char** argv) {
 
   // 3. TASS selection.
   const auto ranking = core::rank_by_density(seed, mode);
+  // Seal the derived state so the next planner start can skip steps 1-3
+  // by passing demo.tsim instead of the pfx2as file. Best-effort: an
+  // unwritable working directory must not cost us the plan itself.
+  try {
+    state::save_image("demo.tsim",
+                      mode == core::PrefixMode::kMore
+                          ? topology->m_partition
+                          : topology->l_partition,
+                      ranking);
+    std::printf("sealed pipeline state to demo.tsim (replay with "
+                "./scan_planner demo.tsim)\n");
+  } catch (const Error& error) {
+    std::fprintf(stderr, "warning: could not seal demo.tsim: %s\n",
+                 error.what());
+  }
   core::SelectionParams params;
   params.phi = phi;
   const auto selection = core::select_by_density(ranking, params);

@@ -1,15 +1,20 @@
 // tass_cli: the library as an operator tool.
 //
-//   tass_cli rank       <pfx2as> <addresses> [less|more] [top_n]
-//   tass_cli plan       <pfx2as> <addresses> <phi> [less|more]
-//   tass_cli aggregate  <prefix-file>
-//   tass_cli inspect    <file.mrt>
+//   tass_cli rank        <pfx2as> <addresses> [less|more] [top_n]
+//   tass_cli plan        <pfx2as> <addresses> <phi> [less|more]
+//   tass_cli aggregate   <prefix-file>
+//   tass_cli inspect     <file.mrt>
+//   tass_cli state build <pfx2as> <addresses> <out.tsim> [less|more]
+//   tass_cli state info  <file.tsim>
 //
 // `rank` attributes a scan export onto the routing table and prints the
 // densest prefixes; `plan` emits the TASS selection (aggregated, one
 // prefix per line on stdout, summary on stderr) ready to feed a scanner
 // whitelist; `aggregate` minimises a CIDR list; `inspect` summarises an
-// MRT RIB dump.
+// MRT RIB dump. `state build` runs the pfx2as -> partition -> ranking
+// pipeline once and seals the derived state into a TSIM image so later
+// process starts mmap it instead of rebuilding; `state info` validates
+// an image (header, checksum, bounds, deep audit) and prints its header.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -18,6 +23,7 @@
 
 #include "core/tass.hpp"
 #include "report/table.hpp"
+#include "state/image.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -25,12 +31,16 @@ namespace {
 using namespace tass;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  tass_cli rank      <pfx2as> <addresses> [less|more] [n]\n"
-               "  tass_cli plan      <pfx2as> <addresses> <phi> [less|more]\n"
-               "  tass_cli aggregate <prefix-file>\n"
-               "  tass_cli inspect   <file.mrt>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tass_cli rank        <pfx2as> <addresses> [less|more] [n]\n"
+      "  tass_cli plan        <pfx2as> <addresses> <phi> [less|more]\n"
+      "  tass_cli aggregate   <prefix-file>\n"
+      "  tass_cli inspect     <file.mrt>\n"
+      "  tass_cli state build <pfx2as> <addresses> <out.tsim> "
+      "[less|more]\n"
+      "  tass_cli state info  <file.tsim>\n");
   return 2;
 }
 
@@ -153,6 +163,81 @@ int cmd_aggregate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_state_build(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const core::PrefixMode mode =
+      argc > 6 ? parse_mode(argv[6]) : core::PrefixMode::kMore;
+  const std::string out_path = argv[5];
+
+  const auto topology = load_topology(argv[3]);
+  const auto ranking = build_ranking(*topology, argv[4], mode);
+  const auto& partition = mode == core::PrefixMode::kMore
+                              ? topology->m_partition
+                              : topology->l_partition;
+  state::save_image(out_path, partition, ranking);
+
+  const auto image = state::StateImage::load(out_path);
+  std::fprintf(stderr,
+               "sealed %zu cells / %zu ranked prefixes into %s (%zu "
+               "bytes, fingerprint %016llx); workers can now mmap it "
+               "instead of rebuilding\n",
+               image.info().cell_count, image.info().ranked_count,
+               out_path.c_str(), image.info().file_bytes,
+               static_cast<unsigned long long>(image.info().fingerprint));
+  return 0;
+}
+
+int cmd_state_info(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto image = state::StateImage::load(argv[3]);
+  image.verify();  // deep audit beyond the load-time integrity checks
+
+  const state::ImageInfo& info = image.info();
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
+                static_cast<unsigned long long>(info.fingerprint));
+  char checksum[32];
+  std::snprintf(checksum, sizeof checksum, "%016llx",
+                static_cast<unsigned long long>(info.checksum));
+  report::Table out({"field", "value"});
+  out.add_row({"version", report::Table::cell(
+                              static_cast<std::uint64_t>(info.version))});
+  out.add_row(
+      {"prefix mode", std::string(core::prefix_mode_name(info.mode))});
+  out.add_row({"topology fingerprint", fingerprint});
+  out.add_row({"payload checksum", checksum});
+  out.add_row({"cells", report::Table::cell(
+                            static_cast<std::uint64_t>(info.cell_count))});
+  out.add_row({"live cells",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(info.live_cells))});
+  out.add_row({"ranked prefixes",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(info.ranked_count))});
+  out.add_row({"total hosts", report::Table::cell(info.total_hosts)});
+  out.add_row({"advertised addresses",
+               report::Table::cell(info.advertised_addresses)});
+  out.add_row({"LPM nodes", report::Table::cell(
+                                static_cast<std::uint64_t>(info.lpm_nodes))});
+  out.add_row({"LPM leaves",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(info.lpm_leaves))});
+  out.add_row({"file bytes",
+               report::Table::cell(
+                   static_cast<std::uint64_t>(info.file_bytes))});
+  std::printf("%s", out.to_text().c_str());
+  std::fprintf(stderr, "image OK (checksum, bounds and deep audit)\n");
+  return 0;
+}
+
+int cmd_state(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+  if (verb == "build") return cmd_state_build(argc, argv);
+  if (verb == "info") return cmd_state_info(argc, argv);
+  return usage();
+}
+
 int cmd_inspect(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto dump = bgp::load_mrt(argv[2]);
@@ -190,6 +275,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(argc, argv);
     if (command == "aggregate") return cmd_aggregate(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
+    if (command == "state") return cmd_state(argc, argv);
     return usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -3,8 +3,107 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace tass::bgp {
+
+void PrefixPartition::sync_views() noexcept {
+  if (borrowed_) return;
+  prefixes_view_ = prefixes_;
+  sorted_view_ = sorted_;
+  live_view_ = live_;
+  free_view_ = free_slots_;
+}
+
+PrefixPartition PrefixPartition::from_raw(const Raw& raw,
+                                          trie::LpmIndex index) {
+  PrefixPartition partition;
+  partition.borrowed_ = true;
+  partition.prefixes_view_ = raw.prefixes;
+  partition.sorted_view_ = raw.sorted;
+  partition.live_view_ = raw.live;
+  partition.free_view_ = raw.free_slots;
+  partition.address_count_ = raw.address_count;
+  partition.live_count_ = static_cast<std::size_t>(raw.live_count);
+  partition.index_ = std::move(index);
+  return partition;
+}
+
+PrefixPartition::PrefixPartition(const PrefixPartition& other)
+    : prefixes_(other.prefixes_),
+      sorted_(other.sorted_),
+      index_(other.index_),
+      address_count_(other.address_count_),
+      live_(other.live_),
+      free_slots_(other.free_slots_),
+      borrowed_(other.borrowed_),
+      live_count_(other.live_count_) {
+  if (borrowed_) {
+    // Borrowed views share the caller's storage; the copy does too.
+    prefixes_view_ = other.prefixes_view_;
+    sorted_view_ = other.sorted_view_;
+    live_view_ = other.live_view_;
+    free_view_ = other.free_view_;
+  } else {
+    sync_views();
+  }
+}
+
+PrefixPartition& PrefixPartition::operator=(const PrefixPartition& other) {
+  if (this != &other) *this = PrefixPartition(other);
+  return *this;
+}
+
+PrefixPartition::PrefixPartition(PrefixPartition&& other) noexcept
+    : prefixes_(std::move(other.prefixes_)),
+      sorted_(std::move(other.sorted_)),
+      index_(std::move(other.index_)),
+      address_count_(other.address_count_),
+      live_(std::move(other.live_)),
+      free_slots_(std::move(other.free_slots_)),
+      // Owned vector buffers survive the move at the same addresses, so
+      // the source's views stay valid for the new owner; borrowed views
+      // point at caller storage and transfer as-is.
+      prefixes_view_(other.prefixes_view_),
+      sorted_view_(other.sorted_view_),
+      live_view_(other.live_view_),
+      free_view_(other.free_view_),
+      borrowed_(other.borrowed_),
+      live_count_(other.live_count_) {
+  other.prefixes_view_ = {};
+  other.sorted_view_ = {};
+  other.live_view_ = {};
+  other.free_view_ = {};
+  other.address_count_ = 0;
+  other.live_count_ = 0;
+  other.borrowed_ = false;
+}
+
+PrefixPartition& PrefixPartition::operator=(
+    PrefixPartition&& other) noexcept {
+  if (this != &other) {
+    prefixes_ = std::move(other.prefixes_);
+    sorted_ = std::move(other.sorted_);
+    index_ = std::move(other.index_);
+    address_count_ = other.address_count_;
+    live_ = std::move(other.live_);
+    free_slots_ = std::move(other.free_slots_);
+    prefixes_view_ = other.prefixes_view_;
+    sorted_view_ = other.sorted_view_;
+    live_view_ = other.live_view_;
+    free_view_ = other.free_view_;
+    borrowed_ = other.borrowed_;
+    live_count_ = other.live_count_;
+    other.prefixes_view_ = {};
+    other.sorted_view_ = {};
+    other.live_view_ = {};
+    other.free_view_ = {};
+    other.address_count_ = 0;
+    other.live_count_ = 0;
+    other.borrowed_ = false;
+  }
+  return *this;
+}
 
 PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
     : prefixes_(std::move(prefixes)) {
@@ -13,7 +112,7 @@ PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
   }
   sorted_.reserve(prefixes_.size());
   for (std::size_t i = 0; i < prefixes_.size(); ++i) {
-    sorted_.emplace_back(prefixes_[i], static_cast<std::uint32_t>(i));
+    sorted_.push_back({prefixes_[i], static_cast<std::uint32_t>(i)});
   }
   std::sort(sorted_.begin(), sorted_.end());
 
@@ -24,21 +123,28 @@ PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
   std::uint32_t max_last = 0;
   std::vector<trie::LpmIndex::Entry> table;
   table.reserve(sorted_.size());
-  for (const auto& [prefix, cell] : sorted_) {
-    if (have_previous && prefix.network().value() <= max_last) {
-      throw Error("partition prefixes overlap at " + prefix.to_string());
+  for (const SortedCell& cell : sorted_) {
+    if (have_previous && cell.prefix.network().value() <= max_last) {
+      throw Error("partition prefixes overlap at " + cell.prefix.to_string());
     }
-    max_last = prefix.last().value();
+    max_last = cell.prefix.last().value();
     have_previous = true;
-    table.push_back({prefix, cell});
-    address_count_ += prefix.size();
+    table.push_back({cell.prefix, cell.slot});
+    address_count_ += cell.prefix.size();
   }
   index_ = trie::LpmIndex(table);
   live_count_ = prefixes_.size();
+  sync_views();
 }
 
 PartitionApplyResult PrefixPartition::apply_delta(
     const PartitionDelta& delta) {
+  if (borrowed_) {
+    throw Error(
+        "PrefixPartition::apply_delta on a borrowed view (from_raw): "
+        "read-only storage cannot absorb deltas; rebuild an owned "
+        "partition instead");
+  }
   PartitionApplyResult result;
   result.old_cell_count = static_cast<std::uint32_t>(prefixes_.size());
 
@@ -98,14 +204,14 @@ PartitionApplyResult PrefixPartition::apply_delta(
     }
     const auto begin = std::lower_bound(
         sorted_.begin(), sorted_.end(), prefix,
-        [](const auto& entry, net::Prefix p) { return entry.first < p; });
+        [](const SortedCell& cell, net::Prefix p) { return cell.prefix < p; });
     for (auto it = begin;
          it != sorted_.end() &&
-         it->first.network().value() <= prefix.last().value();
+         it->prefix.network().value() <= prefix.last().value();
          ++it) {
-      if (!being_removed(it->second)) {
+      if (!being_removed(it->slot)) {
         throw Error("apply_delta: added prefix " + prefix.to_string() +
-                    " overlaps live cell " + it->first.to_string());
+                    " overlaps live cell " + it->prefix.to_string());
       }
     }
   }
@@ -162,22 +268,22 @@ PartitionApplyResult PrefixPartition::apply_delta(
 
   // Patch the sorted live-cell view: drop removed entries, merge in the
   // added ones (one linear pass; both sequences are prefix-sorted).
-  std::vector<std::pair<net::Prefix, std::uint32_t>> added_sorted;
+  std::vector<SortedCell> added_sorted;
   added_sorted.reserve(delta.add.size());
   for (std::size_t i = 0; i < delta.add.size(); ++i) {
-    added_sorted.emplace_back(delta.add[i], result.added_cells[i]);
+    added_sorted.push_back({delta.add[i], result.added_cells[i]});
   }
   std::sort(added_sorted.begin(), added_sorted.end());
-  std::vector<std::pair<net::Prefix, std::uint32_t>> next;
+  std::vector<SortedCell> next;
   next.reserve(sorted_.size() - result.removed_cells.size() +
                added_sorted.size());
   auto add_it = added_sorted.cbegin();
-  for (const auto& entry : sorted_) {
-    if (being_removed(entry.second)) continue;
-    while (add_it != added_sorted.cend() && add_it->first < entry.first) {
+  for (const SortedCell& cell : sorted_) {
+    if (being_removed(cell.slot)) continue;
+    while (add_it != added_sorted.cend() && add_it->prefix < cell.prefix) {
       next.push_back(*add_it++);
     }
-    next.push_back(entry);
+    next.push_back(cell);
   }
   next.insert(next.end(), add_it, added_sorted.cend());
   sorted_ = std::move(next);
@@ -192,6 +298,7 @@ PartitionApplyResult PrefixPartition::apply_delta(
     return std::binary_search(upserted.begin(), upserted.end(), p);
   });
   result.index_stats = index_.update(upserts, erases);
+  sync_views();
   return result;
 }
 
@@ -211,26 +318,29 @@ void PrefixPartition::locate_many(std::span<const std::uint32_t> addresses,
 std::optional<std::uint32_t> PrefixPartition::index_of(
     net::Prefix prefix) const {
   const auto it = std::lower_bound(
-      sorted_.begin(), sorted_.end(), prefix,
-      [](const auto& entry, net::Prefix p) { return entry.first < p; });
-  if (it == sorted_.end() || it->first != prefix) return std::nullopt;
-  return it->second;
+      sorted_view_.begin(), sorted_view_.end(), prefix,
+      [](const SortedCell& cell, net::Prefix p) { return cell.prefix < p; });
+  if (it == sorted_view_.end() || it->prefix != prefix) return std::nullopt;
+  return it->slot;
 }
 
 std::vector<net::Prefix> PrefixPartition::live_prefixes() const {
-  if (live_.empty()) {
-    return std::vector<net::Prefix>(prefixes_.begin(), prefixes_.end());
+  if (live_view_.empty()) {
+    return std::vector<net::Prefix>(prefixes_view_.begin(),
+                                    prefixes_view_.end());
   }
   std::vector<net::Prefix> live;
   live.reserve(live_count_);
-  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
-    if (live_[i] != 0) live.push_back(prefixes_[i]);
+  for (std::size_t i = 0; i < prefixes_view_.size(); ++i) {
+    if (live_view_[i] != 0) live.push_back(prefixes_view_[i]);
   }
   return live;
 }
 
 net::IntervalSet PrefixPartition::to_interval_set() const {
-  if (live_.empty()) return net::IntervalSet::of_prefixes(prefixes_);
+  if (live_view_.empty()) {
+    return net::IntervalSet::of_prefixes(prefixes_view_);
+  }
   return net::IntervalSet::of_prefixes(live_prefixes());
 }
 
@@ -250,6 +360,18 @@ PartitionDelta partition_delta(const PrefixPartition& current,
   std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
                       std::back_inserter(delta.add));
   return delta;
+}
+
+std::uint64_t partition_fingerprint(const PrefixPartition& partition) {
+  util::Fnv1a64 hasher;
+  hasher.update_u64(partition.live_cells());
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    if (!partition.live(i)) continue;
+    const net::Prefix prefix = partition.prefix(i);
+    hasher.update_u32(prefix.network().value());
+    hasher.update(static_cast<std::uint8_t>(prefix.length()));
+  }
+  return hasher.digest();
 }
 
 }  // namespace tass::bgp

@@ -16,6 +16,13 @@
 // cells become free slots that later additions reuse; until reused, a
 // dead slot stays in size() with live(i) == false and can never be
 // returned by locate()/locate_many().
+//
+// Storage: like trie::LpmIndex, the per-cell arrays are addressed through
+// spans, so a partition either owns them (the build/churn paths) or
+// borrows them from caller-owned memory — the zero-copy mode the TSIM
+// state image (state/image.hpp) uses to attach N worker processes to one
+// mmap'ed topology. A borrowed partition serves every const query through
+// the unchanged API but rejects apply_delta().
 #pragma once
 
 #include <algorithm>
@@ -44,6 +51,19 @@ struct PartitionDelta {
   bool empty() const noexcept { return remove.empty() && add.empty(); }
   std::size_t change_count() const noexcept {
     return remove.size() + add.size();
+  }
+};
+
+/// One row of the sorted live-cell view: the cell's prefix and its slot.
+/// A plain standard-layout struct (rather than std::pair) so the state
+/// image can serialise the array with an assertable byte layout.
+struct SortedCell {
+  net::Prefix prefix;
+  std::uint32_t slot = 0;
+
+  friend constexpr bool operator<(SortedCell a, SortedCell b) noexcept {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    return a.slot < b.slot;
   }
 };
 
@@ -83,22 +103,60 @@ class PrefixPartition {
   /// the input order is preserved and becomes the cell index order.
   explicit PrefixPartition(std::vector<net::Prefix> prefixes);
 
+  /// The flat per-cell arrays, as spans. raw() exposes them for
+  /// serialisation; from_raw() builds a borrowed partition over them.
+  struct Raw {
+    std::span<const net::Prefix> prefixes;     // one per slot (live + free)
+    std::span<const SortedCell> sorted;        // live cells, prefix order
+    std::span<const std::uint8_t> live;        // empty == every slot live
+    std::span<const std::uint32_t> free_slots; // dead slots, ascending
+    std::uint64_t address_count = 0;           // live address total
+    std::uint64_t live_count = 0;              // live slot total
+  };
+
+  /// Borrowed-storage partition over caller-owned arrays plus the match
+  /// index that resolves into them (typically itself borrowed via
+  /// trie::LpmIndex::from_raw). The storage must stay valid and
+  /// unmodified for the partition's lifetime, and the arrays must satisfy
+  /// the structural invariants of a built partition — from_raw trusts its
+  /// input; the state image loader validates before calling. A borrowed
+  /// partition rejects apply_delta(); all const queries are unchanged.
+  static PrefixPartition from_raw(const Raw& raw, trie::LpmIndex index);
+
+  /// The flat arrays of this partition (borrowed or owned). Spans are
+  /// invalidated by apply_delta() and by destruction/assignment.
+  Raw raw() const noexcept {
+    return {prefixes_view_, sorted_view_,     live_view_,
+            free_view_,     address_count_,   live_count_};
+  }
+
+  /// True if this partition borrows caller-owned storage (from_raw).
+  bool borrowed() const noexcept { return borrowed_; }
+
+  // Spans into own storage must be re-anchored on copy (and cleared on
+  // move-from), so the special members are user-defined.
+  PrefixPartition(const PrefixPartition& other);
+  PrefixPartition& operator=(const PrefixPartition& other);
+  PrefixPartition(PrefixPartition&& other) noexcept;
+  PrefixPartition& operator=(PrefixPartition&& other) noexcept;
+  ~PrefixPartition() = default;
+
   /// Number of cell slots (live + free). Per-cell vectors are sized by
   /// this; free slots simply never receive attributions.
-  std::size_t size() const noexcept { return prefixes_.size(); }
-  bool empty() const noexcept { return prefixes_.empty(); }
+  std::size_t size() const noexcept { return prefixes_view_.size(); }
+  bool empty() const noexcept { return prefixes_view_.empty(); }
 
   /// Live cells (size() minus free slots left by apply_delta).
   std::size_t live_cells() const noexcept { return live_count_; }
   std::size_t free_cells() const noexcept {
-    return prefixes_.size() - live_count_;
+    return prefixes_view_.size() - live_count_;
   }
 
   /// True if the slot currently holds a cell (always true for a freshly
   /// constructed partition; apply_delta may free slots).
   bool live(std::size_t index) const noexcept {
-    TASS_EXPECTS(index < prefixes_.size());
-    return live_.empty() || live_[index] != 0;
+    TASS_EXPECTS(index < prefixes_view_.size());
+    return live_view_.empty() || live_view_[index] != 0;
   }
 
   /// Prefix of the cell at `index`. For a freed slot this returns the
@@ -106,10 +164,12 @@ class PrefixPartition {
   /// live(i) (attribution never produces counts for freed slots, so
   /// count-driven consumers like core::rank_by_density need no gate).
   net::Prefix prefix(std::size_t index) const noexcept {
-    TASS_EXPECTS(index < prefixes_.size());
-    return prefixes_[index];
+    TASS_EXPECTS(index < prefixes_view_.size());
+    return prefixes_view_[index];
   }
-  std::span<const net::Prefix> prefixes() const noexcept { return prefixes_; }
+  std::span<const net::Prefix> prefixes() const noexcept {
+    return prefixes_view_;
+  }
 
   /// The live prefixes in slot order (== prefixes() for a partition that
   /// never absorbed a delta). This is the prefix set a from-scratch
@@ -128,7 +188,8 @@ class PrefixPartition {
   ///
   /// Validation happens before any mutation (strong guarantee): throws
   /// tass::Error if a removed prefix is not a live cell, is listed twice,
-  /// or if an added prefix overlaps a surviving cell or another addition.
+  /// if an added prefix overlaps a surviving cell or another addition, or
+  /// if this partition is a borrowed view (from_raw) and so cannot mutate.
   /// A prefix listed in both remove and add is allowed (the cell is
   /// withdrawn and re-announced, landing on a possibly different slot).
   ///
@@ -156,7 +217,7 @@ class PrefixPartition {
   void tally_cells(std::span<const std::uint32_t> addresses,
                    std::vector<Count>& counts, std::uint64_t& attributed,
                    std::uint64_t& unattributed) const {
-    TASS_EXPECTS(counts.size() == prefixes_.size());
+    TASS_EXPECTS(counts.size() == prefixes_view_.size());
     constexpr std::size_t kBlock = 4096;
     std::array<std::uint32_t, kBlock> cells;
     for (std::size_t offset = 0; offset < addresses.size();
@@ -187,10 +248,13 @@ class PrefixPartition {
   net::IntervalSet to_interval_set() const;
 
  private:
+  // Re-anchors the read-side spans on the owned vectors (no-op for a
+  // borrowed partition, whose spans point at caller storage).
+  void sync_views() noexcept;
+
   std::vector<net::Prefix> prefixes_;
-  // Live cells sorted by (network, length) for index_of binary search;
-  // the second member is the cell's slot index.
-  std::vector<std::pair<net::Prefix, std::uint32_t>> sorted_;
+  // Live cells sorted by (network, length) for index_of binary search.
+  std::vector<SortedCell> sorted_;
   trie::LpmIndex index_;
   std::uint64_t address_count_ = 0;
   // Tombstone bookkeeping for apply_delta. live_ stays empty until the
@@ -198,6 +262,13 @@ class PrefixPartition {
   // free_slots_ is kept ascending so reuse is deterministic.
   std::vector<std::uint8_t> live_;
   std::vector<std::uint32_t> free_slots_;
+  // What the const queries actually read: the owned vectors above (synced
+  // after every mutation) or borrowed caller storage (from_raw).
+  std::span<const net::Prefix> prefixes_view_;
+  std::span<const SortedCell> sorted_view_;
+  std::span<const std::uint8_t> live_view_;
+  std::span<const std::uint32_t> free_view_;
+  bool borrowed_ = false;
   std::size_t live_count_ = 0;
 };
 
@@ -207,5 +278,11 @@ class PrefixPartition {
 /// among the survivors is caught by apply_delta itself).
 PartitionDelta partition_delta(const PrefixPartition& current,
                                std::span<const net::Prefix> target);
+
+/// Structural fingerprint: FNV-1a over the live cell count and the live
+/// prefixes in slot order. The single digest definition behind both
+/// census::topology_fingerprint (TSNP snapshots) and the TSIM state
+/// image, so snapshot and image bindings stay interchangeable.
+std::uint64_t partition_fingerprint(const PrefixPartition& partition);
 
 }  // namespace tass::bgp

@@ -148,14 +148,13 @@ Snapshot decode_snapshot_from(ByteReader& in,
 }  // namespace
 
 std::uint64_t topology_fingerprint(const Topology& topology) {
-  util::Fnv1a64 hasher;
-  hasher.update_u64(topology.m_partition.size());
-  for (std::size_t i = 0; i < topology.m_partition.size(); ++i) {
-    const net::Prefix prefix = topology.m_partition.prefix(i);
-    hasher.update_u32(prefix.network().value());
-    hasher.update(static_cast<std::uint8_t>(prefix.length()));
-  }
-  return hasher.digest();
+  // One digest definition for every topology binding: TSNP snapshots
+  // and TSIM state images of the same m-partition share it. The shared
+  // digest hashes the live cells; census topologies are immutable and
+  // always freshly built (every slot live), so this is byte-identical
+  // to the historical all-slot digest for every snapshot ever written —
+  // and decode_snapshot_from additionally pins the total cell count.
+  return bgp::partition_fingerprint(topology.m_partition);
 }
 
 std::vector<std::byte> encode_snapshot(const Snapshot& snapshot) {

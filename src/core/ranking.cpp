@@ -6,8 +6,6 @@
 
 namespace tass::core {
 
-namespace {
-
 // Density descending; ties broken towards more hosts, then by ascending
 // prefix. The prefix tie-break (rather than the cell index) makes the
 // order a pure function of (prefix, hosts, density), so a delta-patched
@@ -21,8 +19,6 @@ bool ranked_before(const RankedPrefix& a, const RankedPrefix& b) noexcept {
   return a.prefix < b.prefix;
 }
 
-}  // namespace
-
 std::string_view prefix_mode_name(PrefixMode mode) noexcept {
   return mode == PrefixMode::kLess ? "less" : "more";
 }
@@ -31,6 +27,21 @@ std::uint64_t DensityRanking::responsive_addresses() const noexcept {
   std::uint64_t total = 0;
   for (const RankedPrefix& entry : ranked) total += entry.size;
   return total;
+}
+
+std::uint64_t DensityRankingView::responsive_addresses() const noexcept {
+  std::uint64_t total = 0;
+  for (const RankedPrefix& entry : ranked) total += entry.size;
+  return total;
+}
+
+DensityRanking DensityRankingView::materialize() const {
+  DensityRanking owned;
+  owned.mode = mode;
+  owned.ranked.assign(ranked.begin(), ranked.end());
+  owned.total_hosts = total_hosts;
+  owned.advertised_addresses = advertised_addresses;
+  return owned;
 }
 
 DensityRanking rank_by_density(std::span<const std::uint32_t> counts,

@@ -33,6 +33,13 @@ struct RankedPrefix {
   double host_share = 0.0;   // phi_i
 };
 
+/// The canonical ranking order: density descending, ties broken towards
+/// more hosts, then by ascending prefix — a pure function of the scored
+/// data, so delta-patched and from-scratch rankings sort identically.
+/// Exposed so read-only consumers (the state-image validator, tooling)
+/// can check an order without re-sorting.
+bool ranked_before(const RankedPrefix& a, const RankedPrefix& b) noexcept;
+
 /// The full density ranking of a seed scan. Zero-density prefixes are
 /// excluded (the paper plots and selects over rho > 0 only).
 struct DensityRanking {
@@ -43,6 +50,25 @@ struct DensityRanking {
 
   /// Space covered by all responsive prefixes (the phi = 1 cost).
   std::uint64_t responsive_addresses() const noexcept;
+};
+
+/// Read-only view of a density ranking whose entries live in borrowed
+/// storage — the zero-copy mode the TSIM state image (state/image.hpp)
+/// uses to serve a ranking straight out of a mmap'ed file. The borrowed
+/// storage must outlive the view. Selection (core::select_by_density)
+/// consumes the owned form; materialize() copies the view out when a
+/// mutable ranking is needed (e.g. to keep rerank_cells-ing it).
+struct DensityRankingView {
+  PrefixMode mode = PrefixMode::kLess;
+  std::span<const RankedPrefix> ranked;    // density descending
+  std::uint64_t total_hosts = 0;           // N
+  std::uint64_t advertised_addresses = 0;  // announced space size
+
+  /// Space covered by all responsive prefixes (the phi = 1 cost).
+  std::uint64_t responsive_addresses() const noexcept;
+
+  /// An owned, independent copy (bit-identical fields).
+  DensityRanking materialize() const;
 };
 
 /// Builds the ranking from a ground-truth snapshot (which stands in for

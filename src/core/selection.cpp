@@ -10,20 +10,21 @@ namespace tass::core {
 
 namespace {
 
-Selection select_from(const DensityRanking& ranking,
+Selection select_from(PrefixMode mode, std::uint64_t total_hosts,
+                      std::uint64_t advertised_addresses,
                       std::span<const RankedPrefix> order,
                       const SelectionParams& params) {
   TASS_EXPECTS(params.phi > 0.0 && params.phi <= 1.0);
   Selection selection;
-  selection.mode = ranking.mode;
-  selection.total_hosts = ranking.total_hosts;
-  selection.advertised_addresses = ranking.advertised_addresses;
+  selection.mode = mode;
+  selection.total_hosts = total_hosts;
+  selection.advertised_addresses = advertised_addresses;
 
   // Integer threshold: smallest k with covered_hosts >= ceil(phi * N); for
   // phi = 1 this takes every responsive prefix, matching the paper's
   // "selects all prefixes with a non-zero density".
   const auto threshold = static_cast<std::uint64_t>(
-      std::ceil(params.phi * static_cast<double>(ranking.total_hosts)));
+      std::ceil(params.phi * static_cast<double>(total_hosts)));
 
   for (const RankedPrefix& entry : order) {
     if (selection.covered_hosts >= threshold) break;
@@ -44,7 +45,14 @@ Selection select_from(const DensityRanking& ranking,
 
 Selection select_by_density(const DensityRanking& ranking,
                             const SelectionParams& params) {
-  return select_from(ranking, ranking.ranked, params);
+  return select_from(ranking.mode, ranking.total_hosts,
+                     ranking.advertised_addresses, ranking.ranked, params);
+}
+
+Selection select_by_density(const DensityRankingView& ranking,
+                            const SelectionParams& params) {
+  return select_from(ranking.mode, ranking.total_hosts,
+                     ranking.advertised_addresses, ranking.ranked, params);
 }
 
 SelectionChurn selection_churn(const Selection& older,
@@ -79,7 +87,7 @@ Selection select_with_order(const DensityRanking& ranking,
                             const SelectionParams& params, RankingOrder order,
                             std::uint64_t seed) {
   if (order == RankingOrder::kDensity) {
-    return select_from(ranking, ranking.ranked, params);
+    return select_by_density(ranking, params);
   }
   std::vector<RankedPrefix> reordered(ranking.ranked.begin(),
                                       ranking.ranked.end());
@@ -106,7 +114,8 @@ Selection select_with_order(const DensityRanking& ranking,
     case RankingOrder::kDensity:
       break;
   }
-  return select_from(ranking, reordered, params);
+  return select_from(ranking.mode, ranking.total_hosts,
+                     ranking.advertised_addresses, reordered, params);
 }
 
 }  // namespace tass::core

@@ -58,6 +58,11 @@ struct Selection {
 Selection select_by_density(const DensityRanking& ranking,
                             const SelectionParams& params);
 
+/// As above, over a borrowed ranking view (e.g. served zero-copy out of
+/// a TSIM state image) — selection never needs an owned copy.
+Selection select_by_density(const DensityRankingView& ranking,
+                            const SelectionParams& params);
+
 /// Ablation orderings used by bench/ablation_ranking: identical stopping
 /// rule, different sort keys.
 enum class RankingOrder {

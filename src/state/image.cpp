@@ -1,0 +1,717 @@
+#include "state/image.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <type_traits>
+
+#include "util/endian.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace tass::state {
+
+namespace {
+
+using bgp::PrefixPartition;
+using bgp::SortedCell;
+using core::RankedPrefix;
+using trie::LpmIndex;
+
+// "TSIM" in file order (the little-endian u32 at offset 0).
+constexpr std::uint32_t kMagic = 0x4d495354u;
+
+// Checksum field location: the wide FNV covers every byte from
+// kChecksummedFrom to the end of the file, which includes the topology
+// fingerprint, the scalars, the section table and all payload — so any
+// flipped byte past the magic/version/checksum triple is a checksum
+// mismatch.
+static_assert(kChecksumOffset + 8 == kChecksummedFrom);
+static_assert(kFingerprintOffset >= kChecksummedFrom);
+
+enum SectionId : std::uint32_t {
+  kLpmRoot = 1,
+  kLpmNodes,
+  kLpmLeaves,
+  kPartPrefixes,
+  kPartSorted,
+  kPartLive,
+  kPartFree,
+  kRankEntries,
+};
+
+struct SectionSpec {
+  std::uint32_t id = 0;
+  std::uint32_t elem_size = 0;
+};
+
+constexpr SectionSpec kSpecs[kSectionCount] = {
+    {kLpmRoot, sizeof(std::uint32_t)},
+    {kLpmNodes, sizeof(LpmIndex::Node)},
+    {kLpmLeaves, sizeof(std::uint32_t)},
+    {kPartPrefixes, sizeof(net::Prefix)},
+    {kPartSorted, sizeof(SortedCell)},
+    {kPartLive, sizeof(std::uint8_t)},
+    {kPartFree, sizeof(std::uint32_t)},
+    {kRankEntries, sizeof(RankedPrefix)},
+};
+
+// The sorted section doubles as the LpmIndex entry table: same byte
+// layout, same content (live cells ascending by prefix; encode_image
+// checks the content identity before writing).
+static_assert(sizeof(SortedCell) == sizeof(LpmIndex::Entry));
+
+// The payload sections ARE the in-memory arrays, so the wire layout is
+// the host layout. Everything the format fixes is asserted here; a port
+// to an exotic ABI fails the build (or the runtime probe below) instead
+// of producing silently incompatible images.
+static_assert(std::endian::native == std::endian::little,
+              "TSIM payload sections are little-endian host arrays; a "
+              "big-endian port needs a byte-swapping decode path");
+static_assert(std::is_trivially_copyable_v<LpmIndex::Node> &&
+              std::is_standard_layout_v<LpmIndex::Node>);
+static_assert(sizeof(LpmIndex::Node) == 24 &&
+              offsetof(LpmIndex::Node, leaf_bits) == 8 &&
+              offsetof(LpmIndex::Node, child_base) == 16 &&
+              offsetof(LpmIndex::Node, leaf_base) == 20);
+static_assert(std::is_trivially_copyable_v<net::Prefix> &&
+              sizeof(net::Prefix) == 8 && alignof(net::Prefix) <= 8);
+static_assert(std::is_trivially_copyable_v<LpmIndex::Entry> &&
+              std::is_standard_layout_v<LpmIndex::Entry> &&
+              sizeof(LpmIndex::Entry) == 12 &&
+              offsetof(LpmIndex::Entry, value) == 8);
+static_assert(std::is_trivially_copyable_v<SortedCell> &&
+              std::is_standard_layout_v<SortedCell> &&
+              sizeof(SortedCell) == 12 && offsetof(SortedCell, slot) == 8);
+static_assert(std::is_trivially_copyable_v<RankedPrefix> &&
+              std::is_standard_layout_v<RankedPrefix> &&
+              sizeof(RankedPrefix) == 48 &&
+              offsetof(RankedPrefix, prefix) == 4 &&
+              offsetof(RankedPrefix, size) == 16 &&
+              offsetof(RankedPrefix, hosts) == 24 &&
+              offsetof(RankedPrefix, density) == 32 &&
+              offsetof(RankedPrefix, host_share) == 40);
+static_assert(std::numeric_limits<double>::is_iec559 &&
+              sizeof(double) == 8);
+
+// net::Prefix keeps its members private, so its byte layout (network u32
+// at 0, length u8 at 4) is probed at runtime instead of offsetof'ed.
+// Called once per encode/attach; the cost is nil.
+void check_prefix_layout() {
+  const net::Prefix probe(net::Ipv4Address(0x0a0b0c00u), 24);
+  std::byte raw[sizeof(net::Prefix)];
+  std::memcpy(raw, &probe, sizeof(probe));
+  if (util::load_le32(std::span<const std::byte, 4>(raw, 4)) !=
+          0x0a0b0c00u ||
+      std::to_integer<std::uint8_t>(raw[4]) != 24) {
+    throw Error(
+        "unsupported ABI: net::Prefix layout differs from the TSIM wire "
+        "layout");
+  }
+}
+
+std::uint32_t get32(std::span<const std::byte> data,
+                    std::size_t offset) noexcept {
+  return util::load_le32(
+      std::span<const std::byte, 4>(data.data() + offset, 4));
+}
+
+std::uint64_t get64(std::span<const std::byte> data,
+                    std::size_t offset) noexcept {
+  return util::load_le64(
+      std::span<const std::byte, 8>(data.data() + offset, 8));
+}
+
+void put32(std::span<std::byte> data, std::size_t offset,
+           std::uint32_t value) noexcept {
+  util::store_le32(value, std::span<std::byte, 4>(data.data() + offset, 4));
+}
+
+void put64(std::span<std::byte> data, std::size_t offset,
+           std::uint64_t value) noexcept {
+  util::store_le64(value, std::span<std::byte, 8>(data.data() + offset, 8));
+}
+
+void put_prefix(std::span<std::byte> data, std::size_t offset,
+                net::Prefix prefix) noexcept {
+  put32(data, offset, prefix.network().value());
+  data[offset + 4] = static_cast<std::byte>(prefix.length());
+  // bytes offset+5..offset+7 stay zero (the buffer is value-initialised)
+}
+
+bool canonical(net::Prefix prefix) noexcept {
+  return prefix.length() <= 32 &&
+         (prefix.network().value() & ~net::Prefix::mask(prefix.length())) ==
+             0;
+}
+
+std::uint64_t align8(std::uint64_t offset) noexcept {
+  return (offset + 7) & ~std::uint64_t{7};
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw FormatError("state image: " + what);
+}
+
+// Hashes one payload section while running `flag` over its elements in
+// L1-sized chunks: each chunk's bytes stream through the hasher and are
+// immediately re-read cache-hot by the bounds check, so validation rides
+// on the checksum's memory bandwidth instead of paying its own sweep.
+// `flag` returns nonzero for a violating element and must be branch-free
+// (violations are OR-accumulated and raised once per section, which is
+// what lets the compiler vectorise the check loop).
+template <typename T, typename Flag>
+void hash_section(util::WideFnv1a64& hasher,
+                  std::span<const std::byte> data, std::uint64_t offset,
+                  std::span<const T> elems, Flag&& flag, const char* what) {
+  constexpr std::size_t kChunk =
+      std::max<std::size_t>(std::size_t{1}, 16384 / sizeof(T));
+  std::uint64_t violated = 0;
+  std::size_t i = 0;
+  while (i < elems.size()) {
+    const std::size_t n = std::min(kChunk, elems.size() - i);
+    hasher.update(data.subspan(
+        static_cast<std::size_t>(offset) + i * sizeof(T), n * sizeof(T)));
+    for (std::size_t j = i; j < i + n; ++j) violated |= flag(elems[j]);
+    i += n;
+  }
+  if (violated != 0) bad(what);
+}
+
+// Everything validate() hands back; StateImage::attach assembles it.
+struct Decoded {
+  PrefixPartition partition;
+  core::DensityRankingView ranking;
+  ImageInfo info;
+};
+
+Decoded validate(std::span<const std::byte> data,
+                 std::uint64_t expected_fingerprint) {
+  check_prefix_layout();
+  if (reinterpret_cast<std::uintptr_t>(data.data()) % 8 != 0) {
+    bad("attach buffer is not 8-byte aligned");
+  }
+  if (data.size() < kHeaderSize) bad("too short to hold a header");
+  if (get32(data, 0) != kMagic) bad("not a TASS state image (bad magic)");
+  const std::uint32_t version = get32(data, 4);
+  if (version != kImageVersion) {
+    bad("unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t checksum = get64(data, kChecksumOffset);
+  const std::uint64_t fingerprint = get64(data, kFingerprintOffset);
+  if (expected_fingerprint != 0 && fingerprint != expected_fingerprint) {
+    bad("produced for a different topology (fingerprint mismatch)");
+  }
+  const std::uint32_t mode_raw = get32(data, 24);
+  if (mode_raw > 1) bad("unknown prefix mode " + std::to_string(mode_raw));
+  if (get32(data, 28) != kSectionCount) bad("unexpected section count");
+  const std::uint64_t total_hosts = get64(data, 32);
+  const std::uint64_t advertised = get64(data, 40);
+  const std::uint64_t address_count = get64(data, 48);
+  const std::uint64_t live_count = get64(data, 56);
+
+  // Section table: ids and element sizes are fixed, offsets must follow
+  // the canonical packed-with-8-byte-alignment geometry exactly.
+  std::uint64_t counts[kSectionCount];
+  std::uint64_t offsets[kSectionCount];
+  std::uint64_t expected = kHeaderSize;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    const std::size_t row = kSectionTableOffset + i * 24;
+    if (get32(data, row) != kSpecs[i].id) bad("section table out of order");
+    if (get32(data, row + 4) != kSpecs[i].elem_size) {
+      bad("unexpected section element size");
+    }
+    counts[i] = get64(data, row + 8);
+    offsets[i] = get64(data, row + 16);
+    expected = align8(expected);
+    if (offsets[i] != expected) {
+      bad("misaligned or out-of-order section offset");
+    }
+    if (expected > data.size() ||
+        counts[i] > (data.size() - expected) / kSpecs[i].elem_size) {
+      bad("section exceeds file size");
+    }
+    expected += counts[i] * kSpecs[i].elem_size;
+  }
+  if (expected != data.size()) bad("trailing bytes after last section");
+
+  const std::size_t cell_count = static_cast<std::size_t>(counts[3]);
+  if (cell_count >= LpmIndex::kNoMatch) bad("partition too large");
+  if (live_count > cell_count) bad("more live cells than slots");
+  if (counts[0] != 0 && counts[0] != 65536) {
+    bad("LPM root must hold 0 or 65536 words");
+  }
+  if (counts[0] == 0 &&
+      (counts[1] != 0 || counts[2] != 0 || live_count != 0)) {
+    bad("empty LPM root with non-empty structures");
+  }
+  if (counts[4] != live_count) bad("sorted view count != live cell count");
+  if (counts[5] != 0 && counts[5] != cell_count) {
+    bad("live bitmap must be empty or one byte per slot");
+  }
+  if (counts[5] == 0 && live_count != cell_count) {
+    bad("live bitmap missing while slots are dead");
+  }
+  if (counts[6] != cell_count - live_count) {
+    bad("free slot count != dead slot count");
+  }
+  if (counts[7] > live_count) bad("more ranked entries than live cells");
+
+  // The sections, in place. The base is 8-byte aligned and every offset
+  // is too, so each cast lands on correctly aligned storage; the bytes
+  // are only ever read through these typed views. The sorted section is
+  // viewed twice — as the partition's sorted cells and as the LpmIndex
+  // entry table — which is exactly the content identity encode_image
+  // enforced before sealing the image.
+  const std::byte* base = data.data();
+  const std::span<const std::uint32_t> root{
+      reinterpret_cast<const std::uint32_t*>(base + offsets[0]),
+      static_cast<std::size_t>(counts[0])};
+  const std::span<const LpmIndex::Node> nodes{
+      reinterpret_cast<const LpmIndex::Node*>(base + offsets[1]),
+      static_cast<std::size_t>(counts[1])};
+  const std::span<const std::uint32_t> leaves{
+      reinterpret_cast<const std::uint32_t*>(base + offsets[2]),
+      static_cast<std::size_t>(counts[2])};
+  const std::span<const net::Prefix> prefixes{
+      reinterpret_cast<const net::Prefix*>(base + offsets[3]), cell_count};
+  const std::span<const SortedCell> sorted{
+      reinterpret_cast<const SortedCell*>(base + offsets[4]),
+      static_cast<std::size_t>(counts[4])};
+  const std::span<const LpmIndex::Entry> entries{
+      reinterpret_cast<const LpmIndex::Entry*>(base + offsets[4]),
+      static_cast<std::size_t>(counts[4])};
+  const std::span<const std::uint8_t> live{
+      reinterpret_cast<const std::uint8_t*>(base + offsets[5]),
+      static_cast<std::size_t>(counts[5])};
+  const std::span<const std::uint32_t> free_slots{
+      reinterpret_cast<const std::uint32_t*>(base + offsets[6]),
+      static_cast<std::size_t>(counts[6])};
+  const std::span<const RankedPrefix> ranked{
+      reinterpret_cast<const RankedPrefix*>(base + offsets[7]),
+      static_cast<std::size_t>(counts[7])};
+
+  // The attach-time tier: one fused sweep in which every byte of
+  // [kChecksummedFrom, end) streams through the wide FNV exactly once,
+  // in file order, with each section's *memory-safety* bounds checked
+  // right after its bytes pass through the hasher (cache-hot, so the
+  // checks ride on the hash's bandwidth instead of paying a second
+  // memory sweep). The bounds checks are written to hold on arbitrary
+  // bytes: after them, no lookup/locate/tally/selection walk can index
+  // out of bounds or shift out of range even on an image whose checksum
+  // was deliberately forged. Semantic invariants (orders, bindings,
+  // totals) are established by encode_image, integrity-protected by the
+  // checksum, and re-derivable on demand via StateImage::verify().
+  // Error precedence is unspecified: a corrupt image may be reported by
+  // a bounds validator before the checksum verdict.
+  util::WideFnv1a64 hasher;
+  const auto hash_through = [&](std::uint64_t from, std::uint64_t to) {
+    hasher.update(data.subspan(static_cast<std::size_t>(from),
+                               static_cast<std::size_t>(to - from)));
+  };
+  std::uint64_t ends[kSectionCount];
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    ends[i] = offsets[i] + counts[i] * kSpecs[i].elem_size;
+  }
+  hash_through(kChecksummedFrom, offsets[0]);
+
+  // LPM read structures: every index a lookup can chase stays in
+  // bounds, and every non-child slot is covered by a leaf run at or
+  // below it (which makes the rank_inclusive() - 1 addressing safe).
+  const std::uint32_t node_count32 = static_cast<std::uint32_t>(counts[1]);
+  const std::uint32_t cell_count32 = static_cast<std::uint32_t>(cell_count);
+  hash_section(
+      hasher, data, offsets[0], root,
+      [&](std::uint32_t word) -> std::uint64_t {
+        const std::uint64_t is_node = word >> 31;
+        const std::uint32_t payload = word & ~LpmIndex::kNodeFlag;
+        return (is_node & (payload >= node_count32)) |
+               (~is_node & 1u & (word != LpmIndex::kNoMatch) &
+                (word >= cell_count32));
+      },
+      "LPM root word out of range");
+  hash_through(ends[0], offsets[1]);
+  hash_section(
+      hasher, data, offsets[1], nodes,
+      [&](const LpmIndex::Node& node) -> std::uint64_t {
+        const auto kids =
+            static_cast<std::size_t>(std::popcount(node.child_bits));
+        const auto runs =
+            static_cast<std::size_t>(std::popcount(node.leaf_bits));
+        const std::uint64_t oob =
+            (node.child_base + kids > nodes.size()) |
+            (node.leaf_base + runs > leaves.size());
+        const std::uint64_t non_child = ~node.child_bits;
+        // First slot that must be a leaf. The clamp keeps the shift in
+        // range for the all-children case (countr_zero(0) == 64), whose
+        // result the (non_child != 0) factor discards anyway.
+        const int first = std::min(std::countr_zero(non_child), 63);
+        const std::uint64_t uncovered =
+            (non_child != 0) &
+            ((node.leaf_bits & ((std::uint64_t{2} << first) - 1)) == 0);
+        return oob | uncovered;
+      },
+      "LPM node references out-of-bounds or uncovered slots");
+  hash_through(ends[1], offsets[2]);
+  hash_section(
+      hasher, data, offsets[2], leaves,
+      [&](std::uint32_t value) -> std::uint64_t {
+        return (value != LpmIndex::kNoMatch) & (value >= cell_count32);
+      },
+      "LPM leaf value out of range");
+  hash_through(ends[2], offsets[3]);
+  // Prefix lengths must stay <= 32 everywhere: Prefix::mask()/size() on
+  // a wild length is a shift out of range, so this bound is a safety
+  // property, not just hygiene.
+  hash_section(
+      hasher, data, offsets[3], prefixes,
+      [&](net::Prefix prefix) -> std::uint64_t {
+        return prefix.length() > 32;
+      },
+      "partition prefix length out of range");
+  hash_through(ends[3], offsets[4]);
+  // One pass covers both views of this section: SortedCell::slot is
+  // LpmIndex::Entry::value, so the slot bound below is also the entry
+  // value bound the lookup structures rely on.
+  hash_section(
+      hasher, data, offsets[4], sorted,
+      [&](const SortedCell& cell) -> std::uint64_t {
+        return (cell.slot >= cell_count32) | (cell.prefix.length() > 32);
+      },
+      "sorted view slot or prefix length out of range");
+  hash_through(ends[4], offsets[6]);  // live bytes: any value is safe
+  hash_section(
+      hasher, data, offsets[6], free_slots,
+      [&](std::uint32_t slot) -> std::uint64_t {
+        return slot >= cell_count32;
+      },
+      "free list slot out of range");
+  hash_through(ends[6], offsets[7]);
+  hash_section(
+      hasher, data, offsets[7], ranked,
+      [&](const RankedPrefix& entry) -> std::uint64_t {
+        return (entry.index >= cell_count32) |
+               (entry.prefix.length() > 32);
+      },
+      "ranked entry index or prefix length out of range");
+  hash_through(ends[7], data.size());
+
+  // Depth-aware leaf coverage. The per-node rule above (first non-child
+  // slot covered) is what first- and second-level lookups rely on, but
+  // the third level is different: lookup() never consults child_bits
+  // there ("the last level is always a leaf"), so a node reachable as a
+  // grandchild must cover slot 0 with a leaf run outright — otherwise a
+  // forged image could park a child-bits-only node at depth three and
+  // make rank_inclusive() - 1 wrap below leaf_base. Walk reachability
+  // per depth (deduplicated, so adversarial fan-in cannot blow up the
+  // walk) and enforce the stronger rule on every depth-three node.
+  if (!nodes.empty()) {
+    std::vector<std::uint8_t> at_depth(nodes.size(), 0);
+    std::vector<std::uint32_t> frontier;
+    for (const std::uint32_t word : root) {
+      if ((word & LpmIndex::kNodeFlag) == 0) continue;
+      const std::uint32_t index = word & ~LpmIndex::kNodeFlag;
+      if (at_depth[index] == 0) {
+        at_depth[index] = 1;
+        frontier.push_back(index);
+      }
+    }
+    std::vector<std::uint32_t> next;
+    for (std::uint8_t depth = 2; depth <= 3; ++depth) {
+      next.clear();
+      for (const std::uint32_t index : frontier) {
+        const LpmIndex::Node& node = nodes[index];
+        const auto kids =
+            static_cast<std::uint32_t>(std::popcount(node.child_bits));
+        for (std::uint32_t k = 0; k < kids; ++k) {
+          const std::uint32_t child = node.child_base + k;
+          if (at_depth[child] < depth) {
+            at_depth[child] = depth;
+            next.push_back(child);
+          }
+        }
+      }
+      std::swap(frontier, next);
+      if (depth == 3) {
+        for (const std::uint32_t index : frontier) {
+          if ((nodes[index].leaf_bits & 1) == 0) {
+            bad("third-level LPM node does not start with a leaf run");
+          }
+        }
+      }
+    }
+  }
+
+  if (hasher.digest() != checksum) {
+    bad("checksum mismatch (corrupted file)");
+  }
+
+  Decoded decoded;
+  decoded.partition = PrefixPartition::from_raw(
+      {prefixes, sorted, live, free_slots, address_count, live_count},
+      LpmIndex::from_raw({root, nodes, leaves, entries}));
+  decoded.ranking = {static_cast<core::PrefixMode>(mode_raw), ranked,
+                     total_hosts, advertised};
+  decoded.info.version = version;
+  decoded.info.mode = static_cast<core::PrefixMode>(mode_raw);
+  decoded.info.fingerprint = fingerprint;
+  decoded.info.checksum = checksum;
+  decoded.info.total_hosts = total_hosts;
+  decoded.info.advertised_addresses = advertised;
+  decoded.info.address_count = address_count;
+  decoded.info.cell_count = cell_count;
+  decoded.info.live_cells = static_cast<std::size_t>(live_count);
+  decoded.info.ranked_count = ranked.size();
+  decoded.info.lpm_nodes = nodes.size();
+  decoded.info.lpm_leaves = leaves.size();
+  decoded.info.file_bytes = data.size();
+  return decoded;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_image(const bgp::PrefixPartition& partition,
+                                    const core::DensityRanking& ranking) {
+  check_prefix_layout();
+  const PrefixPartition::Raw praw = partition.raw();
+  const LpmIndex::Raw lraw = partition.index().raw();
+
+  // Cross-validate so every encoded image passes its own loader; these
+  // are API-misuse errors (tass::Error), not file corruption.
+  if (ranking.advertised_addresses != praw.address_count) {
+    throw Error("encode_image: ranking was built over a different space");
+  }
+  // The sorted view and the LpmIndex entry table must be the same
+  // sequence (live cells ascending by prefix, slot as the value): the
+  // image stores them as one section and serves both views from it.
+  if (lraw.entries.size() != praw.sorted.size() ||
+      lraw.entries.size() != praw.live_count) {
+    throw Error("encode_image: partition index out of sync");
+  }
+  for (std::size_t i = 0; i < lraw.entries.size(); ++i) {
+    if (lraw.entries[i].prefix != praw.sorted[i].prefix ||
+        lraw.entries[i].value != praw.sorted[i].slot) {
+      throw Error("encode_image: partition index out of sync");
+    }
+  }
+  std::uint64_t hosts_sum = 0;
+  for (std::size_t i = 0; i < ranking.ranked.size(); ++i) {
+    const RankedPrefix& entry = ranking.ranked[i];
+    if (entry.index >= partition.size() || !partition.live(entry.index) ||
+        partition.prefix(entry.index) != entry.prefix ||
+        entry.size != entry.prefix.size() || entry.hosts == 0) {
+      throw Error("encode_image: ranking does not match the partition");
+    }
+    if (i > 0 && !core::ranked_before(ranking.ranked[i - 1], entry)) {
+      throw Error("encode_image: ranking out of order");
+    }
+    hosts_sum += entry.hosts;
+  }
+  if (hosts_sum != ranking.total_hosts) {
+    throw Error("encode_image: ranking host total mismatch");
+  }
+
+  const std::uint64_t counts[kSectionCount] = {
+      lraw.root.size(),      lraw.nodes.size(),
+      lraw.leaves.size(),    praw.prefixes.size(),
+      praw.sorted.size(),    praw.live.size(),
+      praw.free_slots.size(), ranking.ranked.size()};
+  std::uint64_t offsets[kSectionCount];
+  std::uint64_t size = kHeaderSize;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    size = align8(size);
+    offsets[i] = size;
+    size += counts[i] * kSpecs[i].elem_size;
+  }
+
+  // Value-initialised buffer: alignment padding and struct padding stay
+  // zero, so identical state always encodes to identical bytes.
+  std::vector<std::byte> out(static_cast<std::size_t>(size));
+  const std::span<std::byte> buf{out};
+  put32(buf, 0, kMagic);
+  put32(buf, 4, kImageVersion);
+  put64(buf, kFingerprintOffset, bgp::partition_fingerprint(partition));
+  put32(buf, 24, static_cast<std::uint32_t>(ranking.mode));
+  put32(buf, 28, kSectionCount);
+  put64(buf, 32, ranking.total_hosts);
+  put64(buf, 40, ranking.advertised_addresses);
+  put64(buf, 48, praw.address_count);
+  put64(buf, 56, praw.live_count);
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    const std::size_t row = kSectionTableOffset + i * 24;
+    put32(buf, row, kSpecs[i].id);
+    put32(buf, row + 4, kSpecs[i].elem_size);
+    put64(buf, row + 8, counts[i]);
+    put64(buf, row + 16, offsets[i]);
+  }
+
+  // Padding-free element types go out as one memcpy; prefix-bearing
+  // types are written field by field so their padding bytes stay zero.
+  const auto copy_section = [&](std::size_t index, const void* from,
+                                std::size_t bytes) {
+    if (bytes > 0) std::memcpy(out.data() + offsets[index], from, bytes);
+  };
+  copy_section(0, lraw.root.data(), lraw.root.size_bytes());
+  copy_section(1, lraw.nodes.data(), lraw.nodes.size_bytes());
+  copy_section(2, lraw.leaves.data(), lraw.leaves.size_bytes());
+  for (std::size_t i = 0; i < praw.prefixes.size(); ++i) {
+    put_prefix(buf, offsets[3] + i * sizeof(net::Prefix),
+               praw.prefixes[i]);
+  }
+  for (std::size_t i = 0; i < praw.sorted.size(); ++i) {
+    const std::size_t at = offsets[4] + i * sizeof(SortedCell);
+    put_prefix(buf, at, praw.sorted[i].prefix);
+    put32(buf, at + 8, praw.sorted[i].slot);
+  }
+  copy_section(5, praw.live.data(), praw.live.size_bytes());
+  copy_section(6, praw.free_slots.data(), praw.free_slots.size_bytes());
+  for (std::size_t i = 0; i < ranking.ranked.size(); ++i) {
+    const RankedPrefix& entry = ranking.ranked[i];
+    const std::size_t at = offsets[7] + i * sizeof(RankedPrefix);
+    put32(buf, at, entry.index);
+    put_prefix(buf, at + 4, entry.prefix);
+    put64(buf, at + 16, entry.size);
+    put64(buf, at + 24, entry.hosts);
+    put64(buf, at + 32, std::bit_cast<std::uint64_t>(entry.density));
+    put64(buf, at + 40, std::bit_cast<std::uint64_t>(entry.host_share));
+  }
+
+  put64(buf, kChecksumOffset,
+        util::fnv1a64_wide(buf.subspan(kChecksummedFrom)));
+  return out;
+}
+
+void save_image(const std::string& path,
+                const bgp::PrefixPartition& partition,
+                const core::DensityRanking& ranking) {
+  const auto bytes = encode_image(partition, ranking);
+  // Write-then-rename, never truncate in place: workers stay attached to
+  // the old image via MAP_SHARED, so the old inode must live on until
+  // their mappings go away (truncating under a mapping is a SIGBUS and
+  // regrown bytes would mutate beneath already-validated views), and the
+  // replacement becomes atomic — a concurrent load() sees either the old
+  // or the new image, never a torn one.
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("cannot open state image for writing: " + temp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      throw Error("short write to state image: " + temp);
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    std::remove(temp.c_str());
+    throw Error("cannot replace state image " + path + ": " +
+                std::strerror(saved));
+  }
+}
+
+StateImage StateImage::attach(std::span<const std::byte> data,
+                              std::uint64_t expected_fingerprint) {
+  Decoded decoded = validate(data, expected_fingerprint);
+  StateImage image;
+  image.partition_ = std::move(decoded.partition);
+  image.ranking_ = decoded.ranking;
+  image.info_ = decoded.info;
+  return image;
+}
+
+StateImage StateImage::load(const std::string& path,
+                            std::uint64_t expected_fingerprint) {
+  util::MmapFile file = util::MmapFile::open(path);
+  StateImage image = attach(file.bytes(), expected_fingerprint);
+  image.file_ = std::move(file);
+  return image;
+}
+
+void StateImage::verify() const {
+  const PrefixPartition::Raw praw = partition_.raw();
+  const LpmIndex::Raw lraw = partition_.index().raw();
+  const std::span<const RankedPrefix> ranked = ranking_.ranked;
+  const auto is_live = [&](std::uint64_t slot) {
+    return praw.live.empty() ||
+           praw.live[static_cast<std::size_t>(slot)] != 0;
+  };
+
+  for (const net::Prefix prefix : praw.prefixes) {
+    if (!canonical(prefix)) bad("non-canonical partition prefix");
+  }
+  for (std::size_t i = 0; i < lraw.entries.size(); ++i) {
+    const LpmIndex::Entry& entry = lraw.entries[i];
+    if (!canonical(entry.prefix)) bad("non-canonical LPM entry prefix");
+    if (!is_live(entry.value) ||
+        praw.prefixes[entry.value] != entry.prefix) {
+      bad("LPM entry does not map to its live cell");
+    }
+    if (i > 0 && !(lraw.entries[i - 1].prefix < entry.prefix)) {
+      bad("LPM entries out of order");
+    }
+  }
+  std::uint32_t max_last = 0;
+  std::uint64_t address_sum = 0;
+  for (std::size_t i = 0; i < praw.sorted.size(); ++i) {
+    const SortedCell& cell = praw.sorted[i];
+    if (!is_live(cell.slot) || praw.prefixes[cell.slot] != cell.prefix) {
+      bad("sorted view does not match its live cell");
+    }
+    if (i > 0) {
+      if (!(praw.sorted[i - 1].prefix < cell.prefix)) {
+        bad("sorted view out of order");
+      }
+      if (cell.prefix.network().value() <= max_last) {
+        bad("live cells overlap");
+      }
+    }
+    max_last = cell.prefix.last().value();
+    address_sum += cell.prefix.size();
+  }
+  if (address_sum != info_.address_count) {
+    bad("live address total mismatch");
+  }
+  if (info_.advertised_addresses != info_.address_count) {
+    bad("ranking advertised space != partition address count");
+  }
+  std::uint64_t live_seen = 0;
+  for (const std::uint8_t flag : praw.live) {
+    if (flag > 1) bad("live bitmap holds a non-boolean");
+    live_seen += flag;
+  }
+  if (!praw.live.empty() && live_seen != info_.live_cells) {
+    bad("live bitmap population != live cell count");
+  }
+  for (std::size_t i = 0; i < praw.free_slots.size(); ++i) {
+    if (is_live(praw.free_slots[i])) bad("free list names a live slot");
+    if (i > 0 && praw.free_slots[i - 1] >= praw.free_slots[i]) {
+      bad("free list out of order");
+    }
+  }
+  std::uint64_t hosts_sum = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const RankedPrefix& entry = ranked[i];
+    if (!is_live(entry.index) ||
+        praw.prefixes[entry.index] != entry.prefix ||
+        entry.size != entry.prefix.size() || entry.hosts == 0) {
+      bad("ranked entry does not match its live cell");
+    }
+    if (i > 0 && !core::ranked_before(ranked[i - 1], entry)) {
+      bad("ranking out of order");
+    }
+    hosts_sum += entry.hosts;
+  }
+  if (hosts_sum != info_.total_hosts) bad("ranking host total mismatch");
+}
+
+}  // namespace tass::state

@@ -1,0 +1,176 @@
+// TSIM — the zero-copy pipeline state image.
+//
+// The paper's pipeline (pfx2as -> partition -> density ranking -> scan
+// scope) derives everything a scan cycle needs from raw inputs, and that
+// derivation is what makes process start expensive: parsing the routing
+// table and rebuilding the LpmIndex costs tens of milliseconds per
+// process, every time. TSIM persists the *derived* state the way
+// census/io persists snapshots, but relocation-free: the payload sections
+// of the file are the flat arrays of a built trie::LpmIndex,
+// bgp::PrefixPartition and core::DensityRanking, byte for byte
+// (fixed-width little-endian, 8-byte aligned). Loading is therefore
+// mmap + validate + pointer fixup — no parse, no rebuild — and because
+// the mapping is read-only and shared (util::MmapFile), N worker
+// processes attached to one image share a single page-cache copy of the
+// topology.
+//
+// Container layout (all integers little-endian):
+//
+//   0   u32  magic "TSIM"
+//   4   u32  version (currently 1)
+//   8   u64  payload checksum — util::fnv1a64_wide over every byte from
+//            offset 16 to the end of the file, so everything except the
+//            magic/version/checksum triple itself is tamper-evident
+//   16  u64  topology fingerprint — FNV-1a over the live cell prefixes in
+//            slot order, the same digest census::topology_fingerprint
+//            produces for a fresh partition, so an image can be bound to
+//            the TSNP snapshots of the same topology
+//   24  u32  ranking prefix mode (0 = less, 1 = more)
+//   28  u32  section count (8 in version 1)
+//   32  u64  total hosts (ranking N)
+//   40  u64  advertised addresses
+//   48  u64  live address count of the partition
+//   56  u64  live cell count of the partition
+//   64       section table: 8 x {u32 id, u32 element size, u64 element
+//            count, u64 byte offset}, in id order
+//   256      payload sections, each at an 8-byte-aligned offset with
+//            zeroed padding between — the LpmIndex root/node/leaf
+//            arrays, the partition prefix/sorted/live/free arrays, and
+//            the ranked-prefix array. The LpmIndex entry table is not a
+//            section of its own: bgp::SortedCell and LpmIndex::Entry
+//            share one byte layout and, by the partition's invariants,
+//            identical content (the live cells ascending by prefix), so
+//            the loader serves both views out of the sorted section
+//
+// Validation is two-tier, both throwing tass::FormatError:
+//
+//   * attach/load — magic, version, section-table geometry, the payload
+//     checksum, and every memory-safety bound (node/leaf/root indices,
+//     cell indices, prefix lengths), fused with the checksum into one
+//     bandwidth-speed sweep. After it, no lookup/locate/tally/selection
+//     walk can index out of bounds even on an image whose checksum was
+//     deliberately forged — corrupt input parses or throws, never
+//     crashes (the sanitizer CI job runs the corrupt-image suite in
+//     tests/parser_fuzz_test.cpp to enforce this).
+//   * StateImage::verify() — the deep semantic audit (sorted orders,
+//     disjointness, entry/ranked-to-cell bindings, population and
+//     address totals). These invariants are established by encode_image
+//     and integrity-protected by the checksum, so the hot start path
+//     does not pay to re-derive them; diagnostic tooling (`tass_cli
+//     state info`) and the differential tests do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "core/ranking.hpp"
+#include "trie/lpm_index.hpp"
+#include "util/mmap_file.hpp"
+
+namespace tass::state {
+
+inline constexpr std::uint32_t kImageVersion = 1;
+
+// Header geometry, shared with the corrupt-image tests (which re-seal
+// checksums after targeted corruption to reach the deeper validators).
+inline constexpr std::size_t kChecksumOffset = 8;
+inline constexpr std::size_t kChecksummedFrom = 16;
+inline constexpr std::size_t kFingerprintOffset = 16;
+inline constexpr std::size_t kSectionTableOffset = 64;
+inline constexpr std::size_t kSectionCount = 8;
+inline constexpr std::size_t kHeaderSize =
+    kSectionTableOffset + kSectionCount * 24;
+
+// The topology fingerprint an image binds to is
+// bgp::partition_fingerprint — the same digest census::topology_fingerprint
+// wraps, so TSIM images and TSNP snapshots of one topology are mutually
+// bindable.
+
+/// Header fields and section tallies of a validated image.
+struct ImageInfo {
+  std::uint32_t version = 0;
+  core::PrefixMode mode = core::PrefixMode::kLess;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t total_hosts = 0;
+  std::uint64_t advertised_addresses = 0;
+  std::uint64_t address_count = 0;
+  std::size_t cell_count = 0;   // partition slots (live + free)
+  std::size_t live_cells = 0;
+  std::size_t ranked_count = 0;
+  std::size_t lpm_nodes = 0;
+  std::size_t lpm_leaves = 0;
+  std::size_t file_bytes = 0;
+};
+
+/// Serialises a built partition + ranking into one TSIM byte buffer.
+/// The ranking must have been built over `partition` (cell indices,
+/// prefixes and totals are cross-checked; throws tass::Error on any
+/// inconsistency, so every encoded image is loadable).
+std::vector<std::byte> encode_image(const bgp::PrefixPartition& partition,
+                                    const core::DensityRanking& ranking);
+
+/// encode_image + atomic-enough file write (truncate + write + flush);
+/// throws tass::Error on I/O failure.
+void save_image(const std::string& path,
+                const bgp::PrefixPartition& partition,
+                const core::DensityRanking& ranking);
+
+/// A validated, attached state image: the partition, its LpmIndex and
+/// the density ranking served zero-copy out of the underlying bytes.
+///
+/// Lifetime: partition(), index() and ranking() borrow the image's
+/// storage — they are valid exactly as long as this StateImage (and, for
+/// attach(), the caller's buffer) stays alive. The borrowed structures
+/// answer every const query through their unchanged APIs but reject
+/// mutation (update()/apply_delta() throw); processes that need to churn
+/// the topology rebuild owned structures from the borrowed views.
+class StateImage {
+ public:
+  /// Maps and validates an image file. Throws tass::Error on I/O
+  /// failure, tass::FormatError on any corruption or format violation.
+  /// If `expected_fingerprint` is non-zero the image must additionally
+  /// be bound to that topology fingerprint.
+  static StateImage load(const std::string& path,
+                         std::uint64_t expected_fingerprint = 0);
+
+  /// Validates and attaches to an image already in memory (zero-copy;
+  /// `data` must outlive the StateImage and be 8-byte aligned).
+  static StateImage attach(std::span<const std::byte> data,
+                           std::uint64_t expected_fingerprint = 0);
+
+  StateImage(StateImage&&) noexcept = default;
+  StateImage& operator=(StateImage&&) noexcept = default;
+  StateImage(const StateImage&) = delete;
+  StateImage& operator=(const StateImage&) = delete;
+  ~StateImage() = default;
+
+  const bgp::PrefixPartition& partition() const noexcept {
+    return partition_;
+  }
+  const trie::LpmIndex& index() const noexcept { return partition_.index(); }
+  core::DensityRankingView ranking() const noexcept { return ranking_; }
+  const ImageInfo& info() const noexcept { return info_; }
+
+  /// Deep semantic audit beyond the attach-time integrity and bounds
+  /// checks: sorted-view and ranking order, live-cell disjointness,
+  /// entry/ranked-to-cell bindings, free-list and live-bitmap
+  /// consistency, address and host totals. Throws tass::FormatError on
+  /// the first violated invariant. Safe to call on any attached image
+  /// (it assumes only what attach() has already established).
+  void verify() const;
+
+ private:
+  StateImage() = default;
+
+  util::MmapFile file_;  // empty when attached to a caller-owned buffer
+  bgp::PrefixPartition partition_;
+  core::DensityRankingView ranking_;
+  ImageInfo info_;
+};
+
+}  // namespace tass::state

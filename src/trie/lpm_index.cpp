@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -53,6 +54,98 @@ std::vector<LpmIndex::BuildNode> LpmIndex::build_trie(
   return bt;
 }
 
+void LpmIndex::sync_views() noexcept {
+  if (borrowed_) return;
+  root_view_ = root_;
+  nodes_view_ = nodes_;
+  leaves_view_ = leaves_;
+  entries_view_ = entries_;
+}
+
+LpmIndex LpmIndex::from_raw(const Raw& raw) {
+  LpmIndex index;
+  index.borrowed_ = true;
+  index.root_view_ = raw.root;
+  index.nodes_view_ = raw.nodes;
+  index.leaves_view_ = raw.leaves;
+  index.entries_view_ = raw.entries;
+  index.prefix_count_ = raw.entries.size();
+  return index;
+}
+
+LpmIndex::LpmIndex(const LpmIndex& other)
+    : entries_(other.entries_),
+      root_(other.root_),
+      nodes_(other.nodes_),
+      leaves_(other.leaves_),
+      borrowed_(other.borrowed_),
+      prefix_count_(other.prefix_count_),
+      node_limit_(other.node_limit_),
+      leaf_limit_(other.leaf_limit_) {
+  if (borrowed_) {
+    // Borrowed views share the caller's storage; the copy does too.
+    root_view_ = other.root_view_;
+    nodes_view_ = other.nodes_view_;
+    leaves_view_ = other.leaves_view_;
+    entries_view_ = other.entries_view_;
+  } else {
+    sync_views();
+  }
+}
+
+LpmIndex& LpmIndex::operator=(const LpmIndex& other) {
+  if (this != &other) *this = LpmIndex(other);
+  return *this;
+}
+
+LpmIndex::LpmIndex(LpmIndex&& other) noexcept
+    : entries_(std::move(other.entries_)),
+      root_(std::move(other.root_)),
+      nodes_(std::move(other.nodes_)),
+      leaves_(std::move(other.leaves_)),
+      // Owned vector buffers survive the move at the same addresses, so
+      // the source's views stay valid for the new owner; borrowed views
+      // point at caller storage and transfer as-is.
+      root_view_(other.root_view_),
+      nodes_view_(other.nodes_view_),
+      leaves_view_(other.leaves_view_),
+      entries_view_(other.entries_view_),
+      borrowed_(other.borrowed_),
+      prefix_count_(other.prefix_count_),
+      node_limit_(other.node_limit_),
+      leaf_limit_(other.leaf_limit_) {
+  other.root_view_ = {};
+  other.nodes_view_ = {};
+  other.leaves_view_ = {};
+  other.entries_view_ = {};
+  other.prefix_count_ = 0;
+  other.borrowed_ = false;
+}
+
+LpmIndex& LpmIndex::operator=(LpmIndex&& other) noexcept {
+  if (this != &other) {
+    entries_ = std::move(other.entries_);
+    root_ = std::move(other.root_);
+    nodes_ = std::move(other.nodes_);
+    leaves_ = std::move(other.leaves_);
+    root_view_ = other.root_view_;
+    nodes_view_ = other.nodes_view_;
+    leaves_view_ = other.leaves_view_;
+    entries_view_ = other.entries_view_;
+    borrowed_ = other.borrowed_;
+    prefix_count_ = other.prefix_count_;
+    node_limit_ = other.node_limit_;
+    leaf_limit_ = other.leaf_limit_;
+    other.root_view_ = {};
+    other.nodes_view_ = {};
+    other.leaves_view_ = {};
+    other.entries_view_ = {};
+    other.prefix_count_ = 0;
+    other.borrowed_ = false;
+  }
+  return *this;
+}
+
 LpmIndex::LpmIndex(std::span<const Entry> table) {
   for (const Entry& entry : table) {
     if (entry.value >= kNoMatch) {
@@ -85,6 +178,7 @@ void LpmIndex::rebuild_all() {
   fill_root(bt, 0, 0, 0, kNoMatch);
   node_limit_ = nodes_.size() * 2 + 1024;
   leaf_limit_ = leaves_.size() * 2 + 4096;
+  sync_views();
 }
 
 LpmIndex LpmIndex::from_prefixes(std::span<const net::Prefix> prefixes,
@@ -229,6 +323,11 @@ void LpmIndex::patch_block(std::uint32_t block,
 
 LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
                                        std::span<const net::Prefix> erases) {
+  if (borrowed_) {
+    throw Error(
+        "LpmIndex::update on a borrowed view (from_raw): read-only "
+        "storage cannot absorb deltas; rebuild an owned index instead");
+  }
   for (const Entry& entry : upserts) {
     if (entry.value >= kNoMatch) {
       throw Error("LpmIndex value out of range (>= kNoMatch)");
@@ -321,6 +420,7 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
   }
   entries_ = std::move(merged);
   prefix_count_ = entries_.size();
+  sync_views();  // entries_ moved; the read arrays re-sync again below
   if (dirty.empty()) return stats;  // value-identical no-op batch
 
   // Dirty /16 root blocks, as merged runs. `dirty` came out of an ordered
@@ -402,13 +502,14 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
     rebuild_all();
     stats.compacted = true;
   }
+  sync_views();
   return stats;
 }
 
 void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,
                            std::span<std::uint32_t> out) const noexcept {
   TASS_EXPECTS(out.size() >= addresses.size());
-  if (root_.empty()) {
+  if (root_view_.empty()) {
     std::fill_n(out.begin(), addresses.size(), kNoMatch);
     return;
   }
@@ -418,7 +519,7 @@ void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,
   const std::size_t n = addresses.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kAhead < n) {
-      __builtin_prefetch(&root_[addresses[i + kAhead] >> 16]);
+      __builtin_prefetch(&root_view_[addresses[i + kAhead] >> 16]);
     }
     out[i] = lookup(net::Ipv4Address(addresses[i]));
   }

@@ -32,6 +32,13 @@
 // pay (see update() below). Lookups observe either the old or the new
 // state per address; update() itself must be externally synchronised —
 // see the thread-safety contract on update().
+//
+// Storage: the read structures are flat arrays addressed through spans,
+// so an index can either own them (the build/update paths above) or
+// borrow them from caller-owned memory — the zero-copy path the TSIM
+// state image (state/image.hpp) uses to serve a mmap'ed file without
+// parsing or rebuilding. A borrowed index answers lookups through the
+// unchanged API but cannot be update()d.
 #pragma once
 
 #include <bit>
@@ -55,6 +62,25 @@ class LpmIndex {
     std::uint32_t value = 0;
   };
 
+  /// One read-structure node below the root. Public only so the state
+  /// image can serialise the arrays verbatim; the layout is an
+  /// implementation detail of this class, not a stable API.
+  struct Node {
+    std::uint64_t child_bits = 0;  // slot continues into nodes[child_base+r]
+    std::uint64_t leaf_bits = 0;   // slot starts a new run of equal leaves
+    std::uint32_t child_base = 0;
+    std::uint32_t leaf_base = 0;
+  };
+
+  /// The flat read arrays (plus the entry table), as spans. raw() exposes
+  /// them for serialisation; from_raw() builds a borrowed index over them.
+  struct Raw {
+    std::span<const std::uint32_t> root;  // 65536 words, or empty
+    std::span<const Node> nodes;
+    std::span<const std::uint32_t> leaves;
+    std::span<const Entry> entries;  // ascending by prefix, deduplicated
+  };
+
   /// An empty index: lookup() returns kNoMatch for every address.
   LpmIndex() = default;
 
@@ -67,6 +93,32 @@ class LpmIndex {
   /// Membership-only index: every prefix maps to `value`.
   static LpmIndex from_prefixes(std::span<const net::Prefix> prefixes,
                                 std::uint32_t value = 0);
+
+  /// Borrowed-storage index: lookups read the caller's arrays in place (no
+  /// copy, no rebuild). The storage must stay valid and unmodified for the
+  /// index's lifetime, and the arrays must satisfy the structural
+  /// invariants of a built index — from_raw trusts its input; the state
+  /// image loader validates before calling. A borrowed index rejects
+  /// update() (it cannot own mutations); everything else behaves
+  /// identically to an owned index over the same arrays.
+  static LpmIndex from_raw(const Raw& raw);
+
+  /// The read arrays of this index (borrowed or owned). Spans are
+  /// invalidated by update() and by destruction/assignment.
+  Raw raw() const noexcept {
+    return {root_view_, nodes_view_, leaves_view_, entries_view_};
+  }
+
+  /// True if this index borrows caller-owned storage (built by from_raw).
+  bool borrowed() const noexcept { return borrowed_; }
+
+  // Spans into own storage must be re-anchored on copy (and cleared on
+  // move-from), so the special members are user-defined.
+  LpmIndex(const LpmIndex& other);
+  LpmIndex& operator=(const LpmIndex& other);
+  LpmIndex(LpmIndex&& other) noexcept;
+  LpmIndex& operator=(LpmIndex&& other) noexcept;
+  ~LpmIndex() = default;
 
   /// Bookkeeping returned by update() (benchmarks and tests use it to see
   /// which path ran; callers needing only correctness can ignore it).
@@ -93,8 +145,9 @@ class LpmIndex {
   /// rebuild once the arrays exceed twice their last-rebuilt size.
   ///
   /// Input validation happens before any mutation (strong guarantee):
-  /// throws tass::Error if an upsert value is >= kNoMatch, if a prefix is
-  /// both upserted and erased, or if an erased prefix is not in the index.
+  /// throws tass::Error if a value is >= kNoMatch, if a prefix is
+  /// both upserted and erased, if an erased prefix is not in the index, or
+  /// if this index is a borrowed view (from_raw) and so cannot mutate.
   /// Duplicate upserts of one prefix keep the last value; duplicate erases
   /// of one prefix are idempotent.
   ///
@@ -107,25 +160,26 @@ class LpmIndex {
 
   /// The current entry table, ascending by prefix, duplicates resolved
   /// (this is what a fresh rebuild would be built from).
-  std::span<const Entry> entries() const noexcept { return entries_; }
+  std::span<const Entry> entries() const noexcept { return entries_view_; }
 
   /// Value of the longest stored prefix covering `addr`, or kNoMatch.
   std::uint32_t lookup(net::Ipv4Address addr) const noexcept {
-    if (root_.empty()) return kNoMatch;
+    if (root_view_.empty()) return kNoMatch;
     const std::uint32_t a = addr.value();
-    const std::uint32_t word = root_[a >> 16];
+    const std::uint32_t word = root_view_[a >> 16];
     if ((word & kNodeFlag) == 0) return word;  // leaf (possibly kNoMatch)
-    const Node* node = &nodes_[word & ~kNodeFlag];
+    const Node* node = &nodes_view_[word & ~kNodeFlag];
     std::uint32_t slot = (a >> 10) & 63u;  // bits 15..10
     if ((node->child_bits >> slot) & 1u) {
-      node = &nodes_[node->child_base + rank(node->child_bits, slot)];
+      node = &nodes_view_[node->child_base + rank(node->child_bits, slot)];
       slot = (a >> 4) & 63u;  // bits 9..4
       if ((node->child_bits >> slot) & 1u) {
-        node = &nodes_[node->child_base + rank(node->child_bits, slot)];
+        node = &nodes_view_[node->child_base + rank(node->child_bits, slot)];
         slot = a & 15u;  // bits 3..0; the last level is always a leaf
       }
     }
-    return leaves_[node->leaf_base + rank_inclusive(node->leaf_bits, slot) - 1];
+    return leaves_view_[node->leaf_base +
+                        rank_inclusive(node->leaf_bits, slot) - 1];
   }
 
   /// True if some stored prefix covers the address.
@@ -148,27 +202,22 @@ class LpmIndex {
   /// Introspection for benchmarks and memory accounting. memory_bytes()
   /// covers the read structures only; the retained entry table that makes
   /// update() possible is reported separately by table_memory_bytes().
-  std::size_t node_count() const noexcept { return nodes_.size(); }
-  std::size_t leaf_count() const noexcept { return leaves_.size(); }
+  std::size_t node_count() const noexcept { return nodes_view_.size(); }
+  std::size_t leaf_count() const noexcept { return leaves_view_.size(); }
   std::size_t memory_bytes() const noexcept {
-    return root_.size() * sizeof(std::uint32_t) + nodes_.size() * sizeof(Node) +
-           leaves_.size() * sizeof(std::uint32_t);
+    return root_view_.size() * sizeof(std::uint32_t) +
+           nodes_view_.size() * sizeof(Node) +
+           leaves_view_.size() * sizeof(std::uint32_t);
   }
   std::size_t table_memory_bytes() const noexcept {
-    return entries_.size() * sizeof(Entry);
+    return entries_view_.size() * sizeof(Entry);
   }
 
- private:
-  // Root words: high bit set -> index into nodes_; clear -> leaf value.
+  // Root words: high bit set -> index into nodes; clear -> leaf value.
+  // Public alongside Node/Raw for the state-image validator.
   static constexpr std::uint32_t kNodeFlag = 0x80000000u;
 
-  struct Node {
-    std::uint64_t child_bits = 0;  // slot continues into nodes_[child_base+r]
-    std::uint64_t leaf_bits = 0;   // slot starts a new run of equal leaves
-    std::uint32_t child_base = 0;
-    std::uint32_t leaf_base = 0;
-  };
-
+ private:
   // Children (or leaf runs) strictly below `slot`.
   static std::uint32_t rank(std::uint64_t bits, std::uint32_t slot) noexcept {
     return static_cast<std::uint32_t>(
@@ -190,11 +239,21 @@ class LpmIndex {
                  int depth, std::uint32_t path, std::uint32_t inherited);
   void rebuild_all();
   void patch_block(std::uint32_t block, const std::vector<BuildNode>& bt);
+  // Re-anchors the read-side spans on the owned vectors (no-op for a
+  // borrowed index, whose spans point at caller storage).
+  void sync_views() noexcept;
 
   std::vector<Entry> entries_;       // ascending by prefix, deduplicated
   std::vector<std::uint32_t> root_;  // 65536 words once built
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> leaves_;
+  // What lookup() actually reads: the owned vectors above (synced after
+  // every mutation) or borrowed caller storage (from_raw).
+  std::span<const std::uint32_t> root_view_;
+  std::span<const Node> nodes_view_;
+  std::span<const std::uint32_t> leaves_view_;
+  std::span<const Entry> entries_view_;
+  bool borrowed_ = false;
   std::size_t prefix_count_ = 0;
   // Garbage-compaction thresholds, re-armed by every full rebuild: a patch
   // abandons its replaced subtrees, so the arrays only grow until a

@@ -1,6 +1,8 @@
-// Big-endian (network byte order) codecs for the MRT binary format and the
-// snapshot container. Header-only; all functions are bounds-checked by the
-// caller supplying correctly-sized spans.
+// Byte-order codecs. Big-endian (network byte order) for the MRT binary
+// format and the snapshot container; little-endian for the TSIM state
+// image, whose payload sections are the in-memory arrays themselves.
+// Header-only; all functions are bounds-checked by the caller supplying
+// correctly-sized spans.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +53,35 @@ constexpr void store_be64(std::uint64_t value,
                           std::span<std::byte, 8> out) noexcept {
   for (std::size_t i = 0; i < 8; ++i) {
     out[i] = static_cast<std::byte>((value >> (56 - 8 * i)) & 0xff);
+  }
+}
+
+constexpr std::uint32_t load_le32(std::span<const std::byte, 4> in) noexcept {
+  return std::to_integer<std::uint32_t>(in[0]) |
+         (std::to_integer<std::uint32_t>(in[1]) << 8) |
+         (std::to_integer<std::uint32_t>(in[2]) << 16) |
+         (std::to_integer<std::uint32_t>(in[3]) << 24);
+}
+
+constexpr std::uint64_t load_le64(std::span<const std::byte, 8> in) noexcept {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= std::to_integer<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+constexpr void store_le32(std::uint32_t value,
+                          std::span<std::byte, 4> out) noexcept {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
+  }
+}
+
+constexpr void store_le64(std::uint64_t value,
+                          std::span<std::byte, 8> out) noexcept {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
   }
 }
 

@@ -327,3 +327,233 @@ TEST(MrtUpdateCorruption, DuplicateAndConflictingDeltasAreRejected) {
 
 }  // namespace
 }  // namespace tass::bgp
+
+// --- TSIM state image ------------------------------------------------
+//
+// The zero-copy state image is mmap'ed and indexed in place, so the
+// loader's validation is the only thing between a corrupted file and an
+// out-of-bounds read. Contract: for arbitrary corruption, attach()
+// either succeeds or throws tass::FormatError — never crashes (the
+// sanitizer job runs this suite under ASan+UBSan). Where a corruption
+// would be caught by the checksum alone, the tests also re-seal the
+// checksum so the deeper structural validators are the ones on trial.
+
+#include <cstring>
+
+#include "state/image.hpp"
+#include "util/endian.hpp"
+#include "util/hash.hpp"
+
+namespace tass::state {
+namespace {
+
+std::vector<std::byte> valid_image() {
+  std::vector<net::Prefix> prefixes;
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    prefixes.push_back(net::Prefix(net::Ipv4Address((i + 1) << 24), 12));
+  }
+  // One deep cell so the LPM index has a full three-level node chain
+  // (root block -> stride-6 -> stride-6 -> stride-4), which the
+  // depth-aware validator tests below need to reach.
+  prefixes.push_back(
+      net::Prefix(net::Ipv4Address(0xF0000000u), 30));
+  bgp::PrefixPartition partition(std::move(prefixes));
+  // One delta so the image carries a live bitmap and a free list.
+  bgp::PartitionDelta delta;
+  delta.remove.push_back(partition.prefix(3));
+  delta.remove.push_back(partition.prefix(7));
+  delta.add.push_back(partition.prefix(7).lower_half());
+  partition.apply_delta(delta);
+  std::vector<std::uint32_t> counts(partition.size(), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (partition.live(i)) {
+      counts[i] = static_cast<std::uint32_t>(1 + 37 * i % 211);
+    }
+  }
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+  return encode_image(partition, ranking);
+}
+
+// Recomputes the payload checksum after a deliberate corruption, so the
+// tampering survives the checksum gate and reaches the validators.
+void reseal(std::vector<std::byte>& image) {
+  const std::uint64_t digest = util::fnv1a64_wide(
+      std::span<const std::byte>(image).subspan(kChecksummedFrom));
+  util::store_le64(
+      digest, std::span<std::byte, 8>(image.data() + kChecksumOffset, 8));
+}
+
+TEST(StateImageCorruption, ValidImageAttaches) {
+  const auto image = valid_image();
+  EXPECT_NO_THROW(StateImage::attach(image));
+}
+
+TEST(StateImageCorruption, EveryHeaderTruncationRejected) {
+  const auto image = valid_image();
+  // Every cut inside the header and section table, then seeded cuts
+  // through the payload (a full sweep would attach ~300k times).
+  std::vector<std::size_t> cuts;
+  for (std::size_t cut = 0; cut < kHeaderSize + 64; ++cut) {
+    cuts.push_back(cut);
+  }
+  util::Rng rng(2016);
+  for (int i = 0; i < 400; ++i) {
+    cuts.push_back(static_cast<std::size_t>(rng.bounded(image.size())));
+  }
+  for (const std::size_t cut : cuts) {
+    std::vector<std::byte> truncated(image.begin(),
+                                     image.begin() + static_cast<long>(cut));
+    EXPECT_THROW(StateImage::attach(truncated), FormatError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(StateImageCorruption, FlippedMagicAndVersionRejected) {
+  for (std::size_t at = 0; at < 8; ++at) {
+    auto image = valid_image();
+    image[at] ^= std::byte{0x20};
+    EXPECT_THROW(StateImage::attach(image), FormatError) << "byte " << at;
+  }
+}
+
+TEST(StateImageCorruption, WrongTopologyFingerprintRejected) {
+  // Binding to the wrong topology: caller-supplied expectation mismatch.
+  const auto image = valid_image();
+  const StateImage attached = StateImage::attach(image);
+  const std::uint64_t fingerprint = attached.info().fingerprint;
+  EXPECT_NO_THROW(StateImage::attach(image, fingerprint));
+  EXPECT_THROW(StateImage::attach(image, fingerprint ^ 0x10), FormatError);
+
+  // A flipped fingerprint *field* is caught even without an expectation:
+  // the field sits inside the checksummed region.
+  auto tampered = valid_image();
+  tampered[kFingerprintOffset] ^= std::byte{1};
+  EXPECT_THROW(StateImage::attach(tampered), FormatError);
+  // ...and resealing the checksum cannot forge a binding either.
+  reseal(tampered);
+  EXPECT_THROW(StateImage::attach(tampered, fingerprint), FormatError);
+}
+
+TEST(StateImageCorruption, MisalignedSectionOffsetsRejected) {
+  // Nudge each section's offset field off the canonical 8-byte-aligned
+  // layout; reseal so the checksum gate passes and the section-table
+  // validator is what rejects it.
+  for (std::size_t section = 0; section < kSectionCount; ++section) {
+    for (const std::uint64_t nudge :
+         {std::uint64_t{4}, std::uint64_t{8}, ~std::uint64_t{0} - 6}) {
+      auto image = valid_image();
+      const std::size_t field = kSectionTableOffset + section * 24 + 16;
+      const std::span<std::byte, 8> bytes{image.data() + field, 8};
+      util::store_le64(
+          util::load_le64(std::span<const std::byte, 8>(bytes)) + nudge,
+          bytes);
+      reseal(image);
+      EXPECT_THROW(StateImage::attach(image), FormatError)
+          << "section " << section << " nudge " << nudge;
+    }
+  }
+}
+
+TEST(StateImageCorruption, ForgedThirdLevelNodeRejected) {
+  // lookup() never consults child_bits at the third node level, so a
+  // node reachable as a grandchild must start slot 0 with a leaf run;
+  // forge one that satisfies every per-node bound (so only the
+  // depth-aware reachability rule can reject it) and reseal. Without
+  // that rule, locate(240.0.0.0) would read leaves[leaf_base - 1].
+  auto image = valid_image();
+  const auto u64_at = [&](std::size_t offset) {
+    return util::load_le64(
+        std::span<const std::byte, 8>(image.data() + offset, 8));
+  };
+  const std::size_t root_off =
+      static_cast<std::size_t>(u64_at(kSectionTableOffset + 16));
+  const std::size_t nodes_off =
+      static_cast<std::size_t>(u64_at(kSectionTableOffset + 24 + 16));
+  const auto node_at = [&](std::uint32_t index) {
+    trie::LpmIndex::Node node;
+    std::memcpy(&node, image.data() + nodes_off + index * sizeof(node),
+                sizeof(node));
+    return node;
+  };
+  // Walk the 240.0.0.0/30 chain: root block 0xF000, then slot 0 twice
+  // (all address bits below /16 are zero).
+  const std::uint32_t word = static_cast<std::uint32_t>(
+      util::load_le32(std::span<const std::byte, 4>(
+          image.data() + root_off + 4 * 0xF000, 4)));
+  ASSERT_NE(word & trie::LpmIndex::kNodeFlag, 0u);
+  const trie::LpmIndex::Node level1 =
+      node_at(word & ~trie::LpmIndex::kNodeFlag);
+  ASSERT_NE(level1.child_bits & 1, 0u);
+  const trie::LpmIndex::Node level2 = node_at(level1.child_base);
+  ASSERT_NE(level2.child_bits & 1, 0u);
+  const std::uint32_t grandchild = level2.child_base;
+
+  trie::LpmIndex::Node forged = node_at(grandchild);
+  forged.child_bits = 0x7;  // 3 children at base 0: within node bounds
+  forged.leaf_bits = 0x8;   // first non-child slot (3) is covered, but
+  forged.child_base = 0;    // slot 0 has no leaf run at or below it
+  forged.leaf_base = 0;
+  std::memcpy(image.data() + nodes_off + grandchild * sizeof(forged),
+              &forged, sizeof(forged));
+  reseal(image);
+  EXPECT_THROW(StateImage::attach(image), FormatError);
+}
+
+TEST(StateImageCorruption, ChecksumMismatchRejected) {
+  const auto pristine = valid_image();
+  util::Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    auto image = pristine;
+    const std::size_t at =
+        kChecksummedFrom +
+        static_cast<std::size_t>(
+            rng.bounded(image.size() - kChecksummedFrom));
+    const auto flip =
+        static_cast<std::byte>(1 + rng.bounded(255));
+    image[at] ^= flip;
+    EXPECT_THROW(StateImage::attach(image), FormatError)
+        << "flip at " << at;
+  }
+}
+
+TEST(StateImageCorruption, ResealedByteFlipsNeverCrash) {
+  // The adversarial tier: corrupt, then forge a valid checksum. The
+  // structural validators must still keep every attach memory-safe —
+  // either the image loads (value corruption the structure tolerates)
+  // or it throws FormatError; under ASan neither path may fault.
+  const auto pristine = valid_image();
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 300; ++round) {
+      auto image = pristine;
+      const std::size_t flips = 1 + rng.bounded(6);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t at =
+            kChecksummedFrom +
+            static_cast<std::size_t>(
+                rng.bounded(image.size() - kChecksummedFrom));
+        image[at] ^= static_cast<std::byte>(1 + rng.bounded(255));
+      }
+      reseal(image);
+      try {
+        const StateImage attached = StateImage::attach(image);
+        // Survivors must stay safe to query across the whole space, and
+        // the deep audit must itself parse-or-throw, never crash.
+        for (int probe = 0; probe < 512; ++probe) {
+          const net::Ipv4Address addr(
+              static_cast<std::uint32_t>(rng.bounded(1ull << 32)));
+          (void)attached.partition().locate(addr);
+        }
+        try {
+          attached.verify();
+        } catch (const FormatError&) {
+        }
+      } catch (const FormatError&) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tass::state
