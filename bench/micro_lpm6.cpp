@@ -1,0 +1,281 @@
+// IPv6 LPM substrate micro-benchmark: trie::LpmIndex6 on a v6-RIB-shaped
+// synthetic table, cross-checked against a naive longest-match oracle on
+// EVERY lookup.
+//
+// Plain executable (no google-benchmark dependency) so it always builds
+// and can double as a ctest smoke test. Prints one machine-readable JSON
+// object on stdout for BENCH tracking; human-readable notes go to stderr.
+// Exits non-zero if the index and the oracle ever disagree — the
+// benchmark is also a full correctness check.
+//
+// The oracle is an independent algorithm, not a second trie: a hash map
+// of the table keyed by (masked network, length), probed from the
+// longest announced length downwards; the first hit is the longest
+// match. Every timed address — the random stream and every prefix
+// boundary +/- 1 (including the 64-bit hi/lo half edges) — is resolved
+// by both and compared.
+//
+// Usage: micro_lpm6 [--prefixes N] [--lookups M] [--seed S]
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/family.hpp"
+#include "net/ipv6.hpp"
+#include "trie/lpm_index6.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+using Entry = trie::LpmIndex6::Entry;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// v6-RIB-shaped prefix table: /48 dominates real v6 tables, /32 and the
+// /36-/44 allocation ladder carry most of the rest, a few short covers
+// (/20../29) and a thin tail of long more-specifics up to /64.
+std::vector<Entry> synthesize_table(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Entry> table;
+  table.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.uniform();
+    int length;
+    if (roll < 0.04) {
+      length = 20 + static_cast<int>(rng.bounded(10));
+    } else if (roll < 0.20) {
+      length = 32;
+    } else if (roll < 0.45) {
+      length = 36 + static_cast<int>(rng.bounded(9));
+    } else if (roll < 0.93) {
+      length = 48;
+    } else {
+      length = 49 + static_cast<int>(rng.bounded(16));
+    }
+    // Keep networks inside 2000::/3 (the global unicast space real
+    // tables announce) so nesting actually happens.
+    const std::uint64_t hi =
+        0x2000000000000000ULL | (rng() >> 3);
+    const net::Ipv6Address network(hi, rng());
+    table.push_back({net::Ipv6Prefix(network, length),
+                     static_cast<std::uint32_t>(i & 0xffffff)});
+  }
+  return table;
+}
+
+// Naive oracle: exact-match maps per announced length, probed longest
+// first. Independent of the trie machinery by construction.
+struct PrefixKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  int length = 0;
+  friend bool operator==(const PrefixKey&, const PrefixKey&) = default;
+};
+
+struct PrefixKeyHash {
+  std::size_t operator()(const PrefixKey& key) const noexcept {
+    return static_cast<std::size_t>(util::mix64(
+        util::mix64(key.hi, key.lo), static_cast<std::uint64_t>(key.length)));
+  }
+};
+
+class NaiveOracle {
+ public:
+  explicit NaiveOracle(const std::vector<Entry>& table) {
+    std::vector<std::uint8_t> seen(129, 0);
+    for (const Entry& entry : table) {
+      // Same last-wins duplicate rule as the index.
+      map_[key_of(entry.prefix)] = entry.value;
+      seen[static_cast<std::size_t>(entry.prefix.length())] = 1;
+    }
+    for (int length = 128; length >= 0; --length) {
+      if (seen[static_cast<std::size_t>(length)]) {
+        lengths_.push_back(length);
+      }
+    }
+  }
+
+  std::uint32_t lookup(net::Ipv6Address addr) const {
+    for (const int length : lengths_) {
+      const net::Ipv6Prefix masked(addr, length);
+      const auto it = map_.find(key_of(masked));
+      if (it != map_.end()) return it->second;
+    }
+    return trie::LpmIndex6::kNoMatch;
+  }
+
+ private:
+  static PrefixKey key_of(net::Ipv6Prefix prefix) {
+    return {prefix.network().hi(), prefix.network().lo(), prefix.length()};
+  }
+
+  std::unordered_map<PrefixKey, std::uint32_t, PrefixKeyHash> map_;
+  std::vector<int> lengths_;  // announced lengths, longest first
+};
+
+std::uint64_t to_u64(double value) {
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t prefix_count = 200'000;
+  std::size_t lookup_count = 1'000'000;
+  std::uint64_t seed = 2016;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '%s'\n", argv[i]);
+      return 2;
+    }
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0') {
+      std::fprintf(stderr, "not a number: '%s'\n", argv[i + 1]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--prefixes") == 0) {
+      prefix_count = value;
+    } else if (std::strcmp(argv[i], "--lookups") == 0) {
+      lookup_count = value;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: micro_lpm6 [--prefixes N] "
+                   "[--lookups M] [--seed S]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (prefix_count == 0) prefix_count = 1;
+  if (lookup_count == 0) lookup_count = 1;
+
+  const auto table = synthesize_table(prefix_count, seed);
+
+  auto start = std::chrono::steady_clock::now();
+  const trie::LpmIndex6 index(table);
+  const double build_ms = ms_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const NaiveOracle oracle(table);
+  const double oracle_build_ms = ms_since(start);
+
+  // The address stream: half targeted (a random host inside a random
+  // table prefix, so deep matches are exercised), half random inside
+  // 2000::/3, plus every prefix boundary +/- 1 — which crosses the
+  // 64-bit hi/lo half edge whenever a prefix ends on it.
+  util::Rng rng(util::mix64(seed, 0xADD2E55ULL));
+  std::vector<net::Ipv6Address> addresses;
+  addresses.reserve(lookup_count + 4 * table.size());
+  for (std::size_t i = 0; i < lookup_count; ++i) {
+    if ((i & 1) == 0) {
+      // Targeted: random host bits under a random table prefix.
+      const net::Ipv6Prefix prefix =
+          table[rng.bounded(table.size())].prefix;
+      const net::Ipv6Address random(rng(), rng());
+      const int len = prefix.length();
+      std::uint64_t hi;
+      std::uint64_t lo;
+      if (len <= 64) {
+        const std::uint64_t host_mask = len == 64 ? 0 : ~0ULL >> len;
+        hi = prefix.network().hi() | (random.hi() & host_mask);
+        lo = random.lo();
+      } else {
+        hi = prefix.network().hi();
+        const std::uint64_t host_mask =
+            len == 128 ? 0 : ~0ULL >> (len - 64);
+        lo = prefix.network().lo() | (random.lo() & host_mask);
+      }
+      addresses.emplace_back(hi, lo);
+    } else {
+      addresses.emplace_back(0x2000000000000000ULL | (rng() >> 3), rng());
+    }
+  }
+  const std::size_t timed_count = addresses.size();
+  for (const Entry& entry : table) {
+    const net::Ipv6Address first = entry.prefix.first();
+    const net::Ipv6Address last = entry.prefix.last();
+    addresses.push_back(first);
+    addresses.push_back(last);
+    if (first.lo() != 0 || first.hi() != 0) {
+      const std::uint64_t borrow = first.lo() == 0 ? 1 : 0;
+      addresses.emplace_back(first.hi() - borrow, first.lo() - 1);
+    }
+    if (last.lo() != ~0ULL || last.hi() != ~0ULL) {
+      const std::uint64_t carry = last.lo() == ~0ULL ? 1 : 0;
+      addresses.emplace_back(last.hi() + carry, last.lo() + 1);
+    }
+  }
+
+  // Full differential sweep: EVERY address through the index (scalar and
+  // batched) and the oracle. Any disagreement is a hard failure.
+  std::vector<std::uint32_t> batched(addresses.size());
+  index.lookup_many(addresses, batched);
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    const std::uint32_t want = oracle.lookup(addresses[i]);
+    const std::uint32_t got = index.lookup(addresses[i]);
+    if (got != want || batched[i] != want) {
+      std::fprintf(stderr,
+                   "MISMATCH at %s: index=%u batched=%u oracle=%u\n",
+                   addresses[i].to_string().c_str(), got, batched[i], want);
+      return 1;
+    }
+    ++verified;
+  }
+
+  // Timed runs on the random stream only (the boundary probes above are
+  // correctness inputs, not a representative workload).
+  const std::span<const net::Ipv6Address> timed(addresses.data(),
+                                                timed_count);
+  std::uint64_t sink = 0;
+  start = std::chrono::steady_clock::now();
+  for (const net::Ipv6Address addr : timed) {
+    const std::uint32_t value = index.lookup(addr);
+    sink += value != trie::LpmIndex6::kNoMatch ? value : 0;
+  }
+  const double lookup_ms = ms_since(start);
+
+  start = std::chrono::steady_clock::now();
+  index.lookup_many(timed, std::span(batched).first(timed_count));
+  const double batch_ms = ms_since(start);
+  sink += batched[timed_count - 1];
+
+  const double n = static_cast<double>(timed_count);
+  const double rate = n / (lookup_ms / 1e3);
+  const double batch_rate = n / (batch_ms / 1e3);
+
+  std::fprintf(stderr,
+               "# %zu v6 prefixes, %zu timed lookups, %zu verified "
+               "against the oracle (sink=%" PRIu64 ")\n"
+               "# LpmIndex6 : build %.1f ms, %.2f M lookups/s (batched "
+               "%.2f M/s), %.1f MiB\n"
+               "# oracle    : build %.1f ms (hash maps per length)\n",
+               prefix_count, timed_count, verified, sink, build_ms,
+               rate / 1e6, batch_rate / 1e6,
+               static_cast<double>(index.memory_bytes()) / (1024 * 1024),
+               oracle_build_ms);
+
+  // Machine-readable record for BENCH tracking (one JSON object).
+  std::printf(
+      "{\"bench\":\"micro_lpm6\",\"prefixes\":%zu,\"lookups\":%zu,"
+      "\"seed\":%" PRIu64 ",\"verified_lookups\":%zu,"
+      "\"lpm6_build_ms\":%.3f,\"lpm6_lookups_per_sec\":%" PRIu64 ","
+      "\"lpm6_batch_lookups_per_sec\":%" PRIu64 ","
+      "\"lpm6_memory_bytes\":%zu,\"lpm6_nodes\":%zu,\"lpm6_leaves\":%zu}\n",
+      prefix_count, timed_count, seed, verified, build_ms, to_u64(rate),
+      to_u64(batch_rate), index.memory_bytes(), index.node_count(),
+      index.leaf_count());
+  return 0;
+}

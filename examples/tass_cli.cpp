@@ -1,11 +1,14 @@
 // tass_cli: the library as an operator tool.
 //
-//   tass_cli rank        <pfx2as> <addresses> [less|more] [top_n]
-//   tass_cli plan        <pfx2as> <addresses> <phi> [less|more]
-//   tass_cli aggregate   <prefix-file>
-//   tass_cli inspect     <file.mrt>
-//   tass_cli state build <pfx2as> <addresses> <out.tsim> [less|more]
-//   tass_cli state info  <file.tsim>
+//   tass_cli rank         <pfx2as> <addresses> [less|more] [top_n]
+//   tass_cli plan         <pfx2as> <addresses> <phi> [less|more]
+//   tass_cli rank6        <pfx2as6> <hitlist> [less|more] [top_n]
+//   tass_cli plan6        <pfx2as6> <hitlist> <phi> [less|more]
+//   tass_cli aggregate    <prefix-file>
+//   tass_cli inspect      <file.mrt>
+//   tass_cli state build  <pfx2as> <addresses> <out.tsim> [less|more]
+//   tass_cli state build6 <pfx2as6> <hitlist> <out.tsim> [less|more]
+//   tass_cli state info   <file.tsim>
 //
 // `rank` attributes a scan export onto the routing table and prints the
 // densest prefixes; `plan` emits the TASS selection (aggregated, one
@@ -14,13 +17,22 @@
 // MRT RIB dump. `state build` runs the pfx2as -> partition -> ranking
 // pipeline once and seals the derived state into a TSIM image so later
 // process starts mmap it instead of rebuilding; `state info` validates
-// an image (header, checksum, bounds, deep audit) and prints its header.
+// an image of either family (header, checksum, bounds, deep audit) and
+// prints its header, address family included.
+//
+// The *6 verbs are the IPv6 pipeline on the same family-generic
+// substrate: the seed input is a hitlist (one address per line) instead
+// of a scan export, and densities are hosts per /64.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "bgp/table6.hpp"
+#include "census/hitlist6.hpp"
+#include "core/ranking6.hpp"
+#include "core/selection6.hpp"
 #include "core/tass.hpp"
 #include "report/table.hpp"
 #include "state/image.hpp"
@@ -34,13 +46,17 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  tass_cli rank        <pfx2as> <addresses> [less|more] [n]\n"
-      "  tass_cli plan        <pfx2as> <addresses> <phi> [less|more]\n"
-      "  tass_cli aggregate   <prefix-file>\n"
-      "  tass_cli inspect     <file.mrt>\n"
-      "  tass_cli state build <pfx2as> <addresses> <out.tsim> "
+      "  tass_cli rank         <pfx2as> <addresses> [less|more] [n]\n"
+      "  tass_cli plan         <pfx2as> <addresses> <phi> [less|more]\n"
+      "  tass_cli rank6        <pfx2as6> <hitlist> [less|more] [n]\n"
+      "  tass_cli plan6        <pfx2as6> <hitlist> <phi> [less|more]\n"
+      "  tass_cli aggregate    <prefix-file>\n"
+      "  tass_cli inspect      <file.mrt>\n"
+      "  tass_cli state build  <pfx2as> <addresses> <out.tsim> "
       "[less|more]\n"
-      "  tass_cli state info  <file.tsim>\n");
+      "  tass_cli state build6 <pfx2as6> <hitlist> <out.tsim> "
+      "[less|more]\n"
+      "  tass_cli state info   <file.tsim>\n");
   return 2;
 }
 
@@ -77,6 +93,40 @@ core::DensityRanking build_ranking(const census::Topology& topology,
                static_cast<unsigned long long>(attribution.attributed),
                static_cast<unsigned long long>(attribution.unattributed));
   return core::rank_by_density(attribution.counts, partition, mode);
+}
+
+// The v6 seed pipeline: pfx2as6 -> RoutingTable6 -> chosen partition ->
+// hitlist attribution -> density-per-/64 ranking.
+struct Pipeline6 {
+  bgp::PrefixPartition6 partition;
+  core::DensityRanking6 ranking;
+};
+
+Pipeline6 build_pipeline6(const std::string& pfx2as_path,
+                          const std::string& hitlist_path,
+                          core::PrefixMode mode) {
+  const auto records = bgp::load_pfx2as6(pfx2as_path, /*strict=*/false);
+  const auto table = bgp::RoutingTable6::from_pfx2as(records);
+  std::fprintf(stderr, "loaded %zu v6 routes; advertised %.3fM /64s\n",
+               table.size(),
+               static_cast<double>(table.advertised_units()) / 1e6);
+
+  Pipeline6 result;
+  result.partition = mode == core::PrefixMode::kMore ? table.m_partition()
+                                                     : table.l_partition();
+  const auto hitlist = census::load_hitlist6(hitlist_path,
+                                             /*strict=*/false);
+  std::vector<std::uint32_t> counts(result.partition.size(), 0);
+  std::uint64_t attributed = 0;
+  std::uint64_t unattributed = 0;
+  result.partition.tally_cells(hitlist, counts, attributed, unattributed);
+  std::fprintf(stderr,
+               "attributed %llu hitlist addresses (%llu outside the "
+               "announced space)\n",
+               static_cast<unsigned long long>(attributed),
+               static_cast<unsigned long long>(unattributed));
+  result.ranking = core::rank_by_density(counts, result.partition, mode);
+  return result;
 }
 
 int cmd_rank(int argc, char** argv) {
@@ -142,6 +192,60 @@ int cmd_plan(int argc, char** argv) {
   return 0;
 }
 
+int cmd_rank6(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const core::PrefixMode mode =
+      argc > 4 ? parse_mode(argv[4]) : core::PrefixMode::kMore;
+  const std::size_t top_n =
+      argc > 5 ? static_cast<std::size_t>(std::stoul(argv[5])) : 20;
+
+  const auto pipeline = build_pipeline6(argv[2], argv[3], mode);
+  const auto& ranking = pipeline.ranking;
+
+  report::Table table({"rank", "prefix", "hosts", "density per /64",
+                       "cum. host coverage"});
+  std::uint64_t hosts = 0;
+  for (std::size_t i = 0; i < ranking.ranked.size() && i < top_n; ++i) {
+    const auto& entry = ranking.ranked[i];
+    hosts += entry.hosts;
+    table.add_row(
+        {report::Table::cell(static_cast<std::uint64_t>(i + 1)),
+         entry.prefix.to_string(), report::Table::cell(entry.hosts),
+         report::Table::cell(entry.density, 6),
+         report::Table::cell(static_cast<double>(hosts) /
+                                 static_cast<double>(ranking.total_hosts),
+                             4)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_plan6(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const double phi = std::stod(argv[4]);
+  const core::PrefixMode mode =
+      argc > 5 ? parse_mode(argv[5]) : core::PrefixMode::kMore;
+
+  const auto pipeline = build_pipeline6(argv[2], argv[3], mode);
+  core::SelectionParams params;
+  params.phi = phi;
+  const auto selection = core::select_by_density(pipeline.ranking, params);
+
+  // Whitelist on stdout, summary on stderr (no v6 aggregation pass yet;
+  // selections are already short — k densest prefixes).
+  for (const net::Ipv6Prefix prefix : selection.prefixes) {
+    std::printf("%s\n", prefix.to_string().c_str());
+  }
+  std::fprintf(stderr,
+               "selection: k=%zu prefixes, %.2f%% host coverage at seed, "
+               "%.4f%% of announced /64s (%llu /64s per cycle)\n",
+               selection.k(), 100.0 * selection.host_coverage(),
+               100.0 * selection.space_coverage(),
+               static_cast<unsigned long long>(
+                   selection.selected_addresses));
+  return 0;
+}
+
 int cmd_aggregate(int argc, char** argv) {
   if (argc < 3) return usage();
   std::ifstream in(argv[2]);
@@ -187,12 +291,28 @@ int cmd_state_build(int argc, char** argv) {
   return 0;
 }
 
-int cmd_state_info(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const auto image = state::StateImage::load(argv[3]);
-  image.verify();  // deep audit beyond the load-time integrity checks
+int cmd_state_build6(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const core::PrefixMode mode =
+      argc > 6 ? parse_mode(argv[6]) : core::PrefixMode::kMore;
+  const std::string out_path = argv[5];
 
-  const state::ImageInfo& info = image.info();
+  const auto pipeline = build_pipeline6(argv[3], argv[4], mode);
+  state::save_image(out_path, pipeline.partition, pipeline.ranking);
+
+  const auto image = state::StateImage6::load(out_path);
+  std::fprintf(stderr,
+               "sealed %zu cells / %zu ranked prefixes into %s (%zu "
+               "bytes, %s, fingerprint %016llx); workers can now mmap "
+               "it instead of rebuilding\n",
+               image.info().cell_count, image.info().ranked_count,
+               out_path.c_str(), image.info().file_bytes,
+               net::address_family_name(image.info().family).data(),
+               static_cast<unsigned long long>(image.info().fingerprint));
+  return 0;
+}
+
+void print_state_info(const state::ImageInfo& info) {
   char fingerprint[32];
   std::snprintf(fingerprint, sizeof fingerprint, "%016llx",
                 static_cast<unsigned long long>(info.fingerprint));
@@ -202,6 +322,8 @@ int cmd_state_info(int argc, char** argv) {
   report::Table out({"field", "value"});
   out.add_row({"version", report::Table::cell(
                               static_cast<std::uint64_t>(info.version))});
+  out.add_row(
+      {"address family", std::string(net::address_family_name(info.family))});
   out.add_row(
       {"prefix mode", std::string(core::prefix_mode_name(info.mode))});
   out.add_row({"topology fingerprint", fingerprint});
@@ -227,6 +349,21 @@ int cmd_state_info(int argc, char** argv) {
                    static_cast<std::uint64_t>(info.file_bytes))});
   std::printf("%s", out.to_text().c_str());
   std::fprintf(stderr, "image OK (checksum, bounds and deep audit)\n");
+}
+
+int cmd_state_info(int argc, char** argv) {
+  if (argc < 4) return usage();
+  // Family dispatch by magic: either family's image prints through the
+  // same table, with its family named.
+  if (state::image_family_of_file(argv[3]) == net::AddressFamily::kIpv6) {
+    const auto image = state::StateImage6::load(argv[3]);
+    image.verify();  // deep audit beyond the load-time integrity checks
+    print_state_info(image.info());
+  } else {
+    const auto image = state::StateImage::load(argv[3]);
+    image.verify();
+    print_state_info(image.info());
+  }
   return 0;
 }
 
@@ -234,6 +371,7 @@ int cmd_state(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string verb = argv[2];
   if (verb == "build") return cmd_state_build(argc, argv);
+  if (verb == "build6") return cmd_state_build6(argc, argv);
   if (verb == "info") return cmd_state_info(argc, argv);
   return usage();
 }
@@ -273,6 +411,8 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     if (command == "rank") return cmd_rank(argc, argv);
     if (command == "plan") return cmd_plan(argc, argv);
+    if (command == "rank6") return cmd_rank6(argc, argv);
+    if (command == "plan6") return cmd_plan6(argc, argv);
     if (command == "aggregate") return cmd_aggregate(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "state") return cmd_state(argc, argv);

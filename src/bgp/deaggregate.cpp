@@ -8,26 +8,29 @@ namespace tass::bgp {
 
 namespace {
 
-// Recursive tiler. `inside` holds announced prefixes strictly contained in
-// `node`, sorted ascending by (network, length). A node with nothing
-// strictly inside is a finished cell; otherwise split and recurse. Splitting
-// a prefix equal to one half removes it from that half's "strictly inside"
-// set by construction (it becomes the half itself).
-void tile(net::Prefix node, std::span<const net::Prefix> inside,
-          std::vector<net::Prefix>& out) {
+// Recursive tiler, generic over the prefix type (both families provide
+// lower_half/upper_half/contains and the (network, length) ordering).
+// `inside` holds announced prefixes strictly contained in `node`, sorted
+// ascending by (network, length). A node with nothing strictly inside is
+// a finished cell; otherwise split and recurse. Splitting a prefix equal
+// to one half removes it from that half's "strictly inside" set by
+// construction (it becomes the half itself).
+template <class Prefix>
+void tile(Prefix node, std::span<const Prefix> inside,
+          std::vector<Prefix>& out, int max_length) {
   if (inside.empty()) {
     out.push_back(node);
     return;
   }
-  TASS_EXPECTS(node.length() < 32);
-  const net::Prefix lower = node.lower_half();
-  const net::Prefix upper = node.upper_half();
+  TASS_EXPECTS(node.length() < max_length);
+  const Prefix lower = node.lower_half();
+  const Prefix upper = node.upper_half();
 
   // `inside` is sorted by network address, so the two halves correspond to
   // a contiguous split around the first prefix belonging to the upper half.
   const auto boundary = std::partition_point(
       inside.begin(), inside.end(),
-      [&](net::Prefix p) { return p.network() < upper.network(); });
+      [&](Prefix p) { return p.network() < upper.network(); });
 
   auto lower_span = inside.subspan(
       0, static_cast<std::size_t>(boundary - inside.begin()));
@@ -44,17 +47,16 @@ void tile(net::Prefix node, std::span<const net::Prefix> inside,
     upper_span = upper_span.subspan(1);
   }
 
-  tile(lower, lower_span, out);
-  tile(upper, upper_span, out);
+  tile(lower, lower_span, out, max_length);
+  tile(upper, upper_span, out, max_length);
 }
 
-}  // namespace
-
-std::vector<net::Prefix> deaggregate(
-    net::Prefix covering, std::span<const net::Prefix> more_specifics) {
-  std::vector<net::Prefix> inside(more_specifics.begin(),
-                                  more_specifics.end());
-  for (const net::Prefix p : inside) {
+template <class Prefix>
+std::vector<Prefix> deaggregate_impl(Prefix covering,
+                                     std::span<const Prefix> more_specifics,
+                                     int max_length) {
+  std::vector<Prefix> inside(more_specifics.begin(), more_specifics.end());
+  for (const Prefix p : inside) {
     if (!(covering.contains(p) && p != covering)) {
       throw Error("deaggregate: " + p.to_string() +
                   " is not strictly contained in " + covering.to_string());
@@ -63,9 +65,22 @@ std::vector<net::Prefix> deaggregate(
   std::sort(inside.begin(), inside.end());
   inside.erase(std::unique(inside.begin(), inside.end()), inside.end());
 
-  std::vector<net::Prefix> out;
-  tile(covering, inside, out);
+  std::vector<Prefix> out;
+  tile(covering, std::span<const Prefix>(inside), out, max_length);
   return out;
+}
+
+}  // namespace
+
+std::vector<net::Prefix> deaggregate(
+    net::Prefix covering, std::span<const net::Prefix> more_specifics) {
+  return deaggregate_impl(covering, more_specifics, 32);
+}
+
+std::vector<net::Ipv6Prefix> deaggregate(
+    net::Ipv6Prefix covering,
+    std::span<const net::Ipv6Prefix> more_specifics) {
+  return deaggregate_impl(covering, more_specifics, 128);
 }
 
 }  // namespace tass::bgp

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "net/ipv6.hpp"
 #include "net/prefix.hpp"
 
 namespace tass::bgp {
@@ -27,5 +28,12 @@ namespace tass::bgp {
 /// refines the partition down to the finest announced granularity).
 std::vector<net::Prefix> deaggregate(
     net::Prefix covering, std::span<const net::Prefix> more_specifics);
+
+/// The IPv6 twin — the identical binary tiler on 128-bit prefixes, so
+/// the m-partition construction (Figure 2) carries over to announced-v6
+/// tables unchanged.
+std::vector<net::Ipv6Prefix> deaggregate(
+    net::Ipv6Prefix covering,
+    std::span<const net::Ipv6Prefix> more_specifics);
 
 }  // namespace tass::bgp

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "bgp/partition6.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace tass::bgp {
 
-void PrefixPartition::sync_views() noexcept {
+template <class Family>
+void BasicPrefixPartition<Family>::sync_views() noexcept {
   if (borrowed_) return;
   prefixes_view_ = prefixes_;
   sorted_view_ = sorted_;
@@ -15,9 +17,10 @@ void PrefixPartition::sync_views() noexcept {
   free_view_ = free_slots_;
 }
 
-PrefixPartition PrefixPartition::from_raw(const Raw& raw,
-                                          trie::LpmIndex index) {
-  PrefixPartition partition;
+template <class Family>
+BasicPrefixPartition<Family> BasicPrefixPartition<Family>::from_raw(
+    const Raw& raw, Index index) {
+  BasicPrefixPartition partition;
   partition.borrowed_ = true;
   partition.prefixes_view_ = raw.prefixes;
   partition.sorted_view_ = raw.sorted;
@@ -29,7 +32,9 @@ PrefixPartition PrefixPartition::from_raw(const Raw& raw,
   return partition;
 }
 
-PrefixPartition::PrefixPartition(const PrefixPartition& other)
+template <class Family>
+BasicPrefixPartition<Family>::BasicPrefixPartition(
+    const BasicPrefixPartition& other)
     : prefixes_(other.prefixes_),
       sorted_(other.sorted_),
       index_(other.index_),
@@ -49,12 +54,16 @@ PrefixPartition::PrefixPartition(const PrefixPartition& other)
   }
 }
 
-PrefixPartition& PrefixPartition::operator=(const PrefixPartition& other) {
-  if (this != &other) *this = PrefixPartition(other);
+template <class Family>
+BasicPrefixPartition<Family>& BasicPrefixPartition<Family>::operator=(
+    const BasicPrefixPartition& other) {
+  if (this != &other) *this = BasicPrefixPartition(other);
   return *this;
 }
 
-PrefixPartition::PrefixPartition(PrefixPartition&& other) noexcept
+template <class Family>
+BasicPrefixPartition<Family>::BasicPrefixPartition(
+    BasicPrefixPartition&& other) noexcept
     : prefixes_(std::move(other.prefixes_)),
       sorted_(std::move(other.sorted_)),
       index_(std::move(other.index_)),
@@ -79,8 +88,9 @@ PrefixPartition::PrefixPartition(PrefixPartition&& other) noexcept
   other.borrowed_ = false;
 }
 
-PrefixPartition& PrefixPartition::operator=(
-    PrefixPartition&& other) noexcept {
+template <class Family>
+BasicPrefixPartition<Family>& BasicPrefixPartition<Family>::operator=(
+    BasicPrefixPartition&& other) noexcept {
   if (this != &other) {
     prefixes_ = std::move(other.prefixes_);
     sorted_ = std::move(other.sorted_);
@@ -105,9 +115,11 @@ PrefixPartition& PrefixPartition::operator=(
   return *this;
 }
 
-PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
+template <class Family>
+BasicPrefixPartition<Family>::BasicPrefixPartition(
+    std::vector<Prefix> prefixes)
     : prefixes_(std::move(prefixes)) {
-  if (prefixes_.size() >= trie::LpmIndex::kNoMatch) {
+  if (prefixes_.size() >= Index::kNoMatch) {
     throw Error("partition too large");
   }
   sorted_.reserve(prefixes_.size());
@@ -120,37 +132,39 @@ PrefixPartition::PrefixPartition(std::vector<net::Prefix> prefixes)
   // exactly when a cell starts at or before the furthest end seen so far
   // (CIDR blocks overlap only by containment, which this detects too).
   bool have_previous = false;
-  std::uint32_t max_last = 0;
-  std::vector<trie::LpmIndex::Entry> table;
+  net::AddressKey max_last{};
+  std::vector<typename Index::Entry> table;
   table.reserve(sorted_.size());
   for (const SortedCell& cell : sorted_) {
-    if (have_previous && cell.prefix.network().value() <= max_last) {
+    if (have_previous && Family::first_key(cell.prefix) <= max_last) {
       throw Error("partition prefixes overlap at " + cell.prefix.to_string());
     }
-    max_last = cell.prefix.last().value();
+    max_last = Family::last_key(cell.prefix);
     have_previous = true;
     table.push_back({cell.prefix, cell.slot});
-    address_count_ += cell.prefix.size();
+    address_count_ = net::saturating_add(address_count_,
+                                         Family::prefix_units(cell.prefix));
   }
-  index_ = trie::LpmIndex(table);
+  index_ = Index(table);
   live_count_ = prefixes_.size();
   sync_views();
 }
 
-PartitionApplyResult PrefixPartition::apply_delta(
-    const PartitionDelta& delta) {
+template <class Family>
+auto BasicPrefixPartition<Family>::apply_delta(const Delta& delta)
+    -> ApplyResult {
   if (borrowed_) {
     throw Error(
         "PrefixPartition::apply_delta on a borrowed view (from_raw): "
         "read-only storage cannot absorb deltas; rebuild an owned "
         "partition instead");
   }
-  PartitionApplyResult result;
+  ApplyResult result;
   result.old_cell_count = static_cast<std::uint32_t>(prefixes_.size());
 
   // ---- validation (all of it before any mutation) --------------------
   result.removed_cells.reserve(delta.remove.size());
-  for (const net::Prefix prefix : delta.remove) {
+  for (const Prefix prefix : delta.remove) {
     const auto slot = index_of(prefix);
     if (!slot) {
       throw Error("apply_delta: removed prefix " + prefix.to_string() +
@@ -177,20 +191,20 @@ PartitionApplyResult PrefixPartition::apply_delta(
     // Additions must be pairwise disjoint: with CIDR blocks sorted by
     // (network, length), any overlap is visible as a prefix starting at
     // or before the furthest end seen so far (same sweep as the ctor).
-    std::vector<net::Prefix> adds(delta.add.begin(), delta.add.end());
+    std::vector<Prefix> adds(delta.add.begin(), delta.add.end());
     std::sort(adds.begin(), adds.end());
     bool have_previous = false;
-    std::uint32_t max_last = 0;
-    for (const net::Prefix prefix : adds) {
-      if (have_previous && prefix.network().value() <= max_last) {
+    net::AddressKey max_last{};
+    for (const Prefix prefix : adds) {
+      if (have_previous && Family::first_key(prefix) <= max_last) {
         throw Error("apply_delta: added prefixes overlap at " +
                     prefix.to_string());
       }
-      max_last = prefix.last().value();
+      max_last = Family::last_key(prefix);
       have_previous = true;
     }
   }
-  for (const net::Prefix prefix : delta.add) {
+  for (const Prefix prefix : delta.add) {
     // The partition is disjoint, so at most one live cell covers the
     // added prefix's network address; any other overlapping live cell
     // must start strictly inside the added prefix.
@@ -204,10 +218,10 @@ PartitionApplyResult PrefixPartition::apply_delta(
     }
     const auto begin = std::lower_bound(
         sorted_.begin(), sorted_.end(), prefix,
-        [](const SortedCell& cell, net::Prefix p) { return cell.prefix < p; });
+        [](const SortedCell& cell, Prefix p) { return cell.prefix < p; });
     for (auto it = begin;
          it != sorted_.end() &&
-         it->prefix.network().value() <= prefix.last().value();
+         Family::first_key(it->prefix) <= Family::last_key(prefix);
          ++it) {
       if (!being_removed(it->slot)) {
         throw Error("apply_delta: added prefix " + prefix.to_string() +
@@ -219,20 +233,21 @@ PartitionApplyResult PrefixPartition::apply_delta(
       free_slots_.size() + result.removed_cells.size();
   const std::size_t appended =
       delta.add.size() > pool_capacity ? delta.add.size() - pool_capacity : 0;
-  if (prefixes_.size() + appended >= trie::LpmIndex::kNoMatch) {
+  if (prefixes_.size() + appended >= Index::kNoMatch) {
     throw Error("partition too large");
   }
 
   // ---- mutation ------------------------------------------------------
   if (live_.empty()) live_.assign(prefixes_.size(), 1);
 
-  std::vector<trie::LpmIndex::Entry> upserts;
+  std::vector<typename Index::Entry> upserts;
   upserts.reserve(delta.add.size());
-  std::vector<net::Prefix> erases;
+  std::vector<Prefix> erases;
   erases.reserve(result.removed_cells.size());
   for (const std::uint32_t slot : result.removed_cells) {
     live_[slot] = 0;
-    address_count_ -= prefixes_[slot].size();
+    address_count_ = net::saturating_sub(
+        address_count_, Family::prefix_units(prefixes_[slot]));
     erases.push_back(prefixes_[slot]);
   }
   live_count_ -= result.removed_cells.size();
@@ -246,7 +261,7 @@ PartitionApplyResult PrefixPartition::apply_delta(
              std::back_inserter(pool));
   std::size_t pooled = 0;
   result.added_cells.reserve(delta.add.size());
-  for (const net::Prefix prefix : delta.add) {
+  for (const Prefix prefix : delta.add) {
     std::uint32_t slot;
     if (pooled < pool.size()) {
       slot = pool[pooled++];
@@ -257,7 +272,8 @@ PartitionApplyResult PrefixPartition::apply_delta(
       live_.push_back(0);
     }
     live_[slot] = 1;
-    address_count_ += prefix.size();
+    address_count_ =
+        net::saturating_add(address_count_, Family::prefix_units(prefix));
     result.added_cells.push_back(slot);
     upserts.push_back({prefix, slot});
   }
@@ -290,11 +306,11 @@ PartitionApplyResult PrefixPartition::apply_delta(
 
   // Patch the LpmIndex with the *net* change per prefix: a prefix that is
   // both withdrawn and re-announced is a plain value upsert.
-  std::vector<net::Prefix> upserted;
+  std::vector<Prefix> upserted;
   upserted.reserve(upserts.size());
   for (const auto& entry : upserts) upserted.push_back(entry.prefix);
   std::sort(upserted.begin(), upserted.end());
-  std::erase_if(erases, [&](net::Prefix p) {
+  std::erase_if(erases, [&](Prefix p) {
     return std::binary_search(upserted.begin(), upserted.end(), p);
   });
   result.index_stats = index_.update(upserts, erases);
@@ -302,34 +318,38 @@ PartitionApplyResult PrefixPartition::apply_delta(
   return result;
 }
 
-std::optional<std::uint32_t> PrefixPartition::locate(
-    net::Ipv4Address addr) const {
+template <class Family>
+std::optional<std::uint32_t> BasicPrefixPartition<Family>::locate(
+    Address addr) const {
   const std::uint32_t cell = index_.lookup(addr);
   if (cell == kNoCell) return std::nullopt;
   return cell;
 }
 
-void PrefixPartition::locate_many(std::span<const std::uint32_t> addresses,
-                                  std::span<std::uint32_t> cells) const
-    noexcept {
+template <class Family>
+void BasicPrefixPartition<Family>::locate_many(
+    std::span<const AddressWord> addresses,
+    std::span<std::uint32_t> cells) const noexcept {
   index_.lookup_many(addresses, cells);
 }
 
-std::optional<std::uint32_t> PrefixPartition::index_of(
-    net::Prefix prefix) const {
+template <class Family>
+std::optional<std::uint32_t> BasicPrefixPartition<Family>::index_of(
+    Prefix prefix) const {
   const auto it = std::lower_bound(
       sorted_view_.begin(), sorted_view_.end(), prefix,
-      [](const SortedCell& cell, net::Prefix p) { return cell.prefix < p; });
+      [](const SortedCell& cell, Prefix p) { return cell.prefix < p; });
   if (it == sorted_view_.end() || it->prefix != prefix) return std::nullopt;
   return it->slot;
 }
 
-std::vector<net::Prefix> PrefixPartition::live_prefixes() const {
+template <class Family>
+auto BasicPrefixPartition<Family>::live_prefixes() const
+    -> std::vector<Prefix> {
   if (live_view_.empty()) {
-    return std::vector<net::Prefix>(prefixes_view_.begin(),
-                                    prefixes_view_.end());
+    return std::vector<Prefix>(prefixes_view_.begin(), prefixes_view_.end());
   }
-  std::vector<net::Prefix> live;
+  std::vector<Prefix> live;
   live.reserve(live_count_);
   for (std::size_t i = 0; i < prefixes_view_.size(); ++i) {
     if (live_view_[i] != 0) live.push_back(prefixes_view_[i]);
@@ -337,24 +357,30 @@ std::vector<net::Prefix> PrefixPartition::live_prefixes() const {
   return live;
 }
 
-net::IntervalSet PrefixPartition::to_interval_set() const {
+template <class Family>
+net::IntervalSet BasicPrefixPartition<Family>::to_interval_set() const
+    requires std::same_as<Family, net::Ipv4Family>
+{
   if (live_view_.empty()) {
     return net::IntervalSet::of_prefixes(prefixes_view_);
   }
   return net::IntervalSet::of_prefixes(live_prefixes());
 }
 
-PartitionDelta partition_delta(const PrefixPartition& current,
-                               std::span<const net::Prefix> target) {
-  std::vector<net::Prefix> want(target.begin(), target.end());
+template <class Family>
+PartitionDeltaT<Family> partition_delta(
+    const BasicPrefixPartition<Family>& current,
+    std::span<const typename Family::Prefix> target) {
+  using Prefix = typename Family::Prefix;
+  std::vector<Prefix> want(target.begin(), target.end());
   std::sort(want.begin(), want.end());
   if (std::adjacent_find(want.begin(), want.end()) != want.end()) {
     throw Error("partition_delta: duplicate prefix in target");
   }
-  std::vector<net::Prefix> have = current.live_prefixes();
+  std::vector<Prefix> have = current.live_prefixes();
   std::sort(have.begin(), have.end());
 
-  PartitionDelta delta;
+  PartitionDeltaT<Family> delta;
   std::set_difference(have.begin(), have.end(), want.begin(), want.end(),
                       std::back_inserter(delta.remove));
   std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
@@ -362,16 +388,39 @@ PartitionDelta partition_delta(const PrefixPartition& current,
   return delta;
 }
 
-std::uint64_t partition_fingerprint(const PrefixPartition& partition) {
+template <class Family>
+std::uint64_t partition_fingerprint(
+    const BasicPrefixPartition<Family>& partition) {
   util::Fnv1a64 hasher;
   hasher.update_u64(partition.live_cells());
   for (std::size_t i = 0; i < partition.size(); ++i) {
     if (!partition.live(i)) continue;
-    const net::Prefix prefix = partition.prefix(i);
-    hasher.update_u32(prefix.network().value());
+    const typename Family::Prefix prefix = partition.prefix(i);
+    if constexpr (Family::kBits == 32) {
+      // The historical v4 digest, byte for byte, so existing TSNP/TSIM
+      // bindings stay valid.
+      hasher.update_u32(prefix.network().value());
+    } else {
+      hasher.update_u64(prefix.network().hi());
+      hasher.update_u64(prefix.network().lo());
+    }
     hasher.update(static_cast<std::uint8_t>(prefix.length()));
   }
   return hasher.digest();
 }
+
+template class BasicPrefixPartition<net::Ipv4Family>;
+template class BasicPrefixPartition<net::Ipv6Family>;
+
+template PartitionDeltaT<net::Ipv4Family> partition_delta(
+    const BasicPrefixPartition<net::Ipv4Family>&,
+    std::span<const net::Ipv4Family::Prefix>);
+template PartitionDeltaT<net::Ipv6Family> partition_delta(
+    const BasicPrefixPartition<net::Ipv6Family>&,
+    std::span<const net::Ipv6Family::Prefix>);
+template std::uint64_t partition_fingerprint(
+    const BasicPrefixPartition<net::Ipv4Family>&);
+template std::uint64_t partition_fingerprint(
+    const BasicPrefixPartition<net::Ipv6Family>&);
 
 }  // namespace tass::bgp

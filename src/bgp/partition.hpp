@@ -1,13 +1,17 @@
-// PrefixPartition: a set of pairwise-disjoint prefixes with flat-index
-// address attribution.
+// BasicPrefixPartition: a set of pairwise-disjoint prefixes with
+// flat-index address attribution, parameterized over the address family.
 //
 // Both prefix granularities the paper studies — the l-prefix view and the
 // deaggregated m-prefix view (Figure 2) — are partitions of the advertised
 // space. The census model places hosts into partition cells and the TASS
 // core attributes scan responses to cells, so this type is the common
 // currency between bgp, census, and core. Attribution rides on the
-// trie::LpmIndex substrate: locate() is a handful of dependent loads and
-// locate_many() resolves a whole shard's addresses in one call.
+// trie::BasicLpmIndex substrate: locate() is a handful of dependent loads
+// and locate_many() resolves a whole shard's addresses in one call. The
+// IPv6 instantiation (bgp::PrefixPartition6, partition6.hpp) runs the
+// same code over 128-bit keys; space accounting is in the family's scan
+// units (addresses for v4, /64 subnets for v6) and saturates rather than
+// wraps where v6 totals exceed 64 bits.
 //
 // Churn: apply_delta() patches the partition in place as the BGP table
 // evolves. Cell indices are *stable* — surviving cells keep their index
@@ -17,9 +21,9 @@
 // dead slot stays in size() with live(i) == false and can never be
 // returned by locate()/locate_many().
 //
-// Storage: like trie::LpmIndex, the per-cell arrays are addressed through
-// spans, so a partition either owns them (the build/churn paths) or
-// borrows them from caller-owned memory — the zero-copy mode the TSIM
+// Storage: like trie::BasicLpmIndex, the per-cell arrays are addressed
+// through spans, so a partition either owns them (the build/churn paths)
+// or borrows them from caller-owned memory — the zero-copy mode the TSIM
 // state image (state/image.hpp) uses to attach N worker processes to one
 // mmap'ed topology. A borrowed partition serves every const query through
 // the unchanged API but rejects apply_delta().
@@ -27,12 +31,14 @@
 
 #include <algorithm>
 #include <array>
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "net/family.hpp"
 #include "net/interval.hpp"
 #include "net/prefix.hpp"
 #include "trie/lpm_index.hpp"
@@ -44,9 +50,10 @@ namespace tass::bgp {
 /// withdraw (must be present), `add` lists prefixes to announce (must stay
 /// disjoint from the surviving cells and from each other). Typically
 /// derived from a bgp::RibDelta via partition_delta().
-struct PartitionDelta {
-  std::vector<net::Prefix> remove;
-  std::vector<net::Prefix> add;
+template <class Family>
+struct PartitionDeltaT {
+  std::vector<typename Family::Prefix> remove;
+  std::vector<typename Family::Prefix> add;
 
   bool empty() const noexcept { return remove.empty() && add.empty(); }
   std::size_t change_count() const noexcept {
@@ -57,20 +64,22 @@ struct PartitionDelta {
 /// One row of the sorted live-cell view: the cell's prefix and its slot.
 /// A plain standard-layout struct (rather than std::pair) so the state
 /// image can serialise the array with an assertable byte layout.
-struct SortedCell {
-  net::Prefix prefix;
+template <class Family>
+struct SortedCellT {
+  typename Family::Prefix prefix;
   std::uint32_t slot = 0;
 
-  friend constexpr bool operator<(SortedCell a, SortedCell b) noexcept {
+  friend constexpr bool operator<(SortedCellT a, SortedCellT b) noexcept {
     if (a.prefix != b.prefix) return a.prefix < b.prefix;
     return a.slot < b.slot;
   }
 };
 
-/// Cell bookkeeping produced by PrefixPartition::apply_delta — exactly the
-/// invalidation set an incremental consumer (core::rerank_cells,
-/// core::churn_step) needs to re-score only what the delta touched.
-struct PartitionApplyResult {
+/// Cell bookkeeping produced by apply_delta — exactly the invalidation
+/// set an incremental consumer (core::rerank_cells, core::churn_step)
+/// needs to re-score only what the delta touched.
+template <class Family>
+struct PartitionApplyResultT {
   /// Cells withdrawn by the delta, ascending. Their per-cell state is
   /// stale; the slots were freed (and possibly reused by `added_cells`).
   std::vector<std::uint32_t> removed_cells;
@@ -82,7 +91,7 @@ struct PartitionApplyResult {
 
   /// How the LpmIndex absorbed the change (patched vs rebuilt); benches
   /// and tests use this to see which path the cost model chose.
-  trie::LpmIndex::UpdateStats index_stats;
+  typename trie::BasicLpmIndex<Family>::UpdateStats index_stats;
 
   /// Grows a per-cell vector to the post-delta size() and resets the slots
   /// whose cell was removed or re-assigned, leaving untouched cells'
@@ -95,33 +104,44 @@ struct PartitionApplyResult {
   }
 };
 
-class PrefixPartition {
+template <class Family>
+class BasicPrefixPartition {
  public:
-  PrefixPartition() = default;
+  using Address = typename Family::Address;
+  using Prefix = typename Family::Prefix;
+  using AddressWord = typename Family::AddressWord;
+  using Index = trie::BasicLpmIndex<Family>;
+  using SortedCell = SortedCellT<Family>;
+  using Delta = PartitionDeltaT<Family>;
+  using ApplyResult = PartitionApplyResultT<Family>;
+
+  BasicPrefixPartition() = default;
 
   /// Builds from disjoint prefixes. Throws tass::Error if any two overlap;
   /// the input order is preserved and becomes the cell index order.
-  explicit PrefixPartition(std::vector<net::Prefix> prefixes);
+  explicit BasicPrefixPartition(std::vector<Prefix> prefixes);
 
   /// The flat per-cell arrays, as spans. raw() exposes them for
   /// serialisation; from_raw() builds a borrowed partition over them.
+  /// `address_count` is in the family's scan units (addresses for v4,
+  /// /64 subnets for v6; saturating).
   struct Raw {
-    std::span<const net::Prefix> prefixes;     // one per slot (live + free)
+    std::span<const Prefix> prefixes;          // one per slot (live + free)
     std::span<const SortedCell> sorted;        // live cells, prefix order
     std::span<const std::uint8_t> live;        // empty == every slot live
     std::span<const std::uint32_t> free_slots; // dead slots, ascending
-    std::uint64_t address_count = 0;           // live address total
+    std::uint64_t address_count = 0;           // live unit total
     std::uint64_t live_count = 0;              // live slot total
   };
 
   /// Borrowed-storage partition over caller-owned arrays plus the match
   /// index that resolves into them (typically itself borrowed via
-  /// trie::LpmIndex::from_raw). The storage must stay valid and
+  /// BasicLpmIndex::from_raw). The storage must stay valid and
   /// unmodified for the partition's lifetime, and the arrays must satisfy
   /// the structural invariants of a built partition — from_raw trusts its
   /// input; the state image loader validates before calling. A borrowed
   /// partition rejects apply_delta(); all const queries are unchanged.
-  static PrefixPartition from_raw(const Raw& raw, trie::LpmIndex index);
+  static BasicPrefixPartition from_raw(const Raw& raw, Index index);
 
   /// The flat arrays of this partition (borrowed or owned). Spans are
   /// invalidated by apply_delta() and by destruction/assignment.
@@ -135,11 +155,11 @@ class PrefixPartition {
 
   // Spans into own storage must be re-anchored on copy (and cleared on
   // move-from), so the special members are user-defined.
-  PrefixPartition(const PrefixPartition& other);
-  PrefixPartition& operator=(const PrefixPartition& other);
-  PrefixPartition(PrefixPartition&& other) noexcept;
-  PrefixPartition& operator=(PrefixPartition&& other) noexcept;
-  ~PrefixPartition() = default;
+  BasicPrefixPartition(const BasicPrefixPartition& other);
+  BasicPrefixPartition& operator=(const BasicPrefixPartition& other);
+  BasicPrefixPartition(BasicPrefixPartition&& other) noexcept;
+  BasicPrefixPartition& operator=(BasicPrefixPartition&& other) noexcept;
+  ~BasicPrefixPartition() = default;
 
   /// Number of cell slots (live + free). Per-cell vectors are sized by
   /// this; free slots simply never receive attributions.
@@ -163,21 +183,22 @@ class PrefixPartition {
   /// last prefix the slot held — callers walking all slots should gate on
   /// live(i) (attribution never produces counts for freed slots, so
   /// count-driven consumers like core::rank_by_density need no gate).
-  net::Prefix prefix(std::size_t index) const noexcept {
+  Prefix prefix(std::size_t index) const noexcept {
     TASS_EXPECTS(index < prefixes_view_.size());
     return prefixes_view_[index];
   }
-  std::span<const net::Prefix> prefixes() const noexcept {
+  std::span<const Prefix> prefixes() const noexcept {
     return prefixes_view_;
   }
 
   /// The live prefixes in slot order (== prefixes() for a partition that
   /// never absorbed a delta). This is the prefix set a from-scratch
   /// rebuild of this partition would be built from.
-  std::vector<net::Prefix> live_prefixes() const;
+  std::vector<Prefix> live_prefixes() const;
 
   /// Applies a prefix-level delta in place, patching the LpmIndex rather
-  /// than rebuilding it (see trie::LpmIndex::update for the cost model).
+  /// than rebuilding it (see trie::BasicLpmIndex::update for the cost
+  /// model).
   ///
   /// Index stability contract: cells not named by the delta keep their
   /// index, prefix, and locate() behaviour bit-identically; only the
@@ -195,18 +216,18 @@ class PrefixPartition {
   ///
   /// Thread safety: like LpmIndex::update — never concurrent with locate
   /// queries or another apply_delta; deltas apply between scan cycles.
-  PartitionApplyResult apply_delta(const PartitionDelta& delta);
+  ApplyResult apply_delta(const Delta& delta);
 
   /// Sentinel cell index reported by locate_many for unrouted addresses.
-  static constexpr std::uint32_t kNoCell = trie::LpmIndex::kNoMatch;
+  static constexpr std::uint32_t kNoCell = Index::kNoMatch;
 
   /// Index of the cell containing the address, if any.
-  std::optional<std::uint32_t> locate(net::Ipv4Address addr) const;
+  std::optional<std::uint32_t> locate(Address addr) const;
 
   /// Batched locate: cells[i] = cell index of addresses[i], or kNoCell.
   /// This is the per-shard API of the parallel attribution path.
   /// Precondition: cells.size() >= addresses.size().
-  void locate_many(std::span<const std::uint32_t> addresses,
+  void locate_many(std::span<const AddressWord> addresses,
                    std::span<std::uint32_t> cells) const noexcept;
 
   /// The shared per-shard attribution kernel: resolves `addresses` in
@@ -214,7 +235,7 @@ class PrefixPartition {
   /// counts[cell]; addresses outside the partition increment
   /// `unattributed` instead. Precondition: counts.size() == size().
   template <typename Count>
-  void tally_cells(std::span<const std::uint32_t> addresses,
+  void tally_cells(std::span<const AddressWord> addresses,
                    std::vector<Count>& counts, std::uint64_t& attributed,
                    std::uint64_t& unattributed) const {
     TASS_EXPECTS(counts.size() == prefixes_view_.size());
@@ -236,26 +257,31 @@ class PrefixPartition {
   }
 
   /// Index of the cell equal to `prefix`, if present.
-  std::optional<std::uint32_t> index_of(net::Prefix prefix) const;
+  std::optional<std::uint32_t> index_of(Prefix prefix) const;
 
   /// The underlying match substrate (shared with benches and tests).
-  const trie::LpmIndex& index() const noexcept { return index_; }
+  const Index& index() const noexcept { return index_; }
 
-  /// Total number of addresses covered by the (live) partition cells.
+  /// Total scan-space units covered by the (live) partition cells:
+  /// addresses for IPv4 (exact), /64 subnets for IPv6 (saturating — a
+  /// ::/0 cell alone overflows 64 bits).
   std::uint64_t address_count() const noexcept { return address_count_; }
 
-  /// The covered space as an interval set (live cells only).
-  net::IntervalSet to_interval_set() const;
+  /// The covered space as an interval set (live cells only). IPv4 only:
+  /// interval enumeration is the v4 scan engine's walk; v6 scopes
+  /// enumerate candidate sets instead (scan::ScanScope6).
+  net::IntervalSet to_interval_set() const
+      requires std::same_as<Family, net::Ipv4Family>;
 
  private:
   // Re-anchors the read-side spans on the owned vectors (no-op for a
   // borrowed partition, whose spans point at caller storage).
   void sync_views() noexcept;
 
-  std::vector<net::Prefix> prefixes_;
+  std::vector<Prefix> prefixes_;
   // Live cells sorted by (network, length) for index_of binary search.
   std::vector<SortedCell> sorted_;
-  trie::LpmIndex index_;
+  Index index_;
   std::uint64_t address_count_ = 0;
   // Tombstone bookkeeping for apply_delta. live_ stays empty until the
   // first delta frees a slot (the common fresh-build case pays nothing);
@@ -264,7 +290,7 @@ class PrefixPartition {
   std::vector<std::uint32_t> free_slots_;
   // What the const queries actually read: the owned vectors above (synced
   // after every mutation) or borrowed caller storage (from_raw).
-  std::span<const net::Prefix> prefixes_view_;
+  std::span<const Prefix> prefixes_view_;
   std::span<const SortedCell> sorted_view_;
   std::span<const std::uint8_t> live_view_;
   std::span<const std::uint32_t> free_view_;
@@ -276,13 +302,29 @@ class PrefixPartition {
 /// set: apply_delta(partition_delta(p, target)) makes p cover exactly
 /// `target`. Throws tass::Error if `target` contains duplicates (overlap
 /// among the survivors is caught by apply_delta itself).
-PartitionDelta partition_delta(const PrefixPartition& current,
-                               std::span<const net::Prefix> target);
+template <class Family>
+PartitionDeltaT<Family> partition_delta(
+    const BasicPrefixPartition<Family>& current,
+    std::span<const typename Family::Prefix> target);
 
 /// Structural fingerprint: FNV-1a over the live cell count and the live
 /// prefixes in slot order. The single digest definition behind both
 /// census::topology_fingerprint (TSNP snapshots) and the TSIM state
-/// image, so snapshot and image bindings stay interchangeable.
-std::uint64_t partition_fingerprint(const PrefixPartition& partition);
+/// image, so snapshot and image bindings stay interchangeable. The IPv4
+/// digest is byte-for-byte the pre-generic one; IPv6 prefixes hash their
+/// hi/lo halves, so the two families can never collide by construction
+/// (different update widths).
+template <class Family>
+std::uint64_t partition_fingerprint(
+    const BasicPrefixPartition<Family>& partition);
+
+/// The IPv4 instantiations under their historical names — every existing
+/// call site compiles unchanged.
+using PartitionDelta = PartitionDeltaT<net::Ipv4Family>;
+using SortedCell = SortedCellT<net::Ipv4Family>;
+using PartitionApplyResult = PartitionApplyResultT<net::Ipv4Family>;
+using PrefixPartition = BasicPrefixPartition<net::Ipv4Family>;
+
+extern template class BasicPrefixPartition<net::Ipv4Family>;
 
 }  // namespace tass::bgp

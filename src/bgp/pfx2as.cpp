@@ -34,6 +34,31 @@ std::vector<std::uint32_t> parse_origins(std::string_view field) {
   return origins;
 }
 
+// Shared document loop: both families skip blanks/comments and apply the
+// same strict-vs-skip policy around their line parser.
+template <typename Record, typename LineParser>
+std::vector<Record> parse_document(std::string_view text, bool strict,
+                                   std::size_t* skipped,
+                                   LineParser&& parse_line) {
+  std::vector<Record> records;
+  std::size_t skip_count = 0;
+  for (const std::string_view raw : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (strict) {
+      records.push_back(parse_line(line));
+    } else {
+      try {
+        records.push_back(parse_line(line));
+      } catch (const ParseError&) {
+        ++skip_count;
+      }
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return records;
+}
+
 }  // namespace
 
 Pfx2AsRecord parse_pfx2as_line(std::string_view line) {
@@ -59,31 +84,70 @@ Pfx2AsRecord parse_pfx2as_line(std::string_view line) {
 
 std::vector<Pfx2AsRecord> parse_pfx2as(std::string_view text, bool strict,
                                        std::size_t* skipped) {
-  std::vector<Pfx2AsRecord> records;
-  std::size_t skip_count = 0;
-  for (const std::string_view raw : util::split(text, '\n')) {
-    const std::string_view line = util::trim(raw);
-    if (line.empty() || line.front() == '#') continue;
-    if (strict) {
-      records.push_back(parse_pfx2as_line(line));
-    } else {
-      try {
-        records.push_back(parse_pfx2as_line(line));
-      } catch (const ParseError&) {
-        ++skip_count;
-      }
-    }
-  }
-  if (skipped != nullptr) *skipped = skip_count;
-  return records;
+  return parse_document<Pfx2AsRecord>(text, strict, skipped,
+                                      parse_pfx2as_line);
 }
 
 std::vector<Pfx2AsRecord> load_pfx2as(const std::string& path, bool strict) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open pfx2as file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_pfx2as(buffer.str(), strict);
+  return parse_pfx2as(util::read_text_file(path, "pfx2as"), strict);
+}
+
+Pfx2As6Record parse_pfx2as6_line(std::string_view line) {
+  const auto fields = util::split_whitespace(line);
+  if (fields.size() != 3) {
+    throw ParseError("pfx2as line must have 3 fields, got " +
+                     std::to_string(fields.size()) + ": '" +
+                     std::string(line) + "'");
+  }
+  const auto network = net::Ipv6Address::parse(fields[0]);
+  if (!network) {
+    throw ParseError("invalid IPv6 network in pfx2as line: '" +
+                     std::string(fields[0]) + "'");
+  }
+  const auto length = util::parse_u32(fields[1]);
+  if (!length || *length > 128) {
+    throw ParseError("invalid IPv6 prefix length in pfx2as line: '" +
+                     std::string(fields[1]) + "'");
+  }
+  return Pfx2As6Record{
+      net::Ipv6Prefix(*network, static_cast<int>(*length)),
+      parse_origins(fields[2])};
+}
+
+std::vector<Pfx2As6Record> parse_pfx2as6(std::string_view text, bool strict,
+                                         std::size_t* skipped) {
+  return parse_document<Pfx2As6Record>(text, strict, skipped,
+                                       parse_pfx2as6_line);
+}
+
+std::vector<Pfx2As6Record> load_pfx2as6(const std::string& path,
+                                        bool strict) {
+  return parse_pfx2as6(util::read_text_file(path, "pfx2as"), strict);
+}
+
+std::string format_pfx2as6(std::span<const Pfx2As6Record> records) {
+  std::string out;
+  for (const Pfx2As6Record& record : records) {
+    out += record.prefix.network().to_string();
+    out += '\t';
+    out += std::to_string(record.prefix.length());
+    out += '\t';
+    for (std::size_t i = 0; i < record.origins.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(record.origins[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void save_pfx2as6(const std::string& path,
+                  std::span<const Pfx2As6Record> records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open pfx2as file for writing: " + path);
+  const std::string text = format_pfx2as6(records);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw Error("short write to pfx2as file: " + path);
 }
 
 std::string format_pfx2as(std::span<const Pfx2AsRecord> records) {

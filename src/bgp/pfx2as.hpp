@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/ipv6.hpp"
 #include "net/prefix.hpp"
 
 namespace tass::bgp {
@@ -27,6 +28,16 @@ struct Pfx2AsRecord {
   std::vector<std::uint32_t> origins;  // >= 1 entry
 
   friend bool operator==(const Pfx2AsRecord&, const Pfx2AsRecord&) = default;
+};
+
+/// One IPv6 pfx2as record (CAIDA's routeviews6 dumps share the v4 line
+/// grammar; only the network grammar differs).
+struct Pfx2As6Record {
+  net::Ipv6Prefix prefix;
+  std::vector<std::uint32_t> origins;  // >= 1 entry
+
+  friend bool operator==(const Pfx2As6Record&,
+                         const Pfx2As6Record&) = default;
 };
 
 /// Parses one pfx2as line. Throws tass::ParseError on malformed input.
@@ -52,5 +63,18 @@ std::string format_pfx2as(std::span<const Pfx2AsRecord> records);
 /// Writes records to a file. Throws tass::Error on I/O failure.
 void save_pfx2as(const std::string& path,
                  std::span<const Pfx2AsRecord> records);
+
+/// The IPv6 twins: same grammar with an IPv6 network field and prefix
+/// lengths up to 128. The v4 readers treat v6 rows as malformed (skipped
+/// when strict == false); mixed dumps are split by running both readers.
+Pfx2As6Record parse_pfx2as6_line(std::string_view line);
+std::vector<Pfx2As6Record> parse_pfx2as6(std::string_view text,
+                                         bool strict = true,
+                                         std::size_t* skipped = nullptr);
+std::vector<Pfx2As6Record> load_pfx2as6(const std::string& path,
+                                        bool strict = true);
+std::string format_pfx2as6(std::span<const Pfx2As6Record> records);
+void save_pfx2as6(const std::string& path,
+                  std::span<const Pfx2As6Record> records);
 
 }  // namespace tass::bgp

@@ -1,0 +1,106 @@
+#include "bgp/table6.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "bgp/deaggregate.hpp"
+#include "net/family.hpp"
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+void merge_origins(std::vector<std::uint32_t>& into,
+                   std::span<const std::uint32_t> from) {
+  for (const std::uint32_t asn : from) {
+    if (std::find(into.begin(), into.end(), asn) == into.end()) {
+      into.push_back(asn);
+    }
+  }
+}
+
+}  // namespace
+
+RoutingTable6 RoutingTable6::from_pfx2as(
+    std::span<const Pfx2As6Record> records) {
+  std::map<net::Ipv6Prefix, std::vector<std::uint32_t>> merged;
+  for (const Pfx2As6Record& record : records) {
+    merge_origins(merged[record.prefix], record.origins);
+  }
+  RoutingTable6 table;
+  table.routes_.reserve(merged.size());
+  for (auto& [prefix, origins] : merged) {
+    table.routes_.push_back(Route6Entry{prefix, std::move(origins), false});
+  }
+  table.finalize();
+  return table;
+}
+
+void RoutingTable6::finalize() {
+  std::sort(routes_.begin(), routes_.end(),
+            [](const Route6Entry& a, const Route6Entry& b) {
+              return a.prefix < b.prefix;
+            });
+
+  // In (network, length) order every ancestor sorts before its
+  // descendants, so a stack of the current containment chain classifies
+  // each route in one pass (the v4 table uses a PrefixSet for this; the
+  // sweep is equivalent and allocation-free).
+  std::vector<net::Ipv6Prefix> chain;
+  for (Route6Entry& route : routes_) {
+    while (!chain.empty() && !chain.back().contains(route.prefix)) {
+      chain.pop_back();
+    }
+    route.more_specific = !chain.empty();
+    if (!route.more_specific) {
+      advertised_units_ = net::saturating_add(
+          advertised_units_, net::Ipv6Family::prefix_units(route.prefix));
+    }
+    chain.push_back(route.prefix);
+  }
+}
+
+std::vector<net::Ipv6Prefix> RoutingTable6::l_prefixes() const {
+  std::vector<net::Ipv6Prefix> out;
+  for (const Route6Entry& route : routes_) {
+    if (!route.more_specific) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+std::vector<net::Ipv6Prefix> RoutingTable6::m_prefixes() const {
+  std::vector<net::Ipv6Prefix> out;
+  for (const Route6Entry& route : routes_) {
+    if (route.more_specific) out.push_back(route.prefix);
+  }
+  return out;
+}
+
+PrefixPartition6 RoutingTable6::l_partition() const {
+  return PrefixPartition6(l_prefixes());
+}
+
+PrefixPartition6 RoutingTable6::m_partition() const {
+  // Group announced more-specifics under their covering l-prefix, then
+  // deaggregate each l-prefix (Figure 2). Routes are sorted, so the
+  // more-specifics of an l-prefix immediately follow it.
+  std::vector<net::Ipv6Prefix> cells;
+  std::size_t i = 0;
+  while (i < routes_.size()) {
+    TASS_ENSURES(!routes_[i].more_specific);
+    const net::Ipv6Prefix covering = routes_[i].prefix;
+    std::vector<net::Ipv6Prefix> inside;
+    std::size_t j = i + 1;
+    while (j < routes_.size() && covering.contains(routes_[j].prefix)) {
+      inside.push_back(routes_[j].prefix);
+      ++j;
+    }
+    const auto tiles = deaggregate(covering, inside);
+    cells.insert(cells.end(), tiles.begin(), tiles.end());
+    i = j;
+  }
+  return PrefixPartition6(std::move(cells));
+}
+
+}  // namespace tass::bgp

@@ -1,0 +1,30 @@
+// IPv6 hitlist ingestion — the v6 pipeline's seed input.
+//
+// There is no full scan to seed a v6 TASS from (2^128 addresses), so the
+// t0 input becomes a *hitlist*: known-active addresses from passive
+// measurements, DNS, or prior studies (cf. Plonka & Berger). The format
+// is the de-facto hitlist convention: one address per line, '#' comments
+// and blank lines ignored. The v4 pipeline's counterpart is
+// census::load_address_list.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace tass::census {
+
+/// Parses hitlist text. `strict` == false skips malformed lines instead
+/// of throwing, counting them in `skipped` when provided.
+std::vector<net::Ipv6Address> parse_hitlist6(std::string_view text,
+                                             bool strict = true,
+                                             std::size_t* skipped = nullptr);
+
+/// Reads a hitlist file. Throws tass::Error if unreadable.
+std::vector<net::Ipv6Address> load_hitlist6(const std::string& path,
+                                            bool strict = true);
+
+}  // namespace tass::census

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/ranking6.hpp"
 #include "util/error.hpp"
 
 namespace tass::core {
@@ -13,7 +14,9 @@ namespace tass::core {
 // internal cell numbering differs — and since a partition holds each
 // prefix at most once, the comparator is a total order and every correct
 // sort or merge produces the same sequence.
-bool ranked_before(const RankedPrefix& a, const RankedPrefix& b) noexcept {
+template <class Family>
+bool ranked_before(const RankedPrefixT<Family>& a,
+                   const RankedPrefixT<Family>& b) noexcept {
   if (a.density != b.density) return a.density > b.density;
   if (a.hosts != b.hosts) return a.hosts > b.hosts;
   return a.prefix < b.prefix;
@@ -23,20 +26,28 @@ std::string_view prefix_mode_name(PrefixMode mode) noexcept {
   return mode == PrefixMode::kLess ? "less" : "more";
 }
 
-std::uint64_t DensityRanking::responsive_addresses() const noexcept {
+template <class Family>
+std::uint64_t DensityRankingT<Family>::responsive_addresses() const noexcept {
   std::uint64_t total = 0;
-  for (const RankedPrefix& entry : ranked) total += entry.size;
+  for (const RankedPrefixT<Family>& entry : ranked) {
+    total = net::saturating_add(total, entry.size);
+  }
   return total;
 }
 
-std::uint64_t DensityRankingView::responsive_addresses() const noexcept {
+template <class Family>
+std::uint64_t DensityRankingViewT<Family>::responsive_addresses() const
+    noexcept {
   std::uint64_t total = 0;
-  for (const RankedPrefix& entry : ranked) total += entry.size;
+  for (const RankedPrefixT<Family>& entry : ranked) {
+    total = net::saturating_add(total, entry.size);
+  }
   return total;
 }
 
-DensityRanking DensityRankingView::materialize() const {
-  DensityRanking owned;
+template <class Family>
+DensityRankingT<Family> DensityRankingViewT<Family>::materialize() const {
+  DensityRankingT<Family> owned;
   owned.mode = mode;
   owned.ranked.assign(ranked.begin(), ranked.end());
   owned.total_hosts = total_hosts;
@@ -44,11 +55,12 @@ DensityRanking DensityRankingView::materialize() const {
   return owned;
 }
 
-DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
-                               const bgp::PrefixPartition& partition,
-                               PrefixMode mode) {
+template <class Family>
+DensityRankingT<Family> rank_by_density(
+    std::span<const std::uint32_t> counts,
+    const bgp::BasicPrefixPartition<Family>& partition, PrefixMode mode) {
   TASS_EXPECTS(counts.size() == partition.size());
-  DensityRanking ranking;
+  DensityRankingT<Family> ranking;
   ranking.mode = mode;
   ranking.advertised_addresses = partition.address_count();
 
@@ -58,29 +70,31 @@ DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
   ranking.ranked.reserve(counts.size());
   for (std::uint32_t i = 0; i < counts.size(); ++i) {
     if (counts[i] == 0) continue;
-    RankedPrefix entry;
+    RankedPrefixT<Family> entry;
     entry.index = i;
     entry.prefix = partition.prefix(i);
-    entry.size = entry.prefix.size();
+    entry.size = Family::prefix_units(entry.prefix);
     entry.hosts = counts[i];
-    entry.density =
-        static_cast<double>(entry.hosts) / static_cast<double>(entry.size);
+    entry.density = Family::density(entry.hosts, entry.prefix);
     entry.host_share = ranking.total_hosts == 0
                            ? 0.0
                            : static_cast<double>(entry.hosts) /
                                  static_cast<double>(ranking.total_hosts);
     ranking.ranked.push_back(entry);
   }
-  std::sort(ranking.ranked.begin(), ranking.ranked.end(), ranked_before);
+  std::sort(ranking.ranked.begin(), ranking.ranked.end(),
+            ranked_before<Family>);
   return ranking;
 }
 
-void rerank_cells(DensityRanking& ranking,
+template <class Family>
+void rerank_cells(DensityRankingT<Family>& ranking,
                   std::span<const std::uint32_t> counts,
-                  const bgp::PrefixPartition& partition,
-                  const bgp::PartitionApplyResult& delta,
+                  const bgp::BasicPrefixPartition<Family>& partition,
+                  const bgp::PartitionApplyResultT<Family>& delta,
                   std::span<const std::uint32_t> dirty_cells) {
   TASS_EXPECTS(counts.size() == partition.size());
+  using Ranked = RankedPrefixT<Family>;
 
   // The invalidation set: removed slots hold stale entries, added slots
   // may reuse a freed slot whose old entry is still ranked, dirty cells
@@ -108,25 +122,24 @@ void rerank_cells(DensityRanking& ranking,
   // New total first (shares depend on it): stale entries roll out, fresh
   // scores roll in. This pass only reads.
   std::uint64_t total = ranking.total_hosts;
-  for (const RankedPrefix& entry : ranking.ranked) {
+  for (const Ranked& entry : ranking.ranked) {
     if (is_invalid(entry.index)) total -= entry.hosts;
   }
 
   // Re-score the invalidated cells that are live and populated.
-  std::vector<RankedPrefix> fresh;
+  std::vector<Ranked> fresh;
   for (const std::uint32_t cell : invalid) {
     if (!partition.live(cell) || counts[cell] == 0) continue;
-    RankedPrefix entry;
+    Ranked entry;
     entry.index = cell;
     entry.prefix = partition.prefix(cell);
-    entry.size = entry.prefix.size();
+    entry.size = Family::prefix_units(entry.prefix);
     entry.hosts = counts[cell];
-    entry.density =
-        static_cast<double>(entry.hosts) / static_cast<double>(entry.size);
+    entry.density = Family::density(entry.hosts, entry.prefix);
     total += entry.hosts;
     fresh.push_back(entry);
   }
-  std::sort(fresh.begin(), fresh.end(), ranked_before);
+  std::sort(fresh.begin(), fresh.end(), ranked_before<Family>);
 
   ranking.total_hosts = total;
   ranking.advertised_addresses = partition.address_count();
@@ -141,14 +154,14 @@ void rerank_cells(DensityRanking& ranking,
                ? 0.0
                : static_cast<double>(hosts) / static_cast<double>(total);
   };
-  for (RankedPrefix& entry : fresh) entry.host_share = share(entry.hosts);
-  std::vector<RankedPrefix> next;
+  for (Ranked& entry : fresh) entry.host_share = share(entry.hosts);
+  std::vector<Ranked> next;
   next.reserve(ranking.ranked.size() + fresh.size());
   auto f = fresh.cbegin();
-  for (RankedPrefix& entry : ranking.ranked) {
+  for (Ranked& entry : ranking.ranked) {
     if (is_invalid(entry.index)) continue;
     entry.host_share = share(entry.hosts);
-    while (f != fresh.cend() && ranked_before(*f, entry)) {
+    while (f != fresh.cend() && ranked_before<Family>(*f, entry)) {
       next.push_back(*f++);
     }
     next.push_back(entry);
@@ -166,7 +179,8 @@ DensityRanking rank_by_density(const census::Snapshot& seed,
   return rank_by_density(seed.counts_per_l(), topo.l_partition, mode);
 }
 
-std::vector<RankCurvePoint> rank_curve(const DensityRanking& ranking,
+template <class Family>
+std::vector<RankCurvePoint> rank_curve(const DensityRankingT<Family>& ranking,
                                        std::size_t max_points) {
   TASS_EXPECTS(max_points >= 2);
   std::vector<RankCurvePoint> curve;
@@ -179,7 +193,8 @@ std::vector<RankCurvePoint> rank_curve(const DensityRanking& ranking,
   std::uint64_t cumulative_space = 0;
   for (std::size_t i = 0; i < n; ++i) {
     cumulative_hosts += ranking.ranked[i].hosts;
-    cumulative_space += ranking.ranked[i].size;
+    cumulative_space =
+        net::saturating_add(cumulative_space, ranking.ranked[i].size);
     if (i % step == 0 || i + 1 == n) {
       RankCurvePoint point;
       point.rank = i + 1;
@@ -219,5 +234,28 @@ std::array<std::uint64_t, 33> hosts_by_prefix_length(
   }
   return histogram;
 }
+
+// Explicit instantiations for both families (the template definitions
+// live here, not in the header, to keep rebuild cost contained).
+#define TASS_INSTANTIATE_RANKING(FAMILY)                                   \
+  template bool ranked_before<FAMILY>(const RankedPrefixT<FAMILY>&,        \
+                                      const RankedPrefixT<FAMILY>&)        \
+      noexcept;                                                            \
+  template struct DensityRankingT<FAMILY>;                                 \
+  template struct DensityRankingViewT<FAMILY>;                             \
+  template DensityRankingT<FAMILY> rank_by_density(                        \
+      std::span<const std::uint32_t>,                                      \
+      const bgp::BasicPrefixPartition<FAMILY>&, PrefixMode);               \
+  template void rerank_cells(DensityRankingT<FAMILY>&,                     \
+                             std::span<const std::uint32_t>,               \
+                             const bgp::BasicPrefixPartition<FAMILY>&,     \
+                             const bgp::PartitionApplyResultT<FAMILY>&,    \
+                             std::span<const std::uint32_t>);              \
+  template std::vector<RankCurvePoint> rank_curve(                         \
+      const DensityRankingT<FAMILY>&, std::size_t)
+
+TASS_INSTANTIATE_RANKING(net::Ipv4Family);
+TASS_INSTANTIATE_RANKING(net::Ipv6Family);
+#undef TASS_INSTANTIATE_RANKING
 
 }  // namespace tass::core

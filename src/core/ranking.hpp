@@ -1,10 +1,17 @@
-// Density ranking — steps 1-3 of the TASS algorithm (paper §3.1).
+// Density ranking — steps 1-3 of the TASS algorithm (paper §3.1),
+// parameterized over the address family.
 //
-// Given a seed scan (a census snapshot standing in for the t0 full scan),
-// count responsive addresses c_i per prefix, compute densities
-// rho_i = c_i / 2^(32-len) and relative host coverages phi_i = c_i / N,
-// and sort prefixes by descending density. Both prefix granularities are
-// supported: l-prefixes (kLess) and deaggregated m-prefixes (kMore).
+// Given a seed scan (a census snapshot standing in for the t0 full scan,
+// or — for IPv6, where no full scan exists — a hitlist attribution),
+// count responsive addresses c_i per prefix, compute densities rho_i and
+// relative host coverages phi_i = c_i / N, and sort prefixes by
+// descending density. Both prefix granularities are supported:
+// l-prefixes (kLess) and deaggregated m-prefixes (kMore).
+//
+// Density is the family's rho: hosts per address for IPv4 (the paper's
+// c_i / 2^(32 - len)), hosts per /64 subnet for IPv6 (the allocation
+// unit real v6 scanning targets; see net::Ipv6Family::density). The
+// `size` field of a ranked entry is in the same family units.
 #pragma once
 
 #include <array>
@@ -13,7 +20,9 @@
 #include <string_view>
 #include <vector>
 
+#include "bgp/partition.hpp"
 #include "census/snapshot.hpp"
+#include "net/family.hpp"
 #include "net/prefix.hpp"
 
 namespace tass::core {
@@ -24,12 +33,13 @@ enum class PrefixMode : std::uint8_t { kLess = 0, kMore = 1 };
 std::string_view prefix_mode_name(PrefixMode mode) noexcept;
 
 /// One responsive prefix in the ranking.
-struct RankedPrefix {
+template <class Family>
+struct RankedPrefixT {
   std::uint32_t index = 0;   // cell index within the chosen partition
-  net::Prefix prefix;
-  std::uint64_t size = 0;    // addresses in the prefix
+  typename Family::Prefix prefix;
+  std::uint64_t size = 0;    // scan units in the prefix (family units)
   std::uint64_t hosts = 0;   // responsive addresses (c_i)
-  double density = 0.0;      // rho_i
+  double density = 0.0;      // rho_i (family units)
   double host_share = 0.0;   // phi_i
 };
 
@@ -38,17 +48,21 @@ struct RankedPrefix {
 /// data, so delta-patched and from-scratch rankings sort identically.
 /// Exposed so read-only consumers (the state-image validator, tooling)
 /// can check an order without re-sorting.
-bool ranked_before(const RankedPrefix& a, const RankedPrefix& b) noexcept;
+template <class Family>
+bool ranked_before(const RankedPrefixT<Family>& a,
+                   const RankedPrefixT<Family>& b) noexcept;
 
 /// The full density ranking of a seed scan. Zero-density prefixes are
 /// excluded (the paper plots and selects over rho > 0 only).
-struct DensityRanking {
+template <class Family>
+struct DensityRankingT {
   PrefixMode mode = PrefixMode::kLess;
-  std::vector<RankedPrefix> ranked;        // density descending
-  std::uint64_t total_hosts = 0;           // N
-  std::uint64_t advertised_addresses = 0;  // announced space size
+  std::vector<RankedPrefixT<Family>> ranked;  // density descending
+  std::uint64_t total_hosts = 0;              // N
+  std::uint64_t advertised_addresses = 0;     // announced space (units)
 
-  /// Space covered by all responsive prefixes (the phi = 1 cost).
+  /// Space covered by all responsive prefixes (the phi = 1 cost), in
+  /// family units; saturating for v6.
   std::uint64_t responsive_addresses() const noexcept;
 };
 
@@ -58,28 +72,38 @@ struct DensityRanking {
 /// storage must outlive the view. Selection (core::select_by_density)
 /// consumes the owned form; materialize() copies the view out when a
 /// mutable ranking is needed (e.g. to keep rerank_cells-ing it).
-struct DensityRankingView {
+template <class Family>
+struct DensityRankingViewT {
   PrefixMode mode = PrefixMode::kLess;
-  std::span<const RankedPrefix> ranked;    // density descending
-  std::uint64_t total_hosts = 0;           // N
-  std::uint64_t advertised_addresses = 0;  // announced space size
+  std::span<const RankedPrefixT<Family>> ranked;  // density descending
+  std::uint64_t total_hosts = 0;                  // N
+  std::uint64_t advertised_addresses = 0;         // announced space
 
   /// Space covered by all responsive prefixes (the phi = 1 cost).
   std::uint64_t responsive_addresses() const noexcept;
 
   /// An owned, independent copy (bit-identical fields).
-  DensityRanking materialize() const;
+  DensityRankingT<Family> materialize() const;
 };
 
+/// The IPv4 instantiations under their historical names.
+using RankedPrefix = RankedPrefixT<net::Ipv4Family>;
+using DensityRanking = DensityRankingT<net::Ipv4Family>;
+using DensityRankingView = DensityRankingViewT<net::Ipv4Family>;
+
 /// Builds the ranking from a ground-truth snapshot (which stands in for
-/// the t0 full-scan result).
+/// the t0 full-scan result). IPv4 only — the census model is a v4
+/// simulation; v6 rankings are seeded from hitlist attributions via the
+/// counts overload below.
 DensityRanking rank_by_density(const census::Snapshot& seed, PrefixMode mode);
 
 /// Builds the ranking from an explicit per-cell host count vector over a
-/// partition (e.g. produced by a real ScanResult attribution).
-DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
-                               const bgp::PrefixPartition& partition,
-                               PrefixMode mode);
+/// partition (e.g. produced by a real ScanResult attribution, or a v6
+/// hitlist attribution).
+template <class Family>
+DensityRankingT<Family> rank_by_density(
+    std::span<const std::uint32_t> counts,
+    const bgp::BasicPrefixPartition<Family>& partition, PrefixMode mode);
 
 /// Incrementally patches `ranking` after `partition` absorbed a delta:
 /// entries of removed/re-assigned cells are dropped, the added cells (and
@@ -95,10 +119,11 @@ DensityRanking rank_by_density(std::span<const std::uint32_t> counts,
 /// ranking was built from. `counts` must already be in post-delta
 /// indexing (PartitionApplyResult::reindex does that), `dirty_cells` must
 /// be duplicate-free, live, and disjoint from the delta's added cells.
-void rerank_cells(DensityRanking& ranking,
+template <class Family>
+void rerank_cells(DensityRankingT<Family>& ranking,
                   std::span<const std::uint32_t> counts,
-                  const bgp::PrefixPartition& partition,
-                  const bgp::PartitionApplyResult& delta,
+                  const bgp::BasicPrefixPartition<Family>& partition,
+                  const bgp::PartitionApplyResultT<Family>& delta,
                   std::span<const std::uint32_t> dirty_cells = {});
 
 /// One point of the Figure 4 curves.
@@ -112,11 +137,12 @@ struct RankCurvePoint {
 /// Samples the (density, cumulative host coverage, cumulative space
 /// coverage) curves at up to `max_points` evenly spaced ranks (always
 /// includes the final rank).
-std::vector<RankCurvePoint> rank_curve(const DensityRanking& ranking,
+template <class Family>
+std::vector<RankCurvePoint> rank_curve(const DensityRankingT<Family>& ranking,
                                        std::size_t max_points);
 
 /// Histogram of responsive hosts by prefix length (Figure 3); index =
-/// prefix length 0..32.
+/// prefix length 0..32. IPv4 census snapshots only.
 std::array<std::uint64_t, 33> hosts_by_prefix_length(
     const census::Snapshot& snapshot, PrefixMode mode);
 

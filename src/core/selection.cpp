@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/selection6.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -10,12 +11,14 @@ namespace tass::core {
 
 namespace {
 
-Selection select_from(PrefixMode mode, std::uint64_t total_hosts,
-                      std::uint64_t advertised_addresses,
-                      std::span<const RankedPrefix> order,
-                      const SelectionParams& params) {
+template <class Family>
+SelectionT<Family> select_from(
+    PrefixMode mode, std::uint64_t total_hosts,
+    std::uint64_t advertised_addresses,
+    std::span<const RankedPrefixT<Family>> order,
+    const SelectionParams& params) {
   TASS_EXPECTS(params.phi > 0.0 && params.phi <= 1.0);
-  Selection selection;
+  SelectionT<Family> selection;
   selection.mode = mode;
   selection.total_hosts = total_hosts;
   selection.advertised_addresses = advertised_addresses;
@@ -26,16 +29,19 @@ Selection select_from(PrefixMode mode, std::uint64_t total_hosts,
   const auto threshold = static_cast<std::uint64_t>(
       std::ceil(params.phi * static_cast<double>(total_hosts)));
 
-  for (const RankedPrefix& entry : order) {
+  for (const RankedPrefixT<Family>& entry : order) {
     if (selection.covered_hosts >= threshold) break;
     if (entry.density < params.min_density) break;
     if (params.max_addresses &&
-        selection.selected_addresses + entry.size > *params.max_addresses) {
+        (entry.size > *params.max_addresses ||
+         selection.selected_addresses >
+             *params.max_addresses - entry.size)) {
       break;
     }
     selection.indices.push_back(entry.index);
     selection.prefixes.push_back(entry.prefix);
-    selection.selected_addresses += entry.size;
+    selection.selected_addresses =
+        net::saturating_add(selection.selected_addresses, entry.size);
     selection.covered_hosts += entry.hosts;
   }
   return selection;
@@ -43,22 +49,29 @@ Selection select_from(PrefixMode mode, std::uint64_t total_hosts,
 
 }  // namespace
 
-Selection select_by_density(const DensityRanking& ranking,
-                            const SelectionParams& params) {
-  return select_from(ranking.mode, ranking.total_hosts,
-                     ranking.advertised_addresses, ranking.ranked, params);
+template <class Family>
+SelectionT<Family> select_by_density(const DensityRankingT<Family>& ranking,
+                                     const SelectionParams& params) {
+  return select_from<Family>(ranking.mode, ranking.total_hosts,
+                             ranking.advertised_addresses,
+                             std::span(ranking.ranked), params);
 }
 
-Selection select_by_density(const DensityRankingView& ranking,
-                            const SelectionParams& params) {
-  return select_from(ranking.mode, ranking.total_hosts,
-                     ranking.advertised_addresses, ranking.ranked, params);
+template <class Family>
+SelectionT<Family> select_by_density(
+    const DensityRankingViewT<Family>& ranking,
+    const SelectionParams& params) {
+  return select_from<Family>(ranking.mode, ranking.total_hosts,
+                             ranking.advertised_addresses, ranking.ranked,
+                             params);
 }
 
-SelectionChurn selection_churn(const Selection& older,
-                               const Selection& newer) {
-  std::vector<net::Prefix> a(older.prefixes.begin(), older.prefixes.end());
-  std::vector<net::Prefix> b(newer.prefixes.begin(), newer.prefixes.end());
+template <class Family>
+SelectionChurn selection_churn(const SelectionT<Family>& older,
+                               const SelectionT<Family>& newer) {
+  using Prefix = typename Family::Prefix;
+  std::vector<Prefix> a(older.prefixes.begin(), older.prefixes.end());
+  std::vector<Prefix> b(newer.prefixes.begin(), newer.prefixes.end());
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
 
@@ -83,39 +96,57 @@ SelectionChurn selection_churn(const Selection& older,
   return churn;
 }
 
-Selection select_with_order(const DensityRanking& ranking,
-                            const SelectionParams& params, RankingOrder order,
-                            std::uint64_t seed) {
+template <class Family>
+SelectionT<Family> select_with_order(const DensityRankingT<Family>& ranking,
+                                     const SelectionParams& params,
+                                     RankingOrder order, std::uint64_t seed) {
+  using Ranked = RankedPrefixT<Family>;
   if (order == RankingOrder::kDensity) {
     return select_by_density(ranking, params);
   }
-  std::vector<RankedPrefix> reordered(ranking.ranked.begin(),
-                                      ranking.ranked.end());
+  std::vector<Ranked> reordered(ranking.ranked.begin(),
+                                ranking.ranked.end());
   switch (order) {
     case RankingOrder::kHostCount:
       std::sort(reordered.begin(), reordered.end(),
-                [](const RankedPrefix& a, const RankedPrefix& b) {
+                [](const Ranked& a, const Ranked& b) {
                   if (a.hosts != b.hosts) return a.hosts > b.hosts;
                   return a.index < b.index;
                 });
       break;
     case RankingOrder::kSpaceAscending:
       std::sort(reordered.begin(), reordered.end(),
-                [](const RankedPrefix& a, const RankedPrefix& b) {
+                [](const Ranked& a, const Ranked& b) {
                   if (a.size != b.size) return a.size < b.size;
                   return a.index < b.index;
                 });
       break;
     case RankingOrder::kRandom: {
       util::Rng rng(seed);
-      rng.shuffle(std::span<RankedPrefix>(reordered));
+      rng.shuffle(std::span<Ranked>(reordered));
       break;
     }
     case RankingOrder::kDensity:
       break;
   }
-  return select_from(ranking.mode, ranking.total_hosts,
-                     ranking.advertised_addresses, reordered, params);
+  return select_from<Family>(ranking.mode, ranking.total_hosts,
+                             ranking.advertised_addresses,
+                             std::span<const Ranked>(reordered), params);
 }
+
+#define TASS_INSTANTIATE_SELECTION(FAMILY)                                 \
+  template SelectionT<FAMILY> select_by_density(                           \
+      const DensityRankingT<FAMILY>&, const SelectionParams&);             \
+  template SelectionT<FAMILY> select_by_density(                           \
+      const DensityRankingViewT<FAMILY>&, const SelectionParams&);         \
+  template SelectionChurn selection_churn(const SelectionT<FAMILY>&,       \
+                                          const SelectionT<FAMILY>&);      \
+  template SelectionT<FAMILY> select_with_order(                           \
+      const DensityRankingT<FAMILY>&, const SelectionParams&,              \
+      RankingOrder, std::uint64_t)
+
+TASS_INSTANTIATE_SELECTION(net::Ipv4Family);
+TASS_INSTANTIATE_SELECTION(net::Ipv6Family);
+#undef TASS_INSTANTIATE_SELECTION
 
 }  // namespace tass::core

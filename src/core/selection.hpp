@@ -1,15 +1,19 @@
-// Prefix selection — steps 4-5 of the TASS algorithm (paper §3.1).
+// Prefix selection — steps 4-5 of the TASS algorithm (paper §3.1),
+// parameterized over the address family.
 //
 // Given a density ranking, select the smallest k such that the cumulative
 // host coverage exceeds the target phi; those k prefixes form the scope of
 // every repeated scan until the next reseed. Optional refinements from the
 // paper's discussion: a minimum-density cutoff (§3.4 "omitting prefixes
-// with a low density") and an address budget.
+// with a low density") and an address budget. The same stopping rule
+// drives IPv6 selections — phi is family-blind; budgets and space
+// coverage are in family scan units (addresses for v4, /64s for v6).
 #pragma once
 
 #include <optional>
 
 #include "core/ranking.hpp"
+#include "net/family.hpp"
 
 namespace tass::core {
 
@@ -19,19 +23,21 @@ struct SelectionParams {
   double phi = 1.0;
   /// Drop prefixes below this density even if phi is not yet reached.
   double min_density = 0.0;
-  /// Stop once the selection would exceed this many addresses.
+  /// Stop once the selection would exceed this many scan units
+  /// (addresses for v4, /64 subnets for v6).
   std::optional<std::uint64_t> max_addresses;
 };
 
 /// The outcome of a TASS selection at seed time.
-struct Selection {
+template <class Family>
+struct SelectionT {
   PrefixMode mode = PrefixMode::kLess;
   /// Partition cell indices of the selected prefixes, in ranking order.
   std::vector<std::uint32_t> indices;
   /// Selected prefixes, in ranking order (parallel to indices).
-  std::vector<net::Prefix> prefixes;
+  std::vector<typename Family::Prefix> prefixes;
 
-  std::uint64_t selected_addresses = 0;  // total size of the selection
+  std::uint64_t selected_addresses = 0;  // total units of the selection
   std::uint64_t covered_hosts = 0;       // hosts inside at seed time
   std::uint64_t total_hosts = 0;         // N at seed time
   std::uint64_t advertised_addresses = 0;
@@ -43,8 +49,8 @@ struct Selection {
                             : static_cast<double>(covered_hosts) /
                                   static_cast<double>(total_hosts);
   }
-  /// Fraction of the announced address space to be scanned per cycle —
-  /// the quantity Table 1 reports.
+  /// Fraction of the announced space to be scanned per cycle — the
+  /// quantity Table 1 reports (unit-free: both counts are family units).
   double space_coverage() const noexcept {
     return advertised_addresses == 0
                ? 0.0
@@ -53,15 +59,21 @@ struct Selection {
   }
 };
 
+/// The IPv4 instantiation under its historical name.
+using Selection = SelectionT<net::Ipv4Family>;
+
 /// Selects prefixes by descending density until the coverage target is
 /// met (paper step 4: smallest k with cumulative phi_i exceeding phi).
-Selection select_by_density(const DensityRanking& ranking,
-                            const SelectionParams& params);
+template <class Family>
+SelectionT<Family> select_by_density(const DensityRankingT<Family>& ranking,
+                                     const SelectionParams& params);
 
 /// As above, over a borrowed ranking view (e.g. served zero-copy out of
 /// a TSIM state image) — selection never needs an owned copy.
-Selection select_by_density(const DensityRankingView& ranking,
-                            const SelectionParams& params);
+template <class Family>
+SelectionT<Family> select_by_density(
+    const DensityRankingViewT<Family>& ranking,
+    const SelectionParams& params);
 
 /// Ablation orderings used by bench/ablation_ranking: identical stopping
 /// rule, different sort keys.
@@ -72,9 +84,10 @@ enum class RankingOrder {
   kSpaceAscending,  // smallest prefixes first
 };
 
-Selection select_with_order(const DensityRanking& ranking,
-                            const SelectionParams& params, RankingOrder order,
-                            std::uint64_t seed);
+template <class Family>
+SelectionT<Family> select_with_order(const DensityRankingT<Family>& ranking,
+                                     const SelectionParams& params,
+                                     RankingOrder order, std::uint64_t seed);
 
 /// How much a selection changes between two seeds — the operational
 /// counterpart of the paper's §3.3 stability analysis: if the host
@@ -95,7 +108,8 @@ struct SelectionChurn {
 };
 
 /// Compares two selections' prefix sets (any modes; exact prefix match).
-SelectionChurn selection_churn(const Selection& older,
-                               const Selection& newer);
+template <class Family>
+SelectionChurn selection_churn(const SelectionT<Family>& older,
+                               const SelectionT<Family>& newer);
 
 }  // namespace tass::core

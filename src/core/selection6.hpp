@@ -1,0 +1,11 @@
+// IPv6 alias for the family-generic TASS selection (see selection.hpp).
+#pragma once
+
+#include "core/ranking6.hpp"
+#include "core/selection.hpp"
+
+namespace tass::core {
+
+using Selection6 = SelectionT<net::Ipv6Family>;
+
+}  // namespace tass::core

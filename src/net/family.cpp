@@ -1,0 +1,47 @@
+#include "net/family.hpp"
+
+#include "util/error.hpp"
+
+namespace tass::net {
+
+std::string_view address_family_name(AddressFamily family) noexcept {
+  return family == AddressFamily::kIpv4 ? "IPv4" : "IPv6";
+}
+
+std::optional<GenericPrefix> GenericPrefix::parse(
+    std::string_view text) noexcept {
+  if (text.find(':') != std::string_view::npos) {
+    if (text.find('/') != std::string_view::npos) {
+      const auto prefix = Ipv6Prefix::parse(text);
+      if (!prefix) return std::nullopt;
+      return from(*prefix);
+    }
+    const auto address = Ipv6Address::parse(text);
+    if (!address) return std::nullopt;
+    return from(Ipv6Prefix(*address, 128));
+  }
+  if (text.find('/') != std::string_view::npos) {
+    const auto prefix = Prefix::parse(text);
+    if (!prefix) return std::nullopt;
+    return from(*prefix);
+  }
+  const auto address = Ipv4Address::parse(text);
+  if (!address) return std::nullopt;
+  return from(Prefix(*address, 32));
+}
+
+GenericPrefix GenericPrefix::parse_or_throw(std::string_view text) {
+  const auto prefix = parse(text);
+  if (!prefix) {
+    throw ParseError("invalid prefix (neither family): '" +
+                     std::string(text) + "'");
+  }
+  return *prefix;
+}
+
+std::string GenericPrefix::to_string() const {
+  if (const auto prefix = v4()) return prefix->to_string();
+  return v6()->to_string();
+}
+
+}  // namespace tass::net

@@ -1,0 +1,245 @@
+// Address-family genericity: the trait layer the TASS pipeline is
+// parameterized over.
+//
+// The paper closes (§6) by arguing that TASS — density-ranked announced
+// prefixes — is the blueprint for IPv6 scanning, where brute force is
+// impossible. Everything past `net/` used to be hardwired to IPv4
+// uint32 arithmetic; this header factors the per-family facts into two
+// trait types so one pipeline (LPM attribution, partitioning, density
+// ranking, selection, scan scoping, state images) serves both families:
+//
+//   * AddressKey  — a 128-bit, left-aligned lookup key (two 64-bit
+//     halves). An IPv4 address occupies the top 32 bits, an IPv6
+//     address all 128, so "top 16 bits" (the LPM root stride) and
+//     "bits [d, d+s)" (node strides) mean the same thing for both.
+//     Strides are chosen so no extraction ever straddles the hi/lo
+//     boundary (see trie::BasicLpmIndex).
+//   * Ipv4Family / Ipv6Family — the compile-time trait bundling the
+//     family's value types (Address, Prefix), bit width, key
+//     conversions, and the family-specific scan-space metrics (IPv4
+//     counts addresses; IPv6 counts /64 subnets, the allocation unit
+//     the paper's rho generalises to).
+//   * GenericPrefix — a family-tagged runtime prefix for boundaries
+//     that must accept either family from one grammar (blocklists,
+//     mixed pfx2as dumps) before dispatching into the typed pipeline.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+
+namespace tass::net {
+
+/// Runtime address-family tag. Values match the conventional IP version
+/// numbers so logs and serialised headers read naturally.
+enum class AddressFamily : std::uint8_t { kIpv4 = 4, kIpv6 = 6 };
+
+std::string_view address_family_name(AddressFamily family) noexcept;
+
+/// Saturating uint64 arithmetic for space accounting: IPv6 unit totals
+/// can exceed 2^64 (a ::/0 cell alone covers 2^64 /64s), and a clamped
+/// total is better than a silently wrapped one.
+constexpr std::uint64_t saturating_add(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return a > ~std::uint64_t{0} - b ? ~std::uint64_t{0} : a + b;
+}
+constexpr std::uint64_t saturating_sub(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return b > a ? 0 : a - b;
+}
+
+/// A 128-bit, left-aligned address key: bit 0 is the most significant
+/// bit of `hi`. IPv4 addresses occupy hi's top 32 bits (lo == 0), IPv6
+/// addresses the full width. All LPM/partition bit arithmetic runs on
+/// this type so the structural code is family-blind.
+struct AddressKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// The top 16 bits — the direct-indexed LPM root stride.
+  constexpr std::uint32_t top16() const noexcept {
+    return static_cast<std::uint32_t>(hi >> 48);
+  }
+
+  /// Bits [depth, depth + stride), as a slot index. Precondition:
+  /// stride in (0, 16] and the range does not straddle the hi/lo
+  /// boundary (the stride schedule in trie::BasicLpmIndex guarantees
+  /// depth + stride <= 64 or depth >= 64).
+  constexpr std::uint32_t slot(int depth, int stride) const noexcept {
+    const std::uint32_t mask = (1u << stride) - 1u;
+    if (depth + stride <= 64) {
+      return static_cast<std::uint32_t>(hi >> (64 - depth - stride)) & mask;
+    }
+    return static_cast<std::uint32_t>(lo >> (128 - depth - stride)) & mask;
+  }
+
+  /// Bit at position `index` (0 = most significant of hi).
+  constexpr int bit(int index) const noexcept {
+    return index < 64 ? static_cast<int>((hi >> (63 - index)) & 1)
+                      : static_cast<int>((lo >> (127 - index)) & 1);
+  }
+
+  /// The first key of a /16 root block (block == top16()).
+  static constexpr AddressKey of_block(std::uint32_t block) noexcept {
+    return {static_cast<std::uint64_t>(block) << 48, 0};
+  }
+
+  friend constexpr auto operator<=>(AddressKey a, AddressKey b) noexcept {
+    if (const auto cmp = a.hi <=> b.hi; cmp != 0) return cmp;
+    return a.lo <=> b.lo;
+  }
+  friend constexpr bool operator==(AddressKey, AddressKey) noexcept = default;
+};
+
+/// IPv4 trait: 32-bit keys in the top half, scan-space measured in
+/// addresses (the paper's rho_i = c_i / 2^(32 - len)).
+struct Ipv4Family {
+  static constexpr AddressFamily kFamily = AddressFamily::kIpv4;
+  static constexpr int kBits = 32;
+  using Address = Ipv4Address;
+  using Prefix = net::Prefix;
+  /// Element type of batched lookups (the sharded pipeline's currency).
+  using AddressWord = std::uint32_t;
+
+  static constexpr AddressKey key(Address address) noexcept {
+    return {static_cast<std::uint64_t>(address.value()) << 32, 0};
+  }
+  static constexpr AddressKey word_key(AddressWord word) noexcept {
+    return {static_cast<std::uint64_t>(word) << 32, 0};
+  }
+  static constexpr Address word_address(AddressWord word) noexcept {
+    return Address(word);
+  }
+  static constexpr AddressKey first_key(Prefix prefix) noexcept {
+    return key(prefix.first());
+  }
+  static constexpr AddressKey last_key(Prefix prefix) noexcept {
+    return key(prefix.last());
+  }
+  static constexpr Prefix make_prefix(AddressKey k, int length) noexcept {
+    return Prefix(Ipv4Address(static_cast<std::uint32_t>(k.hi >> 32)),
+                  length);
+  }
+
+  /// Scan-space units covered by a prefix: addresses.
+  static constexpr std::uint64_t prefix_units(Prefix prefix) noexcept {
+    return prefix.size();
+  }
+  /// The paper's density rho = hosts / 2^(32 - len). Kept as the literal
+  /// historical division so rankings (and their float bits in TSIM
+  /// images) are unchanged by the family refactor.
+  static double density(std::uint64_t hosts, Prefix prefix) noexcept {
+    return static_cast<double>(hosts) / static_cast<double>(prefix.size());
+  }
+  static constexpr const char* name() noexcept { return "IPv4"; }
+};
+
+/// IPv6 trait: full-width keys, scan-space measured in /64 subnets (the
+/// allocation unit real v6 scanning targets; prefixes longer than /64
+/// are fractions of one unit and count as one).
+struct Ipv6Family {
+  static constexpr AddressFamily kFamily = AddressFamily::kIpv6;
+  static constexpr int kBits = 128;
+  using Address = Ipv6Address;
+  using Prefix = Ipv6Prefix;
+  using AddressWord = Ipv6Address;
+
+  static constexpr AddressKey key(Address address) noexcept {
+    return {address.hi(), address.lo()};
+  }
+  static constexpr AddressKey word_key(AddressWord word) noexcept {
+    return key(word);
+  }
+  static constexpr Address word_address(AddressWord word) noexcept {
+    return word;
+  }
+  static constexpr AddressKey first_key(Prefix prefix) noexcept {
+    return key(prefix.network());
+  }
+  static constexpr AddressKey last_key(Prefix prefix) noexcept {
+    return key(prefix.last());
+  }
+  static constexpr Prefix make_prefix(AddressKey k, int length) noexcept {
+    return Prefix(Ipv6Address(k.hi, k.lo), length);
+  }
+
+  /// Scan-space units: /64 subnets. A ::/0 cell covers 2^64 of them,
+  /// which does not fit — the count saturates (callers accumulate with
+  /// saturating_add, so totals clamp instead of wrapping).
+  static constexpr std::uint64_t prefix_units(Prefix prefix) noexcept {
+    const int length = prefix.length();
+    if (length == 0) return ~std::uint64_t{0};
+    return length <= 64 ? std::uint64_t{1} << (64 - length) : 1;
+  }
+  /// Density per /64 — the v6 analogue of the paper's rho. Exact for
+  /// any length via ldexp (2^-61 .. 2^64 are all representable).
+  static double density(std::uint64_t hosts, Prefix prefix) noexcept {
+    return std::ldexp(static_cast<double>(hosts), prefix.length() - 64);
+  }
+  static constexpr const char* name() noexcept { return "IPv6"; }
+};
+
+/// A family-tagged prefix for boundaries that accept either family from
+/// one textual grammar (blocklist lines, mixed routing-table dumps).
+/// Carries the network as a left-aligned AddressKey plus the family tag;
+/// convert with v4()/v6() before entering the typed pipeline.
+class GenericPrefix {
+ public:
+  constexpr GenericPrefix() noexcept = default;
+
+  static constexpr GenericPrefix from(net::Prefix prefix) noexcept {
+    return GenericPrefix(AddressFamily::kIpv4,
+                         Ipv4Family::key(prefix.network()),
+                         prefix.length());
+  }
+  static constexpr GenericPrefix from(Ipv6Prefix prefix) noexcept {
+    return GenericPrefix(AddressFamily::kIpv6,
+                         Ipv6Family::key(prefix.network()),
+                         prefix.length());
+  }
+
+  /// Parses either family's CIDR text; the family is detected from the
+  /// address grammar (':' => IPv6). A bare address parses as a full-
+  /// length prefix (/32 or /128).
+  static std::optional<GenericPrefix> parse(std::string_view text) noexcept;
+  static GenericPrefix parse_or_throw(std::string_view text);
+
+  constexpr AddressFamily family() const noexcept { return family_; }
+  constexpr AddressKey network_key() const noexcept { return network_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// The typed prefix, if this is the matching family.
+  constexpr std::optional<net::Prefix> v4() const noexcept {
+    if (family_ != AddressFamily::kIpv4) return std::nullopt;
+    return Ipv4Family::make_prefix(network_, length_);
+  }
+  constexpr std::optional<Ipv6Prefix> v6() const noexcept {
+    if (family_ != AddressFamily::kIpv6) return std::nullopt;
+    return Ipv6Family::make_prefix(network_, length_);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const GenericPrefix&,
+                                    const GenericPrefix&) noexcept = default;
+
+ private:
+  constexpr GenericPrefix(AddressFamily family, AddressKey network,
+                          int length) noexcept
+      : family_(family),
+        network_(network),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  AddressFamily family_ = AddressFamily::kIpv4;
+  AddressKey network_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace tass::net

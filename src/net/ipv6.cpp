@@ -153,6 +153,19 @@ std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) noexcept {
   return Ipv6Prefix(*address, static_cast<int>(*length));
 }
 
+std::optional<Ipv6Prefix> Ipv6Prefix::parse_strict(
+    std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv6Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const auto length = util::parse_u32(text.substr(slash + 1));
+  if (!length || *length > 128) return std::nullopt;
+  const Ipv6Prefix prefix(*address, static_cast<int>(*length));
+  if (prefix.network() != *address) return std::nullopt;  // host bits set
+  return prefix;
+}
+
 Ipv6Prefix Ipv6Prefix::parse_or_throw(std::string_view text) {
   if (const auto parsed = parse(text)) return *parsed;
   throw ParseError("invalid IPv6 prefix: '" + std::string(text) + "'");

@@ -1,4 +1,4 @@
-// IPv6 groundwork for the paper's concluding challenge.
+// IPv6 value types — the 128-bit leg of the family-generic pipeline.
 //
 // "When IPv6 becomes popular, brute forcing the address space becomes
 // infeasible. By then we ought to have better approaches for network
@@ -6,12 +6,13 @@
 // challenge as well." (§6)
 //
 // Brute-force enumeration of 2^128 addresses is impossible, so an IPv6
-// TASS must be seeded from hitlists / passive data rather than a full
-// scan — but the prefix machinery (canonical prefixes, containment,
-// density over announced prefixes) carries over directly. This header
-// provides the 128-bit address/prefix value types with full RFC 4291 /
-// RFC 5952 text handling so the density-ranking blueprint can be
-// exercised on announced v6 tables (see examples/ipv6_blueprint.cpp).
+// TASS is seeded from hitlists / passive data rather than a full scan —
+// but the prefix machinery (canonical prefixes, containment, density
+// over announced prefixes) carries over directly. This header provides
+// the 128-bit address/prefix value types with full RFC 4291 / RFC 5952
+// text handling; net::Ipv6Family (family.hpp) lifts them into the
+// generic LPM/partition/ranking/state pipeline, and
+// examples/ipv6_blueprint.cpp runs the whole loop end to end.
 #pragma once
 
 #include <array>
@@ -75,11 +76,38 @@ class Ipv6Prefix {
       : address_(mask_address(address, length)),
         length_(static_cast<std::uint8_t>(length)) {}
 
+  /// Parses "addr/len". Host bits below the mask are canonicalised away
+  /// (parse("2001:db8::1/64") == 2001:db8::/64), matching the IPv4
+  /// Prefix::parse contract; use parse_strict to reject non-canonical
+  /// text instead.
   static std::optional<Ipv6Prefix> parse(std::string_view text) noexcept;
+
+  /// As parse() but requires the network address to already be canonical
+  /// (no host bits set), e.g. rejects "2001:db8::1/64". The v6 twin of
+  /// Prefix::parse_strict.
+  static std::optional<Ipv6Prefix> parse_strict(
+      std::string_view text) noexcept;
+
+  /// As parse() but throws tass::ParseError on failure.
   static Ipv6Prefix parse_or_throw(std::string_view text);
 
   constexpr Ipv6Address network() const noexcept { return address_; }
   constexpr int length() const noexcept { return length_; }
+
+  /// First address (== network()).
+  constexpr Ipv6Address first() const noexcept { return address_; }
+  /// Last address of the prefix (all host bits set).
+  constexpr Ipv6Address last() const noexcept {
+    if (length_ == 0) return Ipv6Address(~0ULL, ~0ULL);
+    if (length_ <= 64) {
+      const std::uint64_t host =
+          length_ == 64 ? 0 : ~0ULL >> length_;
+      return Ipv6Address(address_.hi() | host, ~0ULL);
+    }
+    if (length_ >= 128) return address_;
+    return Ipv6Address(address_.hi(),
+                       address_.lo() | (~0ULL >> (length_ - 64)));
+  }
 
   constexpr bool contains(Ipv6Address addr) const noexcept {
     return mask_address(addr, length_) == address_;
@@ -87,9 +115,27 @@ class Ipv6Prefix {
   constexpr bool contains(Ipv6Prefix other) const noexcept {
     return other.length_ >= length_ && contains(other.address_);
   }
+  /// True if the address ranges intersect (one contains the other).
+  constexpr bool overlaps(Ipv6Prefix other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
 
   /// log2 of the prefix size (sizes themselves overflow any integer).
   constexpr int size_bits() const noexcept { return 128 - length_; }
+
+  /// The two halves of this prefix. Precondition: length() < 128.
+  constexpr Ipv6Prefix lower_half() const noexcept {
+    return Ipv6Prefix(address_, length_ + 1);
+  }
+  constexpr Ipv6Prefix upper_half() const noexcept {
+    const Ipv6Address flipped =
+        length_ < 64
+            ? Ipv6Address(address_.hi() | (1ULL << (63 - length_)),
+                          address_.lo())
+            : Ipv6Address(address_.hi(),
+                          address_.lo() | (1ULL << (127 - length_)));
+    return Ipv6Prefix(flipped, length_ + 1);
+  }
 
   std::string to_string() const;
 

@@ -32,13 +32,15 @@ class Prefix {
       : address_(Ipv4Address(address.value() & mask(length))),
         length_(static_cast<std::uint8_t>(length)) {}
 
-  /// Parses "a.b.c.d/len". Rejects non-canonical prefixes? No —
-  /// canonicalises them, mirroring how BGP tools treat sloppy input, but
-  /// offers parse_strict for format validation.
+  /// Parses "a.b.c.d/len". Host bits below the mask are canonicalised
+  /// away (parse("10.0.0.1/8") == 10.0.0.0/8), mirroring how BGP tools
+  /// treat sloppy input; use parse_strict to reject non-canonical text
+  /// instead. The same contract pair exists on net::Ipv6Prefix.
   static std::optional<Prefix> parse(std::string_view text) noexcept;
 
   /// As parse() but requires the network address to already be canonical
-  /// (no host bits set), e.g. rejects "10.0.0.1/8".
+  /// (no host bits set), e.g. rejects "10.0.0.1/8". The v4 twin of
+  /// Ipv6Prefix::parse_strict.
   static std::optional<Prefix> parse_strict(std::string_view text) noexcept;
 
   /// As parse() but throws tass::ParseError on failure.

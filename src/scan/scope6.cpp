@@ -1,0 +1,23 @@
+#include "scan/scope6.hpp"
+
+namespace tass::scan {
+
+ScanScope6::ScanScope6(std::span<const net::Ipv6Prefix> prefixes,
+                       const Blocklist& blocklist)
+    : prefixes_(prefixes.begin(), prefixes.end()),
+      whitelist_(trie::LpmIndex6::from_prefixes(prefixes)),
+      blocked_(trie::LpmIndex6::from_prefixes(blocklist.blocked6())) {}
+
+std::size_t ScanScope6::add_candidates(
+    std::span<const net::Ipv6Address> addresses) {
+  std::size_t admitted = 0;
+  for (const net::Ipv6Address address : addresses) {
+    if (contains(address)) {
+      candidates_.push_back(address);
+      ++admitted;
+    }
+  }
+  return admitted;
+}
+
+}  // namespace tass::scan

@@ -1,40 +1,25 @@
 #include "trie/lpm_index.hpp"
 
-#include <algorithm>
-#include <array>
-#include <utility>
-
-#include "util/error.hpp"
+#include "trie/lpm_index6.hpp"
 
 namespace tass::trie {
 
 // Transient binary trie used only during construction; 12 bytes per node
 // (no std::optional padding) so full-RIB builds stay cheap. The read
 // structure is derived from it by leaf-pushing whole strides at a time.
-struct LpmIndex::BuildNode {
+template <class Family>
+struct BasicLpmIndex<Family>::BuildNode {
   std::int32_t child[2] = {-1, -1};
   std::uint32_t value = kNoMatch;
 };
 
-namespace {
-
-constexpr int kRootBits = 16;
-
-// Stride of the node that starts at `depth` (16 -> 6, 22 -> 6, 28 -> 4).
-constexpr int stride_at(int depth) noexcept { return depth < 28 ? 6 : 4; }
-
-// Ordering by prefix only (the Entry value rides along).
-bool entry_less(const LpmIndex::Entry& a, const LpmIndex::Entry& b) noexcept {
-  return a.prefix < b.prefix;
-}
-
-}  // namespace
-
-void LpmIndex::trie_insert(std::vector<BuildNode>& bt, const Entry& entry) {
+template <class Family>
+void BasicLpmIndex<Family>::trie_insert(std::vector<BuildNode>& bt,
+                                        const Entry& entry) {
   std::int32_t node = 0;
-  const std::uint32_t network = entry.prefix.network().value();
+  const net::AddressKey network = Family::first_key(entry.prefix);
   for (int depth = 0; depth < entry.prefix.length(); ++depth) {
-    const int bit = (network >> (31 - depth)) & 1;
+    const int bit = network.bit(depth);
     if (bt[static_cast<std::size_t>(node)].child[bit] < 0) {
       bt[static_cast<std::size_t>(node)].child[bit] =
           static_cast<std::int32_t>(bt.size());
@@ -47,14 +32,16 @@ void LpmIndex::trie_insert(std::vector<BuildNode>& bt, const Entry& entry) {
 
 // Builds the transient binary trie for a set of (absolute) entries; used
 // for both the full build and the per-block patches.
-std::vector<LpmIndex::BuildNode> LpmIndex::build_trie(
-    std::span<const Entry> entries) {
+template <class Family>
+auto BasicLpmIndex<Family>::build_trie(std::span<const Entry> entries)
+    -> std::vector<BuildNode> {
   std::vector<BuildNode> bt(1);
   for (const Entry& entry : entries) trie_insert(bt, entry);
   return bt;
 }
 
-void LpmIndex::sync_views() noexcept {
+template <class Family>
+void BasicLpmIndex<Family>::sync_views() noexcept {
   if (borrowed_) return;
   root_view_ = root_;
   nodes_view_ = nodes_;
@@ -62,8 +49,9 @@ void LpmIndex::sync_views() noexcept {
   entries_view_ = entries_;
 }
 
-LpmIndex LpmIndex::from_raw(const Raw& raw) {
-  LpmIndex index;
+template <class Family>
+BasicLpmIndex<Family> BasicLpmIndex<Family>::from_raw(const Raw& raw) {
+  BasicLpmIndex index;
   index.borrowed_ = true;
   index.root_view_ = raw.root;
   index.nodes_view_ = raw.nodes;
@@ -73,7 +61,8 @@ LpmIndex LpmIndex::from_raw(const Raw& raw) {
   return index;
 }
 
-LpmIndex::LpmIndex(const LpmIndex& other)
+template <class Family>
+BasicLpmIndex<Family>::BasicLpmIndex(const BasicLpmIndex& other)
     : entries_(other.entries_),
       root_(other.root_),
       nodes_(other.nodes_),
@@ -93,12 +82,15 @@ LpmIndex::LpmIndex(const LpmIndex& other)
   }
 }
 
-LpmIndex& LpmIndex::operator=(const LpmIndex& other) {
-  if (this != &other) *this = LpmIndex(other);
+template <class Family>
+BasicLpmIndex<Family>& BasicLpmIndex<Family>::operator=(
+    const BasicLpmIndex& other) {
+  if (this != &other) *this = BasicLpmIndex(other);
   return *this;
 }
 
-LpmIndex::LpmIndex(LpmIndex&& other) noexcept
+template <class Family>
+BasicLpmIndex<Family>::BasicLpmIndex(BasicLpmIndex&& other) noexcept
     : entries_(std::move(other.entries_)),
       root_(std::move(other.root_)),
       nodes_(std::move(other.nodes_)),
@@ -122,7 +114,9 @@ LpmIndex::LpmIndex(LpmIndex&& other) noexcept
   other.borrowed_ = false;
 }
 
-LpmIndex& LpmIndex::operator=(LpmIndex&& other) noexcept {
+template <class Family>
+BasicLpmIndex<Family>& BasicLpmIndex<Family>::operator=(
+    BasicLpmIndex&& other) noexcept {
   if (this != &other) {
     entries_ = std::move(other.entries_);
     root_ = std::move(other.root_);
@@ -146,7 +140,8 @@ LpmIndex& LpmIndex::operator=(LpmIndex&& other) noexcept {
   return *this;
 }
 
-LpmIndex::LpmIndex(std::span<const Entry> table) {
+template <class Family>
+BasicLpmIndex<Family>::BasicLpmIndex(std::span<const Entry> table) {
   for (const Entry& entry : table) {
     if (entry.value >= kNoMatch) {
       throw Error("LpmIndex value out of range (>= kNoMatch)");
@@ -170,7 +165,8 @@ LpmIndex::LpmIndex(std::span<const Entry> table) {
   rebuild_all();
 }
 
-void LpmIndex::rebuild_all() {
+template <class Family>
+void BasicLpmIndex<Family>::rebuild_all() {
   nodes_.clear();
   leaves_.clear();
   const std::vector<BuildNode> bt = build_trie(entries_);
@@ -181,21 +177,24 @@ void LpmIndex::rebuild_all() {
   sync_views();
 }
 
-LpmIndex LpmIndex::from_prefixes(std::span<const net::Prefix> prefixes,
-                                 std::uint32_t value) {
+template <class Family>
+BasicLpmIndex<Family> BasicLpmIndex<Family>::from_prefixes(
+    std::span<const Prefix> prefixes, std::uint32_t value) {
   std::vector<Entry> table;
   table.reserve(prefixes.size());
-  for (const net::Prefix prefix : prefixes) table.push_back({prefix, value});
-  return LpmIndex(table);
+  for (const Prefix prefix : prefixes) table.push_back({prefix, value});
+  return BasicLpmIndex(table);
 }
 
 // Walks the build trie down to the root-stride depth. Slots whose subtree
 // ends at or above /16 become direct leaves; slots with longer prefixes
 // below get a node subtree. `path` is the address-bit prefix accumulated so
 // far, `inherited` the best match covering it.
-void LpmIndex::fill_root(const std::vector<BuildNode>& bt, std::int32_t node,
-                         int depth, std::uint32_t path,
-                         std::uint32_t inherited) {
+template <class Family>
+void BasicLpmIndex<Family>::fill_root(const std::vector<BuildNode>& bt,
+                                      std::int32_t node, int depth,
+                                      std::uint32_t path,
+                                      std::uint32_t inherited) {
   if (node >= 0 && bt[static_cast<std::size_t>(node)].value != kNoMatch) {
     inherited = bt[static_cast<std::size_t>(node)].value;
   }
@@ -228,12 +227,16 @@ void LpmIndex::fill_root(const std::vector<BuildNode>& bt, std::int32_t node,
   fill_root(bt, bn.child[1], depth + 1, (path << 1) | 1u, inherited);
 }
 
-// Fills nodes_[index] for the build-trie subtree rooted at `node` (depth 16,
-// 22 or 28). For every stride slot the best covering value is leaf-pushed;
-// slots with prefixes continuing below the stride become children, which
-// are allocated as one contiguous block so popcount ranking addresses them.
-void LpmIndex::populate(std::uint32_t index, const std::vector<BuildNode>& bt,
-                        std::int32_t node, int depth, std::uint32_t inherited) {
+// Fills nodes_[index] for the build-trie subtree rooted at `node` (a
+// stride-aligned depth >= 16). For every stride slot the best covering
+// value is leaf-pushed; slots with prefixes continuing below the stride
+// become children, which are allocated as one contiguous block so
+// popcount ranking addresses them.
+template <class Family>
+void BasicLpmIndex<Family>::populate(std::uint32_t index,
+                                     const std::vector<BuildNode>& bt,
+                                     std::int32_t node, int depth,
+                                     std::uint32_t inherited) {
   const int stride = stride_at(depth);
   const std::uint32_t slots = 1u << stride;
 
@@ -294,8 +297,9 @@ void LpmIndex::populate(std::uint32_t index, const std::vector<BuildNode>& bt,
 // prefixes plus any shorter covering prefixes). Mirrors the terminal case
 // of fill_root; the replaced subtree is abandoned in place and reclaimed
 // by the next full rebuild.
-void LpmIndex::patch_block(std::uint32_t block,
-                           const std::vector<BuildNode>& bt) {
+template <class Family>
+void BasicLpmIndex<Family>::patch_block(std::uint32_t block,
+                                        const std::vector<BuildNode>& bt) {
   std::int32_t node = 0;
   std::uint32_t inherited = kNoMatch;
   for (int depth = 0; depth < kRootBits && node >= 0; ++depth) {
@@ -321,8 +325,10 @@ void LpmIndex::patch_block(std::uint32_t block,
   }
 }
 
-LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
-                                       std::span<const net::Prefix> erases) {
+template <class Family>
+auto BasicLpmIndex<Family>::update(std::span<const Entry> upserts,
+                                   std::span<const Prefix> erases)
+    -> UpdateStats {
   if (borrowed_) {
     throw Error(
         "LpmIndex::update on a borrowed view (from_raw): read-only "
@@ -346,12 +352,12 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
     }
     ups.resize(out);
   }
-  std::vector<net::Prefix> ers(erases.begin(), erases.end());
+  std::vector<Prefix> ers(erases.begin(), erases.end());
   std::sort(ers.begin(), ers.end());
   ers.erase(std::unique(ers.begin(), ers.end()), ers.end());
   {
     auto u = ups.begin();
-    for (const net::Prefix p : ers) {
+    for (const Prefix p : ers) {
       while (u != ups.end() && u->prefix < p) ++u;
       if (u != ups.end() && u->prefix == p) {
         throw Error("LpmIndex update: prefix " + p.to_string() +
@@ -359,7 +365,7 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
       }
     }
     auto e = entries_.cbegin();
-    for (const net::Prefix p : ers) {
+    for (const Prefix p : ers) {
       e = std::lower_bound(e, entries_.cend(), Entry{p, 0}, entry_less);
       if (e == entries_.cend() || e->prefix != p) {
         throw Error("LpmIndex update: erased prefix " + p.to_string() +
@@ -373,7 +379,7 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
   // actually change the mapping (value-identical upserts are no-ops).
   std::vector<Entry> merged;
   merged.reserve(entries_.size() + ups.size());
-  std::vector<net::Prefix> dirty;
+  std::vector<Prefix> dirty;
   // Which prefix lengths < 16 exist at all — gathering block coverers
   // below then only probes lengths that can match (real tables hold a
   // handful of short lengths, not all sixteen).
@@ -427,30 +433,29 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
   // merge, so the runs are already sorted by first block.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
   runs.reserve(dirty.size());
-  for (const net::Prefix p : dirty) {
-    const std::uint32_t lo = p.network().value() >> 16;
-    const std::uint32_t hi = p.last().value() >> 16;
+  for (const Prefix p : dirty) {
+    const std::uint32_t lo = Family::first_key(p).top16();
+    const std::uint32_t hi = Family::last_key(p).top16();
     if (!runs.empty() && lo <= runs.back().second) {
       runs.back().second = std::max(runs.back().second, hi);
     } else {
       runs.emplace_back(lo, hi);
     }
   }
-  const auto net_lower = [](const Entry& e, std::uint32_t network) {
-    return e.prefix.network().value() < network;
+  // Orders entries by the root block their network lands in (ties keep
+  // prefix order, which the callers below never rely on).
+  const auto block_lower = [](const Entry& e, std::uint32_t block) {
+    return Family::first_key(e.prefix).top16() < block;
   };
   for (const auto& [lo, hi] : runs) {
     stats.dirty_blocks += hi - lo + 1;
     const auto begin = std::lower_bound(entries_.cbegin(), entries_.cend(),
-                                        lo << 16, net_lower);
-    const auto end = std::lower_bound(
-        begin, entries_.cend(),
-        hi == 0xffffu ? 0xffffffffu : ((hi + 1) << 16), net_lower);
+                                        lo, block_lower);
+    // hi + 1 == 0x10000 never compares below a real block, so the last
+    // block's run naturally extends to the end of the table.
+    const auto end =
+        std::lower_bound(begin, entries_.cend(), hi + 1, block_lower);
     stats.touched_entries += static_cast<std::size_t>(end - begin);
-    if (hi == 0xffffu) {
-      // The sentinel above excludes network 255.255.255.255 itself.
-      if (end != entries_.cend()) stats.touched_entries += 1;
-    }
   }
 
   // Cost model: patch cost scales with the entries living in dirty blocks
@@ -472,12 +477,12 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
     for (std::uint32_t block = lo; block <= hi; ++block) {
       bt.clear();
       bt.emplace_back();
-      const std::uint32_t base = block << 16;
       // Shorter prefixes covering the block — only lengths the table has.
       for (std::uint32_t mask = short_lengths; mask != 0;
            mask &= mask - 1) {
         const int length = std::countr_zero(mask);
-        const net::Prefix cover(net::Ipv4Address(base), length);
+        const Prefix cover =
+            Family::make_prefix(net::AddressKey::of_block(block), length);
         const auto it = std::lower_bound(entries_.cbegin(), entries_.cend(),
                                          Entry{cover, 0}, entry_less);
         if (it != entries_.cend() && it->prefix == cover) {
@@ -486,9 +491,9 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
       }
       // Prefixes of /16 and longer whose network lies inside the block.
       for (auto it = std::lower_bound(entries_.cbegin(), entries_.cend(),
-                                      base, net_lower);
+                                      block, block_lower);
            it != entries_.cend() &&
-           (it->prefix.network().value() >> 16) == block;
+           Family::first_key(it->prefix).top16() == block;
            ++it) {
         if (it->prefix.length() >= kRootBits) trie_insert(bt, *it);
       }
@@ -506,8 +511,10 @@ LpmIndex::UpdateStats LpmIndex::update(std::span<const Entry> upserts,
   return stats;
 }
 
-void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,
-                           std::span<std::uint32_t> out) const noexcept {
+template <class Family>
+void BasicLpmIndex<Family>::lookup_many(
+    std::span<const AddressWord> addresses,
+    std::span<std::uint32_t> out) const noexcept {
   TASS_EXPECTS(out.size() >= addresses.size());
   if (root_view_.empty()) {
     std::fill_n(out.begin(), addresses.size(), kNoMatch);
@@ -519,17 +526,22 @@ void LpmIndex::lookup_many(std::span<const std::uint32_t> addresses,
   const std::size_t n = addresses.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kAhead < n) {
-      __builtin_prefetch(&root_view_[addresses[i + kAhead] >> 16]);
+      __builtin_prefetch(
+          &root_view_[Family::word_key(addresses[i + kAhead]).top16()]);
     }
-    out[i] = lookup(net::Ipv4Address(addresses[i]));
+    out[i] = lookup(Family::word_address(addresses[i]));
   }
 }
 
-std::vector<std::uint32_t> LpmIndex::lookup_many(
-    std::span<const std::uint32_t> addresses) const {
+template <class Family>
+std::vector<std::uint32_t> BasicLpmIndex<Family>::lookup_many(
+    std::span<const AddressWord> addresses) const {
   std::vector<std::uint32_t> out(addresses.size());
   lookup_many(addresses, out);
   return out;
 }
+
+template class BasicLpmIndex<net::Ipv4Family>;
+template class BasicLpmIndex<net::Ipv6Family>;
 
 }  // namespace tass::trie

@@ -1,28 +1,35 @@
-// LpmIndex: a flat, cache-friendly longest-prefix-match engine.
+// BasicLpmIndex: a flat, cache-friendly longest-prefix-match engine,
+// parameterized over the address family (net::Ipv4Family /
+// net::Ipv6Family).
 //
 // This is the unified match substrate behind every per-address decision a
 // scan cycle makes: prefix/AS attribution (bgp::PrefixPartition), blocklist
 // checks (scan::Blocklist), special-use classification (net::special_use)
 // and scope membership (scan::ScanScope). The bitwise PrefixTrie stays
 // around as the mutable build/enumeration structure and as the reference
-// implementation for the differential tests; LpmIndex is the immutable
-// read-optimised form built once from a prefix -> value table.
+// implementation for the differential tests; BasicLpmIndex is the
+// immutable read-optimised form built once from a prefix -> value table.
 //
-// Layout (Poptrie-flavoured, specialised for IPv4):
+// Layout (Poptrie-flavoured, generic over the key width):
 //   * a direct-indexed root array over the top 16 address bits — one load
 //     resolves any address whose longest match is /16 or shorter;
-//   * below the root, path-compressed nodes of stride 6, 6 and 4 (16 more
-//     bits). Each node holds two 64-bit bitmaps: `child_bits` marks slots
-//     that continue into a deeper node, `leaf_bits` marks the starts of
-//     runs of equal leaf values. Children and leaf runs are stored in
-//     contiguous arrays addressed by popcount rank, so a lookup is at most
-//     four dependent loads and never backtracks.
+//   * below the root, path-compressed nodes of stride 6 (with a final
+//     shorter stride absorbing the remainder: 6/6/4 for IPv4's 16
+//     post-root bits, eighteen 6s and a 4 for IPv6's 112). Starting from
+//     depth 16 in steps of 6 lands exactly on bit 64, so no IPv6 slot
+//     extraction ever straddles the hi/lo halves of the 128-bit
+//     net::AddressKey. Each node holds two 64-bit bitmaps: `child_bits`
+//     marks slots that continue into a deeper node, `leaf_bits` marks the
+//     starts of runs of equal leaf values. Children and leaf runs are
+//     stored in contiguous arrays addressed by popcount rank, so a lookup
+//     is a handful of dependent loads and never backtracks.
 //   * values are leaf-pushed during construction: every slot already knows
 //     the best (longest) match covering it, which is what makes the
 //     no-backtracking lookup correct.
 //
 // The batched lookup_many() is the API the sharded scan pipeline uses: a
-// shard hands over its whole address block so the index amortises across
+// shard hands over its whole address block (Family::AddressWord elements:
+// raw uint32 for v4, Ipv6Address for v6) so the index amortises across
 // the batch instead of being re-entered through per-address virtual calls.
 //
 // Incremental updates: update() patches the read structures in place by
@@ -39,32 +46,48 @@
 // state image (state/image.hpp) uses to serve a mmap'ed file without
 // parsing or rebuilding. A borrowed index answers lookups through the
 // unchanged API but cannot be update()d.
+//
+// All existing IPv4 call sites keep compiling unchanged: trie::LpmIndex
+// is an alias of the IPv4 instantiation and its nested types (Entry,
+// Node, Raw, UpdateStats) resolve through it; trie::LpmIndex6 (see
+// lpm_index6.hpp) is the IPv6 twin on the same code.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "net/family.hpp"
 #include "net/prefix.hpp"
+#include "util/error.hpp"
 
 namespace tass::trie {
 
-class LpmIndex {
+template <class Family>
+class BasicLpmIndex {
  public:
+  using Address = typename Family::Address;
+  using Prefix = typename Family::Prefix;
+  using AddressWord = typename Family::AddressWord;
+
   /// Returned by lookup() when no stored prefix covers the address. Stored
   /// values must be < kNoMatch.
   static constexpr std::uint32_t kNoMatch = 0x7fffffffu;
 
   /// One row of the prefix -> value table the index is built from.
   struct Entry {
-    net::Prefix prefix;
+    Prefix prefix;
     std::uint32_t value = 0;
   };
 
   /// One read-structure node below the root. Public only so the state
   /// image can serialise the arrays verbatim; the layout is an
-  /// implementation detail of this class, not a stable API.
+  /// implementation detail of this class, not a stable API. The node
+  /// shape is family-independent (strides never exceed 64 slots).
   struct Node {
     std::uint64_t child_bits = 0;  // slot continues into nodes[child_base+r]
     std::uint64_t leaf_bits = 0;   // slot starts a new run of equal leaves
@@ -82,17 +105,17 @@ class LpmIndex {
   };
 
   /// An empty index: lookup() returns kNoMatch for every address.
-  LpmIndex() = default;
+  BasicLpmIndex() = default;
 
   /// Builds from a prefix -> value table. Nested and duplicate prefixes are
   /// fine; lookups return the value of the longest covering prefix, and for
   /// duplicate prefixes the last entry wins (matching PrefixTrie::insert
   /// overwrite semantics). Throws tass::Error if a value is >= kNoMatch.
-  explicit LpmIndex(std::span<const Entry> table);
+  explicit BasicLpmIndex(std::span<const Entry> table);
 
   /// Membership-only index: every prefix maps to `value`.
-  static LpmIndex from_prefixes(std::span<const net::Prefix> prefixes,
-                                std::uint32_t value = 0);
+  static BasicLpmIndex from_prefixes(std::span<const Prefix> prefixes,
+                                     std::uint32_t value = 0);
 
   /// Borrowed-storage index: lookups read the caller's arrays in place (no
   /// copy, no rebuild). The storage must stay valid and unmodified for the
@@ -101,7 +124,7 @@ class LpmIndex {
   /// image loader validates before calling. A borrowed index rejects
   /// update() (it cannot own mutations); everything else behaves
   /// identically to an owned index over the same arrays.
-  static LpmIndex from_raw(const Raw& raw);
+  static BasicLpmIndex from_raw(const Raw& raw);
 
   /// The read arrays of this index (borrowed or owned). Spans are
   /// invalidated by update() and by destruction/assignment.
@@ -114,11 +137,11 @@ class LpmIndex {
 
   // Spans into own storage must be re-anchored on copy (and cleared on
   // move-from), so the special members are user-defined.
-  LpmIndex(const LpmIndex& other);
-  LpmIndex& operator=(const LpmIndex& other);
-  LpmIndex(LpmIndex&& other) noexcept;
-  LpmIndex& operator=(LpmIndex&& other) noexcept;
-  ~LpmIndex() = default;
+  BasicLpmIndex(const BasicLpmIndex& other);
+  BasicLpmIndex& operator=(const BasicLpmIndex& other);
+  BasicLpmIndex(BasicLpmIndex&& other) noexcept;
+  BasicLpmIndex& operator=(BasicLpmIndex&& other) noexcept;
+  ~BasicLpmIndex() = default;
 
   /// Bookkeeping returned by update() (benchmarks and tests use it to see
   /// which path ran; callers needing only correctness can ignore it).
@@ -135,7 +158,7 @@ class LpmIndex {
   /// overwrite the value of existing ones, `erases` remove prefixes.
   ///
   /// Equivalence contract: after update() returns, lookup()/lookup_many()
-  /// are bit-identical to a fresh LpmIndex built from the post-change entry
+  /// are bit-identical to a fresh index built from the post-change entry
   /// table (entries()) — the differential suite enforces this. Only the
   /// root blocks covered by a changed prefix are rebuilt; past a churn
   /// threshold (~1/4 of the root blocks or ~1/4 of the entries touched)
@@ -156,44 +179,73 @@ class LpmIndex {
   /// with lookups or with another update(). The sharded scan pipeline
   /// applies deltas between cycles, never inside one.
   UpdateStats update(std::span<const Entry> upserts,
-                     std::span<const net::Prefix> erases);
+                     std::span<const Prefix> erases);
 
   /// The current entry table, ascending by prefix, duplicates resolved
   /// (this is what a fresh rebuild would be built from).
   std::span<const Entry> entries() const noexcept { return entries_view_; }
 
   /// Value of the longest stored prefix covering `addr`, or kNoMatch.
-  std::uint32_t lookup(net::Ipv4Address addr) const noexcept {
+  std::uint32_t lookup(Address addr) const noexcept {
     if (root_view_.empty()) return kNoMatch;
-    const std::uint32_t a = addr.value();
-    const std::uint32_t word = root_view_[a >> 16];
-    if ((word & kNodeFlag) == 0) return word;  // leaf (possibly kNoMatch)
-    const Node* node = &nodes_view_[word & ~kNodeFlag];
-    std::uint32_t slot = (a >> 10) & 63u;  // bits 15..10
-    if ((node->child_bits >> slot) & 1u) {
-      node = &nodes_view_[node->child_base + rank(node->child_bits, slot)];
-      slot = (a >> 4) & 63u;  // bits 9..4
+    if constexpr (Family::kBits == 32) {
+      // IPv4 fast path: the historical fully-unrolled 6/6/4 walk on the
+      // raw uint32 (identical codegen to the pre-generic engine).
+      const std::uint32_t a = addr.value();
+      const std::uint32_t word = root_view_[a >> 16];
+      if ((word & kNodeFlag) == 0) return word;  // leaf (possibly kNoMatch)
+      const Node* node = &nodes_view_[word & ~kNodeFlag];
+      std::uint32_t slot = (a >> 10) & 63u;  // bits 15..10
       if ((node->child_bits >> slot) & 1u) {
         node = &nodes_view_[node->child_base + rank(node->child_bits, slot)];
-        slot = a & 15u;  // bits 3..0; the last level is always a leaf
+        slot = (a >> 4) & 63u;  // bits 9..4
+        if ((node->child_bits >> slot) & 1u) {
+          node =
+              &nodes_view_[node->child_base + rank(node->child_bits, slot)];
+          slot = a & 15u;  // bits 3..0; the last level is always a leaf
+        }
       }
+      return leaves_view_[node->leaf_base +
+                          rank_inclusive(node->leaf_bits, slot) - 1];
+    } else {
+      return lookup_key(Family::key(addr));
     }
-    return leaves_view_[node->leaf_base +
-                        rank_inclusive(node->leaf_bits, slot) - 1];
+  }
+
+  /// As lookup(), over the family's left-aligned AddressKey. The generic
+  /// stride walk; at the deepest level (depth + stride == kBits) the
+  /// child bitmap is never consulted — the last level is always a leaf,
+  /// exactly as in the IPv4 fast path.
+  std::uint32_t lookup_key(net::AddressKey key) const noexcept {
+    if (root_view_.empty()) return kNoMatch;
+    const std::uint32_t word = root_view_[key.top16()];
+    if ((word & kNodeFlag) == 0) return word;  // leaf (possibly kNoMatch)
+    const Node* node = &nodes_view_[word & ~kNodeFlag];
+    int depth = kRootBits;
+    for (;;) {
+      const int stride = stride_at(depth);
+      const std::uint32_t slot = key.slot(depth, stride);
+      if (depth + stride < Family::kBits &&
+          ((node->child_bits >> slot) & 1u)) {
+        node = &nodes_view_[node->child_base + rank(node->child_bits, slot)];
+        depth += stride;
+        continue;
+      }
+      return leaves_view_[node->leaf_base +
+                          rank_inclusive(node->leaf_bits, slot) - 1];
+    }
   }
 
   /// True if some stored prefix covers the address.
-  bool covers(net::Ipv4Address addr) const noexcept {
-    return lookup(addr) != kNoMatch;
-  }
+  bool covers(Address addr) const noexcept { return lookup(addr) != kNoMatch; }
 
   /// Batched lookup: out[i] = lookup(addresses[i]). The span forms are what
   /// the sharded scan engine and attribution call once per shard.
   /// Precondition: out.size() >= addresses.size().
-  void lookup_many(std::span<const std::uint32_t> addresses,
+  void lookup_many(std::span<const AddressWord> addresses,
                    std::span<std::uint32_t> out) const noexcept;
   std::vector<std::uint32_t> lookup_many(
-      std::span<const std::uint32_t> addresses) const;
+      std::span<const AddressWord> addresses) const;
 
   /// Number of distinct prefixes the index was built from.
   std::size_t prefix_count() const noexcept { return prefix_count_; }
@@ -217,6 +269,17 @@ class LpmIndex {
   // Public alongside Node/Raw for the state-image validator.
   static constexpr std::uint32_t kNodeFlag = 0x80000000u;
 
+  // Root stride width and the per-depth node stride schedule (6-wide,
+  // with the remainder absorbed by the final level). Public for the
+  // state-image validator's reachability walk.
+  static constexpr int kRootBits = 16;
+  static constexpr int stride_at(int depth) noexcept {
+    return Family::kBits - depth < 6 ? Family::kBits - depth : 6;
+  }
+  /// Number of node levels below the root (3 for IPv4, 19 for IPv6).
+  static constexpr int kNodeLevels =
+      (Family::kBits - kRootBits + 5) / 6;
+
  private:
   // Children (or leaf runs) strictly below `slot`.
   static std::uint32_t rank(std::uint64_t bits, std::uint32_t slot) noexcept {
@@ -228,6 +291,11 @@ class LpmIndex {
                                       std::uint32_t slot) noexcept {
     return static_cast<std::uint32_t>(
         std::popcount(bits & ((2ull << slot) - 1)));
+  }
+
+  // Ordering by prefix only (the Entry value rides along).
+  static bool entry_less(const Entry& a, const Entry& b) noexcept {
+    return a.prefix < b.prefix;
   }
 
   struct BuildNode;
@@ -261,5 +329,11 @@ class LpmIndex {
   std::size_t node_limit_ = 0;
   std::size_t leaf_limit_ = 0;
 };
+
+/// The IPv4 instantiation — the unified substrate every existing v4 call
+/// site (partition, blocklist, special-use, scope, state image) rides on.
+using LpmIndex = BasicLpmIndex<net::Ipv4Family>;
+
+extern template class BasicLpmIndex<net::Ipv4Family>;
 
 }  // namespace tass::trie

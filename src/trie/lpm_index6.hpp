@@ -1,0 +1,22 @@
+// LpmIndex6: the IPv6 instantiation of the width-parameterized LPM
+// substrate (see lpm_index.hpp for the engine documentation).
+//
+// Same flat, cache-hot layout as the IPv4 index: a direct-indexed root
+// over the top 16 bits, then stride-6 bitmap nodes; the stride schedule
+// (16 + 6*8 = 64) lands exactly on the hi/lo boundary of the 128-bit
+// key, so no slot extraction straddles the halves and routing-relevant
+// prefixes (<= /64) resolve within nine levels. Longer prefixes (down
+// to /128 hitlist entries) simply add levels — the structure, patching,
+// and borrowed-storage (TSIM) behaviour are the shared template.
+#pragma once
+
+#include "net/family.hpp"
+#include "trie/lpm_index.hpp"
+
+namespace tass::trie {
+
+using LpmIndex6 = BasicLpmIndex<net::Ipv6Family>;
+
+extern template class BasicLpmIndex<net::Ipv6Family>;
+
+}  // namespace tass::trie

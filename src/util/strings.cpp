@@ -3,8 +3,22 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
 
 namespace tass::util {
+
+std::string read_text_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open " + std::string(what) + " file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 std::vector<std::string_view> split(std::string_view text, char delimiter) {
   std::vector<std::string_view> fields;

@@ -37,6 +37,12 @@ constexpr bool starts_with(std::string_view text,
   return text.substr(0, prefix.size()) == prefix;
 }
 
+/// Slurps a whole file as bytes-in-a-string (the text parsers operate
+/// on string_view documents). Throws tass::Error("cannot open <what>
+/// file: <path>") if unreadable — `what` names the format for the
+/// message ("pfx2as", "hitlist", ...).
+std::string read_text_file(const std::string& path, const char* what);
+
 /// Formats a count with thousands separators ("1234567" -> "1,234,567").
 std::string with_thousands(std::uint64_t value);
 

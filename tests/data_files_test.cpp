@@ -7,7 +7,10 @@
 
 #include "bgp/pfx2as.hpp"
 #include "bgp/rib.hpp"
+#include "bgp/table6.hpp"
+#include "census/hitlist6.hpp"
 #include "census/topology.hpp"
+#include "core/ranking6.hpp"
 #include "scan/blocklist.hpp"
 
 #ifndef TASS_DATA_DIR
@@ -74,6 +77,36 @@ TEST(DataFiles, BlocklistConfParses) {
       "100.100.0.1")));  // inside the CGN range entry
   EXPECT_FALSE(blocklist.blocks(net::Ipv4Address::parse_or_throw(
       "8.8.8.8")));
+  // IPv6 entries land in the v6 scope instead of being dropped.
+  EXPECT_TRUE(blocklist.blocks(net::Ipv6Address::parse_or_throw(
+      "2001:db8:1234::1")));
+  EXPECT_TRUE(blocklist.blocks(net::Ipv6Address::parse_or_throw(
+      "2001:4860:dead::1")));
+  EXPECT_FALSE(blocklist.blocks(net::Ipv6Address::parse_or_throw(
+      "2001:4860:dead::2")));
+  EXPECT_EQ(blocklist.blocked6().size(), 2u);
+}
+
+TEST(DataFiles, SamplePfx2As6AndHitlistDriveTheV6Pipeline) {
+  const auto records = bgp::load_pfx2as6(data_path("sample6.pfx2as"));
+  ASSERT_GE(records.size(), 8u);
+  const auto table = bgp::RoutingTable6::from_pfx2as(records);
+  const bgp::PrefixPartition6 partition = table.m_partition();
+  EXPECT_GT(partition.size(), records.size());  // deaggregation split
+
+  const auto hitlist = census::load_hitlist6(data_path("hitlist6.txt"));
+  ASSERT_GE(hitlist.size(), 8u);
+  std::vector<std::uint32_t> counts(partition.size(), 0);
+  std::uint64_t attributed = 0;
+  std::uint64_t unattributed = 0;
+  partition.tally_cells(hitlist, counts, attributed, unattributed);
+  EXPECT_EQ(attributed, hitlist.size());
+  EXPECT_EQ(unattributed, 0u);
+
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+  EXPECT_GT(ranking.ranked.size(), 0u);
+  EXPECT_EQ(ranking.total_hosts, hitlist.size());
 }
 
 }  // namespace

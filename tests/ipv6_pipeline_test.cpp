@@ -1,0 +1,368 @@
+// End-to-end coverage of the family-generic IPv6 pipeline: pfx2as6
+// ingest, l/m classification and 128-bit deaggregation, partition
+// attribution and churn, density ranking and selection, blocklist and
+// scan scope, and the TSIM image round-trip — every stage through the
+// same library types the v4 pipeline uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/deaggregate.hpp"
+#include "bgp/pfx2as.hpp"
+#include "bgp/table6.hpp"
+#include "census/hitlist6.hpp"
+#include "core/ranking6.hpp"
+#include "core/selection6.hpp"
+#include "net/family.hpp"
+#include "scan/blocklist.hpp"
+#include "scan/scope6.hpp"
+#include "state/image.hpp"
+#include "util/rng.hpp"
+
+namespace tass {
+namespace {
+
+net::Ipv6Prefix p6(const char* text) {
+  return net::Ipv6Prefix::parse_or_throw(text);
+}
+net::Ipv6Address a6(const char* text) {
+  return net::Ipv6Address::parse_or_throw(text);
+}
+
+constexpr const char* kTable =
+    "2001:db8::\t32\t64500\n"
+    "2001:db8:1000::\t36\t64501\n"
+    "2001:db8:5000::\t48\t64505\n"
+    "2001:db8:8000::\t33\t64508\n"
+    "# comment line\n"
+    "\n"
+    "2620:1::\t48\t64509,64510\n";
+
+TEST(Pfx2As6, ParsesRecordsSkipsCommentsAndMultiOrigin) {
+  const auto records = bgp::parse_pfx2as6(kTable);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].prefix, p6("2001:db8::/32"));
+  EXPECT_EQ(records[0].origins, (std::vector<std::uint32_t>{64500}));
+  EXPECT_EQ(records[4].origins, (std::vector<std::uint32_t>{64509, 64510}));
+}
+
+TEST(Pfx2As6, StrictRejectsV4AndMalformed) {
+  EXPECT_THROW(bgp::parse_pfx2as6("1.2.3.0\t24\t65000\n"), ParseError);
+  EXPECT_THROW(bgp::parse_pfx2as6("2001:db8::\t129\t65000\n"), ParseError);
+  EXPECT_THROW(bgp::parse_pfx2as6("2001:db8::\t32\n"), ParseError);
+  std::size_t skipped = 0;
+  const auto records = bgp::parse_pfx2as6(
+      "2001:db8::\t32\t65000\n1.2.3.0\t24\t65000\n", /*strict=*/false,
+      &skipped);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(Pfx2As6, FormatRoundTrips) {
+  const auto records = bgp::parse_pfx2as6(kTable);
+  const auto echoed = bgp::parse_pfx2as6(bgp::format_pfx2as6(records));
+  EXPECT_EQ(records, echoed);
+}
+
+TEST(GenericPrefix, ParsesBothFamiliesAndConverts) {
+  const auto v4 = net::GenericPrefix::parse_or_throw("10.0.0.0/8");
+  EXPECT_EQ(v4.family(), net::AddressFamily::kIpv4);
+  EXPECT_EQ(*v4.v4(), net::Prefix::parse_or_throw("10.0.0.0/8"));
+  EXPECT_FALSE(v4.v6().has_value());
+
+  const auto v6 = net::GenericPrefix::parse_or_throw("2001:db8::/32");
+  EXPECT_EQ(v6.family(), net::AddressFamily::kIpv6);
+  EXPECT_EQ(*v6.v6(), p6("2001:db8::/32"));
+  EXPECT_EQ(v6.to_string(), "2001:db8::/32");
+
+  // Bare addresses are full-length prefixes.
+  EXPECT_EQ(net::GenericPrefix::parse_or_throw("2001:db8::1").length(), 128);
+  EXPECT_EQ(net::GenericPrefix::parse_or_throw("192.0.2.1").length(), 32);
+  EXPECT_FALSE(net::GenericPrefix::parse("not-an-address").has_value());
+}
+
+TEST(Ipv6PrefixContract, ParseCanonicalisesParseStrictRejects) {
+  // The v4/v6 parse contracts are aligned: parse() canonicalises host
+  // bits away, parse_strict() rejects them.
+  EXPECT_EQ(p6("2001:db8::1/64"), p6("2001:db8::/64"));
+  EXPECT_FALSE(net::Ipv6Prefix::parse_strict("2001:db8::1/64").has_value());
+  EXPECT_TRUE(net::Ipv6Prefix::parse_strict("2001:db8::/64").has_value());
+  EXPECT_FALSE(net::Ipv6Prefix::parse_strict("2001:db8::/129").has_value());
+}
+
+TEST(Deaggregate6, Figure2OnV6Prefixes) {
+  // The paper's /8-with-/12 example, transposed: a /32 with an announced
+  // /36 deaggregates into {/33, /34, /35, /36-sibling, /36}.
+  const auto tiles =
+      bgp::deaggregate(p6("2001:db8::/32"),
+                       std::vector<net::Ipv6Prefix>{p6("2001:db8:1000::/36")});
+  const std::vector<net::Ipv6Prefix> expected = {
+      p6("2001:db8::/36"),     p6("2001:db8:1000::/36"),
+      p6("2001:db8:2000::/35"), p6("2001:db8:4000::/34"),
+      p6("2001:db8:8000::/33")};
+  EXPECT_EQ(tiles, expected);
+}
+
+TEST(RoutingTable6, ClassifiesAndPartitions) {
+  const auto table =
+      bgp::RoutingTable6::from_pfx2as(bgp::parse_pfx2as6(kTable));
+  // 2001:db8::/32 covers the /36, /48 and /33; 2620:1::/48 stands alone.
+  EXPECT_EQ(table.l_prefixes(),
+            (std::vector<net::Ipv6Prefix>{p6("2001:db8::/32"),
+                                          p6("2620:1::/48")}));
+  EXPECT_EQ(table.m_prefixes().size(), 3u);
+
+  const bgp::PrefixPartition6 l = table.l_partition();
+  EXPECT_EQ(l.size(), 2u);
+
+  const bgp::PrefixPartition6 m = table.m_partition();
+  // Every announced more-specific is a whole cell of the m-partition.
+  for (const net::Ipv6Prefix announced : table.m_prefixes()) {
+    EXPECT_TRUE(m.index_of(announced).has_value())
+        << announced.to_string();
+  }
+  // The partition tiles the l-space: locate resolves inside, not outside.
+  EXPECT_TRUE(m.locate(a6("2001:db8:5000::1")).has_value());
+  EXPECT_EQ(m.prefix(*m.locate(a6("2001:db8:5000::1"))),
+            p6("2001:db8:5000::/48"));
+  EXPECT_FALSE(m.locate(a6("2001:db7::1")).has_value());
+}
+
+TEST(PrefixPartition6, LocateManyAndUnits) {
+  bgp::PrefixPartition6 partition(
+      {p6("2001:db8::/36"), p6("2001:db8:1000::/36"), p6("2620:1::/64"),
+       p6("2620:2::/72")});
+  // /36 covers 2^28 /64s; /64 is one; /72 floors to one unit.
+  EXPECT_EQ(net::Ipv6Family::prefix_units(p6("2001:db8::/36")),
+            std::uint64_t{1} << 28);
+  EXPECT_EQ(net::Ipv6Family::prefix_units(p6("2620:1::/64")), 1u);
+  EXPECT_EQ(net::Ipv6Family::prefix_units(p6("2620:2::/72")), 1u);
+  EXPECT_EQ(partition.address_count(), (std::uint64_t{1} << 29) + 2);
+
+  const std::vector<net::Ipv6Address> addresses = {
+      a6("2001:db8::1"), a6("2001:db8:1000::2"), a6("2620:1::3"),
+      a6("2620:2:0:0:ff00::1"), a6("::1")};
+  std::vector<std::uint32_t> cells(addresses.size());
+  partition.locate_many(addresses, cells);
+  EXPECT_EQ(cells[0], 0u);
+  EXPECT_EQ(cells[1], 1u);
+  EXPECT_EQ(cells[2], 2u);
+  EXPECT_EQ(cells[3], bgp::PrefixPartition6::kNoCell);  // outside the /72
+  EXPECT_EQ(cells[4], bgp::PrefixPartition6::kNoCell);
+
+  EXPECT_THROW(bgp::PrefixPartition6(
+                   {p6("2001:db8::/36"), p6("2001:db8::/40")}),
+               Error);
+}
+
+TEST(PrefixPartition6, ApplyDeltaAndRerankMatchFromScratch) {
+  util::Rng rng(2026);
+  std::vector<net::Ipv6Prefix> prefixes;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    prefixes.emplace_back(
+        net::Ipv6Address(0x2001000000000000ULL | (i << 40), 0), 28);
+  }
+  bgp::PrefixPartition6 partition(prefixes);
+  std::vector<std::uint32_t> counts(partition.size());
+  for (auto& count : counts) {
+    count = static_cast<std::uint32_t>(rng.bounded(50));
+  }
+  auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+
+  bgp::PartitionDelta6 delta;
+  delta.remove.push_back(partition.prefix(5));
+  delta.remove.push_back(partition.prefix(11));
+  delta.add.push_back(partition.prefix(5).lower_half());
+  delta.add.push_back(partition.prefix(5).upper_half());
+  const auto result = partition.apply_delta(delta);
+  EXPECT_EQ(result.removed_cells.size(), 2u);
+  EXPECT_EQ(result.added_cells.size(), 2u);
+  EXPECT_EQ(partition.live_cells(), 48u);
+  EXPECT_EQ(partition.free_cells(), 0u);
+
+  result.reindex(counts);
+  for (const std::uint32_t cell : result.added_cells) {
+    counts[cell] = static_cast<std::uint32_t>(1 + rng.bounded(20));
+  }
+  core::rerank_cells(ranking, counts, partition, result);
+
+  // Bit-identical to the from-scratch ranking (the same contract the v4
+  // delta differential suite enforces).
+  const auto fresh =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+  ASSERT_EQ(ranking.ranked.size(), fresh.ranked.size());
+  for (std::size_t i = 0; i < fresh.ranked.size(); ++i) {
+    EXPECT_EQ(ranking.ranked[i].prefix, fresh.ranked[i].prefix);
+    EXPECT_EQ(ranking.ranked[i].hosts, fresh.ranked[i].hosts);
+    EXPECT_EQ(ranking.ranked[i].density, fresh.ranked[i].density);
+    EXPECT_EQ(ranking.ranked[i].host_share, fresh.ranked[i].host_share);
+  }
+}
+
+TEST(Ranking6, DensityIsPerSlash64AndSelectionStops) {
+  bgp::PrefixPartition6 partition(
+      {p6("2001:db8::/48"), p6("2001:db9::/32"), p6("2001:dba::/64")});
+  // 10 hosts in a /48 (65536 /64s), 10 in a /32 (2^32 /64s), 3 in a /64.
+  const std::vector<std::uint32_t> counts = {10, 10, 3};
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kLess);
+  ASSERT_EQ(ranking.ranked.size(), 3u);
+  EXPECT_EQ(ranking.ranked[0].prefix, p6("2001:dba::/64"));  // 3 per /64
+  EXPECT_DOUBLE_EQ(ranking.ranked[0].density, 3.0);
+  EXPECT_EQ(ranking.ranked[1].prefix, p6("2001:db8::/48"));
+  EXPECT_DOUBLE_EQ(ranking.ranked[1].density, 10.0 / 65536.0);
+  EXPECT_EQ(ranking.total_hosts, 23u);
+
+  core::SelectionParams params;
+  params.phi = 0.5;  // 12 of 23 hosts: the /64 plus the /48
+  const auto selection = core::select_by_density(ranking, params);
+  EXPECT_EQ(selection.k(), 2u);
+  EXPECT_EQ(selection.covered_hosts, 13u);
+  EXPECT_EQ(selection.selected_addresses, 65537u);
+  EXPECT_GT(selection.host_coverage(), 0.5);
+}
+
+TEST(Blocklist6, ParsesBothFamiliesAndThrowsOnMalformed) {
+  const auto blocklist = scan::Blocklist::parse(
+      "192.0.2.0/24\n"
+      "2001:db8:dead::/48  # v6 prefix\n"
+      "2001:db8:beef::7    # single v6 address\n"
+      "198.51.100.7\n");
+  EXPECT_TRUE(blocklist.blocks(net::Ipv4Address::parse_or_throw("192.0.2.9")));
+  EXPECT_TRUE(blocklist.blocks(a6("2001:db8:dead::1")));
+  EXPECT_TRUE(blocklist.blocks(a6("2001:db8:beef::7")));
+  EXPECT_FALSE(blocklist.blocks(a6("2001:db8:beef::8")));
+  EXPECT_FALSE(blocklist.blocks(a6("2001:db8::1")));
+  EXPECT_EQ(blocklist.blocked6().size(), 2u);
+
+  // Malformed lines of either family keep parse-or-throw semantics —
+  // nothing is silently dropped.
+  EXPECT_THROW(scan::Blocklist::parse("2001:zz8::/32\n"), ParseError);
+  EXPECT_THROW(scan::Blocklist::parse("2001:db8::/200\n"), ParseError);
+  EXPECT_THROW(scan::Blocklist::parse("2001:db8::-2001:db9::\n"),
+               ParseError);
+  EXPECT_THROW(scan::Blocklist::parse("999.0.0.1\n"), ParseError);
+}
+
+TEST(ScanScope6, FiltersCandidatesAndPermutesExactlyOnce) {
+  scan::Blocklist blocklist;
+  blocklist.add(p6("2001:db8:5000:bad::/64"));
+  const std::vector<net::Ipv6Prefix> selected = {p6("2001:db8:5000::/48"),
+                                                 p6("2001:db8:f000::/52")};
+  scan::ScanScope6 scope(selected, blocklist);
+
+  EXPECT_TRUE(scope.contains(a6("2001:db8:5000::1")));
+  EXPECT_FALSE(scope.contains(a6("2001:db8:5000:bad::1")));  // blocked
+  EXPECT_FALSE(scope.contains(a6("2001:db8:6000::1")));      // unselected
+
+  std::vector<net::Ipv6Address> hitlist;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    hitlist.emplace_back(0x20010db850000000ULL, i);        // in scope
+  }
+  hitlist.push_back(a6("2001:db8:5000:bad::1"));           // blocked
+  hitlist.push_back(a6("2001:db8:6000::1"));               // outside
+  EXPECT_EQ(scope.add_candidates(hitlist), 200u);
+  EXPECT_EQ(scope.candidate_count(), 200u);
+
+  // The cyclic-group permutation visits every candidate exactly once,
+  // for any shard split.
+  std::set<std::string> seen;
+  auto permutation = scope.permutation(/*seed=*/42);
+  while (const auto target = scope.next_target(permutation)) {
+    EXPECT_TRUE(seen.insert(target->to_string()).second);
+  }
+  EXPECT_EQ(seen.size(), 200u);
+
+  std::set<std::string> sharded;
+  for (std::uint32_t shard = 0; shard < 3; ++shard) {
+    auto it = scope.permutation_shard(/*seed=*/42, shard, 3);
+    while (const auto target = scope.next_target(it)) {
+      EXPECT_TRUE(sharded.insert(target->to_string()).second);
+    }
+  }
+  EXPECT_EQ(sharded, seen);
+}
+
+TEST(Hitlist6, ParsesStrictAndLenient) {
+  const auto strict = census::parse_hitlist6(
+      "# seeds\n2001:db8::1\n\n2001:db8::2\n");
+  EXPECT_EQ(strict,
+            (std::vector<net::Ipv6Address>{a6("2001:db8::1"),
+                                           a6("2001:db8::2")}));
+  EXPECT_THROW(census::parse_hitlist6("garbage\n"), ParseError);
+  std::size_t skipped = 0;
+  const auto lenient =
+      census::parse_hitlist6("2001:db8::1\ngarbage\n", false, &skipped);
+  EXPECT_EQ(lenient.size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(StateImage6, RoundTripsBitIdenticallyWithFamilyInfo) {
+  const auto table =
+      bgp::RoutingTable6::from_pfx2as(bgp::parse_pfx2as6(kTable));
+  const bgp::PrefixPartition6 partition = table.m_partition();
+  std::vector<std::uint32_t> counts(partition.size(), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<std::uint32_t>(1 + (i * 31) % 97);
+  }
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+
+  const auto bytes = state::encode_image(partition, ranking);
+  EXPECT_EQ(state::image_family(bytes), net::AddressFamily::kIpv6);
+
+  const auto image = state::StateImage6::attach(bytes);
+  image.verify();
+  EXPECT_EQ(image.info().family, net::AddressFamily::kIpv6);
+  EXPECT_EQ(image.info().cell_count, partition.size());
+  EXPECT_EQ(image.info().total_hosts, ranking.total_hosts);
+
+  // Borrowed structures answer identically to the originals...
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    EXPECT_EQ(image.partition().prefix(i), partition.prefix(i));
+  }
+  util::Rng rng(7);
+  for (int probe = 0; probe < 2000; ++probe) {
+    const net::Ipv6Address addr(0x2001000000000000ULL | (rng() >> 16),
+                                rng());
+    EXPECT_EQ(image.partition().locate(addr), partition.locate(addr));
+  }
+  // ...and reject mutation (borrowed storage).
+  bgp::PartitionDelta6 delta;
+  delta.remove.push_back(partition.prefix(0));
+  auto borrowed = bgp::PrefixPartition6::from_raw(
+      image.partition().raw(), image.index());
+  EXPECT_THROW(borrowed.apply_delta(delta), Error);
+
+  // Re-encoding the attached state reproduces the file bit for bit.
+  const auto reencoded = state::encode_image(
+      image.partition(), image.ranking().materialize());
+  EXPECT_EQ(bytes, reencoded);
+
+  // Selection straight off the borrowed ranking view.
+  core::SelectionParams params;
+  params.phi = 0.9;
+  const auto from_image = core::select_by_density(image.ranking(), params);
+  const auto from_fresh = core::select_by_density(ranking, params);
+  EXPECT_EQ(from_image.prefixes, from_fresh.prefixes);
+  EXPECT_EQ(from_image.covered_hosts, from_fresh.covered_hosts);
+}
+
+TEST(StateImage6, FingerprintBindsTopology) {
+  bgp::PrefixPartition6 partition({p6("2001:db8::/32")});
+  const std::vector<std::uint32_t> counts = {5};
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kLess);
+  const auto bytes = state::encode_image(partition, ranking);
+  const std::uint64_t fingerprint = bgp::partition_fingerprint(partition);
+  EXPECT_NO_THROW(state::StateImage6::attach(bytes, fingerprint));
+  EXPECT_THROW(state::StateImage6::attach(bytes, fingerprint ^ 1),
+               FormatError);
+}
+
+}  // namespace
+}  // namespace tass

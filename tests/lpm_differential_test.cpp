@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "trie/lpm_index6.hpp"
 #include "trie/prefix_trie.hpp"
 #include "util/rng.hpp"
 
@@ -220,6 +221,201 @@ TEST(LpmDifferential, FullRibScaleSamplesAgainstLegacy) {
         verify_table(rib_sample_table(seed, 50'000), seed, 150'000, false);
   }
   EXPECT_GE(verified, 1'000'000u);
+}
+
+// --- IPv6 differential suite -----------------------------------------
+//
+// The same engine instantiated at 128 bits (trie::LpmIndex6) against a
+// naive linear-scan oracle. Tables stress what is new in the v6
+// instantiation: the extra stride levels, the 64-bit hi/lo half edge
+// (strides land exactly on bit 64, so boundary +/- 1 probes cross it),
+// and nested /32 -> /64 chains.
+
+using Entry6 = LpmIndex6::Entry;
+
+std::uint32_t naive_lookup6(const std::vector<Entry6>& table,
+                            net::Ipv6Address addr) {
+  int best_length = -1;
+  std::uint32_t best = LpmIndex6::kNoMatch;
+  for (const Entry6& entry : table) {
+    if (entry.prefix.contains(addr) && entry.prefix.length() >= best_length) {
+      best_length = entry.prefix.length();
+      best = entry.value;
+    }
+  }
+  return best;
+}
+
+// The space's edges and every prefix boundary +/- 1 with 128-bit
+// carry/borrow, so prefixes ending on the hi/lo half edge probe across
+// it.
+std::vector<net::Ipv6Address> boundary_addresses6(
+    const std::vector<Entry6>& table) {
+  std::vector<net::Ipv6Address> addresses = {
+      net::Ipv6Address(0, 0), net::Ipv6Address(~0ULL, ~0ULL)};
+  for (const Entry6& entry : table) {
+    const net::Ipv6Address first = entry.prefix.first();
+    const net::Ipv6Address last = entry.prefix.last();
+    addresses.push_back(first);
+    addresses.push_back(last);
+    if (first.hi() != 0 || first.lo() != 0) {
+      const std::uint64_t borrow = first.lo() == 0 ? 1 : 0;
+      addresses.emplace_back(first.hi() - borrow, first.lo() - 1);
+    }
+    if (last.hi() != ~0ULL || last.lo() != ~0ULL) {
+      const std::uint64_t carry = last.lo() == ~0ULL ? 1 : 0;
+      addresses.emplace_back(last.hi() + carry, last.lo() + 1);
+    }
+  }
+  return addresses;
+}
+
+std::size_t verify_table6(const std::vector<Entry6>& table,
+                          std::uint64_t seed, std::size_t random_lookups) {
+  const LpmIndex6 index(table);
+  std::vector<net::Ipv6Address> addresses = boundary_addresses6(table);
+  util::Rng rng(util::mix64(seed, 0x6ADD2E55ULL));
+  for (std::size_t i = 0; i < random_lookups; ++i) {
+    if ((i & 1) == 0 && !table.empty()) {
+      // Host bits under a random table prefix, so deep levels resolve.
+      const net::Ipv6Prefix prefix =
+          table[rng.bounded(table.size())].prefix;
+      const int len = prefix.length();
+      std::uint64_t hi = rng();
+      std::uint64_t lo = rng();
+      if (len <= 64) {
+        hi = prefix.network().hi() | (len == 64 ? 0 : hi >> len);
+      } else {
+        hi = prefix.network().hi();
+        lo = prefix.network().lo() | (len == 128 ? 0 : lo >> (len - 64));
+      }
+      addresses.emplace_back(hi, lo);
+    } else {
+      addresses.emplace_back(rng(), rng());
+    }
+  }
+
+  // Batched and scalar paths must agree with each other as well.
+  const std::vector<std::uint32_t> batched = index.lookup_many(addresses);
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    const net::Ipv6Address addr = addresses[i];
+    const std::uint32_t got = index.lookup(addr);
+    EXPECT_EQ(got, batched[i]) << "batched/scalar split at "
+                               << addr.to_string() << " seed=" << seed;
+    EXPECT_EQ(got, naive_lookup6(table, addr))
+        << "LpmIndex6 vs naive oracle at " << addr.to_string()
+        << " seed=" << seed;
+    if (::testing::Test::HasFailure()) return addresses.size();
+  }
+  return addresses.size();
+}
+
+// Nested /32 -> /64 chains stacked on one branch: every stride level of
+// the 128-bit walk carries a longer match.
+std::vector<Entry6> nested_chain_table6(std::uint64_t seed) {
+  util::Rng rng(util::mix64(seed, 61));
+  std::vector<Entry6> table;
+  std::uint32_t value = 0;
+  for (int chain = 0; chain < 6; ++chain) {
+    const net::Ipv6Address base(0x2000000000000000ULL | (rng() >> 3),
+                                rng());
+    for (int length = 32; length <= 64; ++length) {
+      // Walk a random branch: keep the prefix bits, randomise the rest.
+      const net::Ipv6Address jitter(rng(), rng());
+      const net::Ipv6Prefix kept(base, length);
+      const net::Ipv6Address mixed(
+          kept.network().hi() |
+              (length >= 64 ? 0 : jitter.hi() >> length),
+          jitter.lo());
+      table.push_back({net::Ipv6Prefix(mixed, length), value++});
+    }
+    // A couple of long hitlist-style more-specifics below the chain.
+    table.push_back({net::Ipv6Prefix(base, 96), value++});
+    table.push_back({net::Ipv6Prefix(base, 128), value++});
+  }
+  return table;
+}
+
+// v6-RIB-shaped: the /32-/48 allocation ladder plus long tails, and
+// prefixes that end exactly on the 64-bit half edge.
+std::vector<Entry6> rib_sample_table6(std::uint64_t seed,
+                                      std::size_t count) {
+  util::Rng rng(util::mix64(seed, 62));
+  std::vector<Entry6> table;
+  table.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.uniform();
+    int length;
+    if (roll < 0.05) {
+      length = 20 + static_cast<int>(rng.bounded(10));
+    } else if (roll < 0.25) {
+      length = 32;
+    } else if (roll < 0.50) {
+      length = 36 + static_cast<int>(rng.bounded(9));
+    } else if (roll < 0.90) {
+      length = 48;
+    } else if (roll < 0.97) {
+      length = 64;  // exactly the hi/lo half edge
+    } else {
+      length = 65 + static_cast<int>(rng.bounded(64));
+    }
+    const net::Ipv6Address network(0x2000000000000000ULL | (rng() >> 3),
+                                   rng());
+    table.push_back({net::Ipv6Prefix(network, length),
+                     static_cast<std::uint32_t>(i)});
+  }
+  // Re-announce a handful of prefixes with new values: last must win.
+  for (int i = 0; i < 16 && !table.empty(); ++i) {
+    const auto pick = static_cast<std::size_t>(rng.bounded(table.size()));
+    table.push_back({table[pick].prefix,
+                     static_cast<std::uint32_t>(count +
+                                                static_cast<std::size_t>(i))});
+  }
+  return table;
+}
+
+TEST(LpmDifferential, Ipv6NestedChainsAgainstOracle) {
+  std::size_t verified = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    verified += verify_table6(nested_chain_table6(seed), seed, 4000);
+  }
+  EXPECT_GT(verified, 20000u);
+}
+
+TEST(LpmDifferential, Ipv6RibSamplesAgainstOracle) {
+  std::size_t verified = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    verified += verify_table6(rib_sample_table6(seed, 600), seed, 3000);
+  }
+  EXPECT_GT(verified, 20000u);
+}
+
+TEST(LpmDifferential, Ipv6HalfEdgePrefixesAgainstOracle) {
+  // Prefixes straddling the stride schedule's landing on bit 64: /63,
+  // /64 and /65 siblings around one base, so boundary +/- 1 probes and
+  // host-bit lookups exercise the carry across hi/lo.
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{77},
+                                   std::uint64_t{777}}) {
+    util::Rng rng(util::mix64(seed, 63));
+    std::vector<Entry6> table;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 32; ++i) {
+      const net::Ipv6Address base(rng(), rng());
+      for (const int length : {63, 64, 65}) {
+        table.push_back({net::Ipv6Prefix(base, length), value++});
+      }
+    }
+    verify_table6(table, seed, 2000);
+  }
+}
+
+TEST(LpmDifferential, Ipv6EmptyAndSingleEntry) {
+  const LpmIndex6 empty;
+  EXPECT_EQ(empty.lookup(net::Ipv6Address(1, 2)), LpmIndex6::kNoMatch);
+
+  std::vector<Entry6> one = {
+      {net::Ipv6Prefix::parse_or_throw("2001:db8::/32"), 7}};
+  verify_table6(one, 99, 500);
 }
 
 TEST(LpmDifferential, EraseInLegacyMatchesRebuiltIndex) {

@@ -555,5 +555,132 @@ TEST(StateImageCorruption, ResealedByteFlipsNeverCrash) {
   }
 }
 
+// --- IPv6 TSIM images -------------------------------------------------
+//
+// The v6 image rides the same container on wider rows ("TSI6" magic,
+// 24-byte prefixes, 19 node levels). The corruption contract is
+// identical — parse or FormatError, never a crash — plus the
+// cross-family rule: a v6 image fed to the v4 loader (and vice versa)
+// fails with a typed FormatError, never a misread.
+
+std::vector<std::byte> valid_image6() {
+  std::vector<net::Ipv6Prefix> prefixes;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    prefixes.emplace_back(
+        net::Ipv6Address(0x2001000000000000ULL | ((i + 1) << 32), 0), 36);
+  }
+  // Deep cells so the LPM walk has long node chains, including one past
+  // the 64-bit half edge.
+  prefixes.emplace_back(net::Ipv6Address(0x20ff000000000000ULL, 0), 64);
+  prefixes.emplace_back(
+      net::Ipv6Address(0x20fe000000000000ULL, 0xff00000000000000ULL), 72);
+  bgp::PrefixPartition6 partition(std::move(prefixes));
+  // One delta so the image carries a live bitmap and a free list.
+  bgp::PartitionDelta6 delta;
+  delta.remove.push_back(partition.prefix(3));
+  delta.remove.push_back(partition.prefix(7));
+  delta.add.push_back(partition.prefix(7).lower_half());
+  partition.apply_delta(delta);
+  std::vector<std::uint32_t> counts(partition.size(), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (partition.live(i)) {
+      counts[i] = static_cast<std::uint32_t>(1 + 37 * i % 211);
+    }
+  }
+  const auto ranking =
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore);
+  return encode_image(partition, ranking);
+}
+
+TEST(StateImage6Corruption, ValidImageAttaches) {
+  const auto image = valid_image6();
+  EXPECT_NO_THROW(StateImage6::attach(image));
+  EXPECT_EQ(image_family(image), net::AddressFamily::kIpv6);
+}
+
+TEST(StateImage6Corruption, CrossFamilyLoadsAreTypedErrors) {
+  const auto v6 = valid_image6();
+  const auto v4 = valid_image();
+  // Family misroutes throw FormatError with a message naming the right
+  // loader — never a crash, never a silent misread.
+  try {
+    StateImage::attach(v6);
+    FAIL() << "v4 loader accepted a v6 image";
+  } catch (const FormatError& error) {
+    EXPECT_NE(std::string(error.what()).find("IPv6"), std::string::npos);
+  }
+  try {
+    StateImage6::attach(v4);
+    FAIL() << "v6 loader accepted a v4 image";
+  } catch (const FormatError& error) {
+    EXPECT_NE(std::string(error.what()).find("IPv4"), std::string::npos);
+  }
+}
+
+TEST(StateImage6Corruption, EveryHeaderTruncationRejected) {
+  const auto image = valid_image6();
+  std::vector<std::size_t> cuts;
+  for (std::size_t cut = 0; cut < kHeaderSize + 64; ++cut) {
+    cuts.push_back(cut);
+  }
+  util::Rng rng(2016);
+  for (int i = 0; i < 400; ++i) {
+    cuts.push_back(static_cast<std::size_t>(rng.bounded(image.size())));
+  }
+  for (const std::size_t cut : cuts) {
+    std::vector<std::byte> truncated(image.begin(),
+                                     image.begin() + static_cast<long>(cut));
+    EXPECT_THROW(StateImage6::attach(truncated), FormatError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(StateImage6Corruption, FlippedMagicAndVersionRejected) {
+  for (std::size_t at = 0; at < 8; ++at) {
+    auto image = valid_image6();
+    image[at] ^= std::byte{0x20};
+    EXPECT_THROW(StateImage6::attach(image), FormatError) << "byte " << at;
+  }
+  // A forged family field (mode word byte 1) must not survive either,
+  // even with a resealed checksum: the magic and the field must agree.
+  auto forged = valid_image6();
+  forged[25] = std::byte{4};
+  reseal(forged);
+  EXPECT_THROW(StateImage6::attach(forged), FormatError);
+}
+
+TEST(StateImage6Corruption, ResealedByteFlipsNeverCrash) {
+  const auto pristine = valid_image6();
+  for (const std::uint64_t seed : {404ull, 505ull, 606ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 300; ++round) {
+      auto image = pristine;
+      const std::size_t flips = 1 + rng.bounded(6);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t at =
+            kChecksummedFrom +
+            static_cast<std::size_t>(
+                rng.bounded(image.size() - kChecksummedFrom));
+        image[at] ^= static_cast<std::byte>(1 + rng.bounded(255));
+      }
+      reseal(image);
+      try {
+        const StateImage6 attached = StateImage6::attach(image);
+        // Survivors must stay safe to query across the whole space, and
+        // the deep audit must itself parse-or-throw, never crash.
+        for (int probe = 0; probe < 512; ++probe) {
+          const net::Ipv6Address addr(rng(), rng());
+          (void)attached.partition().locate(addr);
+        }
+        try {
+          attached.verify();
+        } catch (const FormatError&) {
+        }
+      } catch (const FormatError&) {
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tass::state

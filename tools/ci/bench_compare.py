@@ -12,6 +12,8 @@ baselines.
 Headline metrics (direction-aware):
   micro_lpm       lpm_lookups_per_sec, lpm_batch_lookups_per_sec (higher
                   is better)
+  micro_lpm6      lpm6_lookups_per_sec, lpm6_batch_lookups_per_sec
+                  (higher is better)
   micro_delta     delta_ms per churn rate (lower is better)
   micro_coldstart load_ms (lower is better), speedup (higher is better)
 
@@ -101,6 +103,10 @@ def headline_metrics(record):
     bench = record.get("bench")
     if bench == "micro_lpm":
         for key in ("lpm_lookups_per_sec", "lpm_batch_lookups_per_sec"):
+            if key in record:
+                yield key, float(record[key]), True
+    elif bench == "micro_lpm6":
+        for key in ("lpm6_lookups_per_sec", "lpm6_batch_lookups_per_sec"):
             if key in record:
                 yield key, float(record[key]), True
     elif bench == "micro_delta":
