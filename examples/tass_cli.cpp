@@ -8,7 +8,7 @@
 //   tass_cli inspect      <file.mrt>
 //   tass_cli state build  <pfx2as> <addresses> <out.tsim> [less|more]
 //   tass_cli state build6 <pfx2as6> <hitlist> <out.tsim> [less|more]
-//   tass_cli state info   <file.tsim>
+//   tass_cli state info   <file.tsim> [--huge]
 //
 // `rank` attributes a scan export onto the routing table and prints the
 // densest prefixes; `plan` emits the TASS selection (aggregated, one
@@ -28,6 +28,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "bgp/table6.hpp"
 #include "census/hitlist6.hpp"
@@ -56,7 +57,7 @@ int usage() {
       "[less|more]\n"
       "  tass_cli state build6 <pfx2as6> <hitlist> <out.tsim> "
       "[less|more]\n"
-      "  tass_cli state info   <file.tsim>\n");
+      "  tass_cli state info   <file.tsim> [--huge]\n");
   return 2;
 }
 
@@ -347,20 +348,29 @@ void print_state_info(const state::ImageInfo& info) {
   out.add_row({"file bytes",
                report::Table::cell(
                    static_cast<std::uint64_t>(info.file_bytes))});
+  out.add_row({"page backing",
+               std::string(util::page_backing_name(info.backing))});
   std::printf("%s", out.to_text().c_str());
   std::fprintf(stderr, "image OK (checksum, bounds and deep audit)\n");
 }
 
 int cmd_state_info(int argc, char** argv) {
   if (argc < 4) return usage();
+  // Optional --huge: request hugepage backing for the serving mmap; the
+  // "page backing" row then reports whether the request materialised
+  // (hugetlb/thp) or fell back to base pages.
+  util::MapOptions map_options;
+  for (int i = 4; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--huge") map_options.huge_pages = true;
+  }
   // Family dispatch by magic: either family's image prints through the
   // same table, with its family named.
   if (state::image_family_of_file(argv[3]) == net::AddressFamily::kIpv6) {
-    const auto image = state::StateImage6::load(argv[3]);
+    const auto image = state::StateImage6::load(argv[3], map_options);
     image.verify();  // deep audit beyond the load-time integrity checks
     print_state_info(image.info());
   } else {
-    const auto image = state::StateImage::load(argv[3]);
+    const auto image = state::StateImage::load(argv[3], map_options);
     image.verify();
     print_state_info(image.info());
   }

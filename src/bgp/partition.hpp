@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "bgp/tally_kernels.hpp"
 #include "net/family.hpp"
 #include "net/interval.hpp"
 #include "net/prefix.hpp"
@@ -233,24 +234,38 @@ class BasicPrefixPartition {
   /// The shared per-shard attribution kernel: resolves `addresses` in
   /// cache-sized blocks through locate_many and tallies them into
   /// counts[cell]; addresses outside the partition increment
-  /// `unattributed` instead. Precondition: counts.size() == size().
+  /// `unattributed` instead. The histogram step runs through the
+  /// util::cpu-dispatched tally kernels (bgp/tally_kernels.hpp) for the
+  /// two Count widths the pipeline instantiates; any other Count falls
+  /// back to the inline scalar loop. Precondition: counts.size() ==
+  /// size().
   template <typename Count>
   void tally_cells(std::span<const AddressWord> addresses,
                    std::vector<Count>& counts, std::uint64_t& attributed,
                    std::uint64_t& unattributed) const {
     TASS_EXPECTS(counts.size() == prefixes_view_.size());
+    static_assert(detail::kTallyNoCell == kNoCell);
+    const detail::TallyKernels& kernels = detail::active_tally_kernels();
     constexpr std::size_t kBlock = 4096;
     std::array<std::uint32_t, kBlock> cells;
     for (std::size_t offset = 0; offset < addresses.size();
          offset += kBlock) {
       const std::size_t n = std::min(kBlock, addresses.size() - offset);
       locate_many(addresses.subspan(offset, n), std::span(cells).first(n));
-      for (std::size_t i = 0; i < n; ++i) {
-        if (cells[i] != kNoCell) {
-          ++counts[cells[i]];
-          ++attributed;
-        } else {
-          ++unattributed;
+      if constexpr (std::same_as<Count, std::uint32_t>) {
+        kernels.tally_u32(cells.data(), n, counts.data(), attributed,
+                          unattributed);
+      } else if constexpr (std::same_as<Count, std::uint64_t>) {
+        kernels.tally_u64(cells.data(), n, counts.data(), attributed,
+                          unattributed);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (cells[i] != kNoCell) {
+            ++counts[cells[i]];
+            ++attributed;
+          } else {
+            ++unattributed;
+          }
         }
       }
     }

@@ -1,0 +1,59 @@
+// Kernel dispatch for the per-block histogram step of
+// BasicPrefixPartition::tally_cells — the inner loop of the sharded
+// attribution path (ScanEngine::run_attributed, core::attribute).
+//
+// Same architecture as trie/lpm_kernels.hpp: a table of plain function
+// pointers selected at runtime through util::cpu, with the scalar loop
+// as the always-compiled reference and the AVX2 variant exported by
+// tally_avx2.cpp (the only bgp/ TU compiled with -mavx2; nullptr when
+// the build cannot target AVX2). The AVX2 kernel vectorises the
+// attributed/unattributed classification (8-wide compare against the
+// no-cell sentinel + movemask popcount) and then increments only the
+// surviving cells — the histogram write itself is a scatter and stays
+// scalar. Bit-identical to the scalar loop for any input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cpu.hpp"
+
+namespace tass::bgp::detail {
+
+/// The sentinel the kernels treat as "no covering cell". Must equal
+/// BasicPrefixPartition::kNoCell — static_asserted at the call site in
+/// partition.hpp (this header cannot name the partition template
+/// without dragging the whole index in).
+inline constexpr std::uint32_t kTallyNoCell = 0x7fffffffu;
+
+/// One kernel per Count width the pipeline instantiates: uint32 for the
+/// per-shard slot vectors, uint64 for merged totals. Both accumulate
+/// into the caller's running attributed/unattributed counters.
+struct TallyKernels {
+  using TallyU32Fn = void (*)(const std::uint32_t* cells, std::size_t n,
+                              std::uint32_t* counts, std::uint64_t& attributed,
+                              std::uint64_t& unattributed);
+  using TallyU64Fn = void (*)(const std::uint32_t* cells, std::size_t n,
+                              std::uint64_t* counts, std::uint64_t& attributed,
+                              std::uint64_t& unattributed);
+  TallyU32Fn tally_u32 = nullptr;
+  TallyU64Fn tally_u64 = nullptr;
+  const char* name = "scalar";
+};
+
+/// The kernel table for `level`; kAvx2 degrades to scalar in builds
+/// without AVX2 support. Defined in tally_kernels.cpp.
+const TallyKernels& tally_kernels(util::cpu::SimdLevel level) noexcept;
+
+/// The table matching util::cpu's cached probe (hardware capability +
+/// TASS_FORCE_SCALAR override).
+inline const TallyKernels& active_tally_kernels() noexcept {
+  return tally_kernels(util::cpu::active_level());
+}
+
+// Exported by tally_avx2.cpp; nullptr when that TU was built without
+// AVX2 codegen.
+extern const TallyKernels::TallyU32Fn kAvx2TallyU32;
+extern const TallyKernels::TallyU64Fn kAvx2TallyU64;
+
+}  // namespace tass::bgp::detail

@@ -38,10 +38,12 @@ Attribution attribute(std::span<const std::uint32_t> addresses,
   }
 
   std::vector<Attribution> slots(shards);
-  for (Attribution& slot : slots) slot.counts.assign(partition.size(), 0);
   util::run_chunks(config.threads, 0, addresses.size(), shards,
                    [&](std::size_t shard, std::uint64_t lo,
                        std::uint64_t hi) {
+                     // First-touch NUMA placement: allocate the shard's
+                     // count vector on the worker that fills it.
+                     slots[shard].counts.assign(partition.size(), 0);
                      attribute_range(
                          addresses.subspan(static_cast<std::size_t>(lo),
                                            static_cast<std::size_t>(hi - lo)),
@@ -51,6 +53,7 @@ Attribution attribute(std::span<const std::uint32_t> addresses,
   for (const Attribution& slot : slots) {
     result.attributed += slot.attributed;
     result.unattributed += slot.unattributed;
+    if (slot.counts.empty()) continue;  // shard never ran (empty chunk)
     for (std::size_t i = 0; i < result.counts.size(); ++i) {
       result.counts[i] += slot.counts[i];
     }

@@ -167,11 +167,15 @@ AttributedScanResult ScanEngine::run_attributed(
     };
     const auto cumulative = prefix_counts(intervals);
     std::vector<Slot> slots(shards);
-    for (Slot& slot : slots) slot.counts.assign(partition.size(), 0);
     util::run_chunks(
         config_.threads, 0, total, shards,
         [&](std::size_t shard, std::uint64_t lo, std::uint64_t hi) {
           Slot& slot = slots[shard];
+          // First-touch NUMA placement: the count vector is allocated
+          // and zero-filled on the worker that will fill it, so its
+          // pages land on that worker's node instead of all piling onto
+          // the node of the calling thread.
+          slot.counts.assign(partition.size(), 0);
           for_each_subinterval(intervals, cumulative, lo, hi,
                                [&](net::Interval sub) {
                                  oracle.collect_responsive(sub,
@@ -189,6 +193,7 @@ AttributedScanResult ScanEngine::run_attributed(
                                    slot.responsive.end());
       out.attributed += slot.attributed;
       out.unattributed += slot.unattributed;
+      if (slot.counts.empty()) continue;  // shard never ran (empty chunk)
       for (std::size_t i = 0; i < out.cell_counts.size(); ++i) {
         out.cell_counts[i] += slot.counts[i];
       }

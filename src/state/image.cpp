@@ -782,8 +782,16 @@ BasicStateImage<Family> BasicStateImage<Family>::attach(
 template <class Family>
 BasicStateImage<Family> BasicStateImage<Family>::load(
     const std::string& path, std::uint64_t expected_fingerprint) {
-  util::MmapFile file = util::MmapFile::open(path);
+  return load(path, util::MapOptions{}, expected_fingerprint);
+}
+
+template <class Family>
+BasicStateImage<Family> BasicStateImage<Family>::load(
+    const std::string& path, const util::MapOptions& map_options,
+    std::uint64_t expected_fingerprint) {
+  util::MmapFile file = util::MmapFile::open(path, map_options);
   BasicStateImage image = attach(file.bytes(), expected_fingerprint);
+  image.info_.backing = file.backing();
   image.file_ = std::move(file);
   return image;
 }

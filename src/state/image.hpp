@@ -126,6 +126,12 @@ struct ImageInfo {
   std::size_t lpm_nodes = 0;
   std::size_t lpm_leaves = 0;
   std::size_t file_bytes = 0;
+  /// What physically backs the mapping serving this image: kBase for
+  /// the zero-copy default, kTransparentHuge/kHugeTlb when a hugepage
+  /// load request materialised, kNone for attach() (caller-owned
+  /// buffer). `state info` and micro_coldstart surface this so every
+  /// reported number says which paging configuration produced it.
+  util::PageBacking backing = util::PageBacking::kNone;
 };
 
 /// Peeks an image's address family from its magic without validating the
@@ -174,6 +180,14 @@ class BasicStateImage {
   /// If `expected_fingerprint` is non-zero the image must additionally
   /// be bound to that topology fingerprint.
   static BasicStateImage load(const std::string& path,
+                              std::uint64_t expected_fingerprint = 0);
+
+  /// As load(), with explicit mapping options — MapOptions::huge_pages
+  /// requests (copy-based) hugepage backing for the serving arrays,
+  /// falling back to the plain shared mapping when unavailable;
+  /// info().backing reports what materialised.
+  static BasicStateImage load(const std::string& path,
+                              const util::MapOptions& map_options,
                               std::uint64_t expected_fingerprint = 0);
 
   /// Validates and attaches to an image already in memory (zero-copy;

@@ -1,6 +1,7 @@
 #include "trie/lpm_index.hpp"
 
 #include "trie/lpm_index6.hpp"
+#include "trie/lpm_kernels.hpp"
 
 namespace tass::trie {
 
@@ -511,26 +512,150 @@ auto BasicLpmIndex<Family>::update(std::span<const Entry> upserts,
   return stats;
 }
 
+namespace {
+
+// The scalar reference kernel: the historical lookup_many loop. Pulls
+// the root words of upcoming addresses into cache while resolving the
+// current one; on big shards most time is the root-array miss.
+template <class Family>
+void scalar_lookup_many(
+    const BasicLpmIndex<Family>& index,
+    std::span<const typename Family::AddressWord> addresses,
+    std::span<std::uint32_t> out) {
+  const std::span<const std::uint32_t> root = index.raw().root;
+  const std::size_t n = addresses.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kLookupPrefetchDistance < n) {
+      __builtin_prefetch(
+          &root[Family::word_key(addresses[i + kLookupPrefetchDistance])
+                    .top16()]);
+    }
+    out[i] = index.lookup(Family::word_address(addresses[i]));
+  }
+}
+
+// The software-pipelined kernel the kAvx2 table registers for IPv6:
+// eight lookups walk the stride schedule in lockstep, and every
+// descent issues __builtin_prefetch on the child it just ranked. By
+// the time the walk returns to a lane — after the other seven lanes
+// took their level-k step — the level-k+1 line (and usually the k+2
+// line the hardware prefetcher chains behind it) is in flight, so the
+// deep 19-level v6 walk overlaps up to eight node misses instead of
+// serialising them. Portable scalar code: the win is memory-level
+// parallelism, not vector ALUs, which is what the long-latency walk is
+// actually bound by.
+template <class Family>
+void pipelined_lookup_many(
+    const BasicLpmIndex<Family>& index,
+    std::span<const typename Family::AddressWord> addresses,
+    std::span<std::uint32_t> out) {
+  using Index = BasicLpmIndex<Family>;
+  using Node = typename Index::Node;
+  const typename Index::Raw raw = index.raw();
+  const std::uint32_t* const root = raw.root.data();
+  const Node* const nodes = raw.nodes.data();
+  const std::uint32_t* const leaves = raw.leaves.data();
+  constexpr std::uint32_t kWidth = 8;  // streams walked in lockstep
+  const std::size_t n = addresses.size();
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    net::AddressKey key[kWidth];
+    const Node* node[kWidth];
+    int depth[kWidth];
+    std::uint32_t walking = 0;
+    for (std::uint32_t lane = 0; lane < kWidth; ++lane) {
+      if (i + kLookupPrefetchDistance + lane < n) {
+        __builtin_prefetch(
+            &root[Family::word_key(
+                      addresses[i + kLookupPrefetchDistance + lane])
+                      .top16()]);
+      }
+      key[lane] = Family::word_key(addresses[i + lane]);
+      const std::uint32_t word = root[key[lane].top16()];
+      if ((word & Index::kNodeFlag) == 0) {
+        out[i + lane] = word;  // leaf (possibly kNoMatch)
+      } else {
+        node[lane] = nodes + (word & ~Index::kNodeFlag);
+        __builtin_prefetch(node[lane]);
+        depth[lane] = Index::kRootBits;
+        walking |= 1u << lane;
+      }
+    }
+    while (walking != 0) {
+      std::uint32_t continuing = 0;
+      for (std::uint32_t pending = walking; pending != 0;
+           pending &= pending - 1) {
+        const auto lane =
+            static_cast<std::uint32_t>(std::countr_zero(pending));
+        const Node* const cur = node[lane];
+        const int stride = Index::stride_at(depth[lane]);
+        const std::uint32_t slot = key[lane].slot(depth[lane], stride);
+        if (depth[lane] + stride < Family::kBits &&
+            ((cur->child_bits >> slot) & 1u)) {
+          const Node* const child =
+              nodes + cur->child_base + Index::rank(cur->child_bits, slot);
+          __builtin_prefetch(child);
+          node[lane] = child;
+          depth[lane] += stride;
+          continuing |= 1u << lane;
+        } else {
+          out[i + lane] =
+              leaves[cur->leaf_base +
+                     Index::rank_inclusive(cur->leaf_bits, slot) - 1];
+        }
+      }
+      walking = continuing;
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = index.lookup(Family::word_address(addresses[i]));
+  }
+}
+
+}  // namespace
+
+template <>
+const LpmKernelTable<net::Ipv4Family>& lpm_kernel_table<net::Ipv4Family>(
+    util::cpu::SimdLevel level) noexcept {
+  static const LpmKernelTable<net::Ipv4Family> kScalarTable{
+      &scalar_lookup_many<net::Ipv4Family>, "scalar"};
+  static const LpmKernelTable<net::Ipv4Family> kSimdTable{
+      detail::kAvx2LookupMany4 != nullptr
+          ? detail::kAvx2LookupMany4
+          : &scalar_lookup_many<net::Ipv4Family>,
+      detail::kAvx2LookupMany4 != nullptr ? "avx2" : "scalar"};
+  return level == util::cpu::SimdLevel::kAvx2 ? kSimdTable : kScalarTable;
+}
+
+template <>
+const LpmKernelTable<net::Ipv6Family>& lpm_kernel_table<net::Ipv6Family>(
+    util::cpu::SimdLevel level) noexcept {
+  static const LpmKernelTable<net::Ipv6Family> kScalarTable{
+      &scalar_lookup_many<net::Ipv6Family>, "scalar"};
+  // The v6 walk is latency-bound, not ALU-bound; the pipelined walk is
+  // its "SIMD" tier and runs on any hardware.
+  static const LpmKernelTable<net::Ipv6Family> kSimdTable{
+      &pipelined_lookup_many<net::Ipv6Family>, "pipelined"};
+  return level == util::cpu::SimdLevel::kAvx2 ? kSimdTable : kScalarTable;
+}
+
 template <class Family>
 void BasicLpmIndex<Family>::lookup_many(
-    std::span<const AddressWord> addresses,
-    std::span<std::uint32_t> out) const noexcept {
+    std::span<const AddressWord> addresses, std::span<std::uint32_t> out,
+    util::cpu::SimdLevel level) const noexcept {
   TASS_EXPECTS(out.size() >= addresses.size());
   if (root_view_.empty()) {
     std::fill_n(out.begin(), addresses.size(), kNoMatch);
     return;
   }
-  // Pull the root words of upcoming addresses into cache while resolving
-  // the current one; on big shards most time is the root-array miss.
-  constexpr std::size_t kAhead = 16;
-  const std::size_t n = addresses.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i + kAhead < n) {
-      __builtin_prefetch(
-          &root_view_[Family::word_key(addresses[i + kAhead]).top16()]);
-    }
-    out[i] = lookup(Family::word_address(addresses[i]));
-  }
+  lpm_kernel_table<Family>(level).lookup_many(*this, addresses, out);
+}
+
+template <class Family>
+void BasicLpmIndex<Family>::lookup_many(
+    std::span<const AddressWord> addresses,
+    std::span<std::uint32_t> out) const noexcept {
+  lookup_many(addresses, out, util::cpu::active_level());
 }
 
 template <class Family>

@@ -63,6 +63,7 @@
 
 #include "net/family.hpp"
 #include "net/prefix.hpp"
+#include "util/cpu.hpp"
 #include "util/error.hpp"
 
 namespace tass::trie {
@@ -240,12 +241,22 @@ class BasicLpmIndex {
   bool covers(Address addr) const noexcept { return lookup(addr) != kNoMatch; }
 
   /// Batched lookup: out[i] = lookup(addresses[i]). The span forms are what
-  /// the sharded scan engine and attribution call once per shard.
+  /// the sharded scan engine and attribution call once per shard. The
+  /// kernel that runs is selected once per process by util::cpu (AVX2
+  /// gather kernel / pipelined walk / scalar reference — see
+  /// lpm_kernels.hpp); all kernels are bit-identical.
   /// Precondition: out.size() >= addresses.size().
   void lookup_many(std::span<const AddressWord> addresses,
                    std::span<std::uint32_t> out) const noexcept;
   std::vector<std::uint32_t> lookup_many(
       std::span<const AddressWord> addresses) const;
+
+  /// As above with an explicit kernel level — the differential tests and
+  /// micro-benches pin both tables regardless of what the host supports
+  /// (kAvx2 on a non-AVX2 machine degrades to the scalar kernel).
+  void lookup_many(std::span<const AddressWord> addresses,
+                   std::span<std::uint32_t> out,
+                   util::cpu::SimdLevel level) const noexcept;
 
   /// Number of distinct prefixes the index was built from.
   std::size_t prefix_count() const noexcept { return prefix_count_; }
@@ -280,7 +291,9 @@ class BasicLpmIndex {
   static constexpr int kNodeLevels =
       (Family::kBits - kRootBits + 5) / 6;
 
- private:
+  // The popcount ranks the walks are built on. Public alongside
+  // Node/Raw so the out-of-line lookup kernels (lpm_kernels.hpp)
+  // compute exactly the same ranks as the member walks.
   // Children (or leaf runs) strictly below `slot`.
   static std::uint32_t rank(std::uint64_t bits, std::uint32_t slot) noexcept {
     return static_cast<std::uint32_t>(
@@ -293,6 +306,7 @@ class BasicLpmIndex {
         std::popcount(bits & ((2ull << slot) - 1)));
   }
 
+ private:
   // Ordering by prefix only (the Entry value rides along).
   static bool entry_less(const Entry& a, const Entry& b) noexcept {
     return a.prefix < b.prefix;

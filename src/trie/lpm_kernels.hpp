@@ -1,0 +1,92 @@
+// Kernel dispatch for the batched LPM hot path.
+//
+// BasicLpmIndex::lookup_many is where the sharded scan pipeline spends
+// its cycles, so it exists in more than one implementation: the scalar
+// reference walk (always compiled, the correctness oracle) and
+// SIMD/pipelined kernels selected at runtime through util::cpu. This
+// header is the seam between them: a per-family table of function
+// pointers, resolved once per call from the cached
+// util::cpu::active_level(), so the index itself never contains an
+// #ifdef and the binary runs unchanged on any x86-64 (or non-x86)
+// machine.
+//
+// The AVX2 kernels live in lpm_kernels_avx2.cpp, the only translation
+// unit compiled with -mavx2; it exports plain function pointers
+// (nullptr when the toolchain or target cannot build AVX2) so that no
+// AVX2 instruction can ever be reached on a CPU that lacks the feature
+// — the dispatch tables themselves are compiled for the baseline ISA.
+//
+// Contract: every kernel registered here is bit-identical to the scalar
+// reference on all inputs (tests/lpm_differential_test.cpp runs every
+// table shape through both kernel tables; the micro-benches re-verify
+// on every timed iteration).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/family.hpp"
+#include "util/cpu.hpp"
+
+namespace tass::trie {
+
+template <class Family>
+class BasicLpmIndex;
+
+/// How many lookups ahead the batch walks prefetch the root array (and
+/// the SIMD walk prefetches the next block's root words). Measured with
+/// bench/micro_lpm on RIB-shaped tables (~700k prefixes, index well
+/// beyond L2): throughput plateaus from ~8 ahead and is flat through
+/// ~32, so 16 sits mid-plateau — deep enough to cover a full
+/// memory-latency's worth of root misses at the walk's consumption
+/// rate, shallow enough that the prefetched lines still live in L1 when
+/// their lookup arrives. Shared by the scalar, pipelined and AVX2
+/// kernels so a retune applies everywhere at once.
+inline constexpr std::size_t kLookupPrefetchDistance = 16;
+
+/// The per-family kernel table: one entry per batch operation the
+/// dispatch layer covers. `name` is what benches/tests report so every
+/// JSON record says which kernel produced a number.
+template <class Family>
+struct LpmKernelTable {
+  using AddressWord = typename Family::AddressWord;
+  using LookupManyFn = void (*)(const BasicLpmIndex<Family>& index,
+                                std::span<const AddressWord> addresses,
+                                std::span<std::uint32_t> out);
+  LookupManyFn lookup_many = nullptr;
+  const char* name = "scalar";
+};
+
+/// The kernel table for `level`. kScalar always returns the reference
+/// kernels; kAvx2 returns the AVX2 gather kernel for IPv4 (falling back
+/// to scalar in builds without AVX2 support) and the software-pipelined
+/// multi-stream walk for IPv6. Defined in lpm_index.cpp.
+template <class Family>
+const LpmKernelTable<Family>& lpm_kernel_table(
+    util::cpu::SimdLevel level) noexcept;
+
+template <>
+const LpmKernelTable<net::Ipv4Family>& lpm_kernel_table<net::Ipv4Family>(
+    util::cpu::SimdLevel level) noexcept;
+template <>
+const LpmKernelTable<net::Ipv6Family>& lpm_kernel_table<net::Ipv6Family>(
+    util::cpu::SimdLevel level) noexcept;
+
+/// The table the process actually runs with, per util::cpu's cached
+/// probe (hardware capability + TASS_FORCE_SCALAR override).
+template <class Family>
+inline const LpmKernelTable<Family>& active_lpm_kernel_table() noexcept {
+  return lpm_kernel_table<Family>(util::cpu::active_level());
+}
+
+namespace detail {
+
+// Exported by lpm_kernels_avx2.cpp; nullptr when that TU was built
+// without AVX2 codegen (non-x86 target or a compiler lacking -mavx2),
+// in which case the kAvx2 table silently degrades to scalar.
+extern const LpmKernelTable<net::Ipv4Family>::LookupManyFn kAvx2LookupMany4;
+
+}  // namespace detail
+
+}  // namespace tass::trie

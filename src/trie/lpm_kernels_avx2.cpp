@@ -1,0 +1,388 @@
+// The AVX2 batched-lookup kernel for the IPv4 LPM index.
+//
+// This is the only trie/ translation unit compiled with -mavx2 (see the
+// source-file property in CMakeLists.txt); everything it exports is a
+// plain function pointer, so the baseline-ISA dispatch code in
+// lpm_index.cpp can hold and compare it without ever executing an AVX2
+// instruction on a CPU that lacks the feature. When the toolchain or
+// target cannot build AVX2 at all, the #else branch exports nullptr and
+// the kAvx2 kernel table degrades to scalar.
+//
+// Shape of the kernel: level-synchronous blocks of 64 lookups. A
+// RIB-sized index is tens of MiB, so a random lookup stream is bound by
+// DRAM latency, not instructions — the scalar walk already overlaps a
+// few misses through out-of-order execution across loop iterations, and
+// a straight 8-wide gather descent LOSES to it because each level's
+// masked gathers depend on the previous level's. This kernel instead
+// walks a whole block breadth-first: the root words for all 64 lookups
+// issue as eight 8-wide dword gathers, then each of the three descent
+// levels runs across all sixteen 4-lane groups before any group moves
+// deeper, and every group prefetches its next node the moment the
+// child index is known. By the time level N+1's gathers execute, the
+// other fifteen groups' level-N work has covered the miss latency — up
+// to 64 independent node misses are in flight instead of the ~3 the
+// scalar walk reaches.
+//
+// The per-level math is the scalar fast path's stride-6/6/4 schedule in
+// 64-bit lanes (the node bitmaps are 64-bit): masked qword gathers pull
+// child_bits/bases (and leaf_bits only when a lane actually retires),
+// variable shifts test the slot bit, and a nibble-LUT popcount computes
+// the same ranks as the scalar walk. Lanes retire independently — a
+// lane whose slot has no child blends its leaf value into the result
+// vector and drops out of the active mask, exactly mirroring the early
+// exits of the scalar 6/6/4 walk. Bit-identical to
+// BasicLpmIndex::lookup by construction (same loads, same ranks); the
+// differential suite and the in-bench verification enforce it.
+#include "trie/lpm_index.hpp"
+#include "trie/lpm_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace tass::trie {
+
+namespace {
+
+using Index4 = BasicLpmIndex<net::Ipv4Family>;
+using Node = Index4::Node;
+
+// The gathers address node fields by byte offset, so the kernel is
+// wedded to this exact layout; refuse to compile against any other.
+static_assert(sizeof(Node) == 24);
+static_assert(offsetof(Node, child_bits) == 0);
+static_assert(offsetof(Node, leaf_bits) == 8);
+static_assert(offsetof(Node, child_base) == 16);
+static_assert(offsetof(Node, leaf_base) == 20);
+
+// Per-64-bit-lane popcount (no AVX2 popcount instruction exists):
+// nibble LUT via PSHUFB, then a horizontal byte sum via PSADBW.
+inline __m256i popcount64x4(__m256i v) noexcept {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nibble);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nibble);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+// Compacts a 4x64-bit all-ones/zero lane mask into the 4x32-bit mask
+// shape the dword instructions want (also used to narrow results).
+inline __m128i pack64to32(__m256i v) noexcept {
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+      v, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+}
+
+// Walk state for one 4-lane group (four lookups widened to 64-bit
+// lanes). Sixteen of these make the 64-lookup block; the arrays live on
+// the stack and stay L1-resident between levels.
+struct LaneGroup {
+  __m256i addr;
+  __m256i active;
+  __m256i result;
+  __m256i node_idx;
+  // Deferred leaf resolution: lanes that retire through a node leaf
+  // record the leaf index (and prefetch it) instead of gathering the
+  // value inline; resolve_leaves() pays the single masked gather per
+  // group after every level has run, when the prefetches have landed.
+  __m256i leaf_idx;
+  __m256i need_leaf;
+  // The lanes' CURRENT node indices in scalar form — extracted once per
+  // level (for the prefetches) and reused by the next level's loads.
+  alignas(32) std::uint64_t idx[4];
+};
+
+// Extracts the lanes' node indices into group.idx and hints the nodes
+// into cache. Both call sites mask retired lanes to node 0 first: the
+// NEXT level's 16-byte loads are unmasked, so every extracted index
+// must be a real in-bounds node index, and a root-leaf lane's node_idx
+// holds leaf-value bits, not an index.
+inline void extract_and_prefetch(const Node* nodes, __m256i node_idx,
+                                 LaneGroup& group) noexcept {
+  _mm256_store_si256(reinterpret_cast<__m256i*>(group.idx), node_idx);
+  for (int lane = 0; lane < 4; ++lane) {
+    // 24-byte nodes straddle a cache line a third of the time; hint
+    // both ends so no lane's loads eat an unprefetched-line miss.
+    const char* node = reinterpret_cast<const char*>(nodes + group.idx[lane]);
+    __builtin_prefetch(node);
+    __builtin_prefetch(node + sizeof(Node) - 1);
+  }
+}
+
+// Seeds a group from four addresses (zero-extended into 64-bit lanes)
+// and their root words. Lanes whose root word is a leaf (possibly
+// kNoMatch) are final immediately; the rest carry a node index in the
+// low 31 bits, which is prefetched right away so the level-0 gathers
+// later in the block find it resident.
+inline LaneGroup seed_group(const Node* nodes, __m256i addr,
+                            __m256i word) noexcept {
+  const __m256i node_flag =
+      _mm256_set1_epi64x(static_cast<long long>(Index4::kNodeFlag));
+  LaneGroup group;
+  group.addr = addr;
+  group.active =
+      _mm256_cmpeq_epi64(_mm256_and_si256(word, node_flag), node_flag);
+  group.result = word;
+  group.node_idx = _mm256_and_si256(
+      word, _mm256_set1_epi64x(static_cast<long long>(~Index4::kNodeFlag)));
+  group.leaf_idx = _mm256_setzero_si256();
+  group.need_leaf = _mm256_setzero_si256();
+  if (!_mm256_testz_si256(group.active, group.active)) {
+    // Root-leaf lanes carry leaf-value garbage in node_idx; clamp them
+    // to node 0 so the next level's unmasked loads stay in bounds.
+    extract_and_prefetch(
+        nodes, _mm256_and_si256(group.node_idx, group.active), group);
+  }
+  return group;
+}
+
+// One descent level for one group: the scalar fast path's 6/6/4
+// schedule with per-level immediate shifts. Descending lanes prefetch
+// their child node before returning, so the next level's gathers (which
+// run only after every other group has taken this level) hit cache.
+template <int Level>
+inline void step(const Node* nodes, const std::uint32_t* leaves,
+                 LaneGroup& group) noexcept {
+  static_assert(Level >= 0 && Level < 3);
+  if (_mm256_testz_si256(group.active, group.active)) return;
+  const __m256i one64 = _mm256_set1_epi64x(1);
+  // Per-lane loads + transpose instead of masked gathers: the previous
+  // level prefetched these nodes (and extracted their indices into
+  // group.idx), so four 16-byte loads hit L1 and the shuffle ports
+  // assemble the vectors faster than vpgatherqq decodes. Inactive
+  // lanes re-read their last node; the garbage never escapes the
+  // blends below.
+  const std::uint64_t* const idx = group.idx;
+  const __m128i n0 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + idx[0]));
+  const __m128i n1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + idx[1]));
+  const __m128i n2 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + idx[2]));
+  const __m128i n3 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + idx[3]));
+  const __m256i child_bits = _mm256_set_m128i(_mm_unpacklo_epi64(n2, n3),
+                                              _mm_unpacklo_epi64(n0, n1));
+  const __m256i leaf_bits_all = _mm256_set_m128i(_mm_unpackhi_epi64(n2, n3),
+                                                 _mm_unpackhi_epi64(n0, n1));
+  // child_base and leaf_base share a qword: {lo 32: child, hi 32: leaf}.
+  // Assembled through registers (vmovq/vpinsrq), NOT a stack array —
+  // four narrow stores feeding one wide load would defeat
+  // store-forwarding and stall every level.
+  std::uint64_t b0, b1, b2, b3;
+  std::memcpy(&b0, reinterpret_cast<const char*>(nodes + idx[0]) + 16, 8);
+  std::memcpy(&b1, reinterpret_cast<const char*>(nodes + idx[1]) + 16, 8);
+  std::memcpy(&b2, reinterpret_cast<const char*>(nodes + idx[2]) + 16, 8);
+  std::memcpy(&b3, reinterpret_cast<const char*>(nodes + idx[3]) + 16, 8);
+  const __m256i bases = _mm256_set_epi64x(
+      static_cast<long long>(b3), static_cast<long long>(b2),
+      static_cast<long long>(b1), static_cast<long long>(b0));
+
+  __m256i slot;
+  __m256i has_child;
+  if constexpr (Level == 0) {
+    slot = _mm256_and_si256(_mm256_srli_epi64(group.addr, 10),
+                            _mm256_set1_epi64x(63));
+  } else if constexpr (Level == 1) {
+    slot = _mm256_and_si256(_mm256_srli_epi64(group.addr, 4),
+                            _mm256_set1_epi64x(63));
+  } else {
+    slot = _mm256_and_si256(group.addr, _mm256_set1_epi64x(15));
+  }
+  if constexpr (Level < 2) {
+    const __m256i bit =
+        _mm256_and_si256(_mm256_srlv_epi64(child_bits, slot), one64);
+    has_child = _mm256_cmpeq_epi64(bit, one64);
+  } else {
+    has_child = _mm256_setzero_si256();  // last level is always a leaf
+  }
+
+  // Retiring lanes: leaves[leaf_base + rank_inclusive(leaf_bits) - 1].
+  // (2 << 63) wraps to 0, so slot 63 yields an all-ones inclusive
+  // mask — the same wrap the scalar rank_inclusive relies on. Runs
+  // BRANCHLESS: whether any lane retires at a given level is
+  // data-dependent coin-flip territory, and the mispredicts cost more
+  // than the masked-out vector work (empty-mask blends are no-ops).
+  const __m256i retire = _mm256_andnot_si256(has_child, group.active);
+  // excl_mask = (1 << slot) - 1; incl_mask = (2 << slot) - 1 is one
+  // doubling away (the slot-63 wrap to all-ones falls out of the same
+  // arithmetic), saving a second variable shift.
+  const __m256i excl_mask =
+      _mm256_sub_epi64(_mm256_sllv_epi64(one64, slot), one64);
+  {
+    const __m256i incl_mask = _mm256_add_epi64(
+        _mm256_add_epi64(excl_mask, excl_mask), one64);
+    const __m256i leaf_rank =
+        popcount64x4(_mm256_and_si256(leaf_bits_all, incl_mask));
+    const __m256i leaf_idx = _mm256_sub_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(bases, 32), leaf_rank), one64);
+    group.leaf_idx = _mm256_blendv_epi8(group.leaf_idx, leaf_idx, retire);
+    group.need_leaf = _mm256_or_si256(group.need_leaf, retire);
+    // Even level-2 retirees profit from the hint: their values load in
+    // resolve_leaves(), a whole block-sweep later.
+    alignas(32) std::uint64_t lidx[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lidx),
+                       _mm256_and_si256(leaf_idx, retire));
+    for (int lane = 0; lane < 4; ++lane) {
+      __builtin_prefetch(leaves + lidx[lane]);
+    }
+  }
+
+  if constexpr (Level < 2) {
+    // Descending lanes: nodes[child_base + rank(child_bits, slot)].
+    const __m256i child_rank =
+        popcount64x4(_mm256_and_si256(child_bits, excl_mask));
+    const __m256i child_base =
+        _mm256_and_si256(bases, _mm256_set1_epi64x(0xffffffffll));
+    group.node_idx = _mm256_blendv_epi8(
+        group.node_idx, _mm256_add_epi64(child_base, child_rank), has_child);
+    group.active = _mm256_and_si256(group.active, has_child);
+    if (!_mm256_testz_si256(group.active, group.active)) {
+      // Mask with the active lanes: root-leaf lanes never held a node
+      // index (node_idx is leaf-value bits, up to ~kNoMatch), and the
+      // next level's loads are unmasked — clamp them to node 0 exactly
+      // as seed_group does.
+      extract_and_prefetch(
+          nodes, _mm256_and_si256(group.node_idx, group.active), group);
+    }
+  } else {
+    group.active = _mm256_setzero_si256();
+  }
+}
+
+// Pays the deferred leaf-value gather for one group. Run after every
+// level so the retire-time prefetches have had the whole block's
+// remaining work to land.
+inline void resolve_leaves(const std::uint32_t* leaves,
+                           LaneGroup& group) noexcept {
+  if (_mm256_testz_si256(group.need_leaf, group.need_leaf)) return;
+  const __m128i values = _mm256_mask_i64gather_epi32(
+      _mm_setzero_si128(), reinterpret_cast<const int*>(leaves),
+      group.leaf_idx, pack64to32(group.need_leaf), 4);
+  group.result = _mm256_blendv_epi8(
+      group.result, _mm256_cvtepu32_epi64(values), group.need_leaf);
+}
+
+// Resolves four addresses depth-first (used for the 8..63 tail, where
+// there is no block to pipeline against). Shares step<>() with the
+// block path, so there is exactly one copy of the descent math.
+inline void descend4(const Index4::Raw& raw, __m256i addr, __m256i word,
+                     std::uint32_t* out) noexcept {
+  const Node* const nodes = raw.nodes.data();
+  const std::uint32_t* const leaves = raw.leaves.data();
+  LaneGroup group = seed_group(nodes, addr, word);
+  step<0>(nodes, leaves, group);
+  step<1>(nodes, leaves, group);
+  step<2>(nodes, leaves, group);
+  resolve_leaves(leaves, group);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), pack64to32(group.result));
+}
+
+void avx2_lookup_many_v4(const Index4& index,
+                         std::span<const std::uint32_t> addresses,
+                         std::span<std::uint32_t> out) {
+  const Index4::Raw raw = index.raw();
+  const Node* const nodes = raw.nodes.data();
+  const std::uint32_t* const leaves = raw.leaves.data();
+  const std::uint32_t* const root = raw.root.data();
+  const std::size_t n = addresses.size();
+  std::size_t i = 0;
+
+  // Main path: 64 lookups per block, breadth-first. kGroups trades
+  // memory-level parallelism against stack-state size; 16 groups keep
+  // up to 64 node misses in flight while the state (2 KiB) stays L1.
+  constexpr std::size_t kGroups = 32;
+  constexpr std::size_t kBlock = kGroups * 4;
+  for (; i + kBlock <= n; i += kBlock) {
+    // Root words for the NEXT block prefetch while this one resolves —
+    // the block structure itself is the prefetch distance here (64,
+    // comfortably past kLookupPrefetchDistance's measured plateau).
+    if (i + 2 * kBlock <= n) {
+      for (std::size_t lane = 0; lane < kBlock; ++lane) {
+        __builtin_prefetch(&root[addresses[i + kBlock + lane] >> 16]);
+      }
+    }
+    LaneGroup groups[kGroups];
+    for (std::size_t g = 0; g < kGroups; g += 2) {
+      const __m256i addr8 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(addresses.data() + i + g * 4));
+      const __m256i word8 = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(root), _mm256_srli_epi32(addr8, 16),
+          4);
+      // The descent works in 64-bit lanes (the bitmaps are 64-bit), so
+      // each eight-wide root gather splits into two widened 4-lane
+      // groups.
+      groups[g] = seed_group(
+          nodes, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(addr8)),
+          _mm256_cvtepu32_epi64(_mm256_castsi256_si128(word8)));
+      groups[g + 1] = seed_group(
+          nodes, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(addr8, 1)),
+          _mm256_cvtepu32_epi64(_mm256_extracti128_si256(word8, 1)));
+    }
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      step<0>(nodes, leaves, groups[g]);
+    }
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      step<1>(nodes, leaves, groups[g]);
+    }
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      step<2>(nodes, leaves, groups[g]);
+    }
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      resolve_leaves(leaves, groups[g]);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data() + i + g * 4),
+                       pack64to32(groups[g].result));
+    }
+  }
+
+  // 8..63-lookup tail: the original depth-first 8-wide path, with the
+  // scalar kernel's root-stream prefetch at the shared distance.
+  for (; i + 8 <= n; i += 8) {
+    if (i + kLookupPrefetchDistance + 8 <= n) {
+      for (std::size_t lane = 0; lane < 8; ++lane) {
+        __builtin_prefetch(
+            &root[addresses[i + kLookupPrefetchDistance + lane] >> 16]);
+      }
+    }
+    const __m256i addr8 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(addresses.data() + i));
+    const __m256i word8 = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(root), _mm256_srli_epi32(addr8, 16), 4);
+    descend4(raw, _mm256_cvtepu32_epi64(_mm256_castsi256_si128(addr8)),
+             _mm256_cvtepu32_epi64(_mm256_castsi256_si128(word8)),
+             out.data() + i);
+    descend4(raw, _mm256_cvtepu32_epi64(_mm256_extracti128_si256(addr8, 1)),
+             _mm256_cvtepu32_epi64(_mm256_extracti128_si256(word8, 1)),
+             out.data() + i + 4);
+  }
+  for (; i < n; ++i) {
+    out[i] = index.lookup(net::Ipv4Address(addresses[i]));
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const LpmKernelTable<net::Ipv4Family>::LookupManyFn kAvx2LookupMany4 =
+    &avx2_lookup_many_v4;
+}  // namespace detail
+
+}  // namespace tass::trie
+
+#else  // !(__AVX2__ && __x86_64__)
+
+namespace tass::trie::detail {
+const LpmKernelTable<net::Ipv4Family>::LookupManyFn kAvx2LookupMany4 =
+    nullptr;
+}  // namespace tass::trie::detail
+
+#endif

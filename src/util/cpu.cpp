@@ -1,0 +1,70 @@
+#include "util/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tass::util::cpu {
+
+namespace {
+
+bool env_forces_scalar() noexcept {
+  const char* value = std::getenv("TASS_FORCE_SCALAR");
+  return value != nullptr && *value != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+bool hardware_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel select_level() noexcept {
+  const Features features = probe();
+  if (features.forced_scalar || !features.avx2) return SimdLevel::kScalar;
+  return SimdLevel::kAvx2;
+}
+
+// The cached decision. Encoded as level + 1 so 0 means "not probed yet";
+// relaxed ordering suffices — every thread that races the first probe
+// computes the same value.
+std::atomic<int> g_active{0};
+
+}  // namespace
+
+std::string_view level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Features probe() noexcept {
+  Features features;
+  features.avx2 = hardware_has_avx2();
+  features.forced_scalar = env_forces_scalar();
+  return features;
+}
+
+SimdLevel active_level() noexcept {
+  int cached = g_active.load(std::memory_order_relaxed);
+  if (cached == 0) {
+    cached = static_cast<int>(select_level()) + 1;
+    g_active.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(cached - 1);
+}
+
+SimdLevel refresh_active_level_for_testing() noexcept {
+  const SimdLevel level = select_level();
+  g_active.store(static_cast<int>(level) + 1, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace tass::util::cpu

@@ -1,0 +1,55 @@
+// Runtime CPU feature detection and SIMD kernel selection.
+//
+// The batch hot paths (trie::BasicLpmIndex::lookup_many,
+// bgp::BasicPrefixPartition::tally_cells) exist in two implementations:
+// the scalar reference walk — always compiled, always correct — and
+// explicit SIMD kernels compiled into dedicated translation units with
+// the matching -m flags. Which implementation runs is decided exactly
+// once per process, here: active_level() probes the CPU (CPUID via
+// __builtin_cpu_supports on x86) and the TASS_FORCE_SCALAR environment
+// override, and every kernel-table accessor keys off the result. The
+// binary therefore runs unchanged on any machine — a CPU without AVX2
+// simply selects the scalar table — and sanitizer jobs export
+// TASS_FORCE_SCALAR=1 so ASan/TSan keep exercising the reference path
+// the SIMD kernels are differentially tested against.
+//
+// Contract shared by every kernel pair: the SIMD kernel is bit-identical
+// to the scalar reference on all inputs. The differential suite
+// (tests/lpm_differential_test.cpp) and the micro-benches enforce this;
+// a kernel that is fast but not bit-identical is a bug, not a trade-off.
+#pragma once
+
+#include <string_view>
+
+namespace tass::util::cpu {
+
+/// The kernel tiers the dispatch layer distinguishes. kScalar is the
+/// reference implementation; kAvx2 selects the AVX2 gather/mask kernels
+/// (and the software-pipelined walks that ride the same dispatch).
+enum class SimdLevel { kScalar = 0, kAvx2 = 1 };
+
+std::string_view level_name(SimdLevel level) noexcept;
+
+/// Raw probe results, uncached: what the hardware supports and whether
+/// the TASS_FORCE_SCALAR override is set (any value except "" and "0").
+struct Features {
+  bool avx2 = false;          // hardware + compiled-in kernel support
+  bool forced_scalar = false; // TASS_FORCE_SCALAR environment override
+};
+
+/// Probes CPUID and the environment. Cheap but not free; hot paths use
+/// active_level() instead.
+Features probe() noexcept;
+
+/// The level selected by probe() at first call and cached for the
+/// process lifetime — the one decision point every kernel table keys
+/// off. TASS_FORCE_SCALAR wins over any hardware capability.
+SimdLevel active_level() noexcept;
+
+/// Re-runs the probe and replaces the cached level — for tests that
+/// toggle TASS_FORCE_SCALAR via setenv and need the round trip to be
+/// observable. Not thread-safe against concurrent hot-path dispatch;
+/// production code never calls this.
+SimdLevel refresh_active_level_for_testing() noexcept;
+
+}  // namespace tass::util::cpu

@@ -1,0 +1,59 @@
+#include "util/numa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(TASS_HAVE_NUMA)
+#include <numa.h>
+#endif
+
+namespace tass::util::numa {
+
+bool compiled() noexcept {
+#if defined(TASS_HAVE_NUMA)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool available() noexcept {
+#if defined(TASS_HAVE_NUMA)
+  return ::numa_available() >= 0 && ::numa_num_configured_nodes() > 1;
+#else
+  return false;
+#endif
+}
+
+int node_count() noexcept {
+#if defined(TASS_HAVE_NUMA)
+  if (::numa_available() < 0) return 1;
+  const int nodes = ::numa_num_configured_nodes();
+  return nodes > 0 ? nodes : 1;
+#else
+  return 1;
+#endif
+}
+
+bool pin_thread_to_node(unsigned worker_index) noexcept {
+#if defined(TASS_HAVE_NUMA)
+  if (!available()) return false;
+  const int node = static_cast<int>(worker_index) % node_count();
+  // numa_run_on_node binds execution; the preferred policy makes the
+  // worker's first-touch allocations land on the same node even under
+  // transient memory pressure elsewhere.
+  if (::numa_run_on_node(node) != 0) return false;
+  ::numa_set_preferred(node);
+  return true;
+#else
+  (void)worker_index;
+  return false;
+#endif
+}
+
+bool pin_requested_from_env() noexcept {
+  const char* value = std::getenv("TASS_NUMA_PIN");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+}  // namespace tass::util::numa

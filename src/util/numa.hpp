@@ -1,0 +1,42 @@
+// Minimal NUMA topology shim for the thread pool.
+//
+// Two mechanisms keep per-shard engine state node-local during the
+// sharded attribution stages, and only one of them needs this header:
+//
+//   1. First-touch placement (always on, no library needed): the
+//      per-shard count vectors are allocated *inside* the shard lambda,
+//      on the worker that will fill them, so the kernel's first-touch
+//      policy places their pages on that worker's node. See
+//      scan::ScanEngine::run_attributed and core::attribute.
+//   2. Worker pinning (optional): ThreadPool can pin its workers
+//      round-robin across NUMA nodes so a worker — and with it the
+//      first-touched scratch — stays put for the pool's lifetime. That
+//      needs libnuma, gated behind the TASS_NUMA CMake option; without
+//      it (or on single-node machines) every function here degrades to
+//      a no-op and the pool behaves exactly as before.
+#pragma once
+
+namespace tass::util::numa {
+
+/// True when the build linked libnuma (CMake -DTASS_NUMA=ON and the
+/// library was found).
+bool compiled() noexcept;
+
+/// True when pinning can do anything: libnuma is compiled in,
+/// numa_available() succeeds, and the machine has more than one node.
+bool available() noexcept;
+
+/// Configured NUMA nodes (1 when unavailable).
+int node_count() noexcept;
+
+/// Pins the calling thread to node (worker_index % node_count()),
+/// memory policy included, so its first-touched pages land on the same
+/// node it executes on. Returns false (doing nothing) when unavailable.
+bool pin_thread_to_node(unsigned worker_index) noexcept;
+
+/// The TASS_NUMA_PIN environment toggle (any value except "" and "0")
+/// — how deployments opt the shared pool into pinning without a
+/// rebuild. Meaningless unless available().
+bool pin_requested_from_env() noexcept;
+
+}  // namespace tass::util::numa

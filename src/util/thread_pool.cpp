@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/numa.hpp"
+
 namespace tass::util {
 
 std::size_t shard_count_for(std::uint64_t total_items,
@@ -28,13 +30,18 @@ std::size_t shard_count_for_slots(std::uint64_t total_items,
                          max_shards);
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, ThreadPoolOptions options) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Pin before entering the loop: the worker's stack and everything
+    // it first-touches from then on stay on its node.
+    workers_.emplace_back([this, i, options] {
+      if (options.numa_pin) numa::pin_thread_to_node(i);
+      worker_loop();
+    });
   }
 }
 
@@ -111,7 +118,11 @@ void ThreadPool::for_each_shard(std::size_t shard_count,
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool(0);
+  // Deployments opt the process-wide pool into NUMA pinning with
+  // TASS_NUMA_PIN=1; harmless (a no-op) everywhere else.
+  static ThreadPool pool(0,
+                         ThreadPoolOptions{numa::pin_requested_from_env() &&
+                                           numa::available()});
   return pool;
 }
 

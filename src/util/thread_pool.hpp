@@ -51,12 +51,22 @@ std::size_t shard_count_for_slots(std::uint64_t total_items,
 void run_shards(unsigned threads, std::size_t shard_count,
                 const std::function<void(std::size_t)>& fn);
 
+/// Construction knobs beyond the thread count.
+struct ThreadPoolOptions {
+  /// Pin workers round-robin across NUMA nodes (execution + preferred
+  /// memory policy), so shard scratch first-touched by a worker stays
+  /// on its node for the pool's lifetime. No-op when built without
+  /// libnuma (CMake TASS_NUMA) or on single-node machines. The shared()
+  /// pool reads the TASS_NUMA_PIN environment toggle for this.
+  bool numa_pin = false;
+};
+
 class ThreadPool {
  public:
   /// A pool with `threads` participants including the calling thread
   /// (i.e. `threads - 1` workers are spawned). 0 means one participant
   /// per hardware thread.
-  explicit ThreadPool(unsigned threads = 0);
+  explicit ThreadPool(unsigned threads = 0, ThreadPoolOptions options = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -15,10 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "trie/lpm_index6.hpp"
+#include "trie/lpm_kernels.hpp"
 #include "trie/prefix_trie.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 namespace tass::trie {
@@ -84,6 +89,24 @@ std::size_t verify_table(const std::vector<Entry>& table, std::uint64_t seed,
 
   // Batched and scalar paths must agree with each other as well.
   const std::vector<std::uint32_t> batched = index.lookup_many(addresses);
+
+  // Every registered kernel tier must be bit-identical to the default
+  // batch. On hardware without AVX2 the kAvx2 slot holds the scalar
+  // fallback, so the sweep degenerates gracefully instead of skipping.
+  std::vector<std::uint32_t> tier(addresses.size());
+  for (const auto level :
+       {util::cpu::SimdLevel::kScalar, util::cpu::SimdLevel::kAvx2}) {
+    index.lookup_many(addresses, tier, level);
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      if (tier[i] == batched[i]) continue;
+      ADD_FAILURE() << lpm_kernel_table<net::Ipv4Family>(level).name
+                    << " kernel diverges at "
+                    << net::Ipv4Address(addresses[i]).to_string()
+                    << " seed=" << seed;
+      return addresses.size();
+    }
+  }
+
   for (std::size_t i = 0; i < addresses.size(); ++i) {
     const net::Ipv4Address addr(addresses[i]);
     const std::uint32_t got = index.lookup(addr);
@@ -297,6 +320,22 @@ std::size_t verify_table6(const std::vector<Entry6>& table,
 
   // Batched and scalar paths must agree with each other as well.
   const std::vector<std::uint32_t> batched = index.lookup_many(addresses);
+
+  // Both kernel tiers (scalar reference, software-pipelined walk) must
+  // be bit-identical to the default batch.
+  std::vector<std::uint32_t> tier(addresses.size());
+  for (const auto level :
+       {util::cpu::SimdLevel::kScalar, util::cpu::SimdLevel::kAvx2}) {
+    index.lookup_many(addresses, tier, level);
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      if (tier[i] == batched[i]) continue;
+      ADD_FAILURE() << lpm_kernel_table<net::Ipv6Family>(level).name
+                    << " kernel diverges at " << addresses[i].to_string()
+                    << " seed=" << seed;
+      return addresses.size();
+    }
+  }
+
   for (std::size_t i = 0; i < addresses.size(); ++i) {
     const net::Ipv6Address addr = addresses[i];
     const std::uint32_t got = index.lookup(addr);
@@ -416,6 +455,58 @@ TEST(LpmDifferential, Ipv6EmptyAndSingleEntry) {
   std::vector<Entry6> one = {
       {net::Ipv6Prefix::parse_or_throw("2001:db8::/32"), 7}};
   verify_table6(one, 99, 500);
+}
+
+// --- kernel dispatch ---------------------------------------------------
+
+TEST(LpmDispatch, KernelTablesArePopulated) {
+  // Every (family, level) slot holds a callable kernel with a stable
+  // name; kAvx2 falls back to the scalar kernel when the AVX2 TU was
+  // not compiled in, so dispatch never dereferences a null entry.
+  for (const auto level :
+       {util::cpu::SimdLevel::kScalar, util::cpu::SimdLevel::kAvx2}) {
+    const auto& table4 = lpm_kernel_table<net::Ipv4Family>(level);
+    ASSERT_NE(table4.lookup_many, nullptr);
+    EXPECT_FALSE(std::string_view(table4.name).empty());
+    const auto& table6 = lpm_kernel_table<net::Ipv6Family>(level);
+    ASSERT_NE(table6.lookup_many, nullptr);
+    EXPECT_FALSE(std::string_view(table6.name).empty());
+  }
+  EXPECT_STREQ(
+      lpm_kernel_table<net::Ipv4Family>(util::cpu::SimdLevel::kScalar).name,
+      "scalar");
+  EXPECT_STREQ(
+      lpm_kernel_table<net::Ipv6Family>(util::cpu::SimdLevel::kAvx2).name,
+      "pipelined");
+}
+
+TEST(LpmDispatch, ForceScalarEnvRoundTrip) {
+  // TASS_FORCE_SCALAR wins over any hardware capability, "0"/"" do not
+  // count as set, and clearing it restores the probed level. The
+  // original environment is restored afterwards so this test composes
+  // with sanitizer jobs that export the override suite-wide.
+  const char* saved = std::getenv("TASS_FORCE_SCALAR");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("TASS_FORCE_SCALAR", "1", 1);
+  EXPECT_TRUE(util::cpu::probe().forced_scalar);
+  EXPECT_EQ(util::cpu::refresh_active_level_for_testing(),
+            util::cpu::SimdLevel::kScalar);
+
+  ::setenv("TASS_FORCE_SCALAR", "0", 1);
+  EXPECT_FALSE(util::cpu::probe().forced_scalar);
+
+  ::unsetenv("TASS_FORCE_SCALAR");
+  const util::cpu::Features features = util::cpu::probe();
+  EXPECT_FALSE(features.forced_scalar);
+  EXPECT_EQ(util::cpu::refresh_active_level_for_testing(),
+            features.avx2 ? util::cpu::SimdLevel::kAvx2
+                          : util::cpu::SimdLevel::kScalar);
+
+  if (saved) {
+    ::setenv("TASS_FORCE_SCALAR", saved_value.c_str(), 1);
+  }
+  util::cpu::refresh_active_level_for_testing();
 }
 
 TEST(LpmDifferential, EraseInLegacyMatchesRebuiltIndex) {

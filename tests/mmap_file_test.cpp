@@ -1,0 +1,116 @@
+// Unit tests for util::MmapFile, focused on the hugepage request path:
+// whatever backing materialises (hugetlb pool, THP advice, or the plain
+// base-page fallback), the mapped bytes must equal the file bytes and
+// backing() must name what actually happened. The fallback chain is the
+// contract — requesting huge pages on a host with no hugepage support of
+// any kind must still yield a working mapping, never an error.
+#include "util/mmap_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tass::util {
+namespace {
+
+std::string write_temp(const std::string& name,
+                       const std::vector<char>& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+std::vector<char> patterned(std::size_t n) {
+  std::vector<char> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<char>((i * 131) ^ (i >> 8));
+  }
+  return bytes;
+}
+
+void expect_matches(const MmapFile& map, const std::vector<char>& bytes) {
+  ASSERT_EQ(map.size(), bytes.size());
+  EXPECT_EQ(std::memcmp(map.bytes().data(), bytes.data(), bytes.size()), 0);
+}
+
+TEST(MmapFile, DefaultOpenIsBasePageBacked) {
+  const auto bytes = patterned(12345);
+  const std::string path = write_temp("mmap_base.bin", bytes);
+  const MmapFile map = MmapFile::open(path);
+  expect_matches(map, bytes);
+  EXPECT_EQ(map.backing(), PageBacking::kBase);
+  EXPECT_EQ(map.path(), path);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, HugePageRequestFallsBackButNeverFails) {
+  // Sub-hugepage and multi-megabyte sizes, including one that is not a
+  // multiple of any page size: the copy must round the mapping up but
+  // expose exactly the file's bytes.
+  for (const std::size_t size :
+       {std::size_t{4097}, std::size_t{(3u << 20) + 5u}}) {
+    const auto bytes = patterned(size);
+    const std::string path = write_temp("mmap_huge.bin", bytes);
+    MapOptions options;
+    options.huge_pages = true;
+    const MmapFile map = MmapFile::open(path, options);
+    expect_matches(map, bytes);
+    // Which flavour materialises depends on the host (hugetlb pool size,
+    // THP mode); the contract is only that the open succeeds and reports
+    // a real backing, never kNone.
+    EXPECT_NE(map.backing(), PageBacking::kNone)
+        << page_backing_name(map.backing());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MmapFile, EmptyFileMapsToEmptySpan) {
+  const std::string path = write_temp("mmap_empty.bin", {});
+  for (const bool huge : {false, true}) {
+    MapOptions options;
+    options.huge_pages = huge;
+    const MmapFile map = MmapFile::open(path, options);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.backing(), PageBacking::kNone);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, MissingFileThrows) {
+  const std::string path = ::testing::TempDir() + "mmap_does_not_exist.bin";
+  EXPECT_THROW(MmapFile::open(path), Error);
+  MapOptions options;
+  options.huge_pages = true;
+  EXPECT_THROW(MmapFile::open(path, options), Error);
+}
+
+TEST(MmapFile, MoveTransfersMappingWithoutRemap) {
+  const auto bytes = patterned(9000);
+  const std::string path = write_temp("mmap_move.bin", bytes);
+  MmapFile map = MmapFile::open(path);
+  const std::byte* base = map.bytes().data();
+  MmapFile moved = std::move(map);
+  EXPECT_EQ(moved.bytes().data(), base);  // address-stability contract
+  expect_matches(moved, bytes);
+  EXPECT_TRUE(map.empty());  // NOLINT(bugprone-use-after-move)
+  std::remove(path.c_str());
+}
+
+TEST(MmapFile, PageBackingNames) {
+  EXPECT_EQ(page_backing_name(PageBacking::kNone), "none");
+  EXPECT_EQ(page_backing_name(PageBacking::kBase), "base");
+  EXPECT_EQ(page_backing_name(PageBacking::kTransparentHuge), "thp");
+  EXPECT_EQ(page_backing_name(PageBacking::kHugeTlb), "hugetlb");
+}
+
+}  // namespace
+}  // namespace tass::util

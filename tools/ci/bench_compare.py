@@ -10,10 +10,11 @@ artifacts, API errors, missing metrics — degrades to a warning and exit
 baselines.
 
 Headline metrics (direction-aware):
-  micro_lpm       lpm_lookups_per_sec, lpm_batch_lookups_per_sec (higher
-                  is better)
-  micro_lpm6      lpm6_lookups_per_sec, lpm6_batch_lookups_per_sec
-                  (higher is better)
+  micro_lpm       lpm_lookups_per_sec, lpm_batch_lookups_per_sec,
+                  lpm_simd_lookups_per_sec (higher is better; the simd
+                  key appears only when the AVX2 kernel ran)
+  micro_lpm6      lpm6_lookups_per_sec, lpm6_batch_lookups_per_sec,
+                  lpm6_simd_lookups_per_sec (higher is better)
   micro_delta     delta_ms per churn rate (lower is better)
   micro_coldstart load_ms (lower is better), speedup (higher is better)
 
@@ -102,11 +103,16 @@ def headline_metrics(record):
     """Yields (metric-name, value, higher_is_better) for one record."""
     bench = record.get("bench")
     if bench == "micro_lpm":
-        for key in ("lpm_lookups_per_sec", "lpm_batch_lookups_per_sec"):
+        # lpm_simd_lookups_per_sec is present only when the AVX2 kernel
+        # ran; missing-in-baseline is already warn-only, so the key ages
+        # in gracefully.
+        for key in ("lpm_lookups_per_sec", "lpm_batch_lookups_per_sec",
+                    "lpm_simd_lookups_per_sec"):
             if key in record:
                 yield key, float(record[key]), True
     elif bench == "micro_lpm6":
-        for key in ("lpm6_lookups_per_sec", "lpm6_batch_lookups_per_sec"):
+        for key in ("lpm6_lookups_per_sec", "lpm6_batch_lookups_per_sec",
+                    "lpm6_simd_lookups_per_sec"):
             if key in record:
                 yield key, float(record[key]), True
     elif bench == "micro_delta":
