@@ -1,6 +1,8 @@
 #include "scan/ratelimit.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -29,8 +31,23 @@ bool TokenBucket::try_consume(double tokens, double now) noexcept {
 double TokenBucket::ready_time(double tokens, double now) noexcept {
   TASS_EXPECTS(tokens >= 0.0);
   refill(now);
-  if (tokens_ >= tokens) return now;
-  return now + (tokens - tokens_) / rate_;
+  // Same 1e-9 tolerance as try_consume: without it, ready_time could
+  // report "not yet" (and hand back a future instant) for a demand
+  // try_consume would already grant, or — worse — return an instant at
+  // which try_consume still refuses because the refill at that instant
+  // rounds a hair short. The nextafter loop closes the residual ULP gap
+  // for large-magnitude clocks where an absolute 1e-9 is below the
+  // representable resolution, so try_consume(t, ready_time(t, now)) is
+  // guaranteed to succeed.
+  if (tokens_ + 1e-9 >= tokens) return now;
+  // tokens_ is as-of last_refill_ (== now unless the clock ran
+  // backwards), so project the deficit from there.
+  const double base = std::max(now, last_refill_);
+  double ready = base + (tokens - tokens_) / rate_;
+  while (tokens_ + (ready - last_refill_) * rate_ + 1e-9 < tokens) {
+    ready = std::nextafter(ready, std::numeric_limits<double>::infinity());
+  }
+  return ready;
 }
 
 double TokenBucket::available(double now) noexcept {

@@ -27,7 +27,9 @@ class TokenBucket {
   /// Attempts to consume `tokens` at time `now`; returns success.
   bool try_consume(double tokens, double now) noexcept;
 
-  /// Earliest time at which `tokens` could be consumed (>= now).
+  /// Earliest time at which `tokens` could be consumed (>= now), under
+  /// the same 1e-9 tolerance as try_consume — so
+  /// try_consume(t, ready_time(t, now)) always succeeds.
   double ready_time(double tokens, double now) noexcept;
 
   double available(double now) noexcept;

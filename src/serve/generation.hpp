@@ -1,0 +1,187 @@
+// RCU-style generation handles for the serving daemon.
+//
+// tass_serve answers every query out of an immutable, mmap'ed
+// state::BasicStateImage. Reloads (operator command or SIGHUP) must not
+// stall the query path: a writer seals/loads the *new* image off-thread,
+// installs it with one atomic pointer swap, and the old image is
+// destroyed only after the last in-flight request batch that acquired it
+// has drained. GenerationStore is that mechanism, built so the reader
+// side is wait-free and lock-free — the acceptance bar for the query
+// hot path is *zero locks*:
+//
+//   * Readers are a fixed set of serving shards, each owning one
+//     cache-line-padded announcement slot. acquire(slot) publishes the
+//     sequence number of the generation the shard is about to read,
+//     then re-validates that the installed generation did not change in
+//     between (the classic announce-then-validate dance); on a race it
+//     simply retries against the newer generation. The returned Ref is
+//     an RAII guard: its destructor clears the announcement, marking
+//     the batch drained. Cost per batch: three uncontended atomic
+//     accesses, no CAS loop in the common case, no mutex ever.
+//   * The writer (a single reload thread; installs must be externally
+//     serialised) swaps the current pointer and receives the previous
+//     generation back. wait_until_unreferenced() then polls the
+//     announcement slots until none still names the old sequence —
+//     readers that announced before the swap are visible to the scan
+//     (both sides use seq_cst on the announce/validate/install edges),
+//     and readers arriving after the swap can only acquire the new
+//     generation. Only then is the old image destroyed.
+//
+// Sequence numbers strictly increase across installs and are carried in
+// every wire response next to the image's topology fingerprint, so a
+// client (and the swap-stress test) can pin every answer to exactly one
+// generation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tass::serve {
+
+/// One reader's announcement slot: 0 when quiescent, otherwise the
+/// sequence number of the generation the reader holds. Padded so two
+/// shards never share a cache line.
+struct alignas(64) ReaderSlot {
+  std::atomic<std::uint64_t> active{0};
+};
+
+template <class Image>
+class GenerationStore {
+ public:
+  /// One installed image plus its monotonically increasing sequence
+  /// number. Heap-allocated by install(); destroyed by retire() (or the
+  /// store's destructor, for the final generation).
+  struct Generation {
+    Generation(std::uint64_t s, Image img)
+        : seq(s), image(std::move(img)) {}
+    std::uint64_t seq;
+    Image image;
+  };
+
+  /// RAII read guard over one generation. Movable, not copyable; the
+  /// destructor clears the owning slot's announcement, which is what
+  /// lets the writer retire the generation.
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(const Generation* gen, ReaderSlot* slot) noexcept
+        : gen_(gen), slot_(slot) {}
+    Ref(Ref&& other) noexcept
+        : gen_(other.gen_), slot_(other.slot_) {
+      other.gen_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    Ref& operator=(Ref&& other) noexcept {
+      if (this != &other) {
+        release();
+        gen_ = other.gen_;
+        slot_ = other.slot_;
+        other.gen_ = nullptr;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { release(); }
+
+    explicit operator bool() const noexcept { return gen_ != nullptr; }
+    const Image& image() const noexcept { return gen_->image; }
+    std::uint64_t seq() const noexcept { return gen_->seq; }
+
+   private:
+    void release() noexcept {
+      if (slot_ != nullptr) {
+        slot_->active.store(0, std::memory_order_seq_cst);
+        slot_ = nullptr;
+        gen_ = nullptr;
+      }
+    }
+
+    const Generation* gen_ = nullptr;
+    ReaderSlot* slot_ = nullptr;
+  };
+
+  /// A store read by at most `reader_slots` concurrent shards (slot
+  /// indices [0, reader_slots)). Starts empty: acquire() returns a null
+  /// Ref until the first install().
+  explicit GenerationStore(std::size_t reader_slots)
+      : slots_(reader_slots) {
+    TASS_EXPECTS(reader_slots > 0);
+  }
+
+  GenerationStore(const GenerationStore&) = delete;
+  GenerationStore& operator=(const GenerationStore&) = delete;
+
+  ~GenerationStore() {
+    delete current_.load(std::memory_order_acquire);
+  }
+
+  /// True once a generation has been installed.
+  bool has_generation() const noexcept {
+    return current_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Sequence number of the installed generation (0 when empty). A
+  /// monitoring read, not a synchronisation point.
+  std::uint64_t current_seq() const noexcept {
+    const Generation* gen = current_.load(std::memory_order_acquire);
+    return gen == nullptr ? 0 : gen->seq;
+  }
+
+  /// Wait-free reader entry: pins the current generation for slot
+  /// `slot_index` and returns a guard over it (null when the store is
+  /// empty). The guard must be dropped promptly — one request batch,
+  /// not one connection lifetime — or reloads cannot retire.
+  Ref acquire(std::size_t slot_index) const noexcept {
+    TASS_EXPECTS(slot_index < slots_.size());
+    ReaderSlot& slot = slots_[slot_index];
+    for (;;) {
+      const Generation* gen = current_.load(std::memory_order_seq_cst);
+      if (gen == nullptr) return Ref{};
+      // Announce, then re-validate: if the writer swapped in between,
+      // retry on the newer generation. Once the validating load still
+      // sees `gen`, the writer's post-swap scan is guaranteed to see
+      // this announcement before retiring `gen`.
+      slot.active.store(gen->seq, std::memory_order_seq_cst);
+      if (current_.load(std::memory_order_seq_cst) == gen) {
+        return Ref{gen, &slot};
+      }
+      slot.active.store(0, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Writer entry (single writer; installs must be externally
+  /// serialised): installs `image` as the next generation and returns
+  /// the displaced one — nullptr on the first install — which the
+  /// caller must hand to retire() once convenient. Wait-free.
+  const Generation* install(Image image) {
+    auto fresh = std::make_unique<Generation>(next_seq_++, std::move(image));
+    return current_.exchange(fresh.release(), std::memory_order_seq_cst);
+  }
+
+  /// Blocks until no reader slot still announces `old` (readers hold a
+  /// generation only for one request batch, so this terminates), then
+  /// destroys it. Writer-side only; accepts nullptr as a no-op.
+  void retire(const Generation* old) const {
+    if (old == nullptr) return;
+    for (const ReaderSlot& slot : slots_) {
+      while (slot.active.load(std::memory_order_seq_cst) == old->seq) {
+        std::this_thread::yield();
+      }
+    }
+    delete old;
+  }
+
+ private:
+  std::atomic<const Generation*> current_{nullptr};
+  std::uint64_t next_seq_ = 1;  // writer-only
+  mutable std::vector<ReaderSlot> slots_;
+};
+
+}  // namespace tass::serve

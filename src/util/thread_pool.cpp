@@ -21,8 +21,12 @@ std::size_t shard_count_for_slots(std::uint64_t total_items,
                                   std::uint64_t cells,
                                   std::size_t bytes_per_cell) noexcept {
   constexpr std::uint64_t kSlotMemoryBudget = 64ULL << 20;  // bytes
+  // Clamp both factors: a zero-cell workload AND a zero-byte slot type
+  // (callers sizing for a slot-free reduction) must both yield a valid
+  // divisor, not a division by zero.
   const std::uint64_t slot_bytes =
-      std::max<std::uint64_t>(1, cells) * bytes_per_cell;
+      std::max<std::uint64_t>(1, cells) *
+      std::max<std::uint64_t>(1, bytes_per_cell);
   const auto max_shards = static_cast<std::size_t>(
       std::clamp<std::uint64_t>(kSlotMemoryBudget / slot_bytes, 1, 1024));
   return shard_count_for(total_items,
@@ -34,6 +38,12 @@ ThreadPool::ThreadPool(unsigned threads, ThreadPoolOptions options) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  // The calling thread is participant 0 and runs shards like any
+  // worker, so it gets the same placement treatment: without this the
+  // caller's shards first-touch memory on whatever node the OS left it
+  // on while all workers are pinned — an asymmetry that shows up as one
+  // slow shard per region.
+  if (options.numa_pin) numa::pin_thread_to_node(0);
   workers_.reserve(threads - 1);
   for (unsigned i = 1; i < threads; ++i) {
     // Pin before entering the loop: the worker's stack and everything

@@ -53,11 +53,13 @@ void run_shards(unsigned threads, std::size_t shard_count,
 
 /// Construction knobs beyond the thread count.
 struct ThreadPoolOptions {
-  /// Pin workers round-robin across NUMA nodes (execution + preferred
-  /// memory policy), so shard scratch first-touched by a worker stays
-  /// on its node for the pool's lifetime. No-op when built without
-  /// libnuma (CMake TASS_NUMA) or on single-node machines. The shared()
-  /// pool reads the TASS_NUMA_PIN environment toggle for this.
+  /// Pin all participants round-robin across NUMA nodes (execution +
+  /// preferred memory policy), so shard scratch first-touched by a
+  /// participant stays on its node for the pool's lifetime. The
+  /// constructing (caller) thread is participant 0 and is pinned to
+  /// node 0 like any worker. No-op when built without libnuma (CMake
+  /// TASS_NUMA) or on single-node machines. The shared() pool reads
+  /// the TASS_NUMA_PIN environment toggle for this.
   bool numa_pin = false;
 };
 

@@ -84,6 +84,45 @@ TEST(ShardedScope, ShardsPartitionTheScope) {
   EXPECT_EQ(seen.size(), total);
 }
 
+TEST(TokenBucket, ReadyTimeRoundTripsThroughTryConsume) {
+  // ready_time and try_consume must agree under one tolerance: the
+  // instant ready_time reports is an instant try_consume accepts.
+  TokenBucket bucket(3.0, 5.0);
+  ASSERT_TRUE(bucket.try_consume(5.0, 0.0));  // drain the burst
+  double now = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double demand = 1.0 + (i % 7) * 0.41;
+    const double at = bucket.ready_time(demand, now);
+    EXPECT_GE(at, now);
+    EXPECT_TRUE(bucket.try_consume(demand, at)) << "iteration " << i;
+    now = at;
+  }
+}
+
+TEST(TokenBucket, ReadyTimeRoundTripsAtLargeClockMagnitudes) {
+  // Epoch-style timestamps: 1e9 seconds is where a ULP exceeds the
+  // 1e-9 absolute tolerance, so this exercises the nextafter closure.
+  TokenBucket bucket(10.0, 2.0);
+  double now = 1.7e9;
+  ASSERT_TRUE(bucket.try_consume(2.0, now));
+  for (int i = 0; i < 1000; ++i) {
+    const double at = bucket.ready_time(1.5, now);
+    EXPECT_GE(at, now);
+    ASSERT_TRUE(bucket.try_consume(1.5, at)) << "iteration " << i;
+    now = at;
+  }
+}
+
+TEST(TokenBucket, ReadyTimeToleratesBackwardsClock) {
+  TokenBucket bucket(2.0, 1.0);
+  ASSERT_TRUE(bucket.try_consume(1.0, 100.0));
+  // A now earlier than the last refill must still produce a usable
+  // (and non-decreasing) ready time.
+  const double at = bucket.ready_time(1.0, 50.0);
+  EXPECT_GE(at, 100.0);
+  EXPECT_TRUE(bucket.try_consume(1.0, at));
+}
+
 TEST(ShardedScope, EmptyScopeYieldsNothing) {
   const ScanScope scope;
   ShardedScopeIterator iterator(scope, 1, 0, 1);

@@ -1,0 +1,380 @@
+// serve/: wire codec contract and the daemon end to end — every query
+// answered over loopback must agree exactly with a direct library call
+// on the same image, reloads must swap generations without a gap in
+// service, and malformed or unservable requests must come back as
+// well-formed error frames.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "core/ranking.hpp"
+#include "core/selection.hpp"
+#include "net/family.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "state/image.hpp"
+#include "util/error.hpp"
+
+namespace tass::serve {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + stem + "." +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+// A tiny v4 topology: `n` disjoint 10.x.0.0/16 cells with seeded
+// per-cell host counts. Different (n, seed) pairs produce different
+// topology fingerprints.
+std::string make_v4_image(const std::string& stem, std::size_t n,
+                          std::uint64_t seed) {
+  std::vector<net::Prefix> prefixes;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefixes.emplace_back(
+        net::Ipv4Address((10u << 24) | (static_cast<std::uint32_t>(i) << 16)),
+        16);
+  }
+  bgp::PrefixPartition partition(std::move(prefixes));
+  std::vector<std::uint32_t> counts(partition.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<std::uint32_t>((i * 37 + seed) % 450);
+  }
+  const std::string path = temp_path(stem) + ".tsim";
+  state::save_image(
+      path, partition,
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore));
+  return path;
+}
+
+// A tiny v6 topology: `n` disjoint /48 cells under 2001::/16.
+std::string make_v6_image(const std::string& stem, std::size_t n,
+                          std::uint64_t seed) {
+  std::vector<net::Ipv6Prefix> prefixes;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefixes.emplace_back(
+        net::Ipv6Address(0x2001000000000000ULL |
+                             (static_cast<std::uint64_t>(i) << 16),
+                         0),
+        48);
+  }
+  bgp::PrefixPartition6 partition(std::move(prefixes));
+  std::vector<std::uint32_t> counts(partition.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<std::uint32_t>((i * 53 + seed) % 300);
+  }
+  const std::string path = temp_path(stem) + ".tsi6";
+  state::save_image(
+      path, partition,
+      core::rank_by_density(counts, partition, core::PrefixMode::kMore));
+  return path;
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options)
+      : server(std::move(options)),
+        thread([this] { server.run(); }) {}
+  ~RunningServer() {
+    server.stop();
+    thread.join();
+  }
+  Server server;
+  std::thread thread;
+};
+
+TEST(ServeWire, HeaderRoundTrip) {
+  RequestHeader request;
+  request.op = Op::kTally;
+  request.family = net::AddressFamily::kIpv6;
+  request.request_id = 0xdeadbeef;
+  request.count = 4096;
+  std::vector<std::uint8_t> bytes;
+  encode_request_header(bytes, request);
+  ASSERT_EQ(bytes.size(), kRequestHeaderBytes);
+  Cursor cursor{std::span<const std::uint8_t>(bytes)};
+  const RequestHeader decoded = decode_request_header(cursor);
+  EXPECT_EQ(decoded.op, request.op);
+  EXPECT_EQ(decoded.family, request.family);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.count, request.count);
+
+  ResponseHeader response;
+  response.op = Op::kRank;
+  response.status = Status::kOk;
+  response.request_id = 7;
+  response.generation = 42;
+  response.fingerprint = 0x0123456789abcdefULL;
+  response.count = 12;
+  bytes.clear();
+  encode_response_header(bytes, response);
+  ASSERT_EQ(bytes.size(), kResponseHeaderBytes);
+  Cursor response_cursor{std::span<const std::uint8_t>(bytes)};
+  const ResponseHeader round = decode_response_header(response_cursor);
+  EXPECT_EQ(round.op, response.op);
+  EXPECT_EQ(round.status, response.status);
+  EXPECT_EQ(round.generation, response.generation);
+  EXPECT_EQ(round.fingerprint, response.fingerprint);
+  EXPECT_EQ(round.count, response.count);
+}
+
+TEST(ServeWire, RejectsMalformedHeaders) {
+  // Truncated.
+  std::vector<std::uint8_t> bytes(4, 0);
+  Cursor truncated{std::span<const std::uint8_t>(bytes)};
+  EXPECT_THROW(decode_request_header(truncated), FormatError);
+
+  // Unknown op.
+  bytes.assign(kRequestHeaderBytes, 0);
+  bytes[0] = 200;
+  Cursor bad_op{std::span<const std::uint8_t>(bytes)};
+  EXPECT_THROW(decode_request_header(bad_op), FormatError);
+
+  // Unknown family.
+  bytes.assign(kRequestHeaderBytes, 0);
+  bytes[0] = static_cast<std::uint8_t>(Op::kLocate);
+  bytes[1] = 5;
+  Cursor bad_family{std::span<const std::uint8_t>(bytes)};
+  EXPECT_THROW(decode_request_header(bad_family), FormatError);
+
+  // Non-zero reserved bits.
+  bytes.assign(kRequestHeaderBytes, 0);
+  bytes[0] = static_cast<std::uint8_t>(Op::kPing);
+  bytes[2] = 1;
+  Cursor reserved{std::span<const std::uint8_t>(bytes)};
+  EXPECT_THROW(decode_request_header(reserved), FormatError);
+}
+
+TEST(ServeWire, FrameLayerBoundsAndReassembly) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto framed = frame(payload);
+  ASSERT_EQ(framed.size(), 4 + payload.size());
+
+  // A partial frame yields nothing and does not advance the offset.
+  std::size_t offset = 0;
+  const std::span<const std::uint8_t> partial(framed.data(),
+                                              framed.size() - 1);
+  EXPECT_FALSE(next_frame(partial, offset).has_value());
+  EXPECT_EQ(offset, 0u);
+
+  // Two back-to-back frames slice cleanly.
+  std::vector<std::uint8_t> two = framed;
+  two.insert(two.end(), framed.begin(), framed.end());
+  offset = 0;
+  const auto first = next_frame(two, offset);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->size(), payload.size());
+  const auto second = next_frame(two, offset);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(offset, two.size());
+
+  // An oversized announcement is a protocol error.
+  std::vector<std::uint8_t> oversized;
+  put_u32(oversized, kMaxFrameBytes + 1);
+  offset = 0;
+  EXPECT_THROW(next_frame(oversized, offset), FormatError);
+}
+
+TEST(ServeWire, PrefixRowsRoundTripBothFamilies) {
+  std::vector<std::uint8_t> bytes;
+  const auto v4 = net::Prefix::parse_or_throw("10.7.0.0/16");
+  const auto v6 = net::Ipv6Prefix::parse_or_throw("2001:db8::/32");
+  put_prefix(bytes, v4);
+  put_prefix(bytes, v6);
+  Cursor cursor{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(read_prefix(cursor, net::AddressFamily::kIpv4).v4(), v4);
+  EXPECT_EQ(read_prefix(cursor, net::AddressFamily::kIpv6).v6(), v6);
+  EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST(ServeDaemon, AnswersMatchDirectLibraryCalls) {
+  const std::string v4_path = make_v4_image("serve_test_v4", 32, 3);
+  const std::string v6_path = make_v6_image("serve_test_v6", 24, 5);
+  const state::StateImage direct4 = state::StateImage::load(v4_path);
+  const state::StateImage6 direct6 = state::StateImage6::load(v6_path);
+
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.v6_image_path = v6_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+  Client client("127.0.0.1", running.server.port());
+
+  // ping + info
+  EXPECT_EQ(client.ping().status, Status::kOk);
+  const auto [info_header, info] = client.info(net::AddressFamily::kIpv4);
+  EXPECT_EQ(info_header.fingerprint, direct4.info().fingerprint);
+  EXPECT_EQ(info.total_hosts, direct4.info().total_hosts);
+  EXPECT_EQ(info.cells, direct4.info().cell_count);
+  EXPECT_EQ(info.family, 4u);
+  const auto [info6_header, info6] = client.info(net::AddressFamily::kIpv6);
+  EXPECT_EQ(info6_header.fingerprint, direct6.info().fingerprint);
+  EXPECT_EQ(info6.family, 6u);
+
+  // rank: served rows are the head of the direct ranking, bit for bit.
+  const auto [rank_header, rows] = client.rank(net::AddressFamily::kIpv4, 8);
+  const auto view = direct4.ranking();
+  ASSERT_EQ(rows.size(), std::min<std::size_t>(8, view.ranked.size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].prefix.v4(), view.ranked[i].prefix);
+    EXPECT_EQ(rows[i].hosts, view.ranked[i].hosts);
+    EXPECT_EQ(rows[i].density, view.ranked[i].density);
+  }
+
+  // plan: identical selection as select_by_density on the same view.
+  PlanParams params;
+  params.phi = 0.8;
+  const auto [plan_header, plan] =
+      client.plan(net::AddressFamily::kIpv4, params);
+  core::SelectionParams direct_params;
+  direct_params.phi = 0.8;
+  const auto direct_plan = core::select_by_density(view, direct_params);
+  EXPECT_EQ(plan.selected_addresses, direct_plan.selected_addresses);
+  EXPECT_EQ(plan.covered_hosts, direct_plan.covered_hosts);
+  EXPECT_EQ(plan.total_hosts, direct_plan.total_hosts);
+  ASSERT_EQ(plan.prefixes.size(), direct_plan.prefixes.size());
+  for (std::size_t i = 0; i < plan.prefixes.size(); ++i) {
+    EXPECT_EQ(plan.prefixes[i].v4(), direct_plan.prefixes[i]);
+  }
+
+  // locate: in-partition, boundary and unrouted addresses.
+  std::vector<std::uint32_t> addresses4;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    addresses4.push_back((10u << 24) | ((i % 40) << 16) | (i * 977u % 65536));
+  }
+  addresses4.push_back(0xE0000001);  // 224.0.0.1, unrouted
+  const auto [locate_header, cells] = client.locate(addresses4);
+  EXPECT_EQ(locate_header.fingerprint, direct4.info().fingerprint);
+  std::vector<std::uint32_t> direct_cells(addresses4.size());
+  direct4.partition().locate_many(addresses4, direct_cells);
+  EXPECT_EQ(cells, direct_cells);
+
+  // tally: the nonzero histogram equals a direct tally_cells pass.
+  const auto [tally_header, tally] = client.tally(addresses4);
+  std::vector<std::uint32_t> direct_counts(direct4.partition().size());
+  std::uint64_t attributed = 0;
+  std::uint64_t unattributed = 0;
+  direct4.partition().tally_cells(std::span(addresses4), direct_counts,
+                                 attributed, unattributed);
+  EXPECT_EQ(tally.attributed, attributed);
+  EXPECT_EQ(tally.unattributed, unattributed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> direct_pairs;
+  for (std::uint32_t i = 0; i < direct_counts.size(); ++i) {
+    if (direct_counts[i] != 0) direct_pairs.emplace_back(i, direct_counts[i]);
+  }
+  EXPECT_EQ(tally.cells, direct_pairs);
+
+  // v6 locate via the same connection.
+  std::vector<net::Ipv6Address> addresses6;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    addresses6.emplace_back(
+        0x2001000000000000ULL | ((i % 30) << 16), i * 7919);
+  }
+  const auto [locate6_header, cells6] = client.locate(addresses6);
+  EXPECT_EQ(locate6_header.fingerprint, direct6.info().fingerprint);
+  std::vector<std::uint32_t> direct_cells6(addresses6.size());
+  direct6.partition().locate_many(addresses6, direct_cells6);
+  EXPECT_EQ(cells6, direct_cells6);
+
+  // A second concurrent connection is served while the first stays open.
+  Client second("127.0.0.1", running.server.port());
+  EXPECT_EQ(second.ping().status, Status::kOk);
+
+  const auto [stats_header, stats] = client.stats();
+  EXPECT_GE(stats.requests, 9u);
+  EXPECT_GE(stats.batched_addresses, addresses4.size() + addresses6.size());
+
+  std::remove(v4_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(ServeDaemon, UnservedFamilyIsAWellFormedError) {
+  const std::string v4_path = make_v4_image("serve_test_only4", 8, 11);
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+  Client client("127.0.0.1", running.server.port());
+
+  EXPECT_THROW(client.info(net::AddressFamily::kIpv6), Error);
+  // The connection survives the error frame and keeps serving.
+  EXPECT_EQ(client.ping().status, Status::kOk);
+  std::remove(v4_path.c_str());
+}
+
+TEST(ServeDaemon, ReloadSwapsTheServedGeneration) {
+  const std::string path_a = make_v4_image("serve_test_gen_a", 16, 21);
+  const std::string path_b = make_v4_image("serve_test_gen_b", 24, 22);
+  const std::uint64_t fp_a = state::StateImage::load(path_a).info().fingerprint;
+  const std::uint64_t fp_b = state::StateImage::load(path_b).info().fingerprint;
+  ASSERT_NE(fp_a, fp_b);
+
+  ServerOptions options;
+  options.v4_image_path = path_a;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+  Client client("127.0.0.1", running.server.port());
+
+  const auto [before, info_before] = client.info(net::AddressFamily::kIpv4);
+  EXPECT_EQ(before.fingerprint, fp_a);
+
+  const auto [reload_header, ticket] =
+      client.reload(net::AddressFamily::kIpv4, path_b);
+  EXPECT_EQ(reload_header.status, Status::kAccepted);
+  EXPECT_GE(ticket, 1u);
+
+  // The swap is asynchronous: poll until the fingerprint flips. Service
+  // must never pause — every poll is itself a served query.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    const auto [header, info] = client.info(net::AddressFamily::kIpv4);
+    EXPECT_TRUE(header.fingerprint == fp_a || header.fingerprint == fp_b);
+    if (header.fingerprint == fp_b) {
+      EXPECT_GT(header.generation, before.generation);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "reload did not land";
+  }
+  const auto [stats_header, stats] = client.stats();
+  EXPECT_GE(stats.swaps, 1u);
+  EXPECT_GE(stats.generations_retired, 1u);
+
+  // A failed reload keeps the current generation and counts a failure.
+  client.reload(net::AddressFamily::kIpv4, "/nonexistent/image.tsim");
+  const auto fail_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (running.server.reload_failures() == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), fail_deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(client.info(net::AddressFamily::kIpv4).first.fingerprint, fp_b);
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ServeDaemon, ShutdownOpStopsTheServer) {
+  const std::string v4_path = make_v4_image("serve_test_shutdown", 8, 31);
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.threads = 2;
+  Server server(std::move(options));
+  std::thread thread([&server] { server.run(); });
+  {
+    Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.shutdown().status, Status::kOk);
+  }
+  thread.join();  // run() must return on its own after kShutdown
+  std::remove(v4_path.c_str());
+}
+
+}  // namespace
+}  // namespace tass::serve

@@ -22,6 +22,22 @@ TEST(ShardCountFor, ScalesWithWorkloadNotPool) {
   EXPECT_EQ(shard_count_for(42, 0), 42u);  // zero grain treated as 1
 }
 
+TEST(ShardCountForSlots, ZeroBytesPerCellDoesNotDivideByZero) {
+  // bytes_per_cell == 0 models a slot-free reduction; it must clamp to
+  // a 1-byte slot instead of dividing the memory budget by zero.
+  const std::size_t shards = shard_count_for_slots(1'000'000, 1'000, 0, 0);
+  EXPECT_GE(shards, 1u);
+  EXPECT_LE(shards, 1024u);
+  // And it agrees with the smallest legal slot description.
+  EXPECT_EQ(shards, shard_count_for_slots(1'000'000, 1'000, 1, 1));
+}
+
+TEST(ShardCountForSlots, BudgetCapStillApplies) {
+  // A huge slot (1M cells x 8 bytes = 8 MiB) caps fan-out at
+  // 64 MiB / 8 MiB = 8 shards however large the workload is.
+  EXPECT_EQ(shard_count_for_slots(1ULL << 40, 1, 1'000'000, 8), 8u);
+}
+
 TEST(ThreadPool, RunsEveryShardExactlyOnce) {
   for (const unsigned threads : {1u, 2u, 8u}) {
     ThreadPool pool(threads);

@@ -17,6 +17,8 @@ Headline metrics (direction-aware):
                   lpm6_simd_lookups_per_sec (higher is better)
   micro_delta     delta_ms per churn rate (lower is better)
   micro_coldstart load_ms (lower is better), speedup (higher is better)
+  micro_serve     qps_per_core (higher is better), p99_us and
+                  swap_p99_us (lower is better)
 
 Usage (in CI):
   bench_compare.py --repo owner/name --artifact bench-json-gcc \
@@ -125,6 +127,13 @@ def headline_metrics(record):
             yield "load_ms", float(record["load_ms"]), False
         if "speedup" in record:
             yield "speedup", float(record["speedup"]), True
+    elif bench == "micro_serve":
+        if "qps_per_core" in record:
+            yield "qps_per_core", float(record["qps_per_core"]), True
+        if "p99_us" in record:
+            yield "p99_us", float(record["p99_us"]), False
+        if "swap_p99_us" in record:
+            yield "swap_p99_us", float(record["swap_p99_us"]), False
 
 
 def index_by_bench(files):

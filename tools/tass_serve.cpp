@@ -1,0 +1,123 @@
+// tass_serve — resident TASS planning daemon.
+//
+// Usage:
+//   tass_serve [--v4 IMAGE.tsim] [--v6 IMAGE.tsi6] [--bind ADDR]
+//              [--port PORT] [--threads N]
+//
+// At least one image is required. The daemon listens on
+// ADDR:PORT (default 127.0.0.1, ephemeral port — the bound port is
+// printed on stdout as `listening <addr> <port>` so wrappers can parse
+// it), serves rank/plan/locate/tally queries over the serve/wire.hpp
+// protocol, and swaps generations without interrupting service:
+//
+//   SIGHUP          reload every configured image from its current path
+//   kReload frame   reload one family, optionally from a new path
+//   SIGINT/SIGTERM  graceful stop (also wire kShutdown)
+//
+// Signals are consumed with sigwait() on the main thread while the
+// server runs on a worker thread, so no handler ever runs in
+// async-signal context.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--v4 image.tsim] [--v6 image.tsi6] "
+               "[--bind addr] [--port port] [--threads n]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tass::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tass_serve: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--v4") {
+      options.v4_image_path = value();
+    } else if (arg == "--v6") {
+      options.v6_image_path = value();
+    } else if (arg == "--bind") {
+      options.bind_address = value();
+    } else if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "tass_serve: unknown argument %s\n",
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (options.v4_image_path.empty() && options.v6_image_path.empty()) {
+    std::fprintf(stderr, "tass_serve: at least one of --v4/--v6 is "
+                         "required\n");
+    return usage(argv[0]);
+  }
+
+  // Block the control signals before any thread exists so every thread
+  // inherits the mask and sigwait() below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGHUP);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    const std::string bind_address = options.bind_address;
+    tass::serve::Server server(std::move(options));
+    std::printf("listening %s %u\n", bind_address.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::thread serving([&server] { server.run(); });
+
+    for (;;) {
+      int signo = 0;
+      if (sigwait(&signals, &signo) != 0) continue;
+      if (signo == SIGHUP) {
+        std::fprintf(stderr, "tass_serve: SIGHUP: reloading images\n");
+        server.request_reload(tass::net::AddressFamily::kIpv4);
+        server.request_reload(tass::net::AddressFamily::kIpv6);
+        continue;
+      }
+      std::fprintf(stderr, "tass_serve: signal %d: shutting down\n",
+                   signo);
+      break;
+    }
+    server.stop();
+    serving.join();
+    const auto stats = server.stats();
+    std::fprintf(stderr,
+                 "tass_serve: served %llu requests, %llu batched "
+                 "addresses, %llu swaps\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.batched_addresses),
+                 static_cast<unsigned long long>(stats.swaps));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tass_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
