@@ -31,6 +31,12 @@ bool TokenBucket::try_consume(double tokens, double now) noexcept {
 double TokenBucket::ready_time(double tokens, double now) noexcept {
   TASS_EXPECTS(tokens >= 0.0);
   refill(now);
+  // A demand beyond bucket capacity can never be satisfied: refill
+  // clamps tokens_ at burst_, so projecting the deficit linearly would
+  // hand back a finite instant at which try_consume still refuses.
+  if (tokens > burst_ + 1e-9) {
+    return std::numeric_limits<double>::infinity();
+  }
   // Same 1e-9 tolerance as try_consume: without it, ready_time could
   // report "not yet" (and hand back a future instant) for a demand
   // try_consume would already grant, or — worse — return an instant at
@@ -38,7 +44,7 @@ double TokenBucket::ready_time(double tokens, double now) noexcept {
   // rounds a hair short. The nextafter loop closes the residual ULP gap
   // for large-magnitude clocks where an absolute 1e-9 is below the
   // representable resolution, so try_consume(t, ready_time(t, now)) is
-  // guaranteed to succeed.
+  // guaranteed to succeed for any satisfiable demand.
   if (tokens_ + 1e-9 >= tokens) return now;
   // tokens_ is as-of last_refill_ (== now unless the clock ran
   // backwards), so project the deficit from there.

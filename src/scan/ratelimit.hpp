@@ -29,7 +29,9 @@ class TokenBucket {
 
   /// Earliest time at which `tokens` could be consumed (>= now), under
   /// the same 1e-9 tolerance as try_consume — so
-  /// try_consume(t, ready_time(t, now)) always succeeds.
+  /// try_consume(t, ready_time(t, now)) always succeeds for any
+  /// satisfiable demand. A demand beyond capacity (tokens > burst +
+  /// 1e-9) can never succeed and returns +infinity.
   double ready_time(double tokens, double now) noexcept;
 
   double available(double now) noexcept;

@@ -11,21 +11,33 @@
 //
 //   * Readers are a fixed set of serving shards, each owning one
 //     cache-line-padded announcement slot. acquire(slot) publishes the
-//     sequence number of the generation the shard is about to read,
+//     *pointer value* of the generation the shard is about to read,
 //     then re-validates that the installed generation did not change in
-//     between (the classic announce-then-validate dance); on a race it
-//     simply retries against the newer generation. The returned Ref is
-//     an RAII guard: its destructor clears the announcement, marking
-//     the batch drained. Cost per batch: three uncontended atomic
-//     accesses, no CAS loop in the common case, no mutex ever.
+//     between (the classic hazard-pointer announce-then-validate
+//     dance); on a race it simply retries against the newer
+//     generation. Announcing the raw pointer — never a field read
+//     through it — is load-bearing: between the initial load and the
+//     announcement the writer may already have installed a successor
+//     and retired (freed) the loaded generation, so the pointer must
+//     not be dereferenced until the validating load proves it is still
+//     installed. The returned Ref is an RAII guard: its destructor
+//     clears the announcement, marking the batch drained. Cost per
+//     batch: three uncontended atomic accesses, no CAS loop in the
+//     common case, no mutex ever.
 //   * The writer (a single reload thread; installs must be externally
 //     serialised) swaps the current pointer and receives the previous
-//     generation back. wait_until_unreferenced() then polls the
-//     announcement slots until none still names the old sequence —
-//     readers that announced before the swap are visible to the scan
-//     (both sides use seq_cst on the announce/validate/install edges),
-//     and readers arriving after the swap can only acquire the new
-//     generation. Only then is the old image destroyed.
+//     generation back. retire() then polls the announcement slots
+//     until none still names the old pointer — readers that announced
+//     before the swap are visible to the scan (both sides use seq_cst
+//     on the announce/validate/install edges), and readers arriving
+//     after the swap can only acquire the new generation. Only then is
+//     the old image destroyed. Address reuse across install cycles is
+//     benign: a slot can only name a freed address while the reader is
+//     between announce and a validation that is guaranteed to fail
+//     (and re-announce), and if a later generation is allocated at
+//     that same address the slot's announcement pins whichever live
+//     generation currently owns the address — exactly the object the
+//     validating load handed to the reader.
 //
 // Sequence numbers strictly increase across installs and are carried in
 // every wire response next to the image's topology fingerprint, so a
@@ -44,10 +56,10 @@
 namespace tass::serve {
 
 /// One reader's announcement slot: 0 when quiescent, otherwise the
-/// sequence number of the generation the reader holds. Padded so two
-/// shards never share a cache line.
+/// pointer value of the generation the reader holds (a hazard
+/// pointer). Padded so two shards never share a cache line.
 struct alignas(64) ReaderSlot {
-  std::atomic<std::uint64_t> active{0};
+  std::atomic<std::uintptr_t> active{0};
 };
 
 template <class Image>
@@ -144,11 +156,16 @@ class GenerationStore {
     for (;;) {
       const Generation* gen = current_.load(std::memory_order_seq_cst);
       if (gen == nullptr) return Ref{};
-      // Announce, then re-validate: if the writer swapped in between,
-      // retry on the newer generation. Once the validating load still
-      // sees `gen`, the writer's post-swap scan is guaranteed to see
-      // this announcement before retiring `gen`.
-      slot.active.store(gen->seq, std::memory_order_seq_cst);
+      // Announce the raw pointer, then re-validate: if the writer
+      // swapped in between, retry on the newer generation. `gen` may
+      // already be freed at this point (install + retire can both land
+      // between the two loads — retire sees the slot still quiescent),
+      // so nothing may be read through it until the validating load
+      // still sees `gen` installed; only the pointer *value* goes into
+      // the slot. Once validation passes, the writer's post-swap scan
+      // is guaranteed to see this announcement before retiring `gen`.
+      slot.active.store(reinterpret_cast<std::uintptr_t>(gen),
+                        std::memory_order_seq_cst);
       if (current_.load(std::memory_order_seq_cst) == gen) {
         return Ref{gen, &slot};
       }
@@ -165,13 +182,15 @@ class GenerationStore {
     return current_.exchange(fresh.release(), std::memory_order_seq_cst);
   }
 
-  /// Blocks until no reader slot still announces `old` (readers hold a
-  /// generation only for one request batch, so this terminates), then
-  /// destroys it. Writer-side only; accepts nullptr as a no-op.
+  /// Blocks until no reader slot still announces `old`'s pointer value
+  /// (readers hold a generation only for one request batch, so this
+  /// terminates), then destroys it. Writer-side only; accepts nullptr
+  /// as a no-op.
   void retire(const Generation* old) const {
     if (old == nullptr) return;
+    const auto old_value = reinterpret_cast<std::uintptr_t>(old);
     for (const ReaderSlot& slot : slots_) {
-      while (slot.active.load(std::memory_order_seq_cst) == old->seq) {
+      while (slot.active.load(std::memory_order_seq_cst) == old_value) {
         std::this_thread::yield();
       }
     }

@@ -23,6 +23,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Per-connection output backpressure: once a connection has this much
+// unflushed response data queued, the shard stops decoding its frames
+// (and stops reading its socket), letting TCP flow control push back on
+// a pipelining client that is not draining responses. Decoding resumes
+// once flushes bring the backlog under the low-water mark. A single
+// response may overshoot the high-water mark — the check runs between
+// frames — so the true bound is the mark plus one maximal response.
+constexpr std::size_t kOutHighWater = 4u << 20;
+constexpr std::size_t kOutLowWater = 1u << 20;
+
 std::uint64_t elapsed_us(Clock::time_point since) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
@@ -62,10 +72,19 @@ void append_error(std::vector<std::uint8_t>& out, Op op,
 }
 
 // Reads one batch of raw addresses off the request cursor in the
-// family's wire width.
+// family's wire width. The count is client-supplied: bound it by the
+// bytes actually present in the (already size-capped) payload before
+// sizing anything, so a malicious 16-byte frame announcing 2^32-1
+// addresses cannot trigger a multi-GiB reserve.
 template <class Family>
 std::vector<typename Family::AddressWord> read_addresses(Cursor& cursor,
                                                          std::uint32_t n) {
+  constexpr std::size_t kWordBytes =
+      std::is_same_v<typename Family::AddressWord, std::uint32_t> ? 4 : 16;
+  if (n > cursor.remaining() / kWordBytes) {
+    throw FormatError("serve: address batch count " + std::to_string(n) +
+                      " exceeds the bytes present in the frame");
+  }
   std::vector<typename Family::AddressWord> addresses;
   addresses.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -282,8 +301,12 @@ void Server::shard_loop(std::size_t shard_index) {
       fds.push_back(pollfd{listen_fd_, POLLIN, 0});
     }
     for (const Connection& connection : connections) {
-      short events = POLLIN;
-      if (connection.out_sent < connection.out.size()) events |= POLLOUT;
+      // Backpressure: a connection sitting on too much unflushed output
+      // is not polled for input — its queries wait in the kernel buffer
+      // (and eventually in the client) until the backlog drains.
+      short events = 0;
+      if (connection.unflushed() < kOutHighWater) events |= POLLIN;
+      if (connection.unflushed() > 0) events |= POLLOUT;
       fds.push_back(pollfd{connection.fd, events, 0});
     }
 
@@ -315,11 +338,17 @@ void Server::shard_loop(std::size_t shard_index) {
       if (keep && (revents & (POLLIN | POLLHUP))) {
         keep = service_input(shard_index, connection);
       }
-      if (keep && connection.out_sent < connection.out.size()) {
+      if (keep && connection.unflushed() > 0) {
         keep = flush_output(connection);
       }
-      if (keep && connection.closing &&
-          connection.out_sent == connection.out.size()) {
+      // Frames deferred by backpressure: once the flush drained the
+      // backlog under the low-water mark, serve them now rather than
+      // waiting for more input that may never come.
+      if (keep && !connection.closing && !connection.in.empty() &&
+          connection.unflushed() < kOutLowWater) {
+        keep = process_frames(shard_index, connection);
+      }
+      if (keep && connection.closing && connection.unflushed() == 0) {
         keep = false;
       }
       if (!keep) {
@@ -361,8 +390,16 @@ bool Server::service_input(std::size_t shard, Connection& connection) {
     return false;
   }
 
+  return process_frames(shard, connection);
+}
+
+bool Server::process_frames(std::size_t shard, Connection& connection) {
   try {
     for (;;) {
+      // Backpressure: leave further frames buffered once too much
+      // output is queued; shard_loop re-runs us after a flush drains
+      // the backlog.
+      if (connection.unflushed() >= kOutHighWater) break;
       const auto payload =
           next_frame(std::span<const std::uint8_t>(connection.in),
                      connection.in_consumed);
@@ -370,8 +407,10 @@ bool Server::service_input(std::size_t shard, Connection& connection) {
       handle_frame(shard, *payload, connection);
       if (connection.closing) break;
     }
-  } catch (const Error&) {
-    // Frame-layer violation (oversized announcement): drop the peer.
+  } catch (const std::exception&) {
+    // Frame-layer violation (oversized announcement) or resource
+    // exhaustion (bad_alloc on a huge-but-well-formed batch): drop the
+    // peer rather than let the exception unwind the shard loop.
     return false;
   }
 

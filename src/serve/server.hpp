@@ -124,6 +124,9 @@ class Server {
     std::vector<std::uint8_t> out;
     std::size_t out_sent = 0;
     bool closing = false;  // flush pending output, then close
+
+    /// Queued-but-unsent response bytes — the backpressure signal.
+    std::size_t unflushed() const noexcept { return out.size() - out_sent; }
   };
 
   struct Shard {
@@ -150,9 +153,15 @@ class Server {
   void wake(Shard& shard);
   void wake_all();
 
-  // Reads whatever is available, processes every complete frame, and
-  // queues responses. Returns false when the connection must close.
+  // Reads whatever is available, then processes buffered frames up to
+  // the output high-water mark and queues responses. Returns false
+  // when the connection must close. A connection over the mark is not
+  // polled for input at all, so TCP flow control throttles a client
+  // that pipelines queries without draining responses; process_frames
+  // is re-run after a flush brings the backlog under the low-water
+  // mark to serve the frames that were deferred.
   bool service_input(std::size_t shard, Connection& connection);
+  bool process_frames(std::size_t shard, Connection& connection);
   bool flush_output(Connection& connection);
 
   void handle_frame(std::size_t shard,

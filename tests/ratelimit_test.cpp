@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 namespace tass::scan {
@@ -111,6 +112,19 @@ TEST(TokenBucket, ReadyTimeRoundTripsAtLargeClockMagnitudes) {
     ASSERT_TRUE(bucket.try_consume(1.5, at)) << "iteration " << i;
     now = at;
   }
+}
+
+TEST(TokenBucket, ReadyTimeIsInfiniteAboveCapacity) {
+  // Demands the bucket can never hold must not map to a finite instant
+  // at which try_consume still refuses.
+  TokenBucket bucket(10.0, 5.0);
+  const double at = bucket.ready_time(6.0, 0.0);
+  EXPECT_TRUE(std::isinf(at));
+  EXPECT_GT(at, 0.0);
+  // At (and just over) capacity the round-trip guarantee still holds.
+  const double edge = bucket.ready_time(5.0, 0.0);
+  EXPECT_TRUE(std::isfinite(edge));
+  EXPECT_TRUE(bucket.try_consume(5.0, edge));
 }
 
 TEST(TokenBucket, ReadyTimeToleratesBackwardsClock) {

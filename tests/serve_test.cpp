@@ -3,9 +3,14 @@
 // on the same image, reloads must swap generations without a gap in
 // service, and malformed or unservable requests must come back as
 // well-formed error frames.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -359,6 +364,188 @@ TEST(ServeDaemon, ReloadSwapsTheServedGeneration) {
 
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+// Raw-socket helper: sends one framed request payload and reads back
+// one complete response frame, bypassing Client's well-formedness.
+std::vector<std::uint8_t> raw_roundtrip(int fd,
+                                        std::span<const std::uint8_t> payload) {
+  const auto framed = frame(payload);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, 0);
+    if (n <= 0) throw Error("raw_roundtrip: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+  std::vector<std::uint8_t> in;
+  std::size_t offset = 0;
+  for (;;) {
+    if (const auto response =
+            next_frame(std::span<const std::uint8_t>(in), offset)) {
+      return {response->begin(), response->end()};
+    }
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) throw Error("raw_roundtrip: peer closed");
+    in.insert(in.end(), buf, buf + n);
+  }
+}
+
+TEST(ServeDaemon, OverclaimedBatchCountIsAWellFormedError) {
+  // A 12-byte frame announcing a 2^32-1 address batch must not make the
+  // server reserve gigabytes (or die on bad_alloc): the count is
+  // validated against the bytes actually present and answered with an
+  // error frame, and the connection keeps serving.
+  const std::string v4_path = make_v4_image("serve_test_overclaim", 8, 41);
+  const std::string v6_path = make_v6_image("serve_test_overclaim6", 8, 42);
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.v6_image_path = v6_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(running.server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+
+  for (const auto family :
+       {net::AddressFamily::kIpv4, net::AddressFamily::kIpv6}) {
+    RequestHeader request;
+    request.op = Op::kLocate;
+    request.family = family;
+    request.request_id = 99;
+    request.count = 0xFFFFFFFFu;
+    std::vector<std::uint8_t> payload;
+    encode_request_header(payload, request);
+
+    const auto response = raw_roundtrip(fd, payload);
+    Cursor cursor{std::span<const std::uint8_t>(response)};
+    const ResponseHeader header = decode_response_header(cursor);
+    EXPECT_EQ(header.status, Status::kError);
+    EXPECT_EQ(header.request_id, 99u);
+  }
+
+  // The connection survived both malicious frames.
+  RequestHeader ping;
+  ping.op = Op::kPing;
+  ping.family = net::AddressFamily::kIpv4;
+  ping.request_id = 100;
+  std::vector<std::uint8_t> payload;
+  encode_request_header(payload, ping);
+  const auto response = raw_roundtrip(fd, payload);
+  Cursor cursor{std::span<const std::uint8_t>(response)};
+  EXPECT_EQ(decode_response_header(cursor).status, Status::kOk);
+
+  ::close(fd);
+  std::remove(v4_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(ServeDaemon, PipelinedBurstIsServedCompletelyUnderBackpressure) {
+  // A client that pipelines a multi-megabyte train of queries before
+  // reading a single response crosses the server's output high-water
+  // mark mid-burst: the shard defers the remaining frames, flushes,
+  // and resumes them from the buffered input. Every response must
+  // still arrive, in order, with the full payload.
+  const std::string v4_path = make_v4_image("serve_test_burst", 8, 51);
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+
+  constexpr std::uint32_t kRequests = 30;
+  constexpr std::uint32_t kBatch = 50000;  // 200 KB response each
+  std::vector<std::uint8_t> train;
+  for (std::uint32_t request_id = 1; request_id <= kRequests; ++request_id) {
+    RequestHeader request;
+    request.op = Op::kLocate;
+    request.family = net::AddressFamily::kIpv4;
+    request.request_id = request_id;
+    request.count = kBatch;
+    std::vector<std::uint8_t> payload;
+    encode_request_header(payload, request);
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      put_u32(payload, (10u << 24) | ((i % 8) << 16) | (i & 0xFFFF));
+    }
+    const auto framed = frame(payload);
+    train.insert(train.end(), framed.begin(), framed.end());
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(running.server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ASSERT_EQ(errno, EINPROGRESS);
+  }
+
+  // Push the whole train, reading nothing until the send is fully
+  // blocked (the server has stopped polling this connection's input
+  // and every buffer in between is full — i.e. backpressure engaged)
+  // or fully sent; only then start draining. Nonblocking on both sides
+  // so the server's throttling cannot deadlock the test.
+  std::vector<std::uint8_t> in;
+  std::size_t sent = 0;
+  std::size_t offset = 0;
+  std::uint32_t next_expected = 1;
+  bool send_blocked = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (next_expected <= kRequests) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "burst stalled at response " << next_expected;
+    const bool sending = sent < train.size();
+    const bool draining = !sending || send_blocked;
+    short events = 0;
+    if (sending) events |= POLLOUT;
+    if (draining) events |= POLLIN;
+    pollfd pfd{fd, events, 0};
+    ::poll(&pfd, 1, 100);
+    if (sending && (pfd.revents & POLLOUT)) {
+      const ssize_t n =
+          ::send(fd, train.data() + sent, train.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        send_blocked = false;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        send_blocked = true;
+      }
+    } else if (sending) {
+      // POLLOUT did not fire within the poll window: the socket is
+      // backed up, so start draining responses to unblock it.
+      send_blocked = true;
+    }
+    if (draining && (pfd.revents & POLLIN)) {
+      std::uint8_t buf[65536];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      ASSERT_NE(n, 0) << "server closed the connection mid-burst";
+      if (n > 0) in.insert(in.end(), buf, buf + n);
+    }
+    while (const auto response =
+               next_frame(std::span<const std::uint8_t>(in), offset)) {
+      Cursor cursor{*response};
+      const ResponseHeader header = decode_response_header(cursor);
+      EXPECT_EQ(header.status, Status::kOk);
+      EXPECT_EQ(header.request_id, next_expected);
+      EXPECT_EQ(header.count, kBatch);
+      EXPECT_EQ(cursor.remaining(), kBatch * 4u);
+      ++next_expected;
+    }
+  }
+  EXPECT_EQ(sent, train.size());
+
+  ::close(fd);
+  std::remove(v4_path.c_str());
 }
 
 TEST(ServeDaemon, ShutdownOpStopsTheServer) {
