@@ -1,0 +1,496 @@
+// Live-churn micro-benchmark: the stream reactor consuming an MRT
+// update feed end to end — framing, per-prefix coalescing, incremental
+// apply_delta + rerank, image sealing, and generation publication into a
+// serve::GenerationStore with a concurrent reader verifying every swap.
+//
+// Two replays of the same synthetic churn trace:
+//
+//   * full-speed: the whole encoded wire is buffered up front and the
+//     reactor drains it as fast as the pipeline allows — the sustained
+//     ingest-to-plan throughput number (updates_per_sec_sustained).
+//   * paced: a feeder thread appends one churn step every --pace-ms,
+//     so the reactor keeps up and the per-update enqueue-to-publish
+//     latency reflects the bounded-latency batching contract
+//     (update_to_plan_p99_ms), not backlog depth.
+//
+// Both replays are cross-checked (not timed) against a batch-maintained
+// shadow of the routing table: final table and origins, per-cell counts,
+// 20k random locate() probes against a fresh partition of the expected
+// live set, the published fingerprint, and a full attach of the last
+// sealed image. Any divergence, dropped generation, decode error or
+// overlap rejection exits non-zero, so the benchmark doubles as the
+// streamed-vs-batch smoke gate.
+//
+// The churn mix is reorigins and deaggregation splits only (no
+// flap-withdrawals): the queue's newest-wins folding legitimately
+// collapses a withdraw+re-announce flap into a count-preserving
+// reorigin, which would make the expected per-cell counts depend on
+// batch boundaries. Reorigins and splits have fold-invariant outcomes,
+// so the shadow stays exact for any batching.
+//
+// Usage: micro_stream [--prefixes N] [--steps K] [--churn C]
+//                     [--pace-ms MS] [--seed S]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "bgp/pfx2as.hpp"
+#include "bgp/rib_delta.hpp"
+#include "census/topology.hpp"
+#include "net/prefix.hpp"
+#include "serve/generation.hpp"
+#include "state/image.hpp"
+#include "stream/reactor.hpp"
+#include "stream/source.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tass;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Same RIB shape as micro_delta: disjoint buddy-allocated coverings,
+// bulk in /17../24 with a few short covers.
+std::vector<net::Prefix> synthesize_prefixes(std::size_t count,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<net::Prefix> space{
+      net::Prefix::parse_or_throw("0.0.0.0/2"),
+      net::Prefix::parse_or_throw("64.0.0.0/2"),
+      net::Prefix::parse_or_throw("128.0.0.0/2"),
+      net::Prefix::parse_or_throw("192.0.0.0/2"),
+  };
+  census::BuddyAllocator allocator(space);
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(count);
+  while (prefixes.size() < count) {
+    const double roll = rng.uniform();
+    int length;
+    if (roll < 0.02) {
+      length = 12 + static_cast<int>(rng.bounded(4));
+    } else if (roll < 0.40) {
+      length = 16 + static_cast<int>(rng.bounded(5));
+    } else {
+      length = 21 + static_cast<int>(rng.bounded(4));
+    }
+    const auto prefix = allocator.allocate(length, rng);
+    if (!prefix) {
+      std::fprintf(stderr, "address space exhausted at %zu prefixes\n",
+                   prefixes.size());
+      break;
+    }
+    prefixes.push_back(*prefix);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  return prefixes;
+}
+
+std::uint32_t synthetic_count(net::Prefix prefix, std::uint64_t seed) {
+  const std::uint64_t h = util::mix64(
+      seed, (static_cast<std::uint64_t>(prefix.network().value()) << 6) |
+                static_cast<std::uint64_t>(prefix.length()));
+  if ((h & 7u) < 3u) return 0;
+  return static_cast<std::uint32_t>(1 + (h >> 3) % 500);
+}
+
+/// The batch-maintained shadow the streamed replays are checked against.
+struct Shadow {
+  std::map<net::Prefix, std::vector<std::uint32_t>> origins;
+  // Expected per-cell responsive count: reorigins preserve the count,
+  // splits add fresh cells that score zero (no rescanner attached).
+  std::map<net::Prefix, std::uint32_t> counts;
+};
+
+/// Expected end state, derived from the shadow once.
+struct Expected {
+  std::vector<bgp::Pfx2AsRecord> table;
+  std::map<net::Prefix, std::uint32_t> counts;
+  bgp::PrefixPartition partition;  // fresh build over the final live set
+};
+
+struct ReplayOutcome {
+  bool ok = true;
+  double elapsed_seconds = 0.0;
+  std::vector<double> latency_ms;  // one per published plan
+  stream::ReactorStats stats;
+  std::uint64_t installs = 0;
+  std::uint64_t retired = 0;
+};
+
+struct PlanImage {
+  std::uint64_t plan_seq = 0;
+  std::uint64_t fingerprint = 0;
+  std::vector<std::byte> bytes;
+};
+
+#define BENCH_CHECK(cond, ...)                  \
+  do {                                          \
+    if (!(cond)) {                              \
+      std::fprintf(stderr, "FAIL: " __VA_ARGS__); \
+      std::fprintf(stderr, "\n");               \
+      outcome.ok = false;                       \
+    }                                           \
+  } while (0)
+
+ReplayOutcome run_replay(const std::vector<bgp::Pfx2AsRecord>& table,
+                         const std::vector<std::uint32_t>& counts,
+                         const std::vector<std::vector<std::byte>>& wires,
+                         double pace_seconds, const Expected& expected,
+                         std::uint64_t probe_seed) {
+  ReplayOutcome outcome;
+
+  stream::ReactorOptions options;
+  if (pace_seconds > 0.0) {
+    // Paced replay measures the bounded-latency contract: close
+    // batches quickly so latency reflects batching, not the timer.
+    options.max_batch_delay_seconds = 0.005;
+  }
+  stream::StreamReactor reactor(table, counts, options);
+
+  serve::GenerationStore<PlanImage> store(/*reader_slots=*/1);
+  std::atomic<std::uint64_t> installs{0};
+  std::atomic<std::uint64_t> retired{0};
+  std::uint64_t last_fingerprint = 0;
+  reactor.set_publisher([&](stream::PublishedPlan plan) {
+    outcome.latency_ms.push_back(plan.update_to_plan_seconds * 1e3);
+    last_fingerprint = plan.fingerprint;
+    PlanImage image;
+    image.plan_seq = plan.seq;
+    image.fingerprint = plan.fingerprint;
+    image.bytes = std::move(plan.image);
+    const auto* displaced = store.install(std::move(image));
+    installs.fetch_add(1, std::memory_order_relaxed);
+    if (displaced != nullptr) {
+      store.retire(displaced);
+      retired.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // A concurrent reader races every swap: each newly observed
+  // generation must attach (checksum + structural audit) under the
+  // fingerprint the publisher sealed. A torn or dropped generation
+  // fails the bench.
+  std::atomic<bool> reader_stop{false};
+  std::atomic<std::uint64_t> reader_failures{0};
+  std::atomic<std::uint64_t> generations_verified{0};
+  std::thread reader([&] {
+    std::uint64_t last_seq = 0;
+    const auto verify_current = [&] {
+      const auto ref = store.acquire(0);
+      if (!ref || ref.seq() == last_seq) return false;
+      if (ref.seq() < last_seq) {
+        reader_failures.fetch_add(1);
+        return false;
+      }
+      last_seq = ref.seq();
+      try {
+        const state::StateImage image = state::StateImage::attach(
+            ref.image().bytes, ref.image().fingerprint);
+        if (image.info().fingerprint != ref.image().fingerprint) {
+          reader_failures.fetch_add(1);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "reader attach failed: %s\n", e.what());
+        reader_failures.fetch_add(1);
+      }
+      generations_verified.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    };
+    while (!reader_stop.load(std::memory_order_acquire)) {
+      if (!verify_current()) std::this_thread::yield();
+    }
+    // A replay faster than this thread's first timeslice still gets its
+    // final generation audited.
+    verify_current();
+  });
+
+  std::uint64_t total_bytes = 0;
+  const auto start = Clock::now();
+  if (pace_seconds <= 0.0) {
+    // Full speed: the entire trace is buffered and already closed, so
+    // elapsed time is pure reactor throughput.
+    std::vector<std::byte> wire;
+    for (const auto& step : wires) {
+      wire.insert(wire.end(), step.begin(), step.end());
+    }
+    total_bytes = wire.size();
+    auto source = std::make_unique<stream::BufferSource>(std::move(wire));
+    source->close();
+    reactor.start(std::move(source));
+  } else {
+    auto source = std::make_unique<stream::BufferSource>();
+    stream::BufferSource* feed = source.get();
+    reactor.start(std::move(source));
+    for (const auto& step : wires) {
+      feed->append(step);
+      total_bytes += step.size();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(pace_seconds));
+    }
+    feed->close();
+  }
+  reactor.join();
+  outcome.elapsed_seconds = seconds_since(start);
+
+  reader_stop.store(true, std::memory_order_release);
+  reader.join();
+  outcome.stats = reactor.stats();
+  outcome.installs = installs.load();
+  outcome.retired = retired.load();
+
+  // ---- cross-checks (not timed) -------------------------------------
+  const stream::ReactorStats& stats = outcome.stats;
+  BENCH_CHECK(stats.framer.decode_errors == 0, "decode errors: %" PRIu64,
+              stats.framer.decode_errors);
+  BENCH_CHECK(stats.framer.resyncs == 0, "resyncs: %" PRIu64,
+              stats.framer.resyncs);
+  BENCH_CHECK(stats.framer.truncated_tail == 0, "truncated tail");
+  BENCH_CHECK(stats.framer.bytes_in == total_bytes,
+              "ingest accounted %" PRIu64 " of %" PRIu64 " bytes",
+              stats.framer.bytes_in, total_bytes);
+  BENCH_CHECK(stats.queue.dropped == 0, "queue dropped %" PRIu64,
+              stats.queue.dropped);
+  BENCH_CHECK(stats.rejected_overlaps == 0, "rejected overlaps: %" PRIu64,
+              stats.rejected_overlaps);
+  BENCH_CHECK(reader_failures.load() == 0, "reader failures: %" PRIu64,
+              reader_failures.load());
+
+  // Zero dropped generations: every published plan was installed, every
+  // displaced one retired, and the store serves the newest.
+  BENCH_CHECK(outcome.installs == stats.plans_published,
+              "installs %" PRIu64 " != published %" PRIu64, outcome.installs,
+              stats.plans_published);
+  BENCH_CHECK(outcome.installs > 0, "nothing was published");
+  BENCH_CHECK(outcome.retired + 1 == outcome.installs,
+              "retired %" PRIu64 " of %" PRIu64, outcome.retired,
+              outcome.installs);
+  BENCH_CHECK(store.current_seq() == outcome.installs,
+              "store at seq %" PRIu64 ", installed %" PRIu64,
+              store.current_seq(), outcome.installs);
+
+  // Final table: prefix-for-prefix, origin-for-origin equal to the
+  // batch shadow.
+  BENCH_CHECK(reactor.table() == expected.table,
+              "final table diverged (got %zu records, want %zu)",
+              reactor.table().size(), expected.table.size());
+
+  // Final partition: same live set and identical attribution for 20k
+  // random addresses against a from-scratch partition of the expected
+  // live prefixes.
+  const bgp::PrefixPartition& streamed = reactor.partition();
+  BENCH_CHECK(streamed.live_cells() == expected.table.size(),
+              "live cells %zu, want %zu", streamed.live_cells(),
+              expected.table.size());
+  util::Rng probe_rng(probe_seed);
+  std::uint64_t locate_mismatches = 0;
+  for (int probe = 0; probe < 20000; ++probe) {
+    const net::Ipv4Address address(
+        static_cast<std::uint32_t>(probe_rng.bounded(1ull << 32)));
+    const auto got = streamed.locate(address);
+    const auto want = expected.partition.locate(address);
+    if (got.has_value() != want.has_value() ||
+        (got && streamed.prefix(*got) != expected.partition.prefix(*want))) {
+      ++locate_mismatches;
+    }
+  }
+  BENCH_CHECK(locate_mismatches == 0, "%" PRIu64 " locate mismatches",
+              locate_mismatches);
+
+  // Per-cell counts: reorigins preserve, splits score zero.
+  const auto cell_counts = reactor.counts();
+  std::uint64_t count_mismatches = 0;
+  for (std::size_t slot = 0; slot < streamed.size(); ++slot) {
+    if (!streamed.live(static_cast<std::uint32_t>(slot))) continue;
+    const auto it =
+        expected.counts.find(streamed.prefix(static_cast<std::uint32_t>(slot)));
+    if (it == expected.counts.end() || cell_counts[slot] != it->second) {
+      ++count_mismatches;
+    }
+  }
+  BENCH_CHECK(count_mismatches == 0, "%" PRIu64 " count mismatches",
+              count_mismatches);
+
+  // The last published plan must name exactly the reactor's final
+  // topology.
+  BENCH_CHECK(last_fingerprint == bgp::partition_fingerprint(streamed),
+              "published fingerprint does not match the final partition");
+  BENCH_CHECK(generations_verified.load() >= 1,
+              "reader never verified a generation");
+  return outcome;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t prefix_count = 50'000;
+  std::size_t steps = 40;
+  std::size_t churn = 600;  // churned prefixes per step
+  std::uint64_t pace_ms = 25;
+  std::uint64_t seed = 2016;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for '%s'\n", argv[i]);
+      return 2;
+    }
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0') {
+      std::fprintf(stderr, "not a number: '%s'\n", argv[i + 1]);
+      return 2;
+    }
+    if (std::strcmp(argv[i], "--prefixes") == 0) {
+      prefix_count = value;
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      steps = value;
+    } else if (std::strcmp(argv[i], "--churn") == 0) {
+      churn = value;
+    } else if (std::strcmp(argv[i], "--pace-ms") == 0) {
+      pace_ms = value;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: micro_stream [--prefixes N] "
+                   "[--steps K] [--churn C] [--pace-ms MS] [--seed S]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (prefix_count == 0) prefix_count = 1;
+  if (steps == 0) steps = 1;
+  if (churn == 0) churn = 1;
+
+  // ---- synthetic world + churn trace ---------------------------------
+  util::Rng rng(seed);
+  std::vector<bgp::Pfx2AsRecord> table;
+  std::vector<std::uint32_t> counts;
+  Shadow shadow;
+  for (const net::Prefix prefix : synthesize_prefixes(prefix_count, seed)) {
+    const auto origin =
+        static_cast<std::uint32_t>(64512 + rng.bounded(1024));
+    const std::uint32_t count = synthetic_count(prefix, seed);
+    table.push_back({prefix, {origin}});
+    counts.push_back(count);
+    shadow.origins[prefix] = {origin};
+    shadow.counts[prefix] = count;
+  }
+
+  std::vector<std::vector<std::byte>> wires;
+  std::uint64_t updates_total = 0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::vector<net::Prefix> live;
+    live.reserve(shadow.origins.size());
+    for (const auto& [prefix, origins] : shadow.origins) {
+      live.push_back(prefix);
+    }
+    bgp::RibDelta delta;
+    std::set<net::Prefix> used;
+    for (std::size_t k = 0; k < churn; ++k) {
+      const net::Prefix victim = live[rng.bounded(live.size())];
+      if (!used.insert(victim).second) continue;
+      const auto origin =
+          static_cast<std::uint32_t>(65000 + rng.bounded(512));
+      if (victim.length() < 24 && rng.chance(0.45)) {
+        // Deaggregation split: withdraw the cover, announce the halves.
+        delta.withdraw.push_back(victim);
+        delta.announce.push_back({victim.lower_half(), {origin}});
+        delta.announce.push_back({victim.upper_half(), {origin}});
+        shadow.origins.erase(victim);
+        shadow.counts.erase(victim);
+        for (const net::Prefix half :
+             {victim.lower_half(), victim.upper_half()}) {
+          used.insert(half);
+          shadow.origins[half] = {origin};
+          shadow.counts[half] = 0;  // fresh cells score zero (no rescanner)
+        }
+      } else {
+        // Reorigin: same prefix, new origin set; the cell and its
+        // responsive count survive.
+        delta.announce.push_back({victim, {origin}});
+        shadow.origins[victim] = {origin};
+      }
+    }
+    updates_total += delta.withdraw.size() + delta.announce.size();
+    wires.push_back(bgp::encode_mrt_updates(
+        delta, static_cast<std::uint32_t>(1441584000 + step)));
+  }
+
+  Expected expected;
+  for (const auto& [prefix, origins] : shadow.origins) {
+    expected.table.push_back({prefix, origins});
+  }
+  expected.counts = shadow.counts;
+  {
+    std::vector<net::Prefix> live;
+    live.reserve(expected.table.size());
+    for (const auto& record : expected.table) live.push_back(record.prefix);
+    expected.partition = bgp::PrefixPartition(std::move(live));
+  }
+
+  // ---- replays --------------------------------------------------------
+  const ReplayOutcome fast =
+      run_replay(table, counts, wires, /*pace_seconds=*/0.0, expected,
+                 util::mix64(seed, 1));
+  const ReplayOutcome paced =
+      run_replay(table, counts, wires, static_cast<double>(pace_ms) / 1e3,
+                 expected, util::mix64(seed, 2));
+  if (!fast.ok || !paced.ok) {
+    std::fprintf(stderr, "FAILED: streamed replay diverged from batch\n");
+    return 1;
+  }
+
+  const double updates_per_sec =
+      fast.elapsed_seconds > 0.0
+          ? static_cast<double>(updates_total) / fast.elapsed_seconds
+          : 0.0;
+  const double p50_ms = percentile(paced.latency_ms, 0.50);
+  const double p99_ms = percentile(paced.latency_ms, 0.99);
+  const double max_ms = paced.stats.max_update_to_plan_seconds * 1e3;
+
+  std::fprintf(stderr,
+               "# %zu prefixes, %zu steps x %zu churn (%" PRIu64
+               " updates): sustained %.0f updates/s (%" PRIu64
+               " plans, %" PRIu64 " batches, %" PRIu64
+               " folded); paced %" PRIu64
+               " plans, update->plan p50 %.2f ms p99 %.2f ms max %.2f ms\n",
+               prefix_count, steps, churn, updates_total, updates_per_sec,
+               fast.stats.plans_published, fast.stats.batches,
+               fast.stats.queue.coalesced,
+               paced.stats.plans_published, p50_ms, p99_ms, max_ms);
+
+  std::printf(
+      "{\"bench\":\"micro_stream\",\"prefixes\":%zu,\"steps\":%zu,"
+      "\"churn\":%zu,\"pace_ms\":%" PRIu64 ",\"seed\":%" PRIu64 ","
+      "\"updates_total\":%" PRIu64 ",\"final_cells\":%zu,"
+      "\"plans_published_fast\":%" PRIu64 ",\"batches_fast\":%" PRIu64 ","
+      "\"coalesced_fast\":%" PRIu64 ",\"plans_published_paced\":%" PRIu64
+      ",\"updates_per_sec_sustained\":%.1f,\"update_to_plan_p50_ms\":%.3f,"
+      "\"update_to_plan_p99_ms\":%.3f,\"update_to_plan_max_ms\":%.3f}\n",
+      prefix_count, steps, churn, pace_ms, seed, updates_total,
+      expected.table.size(), fast.stats.plans_published, fast.stats.batches,
+      fast.stats.queue.coalesced, paced.stats.plans_published,
+      updates_per_sec, p50_ms, p99_ms, max_ms);
+  return 0;
+}

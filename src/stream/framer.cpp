@@ -1,0 +1,127 @@
+#include "stream/framer.hpp"
+
+#include <algorithm>
+
+#include "bgp/mrt.hpp"
+#include "util/error.hpp"
+
+namespace tass::stream {
+namespace {
+
+constexpr std::size_t kMrtHeaderBytes = 12;
+constexpr std::size_t kCompactThreshold = 1u << 16;
+
+std::uint16_t read_u16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>((std::to_integer<unsigned>(p[0]) << 8) |
+                                    std::to_integer<unsigned>(p[1]));
+}
+
+std::uint32_t read_u32(const std::byte* p) noexcept {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+void MrtFramer::push(std::span<const std::byte> data) {
+  stats_.bytes_in += data.size();
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+bool MrtFramer::plausible_header(std::size_t offset) const noexcept {
+  const std::byte* p = buffer_.data() + offset;
+  auto type = read_u16(p + 4);
+  auto subtype = read_u16(p + 6);
+  auto length = read_u32(p + 8);
+  if (length > kMaxRecordBytes) return false;
+  using bgp::Bgp4mpSubtype;
+  using bgp::MrtType;
+  using bgp::TableDumpV2Subtype;
+  if (type == static_cast<std::uint16_t>(MrtType::kBgp4mp)) {
+    return subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::kMessage) ||
+           subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4);
+  }
+  if (type == static_cast<std::uint16_t>(MrtType::kTableDumpV2)) {
+    return subtype ==
+               static_cast<std::uint16_t>(
+                   TableDumpV2Subtype::kPeerIndexTable) ||
+           subtype ==
+               static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast);
+  }
+  return false;
+}
+
+void MrtFramer::discard(std::size_t count) {
+  consumed_ += count;
+  stats_.bytes_discarded += count;
+}
+
+void MrtFramer::resync() {
+  ++stats_.resyncs;
+  // The byte at consumed_ started a record we rejected; it can never
+  // start a good one, so drop it, then scan byte-at-a-time for the next
+  // plausible header. One-byte steps guarantee no intact record in the
+  // buffer is ever jumped over.
+  discard(1);
+  while (buffer_.size() - consumed_ >= kMrtHeaderBytes &&
+         !plausible_header(consumed_)) {
+    discard(1);
+  }
+  compact();
+}
+
+void MrtFramer::compact() {
+  if (consumed_ >= kCompactThreshold) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::optional<bgp::RibDelta> MrtFramer::next() {
+  while (true) {
+    std::size_t available = buffer_.size() - consumed_;
+    if (available < kMrtHeaderBytes) return std::nullopt;
+    if (!plausible_header(consumed_)) {
+      resync();
+      continue;
+    }
+    std::uint32_t body = read_u32(buffer_.data() + consumed_ + 8);
+    std::size_t total = kMrtHeaderBytes + body;
+    if (total > available) return std::nullopt;  // record still arriving
+
+    std::span<const std::byte> record(buffer_.data() + consumed_, total);
+    try {
+      std::size_t skipped = 0;
+      bgp::RibDelta delta = bgp::decode_mrt_updates(record, &skipped);
+      consumed_ += total;
+      compact();
+      if (skipped > 0) {
+        // Valid MRT, but not an IPv4 BGP4MP_MESSAGE_AS4 UPDATE — consume
+        // without surfacing.
+        stats_.skipped_records += skipped;
+        continue;
+      }
+      ++stats_.records;
+      return delta;
+    } catch (const FormatError&) {
+      ++stats_.decode_errors;
+      resync();
+      continue;
+    }
+  }
+}
+
+void MrtFramer::finish() {
+  std::size_t remaining = buffer_.size() - consumed_;
+  if (remaining > 0) {
+    ++stats_.truncated_tail;
+    discard(remaining);
+  }
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+}  // namespace tass::stream

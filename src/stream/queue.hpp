@@ -1,0 +1,211 @@
+// Bounded, per-prefix-coalescing churn queue.
+//
+// A BGP burst can announce and withdraw the same prefix many times in
+// one flap storm; the plan pipeline only ever cares about the newest
+// state per prefix. CoalescingQueue sits between the ingest thread
+// (framing/decoding the feed) and the pipeline thread (applying deltas
+// and re-ranking): offers fold newest-wins into an existing queued entry
+// for the same prefix — announce→withdraw→announce collapses to the
+// final announce, in the prefix's original FIFO position, keeping the
+// oldest enqueue time so end-to-end latency is never under-reported.
+//
+// Capacity is bounded. When full, the configured OverflowPolicy either
+// blocks the producer (lossless backpressure — the feed socket's TCP
+// window then throttles the collector) or drops the newest offer
+// (bounded-latency at the cost of fidelity); both paths are counted so
+// reactor stats expose exactly what burst handling cost.
+//
+// Threading: one producer, one consumer (the reactor's ingest and
+// pipeline threads), but all operations are mutex-guarded so tests may
+// drive it from any thread.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tass::stream {
+
+/// One folded routing change: announce with origins, or withdraw when
+/// `origins` is nullopt. `enqueued_at` is the reactor-clock time of the
+/// oldest offer folded into this entry.
+struct PrefixAction {
+  net::Prefix prefix;
+  std::optional<std::vector<std::uint32_t>> origins;  // nullopt = withdraw
+  double enqueued_at = 0.0;
+
+  bool is_withdraw() const noexcept { return !origins.has_value(); }
+};
+
+enum class OverflowPolicy {
+  kBlock,       // offer() waits for space (lossless backpressure)
+  kDropNewest,  // offer() discards the incoming action and counts it
+};
+
+/// Cumulative queue accounting.
+struct QueueStats {
+  std::uint64_t offered = 0;    // actions presented to the queue
+  std::uint64_t coalesced = 0;  // offers folded into an existing entry
+  std::uint64_t dropped = 0;    // offers discarded by kDropNewest
+  std::uint64_t blocked = 0;    // offers that had to wait for space
+  std::uint64_t drained = 0;    // entries handed to the consumer
+  std::uint64_t high_water = 0; // maximum depth observed
+};
+
+class CoalescingQueue {
+ public:
+  explicit CoalescingQueue(std::size_t capacity,
+                           OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Offers an action, folding into a queued entry for the same prefix
+  /// when one exists (never blocks in that case). Returns false only
+  /// when the action was discarded: queue full under kDropNewest, or
+  /// closed. Under kBlock a full queue waits until the consumer drains
+  /// or the queue closes.
+  bool offer(PrefixAction action) {
+    std::unique_lock lock(mutex_);
+    if (closed_) return false;
+    ++stats_.offered;
+    if (fold_locked(action)) return true;
+    if (queue_.size() >= capacity_) {
+      if (policy_ == OverflowPolicy::kDropNewest) {
+        ++stats_.dropped;
+        return false;
+      }
+      ++stats_.blocked;
+      space_.wait(lock,
+                  [&] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
+      // Space appeared, but the consumer may have drained this prefix's
+      // entry and a racing producer re-queued it — fold again first.
+      if (fold_locked(action)) return true;
+    }
+    push_locked(std::move(action));
+    return true;
+  }
+
+  /// Non-blocking offer: folds or pushes, returns false when the queue
+  /// is full (caller should drain or treat as backpressure) or closed.
+  bool try_offer(PrefixAction action) {
+    std::lock_guard lock(mutex_);
+    if (closed_) return false;
+    ++stats_.offered;
+    if (fold_locked(action)) return true;
+    if (queue_.size() >= capacity_) {
+      --stats_.offered;  // not accepted; caller retries the same action
+      return false;
+    }
+    push_locked(std::move(action));
+    return true;
+  }
+
+  /// Pops up to `max` entries in FIFO order (0 = all). Never blocks.
+  std::vector<PrefixAction> drain(std::size_t max = 0) {
+    std::vector<PrefixAction> out;
+    {
+      std::lock_guard lock(mutex_);
+      std::size_t take = queue_.size();
+      if (max != 0) take = std::min(take, max);
+      out.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        ++base_;
+      }
+      for (const PrefixAction& action : out) {
+        index_.erase(key_of(action.prefix));
+      }
+      stats_.drained += out.size();
+    }
+    if (!out.empty()) space_.notify_all();
+    return out;
+  }
+
+  /// Blocks until the queue is non-empty, closed, or `timeout_seconds`
+  /// elapses; returns whether entries are available.
+  bool wait_nonempty(double timeout_seconds) {
+    std::unique_lock lock(mutex_);
+    data_.wait_for(lock,
+                   std::chrono::duration<double>(timeout_seconds),
+                   [&] { return closed_ || !queue_.empty(); });
+    return !queue_.empty();
+  }
+
+  /// Closes the queue: blocked producers wake and fail, future offers
+  /// are rejected; already-queued entries remain drainable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    space_.notify_all();
+    data_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  QueueStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  static std::uint64_t key_of(const net::Prefix& prefix) noexcept {
+    return (static_cast<std::uint64_t>(prefix.network().value()) << 8) |
+           prefix.length();
+  }
+
+  /// Folds `action` into an existing queued entry for the same prefix.
+  /// Newest wins; the entry keeps its FIFO position and oldest
+  /// enqueued_at. Returns whether a fold happened.
+  bool fold_locked(const PrefixAction& action) {
+    auto it = index_.find(key_of(action.prefix));
+    if (it == index_.end()) return false;
+    PrefixAction& queued = queue_[it->second - base_];
+    queued.origins = action.origins;
+    ++stats_.coalesced;
+    data_.notify_all();
+    return true;
+  }
+
+  void push_locked(PrefixAction action) {
+    index_.emplace(key_of(action.prefix), base_ + queue_.size());
+    queue_.push_back(std::move(action));
+    stats_.high_water = std::max<std::uint64_t>(stats_.high_water,
+                                                queue_.size());
+    data_.notify_all();
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_;
+  std::condition_variable data_;
+  std::deque<PrefixAction> queue_;
+  // prefix key → absolute position (base_ + offset), stable across pops.
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;
+  std::uint64_t base_ = 0;
+  std::size_t capacity_;
+  OverflowPolicy policy_;
+  bool closed_ = false;
+  QueueStats stats_;
+};
+
+}  // namespace tass::stream

@@ -1,0 +1,192 @@
+#include "stream/source.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace tass::stream {
+namespace {
+
+constexpr int kPollMillis = 20;  // short parks keep ingest loops stoppable
+
+/// Reads available bytes from `fd` after a bounded poll; returns the
+/// byte count, 0 when nothing is ready, and sets *eof on end-of-stream.
+std::size_t poll_read(int fd, std::span<std::byte> out, bool* eof) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, kPollMillis);
+  if (ready <= 0) return 0;  // timeout or transient poll error: retry later
+  if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) return 0;
+  ssize_t got = ::read(fd, out.data(), out.size());
+  if (got > 0) return static_cast<std::size_t>(got);
+  if (got == 0) {
+    *eof = true;
+    return 0;
+  }
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+  // Hard read error: treat as end-of-stream rather than crashing the
+  // ingest loop; the reactor surfaces the early termination through its
+  // source-exhausted accounting.
+  *eof = true;
+  return 0;
+}
+
+}  // namespace
+
+BufferSource::BufferSource(std::vector<std::byte> data, std::size_t max_chunk)
+    : data_(std::move(data)), max_chunk_(max_chunk) {}
+
+std::size_t BufferSource::read(std::span<std::byte> out) {
+  std::lock_guard lock(mutex_);
+  std::size_t available = data_.size() - cursor_;
+  std::size_t take = std::min(available, out.size());
+  if (max_chunk_ != 0) take = std::min(take, max_chunk_);
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(cursor_), take,
+              out.begin());
+  cursor_ += take;
+  // Reclaim consumed bytes occasionally so a long-running appendable
+  // buffer does not grow without bound.
+  if (cursor_ > (1u << 20) && cursor_ == data_.size()) {
+    data_.clear();
+    cursor_ = 0;
+  }
+  return take;
+}
+
+bool BufferSource::exhausted() {
+  std::lock_guard lock(mutex_);
+  return closed_ && cursor_ == data_.size();
+}
+
+void BufferSource::append(std::span<const std::byte> data) {
+  std::lock_guard lock(mutex_);
+  TASS_EXPECTS(!closed_);
+  data_.insert(data_.end(), data.begin(), data.end());
+}
+
+void BufferSource::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+}
+
+FileTailSource::FileTailSource(const std::string& path, bool follow)
+    : follow_(follow) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw Error("stream: cannot open feed file '" + path +
+                "': " + std::strerror(errno));
+  }
+}
+
+FileTailSource::~FileTailSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FileTailSource::read(std::span<std::byte> out) {
+  if (eof_) return 0;
+  ssize_t got = ::read(fd_, out.data(), out.size());
+  if (got > 0) return static_cast<std::size_t>(got);
+  if (got < 0 && errno == EINTR) return 0;
+  if (got == 0 && follow_) {
+    // At the current end of a growing file: wait briefly for appends.
+    struct timespec ts {
+      0, kPollMillis * 1000000L
+    };
+    ::nanosleep(&ts, nullptr);
+    return 0;
+  }
+  eof_ = true;
+  return 0;
+}
+
+bool FileTailSource::exhausted() { return eof_; }
+
+FdSource::FdSource(int fd) : fd_(fd) {
+  TASS_EXPECTS(fd >= 0);
+}
+
+FdSource::~FdSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FdSource::read(std::span<std::byte> out) {
+  if (eof_) return 0;
+  return poll_read(fd_, out, &eof_);
+}
+
+bool FdSource::exhausted() { return eof_; }
+
+std::unique_ptr<UpdateSource> connect_tcp_source(const std::string& host,
+                                                 std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw Error("stream: cannot resolve feed host '" + host +
+                "': " + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    throw Error("stream: cannot connect to feed " + host + ":" + service);
+  }
+  return std::make_unique<FdSource>(fd);
+}
+
+std::unique_ptr<UpdateSource> make_update_source(const std::string& spec,
+                                                 bool follow) {
+  if (spec.rfind("tcp:", 0) == 0) {
+    std::string rest = spec.substr(4);
+    std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw Error("stream: bad tcp feed spec '" + spec +
+                  "' (want tcp:HOST:PORT)");
+    }
+    unsigned long port = 0;
+    try {
+      port = std::stoul(rest.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw Error("stream: bad port in feed spec '" + spec + "'");
+    }
+    if (port == 0 || port > 65535) {
+      throw Error("stream: bad port in feed spec '" + spec + "'");
+    }
+    return connect_tcp_source(rest.substr(0, colon),
+                              static_cast<std::uint16_t>(port));
+  }
+  if (spec.rfind("fd:", 0) == 0) {
+    int fd = -1;
+    try {
+      fd = std::stoi(spec.substr(3));
+    } catch (const std::exception&) {
+      throw Error("stream: bad fd feed spec '" + spec + "'");
+    }
+    if (fd < 0) throw Error("stream: bad fd feed spec '" + spec + "'");
+    return std::make_unique<FdSource>(fd);
+  }
+  return std::make_unique<FileTailSource>(spec, follow);
+}
+
+}  // namespace tass::stream

@@ -1,0 +1,128 @@
+// Update-feed byte sources for the live BGP stream reactor.
+//
+// Real scanners that track BGP (see "A Detailed Measurement View on IPv6
+// Scanners and Their Adaption to BGP Signals", PAPERS.md) consume MRT
+// BGP4MP update streams from wherever a collector publishes them: a file
+// that keeps growing (RouteViews dump directories), a pipe from a decoder
+// process, or a TCP socket. UpdateSource is the one interface the
+// stream::StreamReactor ingests from; every implementation is a plain
+// byte tap — framing, decoding and resync all live in stream::MrtFramer,
+// so a source never needs to understand record boundaries.
+//
+// The contract is poll-friendly rather than callback-driven: read() may
+// return 0 ("nothing available right now"), and exhausted() turns true
+// only when the source can never produce another byte. That keeps the
+// ingest loop stoppable (it never parks in an unbounded blocking read)
+// and makes the file-tail follow mode a natural fit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tass::stream {
+
+/// A pollable byte stream of MRT update data.
+class UpdateSource {
+ public:
+  virtual ~UpdateSource() = default;
+
+  /// Copies up to out.size() available bytes into `out`, returning the
+  /// count. 0 means "nothing available right now" — the caller should
+  /// poll again unless exhausted(). Never blocks for longer than a short
+  /// internal poll interval, so an ingest loop stays responsive to stop.
+  virtual std::size_t read(std::span<std::byte> out) = 0;
+
+  /// True once the stream has ended for good (EOF on a non-follow file,
+  /// peer close on a socket, close() on a buffer). After this, read()
+  /// returns 0 forever.
+  virtual bool exhausted() = 0;
+};
+
+/// In-memory source: serves a byte buffer in bounded chunks. Appendable
+/// and thread-safe, so tests and benches can keep feeding a running
+/// reactor and then close() the stream; also the replay vehicle for a
+/// fully buffered update trace. `max_chunk` caps each read so callers
+/// can exercise ragged fragment boundaries (0 = unbounded).
+class BufferSource final : public UpdateSource {
+ public:
+  explicit BufferSource(std::vector<std::byte> data = {},
+                        std::size_t max_chunk = 0);
+
+  std::size_t read(std::span<std::byte> out) override;
+  bool exhausted() override;
+
+  /// Appends more stream bytes (thread-safe; no-op-rejected after
+  /// close()).
+  void append(std::span<const std::byte> data);
+  /// Marks the end of the stream: once drained, exhausted() turns true.
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+  std::size_t max_chunk_;
+  bool closed_ = false;
+};
+
+/// Tails a file of MRT records. With follow == false this is a plain
+/// sequential reader that is exhausted at EOF (batch replay of a dump
+/// file, including the mid-record-EOF fault case). With follow == true it
+/// behaves like `tail -f`: EOF just means "no new bytes yet" and the
+/// reader keeps polling as the collector appends. Throws tass::Error if
+/// the file cannot be opened.
+class FileTailSource final : public UpdateSource {
+ public:
+  explicit FileTailSource(const std::string& path, bool follow = false);
+  ~FileTailSource() override;
+
+  FileTailSource(const FileTailSource&) = delete;
+  FileTailSource& operator=(const FileTailSource&) = delete;
+
+  std::size_t read(std::span<std::byte> out) override;
+  bool exhausted() override;
+
+ private:
+  int fd_ = -1;
+  bool follow_ = false;
+  bool eof_ = false;
+};
+
+/// Reads from an already-open descriptor — a pipe from a decoder process
+/// or a connected socket. Uses a short poll() before each read so the
+/// ingest loop never parks indefinitely; EOF (peer close) exhausts the
+/// source. Owns the descriptor.
+class FdSource final : public UpdateSource {
+ public:
+  explicit FdSource(int fd);
+  ~FdSource() override;
+
+  FdSource(const FdSource&) = delete;
+  FdSource& operator=(const FdSource&) = delete;
+
+  std::size_t read(std::span<std::byte> out) override;
+  bool exhausted() override;
+
+ private:
+  int fd_ = -1;
+  bool eof_ = false;
+};
+
+/// Connects a TCP socket to host:port and returns it as a source.
+/// Throws tass::Error on resolution or connection failure.
+std::unique_ptr<UpdateSource> connect_tcp_source(const std::string& host,
+                                                 std::uint16_t port);
+
+/// Builds a source from a command-line spec:
+///   "tcp:HOST:PORT"  live socket feed
+///   "fd:N"           inherited descriptor (pipe)
+///   anything else    file path, tailed with the given follow mode
+std::unique_ptr<UpdateSource> make_update_source(const std::string& spec,
+                                                 bool follow);
+
+}  // namespace tass::stream

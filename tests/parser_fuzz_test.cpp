@@ -684,3 +684,120 @@ TEST(StateImage6Corruption, ResealedByteFlipsNeverCrash) {
 
 }  // namespace
 }  // namespace tass::state
+
+// --- Streaming MRT framer --------------------------------------------
+//
+// The framer sits in front of decode_mrt_updates on the live feed path,
+// so it inherits the parser corruption contract and adds its own: for
+// arbitrary feed bytes, arbitrarily fragmented, it never throws and
+// never crashes (the sanitizer job enforces memory safety), every byte
+// is accounted (decoded, discarded, or truncated tail), and whatever
+// records survive decode are structurally sane.
+
+#include "stream/framer.hpp"
+
+namespace tass::stream {
+namespace {
+
+std::vector<std::byte> valid_update_stream() {
+  bgp::RibDelta first;
+  first.announce = {
+      {net::Prefix::parse_or_throw("198.18.0.0/15"), {600, 601}},
+      {net::Prefix::parse_or_throw("198.51.100.0/24"), {500}},
+  };
+  first.withdraw = {net::Prefix::parse_or_throw("172.16.0.0/12"),
+                    net::Prefix::parse_or_throw("192.0.2.0/24")};
+  auto bytes = bgp::encode_mrt_updates(first, 1441584000);
+  bgp::RibDelta second;
+  second.withdraw = {net::Prefix::parse_or_throw("10.64.0.0/10")};
+  const auto more = bgp::encode_mrt_updates(second, 1441584001);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  return bytes;
+}
+
+/// Pushes `wire` through a framer in seeded random fragments, draining
+/// after every push; returns the number of surfaced records after
+/// verifying each one is structurally sane.
+std::size_t replay_fragmented(MrtFramer& framer,
+                              std::span<const std::byte> wire,
+                              util::Rng& rng) {
+  std::size_t surfaced = 0;
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    const std::size_t take = std::min<std::size_t>(
+        wire.size() - offset, 1 + rng.bounded(53));
+    framer.push(wire.subspan(offset, take));
+    while (auto delta = framer.next()) {
+      for (const auto& record : delta->announce) {
+        EXPECT_LE(record.prefix.length(), 32);
+        EXPECT_FALSE(record.origins.empty());
+      }
+      ++surfaced;
+    }
+    offset += take;
+  }
+  return surfaced;
+}
+
+TEST(StreamFramerCorruption, PureRandomBytesNeverCrash) {
+  for (const std::uint64_t seed : {61ull, 62ull, 63ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::byte> garbage(64 + rng.bounded(4096));
+      for (std::byte& b : garbage) {
+        b = static_cast<std::byte>(rng.bounded(256));
+      }
+      MrtFramer framer;
+      replay_fragmented(framer, garbage, rng);
+      framer.finish();
+      // Every byte is accounted for, none is read out of bounds.
+      EXPECT_EQ(framer.stats().bytes_in, garbage.size());
+    }
+  }
+}
+
+TEST(StreamFramerCorruption, SeededCutsAndFlipsNeverCrash) {
+  const auto pristine = valid_update_stream();
+  for (const std::uint64_t seed : {71ull, 72ull, 73ull, 74ull}) {
+    util::Rng rng(seed);
+    for (int round = 0; round < 150; ++round) {
+      // Random cut plus flips near the cut — an interrupted transfer
+      // with line noise, fed through fragmented reads.
+      const auto cut =
+          static_cast<std::size_t>(rng.bounded(pristine.size() + 1));
+      std::vector<std::byte> wire(pristine.begin(),
+                                  pristine.begin() +
+                                      static_cast<std::ptrdiff_t>(cut));
+      if (!wire.empty()) {
+        const std::size_t flips = 1 + rng.bounded(4);
+        for (std::size_t i = 0; i < flips; ++i) {
+          const auto pos =
+              static_cast<std::size_t>(rng.bounded(wire.size()));
+          wire[pos] = static_cast<std::byte>(rng.bounded(256));
+        }
+      }
+      MrtFramer framer;
+      const std::size_t surfaced = replay_fragmented(framer, wire, rng);
+      framer.finish();
+      EXPECT_EQ(framer.stats().records, surfaced);
+      EXPECT_EQ(framer.stats().bytes_in, wire.size());
+    }
+  }
+}
+
+TEST(StreamFramerCorruption, EveryTruncationOfValidStreamIsClean) {
+  const auto wire = valid_update_stream();
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    MrtFramer framer;
+    framer.push(std::span(wire.data(), cut));
+    while (framer.next()) {
+    }
+    framer.finish();
+    // A clean truncation is a truncated tail, never a decode error.
+    EXPECT_EQ(framer.stats().decode_errors, 0u) << "cut " << cut;
+    EXPECT_EQ(framer.stats().resyncs, 0u) << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace tass::stream

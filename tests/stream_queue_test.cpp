@@ -1,0 +1,183 @@
+// Unit tests for the bounded per-prefix-coalescing churn queue: folding
+// semantics (newest wins, FIFO position and oldest timestamp kept),
+// backpressure under both overflow policies, and the counters the
+// reactor's burst accounting is built on.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "stream/queue.hpp"
+
+namespace tass::stream {
+namespace {
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse_or_throw(text); }
+
+PrefixAction announce(const char* text, std::vector<std::uint32_t> origins,
+                      double at = 0.0) {
+  return PrefixAction{pfx(text), std::move(origins), at};
+}
+
+PrefixAction withdraw(const char* text, double at = 0.0) {
+  return PrefixAction{pfx(text), std::nullopt, at};
+}
+
+TEST(CoalescingQueueTest, AnnounceWithdrawAnnounceCollapsesToFinalState) {
+  CoalescingQueue queue(16);
+  EXPECT_TRUE(queue.offer(announce("10.0.0.0/24", {1}, 1.0)));
+  EXPECT_TRUE(queue.offer(withdraw("10.0.0.0/24", 2.0)));
+  EXPECT_TRUE(queue.offer(announce("10.0.0.0/24", {7}, 3.0)));
+
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_FALSE(drained[0].is_withdraw());
+  EXPECT_EQ(*drained[0].origins, (std::vector<std::uint32_t>{7}));
+  // The fold keeps the oldest enqueue time so latency is never
+  // under-reported for an update that sat through the whole flap.
+  EXPECT_EQ(drained[0].enqueued_at, 1.0);
+
+  const QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.drained, 1u);
+  EXPECT_EQ(stats.high_water, 1u);
+}
+
+TEST(CoalescingQueueTest, FoldKeepsFifoPosition) {
+  CoalescingQueue queue(16);
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  ASSERT_TRUE(queue.offer(announce("10.0.1.0/24", {2})));
+  ASSERT_TRUE(queue.offer(withdraw("10.0.0.0/24")));  // folds into slot 0
+
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].prefix, pfx("10.0.0.0/24"));
+  EXPECT_TRUE(drained[0].is_withdraw());
+  EXPECT_EQ(drained[1].prefix, pfx("10.0.1.0/24"));
+}
+
+TEST(CoalescingQueueTest, DrainedPrefixRequeuesAsNewEntry) {
+  CoalescingQueue queue(16);
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  ASSERT_EQ(queue.drain().size(), 1u);
+  // After a drain the prefix's index entry is gone: the next offer is a
+  // fresh push, not a fold into a phantom slot.
+  ASSERT_TRUE(queue.offer(withdraw("10.0.0.0/24")));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.stats().coalesced, 0u);
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(drained[0].is_withdraw());
+}
+
+TEST(CoalescingQueueTest, DrainMaxPopsFifoPrefix) {
+  CoalescingQueue queue(16);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.offer(
+        announce(("10.0." + std::to_string(i) + ".0/24").c_str(),
+                 {static_cast<std::uint32_t>(i)})));
+  }
+  const auto first = queue.drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].prefix, pfx("10.0.0.0/24"));
+  EXPECT_EQ(first[1].prefix, pfx("10.0.1.0/24"));
+  EXPECT_EQ(queue.size(), 3u);
+  // Folding still targets the remaining entries after a partial drain
+  // (the absolute-position index must survive the base shift).
+  ASSERT_TRUE(queue.offer(withdraw("10.0.4.0/24")));
+  EXPECT_EQ(queue.stats().coalesced, 1u);
+  const auto rest = queue.drain();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_TRUE(rest[2].is_withdraw());
+}
+
+TEST(CoalescingQueueTest, DropNewestCountsDiscardsButFoldsWhenFull) {
+  CoalescingQueue queue(1, OverflowPolicy::kDropNewest);
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  // Full queue: a distinct prefix is dropped and counted...
+  EXPECT_FALSE(queue.offer(announce("10.0.1.0/24", {2})));
+  EXPECT_EQ(queue.stats().dropped, 1u);
+  // ...but an update for an already-queued prefix always folds.
+  EXPECT_TRUE(queue.offer(withdraw("10.0.0.0/24")));
+  EXPECT_EQ(queue.stats().coalesced, 1u);
+  EXPECT_EQ(queue.stats().dropped, 1u);
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(drained[0].is_withdraw());
+}
+
+TEST(CoalescingQueueTest, TryOfferRejectsWhenFullWithoutCounting) {
+  CoalescingQueue queue(1);
+  ASSERT_TRUE(queue.try_offer(announce("10.0.0.0/24", {1})));
+  EXPECT_FALSE(queue.try_offer(announce("10.0.1.0/24", {2})));
+  // A rejected try_offer is the caller's to retry: it must not inflate
+  // the offered count.
+  EXPECT_EQ(queue.stats().offered, 1u);
+  EXPECT_EQ(queue.stats().dropped, 0u);
+}
+
+TEST(CoalescingQueueTest, BlockingOfferWaitsForSpace) {
+  CoalescingQueue queue(2, OverflowPolicy::kBlock);
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  ASSERT_TRUE(queue.offer(announce("10.0.1.0/24", {2})));
+
+  std::atomic<bool> accepted{false};
+  std::thread producer([&] {
+    // Full: this offer must block until the consumer drains.
+    EXPECT_TRUE(queue.offer(announce("10.0.2.0/24", {3})));
+    accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());
+  EXPECT_EQ(queue.drain(1).size(), 1u);
+  producer.join();
+  EXPECT_TRUE(accepted.load());
+  EXPECT_EQ(queue.stats().blocked, 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(CoalescingQueueTest, CloseWakesBlockedProducerAndRejectsOffers) {
+  CoalescingQueue queue(1, OverflowPolicy::kBlock);
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.offer(announce("10.0.1.0/24", {2})));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+  EXPECT_FALSE(queue.offer(announce("10.0.2.0/24", {3})));
+  // Entries queued before the close stay drainable.
+  EXPECT_EQ(queue.drain().size(), 1u);
+}
+
+TEST(CoalescingQueueTest, WaitNonemptySignalsDataAndClose) {
+  CoalescingQueue queue(4);
+  EXPECT_FALSE(queue.wait_nonempty(0.005));  // times out empty
+  ASSERT_TRUE(queue.offer(announce("10.0.0.0/24", {1})));
+  EXPECT_TRUE(queue.wait_nonempty(0.005));
+  queue.drain();
+  // A closed empty queue returns immediately instead of timing out.
+  queue.close();
+  EXPECT_FALSE(queue.wait_nonempty(60.0));
+}
+
+TEST(CoalescingQueueTest, HighWaterTracksPeakDepth) {
+  CoalescingQueue queue(16);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.offer(
+        announce(("10.1." + std::to_string(i) + ".0/24").c_str(), {1})));
+  }
+  queue.drain();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.offer(
+        announce(("10.2." + std::to_string(i) + ".0/24").c_str(), {1})));
+  }
+  EXPECT_EQ(queue.stats().high_water, 6u);
+  EXPECT_EQ(queue.stats().drained, 6u);
+}
+
+}  // namespace
+}  // namespace tass::stream

@@ -19,6 +19,8 @@ Headline metrics (direction-aware):
   micro_coldstart load_ms (lower is better), speedup (higher is better)
   micro_serve     qps_per_core (higher is better), p99_us and
                   swap_p99_us (lower is better)
+  micro_stream    updates_per_sec_sustained (higher is better),
+                  update_to_plan_p99_ms (lower is better)
 
 Usage (in CI):
   bench_compare.py --repo owner/name --artifact bench-json-gcc \
@@ -134,6 +136,13 @@ def headline_metrics(record):
             yield "p99_us", float(record["p99_us"]), False
         if "swap_p99_us" in record:
             yield "swap_p99_us", float(record["swap_p99_us"]), False
+    elif bench == "micro_stream":
+        if "updates_per_sec_sustained" in record:
+            yield ("updates_per_sec_sustained",
+                   float(record["updates_per_sec_sustained"]), True)
+        if "update_to_plan_p99_ms" in record:
+            yield ("update_to_plan_p99_ms",
+                   float(record["update_to_plan_p99_ms"]), False)
 
 
 def index_by_bench(files):
