@@ -26,8 +26,8 @@
 
 #include "bgp/pfx2as.hpp"
 #include "bgp/table6.hpp"
-#include "core/ranking6.hpp"
-#include "core/selection6.hpp"
+#include "core/ranking.hpp"
+#include "core/selection.hpp"
 #include "report/table.hpp"
 #include "scan/blocklist.hpp"
 #include "scan/scope6.hpp"

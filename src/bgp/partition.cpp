@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "bgp/partition6.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 

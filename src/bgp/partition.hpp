@@ -8,7 +8,7 @@
 // currency between bgp, census, and core. Attribution rides on the
 // trie::BasicLpmIndex substrate: locate() is a handful of dependent loads
 // and locate_many() resolves a whole shard's addresses in one call. The
-// IPv6 instantiation (bgp::PrefixPartition6, partition6.hpp) runs the
+// IPv6 instantiation (bgp::PrefixPartition6, aliased below) runs the
 // same code over 128-bit keys; space accounting is in the family's scan
 // units (addresses for v4, /64 subnets for v6) and saturates rather than
 // wraps where v6 totals exceed 64 bits.
@@ -43,6 +43,7 @@
 #include "net/interval.hpp"
 #include "net/prefix.hpp"
 #include "trie/lpm_index.hpp"
+#include "trie/lpm_index6.hpp"
 #include "util/error.hpp"
 
 namespace tass::bgp {
@@ -341,5 +342,15 @@ using PartitionApplyResult = PartitionApplyResultT<net::Ipv4Family>;
 using PrefixPartition = BasicPrefixPartition<net::Ipv4Family>;
 
 extern template class BasicPrefixPartition<net::Ipv4Family>;
+
+/// The IPv6 instantiations: identical semantics on 128-bit keys, space
+/// accounting in /64 subnets (the v6 allocation unit), saturating
+/// instead of wrapping.
+using PartitionDelta6 = PartitionDeltaT<net::Ipv6Family>;
+using SortedCell6 = SortedCellT<net::Ipv6Family>;
+using PartitionApplyResult6 = PartitionApplyResultT<net::Ipv6Family>;
+using PrefixPartition6 = BasicPrefixPartition<net::Ipv6Family>;
+
+extern template class BasicPrefixPartition<net::Ipv6Family>;
 
 }  // namespace tass::bgp

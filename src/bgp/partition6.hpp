@@ -1,22 +1,5 @@
-// The IPv6 instantiation of the prefix partition (see partition.hpp).
-//
-// Identical semantics on 128-bit keys: disjoint announced-v6 cells,
-// stable cell indices under churn, batched locate_many over
-// Ipv6Address spans, borrowed-storage attach for TSIM images. Space
-// accounting is in /64 subnets (the v6 allocation unit) and saturates
-// instead of wrapping.
+// DEPRECATED forwarding shim: the IPv6 partition aliases now live in
+// bgp/partition.hpp (the family-generic primary). Include that instead.
 #pragma once
 
-#include "bgp/partition.hpp"
-#include "trie/lpm_index6.hpp"
-
-namespace tass::bgp {
-
-using PartitionDelta6 = PartitionDeltaT<net::Ipv6Family>;
-using SortedCell6 = SortedCellT<net::Ipv6Family>;
-using PartitionApplyResult6 = PartitionApplyResultT<net::Ipv6Family>;
-using PrefixPartition6 = BasicPrefixPartition<net::Ipv6Family>;
-
-extern template class BasicPrefixPartition<net::Ipv6Family>;
-
-}  // namespace tass::bgp
+#include "bgp/partition.hpp"  // IWYU pragma: export

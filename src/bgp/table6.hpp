@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "bgp/partition6.hpp"
+#include "bgp/partition.hpp"
 #include "bgp/pfx2as.hpp"
 #include "net/ipv6.hpp"
 

@@ -1,5 +1,8 @@
 #include "census/series.hpp"
 
+#include "census/snapshot_index.hpp"
+#include "core/estimator.hpp"
+#include "net/interval.hpp"
 #include "util/error.hpp"
 
 namespace tass::census {
@@ -21,6 +24,45 @@ CensusSeries CensusSeries::generate(std::shared_ptr<const Topology> topology,
         advance_month(snapshots.back(), profile, params.seed));
   }
   return CensusSeries(std::move(topology), protocol, std::move(snapshots));
+}
+
+std::vector<SampledTrendPoint> sampled_trend(const CensusSeries& series,
+                                             core::PrefixMode mode,
+                                             const scan::SampleParams& params,
+                                             double confidence) {
+  TASS_EXPECTS(series.month_count() >= 1);
+
+  // Plan once from month 0: the seed census both ranks the cells and
+  // funds the budget allocation; every later month reuses the frame.
+  const core::DensityRanking ranking =
+      core::rank_by_density(series.month(0), mode);
+  const scan::SampledScope scope(scan::plan_sample(ranking, params));
+
+  std::vector<SampledTrendPoint> points;
+  points.reserve(static_cast<std::size_t>(series.month_count()));
+  for (int month = 0; month < series.month_count(); ++month) {
+    const SnapshotIndex oracle(series.month(month));
+    const scan::SampleResult result = scope.probe(
+        [&](net::Ipv4Address addr) { return oracle.contains(addr); });
+    const core::SampleEstimate estimate =
+        core::estimate_from_sample(result, ranking, confidence);
+
+    std::uint64_t truth = 0;
+    for (const scan::SampleCell& cell : scope.design().cells) {
+      truth += oracle.count_responsive(net::Interval::of(cell.prefix));
+    }
+
+    points.push_back(SampledTrendPoint{
+        .month_index = month,
+        .truth_hosts = truth,
+        .estimated_hosts = estimate.estimated_hosts,
+        .low = estimate.hosts_low,
+        .high = estimate.hosts_high,
+        .probes_sent = estimate.probes_sent,
+        .frame_units = estimate.frame_units,
+    });
+  }
+  return points;
 }
 
 }  // namespace tass::census

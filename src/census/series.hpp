@@ -12,6 +12,8 @@
 #include "census/protocol.hpp"
 #include "census/snapshot.hpp"
 #include "census/topology.hpp"
+#include "core/ranking.hpp"
+#include "scan/sampled_scope.hpp"
 
 namespace tass::census {
 
@@ -55,5 +57,33 @@ class CensusSeries {
   Protocol protocol_;
   std::vector<Snapshot> snapshots_;
 };
+
+/// One month of a sampled trend series: the statistical estimate next to
+/// the exhaustive truth over the same sampling frame.
+struct SampledTrendPoint {
+  int month_index = 0;
+  std::uint64_t truth_hosts = 0;  // exhaustive count over the design frame
+  double estimated_hosts = 0.0;
+  double low = 0.0;   // confidence interval on estimated_hosts
+  double high = 0.0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t frame_units = 0;  // exhaustive cost of the same frame
+
+  bool ci_covers_truth() const noexcept {
+    const double truth = static_cast<double>(truth_hosts);
+    return truth >= low && truth <= high;
+  }
+};
+
+/// Tracks the series' population month over month with sampled scans
+/// instead of exhaustive sweeps: the ranking and the budget allocation
+/// are planned once from the month-0 snapshot (the paper's seed-census
+/// role), and the *same* drawn target list is re-probed against every
+/// month — so trend deltas reflect churn, not sampling noise.
+/// Deterministic in (series, mode, params).
+std::vector<SampledTrendPoint> sampled_trend(const CensusSeries& series,
+                                             core::PrefixMode mode,
+                                             const scan::SampleParams& params,
+                                             double confidence = 0.95);
 
 }  // namespace tass::census

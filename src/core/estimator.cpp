@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <unordered_set>
 
+#include "net/interval.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -108,16 +111,198 @@ MarkedCensus mark_hosts(const census::Snapshot& snapshot, double probability,
   MarkedCensus census;
   census.marked_per_cell.assign(counts.size(), 0);
   util::Rng rng(util::mix64(seed, 0x6d61726bULL));  // "mark"
+  std::vector<std::uint32_t> merged;
   for (std::uint32_t cell = 0; cell < counts.size(); ++cell) {
     const double p = cell_probability[cell];
-    for (std::uint32_t host = 0; host < counts[cell]; ++host) {
+    // Walk the cell's hosts in ascending address order (stable and
+    // volatile offsets merged) so the marked address list comes out
+    // globally ascending; the rng.chance() call sequence — one per host
+    // in cell order — is unchanged from before addresses were recorded.
+    const census::CellPopulation& population = snapshot.cell(cell);
+    merged.clear();
+    merged.reserve(population.size());
+    std::merge(population.stable.begin(), population.stable.end(),
+               population.volatile_hosts.begin(),
+               population.volatile_hosts.end(), std::back_inserter(merged));
+    const std::uint32_t base =
+        topo.m_partition.prefix(cell).network().value();
+    TASS_EXPECTS(merged.size() == counts[cell]);
+    for (const std::uint32_t offset : merged) {
       if (rng.chance(p)) {
         ++census.marked_per_cell[cell];
         ++census.total_marked;
+        census.addresses.push_back(base + offset);
       }
     }
   }
   return census;
+}
+
+double normal_quantile(double p) {
+  TASS_EXPECTS(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation: two tail regions and a central
+  // region, each a ratio of degree-5 polynomials.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+namespace {
+
+// Scale-up of one count (hits or marked hits) in one cell; returns the
+// point estimate and accumulates the (unclamped) variance for the total.
+double cell_scale_up(std::uint64_t universe, std::uint64_t draws,
+                     std::uint64_t count, double z, double& variance,
+                     double& low, double& high) {
+  const double n_cap = static_cast<double>(universe);
+  if (draws == 0) {
+    // Nothing was drawn: the cell contributes total uncertainty.
+    variance = 0.0;
+    low = 0.0;
+    high = n_cap;
+    return 0.0;
+  }
+  const double n = static_cast<double>(draws);
+  const double estimated =
+      n_cap * static_cast<double>(count) / n;
+  // Smoothed share keeps zero-count cells from claiming zero variance;
+  // the finite-population correction credits draws that exhausted the
+  // frame.
+  const double share = (static_cast<double>(count) + 0.5) / (n + 1.0);
+  const double fpc = std::max(0.0, 1.0 - n / n_cap);
+  variance = n_cap * n_cap * share * (1.0 - share) / n * fpc;
+  const double half = z * std::sqrt(variance);
+  low = std::clamp(estimated - half, 0.0, n_cap);
+  high = std::clamp(estimated + half, 0.0, n_cap);
+  return estimated;
+}
+
+}  // namespace
+
+template <class Family>
+SampleEstimate estimate_from_sample(const scan::SampleResult& sample,
+                                    const DensityRankingT<Family>& ranking,
+                                    double confidence) {
+  TASS_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  std::unordered_set<std::uint32_t> ranked_cells;
+  ranked_cells.reserve(ranking.ranked.size());
+  for (const auto& entry : ranking.ranked) ranked_cells.insert(entry.index);
+
+  SampleEstimate estimate;
+  estimate.confidence = confidence;
+  estimate.probes_sent = sample.probes_sent;
+  estimate.frame_units = sample.frame_units;
+  const double z = normal_quantile(0.5 * (1.0 + confidence));
+
+  double hosts_variance = 0.0;
+  double marked_variance = 0.0;
+  estimate.cells.reserve(sample.cells.size());
+  for (const scan::SampleCellResult& row : sample.cells) {
+    TASS_EXPECTS(ranked_cells.contains(row.cell));
+    TASS_EXPECTS(row.hits <= row.draws);
+    TASS_EXPECTS(row.marked_hits <= row.hits);
+    CellEstimate cell;
+    cell.cell = row.cell;
+    cell.universe = row.universe;
+    cell.draws = row.draws;
+    cell.hits = row.hits;
+    double variance = 0.0;
+    cell.estimated = cell_scale_up(row.universe, row.draws, row.hits, z,
+                                   variance, cell.low, cell.high);
+    estimate.estimated_hosts += cell.estimated;
+    hosts_variance += variance;
+    double cell_marked_variance = 0.0;
+    double marked_cell_low = 0.0;
+    double marked_cell_high = 0.0;
+    estimate.estimated_marked +=
+        cell_scale_up(row.universe, row.draws, row.marked_hits, z,
+                      cell_marked_variance, marked_cell_low,
+                      marked_cell_high);
+    marked_variance += cell_marked_variance;
+    estimate.cells.push_back(cell);
+  }
+  const double frame = static_cast<double>(estimate.frame_units);
+  const double hosts_half = z * std::sqrt(hosts_variance);
+  estimate.hosts_low =
+      std::clamp(estimate.estimated_hosts - hosts_half, 0.0, frame);
+  estimate.hosts_high =
+      std::clamp(estimate.estimated_hosts + hosts_half, 0.0, frame);
+  const double marked_half = z * std::sqrt(marked_variance);
+  estimate.marked_low =
+      std::clamp(estimate.estimated_marked - marked_half, 0.0, frame);
+  estimate.marked_high =
+      std::clamp(estimate.estimated_marked + marked_half, 0.0, frame);
+  return estimate;
+}
+
+template SampleEstimate estimate_from_sample(
+    const scan::SampleResult&, const DensityRankingT<net::Ipv4Family>&,
+    double);
+template SampleEstimate estimate_from_sample(
+    const scan::SampleResult&, const DensityRankingT<net::Ipv6Family>&,
+    double);
+
+std::vector<EstimateCurvePoint> estimate_curve(
+    const DensityRanking& ranking, const census::SnapshotIndex& oracle,
+    std::span<const std::uint64_t> budgets, scan::SampleParams params,
+    double confidence) {
+  std::vector<EstimateCurvePoint> curve;
+  curve.reserve(budgets.size());
+  for (const std::uint64_t budget : budgets) {
+    params.budget = budget;
+    const auto design = scan::plan_sample(ranking, params);
+    const scan::SampledScope scope(design);
+    const auto result = scope.probe(
+        [&](net::Ipv4Address addr) { return oracle.contains(addr); });
+    const auto estimate = estimate_from_sample(result, ranking, confidence);
+
+    EstimateCurvePoint point;
+    point.budget = budget;
+    point.probes_sent = result.probes_sent;
+    for (const auto& row : design.cells) {
+      point.truth_hosts +=
+          oracle.count_responsive(net::Interval::of(row.prefix));
+    }
+    point.estimated_hosts = estimate.estimated_hosts;
+    point.low = estimate.hosts_low;
+    point.high = estimate.hosts_high;
+    point.error =
+        point.truth_hosts == 0
+            ? 0.0
+            : std::abs(point.estimated_hosts -
+                       static_cast<double>(point.truth_hosts)) /
+                  static_cast<double>(point.truth_hosts);
+    point.probe_reduction = estimate.probe_reduction();
+    curve.push_back(point);
+  }
+  return curve;
 }
 
 }  // namespace tass::core

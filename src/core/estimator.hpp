@@ -13,13 +13,22 @@
 // "vulnerable" subpopulation either uniformly (the paper's hypothesis) or
 // biased towards sparse prefixes (the adversarial case), so the
 // hypothesis itself can be tested in simulation.
+// Sampled scans (scan/sampled_scope.hpp) extend the same module with
+// per-cell scale-up: estimate_from_sample() turns a SampleResult's
+// per-cell (universe, draws, hits) triples into stratified
+// Horvitz-Thompson totals with conservative binomial CIs, and
+// estimate_curve() sweeps the probe budget to chart footprint vs
+// accuracy.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "census/snapshot.hpp"
+#include "census/snapshot_index.hpp"
 #include "core/selection.hpp"
+#include "scan/sampled_scope.hpp"
 
 namespace tass::core {
 
@@ -61,6 +70,10 @@ enum class MarkingBias {
 struct MarkedCensus {
   std::vector<std::uint32_t> marked_per_cell;
   std::uint64_t total_marked = 0;
+  /// The marked addresses themselves, ascending and duplicate-free —
+  /// index them (census::SnapshotIndex) to answer "is this hit marked?"
+  /// during a sampled scan.
+  std::vector<std::uint32_t> addresses;
 
   /// Marked hosts inside a selection (m-mode selections only).
   std::uint64_t marked_in(const Selection& selection) const;
@@ -69,5 +82,88 @@ struct MarkedCensus {
 /// Deterministically marks ~probability of the snapshot's hosts.
 MarkedCensus mark_hosts(const census::Snapshot& snapshot, double probability,
                         MarkingBias bias, std::uint64_t seed);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9): the z for a given confidence level,
+/// z = normal_quantile((1 + confidence) / 2). p must be in (0, 1).
+double normal_quantile(double p);
+
+/// Scale-up of one sampled cell: draws `n` of a frame of `N` addresses
+/// saw `hits` responsive, so the cell holds ~N*hits/n. The CI is a
+/// normal-approximation binomial interval with (k+1/2)/(n+1) smoothing
+/// (keeps zero-hit cells honest) and finite-population correction,
+/// clamped to the only possible range [0, universe]. Stratified draws
+/// make the binomial variance an upper bound, so nominal coverage is
+/// conservative.
+struct CellEstimate {
+  std::uint32_t cell = 0;
+  std::uint64_t universe = 0;
+  std::uint64_t draws = 0;
+  std::uint64_t hits = 0;
+  double estimated = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// The full estimate from one sampled scan: per-cell scale-ups plus the
+/// totals (sum of per-cell estimates; summed variances for the CI,
+/// clamped to [0, frame_units]).
+struct SampleEstimate {
+  std::vector<CellEstimate> cells;
+  double confidence = 0.95;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t frame_units = 0;
+
+  double estimated_hosts = 0.0;
+  double hosts_low = 0.0;
+  double hosts_high = 0.0;
+
+  /// Marked (e.g. vulnerable) subpopulation, from the per-cell
+  /// marked_hits counts through the same machinery.
+  double estimated_marked = 0.0;
+  double marked_low = 0.0;
+  double marked_high = 0.0;
+
+  double probe_reduction() const noexcept {
+    return probes_sent == 0 ? 0.0
+                            : static_cast<double>(frame_units) /
+                                  static_cast<double>(probes_sent);
+  }
+  bool hosts_ci_covers(double truth) const noexcept {
+    return truth >= hosts_low && truth <= hosts_high;
+  }
+  bool marked_ci_covers(double truth) const noexcept {
+    return truth >= marked_low && truth <= marked_high;
+  }
+};
+
+/// Builds the per-cell + total estimate from a sampled scan. Every
+/// sampled cell must be a cell of `ranking` (the design was planned from
+/// it); confidence in (0, 1).
+template <class Family>
+SampleEstimate estimate_from_sample(const scan::SampleResult& sample,
+                                    const DensityRankingT<Family>& ranking,
+                                    double confidence = 0.95);
+
+/// One point of the footprint-vs-accuracy curve.
+struct EstimateCurvePoint {
+  std::uint64_t budget = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t truth_hosts = 0;  // exhaustive count over the same frame
+  double estimated_hosts = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+  double error = 0.0;  // |estimated - truth| / truth (0 when truth is 0)
+  double probe_reduction = 0.0;
+};
+
+/// Sweeps the probe budget: for each entry of `budgets`, plans a sampled
+/// scan over the ranking, probes it against the ground-truth index, and
+/// compares the estimate to the exhaustive truth over the same frame.
+/// Deterministic in (ranking, oracle, budgets, params).
+std::vector<EstimateCurvePoint> estimate_curve(
+    const DensityRanking& ranking, const census::SnapshotIndex& oracle,
+    std::span<const std::uint64_t> budgets, scan::SampleParams params,
+    double confidence = 0.95);
 
 }  // namespace tass::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "core/ranking6.hpp"
 #include "util/error.hpp"
 
 namespace tass::core {

@@ -91,6 +91,14 @@ using RankedPrefix = RankedPrefixT<net::Ipv4Family>;
 using DensityRanking = DensityRankingT<net::Ipv4Family>;
 using DensityRankingView = DensityRankingViewT<net::Ipv4Family>;
 
+/// The IPv6 instantiations: densities are hosts per /64 subnet — the v6
+/// analogue of the paper's rho — and rankings are seeded from hitlist
+/// attributions over a bgp::PrefixPartition6 (there is no v6 full scan
+/// to seed from).
+using RankedPrefix6 = RankedPrefixT<net::Ipv6Family>;
+using DensityRanking6 = DensityRankingT<net::Ipv6Family>;
+using DensityRankingView6 = DensityRankingViewT<net::Ipv6Family>;
+
 /// Builds the ranking from a ground-truth snapshot (which stands in for
 /// the t0 full-scan result). IPv4 only — the census model is a v4
 /// simulation; v6 rankings are seeded from hitlist attributions via the

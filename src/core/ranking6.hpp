@@ -1,17 +1,5 @@
-// IPv6 aliases for the family-generic density ranking (see ranking.hpp).
-//
-// Densities are hosts per /64 subnet — the v6 analogue of the paper's
-// rho — and rankings are seeded from hitlist attributions over a
-// bgp::PrefixPartition6 (there is no v6 full scan to seed from).
+// DEPRECATED forwarding shim: the IPv6 ranking aliases now live in
+// core/ranking.hpp (the family-generic primary). Include that instead.
 #pragma once
 
-#include "bgp/partition6.hpp"
-#include "core/ranking.hpp"
-
-namespace tass::core {
-
-using RankedPrefix6 = RankedPrefixT<net::Ipv6Family>;
-using DensityRanking6 = DensityRankingT<net::Ipv6Family>;
-using DensityRankingView6 = DensityRankingViewT<net::Ipv6Family>;
-
-}  // namespace tass::core
+#include "core/ranking.hpp"  // IWYU pragma: export

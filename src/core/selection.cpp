@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/selection6.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 

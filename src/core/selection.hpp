@@ -59,8 +59,9 @@ struct SelectionT {
   }
 };
 
-/// The IPv4 instantiation under its historical name.
+/// The family instantiations under their historical names.
 using Selection = SelectionT<net::Ipv4Family>;
+using Selection6 = SelectionT<net::Ipv6Family>;
 
 /// Selects prefixes by descending density until the coverage target is
 /// met (paper step 4: smallest k with cumulative phi_i exceeding phi).

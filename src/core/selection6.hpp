@@ -1,11 +1,5 @@
-// IPv6 alias for the family-generic TASS selection (see selection.hpp).
+// DEPRECATED forwarding shim: the IPv6 selection alias now lives in
+// core/selection.hpp (the family-generic primary). Include that instead.
 #pragma once
 
-#include "core/ranking6.hpp"
-#include "core/selection.hpp"
-
-namespace tass::core {
-
-using Selection6 = SelectionT<net::Ipv6Family>;
-
-}  // namespace tass::core
+#include "core/selection.hpp"  // IWYU pragma: export

@@ -1,0 +1,304 @@
+// SampledScope: the statistical scan mode — probe a low-discrepancy
+// sample of the selected cells and estimate the population instead of
+// sweeping exhaustively (the footprint-reduction thesis taken to its
+// logical extreme; sobscan's approach on the TASS substrate).
+//
+// The flow is family-generic and mirrors the exhaustive planning API:
+//
+//   ranking --plan_sample(params)--> SampleDesignT   (budget allocation)
+//   design  --SampledScopeT-------> concrete targets (stratified draws)
+//   scope   --probe()/ScanEngine--> SampleResult     (per-cell hits)
+//   result  --core::estimate_from_sample--> population estimate + CIs
+//
+// plan_sample allocates the probe budget across the ranked cells
+// density-weighted: every selected cell gets a configurable floor (so
+// sparse cells stay observable and no uniformity hypothesis is needed —
+// the MarkingBias::kSparseBiased lesson from core/estimator.hpp), and
+// the remainder is split proportionally to seed hosts, capped at each
+// cell's frame with deterministic largest-remainder rounding.
+//
+// The IPv4 scope materialises its drawn addresses into a regular
+// ScanScope, so ScanEngine::run_attributed and every other ScanScope
+// consumer work on a sampled scan unchanged; the IPv6 scope subsamples
+// the per-cell candidate lists (ScanScope6 semantics — there is no
+// enumerable v6 frame). Both expose the ZMap cyclic-group
+// permutation/shard contract over the drawn target list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/partition.hpp"
+#include "core/ranking.hpp"
+#include "net/family.hpp"
+#include "scan/scope.hpp"
+#include "scan/sobol.hpp"
+#include "scan/target_iterator.hpp"
+
+namespace tass::scan {
+
+/// How to allocate a sampled scan's probe budget over a ranking.
+struct SampleParams {
+  /// Total probes per cycle across all sampled cells.
+  std::uint64_t budget = 100'000;
+  /// Minimum draws per selected cell (clamped to >= 1): keeps sparse
+  /// cells observable so the estimator never extrapolates from silence.
+  /// When the budget cannot fund the floor for every selected cell, the
+  /// densest cells are kept and the tail is dropped from the frame.
+  std::uint32_t floor = 16;
+  /// Master seed for the stratified draws (per-cell streams derive from
+  /// it; same seed -> bit-identical target lists).
+  std::uint64_t seed = 1;
+  /// Which cells participate: the TASS selection at this coverage
+  /// target / density cutoff (phi = 1 samples every responsive cell).
+  double phi = 1.0;
+  double min_density = 0.0;
+};
+
+/// One cell's slice of the budget.
+template <class Family>
+struct SampleCellT {
+  std::uint32_t cell = 0;  // partition cell index
+  typename Family::Prefix prefix;
+  /// Sampling-frame size: addresses for IPv4; for IPv6 the seed-host
+  /// (hitlist candidate) count — re-capped to the actual candidate list
+  /// by the scope, since 2^64 addresses per /64 are not enumerable.
+  std::uint64_t universe = 0;
+  std::uint64_t draws = 0;       // probes allocated to this cell
+  std::uint64_t seed_hosts = 0;  // c_i from the ranking (the weight)
+};
+
+/// The budget allocation over a ranking — what tass_serve returns for a
+/// kSample request, and what a SampledScopeT turns into targets.
+template <class Family>
+struct SampleDesignT {
+  std::vector<SampleCellT<Family>> cells;  // ranking (density) order
+  std::uint64_t total_draws = 0;           // sum of draws (<= budget)
+  std::uint64_t frame_units = 0;           // sum of universes
+  std::uint64_t seed = 1;
+
+  /// Probes an exhaustive sweep of the same frame would need, per probe
+  /// actually sent.
+  double probe_reduction() const noexcept {
+    return total_draws == 0 ? 0.0
+                            : static_cast<double>(frame_units) /
+                                  static_cast<double>(total_draws);
+  }
+};
+
+using SampleCell = SampleCellT<net::Ipv4Family>;
+using SampleCell6 = SampleCellT<net::Ipv6Family>;
+using SampleDesign = SampleDesignT<net::Ipv4Family>;
+using SampleDesign6 = SampleDesignT<net::Ipv6Family>;
+
+/// Allocates params.budget across the ranking: selection by
+/// (phi, min_density), then floor + density-weighted largest-remainder
+/// split, capped at each cell's universe with deterministic
+/// redistribution of the overflow. Pure function of (ranking, params).
+template <class Family>
+SampleDesignT<Family> plan_sample(
+    const core::DensityRankingViewT<Family>& ranking,
+    const SampleParams& params);
+
+/// As above over an owned ranking.
+template <class Family>
+SampleDesignT<Family> plan_sample(const core::DensityRankingT<Family>& ranking,
+                                  const SampleParams& params);
+
+/// Per-cell outcome of probing a sampled scope. Family-free: only counts
+/// survive the probes, and core::estimate_from_sample consumes them
+/// identically for both families.
+struct SampleCellResult {
+  std::uint32_t cell = 0;
+  std::uint64_t universe = 0;     // frame the draws were taken from
+  std::uint64_t draws = 0;        // probes sent into this cell
+  std::uint64_t hits = 0;         // responsive among the draws
+  std::uint64_t marked_hits = 0;  // marked (e.g. vulnerable) among hits
+  std::uint64_t seed_hosts = 0;   // the design's weight, for diagnostics
+};
+
+struct SampleResult {
+  std::vector<SampleCellResult> cells;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t marked_hits = 0;
+  std::uint64_t frame_units = 0;  // exhaustive cost of the same frame
+};
+
+template <class Family>
+class SampledScopeT;
+
+/// IPv4: draws stratified offsets inside each design cell's prefix and
+/// materialises them into a ScanScope, so the sampled scan runs through
+/// the exact same engine entry points as an exhaustive one.
+template <>
+class SampledScopeT<net::Ipv4Family> {
+ public:
+  SampledScopeT() = default;
+  explicit SampledScopeT(SampleDesignT<net::Ipv4Family> design);
+
+  const SampleDesignT<net::Ipv4Family>& design() const noexcept {
+    return design_;
+  }
+
+  /// The drawn targets as a regular ScanScope — feed it to
+  /// ScanEngine::run/run_attributed/estimate unchanged.
+  const ScanScope& scope() const noexcept { return scope_; }
+
+  /// The drawn targets, grouped by design cell (ascending inside a
+  /// group), for direct iteration.
+  std::span<const net::Ipv4Address> targets() const noexcept {
+    return targets_;
+  }
+  std::size_t target_count() const noexcept { return targets_.size(); }
+  net::Ipv4Address target(std::size_t index) const noexcept {
+    TASS_EXPECTS(index < targets_.size());
+    return targets_[index];
+  }
+  /// Targets of design cell `i` (an index into design().cells).
+  std::span<const net::Ipv4Address> cell_targets(std::size_t i) const {
+    TASS_EXPECTS(i + 1 < cell_offsets_.size());
+    return std::span(targets_).subspan(cell_offsets_[i],
+                                       cell_offsets_[i + 1] -
+                                           cell_offsets_[i]);
+  }
+
+  /// ZMap cyclic-group permutation over the drawn target list —
+  /// identical contract to ScanScope6::permutation/shard.
+  TargetIterator permutation(std::uint64_t seed) const {
+    TASS_EXPECTS(!targets_.empty());
+    return TargetIterator(seed, targets_.size());
+  }
+  TargetIterator permutation_shard(std::uint64_t seed,
+                                   std::uint32_t shard_index,
+                                   std::uint32_t shard_count) const {
+    TASS_EXPECTS(!targets_.empty());
+    return TargetIterator::shard(seed, shard_index, shard_count,
+                                 targets_.size());
+  }
+  std::optional<net::Ipv4Address> next_target(TargetIterator& it) const {
+    const auto value = it.next_value();
+    if (!value) return std::nullopt;
+    return target(static_cast<std::size_t>(*value));
+  }
+
+  /// Probes every drawn target through `responds` (bool(Ipv4Address));
+  /// `marked` flags the interesting subpopulation among the hits.
+  template <class RespondFn, class MarkedFn>
+  SampleResult probe(RespondFn&& responds, MarkedFn&& marked) const {
+    SampleResult out = result_skeleton();
+    for (std::size_t i = 0; i < design_.cells.size(); ++i) {
+      SampleCellResult& row = out.cells[i];
+      for (const net::Ipv4Address addr : cell_targets(i)) {
+        if (!responds(addr)) continue;
+        ++row.hits;
+        if (marked(addr)) ++row.marked_hits;
+      }
+      out.hits += row.hits;
+      out.marked_hits += row.marked_hits;
+    }
+    return out;
+  }
+  template <class RespondFn>
+  SampleResult probe(RespondFn&& responds) const {
+    return probe(std::forward<RespondFn>(responds),
+                 [](net::Ipv4Address) { return false; });
+  }
+
+  /// Folds an engine run over scope() back into per-cell sample rows:
+  /// `cell_counts` is AttributedScanResult.cell_counts for the same
+  /// partition the design's ranking was built over.
+  SampleResult attribute(std::span<const std::uint64_t> cell_counts) const;
+
+ private:
+  SampleResult result_skeleton() const;
+
+  SampleDesignT<net::Ipv4Family> design_;
+  std::vector<net::Ipv4Address> targets_;  // grouped by design cell
+  std::vector<std::size_t> cell_offsets_;  // cells.size() + 1 fenceposts
+  ScanScope scope_;
+};
+
+/// IPv6: subsamples the candidate set (hitlist) per design cell — the
+/// candidates are attributed to cells through the partition, each cell's
+/// universe is re-capped to its actual candidate count, and the draws
+/// pick candidate indices via the same stratified machinery.
+template <>
+class SampledScopeT<net::Ipv6Family> {
+ public:
+  SampledScopeT() = default;
+  SampledScopeT(SampleDesignT<net::Ipv6Family> design,
+                std::span<const net::Ipv6Address> candidates,
+                const bgp::PrefixPartition6& partition);
+
+  const SampleDesignT<net::Ipv6Family>& design() const noexcept {
+    return design_;
+  }
+
+  std::span<const net::Ipv6Address> targets() const noexcept {
+    return targets_;
+  }
+  std::size_t target_count() const noexcept { return targets_.size(); }
+  net::Ipv6Address target(std::size_t index) const noexcept {
+    TASS_EXPECTS(index < targets_.size());
+    return targets_[index];
+  }
+  std::span<const net::Ipv6Address> cell_targets(std::size_t i) const {
+    TASS_EXPECTS(i + 1 < cell_offsets_.size());
+    return std::span(targets_).subspan(cell_offsets_[i],
+                                       cell_offsets_[i + 1] -
+                                           cell_offsets_[i]);
+  }
+
+  TargetIterator permutation(std::uint64_t seed) const {
+    TASS_EXPECTS(!targets_.empty());
+    return TargetIterator(seed, targets_.size());
+  }
+  TargetIterator permutation_shard(std::uint64_t seed,
+                                   std::uint32_t shard_index,
+                                   std::uint32_t shard_count) const {
+    TASS_EXPECTS(!targets_.empty());
+    return TargetIterator::shard(seed, shard_index, shard_count,
+                                 targets_.size());
+  }
+  std::optional<net::Ipv6Address> next_target(TargetIterator& it) const {
+    const auto value = it.next_value();
+    if (!value) return std::nullopt;
+    return target(static_cast<std::size_t>(*value));
+  }
+
+  template <class RespondFn, class MarkedFn>
+  SampleResult probe(RespondFn&& responds, MarkedFn&& marked) const {
+    SampleResult out = result_skeleton();
+    for (std::size_t i = 0; i < design_.cells.size(); ++i) {
+      SampleCellResult& row = out.cells[i];
+      for (const net::Ipv6Address addr : cell_targets(i)) {
+        if (!responds(addr)) continue;
+        ++row.hits;
+        if (marked(addr)) ++row.marked_hits;
+      }
+      out.hits += row.hits;
+      out.marked_hits += row.marked_hits;
+    }
+    return out;
+  }
+  template <class RespondFn>
+  SampleResult probe(RespondFn&& responds) const {
+    return probe(std::forward<RespondFn>(responds),
+                 [](net::Ipv6Address) { return false; });
+  }
+
+ private:
+  SampleResult result_skeleton() const;
+
+  SampleDesignT<net::Ipv6Family> design_;
+  std::vector<net::Ipv6Address> targets_;  // grouped by design cell
+  std::vector<std::size_t> cell_offsets_;
+};
+
+using SampledScope = SampledScopeT<net::Ipv4Family>;
+using SampledScope6 = SampledScopeT<net::Ipv6Family>;
+
+}  // namespace tass::scan

@@ -1,0 +1,64 @@
+#include "scan/sobol.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tass::scan {
+
+std::uint64_t bit_reverse(std::uint64_t value, int bits) noexcept {
+  std::uint64_t reversed = 0;
+  for (int i = 0; i < bits; ++i) {
+    reversed = (reversed << 1) | ((value >> i) & 1);
+  }
+  return reversed;
+}
+
+double radical_inverse(std::uint64_t index) noexcept {
+  // Reverse all 64 bits, then scale: the reversed integer is the
+  // fraction's bit pattern left-aligned at the radix point.
+  return static_cast<double>(bit_reverse(index, 64)) * 0x1.0p-64;
+}
+
+std::vector<std::uint64_t> progressive_order(std::uint64_t count) {
+  std::vector<std::uint64_t> order;
+  order.reserve(static_cast<std::size_t>(count));
+  if (count == 0) return order;
+  const int bits = count == 1 ? 1 : std::bit_width(count - 1);
+  // Walk the 2^bits codes in natural order and emit their reversals;
+  // codes reversing past `count` are skipped (at most half of them).
+  const std::uint64_t codes = 1ULL << bits;
+  for (std::uint64_t code = 0; code < codes; ++code) {
+    const std::uint64_t index = bit_reverse(code, bits);
+    if (index < count) order.push_back(index);
+  }
+  return order;
+}
+
+std::vector<std::uint64_t> stratified_offsets(std::uint64_t universe,
+                                              std::uint64_t draws,
+                                              std::uint64_t seed) {
+  TASS_EXPECTS(universe > 0);
+  if (draws > universe) draws = universe;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(draws));
+  for (const std::uint64_t stratum : progressive_order(draws)) {
+    // Stratum s covers [s*U/n, (s+1)*U/n) — widths differ by at most
+    // one address, partitioning the frame exactly.
+    const std::uint64_t begin =
+        static_cast<std::uint64_t>((static_cast<__uint128_t>(stratum) *
+                                    universe) / draws);
+    const std::uint64_t end =
+        static_cast<std::uint64_t>((static_cast<__uint128_t>(stratum + 1) *
+                                    universe) / draws);
+    // One uniform draw per stratum from its own deterministic stream, so
+    // the offset of stratum s does not depend on how many strata exist
+    // elsewhere or in which order they are visited.
+    util::Rng rng(util::mix64(seed, stratum));
+    offsets.push_back(begin + rng.bounded(end - begin));
+  }
+  return offsets;
+}
+
+}  // namespace tass::scan

@@ -1,0 +1,57 @@
+// Low-discrepancy sampling primitives for sampled scans.
+//
+// A sampled scan probes n targets out of a cell's N-address frame and
+// scales the hit count up (core/estimator.hpp). Two properties decide
+// the quality of the draw:
+//
+//   * unbiasedness — every address must have inclusion probability n/N,
+//     or the scale-up estimator is wrong by construction. Deterministic
+//     Sobol/bit-reversal point sets violate this for n not a power of
+//     two (some strata get probability 0), so the draw here is
+//     *randomized* stratified sampling: the frame is cut into n equal
+//     strata and one uniform offset is drawn per stratum from a
+//     deterministic per-stratum stream.
+//   * low discrepancy — hosts cluster (DHCP pools, racks, /24
+//     conventions), so spreading the n points evenly over the frame
+//     gives a variance at or below the binomial i.i.d. bound
+//     (stratification never hurts: sum of per-stratum Bernoulli
+//     variances <= n * pbar * (1 - pbar)).
+//
+// The *visit order* of the strata is the van der Corput bit-reversed
+// sequence, so any prefix of the target list is itself near-
+// equidistributed over the frame — aborting a sampled scan early still
+// leaves a usable (smaller) sample, the same progressive property Sobol
+// sequences are used for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tass::scan {
+
+/// Reverses the low `bits` bits of `value` (the base-2 radical inverse
+/// as an integer). bits in [0, 64].
+std::uint64_t bit_reverse(std::uint64_t value, int bits) noexcept;
+
+/// van der Corput radical inverse in base 2: the bit-reversed fraction
+/// of `index` in [0, 1).
+double radical_inverse(std::uint64_t index) noexcept;
+
+/// The progressive visit order of [0, count): indices in bit-reversed
+/// order (non-power-of-two counts skip the out-of-range codes), so every
+/// prefix of the returned permutation is near-equidistributed.
+std::vector<std::uint64_t> progressive_order(std::uint64_t count);
+
+/// `draws` distinct offsets in [0, universe), at most one per equal
+/// stratum, listed in the progressive (bit-reversed) stratum order.
+/// Deterministic in (universe, draws, seed). draws > universe is clamped
+/// to an exhaustive 0..universe-1 enumeration (in progressive order).
+/// Every offset's inclusion probability is exactly draws/universe when
+/// draws divides universe evenly, and within one part in
+/// floor(universe/draws) otherwise — unbiased enough that the estimator
+/// treats the draw as uniform without replacement.
+std::vector<std::uint64_t> stratified_offsets(std::uint64_t universe,
+                                              std::uint64_t draws,
+                                              std::uint64_t seed);
+
+}  // namespace tass::scan

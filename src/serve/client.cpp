@@ -201,6 +201,35 @@ std::pair<ResponseHeader, PlanReply> Client::plan(
   return {header, std::move(reply)};
 }
 
+std::pair<ResponseHeader, SampleReply> Client::sample(
+    net::AddressFamily family, const SampleParams& params) {
+  RequestHeader request;
+  request.op = Op::kSample;
+  request.family = family;
+  std::vector<std::uint8_t> body;
+  encode_sample_params(body, params);
+  std::vector<std::uint8_t> payload;
+  auto [header, cursor] = transact(request, body, payload);
+  SampleReply reply;
+  reply.total_draws = cursor.u64();
+  reply.frame_units = cursor.u64();
+  reply.seed = cursor.u64();
+  reply.rows.reserve(header.count);
+  for (std::uint32_t i = 0; i < header.count; ++i) {
+    SampleRow row;
+    row.cell = cursor.u32();
+    if (cursor.u32() != 0) {
+      throw FormatError("serve: non-zero reserved field in sample row");
+    }
+    row.prefix = read_row_prefix(cursor, family);
+    row.universe = cursor.u64();
+    row.draws = cursor.u64();
+    row.seed_hosts = cursor.u64();
+    reply.rows.push_back(row);
+  }
+  return {header, std::move(reply)};
+}
+
 template <class Word>
 std::pair<ResponseHeader, std::vector<std::uint32_t>> Client::locate_impl(
     net::AddressFamily family, std::span<const Word> addresses) {

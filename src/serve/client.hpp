@@ -44,6 +44,13 @@ class Client {
   std::pair<ResponseHeader, PlanReply> plan(net::AddressFamily family,
                                             const PlanParams& params);
 
+  /// Sampled-scan budget allocation over the served ranking: the reply
+  /// is the per-cell (universe, draws) design; drawing the concrete
+  /// targets happens client-side (scan::SampledScopeT) from the
+  /// echoed seed.
+  std::pair<ResponseHeader, SampleReply> sample(net::AddressFamily family,
+                                                const SampleParams& params);
+
   /// Batched scope queries: cells[i] is the partition cell of
   /// addresses[i] (PrefixPartition::kNoCell when unrouted).
   std::pair<ResponseHeader, std::vector<std::uint32_t>> locate(

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/selection.hpp"
+#include "scan/sampled_scope.hpp"
 #include "util/error.hpp"
 
 namespace tass::serve {
@@ -610,6 +611,34 @@ void Server::handle_query(std::size_t shard, const RequestHeader& request,
       header.count = nonzero;
       batched_addresses_.fetch_add(addresses.size(),
                                    std::memory_order_relaxed);
+      break;
+    }
+    case Op::kSample: {
+      const SampleParams params = decode_sample_params(cursor);
+      // Validate here rather than letting library preconditions abort
+      // the daemon on a malformed request.
+      if (!(params.phi > 0.0 && params.phi <= 1.0)) {
+        throw Error("serve: sample phi must be in (0, 1]");
+      }
+      scan::SampleParams plan_params;
+      plan_params.budget = params.budget;
+      plan_params.floor = params.floor;
+      plan_params.seed = params.seed;
+      plan_params.phi = params.phi;
+      plan_params.min_density = params.min_density;
+      const auto design = scan::plan_sample(image.ranking(), plan_params);
+      put_u64(body, design.total_draws);
+      put_u64(body, design.frame_units);
+      put_u64(body, design.seed);
+      for (const auto& row : design.cells) {
+        put_u32(body, row.cell);
+        put_u32(body, 0);  // reserved
+        put_prefix(body, row.prefix);
+        put_u64(body, row.universe);
+        put_u64(body, row.draws);
+        put_u64(body, row.seed_hosts);
+      }
+      header.count = static_cast<std::uint32_t>(design.cells.size());
       break;
     }
     default:

@@ -104,7 +104,7 @@ namespace {
 
 Op checked_op(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(Op::kPing) ||
-      raw > static_cast<std::uint8_t>(Op::kShutdown)) {
+      raw > static_cast<std::uint8_t>(Op::kSample)) {
     throw FormatError("serve: unknown op " + std::to_string(raw));
   }
   return static_cast<Op>(raw);
@@ -212,6 +212,29 @@ PlanParams decode_plan_params(Cursor& cursor) {
   return params;
 }
 
+void encode_sample_params(std::vector<std::uint8_t>& out,
+                          const SampleParams& params) {
+  put_u64(out, params.budget);
+  put_u32(out, params.floor);
+  put_u32(out, 0);  // reserved
+  put_u64(out, params.seed);
+  put_f64(out, params.phi);
+  put_f64(out, params.min_density);
+}
+
+SampleParams decode_sample_params(Cursor& cursor) {
+  SampleParams params;
+  params.budget = cursor.u64();
+  params.floor = cursor.u32();
+  if (cursor.u32() != 0) {
+    throw FormatError("serve: non-zero reserved field in sample params");
+  }
+  params.seed = cursor.u64();
+  params.phi = cursor.f64();
+  params.min_density = cursor.f64();
+  return params;
+}
+
 std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw Error("serve: frame payload of " +
@@ -251,6 +274,7 @@ std::string_view op_name(Op op) noexcept {
     case Op::kStats: return "stats";
     case Op::kReload: return "reload";
     case Op::kShutdown: return "shutdown";
+    case Op::kSample: return "sample";
   }
   return "unknown";
 }

@@ -60,6 +60,7 @@ enum class Op : std::uint8_t {
   kStats = 7,     // serving counters (process-wide, generation-free)
   kReload = 8,    // control: swap in a new image; body = path
   kShutdown = 9,  // control: stop the daemon
+  kSample = 10,   // sampled-scan budget allocation; body = SampleParams
 };
 
 enum class Status : std::uint8_t {
@@ -105,6 +106,34 @@ struct PlanReply {
   std::uint64_t covered_hosts = 0;
   std::uint64_t total_hosts = 0;
   std::vector<net::GenericPrefix> prefixes;
+};
+
+/// Decoded kSample request body (mirrors scan::SampleParams — the
+/// daemon plans the budget allocation; drawing the concrete targets is
+/// the client's job, seeded by the reply's `seed`).
+struct SampleParams {
+  std::uint64_t budget = 100'000;
+  std::uint32_t floor = 16;
+  std::uint64_t seed = 1;
+  double phi = 1.0;
+  double min_density = 0.0;
+};
+
+/// One cell row of a kSample response.
+struct SampleRow {
+  std::uint32_t cell = 0;
+  net::GenericPrefix prefix;
+  std::uint64_t universe = 0;
+  std::uint64_t draws = 0;
+  std::uint64_t seed_hosts = 0;
+};
+
+/// Decoded kSample response body.
+struct SampleReply {
+  std::uint64_t total_draws = 0;
+  std::uint64_t frame_units = 0;
+  std::uint64_t seed = 0;
+  std::vector<SampleRow> rows;  // ranking (density) order
 };
 
 /// Decoded kInfo response body.
@@ -197,6 +226,10 @@ net::GenericPrefix read_prefix(Cursor& cursor, net::AddressFamily family);
 void encode_plan_params(std::vector<std::uint8_t>& out,
                         const PlanParams& params);
 PlanParams decode_plan_params(Cursor& cursor);
+
+void encode_sample_params(std::vector<std::uint8_t>& out,
+                          const SampleParams& params);
+SampleParams decode_sample_params(Cursor& cursor);
 
 /// Frames `payload` (prepends the length word). Throws tass::Error if
 /// the payload exceeds kMaxFrameBytes.

@@ -78,9 +78,7 @@
 #include <vector>
 
 #include "bgp/partition.hpp"
-#include "bgp/partition6.hpp"
 #include "core/ranking.hpp"
-#include "core/ranking6.hpp"
 #include "net/family.hpp"
 #include "trie/lpm_index.hpp"
 #include "trie/lpm_index6.hpp"

@@ -10,7 +10,7 @@
 #include "bgp/table6.hpp"
 #include "census/hitlist6.hpp"
 #include "census/topology.hpp"
-#include "core/ranking6.hpp"
+#include "core/ranking.hpp"
 #include "scan/blocklist.hpp"
 
 #ifndef TASS_DATA_DIR

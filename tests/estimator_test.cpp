@@ -41,6 +41,166 @@ TEST(PopulationEstimate, RejectsBadInputs) {
   EXPECT_DEATH(estimate_population(10, 5, 1.5), "Precondition");
 }
 
+TEST(PopulationEstimate, ZeroObservedHostsHasDegenerateCi) {
+  const auto estimate = estimate_population(0, 0, 0.25);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_low(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_high(), 0.0);
+}
+
+TEST(PopulationEstimate, AllObservedMarkedSaturatesTheShare) {
+  const auto estimate = estimate_population(200, 200, 0.5);
+  EXPECT_DOUBLE_EQ(estimate.marked_share(), 1.0);
+  EXPECT_DOUBLE_EQ(estimate.share_stderr(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked(), estimate.estimated_hosts());
+  EXPECT_DOUBLE_EQ(estimate.marked_low(), estimate.estimated_hosts());
+  EXPECT_DOUBLE_EQ(estimate.marked_high(), estimate.estimated_hosts());
+}
+
+TEST(PopulationEstimate, CiClampsToTheValidRange) {
+  // A rare mark: the naive low endpoint would go negative.
+  const auto rare = estimate_population(10, 1, 0.5);
+  EXPECT_DOUBLE_EQ(rare.marked_low(), 0.0);
+  EXPECT_GT(rare.marked_high(), rare.estimated_marked());
+  // A near-universal mark: the naive high endpoint would exceed the
+  // estimated host population.
+  const auto common = estimate_population(10, 9, 0.5);
+  EXPECT_DOUBLE_EQ(common.marked_high(), common.estimated_hosts());
+  EXPECT_LT(common.marked_low(), common.estimated_marked());
+}
+
+TEST(PopulationEstimate, CoverageOneKeepsCiInsideTheObservation) {
+  const auto estimate = estimate_population(400, 100, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts(), 400.0);
+  EXPECT_GE(estimate.marked_low(), 0.0);
+  EXPECT_LE(estimate.marked_high(), 400.0);
+  EXPECT_LT(estimate.marked_low(), 100.0);
+  EXPECT_GT(estimate.marked_high(), 100.0);
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_LT(normal_quantile(0.1), normal_quantile(0.9));
+  EXPECT_DEATH(normal_quantile(0.0), "Precondition");
+  EXPECT_DEATH(normal_quantile(1.0), "Precondition");
+}
+
+// A single-cell ranking/sample pair for exercising the per-cell
+// scale-up edge cases in isolation.
+struct TinySample {
+  DensityRanking ranking;
+  scan::SampleResult sample;
+};
+
+TinySample tiny_sample(std::uint64_t universe, std::uint64_t draws,
+                       std::uint64_t hits, std::uint64_t marked_hits) {
+  TinySample out;
+  RankedPrefix entry;
+  entry.index = 0;
+  entry.prefix = net::Prefix::parse_or_throw("10.0.0.0/24");
+  entry.size = entry.prefix.size();
+  entry.hosts = hits;
+  entry.density = 0.5;
+  entry.host_share = 1.0;
+  out.ranking.mode = PrefixMode::kMore;
+  out.ranking.total_hosts = entry.hosts;
+  out.ranking.advertised_addresses = entry.size;
+  out.ranking.ranked.push_back(entry);
+
+  scan::SampleCellResult cell;
+  cell.cell = 0;
+  cell.universe = universe;
+  cell.draws = draws;
+  cell.hits = hits;
+  cell.marked_hits = marked_hits;
+  out.sample.cells.push_back(cell);
+  out.sample.probes_sent = draws;
+  out.sample.hits = hits;
+  out.sample.marked_hits = marked_hits;
+  out.sample.frame_units = universe;
+  return out;
+}
+
+TEST(EstimateFromSample, ZeroHitCellStaysHonest) {
+  const auto tiny = tiny_sample(1000, 50, 0, 0);
+  const auto estimate = estimate_from_sample(tiny.sample, tiny.ranking);
+  ASSERT_EQ(estimate.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(estimate.cells[0].estimated, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.cells[0].low, 0.0);
+  // The (k+1/2)/(n+1) smoothing keeps the upper endpoint off zero: no
+  // observed hits never proves an empty cell.
+  EXPECT_GT(estimate.cells[0].high, 0.0);
+  EXPECT_LE(estimate.cells[0].high, 1000.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts, 0.0);
+  EXPECT_GT(estimate.hosts_high, 0.0);
+}
+
+TEST(EstimateFromSample, FullDrawsCollapseTheInterval) {
+  // draws == universe: the finite-population correction zeroes the
+  // variance and the estimate is the exhaustive count.
+  const auto tiny = tiny_sample(64, 64, 17, 5);
+  const auto estimate = estimate_from_sample(tiny.sample, tiny.ranking);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts, 17.0);
+  EXPECT_DOUBLE_EQ(estimate.hosts_low, 17.0);
+  EXPECT_DOUBLE_EQ(estimate.hosts_high, 17.0);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked, 5.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_low, 5.0);
+  EXPECT_DOUBLE_EQ(estimate.marked_high, 5.0);
+}
+
+TEST(EstimateFromSample, AllHitsMarkedTracksTheHostEstimate) {
+  const auto tiny = tiny_sample(500, 40, 12, 12);
+  const auto estimate = estimate_from_sample(tiny.sample, tiny.ranking);
+  EXPECT_DOUBLE_EQ(estimate.estimated_marked, estimate.estimated_hosts);
+  EXPECT_DOUBLE_EQ(estimate.marked_low, estimate.hosts_low);
+  EXPECT_DOUBLE_EQ(estimate.marked_high, estimate.hosts_high);
+}
+
+TEST(EstimateFromSample, TotalsClampToTheFrame) {
+  // Every draw hit: the point estimate is the whole frame, so the upper
+  // endpoint must clamp to frame_units rather than exceed it.
+  const auto tiny = tiny_sample(100, 2, 2, 0);
+  const auto estimate = estimate_from_sample(tiny.sample, tiny.ranking);
+  EXPECT_DOUBLE_EQ(estimate.estimated_hosts, 100.0);
+  EXPECT_DOUBLE_EQ(estimate.hosts_high, 100.0);
+  EXPECT_GE(estimate.hosts_low, 0.0);
+}
+
+TEST(EstimateFromSample, UndrawnCellKeepsFullUncertainty) {
+  // draws == 0 (a cell planned but never probed, e.g. an aborted scan):
+  // the only honest interval is [0, universe].
+  auto tiny = tiny_sample(100, 0, 0, 0);
+  tiny.sample.probes_sent = 0;
+  const auto estimate = estimate_from_sample(tiny.sample, tiny.ranking);
+  ASSERT_EQ(estimate.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(estimate.cells[0].estimated, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.cells[0].low, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.cells[0].high, 100.0);
+}
+
+TEST(EstimateFromSample, RejectsInconsistentInputs) {
+  {
+    auto tiny = tiny_sample(100, 10, 3, 1);
+    tiny.sample.cells[0].hits = 11;  // more hits than draws
+    EXPECT_DEATH(estimate_from_sample(tiny.sample, tiny.ranking),
+                 "Precondition");
+  }
+  {
+    auto tiny = tiny_sample(100, 10, 3, 1);
+    tiny.sample.cells[0].cell = 7;  // not a cell of the ranking
+    EXPECT_DEATH(estimate_from_sample(tiny.sample, tiny.ranking),
+                 "Precondition");
+  }
+  {
+    const auto tiny = tiny_sample(100, 10, 3, 1);
+    EXPECT_DEATH(estimate_from_sample(tiny.sample, tiny.ranking, 1.0),
+                 "Precondition");
+  }
+}
+
 class MarkedCensusTest : public ::testing::Test {
  protected:
   static const census::Snapshot& snapshot() {

@@ -14,8 +14,8 @@
 #include "bgp/pfx2as.hpp"
 #include "bgp/table6.hpp"
 #include "census/hitlist6.hpp"
-#include "core/ranking6.hpp"
-#include "core/selection6.hpp"
+#include "core/ranking.hpp"
+#include "core/selection.hpp"
 #include "net/family.hpp"
 #include "scan/blocklist.hpp"
 #include "scan/scope6.hpp"

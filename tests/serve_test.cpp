@@ -21,6 +21,7 @@
 #include "core/ranking.hpp"
 #include "core/selection.hpp"
 #include "net/family.hpp"
+#include "scan/sampled_scope.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
@@ -294,6 +295,91 @@ TEST(ServeDaemon, AnswersMatchDirectLibraryCalls) {
   const auto [stats_header, stats] = client.stats();
   EXPECT_GE(stats.requests, 9u);
   EXPECT_GE(stats.batched_addresses, addresses4.size() + addresses6.size());
+
+  std::remove(v4_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(ServeDaemon, SampleDesignMatchesDirectPlanSample) {
+  const std::string v4_path = make_v4_image("serve_test_sample4", 32, 3);
+  const std::string v6_path = make_v6_image("serve_test_sample6", 24, 5);
+  const state::StateImage direct4 = state::StateImage::load(v4_path);
+  const state::StateImage6 direct6 = state::StateImage6::load(v6_path);
+
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.v6_image_path = v6_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+  Client client("127.0.0.1", running.server.port());
+
+  SampleParams wire_params;
+  wire_params.budget = 500;
+  wire_params.floor = 4;
+  wire_params.seed = 7;
+  scan::SampleParams direct_params;
+  direct_params.budget = 500;
+  direct_params.floor = 4;
+  direct_params.seed = 7;
+
+  const auto [header, reply] =
+      client.sample(net::AddressFamily::kIpv4, wire_params);
+  EXPECT_EQ(header.status, Status::kOk);
+  EXPECT_EQ(header.fingerprint, direct4.info().fingerprint);
+  const auto direct_design =
+      scan::plan_sample(direct4.ranking(), direct_params);
+  EXPECT_EQ(reply.total_draws, direct_design.total_draws);
+  EXPECT_EQ(reply.frame_units, direct_design.frame_units);
+  EXPECT_EQ(reply.seed, direct_design.seed);
+  ASSERT_EQ(reply.rows.size(), direct_design.cells.size());
+  for (std::size_t i = 0; i < reply.rows.size(); ++i) {
+    EXPECT_EQ(reply.rows[i].cell, direct_design.cells[i].cell);
+    EXPECT_EQ(reply.rows[i].prefix.v4(), direct_design.cells[i].prefix);
+    EXPECT_EQ(reply.rows[i].universe, direct_design.cells[i].universe);
+    EXPECT_EQ(reply.rows[i].draws, direct_design.cells[i].draws);
+    EXPECT_EQ(reply.rows[i].seed_hosts, direct_design.cells[i].seed_hosts);
+  }
+  // The reply is everything a client needs to reconstruct the exact
+  // target list locally.
+  scan::SampleDesign rebuilt;
+  rebuilt.total_draws = reply.total_draws;
+  rebuilt.frame_units = reply.frame_units;
+  rebuilt.seed = reply.seed;
+  for (const auto& row : reply.rows) {
+    scan::SampleCell cell;
+    cell.cell = row.cell;
+    cell.prefix = row.prefix.v4().value();
+    cell.universe = row.universe;
+    cell.draws = row.draws;
+    cell.seed_hosts = row.seed_hosts;
+    rebuilt.cells.push_back(cell);
+  }
+  const scan::SampledScope from_reply(rebuilt);
+  const scan::SampledScope from_direct(direct_design);
+  ASSERT_EQ(from_reply.target_count(), from_direct.target_count());
+  for (std::size_t i = 0; i < from_reply.target_count(); ++i) {
+    ASSERT_EQ(from_reply.target(i), from_direct.target(i));
+  }
+
+  // v6 design through the same connection.
+  const auto [header6, reply6] =
+      client.sample(net::AddressFamily::kIpv6, wire_params);
+  EXPECT_EQ(header6.fingerprint, direct6.info().fingerprint);
+  const auto direct_design6 =
+      scan::plan_sample(direct6.ranking(), direct_params);
+  EXPECT_EQ(reply6.total_draws, direct_design6.total_draws);
+  ASSERT_EQ(reply6.rows.size(), direct_design6.cells.size());
+  for (std::size_t i = 0; i < reply6.rows.size(); ++i) {
+    EXPECT_EQ(reply6.rows[i].prefix.v6(), direct_design6.cells[i].prefix);
+    EXPECT_EQ(reply6.rows[i].draws, direct_design6.cells[i].draws);
+  }
+
+  // A malformed phi is a well-formed error frame, not a daemon abort,
+  // and the connection keeps serving.
+  SampleParams bad = wire_params;
+  bad.phi = 0.0;
+  EXPECT_THROW(client.sample(net::AddressFamily::kIpv4, bad), Error);
+  EXPECT_EQ(client.ping().status, Status::kOk);
 
   std::remove(v4_path.c_str());
   std::remove(v6_path.c_str());

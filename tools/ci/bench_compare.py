@@ -21,6 +21,8 @@ Headline metrics (direction-aware):
                   swap_p99_us (lower is better)
   micro_stream    updates_per_sec_sustained (higher is better),
                   update_to_plan_p99_ms (lower is better)
+  micro_sample    sample_probe_efficiency (higher is better; probe
+                  reduction achieved at <= 5% estimation error)
 
 Usage (in CI):
   bench_compare.py --repo owner/name --artifact bench-json-gcc \
@@ -143,6 +145,10 @@ def headline_metrics(record):
         if "update_to_plan_p99_ms" in record:
             yield ("update_to_plan_p99_ms",
                    float(record["update_to_plan_p99_ms"]), False)
+    elif bench == "micro_sample":
+        if "sample_probe_efficiency" in record:
+            yield ("sample_probe_efficiency",
+                   float(record["sample_probe_efficiency"]), True)
 
 
 def index_by_bench(files):
