@@ -5,6 +5,8 @@
 //   tass_cli sample      <routes> <seeds> [budget] [less|more]
 //                        [--family v4|v6] [--floor n] [--seed n] [--phi f]
 //   tass_cli aggregate   <prefix-file>
+//   tass_cli reduce      <prefix-file> [--family v4|v6] [--overshoot pct]
+//                        [--min-prefixes n]
 //   tass_cli inspect     <file.mrt>
 //   tass_cli state build <routes> <seeds> <out.tsim> [less|more]
 //                        [--family v4|v6]
@@ -24,6 +26,9 @@
 // (scan/sampled_scope.hpp) and prints the sampling design — for v4 it
 // also probes the seed oracle and reports the scale-up estimate with its
 // 95% CI against the seed truth; `aggregate` minimises a CIDR list;
+// `reduce` goes further than aggregation — it merges near-sibling
+// prefixes until an address-overshoot cap, emitting the smallest
+// whitelist that still covers every input address (bgp/reduce.hpp);
 // `inspect` summarises an MRT RIB dump. `state build` runs the
 // routes -> partition -> ranking pipeline once and seals the derived
 // state into a TSIM image so later process starts mmap it instead of
@@ -34,11 +39,13 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
+#include "bgp/reduce.hpp"
 #include "bgp/table6.hpp"
 #include "census/hitlist6.hpp"
 #include "census/snapshot_index.hpp"
@@ -68,6 +75,9 @@ int usage() {
       "                       [--family v4|v6] [--floor n] [--seed n] "
       "[--phi f]\n"
       "  tass_cli aggregate   <prefix-file>\n"
+      "  tass_cli reduce      <prefix-file> [--family v4|v6] "
+      "[--overshoot pct]\n"
+      "                       [--min-prefixes n]\n"
       "  tass_cli inspect     <file.mrt>\n"
       "  tass_cli state build <routes> <seeds> <out.tsim> [less|more] "
       "[--family v4|v6]\n"
@@ -95,6 +105,8 @@ struct Cli {
   std::uint64_t floor = 16;
   std::uint64_t seed = 1;
   double phi = 1.0;
+  double overshoot_pct = 5.0;      // reduce: address-overshoot cap (%)
+  std::uint64_t min_prefixes = 0;  // reduce: stop below this count
 };
 
 Cli parse_cli(int argc, char** argv, int first) {
@@ -118,6 +130,10 @@ Cli parse_cli(int argc, char** argv, int first) {
       cli.seed = std::stoull(value());
     } else if (arg == "--phi") {
       cli.phi = std::stod(value());
+    } else if (arg == "--overshoot") {
+      cli.overshoot_pct = std::stod(value());
+    } else if (arg == "--min-prefixes") {
+      cli.min_prefixes = std::stoull(value());
     } else if (arg == "--huge") {
       cli.huge_pages = true;
     } else {
@@ -390,6 +406,47 @@ int cmd_aggregate(const Cli& cli) {
 }
 
 template <class Family>
+int run_reduce(const Cli& cli) {
+  if (cli.args.empty()) return usage();
+  std::ifstream in(cli.args[0]);
+  if (!in) throw Error("cannot open " + cli.args[0]);
+  std::vector<typename Family::Prefix> prefixes;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    prefixes.push_back(Family::Prefix::parse_or_throw(trimmed));
+  }
+
+  bgp::ReduceParams params;
+  params.max_overshoot = cli.overshoot_pct / 100.0;
+  params.min_prefixes = static_cast<std::size_t>(cli.min_prefixes);
+  const auto reduced = bgp::reduce<Family>(
+      std::span<const typename Family::Prefix>(prefixes), params);
+
+  // Reduced whitelist on stdout, accounting on stderr — same split as
+  // `plan`, so the output pipes straight into a scanner whitelist.
+  for (const auto& prefix : reduced.prefixes) {
+    std::printf("%s\n", prefix.to_string().c_str());
+  }
+  const char* unit =
+      Family::kBits == 32 ? "addresses" : "/64 units";
+  std::fprintf(stderr,
+               "reduce: %llu prefixes -> %llu aggregated -> %zu reduced "
+               "(%.1fx), %llu merges, overshoot %llu %s (%.3f%% of %llu, "
+               "cap %.3f%%)\n",
+               static_cast<unsigned long long>(reduced.original_prefixes),
+               static_cast<unsigned long long>(reduced.aggregated_prefixes),
+               reduced.prefixes.size(), reduced.reduction_ratio(),
+               static_cast<unsigned long long>(reduced.merges),
+               static_cast<unsigned long long>(reduced.overshoot_addresses),
+               unit, 100.0 * reduced.overshoot_fraction(),
+               static_cast<unsigned long long>(reduced.original_addresses),
+               cli.overshoot_pct);
+  return 0;
+}
+
+template <class Family>
 int run_state_build(const Cli& cli) {
   // args: build <routes> <seeds> <out.tsim> [less|more]
   if (cli.args.size() < 4) return usage();
@@ -568,6 +625,10 @@ int main(int argc, char** argv) {
       return run_plan<net::Ipv6Family>(cli);
     }
     if (command == "aggregate") return cmd_aggregate(cli);
+    if (command == "reduce") {
+      return run_family(&run_reduce<net::Ipv4Family>,
+                        &run_reduce<net::Ipv6Family>, cli);
+    }
     if (command == "inspect") return cmd_inspect(cli);
     if (command == "state") return cmd_state(cli);
     return usage();

@@ -5,11 +5,18 @@
 // prefixes back into the minimal equivalent CIDR list. This is also the
 // tool for compacting blocklists and for the paper's §5 observation that
 // selections can be post-processed without changing their address set.
+//
+// The implementation is the family-generic BasicAggregate<Family> in
+// bgp/reduce.hpp (which also builds the lossy, overshoot-bounded
+// reduction on top of it); these free functions are the historical IPv4
+// spellings, byte-compatible with the original interval-algebra
+// implementation.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "bgp/reduce.hpp"
 #include "net/prefix.hpp"
 
 namespace tass::bgp {
@@ -17,10 +24,26 @@ namespace tass::bgp {
 /// Returns the minimal sorted list of prefixes covering exactly the same
 /// addresses as the input (duplicates, nesting and adjacent siblings are
 /// merged). O(n log n).
-std::vector<net::Prefix> aggregate(std::span<const net::Prefix> prefixes);
+inline std::vector<net::Prefix> aggregate(
+    std::span<const net::Prefix> prefixes) {
+  return BasicAggregate<net::Ipv4Family>::aggregate(prefixes);
+}
 
 /// Total addresses covered by a prefix list *after* de-duplication (i.e.
 /// the size of the union of the prefixes).
-std::uint64_t union_size(std::span<const net::Prefix> prefixes);
+inline std::uint64_t union_size(std::span<const net::Prefix> prefixes) {
+  return BasicAggregate<net::Ipv4Family>::union_size(prefixes);
+}
+
+/// The IPv6 spellings: the same minimal-cover/union contract with totals
+/// in /64 scan units (saturating; ::/0 alone clamps to 2^64 - 1).
+inline std::vector<net::Ipv6Prefix> aggregate(
+    std::span<const net::Ipv6Prefix> prefixes) {
+  return BasicAggregate<net::Ipv6Family>::aggregate(prefixes);
+}
+
+inline std::uint64_t union_size(std::span<const net::Ipv6Prefix> prefixes) {
+  return BasicAggregate<net::Ipv6Family>::union_size(prefixes);
+}
 
 }  // namespace tass::bgp

@@ -1,0 +1,350 @@
+#include "bgp/reduce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace tass::bgp {
+
+namespace {
+
+// All width accounting runs on 128-bit address indexes (an IPv4 address
+// is the low 32 bits, an IPv6 address the full width) and keeps
+// inclusive-bound *spans* (last - first) rather than sizes, mirroring
+// net::interval: the full spaces are then exact instead of overflowing.
+using u128 = unsigned __int128;
+
+constexpr u128 key_bits(net::AddressKey key) noexcept {
+  return (static_cast<u128>(key.hi) << 64) | key.lo;
+}
+
+template <class Family>
+constexpr u128 index_of(net::AddressKey key) noexcept {
+  if constexpr (Family::kBits == 128) return key_bits(key);
+  return key_bits(key) >> (128 - Family::kBits);
+}
+
+template <class Family>
+constexpr net::AddressKey key_of(u128 index) noexcept {
+  const u128 bits = Family::kBits == 128
+                        ? index
+                        : index << (128 - Family::kBits);
+  return {static_cast<std::uint64_t>(bits >> 64),
+          static_cast<std::uint64_t>(bits)};
+}
+
+int leading_zeros(u128 value) noexcept {
+  const auto hi = static_cast<std::uint64_t>(value >> 64);
+  if (hi != 0) return __builtin_clzll(hi);
+  return 64 + __builtin_clzll(static_cast<std::uint64_t>(value));
+}
+
+/// Exact addresses -> the family's scan units (IPv4 addresses pass
+/// through; IPv6 counts whole /64 subnets). Both fit uint64.
+template <class Family>
+constexpr std::uint64_t units_of(u128 addresses) noexcept {
+  if constexpr (Family::kBits == 128) {
+    return static_cast<std::uint64_t>(addresses >> 64);
+  }
+  return static_cast<std::uint64_t>(addresses);
+}
+
+/// True if `a` and `b` (same length > 0) tile their parent exactly.
+template <class Family>
+bool are_siblings(typename Family::Prefix a,
+                  typename Family::Prefix b) noexcept {
+  const auto parent = Family::make_prefix(Family::first_key(a),
+                                          a.length() - 1);
+  return Family::first_key(parent) == Family::first_key(a) &&
+         Family::last_key(parent) == Family::last_key(b);
+}
+
+template <class Family>
+struct Node {
+  typename Family::Prefix prefix;
+  u128 first = 0;
+  u128 span = 0;  // last - first (inclusive width minus one)
+  std::int32_t prev = -1;
+  std::int32_t next = -1;
+  std::uint32_t version = 0;
+  bool alive = true;
+};
+
+/// A fully planned merge of one adjacent run [leftmost, rightmost]
+/// under the smallest common supernet of the seed pair.
+template <class Family>
+struct Merge {
+  typename Family::Prefix supernet;
+  u128 first = 0;
+  u128 span = 0;
+  u128 cost = 0;  // addresses the merge admits that the run lacks
+  std::uint32_t leftmost = 0;
+  std::uint32_t rightmost = 0;
+  std::uint32_t count = 0;  // nodes swallowed
+};
+
+/// Plans the merge seeded by the adjacent pair (left, right): the
+/// smallest prefix covering both, widened over every current neighbour
+/// it already covers (so the admitted addresses are priced once, not
+/// re-priced merge by merge).
+template <class Family>
+Merge<Family> plan_merge(const std::vector<Node<Family>>& nodes,
+                         std::uint32_t left, std::uint32_t right) {
+  Merge<Family> merge;
+  const u128 first = nodes[left].first;
+  const u128 last = nodes[right].first + nodes[right].span;
+  // The supernet's length is the count of leading key bits the run's
+  // first and last addresses share (they differ — the nodes are
+  // disjoint), capped nowhere: the differing bit is inside the family
+  // width by construction.
+  const int length =
+      leading_zeros(key_bits(key_of<Family>(first)) ^
+                    key_bits(key_of<Family>(last)));
+  merge.supernet = Family::make_prefix(key_of<Family>(first), length);
+  merge.first = index_of<Family>(Family::first_key(merge.supernet));
+  merge.span = index_of<Family>(Family::last_key(merge.supernet)) -
+               merge.first;
+  // Widen over already-covered neighbours. Nodes are disjoint and
+  // sorted, so "first inside the supernet" (left side) or "last inside"
+  // (right side) is the whole containment test.
+  merge.leftmost = left;
+  while (nodes[merge.leftmost].prev >= 0 &&
+         nodes[static_cast<std::uint32_t>(nodes[merge.leftmost].prev)]
+                 .first >= merge.first) {
+    merge.leftmost =
+        static_cast<std::uint32_t>(nodes[merge.leftmost].prev);
+  }
+  merge.rightmost = right;
+  while (nodes[merge.rightmost].next >= 0) {
+    const auto& next =
+        nodes[static_cast<std::uint32_t>(nodes[merge.rightmost].next)];
+    if (next.first + next.span > merge.first + merge.span) break;
+    merge.rightmost =
+        static_cast<std::uint32_t>(nodes[merge.rightmost].next);
+  }
+  // cost = size(supernet) - sum(size(node)); with inclusive spans that
+  // is span_s - sum(span_i) - (count - 1), which never underflows
+  // (disjoint nodes inside the supernet) and never overflows u128.
+  u128 covered_spans = 0;
+  std::uint32_t count = 0;
+  for (std::uint32_t cursor = merge.leftmost;; ++count) {
+    covered_spans += nodes[cursor].span;
+    if (cursor == merge.rightmost) {
+      ++count;
+      break;
+    }
+    cursor = static_cast<std::uint32_t>(nodes[cursor].next);
+  }
+  merge.count = count;
+  merge.cost = merge.span - covered_spans - (count - 1);
+  return merge;
+}
+
+template <class Family>
+struct Candidate {
+  u128 cost = 0;
+  u128 order = 0;  // left node's first address: deterministic tie-break
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::uint32_t left_version = 0;
+  std::uint32_t right_version = 0;
+};
+
+template <class Family>
+struct CandidateAfter {
+  bool operator()(const Candidate<Family>& a,
+                  const Candidate<Family>& b) const noexcept {
+    return std::tie(a.cost, a.order) > std::tie(b.cost, b.order);
+  }
+};
+
+}  // namespace
+
+template <class Family>
+std::vector<typename Family::Prefix> BasicAggregate<Family>::aggregate(
+    std::span<const Prefix> prefixes) {
+  std::vector<Prefix> sorted(prefixes.begin(), prefixes.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Prefix> out;
+  out.reserve(sorted.size());
+  for (const Prefix prefix : sorted) {
+    // In (network, length) order a container sorts before its
+    // containees, and the kept list is disjoint — so only the last kept
+    // entry can cover the next input.
+    if (!out.empty() && out.back().contains(prefix)) continue;
+    out.push_back(prefix);
+    // Cascade: completed sibling pairs collapse into their parent,
+    // which may complete the next pair up.
+    while (out.size() >= 2) {
+      const Prefix a = out[out.size() - 2];
+      const Prefix b = out.back();
+      if (a.length() != b.length() || a.length() == 0 ||
+          !are_siblings<Family>(a, b)) {
+        break;
+      }
+      out.pop_back();
+      out.back() = Family::make_prefix(Family::first_key(a),
+                                       a.length() - 1);
+    }
+  }
+  return out;
+}
+
+template <class Family>
+std::uint64_t BasicAggregate<Family>::union_size(
+    std::span<const Prefix> prefixes) {
+  std::uint64_t total = 0;
+  for (const Prefix prefix : aggregate(prefixes)) {
+    total = net::saturating_add(total, Family::prefix_units(prefix));
+  }
+  return total;
+}
+
+template <class Family>
+BasicReduceResult<Family> reduce(
+    std::span<const typename Family::Prefix> prefixes,
+    const ReduceParams& params) {
+  TASS_EXPECTS(std::isfinite(params.max_overshoot) &&
+               params.max_overshoot >= 0.0);
+  BasicReduceResult<Family> result;
+  result.original_prefixes = prefixes.size();
+
+  auto aggregated = BasicAggregate<Family>::aggregate(prefixes);
+  result.aggregated_prefixes = aggregated.size();
+  for (const auto prefix : aggregated) {
+    result.original_addresses = net::saturating_add(
+        result.original_addresses, Family::prefix_units(prefix));
+  }
+  result.curve.push_back({aggregated.size(), 0});
+  if (aggregated.size() <= 1 ||
+      (params.min_prefixes != 0 &&
+       aggregated.size() <= params.min_prefixes)) {
+    result.prefixes = std::move(aggregated);
+    return result;
+  }
+
+  // The overshoot budget in exact addresses. The union cannot overflow
+  // here (a full-space union aggregates to one prefix, returned above).
+  std::vector<Node<Family>> nodes(aggregated.size());
+  u128 union_addresses = 0;
+  for (std::size_t i = 0; i < aggregated.size(); ++i) {
+    auto& node = nodes[i];
+    node.prefix = aggregated[i];
+    node.first = index_of<Family>(Family::first_key(node.prefix));
+    node.span =
+        index_of<Family>(Family::last_key(node.prefix)) - node.first;
+    node.prev = i == 0 ? -1 : static_cast<std::int32_t>(i - 1);
+    node.next = i + 1 == aggregated.size()
+                    ? -1
+                    : static_cast<std::int32_t>(i + 1);
+    union_addresses += node.span + 1;
+  }
+  const long double budget_ld =
+      static_cast<long double>(params.max_overshoot) *
+      static_cast<long double>(union_addresses);
+  const u128 budget = budget_ld >= std::ldexp(1.0L, 127) * 2.0L
+                          ? ~u128{0}
+                          : static_cast<u128>(budget_ld);
+
+  using Heap =
+      std::priority_queue<Candidate<Family>, std::vector<Candidate<Family>>,
+                          CandidateAfter<Family>>;
+  Heap heap;
+  const auto push_candidate = [&](std::uint32_t left, std::uint32_t right) {
+    const auto merge = plan_merge<Family>(nodes, left, right);
+    heap.push({merge.cost, nodes[left].first, left, right,
+               nodes[left].version, nodes[right].version});
+  };
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    push_candidate(static_cast<std::uint32_t>(i),
+                   static_cast<std::uint32_t>(i + 1));
+  }
+
+  std::size_t live = nodes.size();
+  u128 overshoot = 0;
+  while (!heap.empty() && live > 1) {
+    if (params.min_prefixes != 0 && live <= params.min_prefixes) break;
+    const auto candidate = heap.top();
+    heap.pop();
+    const auto& left = nodes[candidate.left];
+    const auto& right = nodes[candidate.right];
+    if (!left.alive || !right.alive ||
+        left.version != candidate.left_version ||
+        right.version != candidate.right_version ||
+        left.next != static_cast<std::int32_t>(candidate.right)) {
+      continue;  // superseded: the merge that changed them re-seeded
+    }
+    // Re-plan: merges beyond the pair can change what the supernet
+    // swallows without touching the pair's versions. A costlier plan
+    // goes back on the heap (strictly increasing, so this terminates);
+    // a plan at or under its key is executed — it was the cheapest
+    // known merge.
+    auto merge = plan_merge<Family>(nodes, candidate.left, candidate.right);
+    if (merge.cost > candidate.cost) {
+      auto repriced = candidate;
+      repriced.cost = merge.cost;
+      heap.push(repriced);
+      continue;
+    }
+    if (params.min_prefixes != 0 &&
+        live - (merge.count - 1) < params.min_prefixes) {
+      continue;  // this swallow would land below the floor; smaller
+                 // merges may still fit exactly
+    }
+    if (merge.cost > budget - overshoot) break;  // cap reached
+
+    // Execute: kill the swallowed run, reuse its leftmost slot for the
+    // supernet (the list head can never be a non-leftmost member, so
+    // node 0 stays alive and anchors the result walk).
+    const std::int32_t after = nodes[merge.rightmost].next;
+    for (std::int32_t cursor = nodes[merge.leftmost].next;
+         cursor != after && cursor >= 0;) {
+      auto& node = nodes[static_cast<std::uint32_t>(cursor)];
+      node.alive = false;
+      ++node.version;
+      cursor = node.next;
+    }
+    auto& merged = nodes[merge.leftmost];
+    merged.prefix = merge.supernet;
+    merged.first = merge.first;
+    merged.span = merge.span;
+    merged.next = after;
+    ++merged.version;
+    if (after >= 0) nodes[static_cast<std::uint32_t>(after)].prev =
+        static_cast<std::int32_t>(merge.leftmost);
+    live -= merge.count - 1;
+    overshoot += merge.cost;
+    ++result.merges;
+    result.curve.push_back(
+        {static_cast<std::uint64_t>(live), units_of<Family>(overshoot)});
+    if (merged.prev >= 0) {
+      push_candidate(static_cast<std::uint32_t>(merged.prev),
+                     merge.leftmost);
+    }
+    if (merged.next >= 0) {
+      push_candidate(merge.leftmost,
+                     static_cast<std::uint32_t>(merged.next));
+    }
+  }
+
+  result.overshoot_addresses = units_of<Family>(overshoot);
+  result.prefixes.reserve(live);
+  for (std::int32_t cursor = 0; cursor >= 0;
+       cursor = nodes[static_cast<std::uint32_t>(cursor)].next) {
+    result.prefixes.push_back(
+        nodes[static_cast<std::uint32_t>(cursor)].prefix);
+  }
+  return result;
+}
+
+template struct BasicAggregate<net::Ipv4Family>;
+template struct BasicAggregate<net::Ipv6Family>;
+template BasicReduceResult<net::Ipv4Family> reduce<net::Ipv4Family>(
+    std::span<const net::Prefix>, const ReduceParams&);
+template BasicReduceResult<net::Ipv6Family> reduce<net::Ipv6Family>(
+    std::span<const net::Ipv6Prefix>, const ReduceParams&);
+
+}  // namespace tass::bgp

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "bgp/partition.hpp"
+#include "bgp/reduce.hpp"
 #include "net/interval.hpp"
 #include "scan/blocklist.hpp"
 #include "trie/lpm_index.hpp"
@@ -20,6 +21,18 @@ class ScanScope {
 
   /// Scope = union(prefixes) - blocklist.
   ScanScope(std::span<const net::Prefix> prefixes, const Blocklist& blocklist);
+
+  /// Scope from a reduced (overshoot-bounded) selection: the prefix list
+  /// is first collapsed by bgp::reduce, then scoped as usual. Fewer
+  /// prefixes mean fewer target intervals and a smaller LPM build, at
+  /// the price of up to params.max_overshoot extra addresses in scope —
+  /// every original address stays in scope (the blocklist is still
+  /// subtracted afterwards, so overshoot never resurrects blocked
+  /// space). `reduced_out`, when non-null, receives the reduction stats.
+  static ScanScope of_reduced(std::span<const net::Prefix> prefixes,
+                              const Blocklist& blocklist,
+                              const bgp::ReduceParams& params = {},
+                              bgp::ReduceResult* reduced_out = nullptr);
 
   /// Scope over selected live cells of a partition — the rescan scope of
   /// an incremental churn step (core::churn_step): the engine re-probes

@@ -8,6 +8,16 @@ ScanScope6::ScanScope6(std::span<const net::Ipv6Prefix> prefixes,
       whitelist_(trie::LpmIndex6::from_prefixes(prefixes)),
       blocked_(trie::LpmIndex6::from_prefixes(blocklist.blocked6())) {}
 
+ScanScope6 ScanScope6::of_reduced(std::span<const net::Ipv6Prefix> prefixes,
+                                  const Blocklist& blocklist,
+                                  const bgp::ReduceParams& params,
+                                  bgp::ReduceResult6* reduced_out) {
+  auto reduced = bgp::reduce(prefixes, params);
+  ScanScope6 scope(reduced.prefixes, blocklist);
+  if (reduced_out != nullptr) *reduced_out = std::move(reduced);
+  return scope;
+}
+
 std::size_t ScanScope6::add_candidates(
     std::span<const net::Ipv6Address> addresses) {
   std::size_t admitted = 0;

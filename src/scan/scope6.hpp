@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "bgp/reduce.hpp"
 #include "net/ipv6.hpp"
 #include "scan/blocklist.hpp"
 #include "scan/target_iterator.hpp"
@@ -37,6 +38,18 @@ class ScanScope6 {
   /// cover test).
   ScanScope6(std::span<const net::Ipv6Prefix> prefixes,
              const Blocklist& blocklist);
+
+  /// Scope from a reduced (overshoot-bounded) selection: the whitelist
+  /// is first collapsed by bgp::reduce, shrinking the LpmIndex6 build
+  /// and the prefix list carried around, at the price of up to
+  /// params.max_overshoot extra admitted space. Every candidate the
+  /// unreduced scope admits is still admitted (the blocklist still
+  /// applies, so overshoot never resurrects blocked space).
+  /// `reduced_out`, when non-null, receives the reduction stats.
+  static ScanScope6 of_reduced(std::span<const net::Ipv6Prefix> prefixes,
+                               const Blocklist& blocklist,
+                               const bgp::ReduceParams& params = {},
+                               bgp::ReduceResult6* reduced_out = nullptr);
 
   /// True if the address is inside a selected prefix and not blocked.
   bool contains(net::Ipv6Address addr) const noexcept {

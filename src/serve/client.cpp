@@ -230,6 +230,27 @@ std::pair<ResponseHeader, SampleReply> Client::sample(
   return {header, std::move(reply)};
 }
 
+std::pair<ResponseHeader, ReduceReply> Client::reduce(
+    net::AddressFamily family, const ReduceParams& params) {
+  RequestHeader request;
+  request.op = Op::kReduce;
+  request.family = family;
+  std::vector<std::uint8_t> body;
+  encode_reduce_params(body, params);
+  std::vector<std::uint8_t> payload;
+  auto [header, cursor] = transact(request, body, payload);
+  ReduceReply reply;
+  reply.selected_prefixes = cursor.u64();
+  reply.selected_addresses = cursor.u64();
+  reply.overshoot_addresses = cursor.u64();
+  reply.merges = cursor.u64();
+  reply.prefixes.reserve(header.count);
+  for (std::uint32_t i = 0; i < header.count; ++i) {
+    reply.prefixes.push_back(read_row_prefix(cursor, family));
+  }
+  return {header, std::move(reply)};
+}
+
 template <class Word>
 std::pair<ResponseHeader, std::vector<std::uint32_t>> Client::locate_impl(
     net::AddressFamily family, std::span<const Word> addresses) {

@@ -51,6 +51,13 @@ class Client {
   std::pair<ResponseHeader, SampleReply> sample(net::AddressFamily family,
                                                 const SampleParams& params);
 
+  /// Density selection post-processed by bgp::reduce on the server: the
+  /// reply's prefix list is the minimal overshoot-bounded cover of the
+  /// selection (smaller than the kPlan list, never missing an address
+  /// of it).
+  std::pair<ResponseHeader, ReduceReply> reduce(net::AddressFamily family,
+                                                const ReduceParams& params);
+
   /// Batched scope queries: cells[i] is the partition cell of
   /// addresses[i] (PrefixPartition::kNoCell when unrouted).
   std::pair<ResponseHeader, std::vector<std::uint32_t>> locate(

@@ -10,10 +10,12 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "bgp/reduce.hpp"
 #include "core/selection.hpp"
 #include "scan/sampled_scope.hpp"
 #include "util/error.hpp"
@@ -639,6 +641,41 @@ void Server::handle_query(std::size_t shard, const RequestHeader& request,
         put_u64(body, row.seed_hosts);
       }
       header.count = static_cast<std::uint32_t>(design.cells.size());
+      break;
+    }
+    case Op::kReduce: {
+      const ReduceParams params = decode_reduce_params(cursor);
+      // Validate here rather than letting library preconditions abort
+      // the daemon on a malformed request.
+      if (!(params.phi > 0.0 && params.phi <= 1.0)) {
+        throw Error("serve: reduce phi must be in (0, 1]");
+      }
+      if (!(std::isfinite(params.max_overshoot) &&
+            params.max_overshoot >= 0.0)) {
+        throw Error("serve: reduce max_overshoot must be finite and >= 0");
+      }
+      core::SelectionParams selection_params;
+      selection_params.phi = params.phi;
+      selection_params.min_density = params.min_density;
+      if (params.max_addresses != 0) {
+        selection_params.max_addresses = params.max_addresses;
+      }
+      const auto selection =
+          core::select_by_density(image.ranking(), selection_params);
+      bgp::ReduceParams reduce_params;
+      reduce_params.max_overshoot = params.max_overshoot;
+      reduce_params.min_prefixes = params.min_prefixes;
+      const auto reduced = bgp::reduce<Family>(
+          std::span<const typename Family::Prefix>(selection.prefixes),
+          reduce_params);
+      put_u64(body, static_cast<std::uint64_t>(selection.prefixes.size()));
+      put_u64(body, selection.selected_addresses);
+      put_u64(body, reduced.overshoot_addresses);
+      put_u64(body, reduced.merges);
+      for (const auto& prefix : reduced.prefixes) {
+        put_prefix(body, prefix);
+      }
+      header.count = static_cast<std::uint32_t>(reduced.prefixes.size());
       break;
     }
     default:

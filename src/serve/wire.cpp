@@ -104,7 +104,7 @@ namespace {
 
 Op checked_op(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(Op::kPing) ||
-      raw > static_cast<std::uint8_t>(Op::kSample)) {
+      raw > static_cast<std::uint8_t>(Op::kReduce)) {
     throw FormatError("serve: unknown op " + std::to_string(raw));
   }
   return static_cast<Op>(raw);
@@ -235,6 +235,29 @@ SampleParams decode_sample_params(Cursor& cursor) {
   return params;
 }
 
+void encode_reduce_params(std::vector<std::uint8_t>& out,
+                          const ReduceParams& params) {
+  put_f64(out, params.phi);
+  put_f64(out, params.min_density);
+  put_u64(out, params.max_addresses);
+  put_f64(out, params.max_overshoot);
+  put_u32(out, params.min_prefixes);
+  put_u32(out, 0);  // reserved
+}
+
+ReduceParams decode_reduce_params(Cursor& cursor) {
+  ReduceParams params;
+  params.phi = cursor.f64();
+  params.min_density = cursor.f64();
+  params.max_addresses = cursor.u64();
+  params.max_overshoot = cursor.f64();
+  params.min_prefixes = cursor.u32();
+  if (cursor.u32() != 0) {
+    throw FormatError("serve: non-zero reserved field in reduce params");
+  }
+  return params;
+}
+
 std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
   if (payload.size() > kMaxFrameBytes) {
     throw Error("serve: frame payload of " +
@@ -275,6 +298,7 @@ std::string_view op_name(Op op) noexcept {
     case Op::kReload: return "reload";
     case Op::kShutdown: return "shutdown";
     case Op::kSample: return "sample";
+    case Op::kReduce: return "reduce";
   }
   return "unknown";
 }

@@ -61,6 +61,7 @@ enum class Op : std::uint8_t {
   kReload = 8,    // control: swap in a new image; body = path
   kShutdown = 9,  // control: stop the daemon
   kSample = 10,   // sampled-scan budget allocation; body = SampleParams
+  kReduce = 11,   // overshoot-bounded plan reduction; body = ReduceParams
 };
 
 enum class Status : std::uint8_t {
@@ -134,6 +135,28 @@ struct SampleReply {
   std::uint64_t frame_units = 0;
   std::uint64_t seed = 0;
   std::vector<SampleRow> rows;  // ranking (density) order
+};
+
+/// Decoded kReduce request body: a density selection (the kPlan
+/// parameters) post-processed by bgp::reduce into a minimal target list
+/// whose address overshoot is bounded by `max_overshoot`.
+struct ReduceParams {
+  double phi = 1.0;
+  double min_density = 0.0;
+  std::uint64_t max_addresses = 0;  // 0 = unbounded
+  double max_overshoot = 0.05;      // fraction of the exact union
+  std::uint32_t min_prefixes = 0;   // stop reducing below this count
+};
+
+/// Decoded kReduce response body. `prefixes` is the reduced list; the
+/// counters report what the reduction did to the selection.
+struct ReduceReply {
+  std::uint64_t selected_prefixes = 0;   // before reduction
+  std::uint64_t selected_addresses = 0;  // exact union (v4 addresses,
+                                         // v6 /64 units)
+  std::uint64_t overshoot_addresses = 0;
+  std::uint64_t merges = 0;
+  std::vector<net::GenericPrefix> prefixes;
 };
 
 /// Decoded kInfo response body.
@@ -230,6 +253,10 @@ PlanParams decode_plan_params(Cursor& cursor);
 void encode_sample_params(std::vector<std::uint8_t>& out,
                           const SampleParams& params);
 SampleParams decode_sample_params(Cursor& cursor);
+
+void encode_reduce_params(std::vector<std::uint8_t>& out,
+                          const ReduceParams& params);
+ReduceParams decode_reduce_params(Cursor& cursor);
 
 /// Frames `payload` (prepends the length word). Throws tass::Error if
 /// the payload exceeds kMaxFrameBytes.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bgp/partition.hpp"
+#include "bgp/reduce.hpp"
 #include "core/ranking.hpp"
 #include "core/selection.hpp"
 #include "net/family.hpp"
@@ -379,6 +380,73 @@ TEST(ServeDaemon, SampleDesignMatchesDirectPlanSample) {
   SampleParams bad = wire_params;
   bad.phi = 0.0;
   EXPECT_THROW(client.sample(net::AddressFamily::kIpv4, bad), Error);
+  EXPECT_EQ(client.ping().status, Status::kOk);
+
+  std::remove(v4_path.c_str());
+  std::remove(v6_path.c_str());
+}
+
+TEST(ServeDaemon, ReduceMatchesDirectLibraryCalls) {
+  const std::string v4_path = make_v4_image("serve_test_reduce4", 32, 3);
+  const std::string v6_path = make_v6_image("serve_test_reduce6", 24, 5);
+  const state::StateImage direct4 = state::StateImage::load(v4_path);
+  const state::StateImage6 direct6 = state::StateImage6::load(v6_path);
+
+  ServerOptions options;
+  options.v4_image_path = v4_path;
+  options.v6_image_path = v6_path;
+  options.threads = 2;
+  RunningServer running(std::move(options));
+  Client client("127.0.0.1", running.server.port());
+
+  ReduceParams wire_params;
+  wire_params.phi = 0.9;
+  wire_params.max_overshoot = 0.10;
+  const auto [header, reply] =
+      client.reduce(net::AddressFamily::kIpv4, wire_params);
+  EXPECT_EQ(header.status, Status::kOk);
+  EXPECT_EQ(header.fingerprint, direct4.info().fingerprint);
+
+  core::SelectionParams selection_params;
+  selection_params.phi = 0.9;
+  const auto selection =
+      core::select_by_density(direct4.ranking(), selection_params);
+  bgp::ReduceParams reduce_params;
+  reduce_params.max_overshoot = 0.10;
+  const auto direct = bgp::reduce(
+      std::span<const net::Prefix>(selection.prefixes), reduce_params);
+  EXPECT_EQ(reply.selected_prefixes, selection.prefixes.size());
+  EXPECT_EQ(reply.selected_addresses, selection.selected_addresses);
+  EXPECT_EQ(reply.overshoot_addresses, direct.overshoot_addresses);
+  EXPECT_EQ(reply.merges, direct.merges);
+  ASSERT_EQ(reply.prefixes.size(), direct.prefixes.size());
+  for (std::size_t i = 0; i < reply.prefixes.size(); ++i) {
+    EXPECT_EQ(reply.prefixes[i].v4(), direct.prefixes[i]);
+  }
+
+  // v6 through the same connection.
+  const auto [header6, reply6] =
+      client.reduce(net::AddressFamily::kIpv6, wire_params);
+  EXPECT_EQ(header6.fingerprint, direct6.info().fingerprint);
+  const auto selection6 =
+      core::select_by_density(direct6.ranking(), selection_params);
+  const auto direct6_reduced = bgp::reduce(
+      std::span<const net::Ipv6Prefix>(selection6.prefixes), reduce_params);
+  EXPECT_EQ(reply6.selected_prefixes, selection6.prefixes.size());
+  EXPECT_EQ(reply6.overshoot_addresses, direct6_reduced.overshoot_addresses);
+  ASSERT_EQ(reply6.prefixes.size(), direct6_reduced.prefixes.size());
+  for (std::size_t i = 0; i < reply6.prefixes.size(); ++i) {
+    EXPECT_EQ(reply6.prefixes[i].v6(), direct6_reduced.prefixes[i]);
+  }
+
+  // Malformed parameters are well-formed error frames, not daemon
+  // aborts, and the connection keeps serving.
+  ReduceParams bad = wire_params;
+  bad.phi = 0.0;
+  EXPECT_THROW(client.reduce(net::AddressFamily::kIpv4, bad), Error);
+  bad = wire_params;
+  bad.max_overshoot = -0.5;
+  EXPECT_THROW(client.reduce(net::AddressFamily::kIpv4, bad), Error);
   EXPECT_EQ(client.ping().status, Status::kOk);
 
   std::remove(v4_path.c_str());

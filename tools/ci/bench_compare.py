@@ -23,6 +23,10 @@ Headline metrics (direction-aware):
                   update_to_plan_p99_ms (lower is better)
   micro_sample    sample_probe_efficiency (higher is better; probe
                   reduction achieved at <= 5% estimation error)
+  micro_reduce    reduce_ratio_at_5pct (higher is better; prefix-count
+                  reduction at the 5% overshoot cap) and
+                  scope_build_speedup (higher is better; ScanScope
+                  construction from the reduced list vs the original)
 
 Usage (in CI):
   bench_compare.py --repo owner/name --artifact bench-json-gcc \
@@ -149,6 +153,13 @@ def headline_metrics(record):
         if "sample_probe_efficiency" in record:
             yield ("sample_probe_efficiency",
                    float(record["sample_probe_efficiency"]), True)
+    elif bench == "micro_reduce":
+        if "reduce_ratio_at_5pct" in record:
+            yield ("reduce_ratio_at_5pct",
+                   float(record["reduce_ratio_at_5pct"]), True)
+        if "scope_build_speedup" in record:
+            yield ("scope_build_speedup",
+                   float(record["scope_build_speedup"]), True)
 
 
 def index_by_bench(files):
